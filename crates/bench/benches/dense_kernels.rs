@@ -1,0 +1,68 @@
+//! Criterion benches of the dense kernels (experiment D1): GEMM, panel
+//! solve, and the LLᵀ vs LDLᵀ factor comparison that motivates the
+//! paper's ESSL remark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pastix_kernels::dense::deterministic_spd;
+use pastix_kernels::{
+    gemm_nt_acc, ldlt_factor_blocked, ldlt_factor_inplace, llt_factor_blocked, trsm_ldlt_panel,
+};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_nt");
+    for &n in &[16usize, 64, 128] {
+        let a = vec![1.0001f64; n * n];
+        let b = vec![0.9999f64; n * n];
+        let mut out = vec![0.0f64; n * n];
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                gemm_nt_acc(n, n, n, -1.0, black_box(&a), n, black_box(&b), n, &mut out, n);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_factor_llt_vs_ldlt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense_factor_256");
+    let n = 256;
+    let nb = 64;
+    let base = deterministic_spd(n, 7);
+    g.bench_function("llt_blocked", |bench| {
+        bench.iter(|| {
+            let mut a = base.clone();
+            llt_factor_blocked(n, a.as_mut_slice(), n, nb).unwrap();
+            black_box(a);
+        })
+    });
+    g.bench_function("ldlt_blocked", |bench| {
+        let mut work = Vec::new();
+        bench.iter(|| {
+            let mut a = base.clone();
+            ldlt_factor_blocked(n, a.as_mut_slice(), n, nb, &mut work).unwrap();
+            black_box(a);
+        })
+    });
+    g.finish();
+}
+
+fn bench_panel_solve(c: &mut Criterion) {
+    let n = 64;
+    let m = 512;
+    let mut diag = deterministic_spd(n, 3);
+    ldlt_factor_inplace(n, diag.as_mut_slice(), n).unwrap();
+    let mut panel = vec![1.0f64; m * n];
+    c.bench_function("trsm_ldlt_panel_512x64", |bench| {
+        bench.iter(|| {
+            trsm_ldlt_panel(m, n, diag.as_slice(), n, black_box(&mut panel), m);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm, bench_factor_llt_vs_ldlt, bench_panel_solve
+}
+criterion_main!(benches);

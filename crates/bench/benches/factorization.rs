@@ -1,0 +1,61 @@
+//! Criterion benches of the numeric phase: sequential supernodal LDLᵀ,
+//! the threaded fan-in solver, the multifrontal baseline, and the
+//! triangular solves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pastix_bench::{prepare, schedule_for, scotch_ordering};
+use pastix_graph::{canonical_solution, rhs_for_solution, ProblemId};
+use pastix_multifrontal::multifrontal_llt;
+use pastix_sched::SchedOptions;
+use pastix_solver::{factorize_parallel, factorize_sequential, solve_in_place, FactorStorage};
+use std::hint::black_box;
+
+fn bench_factorization(c: &mut Criterion) {
+    let prep = prepare(ProblemId::Ship001, 0.02, &scotch_ordering());
+    let sched_opts = SchedOptions {
+        block_size: 48,
+        ..Default::default()
+    };
+    let mapping = schedule_for(&prep, 2, &sched_opts);
+    let sym = &mapping.graph.split.symbol;
+    let ap = prep.matrix.permuted(&prep.analysis.perm);
+
+    let mut group = c.benchmark_group("numeric_ship001_2pct");
+    group.sample_size(10);
+    group.bench_function("sequential_ldlt", |b| {
+        b.iter(|| {
+            let mut st = FactorStorage::zeros(sym);
+            st.scatter(sym, &ap);
+            factorize_sequential(sym, &mut st).unwrap();
+            black_box(st);
+        })
+    });
+    group.bench_function("fanin_2threads", |b| {
+        b.iter(|| {
+            black_box(factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule).unwrap());
+        })
+    });
+    group.bench_function("multifrontal_llt", |b| {
+        b.iter(|| black_box(multifrontal_llt(sym, &ap).unwrap()))
+    });
+
+    let mut st = FactorStorage::zeros(sym);
+    st.scatter(sym, &ap);
+    factorize_sequential(sym, &mut st).unwrap();
+    let bvec = rhs_for_solution(&ap, &canonical_solution::<f64>(ap.n()));
+    group.bench_function("triangular_solve", |b| {
+        b.iter(|| {
+            let mut x = bvec.clone();
+            solve_in_place(sym, &st, &mut x);
+            black_box(x);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_factorization
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benches of the ordering phase: nested dissection (both leaf
+//! modes) and the raw vertex separator on problem-suite graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pastix_graph::{build_problem, ProblemId};
+use pastix_ordering::{nested_dissection, vertex_separator, BisectOptions, OrderingOptions};
+use std::hint::black_box;
+
+fn bench_ordering(c: &mut Criterion) {
+    let a = build_problem::<f64>(ProblemId::Quer, 0.02);
+    let g = a.to_graph();
+    let mut group = c.benchmark_group("ordering_quer_2pct");
+    group.sample_size(10);
+    group.bench_function("nd_halo_md", |b| {
+        b.iter(|| black_box(nested_dissection(&g, &OrderingOptions::scotch_like())))
+    });
+    group.bench_function("nd_plain_md", |b| {
+        b.iter(|| black_box(nested_dissection(&g, &OrderingOptions::metis_like())))
+    });
+    group.bench_function("vertex_separator_once", |b| {
+        b.iter(|| black_box(vertex_separator(&g, &BisectOptions::default())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_ordering
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches of the mapping + scheduling phase itself (the cost of
+//! computing the static schedule, which the paper runs as a pre-process).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pastix_bench::{prepare, scotch_ordering};
+use pastix_graph::ProblemId;
+use pastix_machine::MachineModel;
+use pastix_sched::{build_task_graph, greedy_schedule, map_and_schedule, proportional_mapping, SchedOptions};
+use pastix_symbolic::split_symbol;
+use std::hint::black_box;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let prep = prepare(ProblemId::Oilpan, 0.03, &scotch_ordering());
+    let sym = &prep.analysis.symbol;
+    let mut group = c.benchmark_group("scheduling_oilpan_3pct");
+    group.sample_size(10);
+    for &p in &[4usize, 16, 64] {
+        let machine = MachineModel::sp2(p);
+        group.bench_with_input(BenchmarkId::new("map_and_schedule", p), &p, |b, _| {
+            b.iter(|| black_box(map_and_schedule(sym, &machine, &SchedOptions::default())))
+        });
+    }
+    let machine = MachineModel::sp2(16);
+    group.bench_function("proportional_mapping_only", |b| {
+        b.iter(|| black_box(proportional_mapping(sym, &machine, &Default::default())))
+    });
+    group.bench_function("greedy_only", |b| {
+        let cand = proportional_mapping(sym, &machine, &Default::default());
+        let split = split_symbol(sym, 64);
+        let graph = build_task_graph(split, &cand, &machine);
+        b.iter(|| black_box(greedy_schedule(&graph, &machine)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_scheduling
+}
+criterion_main!(benches);

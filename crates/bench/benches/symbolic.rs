@@ -1,0 +1,41 @@
+//! Criterion benches of the symbolic phase: elimination tree, column
+//! counts, block symbolic factorization and splitting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pastix_graph::{build_problem, ProblemId};
+use pastix_ordering::{nested_dissection, OrderingOptions};
+use pastix_symbolic::{
+    amalgamate, analyze, block_symbolic, col_counts, etree, fundamental_supernodes, split_symbol,
+    AmalgamationOptions, AnalysisOptions,
+};
+use std::hint::black_box;
+
+fn bench_symbolic(c: &mut Criterion) {
+    let a = build_problem::<f64>(ProblemId::Ship001, 0.05);
+    let g = a.to_graph();
+    let ord = nested_dissection(&g, &OrderingOptions::scotch_like());
+    let gp = g.permuted(&ord);
+    let parent = etree(&gp);
+    let counts = col_counts(&gp, &parent);
+    let fund = fundamental_supernodes(&parent, &counts);
+    let part = amalgamate(&fund, &AmalgamationOptions::default());
+    let sym = block_symbolic(&gp, &part);
+
+    let mut group = c.benchmark_group("symbolic_ship001_5pct");
+    group.sample_size(10);
+    group.bench_function("etree", |b| b.iter(|| black_box(etree(&gp))));
+    group.bench_function("col_counts", |b| b.iter(|| black_box(col_counts(&gp, &parent))));
+    group.bench_function("block_symbolic", |b| b.iter(|| black_box(block_symbolic(&gp, &part))));
+    group.bench_function("split_64", |b| b.iter(|| black_box(split_symbol(&sym, 64))));
+    group.bench_function("full_analyze", |b| {
+        b.iter(|| black_box(analyze(&g, &ord, &AnalysisOptions::default())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_symbolic
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation **A1**: the paper's contribution (mixed 1D/2D distribution)
+//! against the authors' own EuroPAR'99 baseline (1D everywhere).
+//!
+//! For each problem and processor count, prints the predicted makespan of
+//! the static schedule under both strategies and the mixed-over-1D gain.
+//! The expected shape: indistinguishable at small `P` (nothing goes 2D),
+//! growing advantage for the mixed strategy as `P` reaches 16–64, where
+//! the top separators otherwise serialize.
+
+use pastix_bench::{prepare, problems, scale, schedule_for};
+use pastix_sched::{DistStrategy, SchedOptions};
+
+fn main() {
+    let scale = scale();
+    println!("Ablation A1 — mixed 1D/2D vs 1D-only static schedules (scale {scale})");
+    println!(
+        "{:<10} {:>5} {:>12} {:>12} {:>8}",
+        "Problem", "P", "1D-only (s)", "mixed (s)", "gain"
+    );
+    for id in problems() {
+        let prep = prepare(id, scale, &pastix_bench::scotch_ordering());
+        for p in [4usize, 16, 64] {
+            let mut only1d = SchedOptions::default();
+            only1d.mapping.strategy = DistStrategy::Only1d;
+            let t1 = schedule_for(&prep, p, &only1d).schedule.makespan;
+            let mixed = SchedOptions::default();
+            let t2 = schedule_for(&prep, p, &mixed).schedule.makespan;
+            println!(
+                "{:<10} {:>5} {:>12.3} {:>12.3} {:>7.2}x",
+                id.name(),
+                p,
+                t1,
+                t2,
+                t1 / t2.max(1e-12)
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Ablation **A3**: fan-in total local aggregation vs direct sends.
+//!
+//! §2 of the paper: processors communicate *"using only aggregated update
+//! blocks"*; this binary quantifies what that buys by replaying each
+//! schedule's communication with and without aggregation (message counts
+//! and scalar volumes). The expected shape: aggregation divides the
+//! message count by a growing factor as `P` rises, at the price of a
+//! bounded volume overhead (AUBs ship whole target regions).
+
+use pastix_bench::{prepare, problems, scale, schedule_for};
+use pastix_sched::{comm_stats, SchedOptions};
+
+fn main() {
+    let scale = scale();
+    println!("Ablation A3 — fan-in aggregation vs direct contribution sends (scale {scale})");
+    println!(
+        "{:<10} {:>4} {:>12} {:>12} {:>8} {:>14} {:>14}",
+        "Problem", "P", "msgs direct", "msgs fan-in", "ratio", "vol direct", "vol fan-in"
+    );
+    for id in problems() {
+        let prep = prepare(id, scale, &pastix_bench::scotch_ordering());
+        for p in [4usize, 16, 64] {
+            let m = schedule_for(&prep, p, &SchedOptions::default());
+            let c = comm_stats(&m.graph, &m.schedule);
+            println!(
+                "{:<10} {:>4} {:>12} {:>12} {:>7.2}x {:>14} {:>14}",
+                id.name(),
+                p,
+                c.messages_direct,
+                c.messages_fanin,
+                c.messages_direct as f64 / c.messages_fanin.max(1) as f64,
+                c.scalars_direct,
+                c.scalars_fanin
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation: the value of the paper's central device — **mapping by
+//! simulation** — against a classical block-cyclic static mapping over the
+//! same candidate sets, same task graph, same machine model.
+//!
+//! Both mappings produce valid schedules that could drive the solver; the
+//! only difference is the policy: the greedy mapper simulates the parallel
+//! factorization with the calibrated BLAS + network model and places each
+//! task where it completes soonest, while the cyclic baseline deals tasks
+//! round-robin, blind to costs and dependencies.
+
+use pastix_bench::{prepare, problems, scale, schedule_for};
+use pastix_machine::MachineModel;
+use pastix_sched::{cyclic_schedule, validate_schedule, SchedOptions};
+
+fn main() {
+    let scale = scale();
+    println!("Ablation — greedy mapping-by-simulation vs block-cyclic mapping (scale {scale})");
+    println!(
+        "{:<10} {:>4} {:>12} {:>12} {:>8}",
+        "Problem", "P", "cyclic (s)", "greedy (s)", "gain"
+    );
+    for id in problems() {
+        let prep = prepare(id, scale, &pastix_bench::scotch_ordering());
+        for p in [4usize, 16, 64] {
+            let opts = SchedOptions::default();
+            let m = schedule_for(&prep, p, &opts);
+            let machine = MachineModel::sp2(p);
+            let cyc = cyclic_schedule(&m.graph, &machine);
+            validate_schedule(&m.graph, &cyc, &machine).expect("cyclic schedule invalid");
+            println!(
+                "{:<10} {:>4} {:>12.4} {:>12.4} {:>7.2}x",
+                id.name(),
+                p,
+                cyc.makespan,
+                m.schedule.makespan,
+                cyc.makespan / m.schedule.makespan.max(1e-12)
+            );
+        }
+    }
+    println!("\nExpected shape: the simulation-driven mapping wins, increasingly so with P.");
+}

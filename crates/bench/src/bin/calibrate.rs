@@ -1,0 +1,59 @@
+//! The automatic calibration step of the paper: fits the multi-variable
+//! polynomial BLAS time model by timing this crate's own kernels on the
+//! host, measures the in-process transfer model, prints a
+//! predicted-vs-measured table, and saves the machine model as JSON
+//! (`target/machine-calibrated.json`) for reuse by other binaries.
+
+use pastix_kernels::gemm::gemm_nt_acc;
+use pastix_kernels::model::{calibrate_blas_model, KernelClass};
+use pastix_machine::{measure_in_process_network, MachineModel};
+use std::time::Instant;
+
+fn main() {
+    println!("Calibrating the BLAS time model on this host (sizes 8..192)...");
+    let blas = calibrate_blas_model(&[8, 16, 32, 64, 128, 192], 3);
+    let net = measure_in_process_network();
+    let machine = MachineModel {
+        blas,
+        net,
+        ..MachineModel::sp2(2)
+    };
+
+    println!("\nGEMM C += A·Bᵀ — predicted vs measured (seconds):");
+    println!("{:>5} {:>5} {:>5} {:>12} {:>12} {:>8}", "m", "n", "k", "predicted", "measured", "ratio");
+    for &(m, n, k) in &[(16usize, 16usize, 16usize), (48, 48, 48), (96, 96, 96), (160, 64, 64), (64, 160, 96)] {
+        let a = vec![1.0f64; m * k];
+        let b = vec![1.0f64; n * k];
+        let mut c = vec![0.0f64; m * n];
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            gemm_nt_acc(m, n, k, -1.0, &a, m, &b, n, &mut c, m);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        let pred = machine.kernel_time(KernelClass::GemmNt, m, n, k);
+        println!(
+            "{:>5} {:>5} {:>5} {:>12.3e} {:>12.3e} {:>8.2}",
+            m,
+            n,
+            k,
+            pred,
+            best,
+            pred / best.max(1e-12)
+        );
+    }
+
+    println!("\nIn-process network model: latency {:.2e} s, bandwidth {:.2e} B/s", net.latency, net.bandwidth);
+
+    let path = std::path::Path::new("target/machine-calibrated.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::File::create(path) {
+        Ok(f) => {
+            machine.save(f).expect("failed to serialize model");
+            println!("Saved calibrated machine model to {}", path.display());
+        }
+        Err(e) => println!("(could not save model: {e})"),
+    }
+}

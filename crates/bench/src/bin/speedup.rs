@@ -1,0 +1,39 @@
+//! Speedup curves with per-P lower-bound ceilings: for each problem and
+//! processor count, the predicted PaStiX speedup over its own 1-processor
+//! time, next to the ceiling `T₁ / max(critical path, work/P)` computed on
+//! *that* P's task graph (the 1D/2D switch and the splitting change the
+//! graph with P, so each P has its own bound). Shows *why* the curves of
+//! Table 2 flatten where they do — the small problems hit their
+//! dependency-structure ceiling, not a communication wall.
+
+use pastix_bench::{prepare, problems, scale, schedule_for, TABLE2_PROCS};
+use pastix_sched::analyze_schedule;
+
+fn main() {
+    let scale = scale();
+    println!("Speedup curves, 'achieved/ceiling' per processor count (scale {scale})");
+    println!(
+        "{:<10} {}",
+        "Problem",
+        TABLE2_PROCS
+            .iter()
+            .map(|p| format!("{p:>14}"))
+            .collect::<String>()
+    );
+    for id in problems() {
+        let prep = prepare(id, scale, &pastix_bench::scotch_ordering());
+        let sched_opts = pastix_bench::default_sched();
+        let t1 = schedule_for(&prep, 1, &sched_opts).schedule.makespan;
+        let mut row = String::new();
+        for &p in &TABLE2_PROCS {
+            let m = schedule_for(&prep, p, &sched_opts);
+            let a = analyze_schedule(&m.graph, &m.schedule);
+            let achieved = t1 / m.schedule.makespan;
+            let ceiling = t1 / a.lower_bound;
+            row.push_str(&format!("{achieved:>7.2}/{ceiling:<6.1}"));
+        }
+        println!("{:<10} {}", id.name(), row);
+    }
+    println!("\nceiling = T1 / max(critical path, work/P) of that P's own task graph:");
+    println!("no schedule of that graph can exceed it (communication ignored).");
+}

@@ -1,0 +1,376 @@
+//! # pastix — a Rust reproduction of the PaStiX parallel sparse direct solver
+//!
+//! PaStiX (Hénon, Ramet, Roman — IPPS/IPDPS 2000) solves large sparse
+//! symmetric positive definite (and complex symmetric) systems `A·x = b`
+//! by supernodal `L·D·Lᵀ` factorization without pivoting, parallelized by
+//! a **static schedule of block computations over a mixed 1D/2D block
+//! distribution**. This crate is the facade over the full pipeline:
+//!
+//! 1. ordering — nested dissection tightly coupled with halo minimum
+//!    degree (`pastix-ordering`);
+//! 2. block symbolic factorization — supernodes, amalgamation, the block
+//!    symbol matrix (`pastix-symbolic`);
+//! 3. block repartitioning and static scheduling — candidate processors by
+//!    proportional mapping, 1D/2D switch, splitting by the BLAS blocking
+//!    size, greedy mapping by simulation (`pastix-sched`);
+//! 4. numeric factorization — the supernodal fan-in solver driven by the
+//!    schedule, on threads (`pastix-solver` + `pastix-runtime`), plus the
+//!    sequential reference and the triangular solves.
+//!
+//! ```
+//! use pastix::{Pastix, PastixOptions};
+//! use pastix::graph::gen::{grid_spd, Stencil, ValueKind};
+//!
+//! // A small SPD system from a 3D grid.
+//! let a = grid_spd::<f64>(6, 6, 3, Stencil::Star, false, ValueKind::Laplacian);
+//! let x_exact = pastix::graph::canonical_solution::<f64>(a.n());
+//! let b = pastix::graph::rhs_for_solution(&a, &x_exact);
+//!
+//! let solver = Pastix::analyze(&a, &PastixOptions::default()).unwrap();
+//! let factor = solver.factorize(&a).unwrap();
+//! let x = factor.solve(&b);
+//! assert!(a.residual_norm(&x, &b) < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pastix_graph as graph;
+pub use pastix_kernels as kernels;
+pub use pastix_machine as machine;
+pub use pastix_multifrontal as multifrontal;
+pub use pastix_ordering as ordering;
+pub use pastix_runtime as runtime;
+pub use pastix_sched as sched;
+pub use pastix_solver as solver;
+pub use pastix_symbolic as symbolic;
+
+use pastix_graph::{Permutation, SymCsc};
+use pastix_kernels::factor::FactorError;
+use pastix_kernels::Scalar;
+use pastix_machine::MachineModel;
+use pastix_sched::{map_and_schedule, Mapping, SchedOptions};
+use pastix_solver::{factorize_parallel, factorize_sequential, solve_in_place, FactorStorage};
+use pastix_symbolic::{Analysis, AnalysisOptions};
+
+/// Errors surfaced by the facade.
+#[derive(Debug)]
+pub enum PastixError {
+    /// Numeric factorization failed (zero or non-finite pivot at the given
+    /// column of the permuted matrix).
+    Factor(FactorError),
+    /// The matrix handed to `factorize` does not match the analyzed one.
+    ShapeMismatch {
+        /// Order expected from the analysis.
+        expected: usize,
+        /// Order of the offending matrix.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PastixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PastixError::Factor(e) => write!(f, "factorization failed: {e}"),
+            PastixError::ShapeMismatch { expected, got } => {
+                write!(f, "matrix order {got} does not match analysis ({expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PastixError {}
+
+impl From<FactorError> for PastixError {
+    fn from(e: FactorError) -> Self {
+        PastixError::Factor(e)
+    }
+}
+
+/// Options of the whole pipeline.
+#[derive(Debug, Clone)]
+pub struct PastixOptions {
+    /// Ordering phase knobs (nested dissection + halo minimum degree).
+    pub ordering: pastix_ordering::OrderingOptions,
+    /// Symbolic phase knobs (amalgamation).
+    pub analysis: AnalysisOptions,
+    /// Repartitioning/scheduling knobs (blocking size, 1D/2D switch).
+    pub sched: SchedOptions,
+    /// The machine to schedule for. `n_procs` doubles as the number of
+    /// logical processors (threads) of the parallel numeric phase.
+    pub machine: MachineModel,
+    /// Run the numeric factorization with the threaded fan-in solver; when
+    /// false (or `n_procs == 1`) the sequential reference is used.
+    pub parallel_numeric: bool,
+}
+
+impl Default for PastixOptions {
+    fn default() -> Self {
+        Self {
+            ordering: pastix_ordering::OrderingOptions::scotch_like(),
+            analysis: AnalysisOptions::default(),
+            sched: SchedOptions::default(),
+            machine: MachineModel::sp2(4),
+            parallel_numeric: true,
+        }
+    }
+}
+
+impl PastixOptions {
+    /// A convenient preset for `p` logical processors.
+    pub fn with_procs(p: usize) -> Self {
+        Self {
+            machine: MachineModel::sp2(p),
+            ..Self::default()
+        }
+    }
+}
+
+/// The analyzed (pre-numeric) state: ordering, symbol, schedule.
+pub struct Pastix {
+    options: PastixOptions,
+    analysis: Analysis,
+    mapping: Mapping,
+}
+
+impl Pastix {
+    /// Runs the three pre-processing phases on the pattern of `a`.
+    pub fn analyze<T: Scalar>(a: &SymCsc<T>, options: &PastixOptions) -> Result<Self, PastixError> {
+        let g = a.to_graph();
+        let ordering = pastix_ordering::nested_dissection(&g, &options.ordering);
+        let analysis = pastix_symbolic::analyze(&g, &ordering, &options.analysis);
+        let mapping = map_and_schedule(&analysis.symbol, &options.machine, &options.sched);
+        Ok(Self {
+            options: options.clone(),
+            analysis,
+            mapping,
+        })
+    }
+
+    /// The final fill-reducing permutation.
+    pub fn permutation(&self) -> &Permutation {
+        &self.analysis.perm
+    }
+
+    /// The (pre-split) symbolic analysis.
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// The task graph + static schedule (on the split symbol).
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Predicted parallel factorization time of the static schedule, i.e.
+    /// the discrete-event "Table 2" number for this machine model.
+    pub fn predicted_time(&self) -> f64 {
+        self.mapping.schedule.makespan
+    }
+
+    /// Factor nonzeros (off-diagonal, scalar convention of the paper).
+    pub fn nnz_l(&self) -> u64 {
+        self.analysis.scalar_nnz_offdiag
+    }
+
+    /// Operation count (`(c_j + 1)²` convention of the paper's `OPC`).
+    pub fn opc(&self) -> f64 {
+        self.analysis.scalar_opc
+    }
+
+    /// Runs the numeric factorization of `a` (same pattern as analyzed).
+    pub fn factorize<T: Scalar>(&self, a: &SymCsc<T>) -> Result<Factorized<'_, T>, PastixError> {
+        if a.n() != self.analysis.perm.len() {
+            return Err(PastixError::ShapeMismatch {
+                expected: self.analysis.perm.len(),
+                got: a.n(),
+            });
+        }
+        let ap = a.permuted(&self.analysis.perm);
+        let sym = &self.mapping.graph.split.symbol;
+        let storage = if self.options.parallel_numeric && self.options.machine.n_procs > 1 {
+            factorize_parallel(sym, &ap, &self.mapping.graph, &self.mapping.schedule)?
+        } else {
+            let mut st = FactorStorage::zeros(sym);
+            st.scatter(sym, &ap);
+            factorize_sequential(sym, &mut st)?;
+            st
+        };
+        Ok(Factorized {
+            parent: self,
+            storage,
+        })
+    }
+}
+
+/// A numeric factorization ready to solve systems.
+pub struct Factorized<'a, T> {
+    parent: &'a Pastix,
+    storage: FactorStorage<T>,
+}
+
+impl<T: Scalar> Factorized<'_, T> {
+    /// Solves `A·x = b` (in the original ordering).
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let perm = &self.parent.analysis.perm;
+        let mut x = perm.apply_vec(b);
+        solve_in_place(&self.parent.mapping.graph.split.symbol, &self.storage, &mut x);
+        perm.unapply_vec(&x)
+    }
+
+    /// Solves several right-hand sides.
+    pub fn solve_many(&self, bs: &[Vec<T>]) -> Vec<Vec<T>> {
+        bs.iter().map(|b| self.solve(b)).collect()
+    }
+
+    /// Solves `nrhs` right-hand sides at once with the blocked sweeps
+    /// (`b` is `n × nrhs` column-major); one factor traversal total
+    /// instead of one per column.
+    pub fn solve_block(&self, b: &[T], nrhs: usize) -> Vec<T> {
+        let n = self.parent.analysis.perm.len();
+        assert_eq!(b.len(), n * nrhs);
+        let perm = &self.parent.analysis.perm;
+        let mut x = vec![T::zero(); n * nrhs];
+        for r in 0..nrhs {
+            let xp = perm.apply_vec(&b[r * n..(r + 1) * n]);
+            x[r * n..(r + 1) * n].copy_from_slice(&xp);
+        }
+        pastix_solver::solve_block_in_place(
+            &self.parent.mapping.graph.split.symbol,
+            &self.storage,
+            &mut x,
+            nrhs,
+        );
+        let mut out = vec![T::zero(); n * nrhs];
+        for r in 0..nrhs {
+            let xo = perm.unapply_vec(&x[r * n..(r + 1) * n]);
+            out[r * n..(r + 1) * n].copy_from_slice(&xo);
+        }
+        out
+    }
+
+    /// Solves `A·x = b` with the **distributed** triangular sweeps: the
+    /// solve phase runs on the same logical processors and ownership as
+    /// the factorization, with fan-in aggregation of the update segments.
+    pub fn solve_distributed(&self, b: &[T]) -> Vec<T> {
+        let perm = &self.parent.analysis.perm;
+        let bp = perm.apply_vec(b);
+        let x = pastix_solver::solve_parallel(
+            &self.parent.mapping.graph.split.symbol,
+            &self.storage,
+            &self.parent.mapping.graph,
+            &self.parent.mapping.schedule,
+            &bp,
+        );
+        perm.unapply_vec(&x)
+    }
+
+    /// The underlying factor storage (split-symbol panels).
+    pub fn storage(&self) -> &FactorStorage<T> {
+        &self.storage
+    }
+
+    /// Solves with iterative refinement: after the direct solve, residual
+    /// correction steps `x ← x + A⁻¹(b − A·x)` run until the scaled
+    /// residual stops improving or `max_steps` is reached. Returns the
+    /// solution and the final scaled residual. Refinement recovers the
+    /// digits a pivoting-free `L·D·Lᵀ` can lose on ill-conditioned systems.
+    pub fn solve_refined(&self, a: &SymCsc<T>, b: &[T], max_steps: usize) -> (Vec<T>, f64) {
+        let mut x = self.solve(b);
+        let mut best = a.residual_norm(&x, b);
+        for _ in 0..max_steps {
+            let ax = a.matvec(&x);
+            let r: Vec<T> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
+            let dx = self.solve(&r);
+            let candidate: Vec<T> = x.iter().zip(&dx).map(|(&xi, &di)| xi + di).collect();
+            let res = a.residual_norm(&candidate, b);
+            if res >= best {
+                break;
+            }
+            x = candidate;
+            best = res;
+        }
+        (x, best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastix_graph::gen::{grid_spd, Stencil, ValueKind};
+    use pastix_graph::{canonical_solution, rhs_for_solution};
+
+    fn sample() -> SymCsc<f64> {
+        grid_spd::<f64>(7, 6, 2, Stencil::Star, false, ValueKind::RandomSpd(2))
+    }
+
+    #[test]
+    fn end_to_end_sequential() {
+        let a = sample();
+        let mut opts = PastixOptions::with_procs(1);
+        opts.sched.block_size = 16;
+        let solver = Pastix::analyze(&a, &opts).unwrap();
+        let f = solver.factorize(&a).unwrap();
+        let x_exact = canonical_solution::<f64>(a.n());
+        let b = rhs_for_solution(&a, &x_exact);
+        let x = f.solve(&b);
+        assert!(a.residual_norm(&x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn end_to_end_parallel() {
+        let a = sample();
+        let mut opts = PastixOptions::with_procs(4);
+        opts.sched.block_size = 8;
+        opts.sched.mapping.width_2d_min = 8;
+        opts.sched.mapping.procs_2d_min = 2.0;
+        let solver = Pastix::analyze(&a, &opts).unwrap();
+        let f = solver.factorize(&a).unwrap();
+        let x_exact = canonical_solution::<f64>(a.n());
+        let b = rhs_for_solution(&a, &x_exact);
+        let x = f.solve(&b);
+        assert!(a.residual_norm(&x, &b) < 1e-12);
+        assert!(solver.predicted_time() > 0.0);
+        assert!(solver.nnz_l() > 0);
+        assert!(solver.opc() > 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let a = sample();
+        let solver = Pastix::analyze(&a, &PastixOptions::default()).unwrap();
+        let small = grid_spd::<f64>(3, 3, 1, Stencil::Star, false, ValueKind::Laplacian);
+        assert!(matches!(
+            solver.factorize(&small),
+            Err(PastixError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = PastixError::ShapeMismatch { expected: 10, got: 7 };
+        let s = format!("{e}");
+        assert!(s.contains("10") && s.contains('7'));
+        let f: PastixError = pastix_kernels::FactorError::ZeroPivot(3).into();
+        assert!(format!("{f}").contains("pivot"));
+    }
+
+    #[test]
+    fn with_procs_preset() {
+        let o = PastixOptions::with_procs(32);
+        assert_eq!(o.machine.n_procs, 32);
+        assert!(o.parallel_numeric);
+        assert_eq!(o.sched.block_size, 64);
+    }
+
+    #[test]
+    fn solve_many_matches_individual() {
+        let a = sample();
+        let solver = Pastix::analyze(&a, &PastixOptions::with_procs(2)).unwrap();
+        let f = solver.factorize(&a).unwrap();
+        let b1 = rhs_for_solution(&a, &canonical_solution::<f64>(a.n()));
+        let b2: Vec<f64> = (0..a.n()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let many = f.solve_many(&[b1.clone(), b2.clone()]);
+        assert_eq!(many[0], f.solve(&b1));
+        assert_eq!(many[1], f.solve(&b2));
+    }
+}

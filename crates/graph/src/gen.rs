@@ -1,0 +1,332 @@
+//! Synthetic problem generators.
+//!
+//! The paper's test suite consists of irregular structural-analysis meshes
+//! (ship hulls and sections, an oil pan, a threaded connector, car bodies).
+//! Those RSA files are not redistributable, so this module provides mesh
+//! generators spanning the same topological range: thin 2D surfaces
+//! (shells), shallow plates, full 3D solids and helically wrapped solids.
+//! What drives ordering/fill-in/scheduling behaviour is the mesh's
+//! dimensionality and connectivity, which these generators control.
+
+use crate::matrix::SymCsc;
+use pastix_kernels::scalar::Scalar;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Stencil used when connecting grid neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stencil {
+    /// Axis neighbors only (5-point in 2D, 7-point in 3D).
+    Star,
+    /// Full neighborhood (9-point in 2D, 27-point in 3D) — the connectivity
+    /// of trilinear finite elements, much denser factors.
+    Box,
+}
+
+/// How off-diagonal values are chosen. The diagonal is always set to make
+/// the matrix strictly diagonally dominant (hence SPD over the reals).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueKind {
+    /// Discrete Laplacian: all off-diagonals `−1`.
+    Laplacian,
+    /// Off-diagonals uniform in `[−1.5, −0.5]`, seeded.
+    RandomSpd(u64),
+}
+
+/// Generates the edge set of a (possibly periodic) `nx × ny × nz` grid and
+/// assembles the SPD matrix. `periodic_x` wraps the first dimension —
+/// used by the cylindrical shells.
+pub fn grid_spd<T: Scalar>(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    stencil: Stencil,
+    periodic_x: bool,
+    values: ValueKind,
+) -> SymCsc<T> {
+    assert!(nx >= 1 && ny >= 1 && nz >= 1);
+    let n = nx * ny * nz;
+    assert!(n > 0 && n < u32::MAX as usize);
+    let idx = |x: usize, y: usize, z: usize| -> u32 { (x + nx * (y + ny * z)) as u32 };
+    let mut rng = match values {
+        ValueKind::RandomSpd(seed) => Some(SmallRng::seed_from_u64(seed)),
+        ValueKind::Laplacian => None,
+    };
+    let mut offv = move || -> f64 {
+        match &mut rng {
+            Some(r) => -r.gen_range(0.5..1.5),
+            None => -1.0,
+        }
+    };
+
+    let mut triplets: Vec<(u32, u32, T)> = Vec::new();
+    let deltas: &[(isize, isize, isize)] = match stencil {
+        Stencil::Star => &[(1, 0, 0), (0, 1, 0), (0, 0, 1)],
+        Stencil::Box => &[
+            // Half of the 26-neighborhood (the other half is implied by
+            // symmetry): lexicographically positive offsets.
+            (1, 0, 0),
+            (0, 1, 0),
+            (0, 0, 1),
+            (1, 1, 0),
+            (1, -1, 0),
+            (1, 0, 1),
+            (1, 0, -1),
+            (0, 1, 1),
+            (0, 1, -1),
+            (1, 1, 1),
+            (1, 1, -1),
+            (1, -1, 1),
+            (1, -1, -1),
+        ],
+    };
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let u = idx(x, y, z);
+                for &(dx, dy, dz) in deltas {
+                    let xx = x as isize + dx;
+                    let xx = if periodic_x && nx > 2 {
+                        (xx + nx as isize) % nx as isize
+                    } else {
+                        xx
+                    };
+                    let yy = y as isize + dy;
+                    let zz = z as isize + dz;
+                    if xx < 0
+                        || xx >= nx as isize
+                        || yy < 0
+                        || yy >= ny as isize
+                        || zz < 0
+                        || zz >= nz as isize
+                    {
+                        continue;
+                    }
+                    let v = idx(xx as usize, yy as usize, zz as usize);
+                    if v == u {
+                        continue;
+                    }
+                    let (i, j) = if v > u { (v, u) } else { (u, v) };
+                    triplets.push((i, j, T::from_f64(offv())));
+                }
+            }
+        }
+    }
+    // Placeholder diagonal, then enforce dominance.
+    for u in 0..n as u32 {
+        triplets.push((u, u, T::one()));
+    }
+    let mut a = SymCsc::from_triplets(n, &triplets);
+    a.make_diag_dominant(1.0);
+    a
+}
+
+/// 2D plate: `nx × ny` grid.
+pub fn plate_spd<T: Scalar>(nx: usize, ny: usize, stencil: Stencil, values: ValueKind) -> SymCsc<T> {
+    grid_spd(nx, ny, 1, stencil, false, values)
+}
+
+/// 3D solid: `nx × ny × nz` grid.
+pub fn solid_spd<T: Scalar>(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    stencil: Stencil,
+    values: ValueKind,
+) -> SymCsc<T> {
+    grid_spd(nx, ny, nz, stencil, false, values)
+}
+
+/// Cylindrical shell: `ncirc × nlong` surface wrapped in the first
+/// dimension, `layers` thick — the topology of a ship hull or a pressure
+/// vessel. With `layers = 1` the mesh is a pure 2D surface embedded in 3D.
+pub fn shell_spd<T: Scalar>(
+    ncirc: usize,
+    nlong: usize,
+    layers: usize,
+    stencil: Stencil,
+    values: ValueKind,
+) -> SymCsc<T> {
+    grid_spd(ncirc, nlong, layers, stencil, true, values)
+}
+
+/// Helical solid ("thread"): a 3D bar `na × nr × nh` with the angular
+/// dimension wrapped *and* sheared one step along the height per turn,
+/// mimicking the threaded-connector mesh of the paper (THREAD), whose
+/// factor is unusually dense for its size.
+pub fn thread_spd<T: Scalar>(na: usize, nr: usize, nh: usize, values: ValueKind) -> SymCsc<T> {
+    let n = na * nr * nh;
+    assert!(n > 0 && n < u32::MAX as usize);
+    let idx = |a: usize, r: usize, h: usize| -> u32 { (a + na * (r + nr * h)) as u32 };
+    let mut rng = match values {
+        ValueKind::RandomSpd(seed) => Some(SmallRng::seed_from_u64(seed)),
+        ValueKind::Laplacian => None,
+    };
+    let mut offv = move || -> f64 {
+        match &mut rng {
+            Some(r) => -r.gen_range(0.5..1.5),
+            None => -1.0,
+        }
+    };
+    let mut triplets: Vec<(u32, u32, T)> = Vec::new();
+    let mut push = |u: u32, v: u32, val: f64| {
+        if u == v {
+            return;
+        }
+        let (i, j) = if v > u { (v, u) } else { (u, v) };
+        triplets.push((i, j, T::from_f64(val)));
+    };
+    for h in 0..nh {
+        for r in 0..nr {
+            for a in 0..na {
+                let u = idx(a, r, h);
+                // Radial and axial neighbors (box-like: include diagonals
+                // between consecutive layers for density).
+                if r + 1 < nr {
+                    push(u, idx(a, r + 1, h), offv());
+                }
+                if h + 1 < nh {
+                    push(u, idx(a, r, h + 1), offv());
+                    if r + 1 < nr {
+                        push(u, idx(a, r + 1, h + 1), offv());
+                    }
+                    if r > 0 {
+                        push(u, idx(a, r - 1, h + 1), offv());
+                    }
+                }
+                // Helical angular neighbor: wrapping in `a` advances `h`.
+                let a2 = (a + 1) % na;
+                let h2 = if a + 1 == na { h + 1 } else { h };
+                if h2 < nh {
+                    push(u, idx(a2, r, h2), offv());
+                    if r + 1 < nr {
+                        push(u, idx(a2, r + 1, h2), offv());
+                    }
+                }
+            }
+        }
+    }
+    for u in 0..n as u32 {
+        triplets.push((u, u, T::one()));
+    }
+    let mut a = SymCsc::from_triplets(n, &triplets);
+    a.make_diag_dominant(1.0);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_sizes() {
+        let a = grid_spd::<f64>(4, 3, 2, Stencil::Star, false, ValueKind::Laplacian);
+        assert_eq!(a.n(), 24);
+        // Interior vertex of a 7-point stencil has 6 neighbors; count edges:
+        // nx*ny*nz*3 - boundary deficits.
+        let g = a.to_graph();
+        g.validate().unwrap();
+        let expect = 3 * 3 * 2 + 4 * 2 * 2 + 4 * 3; // x-edges + y-edges + z-edges
+        assert_eq!(g.n_edges(), expect);
+    }
+
+    #[test]
+    fn box_stencil_denser_than_star() {
+        let s = grid_spd::<f64>(5, 5, 5, Stencil::Star, false, ValueKind::Laplacian);
+        let b = grid_spd::<f64>(5, 5, 5, Stencil::Box, false, ValueKind::Laplacian);
+        assert!(b.nnz_offdiag() > 2 * s.nnz_offdiag());
+    }
+
+    #[test]
+    fn generated_matrices_are_diag_dominant() {
+        for a in [
+            grid_spd::<f64>(4, 4, 1, Stencil::Box, false, ValueKind::RandomSpd(1)),
+            shell_spd::<f64>(8, 5, 1, Stencil::Box, ValueKind::RandomSpd(2)),
+            thread_spd::<f64>(6, 3, 5, ValueKind::RandomSpd(3)),
+        ] {
+            for j in 0..a.n() {
+                let mut off = 0.0;
+                for i in 0..a.n() {
+                    if i != j {
+                        off += a.get(i, j).abs();
+                    }
+                }
+                assert!(a.get(j, j) > off, "column {j} not dominant");
+            }
+        }
+    }
+
+    #[test]
+    fn shell_wraps_periodically() {
+        let a = shell_spd::<f64>(6, 4, 1, Stencil::Star, ValueKind::Laplacian);
+        // Vertex (0, y) and (5, y) must be connected by the wrap.
+        assert!(a.get(0, 5) != 0.0);
+    }
+
+    #[test]
+    fn no_wrap_for_tiny_circumference() {
+        // Wrap with nx = 2 would duplicate the x-edge; the generator must
+        // fall back to non-periodic.
+        let a = shell_spd::<f64>(2, 3, 1, Stencil::Star, ValueKind::Laplacian);
+        let g = a.to_graph();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn thread_is_connected() {
+        let a = thread_spd::<f64>(8, 3, 6, ValueKind::Laplacian);
+        let g = a.to_graph();
+        g.validate().unwrap();
+        let (_, nc) = g.connected_components();
+        assert_eq!(nc, 1);
+    }
+
+    #[test]
+    fn box_stencil_interior_degree_is_26() {
+        let a = grid_spd::<f64>(5, 5, 5, Stencil::Box, false, ValueKind::Laplacian);
+        let g = a.to_graph();
+        // Center vertex (2,2,2) has the full 26-neighborhood.
+        let center = 2 + 5 * (2 + 5 * 2);
+        assert_eq!(g.degree(center), 26);
+        // A corner has 7 neighbors.
+        assert_eq!(g.degree(0), 7);
+    }
+
+    #[test]
+    fn star_stencil_interior_degree_is_6() {
+        let a = grid_spd::<f64>(5, 5, 5, Stencil::Star, false, ValueKind::Laplacian);
+        let g = a.to_graph();
+        let center = 2 + 5 * (2 + 5 * 2);
+        assert_eq!(g.degree(center), 6);
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn thread_helix_wraps_into_next_level() {
+        // The angular wrap (a = na-1 -> a = 0) must advance h by one:
+        // vertex (na-1, 0, 0) connects to (0, 0, 1).
+        let (na, nr, nh) = (6usize, 2usize, 4usize);
+        let a = thread_spd::<f64>(na, nr, nh, ValueKind::Laplacian);
+        let idx = |aa: usize, r: usize, h: usize| aa + na * (r + nr * h);
+        assert!(a.get(idx(na - 1, 0, 0), idx(0, 0, 1)) != 0.0, "helical edge missing");
+        // And NOT to (0, 0, 0) — that would be a plain periodic wrap.
+        assert_eq!(a.get(idx(na - 1, 0, 0), idx(0, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn one_dimensional_grids_degenerate_gracefully() {
+        let a = grid_spd::<f64>(10, 1, 1, Stencil::Box, false, ValueKind::Laplacian);
+        let g = a.to_graph();
+        g.validate().unwrap();
+        assert_eq!(g.n_edges(), 9);
+    }
+
+    #[test]
+    fn random_values_are_deterministic_per_seed() {
+        let a = grid_spd::<f64>(4, 4, 1, Stencil::Star, false, ValueKind::RandomSpd(7));
+        let b = grid_spd::<f64>(4, 4, 1, Stencil::Star, false, ValueKind::RandomSpd(7));
+        assert_eq!(a, b);
+        let c = grid_spd::<f64>(4, 4, 1, Stencil::Star, false, ValueKind::RandomSpd(8));
+        assert_ne!(a, c);
+    }
+}

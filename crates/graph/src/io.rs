@@ -1,0 +1,606 @@
+//! Matrix file formats: Harwell-Boeing RSA and MatrixMarket.
+//!
+//! The paper's experiments read *"a collection of sparse matrices in the RSA
+//! format"* — Harwell-Boeing real symmetric assembled. This module provides
+//! a reader/writer for that fixed-column Fortran format (a practical subset:
+//! `I`, `E`, `D`, `F` edit descriptors with optional repeat counts and `P`
+//! scale factors) plus the simpler MatrixMarket coordinate format used by
+//! modern collections.
+
+use crate::matrix::SymCsc;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors raised by the matrix readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Structural or syntactic problem in the file, with a description.
+    Parse(String),
+    /// The file is valid but of an unsupported kind (e.g. unassembled or
+    /// pattern-only Harwell-Boeing, non-symmetric MatrixMarket).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(s) => write!(f, "parse error: {s}"),
+            IoError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> IoError {
+    IoError::Parse(msg.into())
+}
+
+/// A parsed Fortran edit descriptor such as `(10I8)` or `(1P,4E20.12)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FortranFormat {
+    /// Fields per line.
+    pub per_line: usize,
+    /// Field width in characters.
+    pub width: usize,
+    /// True for numeric (E/D/F) fields, false for integer (I) fields.
+    pub is_real: bool,
+}
+
+impl FortranFormat {
+    /// Parses a descriptor like `(10I8)`, `(5E16.8)`, `(1P,4D25.16)`,
+    /// `(4(F20.12))`. Whitespace is ignored.
+    pub fn parse(s: &str) -> Result<FortranFormat, IoError> {
+        let cleaned: String = s
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect::<String>()
+            .to_ascii_uppercase();
+        let inner = cleaned
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or_else(|| parse_err(format!("format not parenthesized: {s:?}")))?;
+        // Drop a leading scale factor "1P," or "1P" and nested parens.
+        let mut body = inner;
+        if let Some(pos) = body.find('P') {
+            // Everything up to and including P must be a signed integer.
+            let head = &body[..pos];
+            if head.chars().all(|c| c.is_ascii_digit() || c == '-' || c == '+') {
+                body = body[pos + 1..].trim_start_matches(',');
+            }
+        }
+        let body = body.replace(['(', ')'], "");
+        // Now expect [repeat]LETTER width [. d]
+        let letter_pos = body
+            .find(['I', 'E', 'D', 'F', 'G'])
+            .ok_or_else(|| parse_err(format!("no edit letter in {s:?}")))?;
+        let repeat: usize = if letter_pos == 0 {
+            1
+        } else {
+            body[..letter_pos]
+                .parse()
+                .map_err(|_| parse_err(format!("bad repeat count in {s:?}")))?
+        };
+        let letter = body.as_bytes()[letter_pos] as char;
+        let tail = &body[letter_pos + 1..];
+        let width_str = tail.split('.').next().unwrap_or("");
+        let width: usize = width_str
+            .parse()
+            .map_err(|_| parse_err(format!("bad width in {s:?}")))?;
+        Ok(FortranFormat {
+            per_line: repeat.max(1),
+            width,
+            is_real: letter != 'I',
+        })
+    }
+}
+
+/// Parses a Fortran-formatted real token, accepting `D` exponents and the
+/// exponent-letter-free form `1.234-05`.
+fn parse_fortran_real(tok: &str) -> Result<f64, IoError> {
+    let t = tok.trim().replace(['D', 'd'], "E");
+    if let Ok(v) = t.parse::<f64>() {
+        return Ok(v);
+    }
+    // Handle "1.234-05" / "1.234+05": insert the missing 'E'.
+    if let Some(pos) = t[1..].find(['+', '-']).map(|p| p + 1) {
+        if !t[..pos].ends_with(['E', 'e']) {
+            let fixed = format!("{}E{}", &t[..pos], &t[pos..]);
+            if let Ok(v) = fixed.parse::<f64>() {
+                return Ok(v);
+            }
+        }
+    }
+    Err(parse_err(format!("bad real token {tok:?}")))
+}
+
+/// Reads `count` fixed-width fields laid out `fmt.per_line` per line.
+fn read_fixed_fields<R: BufRead>(
+    reader: &mut R,
+    fmt: FortranFormat,
+    count: usize,
+) -> Result<Vec<String>, IoError> {
+    let mut out = Vec::with_capacity(count);
+    let mut line = String::new();
+    while out.len() < count {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(parse_err("unexpected end of file in data section"));
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        let take = (count - out.len()).min(fmt.per_line);
+        for f in 0..take {
+            let start = f * fmt.width;
+            if start >= trimmed.len() {
+                break;
+            }
+            let end = (start + fmt.width).min(trimmed.len());
+            let tok = trimmed[start..end].trim();
+            if !tok.is_empty() {
+                out.push(tok.to_string());
+            }
+        }
+    }
+    if out.len() != count {
+        return Err(parse_err(format!("expected {count} fields, got {}", out.len())));
+    }
+    Ok(out)
+}
+
+/// Reads a Harwell-Boeing RSA file into a [`SymCsc<f64>`].
+///
+/// Accepts matrix types `RSA` (real symmetric assembled) and `PSA`
+/// (pattern symmetric; all values set to 1.0 off-diagonal). Upper-triangle
+/// files are mirrored onto the lower triangle.
+pub fn read_rsa<R: Read>(reader: R) -> Result<SymCsc<f64>, IoError> {
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+
+    // Header line 1: title + key.
+    r.read_line(&mut line)?;
+    line.clear();
+
+    // Header line 2: card counts.
+    r.read_line(&mut line)?;
+    let counts: Vec<i64> = line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err("bad card count")))
+        .collect::<Result<_, _>>()?;
+    if counts.len() < 4 {
+        return Err(parse_err("header line 2 needs >= 4 counts"));
+    }
+    let rhscrd = if counts.len() >= 5 { counts[4] } else { 0 };
+    line.clear();
+
+    // Header line 3: type + dims.
+    r.read_line(&mut line)?;
+    let mxtype = line.get(0..3).unwrap_or("").to_ascii_uppercase();
+    if !(mxtype.starts_with("RS") || mxtype.starts_with("PS")) {
+        return Err(IoError::Unsupported(format!("matrix type {mxtype:?}")));
+    }
+    if mxtype.ends_with('E') {
+        return Err(IoError::Unsupported("elemental (unassembled) matrices".into()));
+    }
+    let dims: Vec<i64> = line[3..]
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err("bad dimension")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() < 3 {
+        return Err(parse_err("header line 3 needs nrow ncol nnzero"));
+    }
+    let (nrow, ncol, nnz) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+    if nrow != ncol {
+        return Err(IoError::Unsupported("rectangular symmetric file".into()));
+    }
+    let is_pattern = mxtype.starts_with("PS");
+    line.clear();
+
+    // Header line 4: formats.
+    r.read_line(&mut line)?;
+    let fmts: Vec<&str> = line.split_whitespace().collect();
+    if fmts.len() < 2 || (!is_pattern && fmts.len() < 3) {
+        return Err(parse_err("header line 4 needs pointer/index/value formats"));
+    }
+    let ptrfmt = FortranFormat::parse(fmts[0])?;
+    let indfmt = FortranFormat::parse(fmts[1])?;
+    let valfmt = if is_pattern { None } else { Some(FortranFormat::parse(fmts[2])?) };
+    line.clear();
+
+    // Optional header line 5 (RHS descriptor) — skip.
+    if rhscrd > 0 {
+        r.read_line(&mut line)?;
+        line.clear();
+    }
+
+    // Data sections.
+    let colptr_raw = read_fixed_fields(&mut r, ptrfmt, ncol + 1)?;
+    let rowind_raw = read_fixed_fields(&mut r, indfmt, nnz)?;
+    let values: Vec<f64> = match valfmt {
+        Some(vf) => read_fixed_fields(&mut r, vf, nnz)?
+            .iter()
+            .map(|t| parse_fortran_real(t))
+            .collect::<Result<_, _>>()?,
+        None => vec![1.0; nnz],
+    };
+
+    let colptr: Vec<usize> = colptr_raw
+        .iter()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| parse_err(format!("bad pointer {t:?}")))
+                .map(|v| v - 1) // 1-based → 0-based
+        })
+        .collect::<Result<_, _>>()?;
+    let mut triplets = Vec::with_capacity(nnz);
+    for j in 0..ncol {
+        for idx in colptr[j]..colptr[j + 1] {
+            let i: usize = rowind_raw[idx]
+                .parse::<usize>()
+                .map_err(|_| parse_err(format!("bad index {:?}", rowind_raw[idx])))?
+                - 1;
+            triplets.push((i as u32, j as u32, values[idx]));
+        }
+    }
+    Ok(SymCsc::from_triplets(ncol, &triplets))
+}
+
+/// Writes a matrix as a Harwell-Boeing RSA file (lower triangle, formats
+/// `(10I8)` / `(4E20.12)`; pointer width grows automatically for large
+/// matrices).
+pub fn write_rsa<W: Write>(mut w: W, a: &SymCsc<f64>, title: &str, key: &str) -> Result<(), IoError> {
+    let n = a.n();
+    let nnz = a.nnz_stored();
+    let iw = format!("{}", nnz.max(n) + 1).len().max(8);
+    let per_i = 80 / iw;
+    let per_v = 4usize;
+    let vw = 20usize;
+
+    let ptr_lines = (n + 1).div_ceil(per_i);
+    let ind_lines = nnz.div_ceil(per_i).max(1);
+    let val_lines = nnz.div_ceil(per_v).max(1);
+    let total = ptr_lines + ind_lines + val_lines;
+
+    let mut s = String::new();
+    let title72 = format!("{title:<72.72}");
+    let key8 = format!("{key:<8.8}");
+    writeln!(s, "{title72}{key8}").unwrap();
+    writeln!(s, "{total:14}{ptr_lines:14}{ind_lines:14}{val_lines:14}{:14}", 0).unwrap();
+    writeln!(s, "RSA{:11}{n:14}{n:14}{nnz:14}{:14}", "", 0).unwrap();
+    writeln!(
+        s,
+        "{:<16}{:<16}{:<20}{:<20}",
+        format!("({per_i}I{iw})"),
+        format!("({per_i}I{iw})"),
+        format!("({per_v}E{vw}.12)"),
+        ""
+    )
+    .unwrap();
+
+    let write_ints = |s: &mut String, ints: &mut dyn Iterator<Item = usize>| {
+        let mut cnt = 0;
+        for v in ints {
+            write!(s, "{:>iw$}", v, iw = iw).unwrap();
+            cnt += 1;
+            if cnt % per_i == 0 {
+                s.push('\n');
+            }
+        }
+        if cnt % per_i != 0 {
+            s.push('\n');
+        }
+    };
+    write_ints(&mut s, &mut a.colptr().iter().map(|&p| p + 1));
+    write_ints(&mut s, &mut a.rowind().iter().map(|&i| i as usize + 1));
+
+    let mut cnt = 0;
+    for &v in a.values() {
+        write!(s, "{:>vw$.12E}", v, vw = vw).unwrap();
+        cnt += 1;
+        if cnt % per_v == 0 {
+            s.push('\n');
+        }
+    }
+    if cnt % per_v != 0 {
+        s.push('\n');
+    }
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Reads a MatrixMarket `coordinate real symmetric` (or `integer` /
+/// `pattern` symmetric) file.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<SymCsc<f64>, IoError> {
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    let header = line.to_ascii_lowercase();
+    if !header.starts_with("%%matrixmarket") {
+        return Err(parse_err("missing MatrixMarket banner"));
+    }
+    if !header.contains("coordinate") {
+        return Err(IoError::Unsupported("dense (array) MatrixMarket files".into()));
+    }
+    let is_pattern = header.contains("pattern");
+    if !header.contains("symmetric") {
+        return Err(IoError::Unsupported(
+            "only symmetric MatrixMarket matrices are accepted".into(),
+        ));
+    }
+    // Skip comments.
+    let (n, nnz) = loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(parse_err("missing size line"));
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<usize> = t
+            .split_whitespace()
+            .map(|x| x.parse().map_err(|_| parse_err("bad size line")))
+            .collect::<Result<_, _>>()?;
+        if parts.len() != 3 {
+            return Err(parse_err("size line needs nrow ncol nnz"));
+        }
+        if parts[0] != parts[1] {
+            return Err(IoError::Unsupported("rectangular symmetric file".into()));
+        }
+        break (parts[0], parts[2]);
+    };
+    let mut triplets = Vec::with_capacity(nnz);
+    let mut seen = 0usize;
+    while seen < nnz {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(parse_err(format!("expected {nnz} entries, got {seen}")));
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("short entry line"))?
+            .parse()
+            .map_err(|_| parse_err("bad row index"))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("short entry line"))?
+            .parse()
+            .map_err(|_| parse_err("bad col index"))?;
+        let v: f64 = if is_pattern {
+            1.0
+        } else {
+            parse_fortran_real(it.next().ok_or_else(|| parse_err("missing value"))?)?
+        };
+        if i == 0 || j == 0 || i > n || j > n {
+            return Err(parse_err(format!("entry ({i},{j}) out of range")));
+        }
+        triplets.push(((i - 1) as u32, (j - 1) as u32, v));
+        seen += 1;
+    }
+    Ok(SymCsc::from_triplets(n, &triplets))
+}
+
+/// Writes a MatrixMarket `coordinate real symmetric` file (lower triangle).
+pub fn write_matrix_market<W: Write>(mut w: W, a: &SymCsc<f64>) -> Result<(), IoError> {
+    let mut s = String::new();
+    writeln!(s, "%%MatrixMarket matrix coordinate real symmetric").unwrap();
+    writeln!(s, "% written by pastix-graph").unwrap();
+    writeln!(s, "{} {} {}", a.n(), a.n(), a.nnz_stored()).unwrap();
+    for j in 0..a.n() {
+        for (&i, &v) in a.rows_of(j).iter().zip(a.vals_of(j)) {
+            writeln!(s, "{} {} {:.16e}", i + 1, j + 1, v).unwrap();
+        }
+    }
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Convenience: read either format based on the file extension
+/// (`.rsa`/`.rua`/`.hb` → Harwell-Boeing, `.mtx`/`.mm` → MatrixMarket).
+pub fn read_path(path: &Path) -> Result<SymCsc<f64>, IoError> {
+    let f = std::fs::File::open(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("mtx") | Some("mm") => read_matrix_market(f),
+        _ => read_rsa(f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SymCsc<f64> {
+        SymCsc::from_triplets(
+            3,
+            &[
+                (0, 0, 4.0),
+                (1, 0, 1.5),
+                (1, 1, 5.25),
+                (2, 1, -2.0e-3),
+                (2, 2, 6.0e7),
+            ],
+        )
+    }
+
+    #[test]
+    fn format_parser() {
+        assert_eq!(
+            FortranFormat::parse("(10I8)").unwrap(),
+            FortranFormat { per_line: 10, width: 8, is_real: false }
+        );
+        assert_eq!(
+            FortranFormat::parse("(5E16.8)").unwrap(),
+            FortranFormat { per_line: 5, width: 16, is_real: true }
+        );
+        assert_eq!(
+            FortranFormat::parse("(1P,4D25.16)").unwrap(),
+            FortranFormat { per_line: 4, width: 25, is_real: true }
+        );
+        assert_eq!(
+            FortranFormat::parse("(4(F20.12))").unwrap(),
+            FortranFormat { per_line: 4, width: 20, is_real: true }
+        );
+        assert!(FortranFormat::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn fortran_reals() {
+        assert_eq!(parse_fortran_real("1.5").unwrap(), 1.5);
+        assert_eq!(parse_fortran_real("1.0D+02").unwrap(), 100.0);
+        assert_eq!(parse_fortran_real("2.5E-03").unwrap(), 0.0025);
+        assert_eq!(parse_fortran_real("1.25-2").unwrap(), 0.0125);
+        assert_eq!(parse_fortran_real("-3.0+1").unwrap(), -30.0);
+        assert!(parse_fortran_real("xyz").is_err());
+    }
+
+    #[test]
+    fn rsa_roundtrip() {
+        let a = tiny();
+        let mut buf = Vec::new();
+        write_rsa(&mut buf, &a, "tiny test matrix", "TINY").unwrap();
+        let b = read_rsa(&buf[..]).unwrap();
+        assert_eq!(a.n(), b.n());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (a.get(i, j) - b.get(i, j)).abs() <= 1e-9 * a.get(i, j).abs().max(1.0),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip() {
+        let a = tiny();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matrix_market_pattern() {
+        let src = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 4\n1 1\n2 1\n3 2\n3 3\n";
+        let a = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(a.get(1, 0), 1.0);
+        assert_eq!(a.get(2, 2), 1.0);
+        assert_eq!(a.nnz_stored(), 4);
+    }
+
+    #[test]
+    fn matrix_market_rejects_general() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(src.as_bytes()),
+            Err(IoError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn rsa_rejects_unsymmetric() {
+        let src = "\
+title                                                                   key     \n\
+             3             1             1             1             0\n\
+RUA                         2             2             2             0\n\
+(10I8)          (10I8)          (4E20.12)           \n\
+       1       2       3\n\
+       1       2\n\
+  1.0                 2.0\n";
+        assert!(matches!(read_rsa(src.as_bytes()), Err(IoError::Unsupported(_))));
+    }
+
+    #[test]
+    fn rsa_pattern_file() {
+        let src = "\
+pattern test                                                            key     \n\
+             3             1             1             1             0\n\
+PSA                         2             2             3             0\n\
+(10I8)          (10I8)\n\
+       1       3       4\n\
+       1       2       2\n";
+        let a = read_rsa(src.as_bytes()).unwrap();
+        assert_eq!(a.n(), 2);
+        assert_eq!(a.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn rsa_truncated_file_is_parse_error() {
+        let src = "\
+title                                                                   key     \n\
+             3             1             1             1             0\n\
+RSA                         3             3             5             0\n\
+(10I8)          (10I8)          (4E20.12)           \n\
+       1       3\n";
+        assert!(matches!(read_rsa(src.as_bytes()), Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn rsa_bad_format_descriptor() {
+        let src = "\
+title                                                                   key     \n\
+             3             1             1             1             0\n\
+RSA                         2             2             2             0\n\
+(oops)          (10I8)          (4E20.12)           \n";
+        assert!(read_rsa(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_out_of_range_entry() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n5 1 1.0\n";
+        assert!(matches!(read_matrix_market(src.as_bytes()), Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn matrix_market_comments_and_blank_lines() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n% a comment\n\n2 2 2\n% another\n1 1 3.0\n2 1 -1.0\n";
+        let a = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn io_error_display() {
+        let e = IoError::Parse("boom".into());
+        assert!(format!("{e}").contains("boom"));
+        let u = IoError::Unsupported("thing".into());
+        assert!(format!("{u}").contains("thing"));
+    }
+
+    #[test]
+    fn bigger_roundtrip_through_rsa() {
+        let a = crate::gen::grid_spd::<f64>(
+            6,
+            5,
+            1,
+            crate::gen::Stencil::Box,
+            false,
+            crate::gen::ValueKind::RandomSpd(9),
+        );
+        let mut buf = Vec::new();
+        write_rsa(&mut buf, &a, "grid", "GRID").unwrap();
+        let b = read_rsa(&buf[..]).unwrap();
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.nnz_stored(), b.nnz_stored());
+        for j in 0..a.n() {
+            for (&i, &v) in a.rows_of(j).iter().zip(a.vals_of(j)) {
+                let got = b.get(i as usize, j);
+                assert!((v - got).abs() <= 1e-9 * v.abs().max(1.0));
+            }
+        }
+    }
+}

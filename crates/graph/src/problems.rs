@@ -1,0 +1,247 @@
+//! The paper's test-problem suite, as synthetic analogs.
+//!
+//! Table 1 of the paper lists ten irregular matrices from structural
+//! analysis (the PARASOL collection). The originals are not redistributable;
+//! each analog below reproduces the *kind* of mesh (surface shell, shallow
+//! plate, 3D solid, helical thread) and is sized by a scale knob so the
+//! whole suite runs from unit-test size up to paper-comparable size.
+//!
+//! | Paper matrix | n (paper) | Analog topology |
+//! |--------------|-----------|-----------------|
+//! | B5TUER       | 162 610   | long 3D solid (box stencil) |
+//! | BMWCRA1      | 148 770   | compact 3D solid (box stencil) |
+//! | MT1          | 97 578    | 3D solid, moderate aspect |
+//! | OILPAN       | 73 752    | shallow plate, 2 layers |
+//! | QUER         | 59 122    | shallow plate |
+//! | SHIP001      | 34 920    | cylindrical shell, 1 layer |
+//! | SHIP003      | 121 728   | large cylindrical shell |
+//! | SHIPSEC5     | 179 860   | shell section, 2 layers |
+//! | THREAD       | 29 736    | helical solid (very dense factor) |
+//! | X104         | 108 384   | 3D solid |
+
+use crate::gen::{shell_spd, solid_spd, thread_spd, Stencil, ValueKind};
+use crate::matrix::SymCsc;
+use pastix_kernels::scalar::Scalar;
+
+/// Identifier of one of the ten paper problems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProblemId {
+    /// B5TUER — long 3D solid.
+    B5tuer,
+    /// BMWCRA1 — compact 3D solid.
+    Bmwcra1,
+    /// MT1 — 3D solid with aspect.
+    Mt1,
+    /// OILPAN — shallow plate with 2 layers.
+    Oilpan,
+    /// QUER — shallow plate.
+    Quer,
+    /// SHIP001 — small cylindrical shell.
+    Ship001,
+    /// SHIP003 — large cylindrical shell.
+    Ship003,
+    /// SHIPSEC5 — shell section, 2 layers.
+    Shipsec5,
+    /// THREAD — helical solid.
+    Thread,
+    /// X104 — 3D solid.
+    X104,
+}
+
+impl ProblemId {
+    /// All ten problems in the paper's table order.
+    pub const ALL: [ProblemId; 10] = [
+        ProblemId::B5tuer,
+        ProblemId::Bmwcra1,
+        ProblemId::Mt1,
+        ProblemId::Oilpan,
+        ProblemId::Quer,
+        ProblemId::Ship001,
+        ProblemId::Ship003,
+        ProblemId::Shipsec5,
+        ProblemId::Thread,
+        ProblemId::X104,
+    ];
+
+    /// Table name as printed by the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProblemId::B5tuer => "B5TUER",
+            ProblemId::Bmwcra1 => "BMWCRA1",
+            ProblemId::Mt1 => "MT1",
+            ProblemId::Oilpan => "OILPAN",
+            ProblemId::Quer => "QUER",
+            ProblemId::Ship001 => "SHIP001",
+            ProblemId::Ship003 => "SHIP003",
+            ProblemId::Shipsec5 => "SHIPSEC5",
+            ProblemId::Thread => "THREAD",
+            ProblemId::X104 => "X104",
+        }
+    }
+
+    /// Column count of the original matrix (paper's Table 1).
+    pub fn paper_columns(self) -> usize {
+        match self {
+            ProblemId::B5tuer => 162_610,
+            ProblemId::Bmwcra1 => 148_770,
+            ProblemId::Mt1 => 97_578,
+            ProblemId::Oilpan => 73_752,
+            ProblemId::Quer => 59_122,
+            ProblemId::Ship001 => 34_920,
+            ProblemId::Ship003 => 121_728,
+            ProblemId::Shipsec5 => 179_860,
+            ProblemId::Thread => 29_736,
+            ProblemId::X104 => 108_384,
+        }
+    }
+
+    /// Parse from a (case-insensitive) table name.
+    pub fn from_name(s: &str) -> Option<ProblemId> {
+        let up = s.to_ascii_uppercase();
+        ProblemId::ALL.iter().copied().find(|p| p.name() == up)
+    }
+}
+
+/// Builds the analog of a paper problem at a given `scale` (1.0 ≈ the
+/// original column count; benches default to a fraction of that so the
+/// suite completes quickly on a laptop-class machine).
+pub fn build_problem<T: Scalar>(id: ProblemId, scale: f64) -> SymCsc<T> {
+    assert!(scale > 0.0 && scale <= 4.0, "scale out of range: {scale}");
+    // Helper: pick grid dims so nx*ny*nz ≈ target with given aspect ratios.
+    let dims = |target: f64, rx: f64, ry: f64, rz: f64| -> (usize, usize, usize) {
+        let c = (target / (rx * ry * rz)).powf(1.0 / 3.0);
+        let f = |r: f64| ((c * r).round() as usize).max(2);
+        (f(rx), f(ry), f(rz))
+    };
+    let target = id.paper_columns() as f64 * scale;
+    let seed = 0xA5A5 ^ (id as u64);
+    let vk = ValueKind::RandomSpd(seed);
+    match id {
+        ProblemId::B5tuer => {
+            let (x, y, z) = dims(target, 4.0, 1.0, 0.8);
+            solid_spd(x, y, z, Stencil::Box, vk)
+        }
+        ProblemId::Bmwcra1 => {
+            let (x, y, z) = dims(target, 1.3, 1.0, 1.0);
+            solid_spd(x, y, z, Stencil::Box, vk)
+        }
+        ProblemId::Mt1 => {
+            let (x, y, z) = dims(target, 2.0, 1.2, 1.0);
+            solid_spd(x, y, z, Stencil::Box, vk)
+        }
+        ProblemId::Oilpan => {
+            // Shallow pan: wide plate, 2 layers.
+            let side = (target / 2.0).sqrt();
+            let nx = (side * 1.4).round() as usize;
+            let ny = (side / 1.4).round() as usize;
+            solid_spd(nx.max(2), ny.max(2), 2, Stencil::Box, vk)
+        }
+        ProblemId::Quer => {
+            let side = target.sqrt();
+            let nx = (side * 1.2).round() as usize;
+            let ny = (side / 1.2).round() as usize;
+            solid_spd(nx.max(2), ny.max(2), 1, Stencil::Box, vk)
+        }
+        ProblemId::Ship001 => {
+            let circ = (target / 3.0).sqrt();
+            let nc = (circ * 1.0).round() as usize;
+            let nl = (target / nc as f64).round() as usize;
+            shell_spd(nc.max(4), nl.max(4), 1, Stencil::Box, vk)
+        }
+        ProblemId::Ship003 => {
+            let circ = (target / 3.5).sqrt();
+            let nc = circ.round() as usize;
+            let nl = (target / nc as f64).round() as usize;
+            shell_spd(nc.max(4), nl.max(4), 1, Stencil::Box, vk)
+        }
+        ProblemId::Shipsec5 => {
+            let circ = (target / 2.0 / 2.5).sqrt();
+            let nc = circ.round() as usize;
+            let nl = (target / 2.0 / nc as f64).round() as usize;
+            shell_spd(nc.max(4), nl.max(4), 2, Stencil::Box, vk)
+        }
+        ProblemId::Thread => {
+            // Helical solid with a chunky cross-section: highest fill.
+            let na = 20.max((target / 60.0).powf(0.38) as usize * 4);
+            let nr = ((target / na as f64).sqrt() * 0.8).round() as usize;
+            let nh = (target / (na * nr.max(1)) as f64).round() as usize;
+            thread_spd(na, nr.max(2), nh.max(2), vk)
+        }
+        ProblemId::X104 => {
+            let (x, y, z) = dims(target, 1.8, 1.0, 0.9);
+            solid_spd(x, y, z, Stencil::Box, vk)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for id in ProblemId::ALL {
+            assert_eq!(ProblemId::from_name(id.name()), Some(id));
+            assert_eq!(ProblemId::from_name(&id.name().to_lowercase()), Some(id));
+        }
+        assert_eq!(ProblemId::from_name("NOPE"), None);
+    }
+
+    #[test]
+    fn builds_at_small_scale_with_roughly_right_size() {
+        for id in ProblemId::ALL {
+            let scale = 0.02;
+            let a = build_problem::<f64>(id, scale);
+            let target = id.paper_columns() as f64 * scale;
+            let n = a.n() as f64;
+            assert!(
+                n > target * 0.4 && n < target * 2.5,
+                "{}: n = {n}, target = {target}",
+                id.name()
+            );
+            a.to_graph().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn problems_are_connected() {
+        for id in ProblemId::ALL {
+            let a = build_problem::<f64>(id, 0.02);
+            let (_, nc) = a.to_graph().connected_components();
+            assert_eq!(nc, 1, "{} disconnected", id.name());
+        }
+    }
+
+    #[test]
+    fn scale_grows_problem_size() {
+        for id in [ProblemId::Quer, ProblemId::Thread, ProblemId::Bmwcra1] {
+            let small = build_problem::<f64>(id, 0.01);
+            let large = build_problem::<f64>(id, 0.04);
+            assert!(
+                large.n() > small.n(),
+                "{}: {} !> {}",
+                id.name(),
+                large.n(),
+                small.n()
+            );
+        }
+    }
+
+    #[test]
+    fn shells_sparser_than_solids_per_column() {
+        // Structural signature of the suite: a shell analog has fewer
+        // off-diagonals per column than a 3D solid analog.
+        let shell = build_problem::<f64>(ProblemId::Ship001, 0.02);
+        let solid = build_problem::<f64>(ProblemId::Bmwcra1, 0.02);
+        let shell_density = shell.nnz_offdiag() as f64 / shell.n() as f64;
+        let solid_density = solid.nnz_offdiag() as f64 / solid.n() as f64;
+        assert!(shell_density < solid_density, "{shell_density} vs {solid_density}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build_problem::<f64>(ProblemId::Quer, 0.02);
+        let b = build_problem::<f64>(ProblemId::Quer, 0.02);
+        assert_eq!(a, b);
+    }
+}

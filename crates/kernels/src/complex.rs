@@ -1,0 +1,268 @@
+//! A minimal double-precision complex type.
+//!
+//! The PaStiX paper motivates `L·D·Lᵀ` factorization (rather than Cholesky)
+//! by the need to solve sparse systems with *complex* coefficients: a complex
+//! symmetric (not Hermitian) matrix has no `L·Lᵀ` factorization with real
+//! pivots, while `L·D·Lᵀ` without pivoting applies verbatim. We therefore
+//! carry a complex scalar through the whole solver stack. The type is
+//! implemented in-tree to keep the dependency footprint at the level allowed
+//! for this project.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// Arithmetic follows the usual field rules; `sqrt` returns the principal
+/// square root. Note that the solver uses the *unconjugated* transpose
+/// everywhere (complex symmetric, not Hermitian), matching the paper.
+///
+/// ```
+/// use pastix_kernels::Complex64;
+/// let z = Complex64::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!(z * z.recip(), Complex64::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Self = Self::new(0.0, 0.0);
+    /// The multiplicative identity.
+    pub const ONE: Self = Self::new(1.0, 0.0);
+    /// The imaginary unit.
+    pub const I: Self = Self::new(0.0, 1.0);
+
+    /// Squared modulus `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`, computed without undue overflow via `hypot`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse. Returns a non-finite value for zero input.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Principal square root.
+    ///
+    /// Uses the numerically stable half-angle formulation: for
+    /// `z = r·e^{iθ}`, `√z = √r·e^{iθ/2}` with the branch cut on the
+    /// negative real axis.
+    pub fn sqrt(self) -> Self {
+        if self.im == 0.0 {
+            if self.re >= 0.0 {
+                return Self::new(self.re.sqrt(), 0.0);
+            }
+            return Self::new(0.0, (-self.re).sqrt().copysign(self.im));
+        }
+        let r = self.abs();
+        // sqrt((r + re)/2) is well conditioned when re >= 0; otherwise use
+        // the imaginary component to avoid cancellation.
+        let t = ((r + self.re.abs()) * 0.5).sqrt();
+        if self.re >= 0.0 {
+            Self::new(t, self.im * 0.5 / t)
+        } else {
+            let s = t.copysign(self.im);
+            Self::new(self.im * 0.5 / s, s)
+        }
+    }
+
+    /// True if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}{:+?}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::new(re, 0.0)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w ≡ z · w⁻¹
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn field_ops() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex64::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex64::new(4.0, 1.5));
+        assert_eq!(a * b, Complex64::new(-3.0 - 1.0, 0.5 - 6.0));
+        assert!(close(a / b * b, a, 1e-14));
+    }
+
+    #[test]
+    fn recip_is_inverse() {
+        let a = Complex64::new(0.3, -4.2);
+        assert!(close(a * a.recip(), Complex64::ONE, 1e-14));
+    }
+
+    #[test]
+    fn sqrt_positive_real() {
+        let z = Complex64::new(4.0, 0.0).sqrt();
+        assert_eq!(z, Complex64::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn sqrt_negative_real() {
+        let z = Complex64::new(-9.0, 0.0).sqrt();
+        assert!(close(z * z, Complex64::new(-9.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn sqrt_general_quadrants() {
+        for &(re, im) in &[(3.0, 4.0), (-3.0, 4.0), (3.0, -4.0), (-3.0, -4.0), (0.0, 2.0)] {
+            let z = Complex64::new(re, im);
+            let s = z.sqrt();
+            assert!(close(s * s, z, 1e-12), "sqrt({z})^2 = {}", s * s);
+            // Principal branch: non-negative real part.
+            assert!(s.re >= 0.0 || (s.re == 0.0));
+        }
+    }
+
+    #[test]
+    fn abs_matches_norm_sqr() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let z = Complex64::new(1.5, -2.5);
+        assert_eq!(z.conj(), Complex64::new(1.5, 2.5));
+        assert_eq!(z.conj().conj(), z);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let s: Complex64 = (0..4).map(|k| Complex64::new(k as f64, 1.0)).sum();
+        assert_eq!(s, Complex64::new(6.0, 4.0));
+    }
+}

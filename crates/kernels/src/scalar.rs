@@ -1,0 +1,149 @@
+//! The scalar abstraction shared by the whole solver stack.
+//!
+//! The factorization is `L·D·Lᵀ` with the *unconjugated* transpose, so the
+//! trait deliberately does not expose a conjugation hook in the kernel API:
+//! both `f64` (SPD systems, the paper's experiments) and [`Complex64`]
+//! (complex symmetric systems, the paper's motivation) go through identical
+//! code paths.
+
+use crate::complex::Complex64;
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Field scalar used in matrices, factors and right-hand sides.
+///
+/// Implementations must form a field under the std ops, with `zero()` and
+/// `one()` the identities. `magnitude` is used only for diagnostics
+/// (residual norms, zero-pivot detection), never to branch inside the
+/// factorization itself — the algorithm is pivoting-free, as in the paper.
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Embeds a real number.
+    fn from_f64(x: f64) -> Self;
+    /// Modulus of the scalar (used for norms and pivot checks).
+    fn magnitude(self) -> f64;
+    /// Principal square root (needed by the `L·Lᵀ` baseline).
+    fn sqrt(self) -> Self;
+    /// Multiplicative inverse.
+    fn recip(self) -> Self;
+    /// True when all components are finite.
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        self.sqrt()
+    }
+    #[inline]
+    fn recip(self) -> Self {
+        1.0 / self
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Scalar for Complex64 {
+    #[inline]
+    fn zero() -> Self {
+        Complex64::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex64::ONE
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Complex64::new(x, 0.0)
+    }
+    #[inline]
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        Complex64::sqrt(self)
+    }
+    #[inline]
+    fn recip(self) -> Self {
+        Complex64::recip(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        Complex64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field_axioms<T: Scalar>(a: T, b: T) {
+        assert_eq!(a + T::zero(), a);
+        assert_eq!(a * T::one(), a);
+        assert_eq!(a + (-a), T::zero());
+        let prod = a * b;
+        assert_eq!(prod, b * a);
+    }
+
+    #[test]
+    fn f64_axioms() {
+        field_axioms(3.5f64, -2.0f64);
+        assert_eq!(4.0f64.sqrt(), 2.0);
+        assert_eq!(<f64 as Scalar>::recip(4.0), 0.25);
+    }
+
+    #[test]
+    fn complex_axioms() {
+        field_axioms(Complex64::new(1.0, -2.0), Complex64::new(0.5, 3.0));
+        assert_eq!(Complex64::from_f64(2.5), Complex64::new(2.5, 0.0));
+    }
+
+    #[test]
+    fn magnitude_is_nonnegative() {
+        assert!(Complex64::new(-3.0, -4.0).magnitude() == 5.0);
+        assert!(<f64 as Scalar>::magnitude(-7.0) == 7.0);
+    }
+
+}

@@ -1,0 +1,401 @@
+//! Triangular solve kernels.
+//!
+//! Panel solves (right-side, transposed lower triangle) implement the
+//! supernodal step `L_off ← A_off · L⁻ᵀ · D⁻¹` (paper, Fig. 1 line 5/13:
+//! "Solve L_kk Fᵀ = Aᵀ and D_k Lᵀ = Fᵀ"), and the vector solves implement
+//! the forward/backward substitution of the solve phase.
+//!
+//! Everything is column-major with explicit leading dimensions. Triangular
+//! factors are read from the *lower* triangle only; the strictly upper part
+//! of a factored block is never referenced.
+
+use crate::scalar::Scalar;
+
+/// Solves `X · Lᵀ = A` in place where `L` (order `n`, leading dimension
+/// `ldd`, lower triangle of `diag`) is **unit** lower triangular, then
+/// rescales each column `j` of the result by `1 / D(j)` with `D` on the
+/// diagonal of `diag`.
+///
+/// `panel` is `m × n` (leading dimension `ldp`) and holds `A` on entry, the
+/// final off-diagonal factor rows `L_off` on exit.
+pub fn trsm_ldlt_panel<T: Scalar>(
+    m: usize,
+    n: usize,
+    diag: &[T],
+    ldd: usize,
+    panel: &mut [T],
+    ldp: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(ldd >= n, "diag leading dimension too small");
+    assert!(ldp >= m, "panel leading dimension too small");
+    assert!(diag.len() >= ldd * (n - 1) + n, "diag buffer too small");
+    assert!(panel.len() >= ldp * (n - 1) + m, "panel buffer too small");
+    // Pass 1: unit-lower solve X'·Lᵀ = A. Each column must stay unscaled
+    // until every later column has consumed it.
+    for j in 0..n {
+        // X'(:,j) = A(:,j) − Σ_{i<j} X'(:,i) · L(j,i)   (unit diagonal)
+        for i in 0..j {
+            let l = diag[j + i * ldd];
+            if l == T::zero() {
+                continue;
+            }
+            let (xi, xj) = {
+                let (left, right) = panel.split_at_mut(j * ldp);
+                (&left[i * ldp..i * ldp + m], &mut right[..m])
+            };
+            for (x, &v) in xj.iter_mut().zip(xi) {
+                *x -= v * l;
+            }
+        }
+    }
+    // Pass 2: X = X' · D⁻¹.
+    for j in 0..n {
+        let dinv = diag[j + j * ldd].recip();
+        for x in &mut panel[j * ldp..j * ldp + m] {
+            *x *= dinv;
+        }
+    }
+}
+
+/// Solves `X · Lᵀ = A` in place where `L` is **non-unit** lower triangular
+/// (Cholesky factor). Used by the `L·Lᵀ` baseline.
+pub fn trsm_llt_panel<T: Scalar>(
+    m: usize,
+    n: usize,
+    diag: &[T],
+    ldd: usize,
+    panel: &mut [T],
+    ldp: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(ldd >= n, "diag leading dimension too small");
+    assert!(ldp >= m, "panel leading dimension too small");
+    for j in 0..n {
+        for i in 0..j {
+            let l = diag[j + i * ldd];
+            if l == T::zero() {
+                continue;
+            }
+            let (xi, xj) = {
+                let (left, right) = panel.split_at_mut(j * ldp);
+                (&left[i * ldp..i * ldp + m], &mut right[..m])
+            };
+            for (x, &v) in xj.iter_mut().zip(xi) {
+                *x -= v * l;
+            }
+        }
+        let linv = diag[j + j * ldd].recip();
+        for x in &mut panel[j * ldp..j * ldp + m] {
+            *x *= linv;
+        }
+    }
+}
+
+/// `dst(:,j) = src(:,j) · d[j]` for `j < n`; panels are `m × n`.
+///
+/// Used to form `F = L·D` (the scaled panel whose transpose multiplies in
+/// every contribution computation).
+pub fn scale_cols_by_diag_into<T: Scalar>(
+    m: usize,
+    n: usize,
+    src: &[T],
+    lds: usize,
+    d: &[T],
+    dst: &mut [T],
+    ldd: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(lds >= m && ldd >= m, "leading dimensions too small");
+    assert!(d.len() >= n, "diagonal too short");
+    for j in 0..n {
+        let s = d[j];
+        let srcj = &src[j * lds..j * lds + m];
+        let dstj = &mut dst[j * ldd..j * ldd + m];
+        for (o, &v) in dstj.iter_mut().zip(srcj) {
+            *o = v * s;
+        }
+    }
+}
+
+/// Forward substitution `L · X = B` in place, `L` unit lower triangular
+/// (order `n`), `X`/`B` of shape `n × nrhs` with leading dimension `ldx`.
+pub fn solve_unit_lower<T: Scalar>(
+    n: usize,
+    diag: &[T],
+    ldd: usize,
+    x: &mut [T],
+    nrhs: usize,
+    ldx: usize,
+) {
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    assert!(ldd >= n && ldx >= n);
+    for r in 0..nrhs {
+        let xr = &mut x[r * ldx..r * ldx + n];
+        for j in 0..n {
+            let v = xr[j];
+            if v == T::zero() {
+                continue;
+            }
+            for i in (j + 1)..n {
+                let l = diag[i + j * ldd];
+                xr[i] -= l * v;
+            }
+        }
+    }
+}
+
+/// Backward substitution `Lᵀ · X = B` in place, `L` unit lower triangular.
+pub fn solve_unit_lower_trans<T: Scalar>(
+    n: usize,
+    diag: &[T],
+    ldd: usize,
+    x: &mut [T],
+    nrhs: usize,
+    ldx: usize,
+) {
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    assert!(ldd >= n && ldx >= n);
+    for r in 0..nrhs {
+        let xr = &mut x[r * ldx..r * ldx + n];
+        for j in (0..n).rev() {
+            let mut v = xr[j];
+            for i in (j + 1)..n {
+                v -= diag[i + j * ldd] * xr[i];
+            }
+            xr[j] = v;
+        }
+    }
+}
+
+/// Forward substitution with a **non-unit** lower triangular factor.
+pub fn solve_lower<T: Scalar>(
+    n: usize,
+    diag: &[T],
+    ldd: usize,
+    x: &mut [T],
+    nrhs: usize,
+    ldx: usize,
+) {
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    assert!(ldd >= n && ldx >= n);
+    for r in 0..nrhs {
+        let xr = &mut x[r * ldx..r * ldx + n];
+        for j in 0..n {
+            let v = xr[j] * diag[j + j * ldd].recip();
+            xr[j] = v;
+            if v == T::zero() {
+                continue;
+            }
+            for i in (j + 1)..n {
+                xr[i] -= diag[i + j * ldd] * v;
+            }
+        }
+    }
+}
+
+/// Backward substitution with a **non-unit** lower triangular factor
+/// (`Lᵀ X = B`).
+pub fn solve_lower_trans<T: Scalar>(
+    n: usize,
+    diag: &[T],
+    ldd: usize,
+    x: &mut [T],
+    nrhs: usize,
+    ldx: usize,
+) {
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    assert!(ldd >= n && ldx >= n);
+    for r in 0..nrhs {
+        let xr = &mut x[r * ldx..r * ldx + n];
+        for j in (0..n).rev() {
+            let mut v = xr[j];
+            for i in (j + 1)..n {
+                v -= diag[i + j * ldd] * xr[i];
+            }
+            xr[j] = v * diag[j + j * ldd].recip();
+        }
+    }
+}
+
+/// `x(j) /= d[j]` row-scaling over `nrhs` columns — the diagonal solve
+/// `D·y = x` between the two triangular sweeps of `L·D·Lᵀ`.
+pub fn scale_rows_by_diag_inv<T: Scalar>(n: usize, d: &[T], x: &mut [T], nrhs: usize, ldx: usize) {
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    assert!(d.len() >= n && ldx >= n);
+    for r in 0..nrhs {
+        let xr = &mut x[r * ldx..r * ldx + n];
+        for (xi, &di) in xr.iter_mut().zip(d) {
+            *xi *= di.recip();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{deterministic_spd, DenseMat};
+    use crate::factor::{ldlt_factor_inplace, llt_factor_inplace};
+    use crate::gemm::gemm_nt_acc;
+
+    #[test]
+    fn ldlt_panel_solve_reconstructs() {
+        // Factor an SPD diag block, push a random panel through the solve,
+        // then verify panel · D · Lᵀ reproduces the original panel.
+        let n = 6;
+        let m = 4;
+        let mut diag = deterministic_spd(n, 11);
+        ldlt_factor_inplace(n, diag.as_mut_slice(), n).unwrap();
+        let orig = DenseMat::from_fn(m, n, |i, j| (i * 5 + j + 1) as f64 * 0.3);
+        let mut panel = orig.clone();
+        trsm_ldlt_panel(m, n, diag.as_slice(), n, panel.as_mut_slice(), m);
+        // Rebuild: A(i,j) = Σ_p X(i,p) d_p L(j,p), p <= j (L unit lower).
+        for j in 0..n {
+            for i in 0..m {
+                let mut v = 0.0;
+                for p in 0..=j {
+                    let l = if p == j { 1.0 } else { diag[(j, p)] };
+                    v += panel[(i, p)] * diag[(p, p)] * l;
+                }
+                assert!((v - orig[(i, j)]).abs() < 1e-10, "({i},{j}): {v} vs {}", orig[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn llt_panel_solve_reconstructs() {
+        let n = 5;
+        let m = 3;
+        let mut diag = deterministic_spd(n, 29);
+        llt_factor_inplace(n, diag.as_mut_slice(), n).unwrap();
+        let orig = DenseMat::from_fn(m, n, |i, j| ((i + 1) as f64) / ((j + 2) as f64));
+        let mut panel = orig.clone();
+        trsm_llt_panel(m, n, diag.as_slice(), n, panel.as_mut_slice(), m);
+        // A = X · Lᵀ with non-unit L.
+        let mut rebuilt = DenseMat::zeros(m, n);
+        let mut ltri = DenseMat::zeros(n, n);
+        for j in 0..n {
+            for i in j..n {
+                ltri[(i, j)] = diag[(i, j)];
+            }
+        }
+        gemm_nt_acc(m, n, n, 1.0, panel.as_slice(), m, ltri.as_slice(), n, rebuilt.as_mut_slice(), m);
+        assert!(rebuilt.max_diff(&orig) < 1e-10);
+    }
+
+    #[test]
+    fn unit_lower_solves_roundtrip() {
+        let n = 8;
+        let mut diag = deterministic_spd(n, 3);
+        ldlt_factor_inplace(n, diag.as_mut_slice(), n).unwrap();
+        let x0: Vec<f64> = (0..n).map(|i| (i as f64) - 3.5).collect();
+        // b = L · x0 with unit lower L.
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            let mut v = x0[i];
+            for p in 0..i {
+                v += diag[(i, p)] * x0[p];
+            }
+            b[i] = v;
+        }
+        solve_unit_lower(n, diag.as_slice(), n, &mut b, 1, n);
+        for i in 0..n {
+            assert!((b[i] - x0[i]).abs() < 1e-12);
+        }
+        // And the transposed sweep: b = Lᵀ x0, solve back.
+        let mut bt = vec![0.0; n];
+        for i in 0..n {
+            let mut v = x0[i];
+            for p in (i + 1)..n {
+                v += diag[(p, i)] * x0[p];
+            }
+            bt[i] = v;
+        }
+        solve_unit_lower_trans(n, diag.as_slice(), n, &mut bt, 1, n);
+        for i in 0..n {
+            assert!((bt[i] - x0[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nonunit_lower_solves_roundtrip() {
+        let n = 7;
+        let mut diag = deterministic_spd(n, 17);
+        llt_factor_inplace(n, diag.as_mut_slice(), n).unwrap();
+        let x0: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.25).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            let mut v = 0.0;
+            for p in 0..=i {
+                v += diag[(i, p)] * x0[p];
+            }
+            b[i] = v;
+        }
+        solve_lower(n, diag.as_slice(), n, &mut b, 1, n);
+        for i in 0..n {
+            assert!((b[i] - x0[i]).abs() < 1e-11);
+        }
+        let mut bt = vec![0.0; n];
+        for i in 0..n {
+            let mut v = 0.0;
+            for p in i..n {
+                v += diag[(p, i)] * x0[p];
+            }
+            bt[i] = v;
+        }
+        solve_lower_trans(n, diag.as_slice(), n, &mut bt, 1, n);
+        for i in 0..n {
+            assert!((bt[i] - x0[i]).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn scale_cols_and_rows() {
+        let src = [1.0, 2.0, 3.0, 4.0]; // 2x2
+        let d = [2.0, 10.0];
+        let mut dst = [0.0; 4];
+        scale_cols_by_diag_into(2, 2, &src, 2, &d, &mut dst, 2);
+        assert_eq!(dst, [2.0, 4.0, 30.0, 40.0]);
+
+        let mut x = [4.0, 20.0];
+        scale_rows_by_diag_inv(2, &d, &mut x, 1, 2);
+        assert_eq!(x, [2.0, 2.0]);
+    }
+
+    #[test]
+    fn multiple_rhs_columns() {
+        let n = 5;
+        let nrhs = 3;
+        let mut diag = deterministic_spd(n, 77);
+        ldlt_factor_inplace(n, diag.as_mut_slice(), n).unwrap();
+        let x0 = DenseMat::from_fn(n, nrhs, |i, j| (i + j * n) as f64 * 0.1 - 1.0);
+        let mut b = DenseMat::zeros(n, nrhs);
+        for r in 0..nrhs {
+            for i in 0..n {
+                let mut v = x0[(i, r)];
+                for p in 0..i {
+                    v += diag[(i, p)] * x0[(p, r)];
+                }
+                b[(i, r)] = v;
+            }
+        }
+        solve_unit_lower(n, diag.as_slice(), n, b.as_mut_slice(), nrhs, n);
+        assert!(b.max_diff(&x0) < 1e-12);
+    }
+}

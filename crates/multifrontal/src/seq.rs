@@ -1,0 +1,315 @@
+//! Sequential multifrontal Cholesky (`L·Lᵀ`) factorization.
+//!
+//! The numeric core of the PSPASES-like baseline: processing supernodes in
+//! postorder, each supernode assembles a dense *frontal matrix* from its
+//! `A` columns and the update matrices of its children (extended-add),
+//! partially factors the first `width` columns with a Cholesky step, and
+//! passes the Schur complement (its own update matrix) up the supernodal
+//! elimination tree. The factor panels land in the same
+//! [`FactorStorage`] layout as the supernodal solver, so the triangular
+//! solves can be validated against the same harness.
+
+use pastix_graph::SymCsc;
+use pastix_kernels::factor::FactorError;
+use pastix_kernels::{gemm_nn_acc, gemm_nt_acc, solve_lower, solve_lower_trans, Scalar};
+use pastix_solver::storage::FactorStorage;
+use pastix_symbolic::{SymbolMatrix, NO_PARENT};
+
+/// A dense frontal matrix: global row ids plus column-major storage of
+/// order `rows.len()`.
+struct Front<T> {
+    /// Global row indices (the supernode's columns first, then its
+    /// off-diagonal structure rows, ascending within each part).
+    rows: Vec<u32>,
+    /// Column-major `nr × nr` buffer (only the lower triangle is used).
+    data: Vec<T>,
+}
+
+/// Factorizes `a` (already permuted into the symbol's elimination order)
+/// by the multifrontal method; returns the Cholesky factor in panel form.
+pub fn multifrontal_llt<T: Scalar>(
+    sym: &SymbolMatrix,
+    a: &SymCsc<T>,
+) -> Result<FactorStorage<T>, FactorError> {
+    let ns = sym.n_cblks();
+    let mut storage = FactorStorage::zeros(sym);
+    let parent = sym.block_etree();
+    // Children updates waiting for each supernode (the multifrontal stack).
+    let mut pending: Vec<Vec<Front<T>>> = (0..ns).map(|_| Vec::new()).collect();
+
+    for k in 0..ns {
+        let cb = &sym.cblks[k];
+        let w = cb.width();
+        // Global rows of the front.
+        let mut rows: Vec<u32> = (cb.fcol..=cb.lcol).collect();
+        for b in sym.off_bloks_of(k) {
+            for r in b.frow..=b.lrow {
+                rows.push(r);
+            }
+        }
+        let nr = rows.len();
+        let mut data = vec![T::zero(); nr * nr];
+        // Global row → front position.
+        let pos_of = |row: u32| -> usize {
+            match rows.binary_search(&row) {
+                Ok(p) => p,
+                Err(_) => panic!("row {row} missing from front of cblk {k}"),
+            }
+        };
+        // Assemble A columns.
+        for (local, j) in (cb.fcol..=cb.lcol).enumerate() {
+            for (&i, &v) in a.rows_of(j as usize).iter().zip(a.vals_of(j as usize)) {
+                let p = pos_of(i);
+                data[p + local * nr] = v;
+            }
+        }
+        // Extended-add of the children updates.
+        for child in pending[k].drain(..) {
+            let cn = child.rows.len();
+            for cj in 0..cn {
+                let tj = pos_of(child.rows[cj]);
+                for ci in cj..cn {
+                    let ti = pos_of(child.rows[ci]);
+                    let (lo, hi) = if ti >= tj { (tj, ti) } else { (ti, tj) };
+                    data[hi + lo * nr] += child.data[ci + cj * cn];
+                }
+            }
+        }
+        // Partial dense Cholesky of the first w columns (full height —
+        // each eliminated column updates the remaining panel columns down
+        // to the bottom of the front).
+        partial_llt_front(nr, w, &mut data)
+            .map_err(|FactorError::ZeroPivot(i)| FactorError::ZeroPivot(cb.fcol as usize + i))?;
+        let below = nr - w;
+        if below > 0 {
+            // Schur complement: U -= L_off · L_offᵀ (the full square write
+            // keeps the kernel simple; the upper half is never read).
+            let (panel_cols, trailing) = data.split_at_mut(w * nr);
+            gemm_nt_acc(
+                below,
+                below,
+                w,
+                -T::one(),
+                &panel_cols[w..],
+                nr,
+                &panel_cols[w..],
+                nr,
+                &mut trailing[w..],
+                nr,
+            );
+        }
+        // Ship the factored panel columns into storage.
+        {
+            let lda = storage.layout.panel_rows(k);
+            let panel = &mut storage.panels[k];
+            for col in 0..w {
+                for row in col..nr {
+                    panel[row + col * lda] = data[row + col * nr];
+                }
+            }
+        }
+        // Extract the update matrix and push it to the parent.
+        let p = parent[k];
+        if p != NO_PARENT && below > 0 {
+            let up_rows: Vec<u32> = rows[w..].to_vec();
+            let mut up = vec![T::zero(); below * below];
+            for cj in 0..below {
+                for ci in cj..below {
+                    up[ci + cj * below] = data[(w + ci) + (w + cj) * nr];
+                }
+            }
+            pending[p as usize].push(Front {
+                rows: up_rows,
+                data: up,
+            });
+        }
+    }
+    Ok(storage)
+}
+
+/// Right-looking Cholesky of the first `w` columns of an `nr × nr` front:
+/// each pivot scales and updates its column over the *full* front height,
+/// leaving the trailing `(nr−w)²` block untouched (the Schur complement is
+/// applied separately at GEMM speed).
+fn partial_llt_front<T: Scalar>(nr: usize, w: usize, data: &mut [T]) -> Result<(), FactorError> {
+    for j in 0..w {
+        let d = data[j + j * nr];
+        if d == T::zero() || !d.is_finite() {
+            return Err(FactorError::ZeroPivot(j));
+        }
+        let l = d.sqrt();
+        if l == T::zero() || !l.is_finite() {
+            return Err(FactorError::ZeroPivot(j));
+        }
+        data[j + j * nr] = l;
+        let linv = l.recip();
+        for i in (j + 1)..nr {
+            data[i + j * nr] *= linv;
+        }
+        for j2 in (j + 1)..w {
+            let s = data[j2 + j * nr];
+            if s == T::zero() {
+                continue;
+            }
+            let (src, dst) = {
+                let (left, right) = data.split_at_mut(j2 * nr);
+                (&left[j * nr + j2..j * nr + nr], &mut right[j2..nr])
+            };
+            for (dv, &sv) in dst.iter_mut().zip(src) {
+                *dv -= sv * s;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves `A·x = b` in place with a Cholesky factor in panel storage:
+/// `L·y = b` then `Lᵀ·x = y` (non-unit diagonal).
+pub fn solve_llt_in_place<T: Scalar>(sym: &SymbolMatrix, storage: &FactorStorage<T>, x: &mut [T]) {
+    assert_eq!(x.len(), sym.n);
+    let layout = &storage.layout;
+    let mut xk: Vec<T> = Vec::new();
+    for k in 0..sym.n_cblks() {
+        let cb = &sym.cblks[k];
+        let w = cb.width();
+        let lda = layout.panel_rows(k);
+        let panel = &storage.panels[k];
+        let fcol = cb.fcol as usize;
+        solve_lower(w, panel, lda, &mut x[fcol..fcol + w], 1, w);
+        if lda == w {
+            continue;
+        }
+        xk.clear();
+        xk.extend_from_slice(&x[fcol..fcol + w]);
+        for b in cb.blok_start + 1..cb.blok_end {
+            let blok = &sym.bloks[b];
+            let hb = blok.nrows();
+            let fr = blok.frow as usize;
+            gemm_nn_acc(
+                hb,
+                1,
+                w,
+                -T::one(),
+                &panel[layout.panel_row[b] as usize..],
+                lda,
+                &xk,
+                w,
+                &mut x[fr..fr + hb],
+                hb,
+            );
+        }
+    }
+    for k in (0..sym.n_cblks()).rev() {
+        let cb = &sym.cblks[k];
+        let w = cb.width();
+        let lda = layout.panel_rows(k);
+        let panel = &storage.panels[k];
+        let fcol = cb.fcol as usize;
+        for b in cb.blok_start + 1..cb.blok_end {
+            let blok = &sym.bloks[b];
+            let hb = blok.nrows();
+            let fr = blok.frow as usize;
+            let prow = layout.panel_row[b] as usize;
+            for t in 0..w {
+                let mut acc = T::zero();
+                let col = &panel[prow + t * lda..prow + t * lda + hb];
+                for (rr, &l) in col.iter().enumerate() {
+                    acc += l * x[fr + rr];
+                }
+                x[fcol + t] -= acc;
+            }
+        }
+        solve_lower_trans(w, panel, lda, &mut x[fcol..fcol + w], 1, w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastix_graph::gen::{grid_spd, Stencil, ValueKind};
+    use pastix_graph::{canonical_solution, rhs_for_solution};
+    use pastix_ordering::{nested_dissection, OrderingOptions};
+    use pastix_symbolic::{analyze, AnalysisOptions};
+
+    fn pipeline(nx: usize, ny: usize, nz: usize) -> (SymCsc<f64>, SymbolMatrix) {
+        let a = grid_spd::<f64>(nx, ny, nz, Stencil::Star, false, ValueKind::RandomSpd(33));
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 8, ..Default::default() });
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        (a.permuted(&an.perm), an.symbol)
+    }
+
+    #[test]
+    fn multifrontal_solves_spd_systems() {
+        for (nx, ny, nz) in [(5, 5, 1), (7, 4, 1), (4, 4, 3)] {
+            let (ap, sym) = pipeline(nx, ny, nz);
+            let x_exact = canonical_solution::<f64>(ap.n());
+            let b = rhs_for_solution(&ap, &x_exact);
+            let storage = multifrontal_llt(&sym, &ap).unwrap();
+            let mut x = b.clone();
+            solve_llt_in_place(&sym, &storage, &mut x);
+            let res = ap.residual_norm(&x, &b);
+            assert!(res < 1e-12, "residual {res} on {nx}x{ny}x{nz}");
+        }
+    }
+
+    #[test]
+    fn multifrontal_matches_supernodal_ldlt_factor() {
+        // L_chol(i,j) = L_ldlt(i,j) * sqrt(d_j); compare via the solved
+        // solution instead (cheaper and equally binding).
+        let (ap, sym) = pipeline(6, 6, 1);
+        let x_exact = canonical_solution::<f64>(ap.n());
+        let b = rhs_for_solution(&ap, &x_exact);
+        let mf = multifrontal_llt(&sym, &ap).unwrap();
+        let mut x1 = b.clone();
+        solve_llt_in_place(&sym, &mf, &mut x1);
+        let (x2, _) = pastix_solver::factor_and_solve(&sym, &ap, &b).unwrap();
+        for (a_, b_) in x1.iter().zip(&x2) {
+            assert!((a_ - b_).abs() < 1e-8, "{a_} vs {b_}");
+        }
+    }
+
+    #[test]
+    fn multifrontal_complex_symmetric() {
+        use pastix_kernels::Complex64;
+        // Complex symmetric with dominant real diagonal: the complex
+        // Cholesky (principal square roots) exists along this pivot order.
+        let re = grid_spd::<f64>(4, 4, 1, Stencil::Star, false, ValueKind::RandomSpd(8));
+        let n = re.n();
+        let mut tr = Vec::new();
+        for j in 0..n {
+            for (&i, &v) in re.rows_of(j).iter().zip(re.vals_of(j)) {
+                let im = if i as usize == j { 0.2 } else { 0.03 * v };
+                tr.push((i, j as u32, Complex64::new(v, im)));
+            }
+        }
+        let a = SymCsc::<Complex64>::from_triplets(n, &tr);
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 6, ..Default::default() });
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        let ap = a.permuted(&an.perm);
+        let x_exact = canonical_solution::<Complex64>(n);
+        let b = rhs_for_solution(&ap, &x_exact);
+        let st = multifrontal_llt(&an.symbol, &ap).unwrap();
+        let mut x = b.clone();
+        solve_llt_in_place(&an.symbol, &st, &mut x);
+        assert!(ap.residual_norm(&x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn indefinite_matrix_fails_cholesky() {
+        // A diagonally *negative* matrix has no real Cholesky factor.
+        let n = 4;
+        let mut triplets: Vec<(u32, u32, f64)> = Vec::new();
+        for i in 0..n as u32 {
+            triplets.push((i, i, -1.0));
+        }
+        triplets.push((1, 0, 0.1));
+        let a = SymCsc::from_triplets(n, &triplets);
+        let g = a.to_graph();
+        let an = analyze(&g, &pastix_graph::Permutation::identity(n), &AnalysisOptions::default());
+        let ap = a.permuted(&an.perm);
+        // sqrt(-1) is NaN → flagged as a bad pivot.
+        assert!(multifrontal_llt(&an.symbol, &ap).is_err());
+    }
+}

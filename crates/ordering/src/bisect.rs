@@ -1,0 +1,571 @@
+//! Multilevel graph bisection and vertex separators.
+//!
+//! The Scotch substitute: a classical multilevel scheme — heavy-edge
+//! matching coarsening, greedy graph-growing initial bisection, boundary
+//! FM refinement on the way back up — followed by vertex-separator
+//! extraction from the edge cut via a König vertex cover (maximum bipartite
+//! matching on the cut edges). Used by the nested dissection driver.
+
+use pastix_graph::CsrGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for the bisection.
+#[derive(Debug, Clone)]
+pub struct BisectOptions {
+    /// Coarsening stops below this many vertices.
+    pub coarse_target: usize,
+    /// Maximum accepted imbalance `max(|P0|,|P1|) / (total/2)`.
+    pub imbalance: f64,
+    /// FM refinement passes per level.
+    pub refine_passes: usize,
+    /// RNG seed (matching order and tie-breaking).
+    pub seed: u64,
+}
+
+impl Default for BisectOptions {
+    fn default() -> Self {
+        Self {
+            coarse_target: 64,
+            imbalance: 1.10,
+            refine_passes: 4,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Result of [`vertex_separator`]: a partition of the vertices into the
+/// separator and two (possibly empty) halves.
+#[derive(Debug, Clone)]
+pub struct SeparatorResult {
+    /// 0 or 1 for the halves, 2 for the separator.
+    pub side: Vec<u8>,
+    /// Vertex counts per side `[|P0|, |P1|, |S|]`.
+    pub counts: [usize; 3],
+}
+
+/// Weighted graph used internally during coarsening.
+#[derive(Clone)]
+struct WGraph {
+    xadj: Vec<usize>,
+    adjncy: Vec<u32>,
+    /// Edge weights parallel to `adjncy`.
+    ewgt: Vec<u32>,
+    /// Vertex weights.
+    vwgt: Vec<u32>,
+}
+
+impl WGraph {
+    fn from_csr(g: &CsrGraph) -> Self {
+        WGraph {
+            xadj: g.xadj().to_vec(),
+            adjncy: g.adjncy().to_vec(),
+            ewgt: vec![1; g.n_adj()],
+            vwgt: vec![1; g.n()],
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    fn total_vwgt(&self) -> u64 {
+        self.vwgt.iter().map(|&w| w as u64).sum()
+    }
+
+    fn neighbors(&self, u: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adjncy[self.xadj[u]..self.xadj[u + 1]]
+            .iter()
+            .copied()
+            .zip(self.ewgt[self.xadj[u]..self.xadj[u + 1]].iter().copied())
+    }
+}
+
+/// Computes an edge bisection of `g`: returns `part[v] ∈ {0, 1}`.
+pub fn edge_bisection(g: &CsrGraph, opts: &BisectOptions) -> Vec<u8> {
+    let wg = WGraph::from_csr(g);
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    multilevel(&wg, opts, &mut rng, 0)
+}
+
+fn multilevel(wg: &WGraph, opts: &BisectOptions, rng: &mut SmallRng, depth: usize) -> Vec<u8> {
+    let n = wg.n();
+    if n <= opts.coarse_target || depth > 64 {
+        let mut part = initial_bisection(wg, rng);
+        refine(wg, &mut part, opts);
+        return part;
+    }
+    // Heavy-edge matching.
+    let (coarse, map) = coarsen(wg, rng);
+    if coarse.n() as f64 > n as f64 * 0.95 {
+        // Coarsening stalled (e.g. star graphs) — bisect directly.
+        let mut part = initial_bisection(wg, rng);
+        refine(wg, &mut part, opts);
+        return part;
+    }
+    let coarse_part = multilevel(&coarse, opts, rng, depth + 1);
+    // Project and refine.
+    let mut part: Vec<u8> = (0..n).map(|v| coarse_part[map[v] as usize]).collect();
+    refine(wg, &mut part, opts);
+    part
+}
+
+/// Heavy-edge matching coarsening; returns the coarse graph and the
+/// fine→coarse vertex map.
+fn coarsen(wg: &WGraph, rng: &mut SmallRng) -> (WGraph, Vec<u32>) {
+    let n = wg.n();
+    let mut match_of = vec![u32::MAX; n];
+    let mut visit: Vec<u32> = (0..n as u32).collect();
+    // Random visiting order decorrelates the matching from the numbering.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        visit.swap(i, j);
+    }
+    let mut n_coarse = 0u32;
+    let mut coarse_id = vec![u32::MAX; n];
+    for &u in &visit {
+        let u = u as usize;
+        if match_of[u] != u32::MAX {
+            continue;
+        }
+        // Heaviest unmatched neighbor.
+        let mut best = u32::MAX;
+        let mut best_w = 0u32;
+        for (v, w) in wg.neighbors(u) {
+            if match_of[v as usize] == u32::MAX && v as usize != u && w > best_w {
+                best = v;
+                best_w = w;
+            }
+        }
+        if best != u32::MAX {
+            match_of[u] = best;
+            match_of[best as usize] = u as u32;
+            coarse_id[u] = n_coarse;
+            coarse_id[best as usize] = n_coarse;
+        } else {
+            match_of[u] = u as u32;
+            coarse_id[u] = n_coarse;
+        }
+        n_coarse += 1;
+    }
+    // Build the coarse graph by accumulating edge weights.
+    let nc = n_coarse as usize;
+    let mut vwgt = vec![0u32; nc];
+    for v in 0..n {
+        vwgt[coarse_id[v] as usize] += wg.vwgt[v];
+    }
+    let mut xadj = vec![0usize; nc + 1];
+    let mut adjncy: Vec<u32> = Vec::new();
+    let mut ewgt: Vec<u32> = Vec::new();
+    let mut accum: Vec<u32> = vec![u32::MAX; nc]; // coarse nbr -> slot
+    // Group fine vertices by coarse id.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); nc];
+    for v in 0..n {
+        members[coarse_id[v] as usize].push(v as u32);
+    }
+    for c in 0..nc {
+        let start = adjncy.len();
+        for &v in &members[c] {
+            for (u, w) in wg.neighbors(v as usize) {
+                let cu = coarse_id[u as usize] as usize;
+                if cu == c {
+                    continue;
+                }
+                if accum[cu] == u32::MAX || (accum[cu] as usize) < start {
+                    accum[cu] = adjncy.len() as u32;
+                    adjncy.push(cu as u32);
+                    ewgt.push(w);
+                } else {
+                    ewgt[accum[cu] as usize] += w;
+                }
+            }
+        }
+        xadj[c + 1] = adjncy.len();
+    }
+    (
+        WGraph {
+            xadj,
+            adjncy,
+            ewgt,
+            vwgt,
+        },
+        coarse_id,
+    )
+}
+
+/// Greedy graph growing from a pseudo-peripheral seed: grow region 0 until
+/// it holds half the vertex weight.
+fn initial_bisection(wg: &WGraph, rng: &mut SmallRng) -> Vec<u8> {
+    let n = wg.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0];
+    }
+    let total = wg.total_vwgt();
+    let target = total / 2;
+    // BFS from a random seed twice to approximate a peripheral vertex.
+    let seed0 = rng.gen_range(0..n);
+    let far = bfs_far(wg, seed0);
+    let mut part = vec![1u8; n];
+    let mut grown: u64 = 0;
+    let mut queue = std::collections::VecDeque::new();
+    let mut seen = vec![false; n];
+    queue.push_back(far as u32);
+    seen[far] = true;
+    while grown < target {
+        let u = match queue.pop_front() {
+            Some(u) => u as usize,
+            None => {
+                // Disconnected: restart from any unassigned vertex.
+                match (0..n).find(|&v| !seen[v]) {
+                    Some(v) => {
+                        seen[v] = true;
+                        queue.push_back(v as u32);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+        };
+        part[u] = 0;
+        grown += wg.vwgt[u] as u64;
+        for (v, _) in wg.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    part
+}
+
+fn bfs_far(wg: &WGraph, seed: usize) -> usize {
+    let n = wg.n();
+    let mut level = vec![u32::MAX; n];
+    let mut q = std::collections::VecDeque::new();
+    level[seed] = 0;
+    q.push_back(seed as u32);
+    let mut last = seed;
+    while let Some(u) = q.pop_front() {
+        last = u as usize;
+        for (v, _) in wg.neighbors(u as usize) {
+            if level[v as usize] == u32::MAX {
+                level[v as usize] = level[u as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    last
+}
+
+/// Boundary FM refinement: repeated single passes moving the best-gain
+/// movable boundary vertex, with weight-balance guardrails.
+fn refine(wg: &WGraph, part: &mut [u8], opts: &BisectOptions) {
+    let n = wg.n();
+    let total = wg.total_vwgt();
+    let max_side = ((total as f64 / 2.0) * opts.imbalance).ceil() as u64;
+    let mut side_w = [0u64; 2];
+    for v in 0..n {
+        side_w[part[v] as usize] += wg.vwgt[v] as u64;
+    }
+    for _ in 0..opts.refine_passes {
+        let mut moved_any = false;
+        // Gain of moving v to the other side: cut decrease.
+        for v in 0..n {
+            let from = part[v] as usize;
+            let to = 1 - from;
+            if side_w[to] + wg.vwgt[v] as u64 > max_side {
+                continue;
+            }
+            let mut gain: i64 = 0;
+            let mut has_cross = false;
+            for (u, w) in wg.neighbors(v) {
+                if part[u as usize] as usize == from {
+                    gain -= w as i64;
+                } else {
+                    gain += w as i64;
+                    has_cross = true;
+                }
+            }
+            if has_cross && gain > 0 {
+                part[v] = to as u8;
+                side_w[from] -= wg.vwgt[v] as u64;
+                side_w[to] += wg.vwgt[v] as u64;
+                moved_any = true;
+            }
+        }
+        if !moved_any {
+            break;
+        }
+    }
+    // Keep both sides non-empty when possible.
+    if side_w[0] == 0 || side_w[1] == 0 {
+        let empty = if side_w[0] == 0 { 0 } else { 1 };
+        if let Some(v) = (0..n).min_by_key(|&v| wg.vwgt[v]) {
+            part[v] = empty as u8;
+        }
+    }
+}
+
+/// Computes a vertex separator of `g` from an edge bisection: the boundary
+/// cut edges form a bipartite graph; a minimum vertex cover of that graph
+/// (König, via maximum matching) is a vertex separator no larger than the
+/// boundary of either side.
+pub fn vertex_separator(g: &CsrGraph, opts: &BisectOptions) -> SeparatorResult {
+    let n = g.n();
+    let part = edge_bisection(g, opts);
+    let mut side: Vec<u8> = part.clone();
+
+    // Boundary vertices on each side.
+    let mut b0: Vec<u32> = Vec::new();
+    let mut b1: Vec<u32> = Vec::new();
+    let mut idx0 = vec![u32::MAX; n];
+    let mut idx1 = vec![u32::MAX; n];
+    for v in 0..n {
+        let pv = part[v];
+        let crosses = g.neighbors(v).iter().any(|&u| part[u as usize] != pv);
+        if crosses {
+            if pv == 0 {
+                idx0[v] = b0.len() as u32;
+                b0.push(v as u32);
+            } else {
+                idx1[v] = b1.len() as u32;
+                b1.push(v as u32);
+            }
+        }
+    }
+
+    // Maximum bipartite matching (Hungarian augmenting paths) between b0
+    // and b1 over the cut edges.
+    let adj0: Vec<Vec<u32>> = b0
+        .iter()
+        .map(|&v| {
+            g.neighbors(v as usize)
+                .iter()
+                .copied()
+                .filter(|&u| part[u as usize] == 1 && idx1[u as usize] != u32::MAX)
+                .map(|u| idx1[u as usize])
+                .collect()
+        })
+        .collect();
+    let (match0, match1) = max_bipartite_matching(&adj0, b1.len());
+
+    // König: alternate BFS from unmatched b0 vertices; cover = (b0 not
+    // reached) ∪ (b1 reached).
+    let mut visited0 = vec![false; b0.len()];
+    let mut visited1 = vec![false; b1.len()];
+    let mut stack: Vec<u32> = (0..b0.len() as u32).filter(|&i| match0[i as usize] == u32::MAX).collect();
+    for &s in &stack {
+        visited0[s as usize] = true;
+    }
+    while let Some(i) = stack.pop() {
+        for &j in &adj0[i as usize] {
+            if !visited1[j as usize] {
+                visited1[j as usize] = true;
+                let m = match1[j as usize];
+                if m != u32::MAX && !visited0[m as usize] {
+                    visited0[m as usize] = true;
+                    stack.push(m);
+                }
+            }
+        }
+    }
+    for (i, &v) in b0.iter().enumerate() {
+        if !visited0[i] {
+            side[v as usize] = 2;
+        }
+    }
+    for (j, &v) in b1.iter().enumerate() {
+        if visited1[j] {
+            side[v as usize] = 2;
+        }
+    }
+
+    let mut counts = [0usize; 3];
+    for &s in &side {
+        counts[s as usize] += 1;
+    }
+    SeparatorResult { side, counts }
+}
+
+/// Hungarian-augmenting-path maximum matching. `adj0[i]` lists right-side
+/// indices adjacent to left vertex `i`. Returns (match of left, match of
+/// right), `u32::MAX` for unmatched.
+fn max_bipartite_matching(adj0: &[Vec<u32>], n1: usize) -> (Vec<u32>, Vec<u32>) {
+    let n0 = adj0.len();
+    let mut match0 = vec![u32::MAX; n0];
+    let mut match1 = vec![u32::MAX; n1];
+    let mut visited = vec![u64::MAX; n1];
+    fn augment(
+        i: usize,
+        adj0: &[Vec<u32>],
+        match0: &mut [u32],
+        match1: &mut [u32],
+        visited: &mut [u64],
+        round: u64,
+    ) -> bool {
+        for &j in &adj0[i] {
+            let j = j as usize;
+            if visited[j] == round {
+                continue;
+            }
+            visited[j] = round;
+            if match1[j] == u32::MAX
+                || augment(match1[j] as usize, adj0, match0, match1, visited, round)
+            {
+                match1[j] = i as u32;
+                match0[i] = j as u32;
+                return true;
+            }
+        }
+        false
+    }
+    for i in 0..n0 {
+        augment(i, adj0, &mut match0, &mut match1, &mut visited, i as u64);
+    }
+    (match0, match1)
+}
+
+/// Verifies that removing the separator disconnects the two sides (test
+/// helper, also used by debug assertions in the ND driver).
+pub fn separator_is_valid(g: &CsrGraph, side: &[u8]) -> bool {
+    for v in 0..g.n() {
+        if side[v] == 2 {
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            if side[u as usize] != 2 && side[u as usize] != side[v] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(nx: usize, ny: usize) -> CsrGraph {
+        let mut e = Vec::new();
+        let id = |x: usize, y: usize| (x + nx * y) as u32;
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    e.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < ny {
+                    e.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        CsrGraph::from_edges(nx * ny, &e)
+    }
+
+    #[test]
+    fn bisection_is_balanced_on_grid() {
+        let g = grid(16, 16);
+        let part = edge_bisection(&g, &BisectOptions::default());
+        let c0 = part.iter().filter(|&&p| p == 0).count();
+        let c1 = part.len() - c0;
+        assert!(c0 > 0 && c1 > 0);
+        let ratio = c0.max(c1) as f64 / (part.len() as f64 / 2.0);
+        assert!(ratio < 1.3, "imbalance {ratio}");
+    }
+
+    #[test]
+    fn separator_separates_grid() {
+        let g = grid(12, 12);
+        let r = vertex_separator(&g, &BisectOptions::default());
+        assert!(separator_is_valid(&g, &r.side));
+        assert!(r.counts[0] > 0 && r.counts[1] > 0);
+        // A 12x12 grid has a natural separator of ~12 vertices; allow slack.
+        assert!(r.counts[2] <= 30, "separator too fat: {}", r.counts[2]);
+    }
+
+    #[test]
+    fn separator_on_path_is_tiny() {
+        let n = 100;
+        let g = CsrGraph::from_edges(n, &(0..n as u32 - 1).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let r = vertex_separator(&g, &BisectOptions::default());
+        assert!(separator_is_valid(&g, &r.side));
+        assert!(r.counts[2] <= 3, "path separator: {}", r.counts[2]);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = CsrGraph::from_edges(10, &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (8, 9)]);
+        let r = vertex_separator(&g, &BisectOptions::default());
+        assert!(separator_is_valid(&g, &r.side));
+    }
+
+    #[test]
+    fn handles_tiny_graphs() {
+        for n in 1..5usize {
+            let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            let r = vertex_separator(&g, &BisectOptions::default());
+            assert!(separator_is_valid(&g, &r.side));
+            assert_eq!(r.counts[0] + r.counts[1] + r.counts[2], n);
+        }
+    }
+
+    #[test]
+    fn matching_simple() {
+        // 2x2 complete bipartite: perfect matching of size 2.
+        let adj = vec![vec![0, 1], vec![0, 1]];
+        let (m0, m1) = max_bipartite_matching(&adj, 2);
+        assert!(m0.iter().all(|&m| m != u32::MAX));
+        assert!(m1.iter().all(|&m| m != u32::MAX));
+        assert_ne!(m0[0], m0[1]);
+    }
+
+    #[test]
+    fn koenig_cover_smaller_than_boundary() {
+        // Star across the cut: left {0}, right {1,2,3} all adjacent to 0.
+        // Cover should be just vertex 0.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)]);
+        let r = vertex_separator(&g, &BisectOptions { seed: 3, ..Default::default() });
+        assert!(separator_is_valid(&g, &r.side));
+        assert!(r.counts[2] <= 2);
+    }
+
+    #[test]
+    fn imbalance_bound_respected_after_refinement() {
+        let g = grid(14, 14);
+        for tol in [1.05f64, 1.2, 1.5] {
+            let part = edge_bisection(&g, &BisectOptions { imbalance: tol, ..Default::default() });
+            let c0 = part.iter().filter(|&&p| p == 0).count();
+            let c1 = part.len() - c0;
+            let ratio = c0.max(c1) as f64 / (part.len() as f64 / 2.0);
+            // The initial growing targets half the weight; refinement must
+            // not push beyond the configured tolerance by more than one
+            // vertex worth of slack.
+            assert!(ratio <= tol + 2.0 / part.len() as f64 * 2.0 + 0.15, "tol {tol}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_separator() {
+        // K6: any split works; the separator must still be valid.
+        let mut e = Vec::new();
+        for i in 0..6u32 {
+            for j in 0..i {
+                e.push((i, j));
+            }
+        }
+        let g = CsrGraph::from_edges(6, &e);
+        let r = vertex_separator(&g, &BisectOptions::default());
+        assert!(separator_is_valid(&g, &r.side));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = grid(10, 10);
+        let a = vertex_separator(&g, &BisectOptions::default());
+        let b = vertex_separator(&g, &BisectOptions::default());
+        assert_eq!(a.side, b.side);
+    }
+}

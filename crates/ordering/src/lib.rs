@@ -1,0 +1,22 @@
+//! # pastix-ordering
+//!
+//! The ordering phase of the PaStiX reproduction: a tight coupling of
+//! nested dissection (multilevel vertex separators, the Scotch substitute)
+//! with (halo) minimum degree on the leaf subgraphs, as in
+//! Pellegrini–Roman–Amestoy and the PaStiX paper.
+//!
+//! Entry points: [`nested_dissection`] with [`OrderingOptions::scotch_like`]
+//! (PaStiX side) or [`OrderingOptions::metis_like`] (PSPASES side), and the
+//! lower-level pieces [`bisect`] and [`md`] for direct use.
+
+#![warn(missing_docs)]
+
+pub mod bisect;
+pub mod md;
+pub mod nd;
+pub mod rcm;
+
+pub use bisect::{edge_bisection, separator_is_valid, vertex_separator, BisectOptions, SeparatorResult};
+pub use md::{min_degree, MdOrder};
+pub use nd::{nested_dissection, pure_min_degree, LeafMode, OrderingOptions};
+pub use rcm::{bandwidth, reverse_cuthill_mckee};

@@ -1,0 +1,486 @@
+//! Quotient-graph minimum degree ordering with halo support.
+//!
+//! This is the "(Halo) Approximate Minimum Degree" leg of the paper's
+//! ordering strategy: nested dissection handles the top of the tree and the
+//! remaining subgraphs are ordered by minimum degree, *taking into account
+//! the halo* — the separator vertices adjacent to the subgraph, which are
+//! eliminated later and therefore contribute fill to the subgraph but must
+//! never be picked as pivots (Pellegrini, Roman & Amestoy).
+//!
+//! The implementation uses the classical quotient-graph machinery of AMD
+//! (elements absorbing elements, supervariable merging by adjacency
+//! hashing, mass elimination) with *exact* external degrees rather than
+//! the AMD upper bound — an accuracy/simplicity trade-off that is
+//! immaterial at the subgraph sizes nested dissection leaves behind, and
+//! documented as such in DESIGN.md.
+
+use pastix_graph::CsrGraph;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// Ordering produced by [`min_degree`]: ranks for the eliminable vertices.
+#[derive(Debug, Clone)]
+pub struct MdOrder {
+    /// `order[r] = local vertex id eliminated at rank r`; halo vertices do
+    /// not appear.
+    pub order: Vec<u32>,
+}
+
+/// Runs (halo) minimum degree on `g`. `is_halo[v]` marks vertices that are
+/// adjacent context only: they contribute to degrees and fill but are never
+/// eliminated and receive no rank. Returns the elimination order of the
+/// non-halo vertices.
+pub fn min_degree(g: &CsrGraph, is_halo: &[bool]) -> MdOrder {
+    let n = g.n();
+    assert_eq!(is_halo.len(), n);
+    let mut q = Quotient::new(g, is_halo);
+    let n_elim: usize = is_halo.iter().filter(|&&h| !h).count();
+    let mut order = Vec::with_capacity(n_elim);
+
+    // Lazy min-heap of (degree, vertex). Stale entries are skipped on pop.
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    for v in 0..n {
+        if !is_halo[v] {
+            heap.push(Reverse((q.degree[v], v as u32)));
+        }
+    }
+
+    while order.len() < n_elim {
+        let (deg, p) = loop {
+            let Reverse((d, v)) = heap.pop().expect("heap exhausted before ordering finished");
+            let v = v as usize;
+            if q.state[v] == State::Variable && !q.is_halo[v] && q.degree[v] == d {
+                break (d, v);
+            }
+        };
+        let _ = deg;
+        // Eliminate the supervariable p: p and everything absorbed into it
+        // get consecutive ranks.
+        q.emit_supervariable(p, &mut order);
+        let touched = q.eliminate(p);
+        for &v in &touched {
+            if q.state[v as usize] == State::Variable && !q.is_halo[v as usize] {
+                heap.push(Reverse((q.degree[v as usize], v)));
+            }
+        }
+    }
+    MdOrder { order }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Still a variable (possibly a supervariable principal).
+    Variable,
+    /// Eliminated: now an element of the quotient graph.
+    Element,
+    /// Absorbed into another supervariable or element; inert.
+    Dead,
+}
+
+/// The quotient graph: variables hold plain adjacency (to variables) and a
+/// list of adjacent elements; an element holds its variable list.
+struct Quotient<'a> {
+    g: &'a CsrGraph,
+    is_halo: Vec<bool>,
+    state: Vec<State>,
+    /// Supervariable weight (number of original vertices represented).
+    weight: Vec<u32>,
+    /// Next vertex absorbed into this supervariable (intrusive list).
+    sv_next: Vec<u32>,
+    /// Variable→variable adjacency (kept pruned of dead/eliminated ids).
+    var_adj: Vec<Vec<u32>>,
+    /// Variable→element adjacency.
+    var_elems: Vec<Vec<u32>>,
+    /// Element→variable lists.
+    elem_vars: Vec<Vec<u32>>,
+    /// External degree of each variable (sum of weights of distinct
+    /// adjacent variables, through both plain edges and elements).
+    degree: Vec<u32>,
+    /// Visit stamps for set unions.
+    stamp: Vec<u64>,
+    cur_stamp: u64,
+}
+
+impl<'a> Quotient<'a> {
+    fn new(g: &'a CsrGraph, is_halo: &[bool]) -> Self {
+        let n = g.n();
+        let var_adj: Vec<Vec<u32>> = (0..n).map(|v| g.neighbors(v).to_vec()).collect();
+        let mut q = Quotient {
+            g,
+            is_halo: is_halo.to_vec(),
+            state: vec![State::Variable; n],
+            weight: vec![1; n],
+            sv_next: vec![u32::MAX; n],
+            var_adj,
+            var_elems: vec![Vec::new(); n],
+            elem_vars: vec![Vec::new(); n],
+            degree: vec![0; n],
+            stamp: vec![0; n],
+            cur_stamp: 0,
+        };
+        for v in 0..n {
+            q.degree[v] = q.g.degree(v) as u32;
+        }
+        q
+    }
+
+    fn bump_stamp(&mut self) -> u64 {
+        self.cur_stamp += 1;
+        self.cur_stamp
+    }
+
+    /// Pushes `p` and its absorbed chain into the order vector.
+    fn emit_supervariable(&self, p: usize, order: &mut Vec<u32>) {
+        let mut v = p as u32;
+        while v != u32::MAX {
+            order.push(v);
+            v = self.sv_next[v as usize];
+        }
+    }
+
+    /// Eliminates variable `p`, forming a new element; returns the set of
+    /// variables whose degrees changed.
+    fn eliminate(&mut self, p: usize) -> Vec<u32> {
+        debug_assert_eq!(self.state[p], State::Variable);
+        // Gather L_p = (A_p ∪ ⋃_{e ∋ p} L_e) \ {p}: the variables of the
+        // new element.
+        let s = self.bump_stamp();
+        self.stamp[p] = s;
+        let mut lp: Vec<u32> = Vec::new();
+        for &v in &self.var_adj[p] {
+            let v = v as usize;
+            if self.state[v] == State::Variable && self.stamp[v] != s {
+                self.stamp[v] = s;
+                lp.push(v as u32);
+            }
+        }
+        let elems = std::mem::take(&mut self.var_elems[p]);
+        for &e in &elems {
+            for &v in &self.elem_vars[e as usize] {
+                let v = v as usize;
+                if self.state[v] == State::Variable && v != p && self.stamp[v] != s {
+                    self.stamp[v] = s;
+                    lp.push(v as u32);
+                }
+            }
+            // Element absorption: e disappears into the new element p.
+            self.elem_vars[e as usize].clear();
+            self.state[e as usize] = State::Dead;
+        }
+        self.state[p] = State::Element;
+        self.elem_vars[p] = lp.clone();
+
+        // Update each variable in L_p: remove absorbed elements and p from
+        // its lists, attach the new element, recompute exact degree.
+        for &v in &lp {
+            let v = v as usize;
+            // Prune var_adj of p and of fellow L_p members (those edges are
+            // now covered by the element) — keeping lists short is what
+            // makes the quotient graph efficient.
+            let stamp_now = s;
+            let mut adj = std::mem::take(&mut self.var_adj[v]);
+            adj.retain(|&u| {
+                let u = u as usize;
+                self.state[u] == State::Variable && self.stamp[u] != stamp_now
+            });
+            self.var_adj[v] = adj;
+            let mut els = std::mem::take(&mut self.var_elems[v]);
+            els.retain(|&e| self.state[e as usize] == State::Element);
+            els.push(p as u32);
+            self.var_elems[v] = els;
+        }
+
+        // Supervariable detection: hash variables of L_p by their adjacency
+        // signature and merge indistinguishable ones.
+        self.merge_supervariables(&lp);
+
+        // Exact external degrees for (surviving) members of L_p.
+        let survivors: Vec<u32> = lp
+            .iter()
+            .copied()
+            .filter(|&v| self.state[v as usize] == State::Variable)
+            .collect();
+        for &v in &survivors {
+            self.degree[v as usize] = self.exact_degree(v as usize);
+        }
+        survivors
+    }
+
+    /// Exact external degree of `v`: total weight of distinct variables
+    /// reachable through plain edges or shared elements.
+    fn exact_degree(&mut self, v: usize) -> u32 {
+        let s = self.bump_stamp();
+        self.stamp[v] = s;
+        let mut d = 0u32;
+        for &u in &self.var_adj[v] {
+            let u = u as usize;
+            if self.state[u] == State::Variable && self.stamp[u] != s {
+                self.stamp[u] = s;
+                d += self.weight[u];
+            }
+        }
+        for &e in &self.var_elems[v] {
+            for &u in &self.elem_vars[e as usize] {
+                let u = u as usize;
+                if self.state[u] == State::Variable && u != v && self.stamp[u] != s {
+                    self.stamp[u] = s;
+                    d += self.weight[u];
+                }
+            }
+        }
+        d
+    }
+
+    /// Merges indistinguishable variables among `cands` (same element list
+    /// and same pruned variable adjacency ⇒ identical future fill). Halo
+    /// and non-halo variables are never merged together.
+    fn merge_supervariables(&mut self, cands: &[u32]) {
+        use std::collections::HashMap;
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        for &v in cands {
+            if self.state[v as usize] != State::Variable {
+                continue;
+            }
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut mix = |x: u64| {
+                h ^= x;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            };
+            let mut es: Vec<u32> = self.var_elems[v as usize].clone();
+            es.sort_unstable();
+            for e in es {
+                mix(e as u64 + 1);
+            }
+            mix(0xFFFF_FFFF);
+            let mut vs: Vec<u32> = self.var_adj[v as usize]
+                .iter()
+                .copied()
+                .filter(|&u| self.state[u as usize] == State::Variable)
+                .collect();
+            vs.sort_unstable();
+            vs.dedup();
+            for u in vs {
+                mix(u as u64 + 1);
+            }
+            buckets.entry(h).or_default().push(v);
+        }
+        for (_, group) in buckets {
+            if group.len() < 2 {
+                continue;
+            }
+            // Verify true indistinguishability pairwise within the bucket
+            // (hash collisions must not corrupt the ordering).
+            let mut reps: Vec<u32> = Vec::new();
+            'outer: for &v in &group {
+                if self.state[v as usize] != State::Variable {
+                    continue;
+                }
+                for &r in &reps {
+                    if self.is_halo[v as usize] == self.is_halo[r as usize]
+                        && self.indistinguishable(r as usize, v as usize)
+                    {
+                        self.absorb(r as usize, v as usize);
+                        continue 'outer;
+                    }
+                }
+                reps.push(v);
+            }
+        }
+    }
+
+    /// True when `a` and `b` have identical element lists and identical
+    /// live variable adjacency (modulo each other).
+    fn indistinguishable(&mut self, a: usize, b: usize) -> bool {
+        let ea: Vec<u32> = {
+            let mut e = self.var_elems[a].clone();
+            e.sort_unstable();
+            e
+        };
+        let eb: Vec<u32> = {
+            let mut e = self.var_elems[b].clone();
+            e.sort_unstable();
+            e
+        };
+        if ea != eb {
+            return false;
+        }
+        let clean = |q: &Quotient, v: usize, other: usize| -> Vec<u32> {
+            let mut vs: Vec<u32> = q.var_adj[v]
+                .iter()
+                .copied()
+                .filter(|&u| q.state[u as usize] == State::Variable && u as usize != other)
+                .collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        };
+        clean(self, a, b) == clean(self, b, a)
+    }
+
+    /// Absorbs supervariable `b` into `a`.
+    fn absorb(&mut self, a: usize, b: usize) {
+        debug_assert_eq!(self.state[b], State::Variable);
+        self.weight[a] += self.weight[b];
+        self.state[b] = State::Dead;
+        // Append b's chain to a's chain.
+        let mut tail = a;
+        while self.sv_next[tail] != u32::MAX {
+            tail = self.sv_next[tail] as usize;
+        }
+        self.sv_next[tail] = b as u32;
+        self.var_adj[b].clear();
+        self.var_elems[b].clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastix_graph::CsrGraph;
+
+    fn path(n: usize) -> CsrGraph {
+        CsrGraph::from_edges(n, &(0..n as u32 - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+    }
+
+    fn grid(nx: usize, ny: usize) -> CsrGraph {
+        let mut e = Vec::new();
+        let id = |x: usize, y: usize| (x + nx * y) as u32;
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    e.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < ny {
+                    e.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        CsrGraph::from_edges(nx * ny, &e)
+    }
+
+    fn assert_is_permutation(order: &[u32], n: usize, halo: &[bool]) {
+        let n_elim = halo.iter().filter(|&&h| !h).count();
+        assert_eq!(order.len(), n_elim);
+        let mut seen = vec![false; n];
+        for &v in order {
+            assert!(!seen[v as usize], "duplicate {v}");
+            assert!(!halo[v as usize], "halo vertex {v} was ordered");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn orders_path_completely() {
+        let g = path(10);
+        let halo = vec![false; 10];
+        let o = min_degree(&g, &halo);
+        assert_is_permutation(&o.order, 10, &halo);
+        // On a path, minimum degree should not eliminate an interior vertex
+        // before its neighbors make it degree-1 — first pivot has degree 1.
+        let first = o.order[0] as usize;
+        assert!(g.degree(first) == 1);
+    }
+
+    #[test]
+    fn orders_grid_completely() {
+        let g = grid(7, 6);
+        let halo = vec![false; 42];
+        let o = min_degree(&g, &halo);
+        assert_is_permutation(&o.order, 42, &halo);
+    }
+
+    #[test]
+    fn halo_vertices_excluded_but_counted() {
+        // Star: center 0 connected to 1..=4; mark 0 as halo. All leaves have
+        // degree 1 (the halo center) and can be eliminated in any order.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let halo = vec![true, false, false, false, false];
+        let o = min_degree(&g, &halo);
+        assert_is_permutation(&o.order, 5, &halo);
+    }
+
+    #[test]
+    fn halo_raises_degree_and_changes_pivots() {
+        // Path 0-1-2-3-4 with halo at 0: vertex 1 now behaves like an
+        // interior vertex (degree 2), so the first pivot must be vertex 4
+        // (the only true degree-1 eliminable vertex).
+        let g = path(5);
+        let halo = vec![true, false, false, false, false];
+        let o = min_degree(&g, &halo);
+        assert_eq!(o.order[0], 4);
+    }
+
+    #[test]
+    fn clique_orders_all_with_mass_elimination() {
+        // K5: all vertices indistinguishable; supervariable merging should
+        // cause them to be emitted in one or two pivots, but all 5 appear.
+        let mut e = Vec::new();
+        for i in 0..5u32 {
+            for j in 0..i {
+                e.push((i, j));
+            }
+        }
+        let g = CsrGraph::from_edges(5, &e);
+        let halo = vec![false; 5];
+        let o = min_degree(&g, &halo);
+        assert_is_permutation(&o.order, 5, &halo);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (2, 3)]);
+        let halo = vec![false; 6];
+        let o = min_degree(&g, &halo);
+        assert_is_permutation(&o.order, 6, &halo);
+    }
+
+    #[test]
+    fn all_halo_is_empty_order() {
+        let g = path(4);
+        let halo = vec![true; 4];
+        let o = min_degree(&g, &halo);
+        assert!(o.order.is_empty());
+    }
+
+    #[test]
+    fn star_center_not_an_early_pivot() {
+        // Star K(1,6): leaves have degree 1, center 6 — minimum degree
+        // must burn through several leaves before the center's degree can
+        // compete (it may legally beat the *last* leaf on a tie).
+        let edges: Vec<(u32, u32)> = (1..7u32).map(|v| (0, v)).collect();
+        let g = CsrGraph::from_edges(7, &edges);
+        let o = min_degree(&g, &[false; 7]);
+        let pos = o.order.iter().position(|&v| v == 0).unwrap();
+        assert!(pos >= 4, "center eliminated at position {pos}");
+    }
+
+    #[test]
+    fn two_cliques_bridge_is_perfect_first_pivot() {
+        // Two K4s joined by a degree-2 bridge vertex: the bridge has the
+        // global minimum degree, so MD eliminates it first — and that is
+        // the right call (fill = one edge between the cliques). Verify it
+        // happens and the ordering stays complete.
+        let mut e = Vec::new();
+        for i in 0..4u32 {
+            for j in 0..i {
+                e.push((i, j));
+                e.push((i + 5, j + 5));
+            }
+        }
+        e.push((3, 4));
+        e.push((4, 5));
+        let g = CsrGraph::from_edges(9, &e);
+        let o = min_degree(&g, &[false; 9]);
+        assert_eq!(o.order[0], 4, "the degree-2 bridge is the minimum");
+        assert_eq!(o.order.len(), 9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = grid(9, 9);
+        let halo = vec![false; 81];
+        let a = min_degree(&g, &halo).order;
+        let b = min_degree(&g, &halo).order;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,317 @@
+//! Nested dissection driver.
+//!
+//! Implements the paper's ordering phase: *"a tight coupling of the Nested
+//! Dissection and Approximate Minimum Degree algorithms; the partition of
+//! the original graph into supernodes is achieved by merging the partition
+//! of separators computed by the Nested Dissection algorithm and the
+//! supernodes amalgamated for each subgraph ordered by Halo Approximate
+//! Minimum Degree"*.
+//!
+//! The driver recursively bisects the graph with a vertex separator
+//! ([`crate::bisect`]), numbers the two halves first and the separator
+//! last, and switches to (halo) minimum degree on subgraphs below the leaf
+//! threshold. The two sibling subtrees are independent and ordered in
+//! parallel with `rayon::join` — the natural fork-join shape of nested
+//! dissection. The supernode partition itself is recovered afterwards by
+//! the symbolic phase (fundamental supernodes + amalgamation), which merges
+//! the separator supernodes and the leaf supernodes exactly as the paper
+//! describes.
+
+use crate::bisect::{vertex_separator, BisectOptions};
+use crate::md::min_degree;
+use pastix_graph::{CsrGraph, Permutation};
+
+/// How leaf subgraphs (below the dissection threshold) are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafMode {
+    /// Halo minimum degree — the "Scotch-like" coupling of the paper: the
+    /// separator vertices adjacent to the subgraph participate in degrees.
+    HaloMinDegree,
+    /// Plain minimum degree, blind to the halo — the "MeTiS-like" variant
+    /// used to reproduce Table 1's second metric set.
+    MinDegree,
+    /// No reordering of leaves (debug/reference only).
+    Natural,
+}
+
+/// Options of the nested dissection ordering.
+#[derive(Debug, Clone)]
+pub struct OrderingOptions {
+    /// Subgraphs at or below this size are ordered by the leaf algorithm.
+    pub leaf_size: usize,
+    /// Leaf ordering algorithm.
+    pub leaf_mode: LeafMode,
+    /// Bisection knobs.
+    pub bisect: BisectOptions,
+    /// Order independent subtrees with `rayon::join`.
+    pub parallel: bool,
+}
+
+impl Default for OrderingOptions {
+    fn default() -> Self {
+        Self {
+            leaf_size: 120,
+            leaf_mode: LeafMode::HaloMinDegree,
+            bisect: BisectOptions::default(),
+            parallel: true,
+        }
+    }
+}
+
+impl OrderingOptions {
+    /// The paper's PaStiX-side ordering (Scotch-like: ND + Halo-MD).
+    pub fn scotch_like() -> Self {
+        Self::default()
+    }
+
+    /// The paper's PSPASES-side ordering (MeTiS-like: ND + plain MD).
+    pub fn metis_like() -> Self {
+        Self {
+            leaf_mode: LeafMode::MinDegree,
+            ..Self::default()
+        }
+    }
+}
+
+/// Computes a fill-reducing ordering of `g` by nested dissection.
+///
+/// ```
+/// use pastix_graph::CsrGraph;
+/// use pastix_ordering::{nested_dissection, OrderingOptions};
+/// // A 6x6 grid graph.
+/// let mut e = Vec::new();
+/// for y in 0..6u32 {
+///     for x in 0..6u32 {
+///         if x + 1 < 6 { e.push((x + 6 * y, x + 1 + 6 * y)); }
+///         if y + 1 < 6 { e.push((x + 6 * y, x + 6 * (y + 1))); }
+///     }
+/// }
+/// let g = CsrGraph::from_edges(36, &e);
+/// let perm = nested_dissection(&g, &OrderingOptions::scotch_like());
+/// assert!(perm.validate());
+/// ```
+pub fn nested_dissection(g: &CsrGraph, opts: &OrderingOptions) -> Permutation {
+    let n = g.n();
+    let verts: Vec<u32> = (0..n as u32).collect();
+    let mut perm = vec![0u32; n];
+    recurse(g, verts, &mut perm, opts, 0, opts.bisect.seed);
+    Permutation::from_perm(perm)
+}
+
+/// Pure (halo-free) minimum degree over the whole graph; the classical
+/// single-strategy baseline used by the ordering comparison example.
+pub fn pure_min_degree(g: &CsrGraph) -> Permutation {
+    let halo = vec![false; g.n()];
+    let o = min_degree(g, &halo);
+    Permutation::from_perm(o.order)
+}
+
+fn recurse(
+    g0: &CsrGraph,
+    verts: Vec<u32>,
+    out: &mut [u32],
+    opts: &OrderingOptions,
+    depth: usize,
+    seed: u64,
+) {
+    debug_assert_eq!(verts.len(), out.len());
+    let nv = verts.len();
+    if nv == 0 {
+        return;
+    }
+    if nv <= opts.leaf_size || depth >= 60 {
+        order_leaf(g0, &verts, out, opts.leaf_mode);
+        return;
+    }
+    let sub = g0.induced_subgraph(&verts);
+    let mut bopts = opts.bisect.clone();
+    // Decorrelate sibling seeds deterministically.
+    bopts.seed = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(depth as u64)
+        .wrapping_add(verts[0] as u64);
+    let sep = vertex_separator(&sub, &bopts);
+    if sep.counts[0] == 0 || sep.counts[1] == 0 {
+        // Degenerate split (tiny or pathological graph): stop dissecting.
+        order_leaf(g0, &verts, out, opts.leaf_mode);
+        return;
+    }
+    let mut v0 = Vec::with_capacity(sep.counts[0]);
+    let mut v1 = Vec::with_capacity(sep.counts[1]);
+    let mut vs = Vec::with_capacity(sep.counts[2]);
+    for (loc, &gid) in verts.iter().enumerate() {
+        match sep.side[loc] {
+            0 => v0.push(gid),
+            1 => v1.push(gid),
+            _ => vs.push(gid),
+        }
+    }
+    let (n0, n1) = (v0.len(), v1.len());
+    let (halves, out_sep) = out.split_at_mut(n0 + n1);
+    let (out0, out1) = halves.split_at_mut(n0);
+    // Separator vertices are numbered last, in natural order.
+    out_sep.copy_from_slice(&vs);
+
+    let seed0 = seed.wrapping_add(1);
+    let seed1 = seed.wrapping_add(2);
+    // A parallel cutoff keeps join overhead away from small subtrees.
+    if opts.parallel && n0.min(n1) > 2048 {
+        rayon::join(
+            || recurse(g0, v0, out0, opts, depth + 1, seed0),
+            || recurse(g0, v1, out1, opts, depth + 1, seed1),
+        );
+    } else {
+        recurse(g0, v0, out0, opts, depth + 1, seed0);
+        recurse(g0, v1, out1, opts, depth + 1, seed1);
+    }
+    let _ = n1;
+}
+
+/// Orders a leaf subgraph, writing global ids in elimination order.
+fn order_leaf(g0: &CsrGraph, verts: &[u32], out: &mut [u32], mode: LeafMode) {
+    match mode {
+        LeafMode::Natural => out.copy_from_slice(verts),
+        LeafMode::MinDegree => {
+            let sub = g0.induced_subgraph(verts);
+            let halo = vec![false; verts.len()];
+            let o = min_degree(&sub, &halo);
+            for (r, &loc) in o.order.iter().enumerate() {
+                out[r] = verts[loc as usize];
+            }
+        }
+        LeafMode::HaloMinDegree => {
+            // Halo = outside neighbors of the leaf (separator vertices of
+            // some ancestor, eliminated after every leaf vertex).
+            let mut in_leaf = std::collections::HashSet::with_capacity(verts.len());
+            for &v in verts {
+                in_leaf.insert(v);
+            }
+            let mut halo_ids: Vec<u32> = Vec::new();
+            for &v in verts {
+                for &u in g0.neighbors(v as usize) {
+                    if !in_leaf.contains(&u) {
+                        halo_ids.push(u);
+                    }
+                }
+            }
+            halo_ids.sort_unstable();
+            halo_ids.dedup();
+            // Combined, sorted vertex list for the induced subgraph.
+            let mut combined: Vec<u32> = Vec::with_capacity(verts.len() + halo_ids.len());
+            let mut is_halo: Vec<bool> = Vec::with_capacity(combined.capacity());
+            let (mut i, mut j) = (0, 0);
+            while i < verts.len() || j < halo_ids.len() {
+                if j >= halo_ids.len() || (i < verts.len() && verts[i] < halo_ids[j]) {
+                    combined.push(verts[i]);
+                    is_halo.push(false);
+                    i += 1;
+                } else {
+                    combined.push(halo_ids[j]);
+                    is_halo.push(true);
+                    j += 1;
+                }
+            }
+            let sub = g0.induced_subgraph(&combined);
+            let o = min_degree(&sub, &is_halo);
+            for (r, &loc) in o.order.iter().enumerate() {
+                out[r] = combined[loc as usize];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(nx: usize, ny: usize) -> CsrGraph {
+        let mut e = Vec::new();
+        let id = |x: usize, y: usize| (x + nx * y) as u32;
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    e.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < ny {
+                    e.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        CsrGraph::from_edges(nx * ny, &e)
+    }
+
+    #[test]
+    fn produces_valid_permutation() {
+        let g = grid(20, 20);
+        for mode in [LeafMode::HaloMinDegree, LeafMode::MinDegree, LeafMode::Natural] {
+            let opts = OrderingOptions {
+                leaf_mode: mode,
+                leaf_size: 30,
+                ..Default::default()
+            };
+            let p = nested_dissection(&g, &opts);
+            assert!(p.validate(), "invalid permutation for {mode:?}");
+            assert_eq!(p.len(), 400);
+        }
+    }
+
+    #[test]
+    fn small_graph_falls_through_to_leaf() {
+        let g = grid(3, 3);
+        let p = nested_dissection(&g, &OrderingOptions::default());
+        assert!(p.validate());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let p = nested_dissection(&g, &OrderingOptions::default());
+        assert_eq!(p.len(), 0);
+        let g1 = CsrGraph::from_edges(1, &[]);
+        let p1 = nested_dissection(&g1, &OrderingOptions::default());
+        assert_eq!(p1.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_sequential_vs_parallel() {
+        let g = grid(30, 30);
+        let mut o1 = OrderingOptions::default();
+        o1.leaf_size = 40;
+        o1.parallel = false;
+        let mut o2 = o1.clone();
+        o2.parallel = true;
+        let p1 = nested_dissection(&g, &o1);
+        let p2 = nested_dissection(&g, &o2);
+        assert_eq!(p1.perm(), p2.perm());
+    }
+
+    #[test]
+    fn pure_md_is_valid() {
+        let g = grid(12, 12);
+        let p = pure_min_degree(&g);
+        assert!(p.validate());
+    }
+
+    #[test]
+    fn disconnected_graph_ordered_fully() {
+        let g = CsrGraph::from_edges(7, &[(0, 1), (2, 3), (3, 4)]);
+        let p = nested_dissection(&g, &OrderingOptions::default());
+        assert!(p.validate());
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn separator_vertices_numbered_after_halves() {
+        // On a 2D grid with a forced top-level split, the last-numbered
+        // vertices should (mostly) form the top separator. We can't observe
+        // the separator directly through the public API, but we can check
+        // the ND signature: the very last vertex's neighbors in the graph
+        // span both "sides" of the ordering, i.e. fill-reducing structure.
+        // Weak but meaningful sanity: orderings differ from natural.
+        let g = grid(16, 16);
+        let p = nested_dissection(&g, &OrderingOptions { leaf_size: 16, ..Default::default() });
+        assert!(p.validate());
+        let natural: Vec<u32> = (0..256).collect();
+        assert_ne!(p.perm(), &natural[..]);
+    }
+}

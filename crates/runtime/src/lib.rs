@@ -1,0 +1,443 @@
+//! # pastix-runtime
+//!
+//! An in-process message-passing runtime: the MPI substitute of this
+//! reproduction. Each *logical processor* is a thread with a rank, an
+//! unbounded mailbox, and the ability to send typed messages to any peer —
+//! exactly the communication surface the fan-in solver needs (factor-block
+//! sends and aggregated-update-block sends, all asynchronous, received in
+//! any order).
+//!
+//! Because the static schedule makes every processor's task order fixed,
+//! the solver knows *what* it is waiting for at each step; the
+//! [`TaggedMailbox`] buffers early messages until their turn comes, which
+//! is how PaStiX's asynchronous MPI receives are modeled in-process.
+
+#![warn(missing_docs)]
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A received message with its sender rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<M> {
+    /// Sender rank.
+    pub from: usize,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Per-processor communication context handed to each SPMD closure.
+pub struct ProcCtx<M> {
+    rank: usize,
+    n_procs: usize,
+    peers: Vec<Sender<Envelope<M>>>,
+    inbox: Receiver<Envelope<M>>,
+}
+
+impl<M: Send> ProcCtx<M> {
+    /// This processor's rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of logical processors.
+    #[inline]
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Sends a message to `to` (sending to self is allowed and delivered
+    /// through the same mailbox).
+    pub fn send(&self, to: usize, msg: M) {
+        self.peers[to]
+            .send(Envelope {
+                from: self.rank,
+                msg,
+            })
+            .expect("peer mailbox closed");
+    }
+
+    /// Sends a message, returning `false` instead of panicking when the
+    /// peer already exited (used by error-propagation paths, where a
+    /// recipient may have unwound before the message was produced).
+    pub fn send_lossy(&self, to: usize, msg: M) -> bool {
+        self.peers[to]
+            .send(Envelope {
+                from: self.rank,
+                msg,
+            })
+            .is_ok()
+    }
+
+    /// Blocking receive of the next message in arrival order.
+    pub fn recv(&self) -> Envelope<M> {
+        self.inbox.recv().expect("all senders dropped while receiving")
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.inbox.try_recv().ok()
+    }
+}
+
+/// Runs `n_procs` logical processors, each executing `f(ctx)`, and returns
+/// their results in rank order. Threads are scoped: panics propagate.
+///
+/// ```
+/// use pastix_runtime::run_spmd;
+/// // Every rank sends its rank to rank 0; rank 0 sums.
+/// let out = run_spmd::<usize, usize, _>(3, |ctx| {
+///     if ctx.rank() == 0 {
+///         (1..ctx.n_procs()).map(|_| ctx.recv().msg).sum()
+///     } else {
+///         ctx.send(0, ctx.rank());
+///         0
+///     }
+/// });
+/// assert_eq!(out[0], 3);
+/// ```
+pub fn run_spmd<M, R, F>(n_procs: usize, f: F) -> Vec<R>
+where
+    M: Send,
+    R: Send,
+    F: Fn(ProcCtx<M>) -> R + Sync,
+{
+    assert!(n_procs >= 1);
+    let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n_procs);
+    let mut receivers: Vec<Option<Receiver<Envelope<M>>>> = Vec::with_capacity(n_procs);
+    for _ in 0..n_procs {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+    let contexts: Vec<ProcCtx<M>> = receivers
+        .iter_mut()
+        .enumerate()
+        .map(|(rank, rx)| ProcCtx {
+            rank,
+            n_procs,
+            peers: senders.clone(),
+            inbox: rx.take().unwrap(),
+        })
+        .collect();
+    drop(senders);
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = contexts
+            .into_iter()
+            .map(|ctx| scope.spawn(move |_| f(ctx)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("a logical processor panicked")
+}
+
+/// Collective operations built on the point-to-point layer. They follow
+/// simple linear (rank-0-rooted) patterns — adequate for the phase
+/// boundaries of a solver whose steady state is fully asynchronous.
+pub mod collective {
+    use super::{Envelope, ProcCtx};
+
+    /// Barrier: everyone reports to rank 0, rank 0 releases everyone.
+    /// Messages of type `M` must be constructible for the signal; the
+    /// caller provides the signal value and a predicate recognizing it.
+    /// The barrier must not be interleaved with other in-flight traffic.
+    pub fn barrier<M: Send + Clone>(ctx: &ProcCtx<M>, signal: M) {
+        let p = ctx.n_procs();
+        if p == 1 {
+            return;
+        }
+        if ctx.rank() == 0 {
+            for _ in 1..p {
+                let _ = ctx.recv();
+            }
+            for q in 1..p {
+                ctx.send(q, signal.clone());
+            }
+        } else {
+            ctx.send(0, signal.clone());
+            let _ = ctx.recv();
+        }
+    }
+
+    /// Broadcast from `root`: returns the payload on every rank.
+    pub fn broadcast<M: Send + Clone>(ctx: &ProcCtx<M>, root: usize, value: Option<M>) -> M {
+        if ctx.rank() == root {
+            let v = value.expect("root must supply the broadcast value");
+            for q in 0..ctx.n_procs() {
+                if q != root {
+                    ctx.send(q, v.clone());
+                }
+            }
+            v
+        } else {
+            ctx.recv().msg
+        }
+    }
+
+    /// All-reduce with a commutative combiner; linear gather to rank 0 then
+    /// broadcast. Returns the combined value on every rank.
+    pub fn all_reduce<M, F>(ctx: &ProcCtx<M>, mine: M, combine: F) -> M
+    where
+        M: Send + Clone,
+        F: Fn(M, M) -> M,
+    {
+        let p = ctx.n_procs();
+        if p == 1 {
+            return mine;
+        }
+        if ctx.rank() == 0 {
+            let mut acc = mine;
+            for _ in 1..p {
+                let Envelope { msg, .. } = ctx.recv();
+                acc = combine(acc, msg);
+            }
+            for q in 1..p {
+                ctx.send(q, acc.clone());
+            }
+            acc
+        } else {
+            ctx.send(0, mine);
+            ctx.recv().msg
+        }
+    }
+}
+
+/// A mailbox that delivers messages *by key*, buffering out-of-order
+/// arrivals: the static schedule tells the solver which factor block or
+/// aggregated update block it needs next; anything else that arrives early
+/// waits in the pool.
+pub struct TaggedMailbox<K, M> {
+    pool: HashMap<K, Vec<Envelope<M>>>,
+}
+
+impl<K: Eq + Hash + Clone, M> Default for TaggedMailbox<K, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, M> TaggedMailbox<K, M> {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Self {
+            pool: HashMap::new(),
+        }
+    }
+
+    /// Deposits a message under a key.
+    pub fn deposit(&mut self, key: K, env: Envelope<M>) {
+        self.pool.entry(key).or_default().push(env);
+    }
+
+    /// Takes one buffered message for `key`, if any.
+    pub fn take(&mut self, key: &K) -> Option<Envelope<M>> {
+        let v = self.pool.get_mut(key)?;
+        let env = v.pop();
+        if v.is_empty() {
+            self.pool.remove(key);
+        }
+        env
+    }
+
+    /// Blocking receive of a message with the wanted key: drains `ctx`
+    /// until `classify` maps an arrival to `key`, buffering everything
+    /// else.
+    pub fn recv_key<F>(&mut self, ctx: &ProcCtx<M>, key: &K, classify: F) -> Envelope<M>
+    where
+        M: Send,
+        F: Fn(&M) -> K,
+    {
+        if let Some(env) = self.take(key) {
+            return env;
+        }
+        loop {
+            let env = ctx.recv();
+            let k = classify(&env.msg);
+            if &k == key {
+                return env;
+            }
+            self.deposit(k, env);
+        }
+    }
+
+    /// Number of buffered messages (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.pool.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        // Each rank sends its rank to the next; sum arrives intact.
+        let results = run_spmd::<usize, usize, _>(4, |ctx| {
+            let next = (ctx.rank() + 1) % ctx.n_procs();
+            ctx.send(next, ctx.rank() * 10);
+            let env = ctx.recv();
+            assert_eq!(env.from, (ctx.rank() + ctx.n_procs() - 1) % ctx.n_procs());
+            env.msg
+        });
+        assert_eq!(results, vec![30, 0, 10, 20]);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let results = run_spmd::<&'static str, String, _>(2, |ctx| {
+            ctx.send(ctx.rank(), "hello");
+            let env = ctx.recv();
+            format!("{}:{}", env.from, env.msg)
+        });
+        assert_eq!(results, vec!["0:hello", "1:hello"]);
+    }
+
+    #[test]
+    fn single_proc_spmd() {
+        let results = run_spmd::<(), usize, _>(1, |ctx| ctx.n_procs());
+        assert_eq!(results, vec![1]);
+    }
+
+    #[test]
+    fn tagged_mailbox_buffers_out_of_order() {
+        // Rank 1 sends keys 5 then 3; rank 0 asks for 3 first.
+        let results = run_spmd::<u32, Vec<u32>, _>(2, |ctx| {
+            if ctx.rank() == 1 {
+                ctx.send(0, 5);
+                ctx.send(0, 3);
+                return vec![];
+            }
+            let mut mb = TaggedMailbox::<u32, u32>::new();
+            let a = mb.recv_key(&ctx, &3, |&m| m);
+            let b = mb.recv_key(&ctx, &5, |&m| m);
+            assert_eq!(mb.buffered(), 0);
+            vec![a.msg, b.msg]
+        });
+        assert_eq!(results[0], vec![3, 5]);
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let results = run_spmd::<u8, bool, _>(2, |ctx| {
+            if ctx.rank() == 0 {
+                // Just exercise the non-blocking path (arrival timing is
+                // nondeterministic here).
+                let _ = ctx.try_recv();
+                ctx.send(1, 7);
+                true
+            } else {
+                let env = ctx.recv();
+                env.msg == 7
+            }
+        });
+        assert!(results.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn collective_barrier_and_broadcast() {
+        let results = run_spmd::<u64, u64, _>(4, |ctx| {
+            collective::barrier(&ctx, 0);
+            let v = collective::broadcast(&ctx, 2, if ctx.rank() == 2 { Some(99) } else { None });
+            collective::barrier(&ctx, 0);
+            v
+        });
+        assert_eq!(results, vec![99; 4]);
+    }
+
+    #[test]
+    fn collective_all_reduce_sum() {
+        let results = run_spmd::<u64, u64, _>(5, |ctx| {
+            collective::all_reduce(&ctx, ctx.rank() as u64 + 1, |a, b| a + b)
+        });
+        assert_eq!(results, vec![15; 5]);
+    }
+
+    #[test]
+    fn collective_single_proc_degenerate() {
+        let results = run_spmd::<u64, u64, _>(1, |ctx| {
+            collective::barrier(&ctx, 0);
+            collective::all_reduce(&ctx, 7, |a, b| a + b)
+        });
+        assert_eq!(results, vec![7]);
+    }
+
+    #[test]
+    fn random_all_to_all_storm() {
+        // Every rank sends a deterministic pseudo-random number of tagged
+        // messages to every other; receivers demand them in ascending tag
+        // order, exercising the out-of-order pool hard.
+        let p = 4usize;
+        let results = run_spmd::<(u32, u32), u64, _>(p, |ctx| {
+            let me = ctx.rank();
+            // Deterministic per-pair counts: count(a, b) = (a*7 + b*3) % 5 + 1.
+            let count = |a: usize, b: usize| ((a * 7 + b * 3) % 5 + 1) as u32;
+            for q in 0..p {
+                if q == me {
+                    continue;
+                }
+                for tag in 0..count(me, q) {
+                    ctx.send(q, (tag, (me as u32 + 1) * 100 + tag));
+                }
+            }
+            // Receive from everyone, demanding tags in order.
+            let mut mb = TaggedMailbox::<(usize, u32), (u32, u32)>::new();
+            let mut sum = 0u64;
+            for q in 0..p {
+                if q == me {
+                    continue;
+                }
+                for tag in 0..count(q, me) {
+                    // Key = (sender, tag): drain until it shows up.
+                    let env = loop {
+                        if let Some(e) = mb.take(&(q, tag)) {
+                            break e;
+                        }
+                        let e = ctx.recv();
+                        let key = (e.from, e.msg.0);
+                        if key == (q, tag) {
+                            break e;
+                        }
+                        mb.deposit(key, e);
+                    };
+                    assert_eq!(env.msg.1, (q as u32 + 1) * 100 + tag);
+                    sum += env.msg.1 as u64;
+                }
+            }
+            assert_eq!(mb.buffered(), 0);
+            sum
+        });
+        // Deterministic totals: recompute expected per rank.
+        let count = |a: usize, b: usize| ((a * 7 + b * 3) % 5 + 1) as u64;
+        for (me, &got) in results.iter().enumerate() {
+            let mut expect = 0u64;
+            for q in 0..p {
+                if q == me {
+                    continue;
+                }
+                for tag in 0..count(q, me) {
+                    expect += (q as u64 + 1) * 100 + tag;
+                }
+            }
+            assert_eq!(got, expect, "rank {me}");
+        }
+    }
+
+    #[test]
+    fn many_messages_fifo_per_pair() {
+        let results = run_spmd::<u32, Vec<u32>, _>(2, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..100 {
+                    ctx.send(1, i);
+                }
+                vec![]
+            } else {
+                (0..100).map(|_| ctx.recv().msg).collect()
+            }
+        });
+        assert_eq!(results[1], (0..100).collect::<Vec<_>>());
+    }
+}

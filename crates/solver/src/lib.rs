@@ -1,0 +1,30 @@
+//! # pastix-solver
+//!
+//! Numeric factorization and solve for the PaStiX reproduction:
+//!
+//! * [`storage`] — the dense-panel factor storage (the real PaStiX layout:
+//!   one contiguous column-major panel per column block);
+//! * [`seq`] — the sequential supernodal `L·D·Lᵀ` reference (one `COMP1D`
+//!   per column block with direct local aggregation) and the forward /
+//!   diagonal / backward solve sweeps;
+//! * [`parallel`] — the parallel supernodal **fan-in** solver of the
+//!   paper's Fig. 1, fully driven by the static schedule from
+//!   `pastix-sched` and running on the in-process message-passing runtime.
+//!
+//! The parallel factor is validated against the sequential one entry by
+//! entry; both support `f64` (SPD) and `Complex64` (complex symmetric)
+//! systems through the shared [`pastix_kernels::Scalar`] abstraction.
+
+#![warn(missing_docs)]
+
+pub mod parallel;
+pub mod psolve;
+pub mod seq;
+pub mod seq_left;
+pub mod storage;
+
+pub use parallel::{factorize_parallel, factorize_parallel_with, ParallelOptions};
+pub use psolve::solve_parallel;
+pub use seq::{factor_and_solve, factorize_sequential, reconstruction_error, solve_block_in_place, solve_in_place};
+pub use seq_left::factorize_sequential_left;
+pub use storage::{FactorStorage, PanelLayout};

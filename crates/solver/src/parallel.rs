@@ -1,0 +1,793 @@
+//! The parallel supernodal fan-in `L·D·Lᵀ` solver, fully driven by the
+//! static schedule.
+//!
+//! This is the executable form of the paper's Fig. 1: each logical
+//! processor walks its fully ordered task vector `K_p`; non-local block
+//! contributions are aggregated locally into **aggregated update blocks**
+//! (AUBs) that are sent as soon as the last local contribution lands
+//! ("total local aggregation", the Fan-In scheme of Ashcraft–Eisenstat–
+//! Liu); factor panels (`L_kk D_k` for BDIV, `[L_j | F_j]` for BMOD) are
+//! the only other messages. The runtime is the in-process message-passing
+//! substrate of `pastix-runtime`.
+//!
+//! Because the schedule orders every computation, reception is demand
+//! driven: a processor that needs a factor block drains its mailbox —
+//! applying any AUB immediately (updates commute) and caching factor
+//! blocks — until the wanted block appears.
+
+use crate::storage::{FactorStorage, PanelLayout};
+use pastix_graph::SymCsc;
+use pastix_kernels::factor::{ldlt_factor_inplace, FactorError};
+use pastix_kernels::{
+    gemm_nt_acc, scale_cols_by_diag_into, trsm_ldlt_panel, Scalar,
+};
+use pastix_runtime::{run_spmd, ProcCtx};
+use pastix_sched::{Schedule, TaskGraph, TaskKind};
+use pastix_symbolic::SymbolMatrix;
+use std::collections::HashMap;
+
+/// Message shipped between logical processors.
+enum PMsg<T> {
+    /// Aggregated update block for the region of task `dst`, carrying
+    /// `pairs` block contributions (fewer than the full count when the
+    /// Fan-Both memory fallback flushed a partial aggregate early).
+    Aub { dst: u32, pairs: u32, data: Vec<T> },
+    /// Factor data produced by task `src` (`L_kk D_k` of a FACTOR, or
+    /// `[L_b | F_b]` of a BDIV).
+    Fac { src: u32, data: Vec<T> },
+    /// A processor hit a zero pivot; everyone unwinds.
+    Abort { col: u32 },
+}
+
+/// Static routing info shared read-only by all workers.
+struct Routing {
+    /// Per task: total remote contribution *pairs* expected (AUB messages
+    /// decrement this by the pair count they carry, so partial-aggregation
+    /// flushes stay protocol-safe).
+    remote_pairs: Vec<u32>,
+    /// Per (proc, dst task): number of contribution pairs the proc must
+    /// accumulate before its AUB to `dst` is complete.
+    pair_count: HashMap<(u32, u32), u32>,
+    /// Region size in scalars per task.
+    region_len: Vec<usize>,
+}
+
+/// One contribution pair's routing: destination task plus the placement of
+/// the `hr × hc` product inside the destination region.
+struct PairRoute {
+    dst: u32,
+    row_off: usize,
+    col_off: usize,
+    ldr: usize,
+}
+
+/// Computes where the contribution of off-block pair `(br, bc)` of column
+/// block `k` lands.
+fn route_pair(sym: &SymbolMatrix, layout: &PanelLayout, graph: &TaskGraph, br: usize, bc: usize) -> PairRoute {
+    let rb = &sym.bloks[br];
+    let cb_ = &sym.bloks[bc];
+    let tk = cb_.fcblk as usize;
+    let tcb = &sym.cblks[tk];
+    let col_off = (cb_.frow - tcb.fcol) as usize;
+    let covering = sym.covering_blok(tk, rb.frow, rb.lrow);
+    let head = graph.head_task_of_cblk[tk];
+    match graph.kinds[head as usize] {
+        TaskKind::Comp1d { .. } => {
+            let row_off = layout.panel_row[covering] as usize + (rb.frow - sym.bloks[covering].frow) as usize;
+            PairRoute {
+                dst: head,
+                row_off,
+                col_off,
+                ldr: layout.panel_rows(tk),
+            }
+        }
+        TaskKind::Factor { .. } => {
+            if covering == tcb.blok_start {
+                // Lands on the diagonal block region (w × w).
+                PairRoute {
+                    dst: head,
+                    row_off: (rb.frow - tcb.fcol) as usize,
+                    col_off,
+                    ldr: tcb.width(),
+                }
+            } else {
+                let dst = graph.bdiv_task_of_blok[covering];
+                PairRoute {
+                    dst,
+                    row_off: (rb.frow - sym.bloks[covering].frow) as usize,
+                    col_off,
+                    ldr: sym.bloks[covering].nrows(),
+                }
+            }
+        }
+        _ => unreachable!("head task of a cblk is Comp1d or Factor"),
+    }
+}
+
+/// Enumerates the contribution pairs of a column block together with their
+/// producer task ids.
+fn pairs_of_cblk<'a>(
+    sym: &'a SymbolMatrix,
+    graph: &'a TaskGraph,
+    k: usize,
+) -> impl Iterator<Item = (u32 /*producer*/, usize /*br*/, usize /*bc*/)> + 'a {
+    let cb = &sym.cblks[k];
+    let m = cb.blok_end - cb.blok_start - 1;
+    let head = graph.head_task_of_cblk[k];
+    let is2d = matches!(graph.kinds[head as usize], TaskKind::Factor { .. });
+    let base = graph.bmod_base[k];
+    (0..m).flat_map(move |r| {
+        (0..=r).map(move |c| {
+            let producer = if is2d {
+                base + (r * (r + 1) / 2 + c) as u32
+            } else {
+                head
+            };
+            (producer, cb.blok_start + 1 + r, cb.blok_start + 1 + c)
+        })
+    })
+}
+
+/// Builds the static routing tables.
+fn build_routing(sym: &SymbolMatrix, layout: &PanelLayout, graph: &TaskGraph, sched: &Schedule) -> Routing {
+    let n_tasks = graph.n_tasks();
+    let mut pair_count: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut sender_sets: HashMap<u32, Vec<u32>> = HashMap::new();
+    for k in 0..sym.n_cblks() {
+        for (producer, br, bc) in pairs_of_cblk(sym, graph, k) {
+            let route = route_pair(sym, layout, graph, br, bc);
+            let p = sched.task_proc[producer as usize];
+            let q = sched.task_proc[route.dst as usize];
+            if p != q {
+                *pair_count.entry((p, route.dst)).or_insert(0) += 1;
+                sender_sets.entry(route.dst).or_default().push(p);
+            }
+        }
+    }
+    let mut remote_pairs = vec![0u32; n_tasks];
+    for (dst, procs) in sender_sets {
+        remote_pairs[dst as usize] = procs.len() as u32;
+    }
+    let region_len: Vec<usize> = (0..n_tasks)
+        .map(|t| match graph.kinds[t] {
+            TaskKind::Comp1d { cblk } => {
+                layout.panel_rows(cblk as usize) * sym.cblks[cblk as usize].width()
+            }
+            TaskKind::Factor { cblk } => {
+                let w = sym.cblks[cblk as usize].width();
+                w * w
+            }
+            TaskKind::Bdiv { cblk, blok } => {
+                sym.bloks[blok as usize].nrows() * sym.cblks[cblk as usize].width()
+            }
+            TaskKind::Bmod { .. } => 0,
+        })
+        .collect();
+    Routing {
+        remote_pairs,
+        pair_count,
+        region_len,
+    }
+}
+
+/// Per-worker state.
+struct Worker<'a, T> {
+    rank: u32,
+    sym: &'a SymbolMatrix,
+    layout: &'a PanelLayout,
+    graph: &'a TaskGraph,
+    sched: &'a Schedule,
+    routing: &'a Routing,
+    /// Owned task regions. BDIV regions hold `[L | F]` (2·h·w scalars).
+    regions: HashMap<u32, Vec<T>>,
+    /// Remote AUBs still expected per owned task.
+    aubs_pending: HashMap<u32, u32>,
+    /// Outgoing AUB accumulation buffers: (buffer, pairs remaining,
+    /// pairs accumulated since the last flush).
+    aub_out: HashMap<u32, (Vec<T>, u32, u32)>,
+    /// Fan-Both memory cap: when the outgoing AUB buffers hold more than
+    /// this many scalars, the largest one is flushed partially aggregated.
+    aub_memory_limit: Option<usize>,
+    /// Factor data received from remote producers.
+    fac_cache: HashMap<u32, Vec<T>>,
+    aborted: Option<FactorError>,
+}
+
+impl<'a, T: Scalar> Worker<'a, T> {
+    /// Handles one incoming message.
+    fn handle(&mut self, msg: PMsg<T>) {
+        match msg {
+            PMsg::Aub { dst, pairs, data } => {
+                // Updates commute: apply immediately into the region.
+                let region = self.regions.get_mut(&dst).expect("AUB for unowned task");
+                for (r, v) in region.iter_mut().zip(&data) {
+                    *r -= *v;
+                }
+                let left = self.aubs_pending.get_mut(&dst).expect("unexpected AUB");
+                *left -= pairs;
+            }
+            PMsg::Fac { src, data } => {
+                self.fac_cache.insert(src, data);
+            }
+            PMsg::Abort { col } => {
+                self.aborted = Some(FactorError::ZeroPivot(col as usize));
+            }
+        }
+    }
+
+    /// Blocks until every remote AUB of task `t` has been applied.
+    fn wait_aubs(&mut self, ctx: &ProcCtx<PMsg<T>>, t: u32) -> Result<(), FactorError> {
+        while self.aborted.is_none() && self.aubs_pending.get(&t).copied().unwrap_or(0) > 0 {
+            let env = ctx.recv();
+            self.handle(env.msg);
+        }
+        match self.aborted {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Obtains factor data produced by task `src` (cloned; local regions
+    /// are read from the store, remote ones from the cache / mailbox).
+    fn get_fac(&mut self, ctx: &ProcCtx<PMsg<T>>, src: u32) -> Result<Vec<T>, FactorError> {
+        if self.sched.task_proc[src as usize] == self.rank {
+            return Ok(self.regions.get(&src).expect("local factor region missing").clone());
+        }
+        loop {
+            if let Some(e) = self.aborted {
+                return Err(e);
+            }
+            if let Some(data) = self.fac_cache.get(&src) {
+                return Ok(data.clone());
+            }
+            let env = ctx.recv();
+            self.handle(env.msg);
+        }
+    }
+
+    /// Routes one computed contribution (`hr × hc` starting at `c_data`):
+    /// local regions are updated directly; remote ones accumulate into the
+    /// AUB buffer, which is sent when its pair count reaches zero.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_contribution(
+        &mut self,
+        ctx: &ProcCtx<PMsg<T>>,
+        route: &PairRoute,
+        hr: usize,
+        hc: usize,
+        w: usize,
+        a: &[T],
+        lda: usize,
+        b: &[T],
+        ldb: usize,
+    ) {
+        let q = self.sched.task_proc[route.dst as usize];
+        if q == self.rank {
+            let region = self.regions.get_mut(&route.dst).expect("local target region missing");
+            let off = route.row_off + route.col_off * route.ldr;
+            gemm_nt_acc(hr, hc, w, -T::one(), a, lda, b, ldb, &mut region[off..], route.ldr);
+        } else {
+            let len = self.routing.region_len[route.dst as usize];
+            let total = *self
+                .routing
+                .pair_count
+                .get(&(self.rank, route.dst))
+                .expect("pair count missing");
+            let entry = self
+                .aub_out
+                .entry(route.dst)
+                .or_insert_with(|| (Vec::new(), total, 0u32));
+            if entry.0.is_empty() {
+                // (Re-)allocate lazily: a Fan-Both flush leaves an empty
+                // placeholder holding the remaining pair budget.
+                entry.0 = vec![T::zero(); len];
+            }
+            let off = route.row_off + route.col_off * route.ldr;
+            gemm_nt_acc(hr, hc, w, T::one(), a, lda, b, ldb, &mut entry.0[off..], route.ldr);
+            entry.1 -= 1;
+            entry.2 += 1;
+            if entry.1 == 0 {
+                // Total local aggregation complete: ship the AUB.
+                let (data, _, pairs) = self.aub_out.remove(&route.dst).unwrap();
+                ctx.send_lossy(q as usize, PMsg::Aub { dst: route.dst, pairs, data });
+            } else if let Some(limit) = self.aub_memory_limit {
+                // Fan-Both fallback: "an aggregated update block can be
+                // sent with partial aggregation to free memory space".
+                let held: usize = self.aub_out.values().map(|(v, _, _)| v.len()).sum();
+                if held > limit {
+                    self.flush_largest_aub(ctx);
+                }
+            }
+        }
+    }
+
+    /// Sends the largest outgoing AUB buffer with whatever it has
+    /// aggregated so far (its pair budget stays open; the buffer is
+    /// re-created on the next contribution).
+    fn flush_largest_aub(&mut self, ctx: &ProcCtx<PMsg<T>>) {
+        let Some((&dst, _)) = self
+            .aub_out
+            .iter()
+            .filter(|(_, (_, _, acc))| *acc > 0)
+            .max_by_key(|(_, (v, _, _))| v.len())
+        else {
+            return;
+        };
+        let (data, left, pairs) = self.aub_out.remove(&dst).unwrap();
+        let q = self.sched.task_proc[dst as usize] as usize;
+        ctx.send_lossy(q, PMsg::Aub { dst, pairs, data });
+        if left > 0 {
+            // Keep the remaining pair budget with an empty placeholder;
+            // the buffer is re-allocated on the next contribution.
+            self.aub_out.insert(dst, (Vec::new(), left, 0));
+        }
+    }
+
+    fn abort(&mut self, ctx: &ProcCtx<PMsg<T>>, col: usize) {
+        for q in 0..ctx.n_procs() {
+            if q != self.rank as usize {
+                ctx.send_lossy(q, PMsg::Abort { col: col as u32 });
+            }
+        }
+    }
+
+    /// Sends factor data of task `t` to every remote consumer processor
+    /// (deduplicated).
+    fn send_fac(&mut self, ctx: &ProcCtx<PMsg<T>>, t: u32) {
+        let mut procs: Vec<u32> = self
+            .graph
+            .out_edges(t as usize)
+            .iter()
+            .map(|&d| self.sched.task_proc[d as usize])
+            .filter(|&q| q != self.rank)
+            .collect();
+        procs.sort_unstable();
+        procs.dedup();
+        if procs.is_empty() {
+            return;
+        }
+        let data = self.regions.get(&t).expect("factor region missing").clone();
+        for q in procs {
+            ctx.send_lossy(q as usize, PMsg::Fac { src: t, data: data.clone() });
+        }
+    }
+
+    /// Executes the tasks of `K_p` in schedule order.
+    fn run(&mut self, ctx: &ProcCtx<PMsg<T>>) -> Result<(), FactorError> {
+        let order: Vec<u32> = self.sched.proc_tasks[self.rank as usize].clone();
+        for t in order {
+            if let Some(e) = self.aborted {
+                return Err(e);
+            }
+            match self.graph.kinds[t as usize] {
+                TaskKind::Comp1d { cblk } => self.run_comp1d(ctx, t, cblk as usize)?,
+                TaskKind::Factor { cblk } => self.run_factor(ctx, t, cblk as usize)?,
+                TaskKind::Bdiv { cblk, blok } => self.run_bdiv(ctx, t, cblk as usize, blok as usize)?,
+                TaskKind::Bmod { cblk, blok_row, blok_col } => {
+                    self.run_bmod(ctx, t, cblk as usize, blok_row as usize, blok_col as usize)?
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_comp1d(&mut self, ctx: &ProcCtx<PMsg<T>>, t: u32, k: usize) -> Result<(), FactorError> {
+        self.wait_aubs(ctx, t)?;
+        let cb = &self.sym.cblks[k];
+        let w = cb.width();
+        let lda = self.layout.panel_rows(k);
+        let h = lda - w;
+        let mut panel = self.regions.remove(&t).expect("comp1d panel missing");
+        // Factor + panel solve (same steps as the sequential COMP1D).
+        if let Err(FactorError::ZeroPivot(i)) = ldlt_factor_inplace(w, &mut panel, lda) {
+            let col = cb.fcol as usize + i;
+            self.abort(ctx, col);
+            self.regions.insert(t, panel);
+            return Err(FactorError::ZeroPivot(col));
+        }
+        if h > 0 {
+            let mut dtmp = vec![T::zero(); w * w];
+            pastix_kernels::dense::copy_panel(w, w, &panel, lda, &mut dtmp, w);
+            trsm_ldlt_panel(h, w, &dtmp, w, &mut panel[w..], lda);
+            // F = L · D.
+            let mut wbuf = vec![T::zero(); h * w];
+            let d: Vec<T> = (0..w).map(|i| dtmp[i + i * w]).collect();
+            scale_cols_by_diag_into(h, w, &panel[w..], lda, &d, &mut wbuf, h);
+            // Contributions for every pair (r ≥ c).
+            let m = cb.blok_end - cb.blok_start - 1;
+            for c in 0..m {
+                let bc = cb.blok_start + 1 + c;
+                let hc = self.sym.bloks[bc].nrows();
+                for r in c..m {
+                    let br = cb.blok_start + 1 + r;
+                    let hr = self.sym.bloks[br].nrows();
+                    let route = route_pair(self.sym, self.layout, self.graph, br, bc);
+                    let a_off = self.layout.panel_row[br] as usize;
+                    let b_off = self.layout.panel_row[bc] as usize - w;
+                    // Split the borrows: copy the A-panel rows we read.
+                    // (The target may be another region of this very
+                    // worker, so `panel` has already been removed from the
+                    // region store and no aliasing is possible.)
+                    self.apply_contribution(
+                        ctx,
+                        &route,
+                        hr,
+                        hc,
+                        w,
+                        &panel[a_off..],
+                        lda,
+                        &wbuf[b_off..],
+                        h,
+                    );
+                }
+            }
+        }
+        self.regions.insert(t, panel);
+        Ok(())
+    }
+
+    fn run_factor(&mut self, ctx: &ProcCtx<PMsg<T>>, t: u32, k: usize) -> Result<(), FactorError> {
+        self.wait_aubs(ctx, t)?;
+        let cb = &self.sym.cblks[k];
+        let w = cb.width();
+        let mut region = self.regions.remove(&t).expect("factor region missing");
+        if let Err(FactorError::ZeroPivot(i)) = ldlt_factor_inplace(w, &mut region, w) {
+            let col = cb.fcol as usize + i;
+            self.abort(ctx, col);
+            self.regions.insert(t, region);
+            return Err(FactorError::ZeroPivot(col));
+        }
+        self.regions.insert(t, region);
+        self.send_fac(ctx, t);
+        Ok(())
+    }
+
+    fn run_bdiv(&mut self, ctx: &ProcCtx<PMsg<T>>, t: u32, k: usize, blok: usize) -> Result<(), FactorError> {
+        self.wait_aubs(ctx, t)?;
+        let w = self.sym.cblks[k].width();
+        let hb = self.sym.bloks[blok].nrows();
+        let factor_task = self.graph.head_task_of_cblk[k];
+        let fac = self.get_fac(ctx, factor_task)?; // w×w, D on diag, L lower
+        let mut region = self.regions.remove(&t).expect("bdiv region missing");
+        debug_assert_eq!(region.len(), 2 * hb * w);
+        {
+            let (l_part, f_part) = region.split_at_mut(hb * w);
+            trsm_ldlt_panel(hb, w, &fac, w, l_part, hb);
+            let d: Vec<T> = (0..w).map(|i| fac[i + i * w]).collect();
+            scale_cols_by_diag_into(hb, w, l_part, hb, &d, f_part, hb);
+        }
+        self.regions.insert(t, region);
+        self.send_fac(ctx, t);
+        Ok(())
+    }
+
+    fn run_bmod(
+        &mut self,
+        ctx: &ProcCtx<PMsg<T>>,
+        _t: u32,
+        k: usize,
+        blok_row: usize,
+        blok_col: usize,
+    ) -> Result<(), FactorError> {
+        let w = self.sym.cblks[k].width();
+        let hr = self.sym.bloks[blok_row].nrows();
+        let hc = self.sym.bloks[blok_col].nrows();
+        let bdiv_r = self.graph.bdiv_task_of_blok[blok_row];
+        let bdiv_c = self.graph.bdiv_task_of_blok[blok_col];
+        let route = route_pair(self.sym, self.layout, self.graph, blok_row, blok_col);
+        // L from the row block's BDIV, F from the column block's BDIV.
+        let lr_data = self.get_fac(ctx, bdiv_r)?;
+        if bdiv_c == bdiv_r {
+            let (l_r, f_c) = lr_data.split_at(hr * w);
+            self.apply_contribution(ctx, &route, hr, hc, w, l_r, hr, f_c, hc);
+        } else {
+            let fc_data = self.get_fac(ctx, bdiv_c)?;
+            debug_assert_eq!(fc_data.len(), 2 * hc * w);
+            self.apply_contribution(ctx, &route, hr, hc, w, &lr_data[..hr * w], hr, &fc_data[hc * w..], hc);
+        }
+        Ok(())
+    }
+}
+
+/// Options of the parallel factorization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelOptions {
+    /// Fan-Both memory cap in scalars per processor: when the outgoing
+    /// aggregation buffers exceed it, the largest is sent partially
+    /// aggregated (paper §2: *"if memory is a critical issue, an
+    /// aggregated update block can be sent with partial aggregation to
+    /// free memory space; this is close to the Fan-Both scheme"*).
+    /// `None` (default) keeps total local aggregation (pure Fan-In).
+    pub aub_memory_limit: Option<usize>,
+}
+
+/// Runs the parallel factorization and assembles the distributed factor
+/// into a single [`FactorStorage`]. `a` must already be permuted into the
+/// elimination order of `sym` (the split symbol the schedule was built on).
+pub fn factorize_parallel<T: Scalar>(
+    sym: &SymbolMatrix,
+    a: &SymCsc<T>,
+    graph: &TaskGraph,
+    sched: &Schedule,
+) -> Result<FactorStorage<T>, FactorError> {
+    factorize_parallel_with(sym, a, graph, sched, &ParallelOptions::default())
+}
+
+/// [`factorize_parallel`] with explicit options.
+pub fn factorize_parallel_with<T: Scalar>(
+    sym: &SymbolMatrix,
+    a: &SymCsc<T>,
+    graph: &TaskGraph,
+    sched: &Schedule,
+    opts: &ParallelOptions,
+) -> Result<FactorStorage<T>, FactorError> {
+    assert!(std::ptr::eq(sym, &graph.split.symbol) || sym == &graph.split.symbol,
+        "schedule must be built on the same split symbol");
+    let layout = PanelLayout::new(sym);
+    let routing = build_routing(sym, &layout, graph, sched);
+
+    let results = run_spmd::<PMsg<T>, Result<HashMap<u32, Vec<T>>, FactorError>, _>(
+        sched.n_procs,
+        |ctx| {
+            let rank = ctx.rank() as u32;
+            // Allocate and scatter the owned regions.
+            let mut regions: HashMap<u32, Vec<T>> = HashMap::new();
+            let mut aubs_pending: HashMap<u32, u32> = HashMap::new();
+            for &t in &sched.proc_tasks[rank as usize] {
+                let len = match graph.kinds[t as usize] {
+                    TaskKind::Bdiv { .. } => 2 * routing.region_len[t as usize],
+                    _ => routing.region_len[t as usize],
+                };
+                if len > 0 {
+                    regions.insert(t, vec![T::zero(); len]);
+                }
+                let pairs = routing.remote_pairs[t as usize];
+                if pairs > 0 {
+                    aubs_pending.insert(t, pairs);
+                }
+            }
+            scatter_owned(sym, &layout, graph, a, &mut regions);
+            let mut worker = Worker {
+                rank,
+                sym,
+                layout: &layout,
+                graph,
+                sched,
+                routing: &routing,
+                regions,
+                aubs_pending,
+                aub_out: HashMap::new(),
+                aub_memory_limit: opts.aub_memory_limit,
+                fac_cache: HashMap::new(),
+                aborted: None,
+            };
+            worker.run(&ctx)?;
+            Ok(worker.regions)
+        },
+    );
+
+    // Assemble.
+    let mut storage = FactorStorage::zeros(sym);
+    let mut err: Option<FactorError> = None;
+    for res in results {
+        match res {
+            Err(e) => err = Some(e),
+            Ok(regions) => {
+                for (t, data) in regions {
+                    merge_region(sym, &layout, graph, &mut storage, t, &data);
+                }
+            }
+        }
+    }
+    match err {
+        Some(e) => Err(e),
+        None => Ok(storage),
+    }
+}
+
+/// Scatters the owned part of `a` into each owned region.
+fn scatter_owned<T: Scalar>(
+    sym: &SymbolMatrix,
+    layout: &PanelLayout,
+    graph: &TaskGraph,
+    a: &SymCsc<T>,
+    regions: &mut HashMap<u32, Vec<T>>,
+) {
+    // Iterate columns; for each entry decide which task's region holds it.
+    for k in 0..sym.n_cblks() {
+        let cb = &sym.cblks[k];
+        let head = graph.head_task_of_cblk[k];
+        let is2d = matches!(graph.kinds[head as usize], TaskKind::Factor { .. });
+        let w = cb.width();
+        for j in cb.fcol..=cb.lcol {
+            let local_col = (j - cb.fcol) as usize;
+            for (&i, &v) in a.rows_of(j as usize).iter().zip(a.vals_of(j as usize)) {
+                if !is2d {
+                    if let Some(region) = regions.get_mut(&head) {
+                        let lda = layout.panel_rows(k);
+                        let row = crate::storage::panel_row_of(sym, layout, k, i);
+                        region[row + local_col * lda] = v;
+                    }
+                } else if i <= cb.lcol {
+                    // Diagonal block entry → FACTOR region.
+                    if let Some(region) = regions.get_mut(&head) {
+                        region[(i - cb.fcol) as usize + local_col * w] = v;
+                    }
+                } else {
+                    // Off-diagonal entry → BDIV region (L part).
+                    let b = sym.covering_blok(k, i, i);
+                    let bd = graph.bdiv_task_of_blok[b];
+                    if let Some(region) = regions.get_mut(&bd) {
+                        let hb = sym.bloks[b].nrows();
+                        region[(i - sym.bloks[b].frow) as usize + local_col * hb] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Merges one task region into the assembled factor storage.
+fn merge_region<T: Scalar>(
+    sym: &SymbolMatrix,
+    layout: &PanelLayout,
+    graph: &TaskGraph,
+    storage: &mut FactorStorage<T>,
+    t: u32,
+    data: &[T],
+) {
+    match graph.kinds[t as usize] {
+        TaskKind::Comp1d { cblk } => {
+            storage.panels[cblk as usize].copy_from_slice(data);
+        }
+        TaskKind::Factor { cblk } => {
+            let k = cblk as usize;
+            let w = sym.cblks[k].width();
+            let lda = layout.panel_rows(k);
+            for col in 0..w {
+                for row in 0..w {
+                    storage.panels[k][row + col * lda] = data[row + col * w];
+                }
+            }
+        }
+        TaskKind::Bdiv { cblk, blok } => {
+            let k = cblk as usize;
+            let w = sym.cblks[k].width();
+            let hb = sym.bloks[blok as usize].nrows();
+            let lda = layout.panel_rows(k);
+            let prow = layout.panel_row[blok as usize] as usize;
+            for col in 0..w {
+                for row in 0..hb {
+                    storage.panels[k][prow + row + col * lda] = data[row + col * hb];
+                }
+            }
+        }
+        TaskKind::Bmod { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{factorize_sequential, solve_in_place};
+    use pastix_graph::gen::{grid_spd, Stencil, ValueKind};
+    use pastix_graph::{canonical_solution, rhs_for_solution};
+    use pastix_machine::MachineModel;
+    use pastix_ordering::{nested_dissection, OrderingOptions};
+    use pastix_sched::{map_and_schedule, DistStrategy, MappingOptions, SchedOptions};
+    use pastix_symbolic::{analyze, AnalysisOptions};
+
+    fn full_setup(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        procs: usize,
+        strategy: DistStrategy,
+        block: usize,
+    ) -> (pastix_graph::SymCsc<f64>, pastix_sched::Mapping) {
+        let a = grid_spd::<f64>(nx, ny, nz, Stencil::Star, false, ValueKind::RandomSpd(21));
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 8, ..Default::default() });
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        let machine = MachineModel::sp2(procs);
+        let opts = SchedOptions {
+            block_size: block,
+            mapping: MappingOptions {
+                procs_2d_min: 2.0,
+                width_2d_min: 4,
+                strategy,
+            },
+        };
+        let mapping = map_and_schedule(&an.symbol, &machine, &opts);
+        (a.permuted(&an.perm), mapping)
+    }
+
+    fn check_against_sequential(ap: &pastix_graph::SymCsc<f64>, mapping: &pastix_sched::Mapping) {
+        let sym = &mapping.graph.split.symbol;
+        let par = factorize_parallel(sym, ap, &mapping.graph, &mapping.schedule).unwrap();
+        let mut seq = FactorStorage::zeros(sym);
+        seq.scatter(sym, ap);
+        factorize_sequential(sym, &mut seq).unwrap();
+        let n = ap.n();
+        for j in 0..n {
+            for i in j..n {
+                let a = seq.get(sym, i, j);
+                let b = par.get(sym, i, j);
+                assert!(
+                    (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                    "factor mismatch at ({i},{j}): seq {a} vs par {b}"
+                );
+            }
+        }
+        // And the factor actually solves the system.
+        let x_exact = canonical_solution::<f64>(n);
+        let b = rhs_for_solution(ap, &x_exact);
+        let mut x = b.clone();
+        solve_in_place(sym, &par, &mut x);
+        let res = ap.residual_norm(&x, &b);
+        assert!(res < 1e-12, "residual {res}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_1d() {
+        for procs in [1, 2, 4] {
+            let (ap, mapping) = full_setup(8, 8, 1, procs, DistStrategy::Only1d, 4);
+            check_against_sequential(&ap, &mapping);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_mixed() {
+        for procs in [2, 4, 8] {
+            let (ap, mapping) = full_setup(10, 10, 1, procs, DistStrategy::Mixed1d2d, 4);
+            check_against_sequential(&ap, &mapping);
+        }
+    }
+
+    #[test]
+    fn parallel_3d_problem() {
+        let (ap, mapping) = full_setup(4, 4, 4, 4, DistStrategy::Mixed1d2d, 4);
+        check_against_sequential(&ap, &mapping);
+    }
+
+    #[test]
+    fn fan_both_memory_cap_still_correct() {
+        // A punishing cap forces partially aggregated sends on every
+        // processor; the factor must not change, only the message count.
+        let (ap, mapping) = full_setup(10, 10, 1, 4, DistStrategy::Mixed1d2d, 4);
+        let sym = &mapping.graph.split.symbol;
+        let fanin = factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule).unwrap();
+        let fanboth = factorize_parallel_with(
+            sym,
+            &ap,
+            &mapping.graph,
+            &mapping.schedule,
+            &ParallelOptions {
+                aub_memory_limit: Some(16),
+            },
+        )
+        .unwrap();
+        for (pa, pb) in fanin.panels.iter().zip(&fanboth.panels) {
+            for (x, y) in pa.iter().zip(pb) {
+                assert!((x - y).abs() < 1e-9, "fan-both deviates: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_pivot_aborts_cleanly() {
+        let (ap, mapping) = full_setup(6, 6, 1, 2, DistStrategy::Only1d, 4);
+        // Zero out the matrix (same pattern): the very first pivot dies.
+        let n = ap.n();
+        let mut triplets = Vec::new();
+        for j in 0..n {
+            for &i in ap.rows_of(j) {
+                triplets.push((i, j as u32, 0.0));
+            }
+        }
+        let zero = pastix_graph::SymCsc::from_triplets(n, &triplets);
+        let sym = &mapping.graph.split.symbol;
+        let res = factorize_parallel(sym, &zero, &mapping.graph, &mapping.schedule);
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,586 @@
+//! Distributed triangular solves driven by the static schedule's ownership.
+//!
+//! The paper's solver performs the factorization in parallel; the solve
+//! phase follows the same data distribution, and this module implements it
+//! with the same fan-in discipline: during the forward sweep `L·y = b`,
+//! each off-diagonal block owner computes its contribution `L_b·x_k` as
+//! soon as the solved segment `x_k` reaches it, and contributions bound for
+//! the same column block from the same processor travel as one aggregated
+//! update; the backward sweep `Lᵀ·x = D⁻¹y` runs the mirror-image protocol
+//! down the elimination order.
+//!
+//! The factor panels are shared read-only between the logical processors
+//! (they were just computed; re-distributing them would only model memory
+//! placement, not the solve's data flow). What is exercised for real is the
+//! message-passing structure of the solve: segment broadcasts, update
+//! aggregation, and the demand-driven reception the static order allows.
+
+use crate::storage::FactorStorage;
+use pastix_kernels::{gemm_nn_acc, solve_unit_lower, solve_unit_lower_trans, Scalar};
+use pastix_runtime::{run_spmd, ProcCtx};
+use pastix_sched::{Schedule, TaskGraph};
+use pastix_symbolic::SymbolMatrix;
+use std::collections::HashMap;
+
+/// Messages of the distributed solve.
+enum SMsg<T> {
+    /// Solved segment of a column block (forward sweep).
+    XFwd { cblk: u32, data: Vec<T> },
+    /// Final segment of a column block (backward sweep).
+    XBwd { cblk: u32, data: Vec<T> },
+    /// Aggregated forward updates targeting a column block's segment.
+    FwdAub { cblk: u32, data: Vec<T> },
+    /// Aggregated backward partial dot-products targeting a column block.
+    BwdAub { cblk: u32, data: Vec<T> },
+}
+
+/// Static ownership and routing tables of the solve phase.
+struct SolveRouting {
+    /// Owner of each column block's diagonal solve (head-task owner).
+    cblk_owner: Vec<u32>,
+    /// Owner of each global blok's data.
+    blok_owner: Vec<u32>,
+    /// Bloks facing each column block (global blok id, source cblk).
+    facing: Vec<Vec<(u32, u32)>>,
+    /// Forward: remote AUB senders per cblk.
+    fwd_remote: Vec<u32>,
+    /// Forward: local contribution events per cblk.
+    fwd_local: Vec<u32>,
+    /// Backward: remote AUB senders per cblk.
+    bwd_remote: Vec<u32>,
+    /// Backward: local partial events per cblk.
+    bwd_local: Vec<u32>,
+}
+
+fn build_solve_routing(sym: &SymbolMatrix, graph: &TaskGraph, sched: &Schedule) -> SolveRouting {
+    let ns = sym.n_cblks();
+    let mut cblk_owner = vec![0u32; ns];
+    for k in 0..ns {
+        cblk_owner[k] = sched.task_proc[graph.head_task_of_cblk[k] as usize];
+    }
+    let mut blok_owner = vec![0u32; sym.bloks.len()];
+    let mut facing: Vec<Vec<(u32, u32)>> = vec![Vec::new(); ns];
+    for k in 0..ns {
+        let cb = &sym.cblks[k];
+        blok_owner[cb.blok_start] = cblk_owner[k];
+        for b in cb.blok_start + 1..cb.blok_end {
+            let bd = graph.bdiv_task_of_blok[b];
+            blok_owner[b] = if bd == u32::MAX {
+                cblk_owner[k]
+            } else {
+                sched.task_proc[bd as usize]
+            };
+            facing[sym.bloks[b].fcblk as usize].push((b as u32, k as u32));
+        }
+    }
+    // Forward: contributions into cblk t come from every blok facing t.
+    let mut fwd_remote_sets: Vec<Vec<u32>> = vec![Vec::new(); ns];
+    let mut fwd_local = vec![0u32; ns];
+    // Backward: partials into cblk k come from every blok *of* k.
+    let mut bwd_remote_sets: Vec<Vec<u32>> = vec![Vec::new(); ns];
+    let mut bwd_local = vec![0u32; ns];
+    for t in 0..ns {
+        for &(b, _src) in &facing[t] {
+            let owner = blok_owner[b as usize];
+            if owner == cblk_owner[t] {
+                fwd_local[t] += 1;
+            } else {
+                fwd_remote_sets[t].push(owner);
+            }
+        }
+    }
+    for k in 0..ns {
+        let cb = &sym.cblks[k];
+        for b in cb.blok_start + 1..cb.blok_end {
+            let owner = blok_owner[b];
+            if owner == cblk_owner[k] {
+                bwd_local[k] += 1;
+            } else {
+                bwd_remote_sets[k].push(owner);
+            }
+        }
+    }
+    let dedup_count = |mut v: Vec<u32>| -> u32 {
+        v.sort_unstable();
+        v.dedup();
+        v.len() as u32
+    };
+    SolveRouting {
+        cblk_owner,
+        blok_owner,
+        facing,
+        fwd_remote: fwd_remote_sets.into_iter().map(dedup_count).collect(),
+        fwd_local,
+        bwd_remote: bwd_remote_sets.into_iter().map(dedup_count).collect(),
+        bwd_local,
+    }
+}
+
+/// Runs the distributed forward + diagonal + backward solve; `b_perm` is
+/// the right-hand side already permuted into elimination order. Returns
+/// the solution (also in elimination order).
+pub fn solve_parallel<T: Scalar>(
+    sym: &SymbolMatrix,
+    storage: &FactorStorage<T>,
+    graph: &TaskGraph,
+    sched: &Schedule,
+    b_perm: &[T],
+) -> Vec<T> {
+    assert_eq!(b_perm.len(), sym.n);
+    let routing = build_solve_routing(sym, graph, sched);
+    let ns = sym.n_cblks();
+
+    let results = run_spmd::<SMsg<T>, Vec<(u32, Vec<T>)>, _>(sched.n_procs, |ctx| {
+        let me = ctx.rank() as u32;
+        let mut w = SolveWorker {
+            sym,
+            storage,
+            routing: &routing,
+            me,
+            x: HashMap::new(),
+            fwd_pending: HashMap::new(),
+            bwd_pending: HashMap::new(),
+            x_cache: HashMap::new(),
+            fwd_aub_out: HashMap::new(),
+            bwd_aub_out: HashMap::new(),
+            bwd_partial_in: HashMap::new(),
+        };
+        // Initialize owned segments with b, and pending counters.
+        for k in 0..ns {
+            if routing.cblk_owner[k] != me {
+                continue;
+            }
+            let cb = &sym.cblks[k];
+            let seg = b_perm[cb.fcol as usize..=cb.lcol as usize].to_vec();
+            w.x.insert(k as u32, seg);
+            w.fwd_pending
+                .insert(k as u32, routing.fwd_remote[k] + routing.fwd_local[k]);
+            w.bwd_pending
+                .insert(k as u32, routing.bwd_remote[k] + routing.bwd_local[k]);
+        }
+        w.forward(&ctx);
+        w.backward(&ctx);
+        w.x.into_iter().collect()
+    });
+
+    let mut x = vec![T::zero(); sym.n];
+    for segs in results {
+        for (k, seg) in segs {
+            let cb = &sym.cblks[k as usize];
+            x[cb.fcol as usize..=cb.lcol as usize].copy_from_slice(&seg);
+        }
+    }
+    x
+}
+
+struct SolveWorker<'a, T> {
+    sym: &'a SymbolMatrix,
+    storage: &'a FactorStorage<T>,
+    routing: &'a SolveRouting,
+    me: u32,
+    /// Owned segments (b on entry, x on exit).
+    x: HashMap<u32, Vec<T>>,
+    /// Remaining contribution events before a cblk's forward solve.
+    fwd_pending: HashMap<u32, u32>,
+    /// Remaining partial events before a cblk's backward solve.
+    bwd_pending: HashMap<u32, u32>,
+    /// Segments received from other owners (forward or backward phase).
+    x_cache: HashMap<u32, Vec<T>>,
+    /// Outgoing forward AUB accumulators: (target cblk) → (buffer, left).
+    fwd_aub_out: HashMap<u32, (Vec<T>, u32)>,
+    /// Outgoing backward AUB accumulators.
+    bwd_aub_out: HashMap<u32, (Vec<T>, u32)>,
+    /// Incoming backward partials per owned cblk, buffered until after the
+    /// D division (the sequential order is D-divide, then subtract the
+    /// `Lᵀ·x` partials, then the transposed diagonal solve).
+    bwd_partial_in: HashMap<u32, Vec<T>>,
+}
+
+impl<T: Scalar> SolveWorker<'_, T> {
+    /// Owners of the off-diagonal bloks of `k`, deduplicated, minus self.
+    fn blok_owner_procs(&self, k: usize) -> Vec<u32> {
+        let cb = &self.sym.cblks[k];
+        let mut v: Vec<u32> = (cb.blok_start + 1..cb.blok_end)
+            .map(|b| self.routing.blok_owner[b])
+            .filter(|&q| q != self.me)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Owners of the bloks *facing* `k`, deduplicated, minus self.
+    fn facing_owner_procs(&self, k: usize) -> Vec<u32> {
+        let mut v: Vec<u32> = self.routing.facing[k]
+            .iter()
+            .map(|&(b, _)| self.routing.blok_owner[b as usize])
+            .filter(|&q| q != self.me)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Forward sweep: L·y = b, ascending column blocks.
+    // ------------------------------------------------------------------
+
+    fn forward(&mut self, ctx: &ProcCtx<SMsg<T>>) {
+        let ns = self.sym.n_cblks();
+        // Expected remote x segments whose bloks I own.
+        let mut expected_x: Vec<u32> = Vec::new();
+        for k in 0..ns {
+            if self.routing.cblk_owner[k] == self.me {
+                continue;
+            }
+            let cb = &self.sym.cblks[k];
+            if (cb.blok_start + 1..cb.blok_end).any(|b| self.routing.blok_owner[b] == self.me) {
+                expected_x.push(k as u32);
+            }
+        }
+        let mut expected_left = expected_x.len();
+        let own: Vec<u32> = (0..ns as u32)
+            .filter(|&k| self.routing.cblk_owner[k as usize] == self.me)
+            .collect();
+        let mut next = 0usize;
+        while next < own.len() || expected_left > 0 {
+            if next < own.len() {
+                let k = own[next];
+                if self.fwd_pending.get(&k).copied().unwrap_or(0) == 0 {
+                    self.fwd_solve_cblk(ctx, k as usize);
+                    next += 1;
+                    continue;
+                }
+            }
+            let env = ctx.recv();
+            match env.msg {
+                SMsg::XFwd { cblk, data } => {
+                    self.fwd_blok_contributions(ctx, cblk as usize, &data);
+                    self.x_cache.insert(cblk, data);
+                    expected_left -= 1;
+                }
+                SMsg::FwdAub { cblk, data } => {
+                    let seg = self.x.get_mut(&cblk).expect("AUB for unowned segment");
+                    for (s, v) in seg.iter_mut().zip(&data) {
+                        *s -= *v;
+                    }
+                    *self.fwd_pending.get_mut(&cblk).unwrap() -= 1;
+                }
+                _ => unreachable!("backward message during forward sweep"),
+            }
+        }
+    }
+
+    /// Diagonal forward solve of an owned cblk, then fan the segment out.
+    fn fwd_solve_cblk(&mut self, ctx: &ProcCtx<SMsg<T>>, k: usize) {
+        let cb = &self.sym.cblks[k];
+        let w = cb.width();
+        let lda = self.storage.layout.panel_rows(k);
+        let seg = self.x.get_mut(&(k as u32)).unwrap();
+        solve_unit_lower(w, &self.storage.panels[k], lda, seg, 1, w);
+        let seg = seg.clone();
+        // Ship to the owners of this cblk's off-diagonal bloks.
+        for q in self.blok_owner_procs(k) {
+            ctx.send_lossy(q as usize, SMsg::XFwd { cblk: k as u32, data: seg.clone() });
+        }
+        // Process my own bloks of k immediately.
+        self.fwd_blok_contributions(ctx, k, &seg);
+    }
+
+    /// Computes `L_b · x_k` for every blok of `k` this processor owns and
+    /// routes the contributions.
+    fn fwd_blok_contributions(&mut self, ctx: &ProcCtx<SMsg<T>>, k: usize, xk: &[T]) {
+        let cb = &self.sym.cblks[k];
+        let w = cb.width();
+        let lda = self.storage.layout.panel_rows(k);
+        for b in cb.blok_start + 1..cb.blok_end {
+            if self.routing.blok_owner[b] != self.me {
+                continue;
+            }
+            let blok = &self.sym.bloks[b];
+            let hb = blok.nrows();
+            let mut contrib = vec![T::zero(); hb];
+            gemm_nn_acc(
+                hb,
+                1,
+                w,
+                T::one(),
+                &self.storage.panels[k][self.storage.layout.panel_row[b] as usize..],
+                lda,
+                xk,
+                w,
+                &mut contrib,
+                hb,
+            );
+            let t = blok.fcblk as usize;
+            let tcb = &self.sym.cblks[t];
+            let off = (blok.frow - tcb.fcol) as usize;
+            let owner = self.routing.cblk_owner[t];
+            if owner == self.me {
+                let seg = self.x.get_mut(&(t as u32)).expect("local target segment");
+                for (s, v) in seg[off..off + hb].iter_mut().zip(&contrib) {
+                    *s -= *v;
+                }
+                *self.fwd_pending.get_mut(&(t as u32)).unwrap() -= 1;
+            } else {
+                let width_t = tcb.width();
+                // One aggregated buffer per (me, target cblk); count my
+                // bloks facing t to know when it is complete.
+                let mine: u32 = self.routing.facing[t]
+                    .iter()
+                    .filter(|&&(bb, _)| self.routing.blok_owner[bb as usize] == self.me)
+                    .count() as u32;
+                let entry = self
+                    .fwd_aub_out
+                    .entry(t as u32)
+                    .or_insert_with(|| (vec![T::zero(); width_t], mine));
+                for (s, v) in entry.0[off..off + hb].iter_mut().zip(&contrib) {
+                    *s += *v;
+                }
+                entry.1 -= 1;
+                if entry.1 == 0 {
+                    let (data, _) = self.fwd_aub_out.remove(&(t as u32)).unwrap();
+                    ctx.send_lossy(owner as usize, SMsg::FwdAub { cblk: t as u32, data });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Backward sweep: D·z = y then Lᵀ·x = z, descending column blocks.
+    // ------------------------------------------------------------------
+
+    fn backward(&mut self, ctx: &ProcCtx<SMsg<T>>) {
+        let ns = self.sym.n_cblks();
+        self.x_cache.clear();
+        // Expected final segments of cblks whose *facing* bloks I own.
+        let mut expected_left = 0usize;
+        for t in 0..ns {
+            if self.routing.cblk_owner[t] == self.me {
+                continue;
+            }
+            if self.routing.facing[t]
+                .iter()
+                .any(|&(b, _)| self.routing.blok_owner[b as usize] == self.me)
+            {
+                expected_left += 1;
+            }
+        }
+        let own: Vec<u32> = (0..ns as u32)
+            .rev()
+            .filter(|&k| self.routing.cblk_owner[k as usize] == self.me)
+            .collect();
+        let mut next = 0usize;
+        while next < own.len() || expected_left > 0 {
+            if next < own.len() {
+                let k = own[next];
+                if self.bwd_pending.get(&k).copied().unwrap_or(0) == 0 {
+                    self.bwd_solve_cblk(ctx, k as usize);
+                    next += 1;
+                    continue;
+                }
+            }
+            let env = ctx.recv();
+            match env.msg {
+                SMsg::XBwd { cblk, data } => {
+                    self.bwd_blok_partials(ctx, cblk as usize, &data);
+                    self.x_cache.insert(cblk, data);
+                    expected_left -= 1;
+                }
+                SMsg::BwdAub { cblk, data } => {
+                    let buf = self
+                        .bwd_partial_in
+                        .entry(cblk)
+                        .or_insert_with(|| vec![T::zero(); data.len()]);
+                    for (s, v) in buf.iter_mut().zip(&data) {
+                        *s += *v;
+                    }
+                    *self.bwd_pending.get_mut(&cblk).unwrap() -= 1;
+                }
+                _ => unreachable!("forward message during backward sweep"),
+            }
+        }
+    }
+
+    /// Backward step of an owned cblk: divide by D, subtract the (already
+    /// received) partials, solve the transposed unit diagonal, broadcast.
+    fn bwd_solve_cblk(&mut self, ctx: &ProcCtx<SMsg<T>>, k: usize) {
+        let cb = &self.sym.cblks[k];
+        let w = cb.width();
+        let lda = self.storage.layout.panel_rows(k);
+        let panel = &self.storage.panels[k];
+        let seg = self.x.get_mut(&(k as u32)).unwrap();
+        // Order matters: D-divide the forward values first, then subtract
+        // the buffered `Lᵀ·x` partials, then the transposed diagonal solve
+        // — exactly the sequential sweep. All partials (local and remote)
+        // were buffered in `bwd_partial_in`, never applied early.
+        for t in 0..w {
+            let d = panel[t + t * lda];
+            seg[t] *= d.recip();
+        }
+        if let Some(pbuf) = self.bwd_partial_in.remove(&(k as u32)) {
+            for (s, v) in seg.iter_mut().zip(&pbuf) {
+                *s -= *v;
+            }
+        }
+        solve_unit_lower_trans(w, panel, lda, seg, 1, w);
+        let seg = seg.clone();
+        for q in self.facing_owner_procs(k) {
+            ctx.send_lossy(q as usize, SMsg::XBwd { cblk: k as u32, data: seg.clone() });
+        }
+        self.bwd_blok_partials(ctx, k, &seg);
+    }
+
+    /// Computes `L_bᵀ · x_rows` for every blok facing `t` this processor
+    /// owns and routes the partials toward the blok's source cblk.
+    fn bwd_blok_partials(&mut self, ctx: &ProcCtx<SMsg<T>>, t: usize, xt: &[T]) {
+        let tcb = &self.sym.cblks[t];
+        // Iterate bloks facing t that I own; each belongs to a source cblk
+        // k < t and contributes to x_k.
+        let facing: Vec<(u32, u32)> = self.routing.facing[t]
+            .iter()
+            .copied()
+            .filter(|&(b, _)| self.routing.blok_owner[b as usize] == self.me)
+            .collect();
+        for (b, k) in facing {
+            let b = b as usize;
+            let k = k as usize;
+            let blok = &self.sym.bloks[b];
+            let hb = blok.nrows();
+            let w = self.sym.cblks[k].width();
+            let lda = self.storage.layout.panel_rows(k);
+            let prow = self.storage.layout.panel_row[b] as usize;
+            let off = (blok.frow - tcb.fcol) as usize;
+            let xs = &xt[off..off + hb];
+            let mut partial = vec![T::zero(); w];
+            let panel = &self.storage.panels[k];
+            for (col, p) in partial.iter_mut().enumerate() {
+                let colv = &panel[prow + col * lda..prow + col * lda + hb];
+                let mut acc = T::zero();
+                for (l, xv) in colv.iter().zip(xs) {
+                    acc += *l * *xv;
+                }
+                *p = acc;
+            }
+            let owner = self.routing.cblk_owner[k];
+            if owner == self.me {
+                // Buffer locally; folded in at the cblk's backward step so
+                // the D division always precedes the subtraction.
+                let buf = self
+                    .bwd_partial_in
+                    .entry(k as u32)
+                    .or_insert_with(|| vec![T::zero(); w]);
+                for (s, v) in buf.iter_mut().zip(&partial) {
+                    *s += *v;
+                }
+                *self.bwd_pending.get_mut(&(k as u32)).unwrap() -= 1;
+            } else {
+                let mine: u32 = (self.sym.cblks[k].blok_start + 1..self.sym.cblks[k].blok_end)
+                    .filter(|&bb| self.routing.blok_owner[bb] == self.me)
+                    .count() as u32;
+                let entry = self
+                    .bwd_aub_out
+                    .entry(k as u32)
+                    .or_insert_with(|| (vec![T::zero(); w], mine));
+                for (s, v) in entry.0.iter_mut().zip(&partial) {
+                    *s += *v;
+                }
+                entry.1 -= 1;
+                if entry.1 == 0 {
+                    let (data, _) = self.bwd_aub_out.remove(&(k as u32)).unwrap();
+                    ctx.send_lossy(owner as usize, SMsg::BwdAub { cblk: k as u32, data });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{factorize_sequential, solve_in_place};
+    use pastix_graph::gen::{grid_spd, Stencil, ValueKind};
+    use pastix_graph::{canonical_solution, rhs_for_solution};
+    use pastix_machine::MachineModel;
+    use pastix_ordering::{nested_dissection, OrderingOptions};
+    use pastix_sched::{map_and_schedule, DistStrategy, MappingOptions, SchedOptions};
+    use pastix_symbolic::{analyze, AnalysisOptions};
+
+    fn setup(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        procs: usize,
+        strategy: DistStrategy,
+    ) -> (pastix_graph::SymCsc<f64>, pastix_sched::Mapping, FactorStorage<f64>) {
+        let a = grid_spd::<f64>(nx, ny, nz, Stencil::Star, false, ValueKind::RandomSpd(5));
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 8, ..Default::default() });
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        let machine = MachineModel::sp2(procs);
+        let opts = SchedOptions {
+            block_size: 6,
+            mapping: MappingOptions {
+                procs_2d_min: 2.0,
+                width_2d_min: 6,
+                strategy,
+            },
+        };
+        let mapping = map_and_schedule(&an.symbol, &machine, &opts);
+        let ap = a.permuted(&an.perm);
+        let sym = mapping.graph.split.symbol.clone();
+        let mut st = FactorStorage::zeros(&sym);
+        st.scatter(&sym, &ap);
+        factorize_sequential(&sym, &mut st).unwrap();
+        (ap, mapping, st)
+    }
+
+    fn check(ap: &pastix_graph::SymCsc<f64>, mapping: &pastix_sched::Mapping, st: &FactorStorage<f64>) {
+        let sym = &mapping.graph.split.symbol;
+        let x_exact = canonical_solution::<f64>(ap.n());
+        let b = rhs_for_solution(ap, &x_exact);
+        let x_par = solve_parallel(sym, st, &mapping.graph, &mapping.schedule, &b);
+        let mut x_seq = b.clone();
+        solve_in_place(sym, st, &mut x_seq);
+        for (u, v) in x_par.iter().zip(&x_seq) {
+            assert!((u - v).abs() < 1e-9, "parallel {u} vs sequential {v}");
+        }
+        assert!(ap.residual_norm(&x_par, &b) < 1e-12);
+    }
+
+    #[test]
+    fn distributed_solve_matches_sequential_1d() {
+        for procs in [1usize, 2, 4] {
+            let (ap, mapping, st) = setup(8, 8, 1, procs, DistStrategy::Only1d);
+            check(&ap, &mapping, &st);
+        }
+    }
+
+    #[test]
+    fn distributed_solve_matches_sequential_mixed() {
+        for procs in [2usize, 4, 8] {
+            let (ap, mapping, st) = setup(9, 9, 1, procs, DistStrategy::Mixed1d2d);
+            check(&ap, &mapping, &st);
+        }
+    }
+
+    #[test]
+    fn distributed_solve_works_under_cyclic_schedule() {
+        // The solve protocol only depends on ownership, not on how it was
+        // chosen: a block-cyclic schedule must drive it just as well.
+        let (ap, mapping, st) = setup(8, 8, 1, 3, DistStrategy::Mixed1d2d);
+        let machine = pastix_machine::MachineModel::sp2(3);
+        let cyc = pastix_sched::cyclic_schedule(&mapping.graph, &machine);
+        let sym = &mapping.graph.split.symbol;
+        let x_exact = canonical_solution::<f64>(ap.n());
+        let b = rhs_for_solution(&ap, &x_exact);
+        let x = solve_parallel(sym, &st, &mapping.graph, &cyc, &b);
+        assert!(ap.residual_norm(&x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn distributed_solve_3d() {
+        let (ap, mapping, st) = setup(4, 4, 4, 4, DistStrategy::Mixed1d2d);
+        check(&ap, &mapping, &st);
+    }
+}

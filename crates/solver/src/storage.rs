@@ -1,0 +1,229 @@
+//! Numeric storage of the block factor.
+//!
+//! Each column block is one contiguous column-major *panel*: the square
+//! diagonal block on top (its strictly upper triangle unused), then the
+//! rows of each off-diagonal block stacked in order. This is the real
+//! PaStiX layout — a sub-panel of any block is a BLAS-ready column-major
+//! slice with the panel's leading dimension.
+
+use pastix_graph::SymCsc;
+use pastix_kernels::scalar::Scalar;
+use pastix_symbolic::SymbolMatrix;
+
+/// Precomputed addressing of panels.
+#[derive(Debug, Clone)]
+pub struct PanelLayout {
+    /// Leading dimension (total rows) of each column block's panel.
+    pub lda: Vec<u32>,
+    /// Row offset of each global blok inside its column block's panel
+    /// (0 for diagonal blocks).
+    pub panel_row: Vec<u32>,
+}
+
+impl PanelLayout {
+    /// Builds the layout for a symbol matrix.
+    pub fn new(sym: &SymbolMatrix) -> Self {
+        let mut lda = Vec::with_capacity(sym.n_cblks());
+        let mut panel_row = vec![0u32; sym.bloks.len()];
+        for k in 0..sym.n_cblks() {
+            let cb = &sym.cblks[k];
+            let mut row = cb.width() as u32;
+            panel_row[cb.blok_start] = 0;
+            for b in cb.blok_start + 1..cb.blok_end {
+                panel_row[b] = row;
+                row += sym.bloks[b].nrows() as u32;
+            }
+            lda.push(row);
+        }
+        Self { lda, panel_row }
+    }
+
+    /// Panel rows (leading dimension) of column block `k`.
+    #[inline]
+    pub fn panel_rows(&self, k: usize) -> usize {
+        self.lda[k] as usize
+    }
+}
+
+/// The numeric factor: one dense panel per column block.
+#[derive(Debug, Clone)]
+pub struct FactorStorage<T> {
+    /// Shared addressing.
+    pub layout: PanelLayout,
+    /// Column-major panels, `lda[k] × width(k)` each.
+    pub panels: Vec<Vec<T>>,
+}
+
+impl<T: Scalar> FactorStorage<T> {
+    /// Allocates zeroed panels for a symbol matrix.
+    pub fn zeros(sym: &SymbolMatrix) -> Self {
+        let layout = PanelLayout::new(sym);
+        let panels = (0..sym.n_cblks())
+            .map(|k| vec![T::zero(); layout.panel_rows(k) * sym.cblks[k].width()])
+            .collect();
+        Self { layout, panels }
+    }
+
+    /// Scatters the lower triangle of the (already permuted) matrix into
+    /// the panels. Entries must all fall inside the symbolic structure.
+    pub fn scatter(&mut self, sym: &SymbolMatrix, a: &SymCsc<T>) {
+        assert_eq!(a.n(), sym.n);
+        for j in 0..a.n() {
+            let k = sym.cblk_of_col(j);
+            let cb = &sym.cblks[k];
+            let lda = self.layout.panel_rows(k);
+            let local_col = j - cb.fcol as usize;
+            let panel = &mut self.panels[k];
+            for (&i, &v) in a.rows_of(j).iter().zip(a.vals_of(j)) {
+                let i = i as usize;
+                debug_assert!(i >= j, "input must be lower triangular");
+                let row = panel_row_of(sym, &self.layout, k, i as u32);
+                panel[row + local_col * lda] = v;
+            }
+        }
+    }
+
+    /// Entry `(i, j)` of the factor (`i ≥ j`), zero when outside the
+    /// structure. For tests and small-scale inspection.
+    pub fn get(&self, sym: &SymbolMatrix, i: usize, j: usize) -> T {
+        assert!(i >= j);
+        let k = sym.cblk_of_col(j);
+        let cb = &sym.cblks[k];
+        let local_col = j - cb.fcol as usize;
+        let lda = self.layout.panel_rows(k);
+        match try_panel_row_of(sym, &self.layout, k, i as u32) {
+            Some(row) => self.panels[k][row + local_col * lda],
+            None => T::zero(),
+        }
+    }
+
+    /// The diagonal entries `D` of the factored matrix.
+    pub fn diagonal(&self, sym: &SymbolMatrix) -> Vec<T> {
+        let mut d = Vec::with_capacity(sym.n);
+        for k in 0..sym.n_cblks() {
+            let cb = &sym.cblks[k];
+            let lda = self.layout.panel_rows(k);
+            for t in 0..cb.width() {
+                d.push(self.panels[k][t + t * lda]);
+            }
+        }
+        d
+    }
+}
+
+/// Panel row of global row `i` within column block `k`; panics when `i` is
+/// outside the structure.
+pub fn panel_row_of(sym: &SymbolMatrix, layout: &PanelLayout, k: usize, i: u32) -> usize {
+    try_panel_row_of(sym, layout, k, i)
+        .unwrap_or_else(|| panic!("row {i} not in structure of cblk {k}"))
+}
+
+/// Panel row of global row `i` within column block `k`, or `None` when the
+/// row is not in the block structure.
+pub fn try_panel_row_of(sym: &SymbolMatrix, layout: &PanelLayout, k: usize, i: u32) -> Option<usize> {
+    let cb = &sym.cblks[k];
+    if i >= cb.fcol && i <= cb.lcol {
+        return Some((i - cb.fcol) as usize);
+    }
+    // Binary search the off-diagonal blocks (sorted by frow).
+    let bloks = &sym.bloks[cb.blok_start + 1..cb.blok_end];
+    let mut lo = 0usize;
+    let mut hi = bloks.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if bloks[mid].lrow < i {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo < bloks.len() && bloks[lo].frow <= i && i <= bloks[lo].lrow {
+        let b = cb.blok_start + 1 + lo;
+        Some(layout.panel_row[b] as usize + (i - bloks[lo].frow) as usize)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastix_graph::Permutation;
+    use pastix_symbolic::{analyze, AnalysisOptions};
+
+    fn setup() -> (SymCsc<f64>, SymbolMatrix, Permutation) {
+        let a = pastix_graph::gen::grid_spd::<f64>(
+            5,
+            4,
+            1,
+            pastix_graph::gen::Stencil::Star,
+            false,
+            pastix_graph::gen::ValueKind::RandomSpd(3),
+        );
+        let g = a.to_graph();
+        let ord = pastix_ordering::nested_dissection(&g, &pastix_ordering::OrderingOptions {
+            leaf_size: 4,
+            ..Default::default()
+        });
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        let ap = a.permuted(&an.perm);
+        (ap, an.symbol, an.perm)
+    }
+
+    #[test]
+    fn layout_covers_all_bloks() {
+        let (_, sym, _) = setup();
+        let layout = PanelLayout::new(&sym);
+        for k in 0..sym.n_cblks() {
+            let cb = &sym.cblks[k];
+            let mut expected = cb.width();
+            for b in cb.blok_start + 1..cb.blok_end {
+                assert_eq!(layout.panel_row[b] as usize, expected);
+                expected += sym.bloks[b].nrows();
+            }
+            assert_eq!(layout.panel_rows(k), expected);
+        }
+    }
+
+    #[test]
+    fn scatter_then_get_roundtrip() {
+        let (ap, sym, _) = setup();
+        let mut f = FactorStorage::zeros(&sym);
+        f.scatter(&sym, &ap);
+        for j in 0..ap.n() {
+            for (&i, &v) in ap.rows_of(j).iter().zip(ap.vals_of(j)) {
+                assert_eq!(f.get(&sym, i as usize, j), v, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn get_outside_structure_is_zero() {
+        let (ap, sym, _) = setup();
+        let mut f = FactorStorage::zeros(&sym);
+        f.scatter(&sym, &ap);
+        // Count structural zeros read back as zero.
+        let n = ap.n();
+        let mut zeros = 0;
+        for j in 0..n {
+            for i in j..n {
+                if try_panel_row_of(&sym, &f.layout, sym.cblk_of_col(j), i as u32).is_none() {
+                    assert_eq!(f.get(&sym, i, j), 0.0);
+                    zeros += 1;
+                }
+            }
+        }
+        assert!(zeros > 0, "expected some structural zeros in a sparse factor");
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let (ap, sym, _) = setup();
+        let mut f = FactorStorage::zeros(&sym);
+        f.scatter(&sym, &ap);
+        let d = f.diagonal(&sym);
+        for (j, &dj) in d.iter().enumerate() {
+            assert_eq!(dj, ap.get(j, j));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the numeric solver on random SPD systems:
+//! the full pipeline (ordering → symbolic → scatter → factorize → solve)
+//! must solve every diagonally dominant random system, sequentially and
+//! in parallel, and the two factors must agree.
+
+use pastix_graph::SymCsc;
+use pastix_machine::MachineModel;
+use pastix_ordering::{nested_dissection, OrderingOptions};
+use pastix_sched::{map_and_schedule, MappingOptions, SchedOptions};
+use pastix_solver::{factorize_parallel, factorize_sequential, solve_in_place, FactorStorage};
+use pastix_symbolic::{analyze, AnalysisOptions};
+use proptest::prelude::*;
+
+/// Builds a random diagonally dominant SPD matrix from edge and value data.
+fn random_spd(n: usize, edges: Vec<(u32, u32)>, vals: Vec<f64>) -> SymCsc<f64> {
+    let mut tr: Vec<(u32, u32, f64)> = Vec::new();
+    for (k, (u, v)) in edges.into_iter().enumerate() {
+        let (u, v) = (u % n as u32, v % n as u32);
+        if u == v {
+            continue;
+        }
+        let val = -(0.1 + vals[k % vals.len()].abs());
+        tr.push((u.max(v), u.min(v), val));
+    }
+    for d in 0..n as u32 {
+        tr.push((d, d, 1.0));
+    }
+    let mut a = SymCsc::from_triplets(n, &tr);
+    a.make_diag_dominant(0.5);
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sequential_pipeline_solves_random_spd(
+        n in 2usize..50,
+        edges in prop::collection::vec((0u32..50, 0u32..50), 0..150),
+        vals in prop::collection::vec(0.0f64..2.0, 1..16),
+    ) {
+        let a = random_spd(n, edges, vals);
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 8, ..Default::default() });
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        let ap = a.permuted(&an.perm);
+        let x_exact: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let b = ap.matvec(&x_exact);
+        let mut st = FactorStorage::zeros(&an.symbol);
+        st.scatter(&an.symbol, &ap);
+        factorize_sequential(&an.symbol, &mut st).unwrap();
+        let mut x = b.clone();
+        solve_in_place(&an.symbol, &st, &mut x);
+        prop_assert!(ap.residual_norm(&x, &b) < 1e-11);
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_sequential_on_random_spd(
+        n in 4usize..40,
+        edges in prop::collection::vec((0u32..40, 0u32..40), 4..120),
+        procs in 2usize..5,
+        block in 2usize..10,
+    ) {
+        let a = random_spd(n, edges, vec![1.0]);
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 6, ..Default::default() });
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        let machine = MachineModel::sp2(procs);
+        let opts = SchedOptions {
+            block_size: block,
+            mapping: MappingOptions {
+                procs_2d_min: 2.0,
+                width_2d_min: block,
+                ..Default::default()
+            },
+        };
+        let mapping = map_and_schedule(&an.symbol, &machine, &opts);
+        let sym = &mapping.graph.split.symbol;
+        let ap = a.permuted(&an.perm);
+        let par = factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule).unwrap();
+        let mut seq = FactorStorage::zeros(sym);
+        seq.scatter(sym, &ap);
+        factorize_sequential(sym, &mut seq).unwrap();
+        for (pa, pb) in par.panels.iter().zip(&seq.panels) {
+            for (x, y) in pa.iter().zip(pb) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_random_systems_solve(
+        blocks in prop::collection::vec(1usize..8, 1..5),
+    ) {
+        // A block-diagonal system of disjoint paths: exercises forests in
+        // every phase (multiple etree roots, multiple candidate intervals).
+        let mut tr: Vec<(u32, u32, f64)> = Vec::new();
+        let mut base = 0u32;
+        for &len in &blocks {
+            for i in 0..len as u32 {
+                tr.push((base + i, base + i, 4.0));
+                if i > 0 {
+                    tr.push((base + i, base + i - 1, -1.0));
+                }
+            }
+            base += len as u32;
+        }
+        let n = base as usize;
+        let a = SymCsc::from_triplets(n, &tr);
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 4, ..Default::default() });
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        let ap = a.permuted(&an.perm);
+        let x_exact = vec![1.0; n];
+        let b = ap.matvec(&x_exact);
+        let (x, _) = pastix_solver::factor_and_solve(&an.symbol, &ap, &b).unwrap();
+        for (u, v) in x.iter().zip(&x_exact) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_vertex_and_tiny_systems(n in 1usize..4) {
+        let mut tr: Vec<(u32, u32, f64)> = (0..n as u32).map(|i| (i, i, 2.0)).collect();
+        if n > 1 {
+            tr.push((1, 0, -0.5));
+        }
+        let a = SymCsc::from_triplets(n, &tr);
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions::default());
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        let ap = a.permuted(&an.perm);
+        let b = ap.matvec(&vec![1.0; n]);
+        let (x, _) = pastix_solver::factor_and_solve(&an.symbol, &ap, &b).unwrap();
+        for v in &x {
+            prop_assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the symbolic phase on random graphs: the block
+//! structures must agree exactly with the scalar symbolic factorization,
+//! and every transformation (amalgamation, splitting) must preserve the
+//! documented invariants.
+
+use pastix_graph::CsrGraph;
+use pastix_symbolic::{
+    amalgamate, block_symbolic, col_counts, etree, fundamental_supernodes, opc, postorder,
+    split_symbol, AmalgamationOptions, NO_PARENT,
+};
+use proptest::prelude::*;
+
+fn random_graph(n: usize, edges: Vec<(u32, u32)>) -> CsrGraph {
+    let edges: Vec<(u32, u32)> = edges
+        .into_iter()
+        .map(|(u, v)| (u % n as u32, v % n as u32))
+        .filter(|(u, v)| u != v)
+        .collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn block_structure_is_exact_on_fundamental_partition(
+        n in 2usize..40,
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..120),
+    ) {
+        let g0 = random_graph(n, edges);
+        // Postorder so supernodes are contiguous.
+        let parent0 = etree(&g0);
+        let post = postorder(&parent0);
+        let g = g0.permuted(&post);
+        let parent = etree(&g);
+        let counts = col_counts(&g, &parent);
+        let part = fundamental_supernodes(&parent, &counts);
+        part.validate(n).unwrap();
+        let sym = block_symbolic(&g, &part);
+        sym.validate().unwrap();
+        // Exactness: block NNZ_L == scalar NNZ_L and OPC matches.
+        let scalar_off: u64 = counts.iter().map(|&c| c - 1).sum();
+        prop_assert_eq!(sym.nnz().nnz_offdiag, scalar_off);
+        prop_assert!((sym.opc() - opc(&counts)).abs() < 1e-6 * opc(&counts).max(1.0));
+    }
+
+    #[test]
+    fn amalgamation_only_pads(
+        n in 2usize..40,
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..120),
+        ratio in 0.0f64..0.5,
+        min_width in 1usize..12,
+    ) {
+        let g0 = random_graph(n, edges);
+        let parent0 = etree(&g0);
+        let post = postorder(&parent0);
+        let g = g0.permuted(&post);
+        let parent = etree(&g);
+        let counts = col_counts(&g, &parent);
+        let fund = fundamental_supernodes(&parent, &counts);
+        let am = amalgamate(&fund, &AmalgamationOptions { fill_ratio: ratio, min_width });
+        am.validate(n).unwrap();
+        prop_assert!(am.len() <= fund.len());
+        let sym_f = block_symbolic(&g, &fund);
+        let sym_a = block_symbolic(&g, &am);
+        sym_a.validate().unwrap();
+        // Amalgamation can only add explicit zeros (the per-merge ratio is
+        // checked at merge time; across chained merges the ratios compound,
+        // so no tight global bound exists — monotonicity is the invariant).
+        prop_assert!(sym_a.nnz().nnz_offdiag >= sym_f.nnz().nnz_offdiag);
+        // With a zero ratio and min_width 1 nothing would merge; in general
+        // the padded structure still loses nothing of the original.
+        prop_assert!(sym_a.nnz().stored_entries >= sym_f.nnz().nnz_offdiag);
+    }
+
+    #[test]
+    fn splitting_preserves_structure(
+        n in 2usize..35,
+        edges in prop::collection::vec((0u32..35, 0u32..35), 0..100),
+        width in 1usize..8,
+    ) {
+        let g0 = random_graph(n, edges);
+        let parent0 = etree(&g0);
+        let post = postorder(&parent0);
+        let g = g0.permuted(&post);
+        let parent = etree(&g);
+        let counts = col_counts(&g, &parent);
+        let fund = fundamental_supernodes(&parent, &counts);
+        let am = amalgamate(&fund, &AmalgamationOptions::default());
+        let sym = block_symbolic(&g, &am);
+        let split = split_symbol(&sym, width);
+        split.symbol.validate().unwrap();
+        prop_assert_eq!(split.symbol.nnz().nnz_offdiag, sym.nnz().nnz_offdiag);
+        prop_assert!((split.symbol.opc() - sym.opc()).abs() < 1e-6 * sym.opc().max(1.0));
+        for cb in &split.symbol.cblks {
+            prop_assert!(cb.width() <= width);
+        }
+    }
+
+    #[test]
+    fn block_etree_consistent_with_scalar_etree(
+        n in 2usize..30,
+        edges in prop::collection::vec((0u32..30, 0u32..30), 0..80),
+    ) {
+        let g0 = random_graph(n, edges);
+        let parent0 = etree(&g0);
+        let post = postorder(&parent0);
+        let g = g0.permuted(&post);
+        let parent = etree(&g);
+        let counts = col_counts(&g, &parent);
+        let part = fundamental_supernodes(&parent, &counts);
+        let sym = block_symbolic(&g, &part);
+        let bt = sym.block_etree();
+        // The supernode of parent(last col of s) must be the block parent.
+        for (s, &bp) in bt.iter().enumerate() {
+            let last = sym.cblks[s].lcol as usize;
+            match parent[last] {
+                NO_PARENT => prop_assert_eq!(bp, NO_PARENT),
+                p => prop_assert_eq!(bp as usize, sym.cblk_of_col(p as usize)),
+            }
+        }
+    }
+}

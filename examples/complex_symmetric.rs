@@ -1,0 +1,59 @@
+//! Complex symmetric systems — the reason PaStiX uses `L·D·Lᵀ`.
+//!
+//! ```sh
+//! cargo run --release --example complex_symmetric
+//! ```
+//!
+//! The paper (§1): *"we use LDLᵀ factorization in order to solve sparse
+//! systems with complex coefficients"*. A complex *symmetric* matrix
+//! (`A = Aᵀ`, not Hermitian — e.g. from time-harmonic wave problems with
+//! absorbing boundaries) has no Cholesky factorization, but `L·D·Lᵀ`
+//! without pivoting applies verbatim with the unconjugated transpose.
+//! This example builds such a system (a damped Helmholtz-like operator on
+//! a 3D grid), runs the identical pipeline the real-valued examples use,
+//! and checks the solution.
+
+use pastix::graph::gen::{grid_spd, Stencil, ValueKind};
+use pastix::graph::{canonical_solution, rhs_for_solution, SymCsc};
+use pastix::kernels::Complex64;
+use pastix::{Pastix, PastixOptions};
+
+fn main() {
+    // Real SPD stiffness pattern …
+    let k_re = grid_spd::<f64>(12, 12, 6, Stencil::Star, false, ValueKind::RandomSpd(9));
+    let n = k_re.n();
+    // … shifted into a complex symmetric operator K + i·(σM): damping on
+    // the diagonal, a small complex perturbation on the couplings.
+    let mut tr = Vec::with_capacity(k_re.nnz_stored());
+    for j in 0..n {
+        for (&i, &v) in k_re.rows_of(j).iter().zip(k_re.vals_of(j)) {
+            let im = if i as usize == j { 0.8 } else { 0.02 * v };
+            tr.push((i, j as u32, Complex64::new(v, im)));
+        }
+    }
+    let a = SymCsc::<Complex64>::from_triplets(n, &tr);
+    println!("complex symmetric system: n = {n}, nnz = {}", a.nnz_stored());
+    assert_eq!(a.get(5, 17), a.get(17, 5), "symmetric, not Hermitian");
+
+    let solver = Pastix::analyze(&a, &PastixOptions::with_procs(4)).expect("analysis");
+    println!(
+        "NNZ_L = {}, OPC = {:.3e} (complex ops), predicted factorization {:.4} s",
+        solver.nnz_l(),
+        solver.opc(),
+        solver.predicted_time()
+    );
+
+    let factor = solver.factorize(&a).expect("factorization (no pivoting!)");
+    let x_exact = canonical_solution::<Complex64>(n);
+    let b = rhs_for_solution(&a, &x_exact);
+    let x = factor.solve(&b);
+    let res = a.residual_norm(&x, &b);
+    let max_err = x
+        .iter()
+        .zip(&x_exact)
+        .map(|(u, v)| (*u - *v).abs())
+        .fold(0.0f64, f64::max);
+    println!("residual = {res:.2e}, max |x − x_exact| = {max_err:.2e}");
+    assert!(res < 1e-12);
+    println!("OK — the LDLᵀ pipeline handles complex symmetric systems unchanged.");
+}

@@ -1,0 +1,76 @@
+//! Machine study: how the static schedule adapts to the interconnect.
+//!
+//! ```sh
+//! cargo run --release --example machine_study
+//! ```
+//!
+//! The greedy mapper prices every placement against the machine model, so
+//! changing the network *changes the schedule*: on a slow network it
+//! consolidates work (fewer, larger ownership regions, fewer messages); on
+//! a fast one it spreads aggressively. This example sweeps the latency and
+//! bandwidth of the modeled SP2 switch by powers of ten and reports what
+//! the scheduler did with the very same task graph.
+
+use pastix::graph::{build_problem, ProblemId};
+use pastix::machine::{MachineModel, NetworkModel};
+use pastix::ordering::{nested_dissection, OrderingOptions};
+use pastix::sched::{comm_stats, map_and_schedule, SchedOptions};
+use pastix::symbolic::{analyze, AnalysisOptions};
+
+fn main() {
+    let a = build_problem::<f64>(ProblemId::Ship003, 0.05);
+    let g = a.to_graph();
+    let ord = nested_dissection(&g, &OrderingOptions::scotch_like());
+    let an = analyze(&g, &ord, &AnalysisOptions::default());
+    let p = 16;
+    println!(
+        "SHIP003 analog, n = {}, {} supernodes, {p} processors",
+        a.n(),
+        an.symbol.n_cblks()
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>12}",
+        "net speed", "makespan(s)", "messages", "util", "x-proc edges"
+    );
+    let base = NetworkModel::sp2_switch();
+    for (label, lat_mul, bw_mul) in [
+        ("100x fast", 0.01, 100.0),
+        ("10x fast", 0.1, 10.0),
+        ("SP2", 1.0, 1.0),
+        ("10x slow", 10.0, 0.1),
+        ("100x slow", 100.0, 0.01),
+    ] {
+        let machine = MachineModel {
+            net: NetworkModel {
+                latency: base.latency * lat_mul,
+                bandwidth: base.bandwidth * bw_mul,
+            },
+            ..MachineModel::sp2(p)
+        };
+        let m = map_and_schedule(&an.symbol, &machine, &SchedOptions::default());
+        let c = comm_stats(&m.graph, &m.schedule);
+        // Cross-processor dependency edges (how spread the mapping is).
+        let mut xedges = 0u64;
+        for t in 0..m.graph.n_tasks() {
+            let tq = m.schedule.task_proc[t];
+            for (src, _) in m.graph.in_edges(t) {
+                if m.schedule.task_proc[src as usize] != tq {
+                    xedges += 1;
+                }
+            }
+        }
+        println!(
+            "{:>10} {:>12.4} {:>12} {:>9.0}% {:>12}",
+            label,
+            m.schedule.makespan,
+            c.messages_fanin,
+            m.schedule.utilization(&m.graph) * 100.0,
+            xedges
+        );
+    }
+    println!("\nReading: the proportional mapping pins the subtree work to its candidate");
+    println!("processors regardless of the network, so the edge counts barely move — what");
+    println!("the cost-aware greedy phase buys is *graceful degradation*: even a 100x");
+    println!("slower switch only stretches the makespan by the unavoidable transfer time");
+    println!("instead of stalling the pipeline (utilization absorbs the hit).");
+}

@@ -1,0 +1,111 @@
+//! Scheduling explorer: a look inside the paper's core contribution.
+//!
+//! ```sh
+//! cargo run --release --example scheduling_explorer
+//! ```
+//!
+//! For one problem, shows how the proportional mapping assigns candidate
+//! processors and picks 1D vs 2D per supernode, then prints the greedy
+//! schedule as a per-processor summary and a coarse text Gantt chart.
+
+use pastix::graph::{build_problem, ProblemId};
+use pastix::machine::MachineModel;
+use pastix::ordering::{nested_dissection, OrderingOptions};
+use pastix::sched::{analyze_schedule, map_and_schedule, SchedOptions, TaskKind};
+use pastix::symbolic::{analyze, AnalysisOptions};
+
+fn main() {
+    let a = build_problem::<f64>(ProblemId::Oilpan, 0.05);
+    let g = a.to_graph();
+    let ord = nested_dissection(&g, &OrderingOptions::scotch_like());
+    let an = analyze(&g, &ord, &AnalysisOptions::default());
+    let n_procs = 8;
+    let machine = MachineModel::sp2(n_procs);
+    let sched_opts = SchedOptions {
+        block_size: 64,
+        ..Default::default()
+    };
+    let mapping = map_and_schedule(&an.symbol, &machine, &sched_opts);
+
+    println!("== OILPAN analog, {} columns, {} supernodes, {} procs ==", a.n(), an.symbol.n_cblks(), n_procs);
+
+    // Candidate sets of the topmost supernodes.
+    println!("\nTop of the block elimination tree (candidate intervals, 1D/2D choice):");
+    let ns = an.symbol.n_cblks();
+    let cand = &mapping.candidates;
+    let show = 8.min(ns);
+    for k in (ns - show)..ns {
+        println!(
+            "  cblk {:>5}  width {:>4}  depth {:>2}  candidates [{:>6.2}, {:>6.2})  {}",
+            k,
+            an.symbol.cblks[k].width(),
+            cand.depth[k],
+            cand.lo[k],
+            cand.hi[k],
+            if cand.is_2d[k] { "2D" } else { "1D" }
+        );
+    }
+    let n2d = cand.is_2d.iter().filter(|&&b| b).count();
+    println!("  ({n2d} of {ns} supernodes distributed 2D)");
+
+    // Task mix.
+    let mut counts = [0usize; 4];
+    for k in &mapping.graph.kinds {
+        match k {
+            TaskKind::Comp1d { .. } => counts[0] += 1,
+            TaskKind::Factor { .. } => counts[1] += 1,
+            TaskKind::Bdiv { .. } => counts[2] += 1,
+            TaskKind::Bmod { .. } => counts[3] += 1,
+        }
+    }
+    println!(
+        "\nTask graph: {} tasks — COMP1D {}, FACTOR {}, BDIV {}, BMOD {}",
+        mapping.graph.n_tasks(),
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3]
+    );
+
+    // Per-processor summary.
+    let busy = mapping.schedule.busy_time(&mapping.graph);
+    println!("\nPer-processor schedule (makespan {:.4} s):", mapping.schedule.makespan);
+    for p in 0..n_procs {
+        println!(
+            "  P{p}: {:>5} tasks, busy {:.4} s ({:.0}% of makespan)",
+            mapping.schedule.proc_tasks[p].len(),
+            busy[p],
+            busy[p] / mapping.schedule.makespan * 100.0
+        );
+    }
+
+    // Coarse text Gantt: 60 columns of makespan, '#' = busy.
+    println!("\nGantt ('#' busy, '.' idle):");
+    let cols = 60usize;
+    let dt = mapping.schedule.makespan / cols as f64;
+    for p in 0..n_procs {
+        let mut row = vec!['.'; cols];
+        for &t in &mapping.schedule.proc_tasks[p] {
+            let t = t as usize;
+            let c0 = (mapping.schedule.start[t] / dt) as usize;
+            let c1 = ((mapping.schedule.end[t] / dt).ceil() as usize).min(cols);
+            for cell in row.iter_mut().take(c1).skip(c0.min(cols - 1)) {
+                *cell = '#';
+            }
+        }
+        println!("  P{p} |{}|", row.into_iter().collect::<String>());
+    }
+    println!(
+        "\nOverall utilization {:.0}%",
+        mapping.schedule.utilization(&mapping.graph) * 100.0
+    );
+    let an_s = analyze_schedule(&mapping.graph, &mapping.schedule);
+    println!(
+        "Total work {:.4} s, critical path {:.4} s, lower bound on {} procs {:.4} s",
+        an_s.total_work, an_s.critical_path, n_procs, an_s.lower_bound
+    );
+    println!(
+        "Schedule quality: {:.0}% of the provable optimum",
+        an_s.quality * 100.0
+    );
+}

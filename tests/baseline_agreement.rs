@@ -1,0 +1,74 @@
+//! The PaStiX solver and the PSPASES-like multifrontal baseline must agree
+//! numerically (same systems, same answers), and the baseline's parallel
+//! time model must behave like Table 2's second rows.
+
+use pastix::graph::{build_problem, canonical_solution, rhs_for_solution, ProblemId};
+use pastix::machine::MachineModel;
+use pastix::multifrontal::{multifrontal_llt, pspases_time, solve_llt_in_place, PspasesOptions};
+use pastix::ordering::{nested_dissection, OrderingOptions};
+use pastix::sched::{map_and_schedule, SchedOptions};
+use pastix::symbolic::{analyze, AnalysisOptions};
+
+#[test]
+fn multifrontal_and_supernodal_agree_across_suite() {
+    for id in [ProblemId::Quer, ProblemId::Oilpan, ProblemId::Thread] {
+        let a = build_problem::<f64>(id, 0.008);
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions::metis_like());
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        let ap = a.permuted(&an.perm);
+        let x_exact = canonical_solution::<f64>(a.n());
+        let b = rhs_for_solution(&ap, &x_exact);
+
+        let mf = multifrontal_llt(&an.symbol, &ap).unwrap();
+        let mut x1 = b.clone();
+        solve_llt_in_place(&an.symbol, &mf, &mut x1);
+
+        let (x2, _) = pastix::solver::factor_and_solve(&an.symbol, &ap, &b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-7, "{}: {u} vs {v}", id.name());
+        }
+        assert!(ap.residual_norm(&x1, &b) < 1e-12);
+    }
+}
+
+#[test]
+fn pspases_model_scales_like_table2_baseline() {
+    let a = build_problem::<f64>(ProblemId::Shipsec5, 0.02);
+    let g = a.to_graph();
+    let ord = nested_dissection(&g, &OrderingOptions::metis_like());
+    let an = analyze(&g, &ord, &AnalysisOptions::default());
+    let opts = PspasesOptions::default();
+    let t1 = pspases_time(&an.symbol, &MachineModel::sp2(1), &opts).time;
+    let t8 = pspases_time(&an.symbol, &MachineModel::sp2(8), &opts).time;
+    let t64 = pspases_time(&an.symbol, &MachineModel::sp2(64), &opts).time;
+    assert!(t8 < t1 * 0.5, "P=8 speedup too small: {t1} -> {t8}");
+    assert!(t64 <= t8 * 1.1, "P=64 regressed hard: {t8} -> {t64}");
+    assert!(t64 > t1 / 64.0, "speedup cannot be linear at P=64");
+}
+
+#[test]
+fn pastix_competitive_with_baseline_at_moderate_procs() {
+    // The paper's comparison: PaStiX (Scotch ordering, static fan-in
+    // schedule) vs PSPASES (MeTiS ordering, multifrontal) — PaStiX should
+    // win or tie at P ≤ 32 on a large shell problem.
+    let a = build_problem::<f64>(ProblemId::Ship003, 0.03);
+    let g = a.to_graph();
+
+    let ord_sc = nested_dissection(&g, &OrderingOptions::scotch_like());
+    let an_sc = analyze(&g, &ord_sc, &AnalysisOptions::default());
+    let ord_me = nested_dissection(&g, &OrderingOptions::metis_like());
+    let an_me = analyze(&g, &ord_me, &AnalysisOptions::default());
+
+    for p in [8usize, 32] {
+        let machine = MachineModel::sp2(p);
+        let pastix_t = map_and_schedule(&an_sc.symbol, &machine, &SchedOptions::default())
+            .schedule
+            .makespan;
+        let base_t = pspases_time(&an_me.symbol, &machine, &PspasesOptions::default()).time;
+        assert!(
+            pastix_t < base_t * 1.25,
+            "P={p}: PaStiX {pastix_t} should be competitive with baseline {base_t}"
+        );
+    }
+}

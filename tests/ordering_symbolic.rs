@@ -1,0 +1,144 @@
+//! Cross-crate tests of the ordering → symbolic pipeline: fill quality,
+//! structural invariants, and property-based checks on the analysis.
+
+use pastix::graph::{build_problem, CsrGraph, Permutation, ProblemId};
+use pastix::ordering::{nested_dissection, separator_is_valid, vertex_separator, BisectOptions, OrderingOptions};
+use pastix::symbolic::{analyze, AnalysisOptions, NO_PARENT};
+use proptest::prelude::*;
+
+fn grid_graph(nx: usize, ny: usize) -> CsrGraph {
+    let mut e = Vec::new();
+    let id = |x: usize, y: usize| (x + nx * y) as u32;
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                e.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < ny {
+                e.push((id(x, y), id(x, y + 1)));
+            }
+        }
+    }
+    CsrGraph::from_edges(nx * ny, &e)
+}
+
+#[test]
+fn nd_beats_natural_ordering_on_grids() {
+    // The entire point of the ordering phase: much less fill than the
+    // natural (band) ordering on 2D grids of meaningful size.
+    let g = grid_graph(40, 40);
+    let natural = analyze(&g, &Permutation::identity(g.n()), &AnalysisOptions::default());
+    let nd = analyze(
+        &g,
+        &nested_dissection(&g, &OrderingOptions::scotch_like()),
+        &AnalysisOptions::default(),
+    );
+    assert!(
+        (nd.scalar_nnz_offdiag as f64) < 0.6 * natural.scalar_nnz_offdiag as f64,
+        "ND fill {} vs natural {}",
+        nd.scalar_nnz_offdiag,
+        natural.scalar_nnz_offdiag
+    );
+}
+
+#[test]
+fn halo_md_never_much_worse_than_plain_md_leaves() {
+    // The paper's coupling: halo awareness should help (or at least not
+    // hurt) the leaf orderings across the whole suite.
+    let mut halo_wins = 0;
+    let mut total = 0;
+    for id in ProblemId::ALL {
+        let a = build_problem::<f64>(id, 0.01);
+        let g = a.to_graph();
+        let hmd = analyze(
+            &g,
+            &nested_dissection(&g, &OrderingOptions::scotch_like()),
+            &AnalysisOptions::default(),
+        );
+        let md = analyze(
+            &g,
+            &nested_dissection(&g, &OrderingOptions::metis_like()),
+            &AnalysisOptions::default(),
+        );
+        total += 1;
+        if hmd.scalar_nnz_offdiag <= md.scalar_nnz_offdiag {
+            halo_wins += 1;
+        }
+        assert!(
+            (hmd.scalar_nnz_offdiag as f64) < 1.15 * md.scalar_nnz_offdiag as f64,
+            "{}: halo {} much worse than plain {}",
+            id.name(),
+            hmd.scalar_nnz_offdiag,
+            md.scalar_nnz_offdiag
+        );
+    }
+    assert!(
+        halo_wins * 2 >= total,
+        "halo MD should win at least half the suite ({halo_wins}/{total})"
+    );
+}
+
+#[test]
+fn analysis_invariants_across_suite() {
+    for id in ProblemId::ALL {
+        let a = build_problem::<f64>(id, 0.008);
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions::scotch_like());
+        assert!(ord.validate(), "{}: invalid permutation", id.name());
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        an.symbol.validate().unwrap_or_else(|e| panic!("{}: {e}", id.name()));
+        an.partition.validate(g.n()).unwrap();
+        // Block etree well-formed.
+        let bt = an.symbol.block_etree();
+        for (k, &p) in bt.iter().enumerate() {
+            assert!(p == NO_PARENT || (p as usize) > k);
+        }
+        // Symbol nnz ≥ scalar nnz (amalgamation only pads).
+        assert!(an.symbol.nnz().nnz_offdiag >= an.scalar_nnz_offdiag);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn separator_valid_on_random_graphs(n in 6usize..60, edges in prop::collection::vec((0u32..60, 0u32..60), 5..150), seed in 0u64..1000) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .filter(|(u, v)| u != v)
+            .collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        let r = vertex_separator(&g, &BisectOptions { seed, ..Default::default() });
+        prop_assert!(separator_is_valid(&g, &r.side));
+        prop_assert_eq!(r.counts[0] + r.counts[1] + r.counts[2], n);
+    }
+
+    #[test]
+    fn nd_permutation_valid_on_random_graphs(n in 2usize..80, edges in prop::collection::vec((0u32..80, 0u32..80), 0..200)) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .filter(|(u, v)| u != v)
+            .collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 10, ..Default::default() });
+        prop_assert!(ord.validate());
+    }
+
+    #[test]
+    fn analysis_valid_on_random_graphs(n in 2usize..50, edges in prop::collection::vec((0u32..50, 0u32..50), 0..120)) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .filter(|(u, v)| u != v)
+            .collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 8, ..Default::default() });
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        prop_assert!(an.symbol.validate().is_ok());
+        prop_assert!(an.perm.validate());
+        // Scalar nnz_L at least the (symmetrized) input edges.
+        prop_assert!(an.scalar_nnz_offdiag >= g.n_edges() as u64);
+    }
+}

@@ -1,0 +1,95 @@
+//! The Fig. 1 validation as a test suite: the threaded fan-in solver must
+//! reproduce the sequential factor (up to floating-point reassociation in
+//! the aggregation order) across processor counts, distribution strategies
+//! and blocking sizes.
+
+use pastix::graph::{build_problem, canonical_solution, rhs_for_solution, ProblemId};
+use pastix::machine::MachineModel;
+use pastix::ordering::{nested_dissection, OrderingOptions};
+use pastix::sched::{map_and_schedule, DistStrategy, Mapping, SchedOptions};
+use pastix::solver::{factorize_parallel, factorize_sequential, solve_in_place, FactorStorage};
+use pastix::symbolic::{analyze, Analysis, AnalysisOptions};
+
+fn setup(id: ProblemId, scale: f64) -> (pastix::graph::SymCsc<f64>, Analysis) {
+    let a = build_problem::<f64>(id, scale);
+    let g = a.to_graph();
+    let ord = nested_dissection(&g, &OrderingOptions::scotch_like());
+    let an = analyze(&g, &ord, &AnalysisOptions::default());
+    (a, an)
+}
+
+fn run_case(a: &pastix::graph::SymCsc<f64>, an: &Analysis, mapping: &Mapping) {
+    let sym = &mapping.graph.split.symbol;
+    let ap = a.permuted(&an.perm);
+    let par = factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule).unwrap();
+    let mut seq = FactorStorage::zeros(sym);
+    seq.scatter(sym, &ap);
+    factorize_sequential(sym, &mut seq).unwrap();
+    let mut max_diff = 0.0f64;
+    for (pa, pb) in par.panels.iter().zip(&seq.panels) {
+        for (x, y) in pa.iter().zip(pb) {
+            max_diff = max_diff.max((x - y).abs());
+        }
+    }
+    assert!(max_diff < 1e-8, "factor deviation {max_diff}");
+    let x_exact = canonical_solution::<f64>(a.n());
+    let b = rhs_for_solution(&ap, &an.perm.apply_vec(&x_exact));
+    let mut x = b.clone();
+    solve_in_place(sym, &par, &mut x);
+    assert!(ap.residual_norm(&x, &b) < 1e-12);
+}
+
+#[test]
+fn proc_count_sweep_mixed() {
+    let (a, an) = setup(ProblemId::Quer, 0.01);
+    for p in [1usize, 2, 3, 4, 8, 16] {
+        let machine = MachineModel::sp2(p);
+        let mut opts = SchedOptions::default();
+        opts.block_size = 24;
+        opts.mapping.width_2d_min = 24;
+        opts.mapping.procs_2d_min = 2.0;
+        let mapping = map_and_schedule(&an.symbol, &machine, &opts);
+        run_case(&a, &an, &mapping);
+    }
+}
+
+#[test]
+fn strategy_sweep() {
+    let (a, an) = setup(ProblemId::Ship001, 0.01);
+    for strategy in [DistStrategy::Only1d, DistStrategy::Mixed1d2d] {
+        let machine = MachineModel::sp2(4);
+        let mut opts = SchedOptions::default();
+        opts.block_size = 16;
+        opts.mapping.strategy = strategy;
+        opts.mapping.width_2d_min = 16;
+        opts.mapping.procs_2d_min = 2.0;
+        let mapping = map_and_schedule(&an.symbol, &machine, &opts);
+        run_case(&a, &an, &mapping);
+    }
+}
+
+#[test]
+fn block_size_sweep() {
+    let (a, an) = setup(ProblemId::Thread, 0.008);
+    for block in [8usize, 32, 128] {
+        let machine = MachineModel::sp2(4);
+        let mut opts = SchedOptions::default();
+        opts.block_size = block;
+        opts.mapping.width_2d_min = block;
+        opts.mapping.procs_2d_min = 2.0;
+        let mapping = map_and_schedule(&an.symbol, &machine, &opts);
+        run_case(&a, &an, &mapping);
+    }
+}
+
+#[test]
+fn solid_3d_with_many_procs() {
+    let (a, an) = setup(ProblemId::Bmwcra1, 0.004);
+    let machine = MachineModel::sp2(8);
+    let mut opts = SchedOptions::default();
+    opts.block_size = 16;
+    opts.mapping.width_2d_min = 16;
+    opts.mapping.procs_2d_min = 2.0;
+    let mapping = map_and_schedule(&an.symbol, &machine, &opts);
+    run_case(&a, &an, &mapping);
+}

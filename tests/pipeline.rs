@@ -1,0 +1,116 @@
+//! End-to-end pipeline tests through the public facade: every generator
+//! family, real solves, statistics coherence, and the complex-symmetric
+//! path the paper motivates LDLᵀ with.
+
+use pastix::graph::gen::{grid_spd, plate_spd, shell_spd, solid_spd, thread_spd, Stencil, ValueKind};
+use pastix::graph::{build_problem, canonical_solution, rhs_for_solution, ProblemId, SymCsc};
+use pastix::kernels::Complex64;
+use pastix::{Pastix, PastixOptions};
+
+fn solve_and_check(a: &SymCsc<f64>, opts: &PastixOptions, tol: f64) {
+    let solver = Pastix::analyze(a, opts).expect("analysis");
+    let f = solver.factorize(a).expect("factorize");
+    let x_exact = canonical_solution::<f64>(a.n());
+    let b = rhs_for_solution(a, &x_exact);
+    let x = f.solve(&b);
+    let res = a.residual_norm(&x, &b);
+    assert!(res < tol, "residual {res} on n = {}", a.n());
+}
+
+#[test]
+fn every_generator_family_solves() {
+    let opts = PastixOptions::with_procs(2);
+    for a in [
+        plate_spd::<f64>(15, 12, Stencil::Star, ValueKind::Laplacian),
+        plate_spd::<f64>(12, 12, Stencil::Box, ValueKind::RandomSpd(1)),
+        solid_spd::<f64>(7, 6, 5, Stencil::Star, ValueKind::RandomSpd(2)),
+        shell_spd::<f64>(16, 12, 1, Stencil::Box, ValueKind::RandomSpd(3)),
+        thread_spd::<f64>(10, 4, 8, ValueKind::RandomSpd(4)),
+        grid_spd::<f64>(30, 5, 1, Stencil::Star, true, ValueKind::Laplacian),
+    ] {
+        solve_and_check(&a, &opts, 1e-12);
+    }
+}
+
+#[test]
+fn every_paper_analog_solves_at_tiny_scale() {
+    let mut opts = PastixOptions::with_procs(2);
+    opts.sched.block_size = 32;
+    for id in ProblemId::ALL {
+        let a = build_problem::<f64>(id, 0.01);
+        solve_and_check(&a, &opts, 1e-11);
+    }
+}
+
+#[test]
+fn statistics_are_coherent() {
+    let a = build_problem::<f64>(ProblemId::Quer, 0.02);
+    let solver = Pastix::analyze(&a, &PastixOptions::with_procs(4)).unwrap();
+    // Fill never shrinks the pattern.
+    assert!(solver.nnz_l() >= a.nnz_offdiag() as u64);
+    // OPC at least n (one op per pivot) and consistent with the symbol.
+    assert!(solver.opc() >= a.n() as f64);
+    let sym_opc = solver.mapping().graph.split.symbol.opc();
+    assert!(sym_opc >= solver.opc() * 0.99, "block OPC {sym_opc} < scalar {}", solver.opc());
+    // Schedule covers all tasks.
+    let total: usize = solver
+        .mapping()
+        .schedule
+        .proc_tasks
+        .iter()
+        .map(|v| v.len())
+        .sum();
+    assert_eq!(total, solver.mapping().graph.n_tasks());
+}
+
+#[test]
+fn complex_symmetric_end_to_end() {
+    // Complex symmetric (non-Hermitian) system on a shell pattern.
+    let re = shell_spd::<f64>(10, 8, 1, Stencil::Star, ValueKind::RandomSpd(7));
+    let n = re.n();
+    let mut tr = Vec::new();
+    for j in 0..n {
+        for (&i, &v) in re.rows_of(j).iter().zip(re.vals_of(j)) {
+            let im = if i as usize == j { 0.4 } else { -0.07 * v };
+            tr.push((i, j as u32, Complex64::new(v, im)));
+        }
+    }
+    let a = SymCsc::<Complex64>::from_triplets(n, &tr);
+    let solver = Pastix::analyze(&a, &PastixOptions::with_procs(2)).unwrap();
+    let f = solver.factorize(&a).unwrap();
+    let x_exact = canonical_solution::<Complex64>(n);
+    let b = rhs_for_solution(&a, &x_exact);
+    let x = f.solve(&b);
+    assert!(a.residual_norm(&x, &b) < 1e-12);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = build_problem::<f64>(ProblemId::Oilpan, 0.01);
+    let opts = PastixOptions::with_procs(4);
+    let s1 = Pastix::analyze(&a, &opts).unwrap();
+    let s2 = Pastix::analyze(&a, &opts).unwrap();
+    assert_eq!(s1.permutation().perm(), s2.permutation().perm());
+    assert_eq!(s1.mapping().schedule.task_proc, s2.mapping().schedule.task_proc);
+    assert_eq!(s1.predicted_time(), s2.predicted_time());
+}
+
+#[test]
+fn sequential_and_parallel_numeric_agree_through_facade() {
+    let a = build_problem::<f64>(ProblemId::Ship001, 0.015);
+    let x_exact = canonical_solution::<f64>(a.n());
+    let b = rhs_for_solution(&a, &x_exact);
+
+    let mut seq_opts = PastixOptions::with_procs(4);
+    seq_opts.parallel_numeric = false;
+    let s1 = Pastix::analyze(&a, &seq_opts).unwrap();
+    let x1 = s1.factorize(&a).unwrap().solve(&b);
+
+    let par_opts = PastixOptions::with_procs(4);
+    let s2 = Pastix::analyze(&a, &par_opts).unwrap();
+    let x2 = s2.factorize(&a).unwrap().solve(&b);
+
+    for (u, v) in x1.iter().zip(&x2) {
+        assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-crate tests of the partitioning + scheduling phase: validity of
+//! every produced schedule, speedup/saturation shape, the 1D/2D switch,
+//! and the fan-in communication accounting.
+
+use pastix::graph::{build_problem, ProblemId};
+use pastix::machine::MachineModel;
+use pastix::ordering::{nested_dissection, OrderingOptions};
+use pastix::sched::{
+    comm_stats, map_and_schedule, sequential_cost, validate_schedule, DistStrategy, SchedOptions,
+};
+use pastix::symbolic::{analyze, Analysis, AnalysisOptions};
+
+fn analyzed(id: ProblemId, scale: f64) -> Analysis {
+    let a = build_problem::<f64>(id, scale);
+    let g = a.to_graph();
+    let ord = nested_dissection(&g, &OrderingOptions::scotch_like());
+    analyze(&g, &ord, &AnalysisOptions::default())
+}
+
+#[test]
+fn schedules_valid_across_suite_and_procs() {
+    for id in [ProblemId::Quer, ProblemId::Ship003, ProblemId::Mt1] {
+        let an = analyzed(id, 0.01);
+        for p in [1usize, 4, 16, 64] {
+            let machine = MachineModel::sp2(p);
+            let m = map_and_schedule(&an.symbol, &machine, &SchedOptions::default());
+            validate_schedule(&m.graph, &m.schedule, &machine)
+                .unwrap_or_else(|e| panic!("{} P={p}: {e}", id.name()));
+        }
+    }
+}
+
+#[test]
+fn speedup_shape_on_a_large_problem() {
+    // The Table 2 signal: meaningful speedup to moderate P, saturation
+    // after — measured on the biggest analog we test at this scale.
+    let an = analyzed(ProblemId::Shipsec5, 0.03);
+    let mut times = Vec::new();
+    for p in [1usize, 4, 16, 64] {
+        let machine = MachineModel::sp2(p);
+        let m = map_and_schedule(&an.symbol, &machine, &SchedOptions::default());
+        times.push(m.schedule.makespan);
+    }
+    assert!(times[1] < times[0] * 0.6, "P=4 speedup too small: {times:?}");
+    assert!(times[2] < times[1], "P=16 regressed: {times:?}");
+    // Sub-linear overall.
+    assert!(times[3] > times[0] / 64.0, "super-linear smells wrong: {times:?}");
+}
+
+#[test]
+fn one_proc_makespan_equals_sequential_cost() {
+    let an = analyzed(ProblemId::Oilpan, 0.01);
+    let machine = MachineModel::sp2(1);
+    let m = map_and_schedule(&an.symbol, &machine, &SchedOptions::default());
+    let seq = sequential_cost(&m.graph.split.symbol, &machine);
+    // With one processor every task runs back-to-back; COMP1D-only split
+    // makes the total exactly the sequential sum.
+    assert!(
+        (m.schedule.makespan - seq).abs() < 1e-9 * seq,
+        "makespan {} vs sequential {seq}",
+        m.schedule.makespan
+    );
+}
+
+#[test]
+fn mixed_beats_1d_at_scale() {
+    // The paper's headline: at high processor counts the mixed 1D/2D
+    // distribution outperforms 1D-only.
+    let an = analyzed(ProblemId::Bmwcra1, 0.02);
+    let machine = MachineModel::sp2(64);
+    let mut o1 = SchedOptions::default();
+    o1.mapping.strategy = DistStrategy::Only1d;
+    let t1 = map_and_schedule(&an.symbol, &machine, &o1).schedule.makespan;
+    let o2 = SchedOptions::default();
+    let t2 = map_and_schedule(&an.symbol, &machine, &o2).schedule.makespan;
+    assert!(
+        t2 < t1 * 1.02,
+        "mixed ({t2}) should not lose to 1D-only ({t1}) at P=64"
+    );
+}
+
+#[test]
+fn fanin_aggregation_reduces_messages() {
+    let an = analyzed(ProblemId::Ship001, 0.02);
+    for p in [4usize, 16] {
+        let machine = MachineModel::sp2(p);
+        let m = map_and_schedule(&an.symbol, &machine, &SchedOptions::default());
+        let c = comm_stats(&m.graph, &m.schedule);
+        assert!(c.messages_fanin <= c.messages_direct);
+        if c.messages_direct > 50 {
+            assert!(
+                (c.messages_fanin as f64) < 0.9 * c.messages_direct as f64,
+                "P={p}: aggregation saved too little ({} vs {})",
+                c.messages_fanin,
+                c.messages_direct
+            );
+        }
+    }
+}
+
+#[test]
+fn priorities_respect_tree_depth() {
+    let an = analyzed(ProblemId::Quer, 0.01);
+    let machine = MachineModel::sp2(4);
+    let m = map_and_schedule(&an.symbol, &machine, &SchedOptions::default());
+    // Deeper tasks have higher priority values; roots are priority 0.
+    let min_pr = m.graph.priority.iter().min().unwrap();
+    assert_eq!(*min_pr, 0);
+    assert!(m.graph.priority.iter().max().unwrap() > &0);
+}

@@ -1,0 +1,55 @@
+//! Large-scale stress tests, `#[ignore]`d by default (run with
+//! `cargo test --release -p pastix-integration --test stress -- --ignored`).
+//! These push the pipeline to paper-adjacent sizes on a laptop-class
+//! machine; the regular suite keeps problem sizes small so `cargo test`
+//! stays fast.
+
+use pastix::graph::{build_problem, canonical_solution, rhs_for_solution, ProblemId};
+use pastix::machine::MachineModel;
+use pastix::ordering::{nested_dissection, OrderingOptions};
+use pastix::sched::{map_and_schedule, validate_schedule, SchedOptions};
+use pastix::symbolic::{analyze, AnalysisOptions};
+use pastix::{Pastix, PastixOptions};
+
+#[test]
+#[ignore = "large: ~1 minute in release"]
+fn quarter_scale_shipsec5_end_to_end() {
+    let a = build_problem::<f64>(ProblemId::Shipsec5, 0.25);
+    assert!(a.n() > 30_000);
+    let mut opts = PastixOptions::with_procs(2);
+    opts.sched.block_size = 64;
+    let solver = Pastix::analyze(&a, &opts).unwrap();
+    let f = solver.factorize(&a).unwrap();
+    let x_exact = canonical_solution::<f64>(a.n());
+    let b = rhs_for_solution(&a, &x_exact);
+    let x = f.solve(&b);
+    assert!(a.residual_norm(&x, &b) < 1e-12);
+}
+
+#[test]
+#[ignore = "large: schedules the full suite for 64 procs"]
+fn full_suite_schedules_at_tenth_scale() {
+    for id in ProblemId::ALL {
+        let a = build_problem::<f64>(id, 0.1);
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions::scotch_like());
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        let machine = MachineModel::sp2(64);
+        let m = map_and_schedule(&an.symbol, &machine, &SchedOptions::default());
+        validate_schedule(&m.graph, &m.schedule, &machine)
+            .unwrap_or_else(|e| panic!("{}: {e}", id.name()));
+    }
+}
+
+#[test]
+#[ignore = "large: threaded factorization of a 3D solid"]
+fn parallel_numeric_on_large_3d_solid() {
+    let a = build_problem::<f64>(ProblemId::Mt1, 0.08);
+    let opts = PastixOptions::with_procs(4);
+    let solver = Pastix::analyze(&a, &opts).unwrap();
+    let f = solver.factorize(&a).unwrap();
+    let x_exact = canonical_solution::<f64>(a.n());
+    let b = rhs_for_solution(&a, &x_exact);
+    let x = f.solve_distributed(&b);
+    assert!(a.residual_norm(&x, &b) < 1e-12);
+}
