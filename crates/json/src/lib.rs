@@ -1,0 +1,459 @@
+//! # pastix-json
+//!
+//! A small, dependency-free JSON value type with a strict parser and a
+//! pretty printer. The machine model and BLAS time model persist
+//! themselves through this crate (the workspace builds in offline
+//! containers, so `serde`/`serde_json` are not available).
+//!
+//! Numbers are held as `f64`; Rust's shortest-roundtrip float printing
+//! guarantees save/load fixpoints at full precision.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse or conversion failure, with a human-oriented message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl Json {
+    /// Parses a JSON document (must consume the full input).
+    pub fn parse(s: &str) -> Result<Json, JsonError> {
+        let b = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required object field, as an error otherwise.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError(format!("missing field `{key}`")))
+    }
+
+    /// Numeric value.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Num(x) => Ok(*x),
+            other => err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// Non-negative integer value (checked).
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        let x = self.as_f64()?;
+        if x < 0.0 || x.fract() != 0.0 || x > u64::MAX as f64 {
+            return err(format!("expected non-negative integer, got {x}"));
+        }
+        Ok(x as usize)
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// Array value.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(v) => Ok(v),
+            other => err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    /// Fixed-size `f64` array.
+    pub fn as_f64_array<const N: usize>(&self) -> Result<[f64; N], JsonError> {
+        let arr = self.as_arr()?;
+        if arr.len() != N {
+            return err(format!("expected array of {N} numbers, got {}", arr.len()));
+        }
+        let mut out = [0.0; N];
+        for (o, v) in out.iter_mut().zip(arr) {
+            *o = v.as_f64()?;
+        }
+        Ok(out)
+    }
+
+    /// Compact single-line rendering.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        write_value(self, None, 0, &mut out);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, Some(2), 0, &mut out);
+        out
+    }
+}
+
+/// Builds an object from `(key, value)` pairs.
+pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Builds a numeric array.
+pub fn num_arr(xs: impl IntoIterator<Item = f64>) -> Json {
+    Json::Arr(xs.into_iter().map(Json::Num).collect())
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => err("unexpected end of input"),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if matches!(b.get(*pos), Some(b'-' | b'+')) {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| JsonError("bad utf8".into()))?;
+    match text.parse::<f64>() {
+        Ok(x) => Ok(Json::Num(x)),
+        Err(_) => err(format!("invalid number `{text}` at byte {start}")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(b, pos, b'"')?;
+    let mut s = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return err("unterminated string"),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(s);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b'b') => s.push('\u{8}'),
+                    Some(b'f') => s.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| JsonError("bad utf8".into()))?,
+                            16,
+                        )
+                        .map_err(|_| JsonError("bad \\u escape".into()))?;
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return err("bad escape"),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through byte by byte.
+                let ch_len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b
+                    .get(*pos..*pos + ch_len)
+                    .ok_or_else(|| JsonError("truncated utf8".into()))?;
+                s.push_str(std::str::from_utf8(chunk).map_err(|_| JsonError("bad utf8".into()))?);
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        fields.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------
+
+fn write_value(v: &Json, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(x) => write_num(*x, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => write_seq(out, indent, depth, b'[', items.len(), |out, i, d| {
+            write_value(&items[i], indent, d, out)
+        }),
+        Json::Obj(fields) => write_seq(out, indent, depth, b'{', fields.len(), |out, i, d| {
+            let (k, v) = &fields[i];
+            write_string(k, out);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(v, indent, d, out);
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: u8,
+    n: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    let close = if open == b'[' { ']' } else { '}' };
+    out.push(open as char);
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..n {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn write_num(x: f64, out: &mut String) {
+    if x.is_finite() {
+        if x == x.trunc() && x.abs() < 1e15 {
+            // Integral values print without a fraction; `1.0` JSON-parses
+            // back to the same f64 as `1` anyway.
+            out.push_str(&format!("{}", x as i64));
+        } else {
+            // Rust's shortest-roundtrip printing; may use `e` notation,
+            // which the parser accepts.
+            out.push_str(&format!("{x:e}"));
+        }
+    } else {
+        // JSON has no Inf/NaN; store null (loads as an error, loudly).
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_document() {
+        let v = Json::parse(r#"{"a": 1, "b": [true, null, "x\n"], "c": {"d": -2.5e-3}}"#).unwrap();
+        assert_eq!(v.field("a").unwrap().as_f64().unwrap(), 1.0);
+        let arr = v.field("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0], Json::Bool(true));
+        assert_eq!(arr[1], Json::Null);
+        assert_eq!(arr[2].as_str().unwrap(), "x\n");
+        assert_eq!(v.field("c").unwrap().field("d").unwrap().as_f64().unwrap(), -2.5e-3);
+    }
+
+    #[test]
+    fn roundtrip_floats_exactly() {
+        for x in [0.0, 1.0, -1.5, 1.0 / 3.0, 40e-6, 3.5e7, f64::MIN_POSITIVE, 1e300] {
+            let v = Json::Num(x);
+            for text in [v.compact(), v.pretty()] {
+                let back = Json::parse(&text).unwrap().as_f64().unwrap();
+                assert_eq!(back, x, "through {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_structures() {
+        let v = obj([
+            ("name", Json::Str("sp2 \"thin\"".into())),
+            ("coef", num_arr([1e-6, 2e-9, 0.0])),
+            ("nested", obj([("k", Json::Num(64.0))])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+        assert_eq!(Json::parse(&v.compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn missing_field_and_type_errors() {
+        let v = Json::parse(r#"{"a": "s"}"#).unwrap();
+        assert!(v.field("b").is_err());
+        assert!(v.field("a").unwrap().as_f64().is_err());
+        assert!(v.field("a").unwrap().as_str().is_ok());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn as_usize_checks_integrality() {
+        assert_eq!(Json::Num(8.0).as_usize().unwrap(), 8);
+        assert!(Json::Num(-1.0).as_usize().is_err());
+        assert!(Json::Num(1.5).as_usize().is_err());
+    }
+
+    #[test]
+    fn fixed_array_extraction() {
+        let v = num_arr([1.0, 2.0, 3.0]);
+        assert_eq!(v.as_f64_array::<3>().unwrap(), [1.0, 2.0, 3.0]);
+        assert!(v.as_f64_array::<4>().is_err());
+    }
+}

@@ -18,7 +18,7 @@ use crate::factor::{ldlt_factor_inplace, llt_factor_inplace};
 use crate::gemm::gemm_nt_acc;
 
 use crate::trsm::{solve_lower, solve_lower_trans, trsm_ldlt_panel};
-use serde::{Deserialize, Serialize};
+use pastix_json::{num_arr, obj, Json, JsonError};
 use std::time::Instant;
 
 /// Number of monomial features in the polynomial cost model.
@@ -31,7 +31,7 @@ pub fn features(m: f64, n: f64, k: f64) -> [f64; N_FEATURES] {
 }
 
 /// A fitted polynomial cost (seconds) for one kernel class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolyCost {
     /// Coefficients over [`features`], in seconds.
     pub coef: [f64; N_FEATURES],
@@ -54,6 +54,18 @@ impl PolyCost {
         coef[0] = fixed;
         coef[7] = per_flop_mnk;
         Self { coef }
+    }
+
+    /// JSON form: the coefficient array.
+    pub fn to_json(&self) -> Json {
+        num_arr(self.coef)
+    }
+
+    /// Parses the JSON form produced by [`PolyCost::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            coef: v.as_f64_array::<N_FEATURES>()?,
+        })
     }
 }
 
@@ -115,7 +127,7 @@ pub fn fit_poly(samples: &[Sample]) -> PolyCost {
 
 /// The kernel classes priced by the model, mirroring the dense operations of
 /// the factorization algorithm (paper Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelClass {
     /// `C += α A·Bᵀ` contribution computation (`m×k · k×n`).
     GemmNt,
@@ -130,7 +142,7 @@ pub enum KernelClass {
 }
 
 /// Calibrated (or default) time model for every kernel class.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlasModel {
     /// GEMM `C += A·Bᵀ` cost, arguments `(m, n, k)`.
     pub gemm_nt: PolyCost,
@@ -154,6 +166,28 @@ impl BlasModel {
             KernelClass::FactorLlt => self.factor_llt.eval(n, n, n),
             KernelClass::ScaleCols => self.scale_cols.eval(m, n, 1),
         }
+    }
+
+    /// JSON form: one coefficient array per kernel class.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("gemm_nt", self.gemm_nt.to_json()),
+            ("trsm_panel", self.trsm_panel.to_json()),
+            ("factor_ldlt", self.factor_ldlt.to_json()),
+            ("factor_llt", self.factor_llt.to_json()),
+            ("scale_cols", self.scale_cols.to_json()),
+        ])
+    }
+
+    /// Parses the JSON form produced by [`BlasModel::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            gemm_nt: PolyCost::from_json(v.field("gemm_nt")?)?,
+            trsm_panel: PolyCost::from_json(v.field("trsm_panel")?)?,
+            factor_ldlt: PolyCost::from_json(v.field("factor_ldlt")?)?,
+            factor_llt: PolyCost::from_json(v.field("factor_llt")?)?,
+            scale_cols: PolyCost::from_json(v.field("scale_cols")?)?,
+        })
     }
 
     /// A model of one 120 MHz Power2SC thin node of the paper's IBM SP2

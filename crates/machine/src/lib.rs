@@ -12,14 +12,14 @@
 
 #![warn(missing_docs)]
 
+use pastix_json::{obj, Json, JsonError};
 use pastix_kernels::model::{calibrate_blas_model, BlasModel, KernelClass};
-use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::time::Instant;
 
 /// Linear (alpha–beta) communication model: sending `bytes` costs
 /// `latency + bytes / bandwidth` seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkModel {
     /// Per-message startup latency in seconds.
     pub latency: f64,
@@ -52,6 +52,22 @@ impl NetworkModel {
             bandwidth: 4e9,
         }
     }
+
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("latency", Json::Num(self.latency)),
+            ("bandwidth", Json::Num(self.bandwidth)),
+        ])
+    }
+
+    /// Parses the JSON form produced by [`NetworkModel::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            latency: v.field("latency")?.as_f64()?,
+            bandwidth: v.field("bandwidth")?.as_f64()?,
+        })
+    }
 }
 
 impl Default for NetworkModel {
@@ -71,7 +87,7 @@ impl Default for NetworkModel {
 /// assert!(m.comm_time(0, 1, 64 * 64) > m.net.latency);
 /// assert_eq!(m.comm_time(3, 3, 1000), 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineModel {
     /// Number of processors of the target machine.
     pub n_procs: usize,
@@ -87,17 +103,12 @@ pub struct MachineModel {
     /// with `procs_per_node > 1`, transfers between processors of the same
     /// node use [`MachineModel::intra_node`] instead of the switch, and the
     /// greedy scheduler automatically clusters communicating tasks on
-    /// nodes because it sees the cheaper costs.
-    #[serde(default = "default_procs_per_node")]
+    /// nodes because it sees the cheaper costs. JSON written before the
+    /// SMP extension omits this field; loading defaults it to 1.
     pub procs_per_node: usize,
     /// Intra-node (shared-memory) transfer model, used when
-    /// `procs_per_node > 1`.
-    #[serde(default = "NetworkModel::in_process")]
+    /// `procs_per_node > 1` (defaulted on load of pre-SMP JSON).
     pub intra_node: NetworkModel,
-}
-
-fn default_procs_per_node() -> usize {
-    1
 }
 
 impl MachineModel {
@@ -164,14 +175,49 @@ impl MachineModel {
         }
     }
 
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("n_procs", Json::Num(self.n_procs as f64)),
+            ("blas", self.blas.to_json()),
+            ("net", self.net.to_json()),
+            ("bytes_per_scalar", Json::Num(self.bytes_per_scalar as f64)),
+            ("procs_per_node", Json::Num(self.procs_per_node as f64)),
+            ("intra_node", self.intra_node.to_json()),
+        ])
+    }
+
+    /// Parses the JSON form produced by [`MachineModel::to_json`]. The
+    /// SMP fields (`procs_per_node`, `intra_node`) are optional so models
+    /// serialized before the SMP extension still load.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            n_procs: v.field("n_procs")?.as_usize()?,
+            blas: BlasModel::from_json(v.field("blas")?)?,
+            net: NetworkModel::from_json(v.field("net")?)?,
+            bytes_per_scalar: v.field("bytes_per_scalar")?.as_usize()?,
+            procs_per_node: match v.get("procs_per_node") {
+                Some(f) => f.as_usize()?,
+                None => 1,
+            },
+            intra_node: match v.get("intra_node") {
+                Some(f) => NetworkModel::from_json(f)?,
+                None => NetworkModel::in_process(),
+            },
+        })
+    }
+
     /// Serializes to pretty JSON.
-    pub fn save<W: Write>(&self, w: W) -> Result<(), std::io::Error> {
-        serde_json::to_writer_pretty(w, self).map_err(std::io::Error::other)
+    pub fn save<W: Write>(&self, mut w: W) -> Result<(), std::io::Error> {
+        w.write_all(self.to_json().pretty().as_bytes())
     }
 
     /// Deserializes from JSON.
-    pub fn load<R: Read>(r: R) -> Result<Self, std::io::Error> {
-        serde_json::from_reader(r).map_err(std::io::Error::other)
+    pub fn load<R: Read>(mut r: R) -> Result<Self, std::io::Error> {
+        let mut text = String::new();
+        r.read_to_string(&mut text)?;
+        let v = Json::parse(&text).map_err(std::io::Error::other)?;
+        Self::from_json(&v).map_err(std::io::Error::other)
     }
 }
 
@@ -285,16 +331,16 @@ mod tests {
     #[test]
     fn json_without_smp_fields_loads_with_defaults() {
         // A model serialized before the SMP extension (no procs_per_node /
-        // intra_node) must still load — serde defaults fill the gap.
+        // intra_node) must still load — from_json defaults fill the gap.
         let legacy = r#"{
             "n_procs": 4,
             "blas": BLAS,
             "net": {"latency": 4e-5, "bandwidth": 3.5e7},
             "bytes_per_scalar": 8
         }"#;
-        let blas = serde_json::to_string(&BlasModel::power2sc()).unwrap();
+        let blas = BlasModel::power2sc().to_json().compact();
         let json = legacy.replace("BLAS", &blas);
-        let m: MachineModel = serde_json::from_str(&json).unwrap();
+        let m = MachineModel::from_json(&pastix_json::Json::parse(&json).unwrap()).unwrap();
         assert_eq!(m.procs_per_node, 1);
         assert_eq!(m.comm_time(0, 1, 100), m.net.transfer_time(800));
     }

@@ -1,11 +1,21 @@
 //! # pastix-runtime
 //!
 //! An in-process message-passing runtime: the MPI substitute of this
-//! reproduction. Each *logical processor* is a thread with a rank, an
-//! unbounded mailbox, and the ability to send typed messages to any peer —
-//! exactly the communication surface the fan-in solver needs (factor-block
-//! sends and aggregated-update-block sends, all asynchronous, received in
-//! any order).
+//! reproduction. Each *logical processor* has a rank, an unbounded
+//! mailbox, and the ability to send typed messages to any peer — exactly
+//! the communication surface the fan-in solver needs (factor-block sends
+//! and aggregated-update-block sends, all asynchronous, received in any
+//! order).
+//!
+//! The surface is the [`Comm`] trait, with two interchangeable backends:
+//!
+//! - [`run_spmd`] — one OS thread per logical processor ([`ProcCtx`]),
+//!   the production backend;
+//! - [`sim::run_sim_spmd`] — a deterministic single-execution simulation
+//!   ([`sim::SimCtx`]) where a seeded scheduler decides which processor
+//!   runs and when each message is delivered, with injectable faults.
+//!   Every interleaving is reproducible from its seed, which is what the
+//!   chaos suite drives.
 //!
 //! Because the static schedule makes every processor's task order fixed,
 //! the solver knows *what* it is waiting for at each step; the
@@ -14,9 +24,11 @@
 
 #![warn(missing_docs)]
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+pub mod sim;
+
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// A received message with its sender rank.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +39,36 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
-/// Per-processor communication context handed to each SPMD closure.
+/// The SPMD communication surface shared by every backend: asynchronous
+/// point-to-point sends plus blocking and non-blocking receives.
+///
+/// Code written against `Comm` (the fan-in factorization, the distributed
+/// solves, the collectives) runs unchanged on OS threads ([`ProcCtx`]) or
+/// under the deterministic simulator ([`sim::SimCtx`]).
+pub trait Comm<M> {
+    /// This processor's rank.
+    fn rank(&self) -> usize;
+
+    /// Number of logical processors.
+    fn n_procs(&self) -> usize;
+
+    /// Sends a message to `to` (sending to self is allowed and delivered
+    /// through the same mailbox). Panics if the peer already exited.
+    fn send(&self, to: usize, msg: M);
+
+    /// Sends a message, returning `false` instead of panicking when the
+    /// peer already exited (used by error-propagation paths, where a
+    /// recipient may have unwound before the message was produced).
+    fn send_lossy(&self, to: usize, msg: M) -> bool;
+
+    /// Blocking receive of the next message in arrival order.
+    fn recv(&self) -> Envelope<M>;
+
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Option<Envelope<M>>;
+}
+
+/// Per-processor communication context of the thread backend.
 pub struct ProcCtx<M> {
     rank: usize,
     n_procs: usize,
@@ -35,8 +76,59 @@ pub struct ProcCtx<M> {
     inbox: Receiver<Envelope<M>>,
 }
 
+impl<M: Send> Comm<M> for ProcCtx<M> {
+    #[inline]
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    fn send(&self, to: usize, msg: M) {
+        if self.peers[to]
+            .send(Envelope {
+                from: self.rank,
+                msg,
+            })
+            .is_err()
+        {
+            panic!(
+                "rank {} send to rank {}: peer mailbox closed (peer exited before this message)",
+                self.rank, to
+            );
+        }
+    }
+
+    fn send_lossy(&self, to: usize, msg: M) -> bool {
+        self.peers[to]
+            .send(Envelope {
+                from: self.rank,
+                msg,
+            })
+            .is_ok()
+    }
+
+    fn recv(&self) -> Envelope<M> {
+        match self.inbox.recv() {
+            Ok(env) => env,
+            Err(_) => panic!(
+                "rank {} recv: all {} peer senders dropped while still waiting for a message",
+                self.rank, self.n_procs
+            ),
+        }
+    }
+
+    fn try_recv(&self) -> Option<Envelope<M>> {
+        self.inbox.try_recv().ok()
+    }
+}
+
 impl<M: Send> ProcCtx<M> {
-    /// This processor's rank.
+    /// This processor's rank (inherent mirror of [`Comm::rank`], so
+    /// closures taking `ProcCtx` by value don't need the trait in scope).
     #[inline]
     pub fn rank(&self) -> usize {
         self.rank
@@ -48,42 +140,30 @@ impl<M: Send> ProcCtx<M> {
         self.n_procs
     }
 
-    /// Sends a message to `to` (sending to self is allowed and delivered
-    /// through the same mailbox).
+    /// See [`Comm::send`].
     pub fn send(&self, to: usize, msg: M) {
-        self.peers[to]
-            .send(Envelope {
-                from: self.rank,
-                msg,
-            })
-            .expect("peer mailbox closed");
+        Comm::send(self, to, msg)
     }
 
-    /// Sends a message, returning `false` instead of panicking when the
-    /// peer already exited (used by error-propagation paths, where a
-    /// recipient may have unwound before the message was produced).
+    /// See [`Comm::send_lossy`].
     pub fn send_lossy(&self, to: usize, msg: M) -> bool {
-        self.peers[to]
-            .send(Envelope {
-                from: self.rank,
-                msg,
-            })
-            .is_ok()
+        Comm::send_lossy(self, to, msg)
     }
 
-    /// Blocking receive of the next message in arrival order.
+    /// See [`Comm::recv`].
     pub fn recv(&self) -> Envelope<M> {
-        self.inbox.recv().expect("all senders dropped while receiving")
+        Comm::recv(self)
     }
 
-    /// Non-blocking receive.
+    /// See [`Comm::try_recv`].
     pub fn try_recv(&self) -> Option<Envelope<M>> {
-        self.inbox.try_recv().ok()
+        Comm::try_recv(self)
     }
 }
 
-/// Runs `n_procs` logical processors, each executing `f(ctx)`, and returns
-/// their results in rank order. Threads are scoped: panics propagate.
+/// Runs `n_procs` logical processors, each executing `f(ctx)` on its own
+/// OS thread, and returns their results in rank order. Threads are
+/// scoped: a panicking processor propagates after the others are joined.
 ///
 /// ```
 /// use pastix_runtime::run_spmd;
@@ -108,7 +188,7 @@ where
     let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n_procs);
     let mut receivers: Vec<Option<Receiver<Envelope<M>>>> = Vec::with_capacity(n_procs);
     for _ in 0..n_procs {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(Some(rx));
     }
@@ -124,27 +204,32 @@ where
         .collect();
     drop(senders);
     let f = &f;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = contexts
             .into_iter()
-            .map(|ctx| scope.spawn(move |_| f(ctx)))
+            .map(|ctx| scope.spawn(move || f(ctx)))
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     })
-    .expect("a logical processor panicked")
 }
 
 /// Collective operations built on the point-to-point layer. They follow
 /// simple linear (rank-0-rooted) patterns — adequate for the phase
 /// boundaries of a solver whose steady state is fully asynchronous.
 pub mod collective {
-    use super::{Envelope, ProcCtx};
+    use super::{Comm, Envelope};
 
     /// Barrier: everyone reports to rank 0, rank 0 releases everyone.
     /// Messages of type `M` must be constructible for the signal; the
     /// caller provides the signal value and a predicate recognizing it.
     /// The barrier must not be interleaved with other in-flight traffic.
-    pub fn barrier<M: Send + Clone>(ctx: &ProcCtx<M>, signal: M) {
+    pub fn barrier<M: Clone, C: Comm<M>>(ctx: &C, signal: M) {
         let p = ctx.n_procs();
         if p == 1 {
             return;
@@ -163,7 +248,7 @@ pub mod collective {
     }
 
     /// Broadcast from `root`: returns the payload on every rank.
-    pub fn broadcast<M: Send + Clone>(ctx: &ProcCtx<M>, root: usize, value: Option<M>) -> M {
+    pub fn broadcast<M: Clone, C: Comm<M>>(ctx: &C, root: usize, value: Option<M>) -> M {
         if ctx.rank() == root {
             let v = value.expect("root must supply the broadcast value");
             for q in 0..ctx.n_procs() {
@@ -179,9 +264,10 @@ pub mod collective {
 
     /// All-reduce with a commutative combiner; linear gather to rank 0 then
     /// broadcast. Returns the combined value on every rank.
-    pub fn all_reduce<M, F>(ctx: &ProcCtx<M>, mine: M, combine: F) -> M
+    pub fn all_reduce<M, C, F>(ctx: &C, mine: M, combine: F) -> M
     where
-        M: Send + Clone,
+        M: Clone,
+        C: Comm<M>,
         F: Fn(M, M) -> M,
     {
         let p = ctx.n_procs();
@@ -244,10 +330,10 @@ impl<K: Eq + Hash + Clone, M> TaggedMailbox<K, M> {
 
     /// Blocking receive of a message with the wanted key: drains `ctx`
     /// until `classify` maps an arrival to `key`, buffering everything
-    /// else.
-    pub fn recv_key<F>(&mut self, ctx: &ProcCtx<M>, key: &K, classify: F) -> Envelope<M>
+    /// else. Works on any [`Comm`] backend.
+    pub fn recv_key<C, F>(&mut self, ctx: &C, key: &K, classify: F) -> Envelope<M>
     where
-        M: Send,
+        C: Comm<M>,
         F: Fn(&M) -> K,
     {
         if let Some(env) = self.take(key) {
@@ -439,5 +525,50 @@ mod tests {
             }
         });
         assert_eq!(results[1], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_lossy_false_after_peer_exit() {
+        // Rank 1 exits immediately; rank 0 keeps lossy-sending until the
+        // peer's mailbox closes. Must terminate with a `false` rather than
+        // a panic.
+        let results = run_spmd::<u32, bool, _>(2, |ctx| {
+            if ctx.rank() == 1 {
+                return true;
+            }
+            loop {
+                if !ctx.send_lossy(1, 42) {
+                    return true;
+                }
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(results, vec![true, true]);
+    }
+
+    #[test]
+    fn send_panic_carries_rank_context() {
+        let caught = std::panic::catch_unwind(|| {
+            run_spmd::<u32, (), _>(2, |ctx| {
+                if ctx.rank() == 1 {
+                    return;
+                }
+                // Keep (non-lossy) sending until the peer exits: the panic
+                // message must name both ranks.
+                loop {
+                    ctx.send(1, 1);
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let payload = caught.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("rank 0 send to rank 1"),
+            "panic message missing context: {msg:?}"
+        );
     }
 }

@@ -1,0 +1,784 @@
+//! Deterministic simulation backend with fault injection.
+//!
+//! [`run_sim_spmd`] executes the same SPMD closures as [`run_spmd`], but
+//! every interleaving decision — which processor runs next, when each
+//! in-flight message is delivered, whether a lossy send is dropped or
+//! duplicated — is made by a central scheduler driven by a seeded RNG.
+//! Re-running with the same [`FaultPlan`] replays the exact execution,
+//! which turns "flaky under concurrency" into "reproducible from a seed".
+//!
+//! ## How determinism is achieved with real threads
+//!
+//! Each logical processor still runs on its own OS thread (so the solver
+//! code is byte-for-byte the production code), but the threads are fully
+//! *serialized*: every [`Comm`] call parks the worker on a rendezvous
+//! channel and hands control to the scheduler. The scheduler only makes a
+//! choice when **all** live workers are parked, so the OS thread scheduler
+//! has no influence on the outcome — the only nondeterminism source is
+//! the seeded [`SimRng`].
+//!
+//! ## Faults
+//!
+//! - **Reordering / delay** are inherent: the scheduler picks uniformly
+//!   among all enabled actions, so a message can sit in flight while an
+//!   arbitrary amount of other progress happens.
+//! - **Lossy drops**: each [`Comm::send_lossy`] is dropped with
+//!   probability [`FaultPlan::drop_lossy`] (the call returns `false`,
+//!   exactly as if the peer had exited).
+//! - **Duplicated delivery**: each lossy-sent message is delivered twice
+//!   with probability [`FaultPlan::duplicate_lossy`] — modeling an
+//!   at-least-once transport. Only `send_lossy` traffic is duplicated;
+//!   plain `send` models the reliable exactly-once channel.
+//! - **Crashes**: a worker panic is caught, all other workers are
+//!   unwound, and the original panic is re-raised on the caller with the
+//!   seed in hand (solver-level fault points — injected zero pivots,
+//!   panic-at-task — live in `pastix-solver`'s chaos options).
+//!
+//! Deadlocks (every live worker blocked in `recv` with nothing in
+//! flight) are detected and reported with a per-rank state dump and the
+//! seed that produced them.
+
+use crate::{Comm, Envelope};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
+/// SplitMix64: small, fast, and plenty for schedule shuffling.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Creates an RNG from a seed; distinct seeds give unrelated streams.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Seed plus fault probabilities for one simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the interleaving RNG; same plan → same execution.
+    pub seed: u64,
+    /// Probability that a `send_lossy` is silently dropped (returns
+    /// `false` to the sender).
+    pub drop_lossy: f64,
+    /// Probability that a lossy-sent message is delivered twice.
+    pub duplicate_lossy: f64,
+}
+
+impl FaultPlan {
+    /// Pure interleaving chaos: random scheduling and delivery order, but
+    /// no drops or duplicates.
+    pub fn interleave_only(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_lossy: 0.0,
+            duplicate_lossy: 0.0,
+        }
+    }
+
+    /// Interleaving chaos plus the given lossy-drop probability.
+    pub fn with_drops(seed: u64, drop_lossy: f64) -> Self {
+        Self {
+            seed,
+            drop_lossy,
+            duplicate_lossy: 0.0,
+        }
+    }
+
+    /// Interleaving chaos plus duplicate delivery of lossy traffic.
+    pub fn with_duplicates(seed: u64, duplicate_lossy: f64) -> Self {
+        Self {
+            seed,
+            drop_lossy: 0.0,
+            duplicate_lossy,
+        }
+    }
+}
+
+/// A worker's parked request, waiting for the scheduler.
+enum Call<M> {
+    Send { to: usize, msg: M, lossy: bool },
+    Recv,
+    TryRecv,
+    /// The worker's closure returned (or panicked); it will make no more
+    /// calls.
+    Finished,
+}
+
+enum Reply<M> {
+    /// Send accepted (lossy flag result for `send_lossy`).
+    Sent(bool),
+    /// The peer exited: a non-lossy send must panic on the sender.
+    PeerClosed { to: usize },
+    Msg(Envelope<M>),
+    NoMsg,
+}
+
+/// Per-processor context of the simulation backend; implements [`Comm`].
+pub struct SimCtx<M> {
+    rank: usize,
+    n_procs: usize,
+    call_tx: Sender<(usize, Call<M>)>,
+    reply_rx: Receiver<Reply<M>>,
+}
+
+impl<M> SimCtx<M> {
+    fn rendezvous(&self, call: Call<M>) -> Reply<M> {
+        if self.call_tx.send((self.rank, call)).is_err() {
+            // The scheduler died (deadlock panic unwinding run_sim_spmd):
+            // unwind this worker quietly; the scheduler's panic is the one
+            // that reaches the user.
+            panic!("sim scheduler terminated");
+        }
+        match self.reply_rx.recv() {
+            Ok(r) => r,
+            Err(_) => panic!("sim scheduler terminated"),
+        }
+    }
+}
+
+impl<M: Send> Comm<M> for SimCtx<M> {
+    #[inline]
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    fn send(&self, to: usize, msg: M) {
+        match self.rendezvous(Call::Send {
+            to,
+            msg,
+            lossy: false,
+        }) {
+            Reply::Sent(_) => {}
+            Reply::PeerClosed { to } => panic!(
+                "rank {} send to rank {}: peer mailbox closed (peer exited before this message)",
+                self.rank, to
+            ),
+            _ => unreachable!("sim: bad reply to send"),
+        }
+    }
+
+    fn send_lossy(&self, to: usize, msg: M) -> bool {
+        match self.rendezvous(Call::Send {
+            to,
+            msg,
+            lossy: true,
+        }) {
+            Reply::Sent(delivered) => delivered,
+            Reply::PeerClosed { .. } => false,
+            _ => unreachable!("sim: bad reply to send_lossy"),
+        }
+    }
+
+    fn recv(&self) -> Envelope<M> {
+        match self.rendezvous(Call::Recv) {
+            Reply::Msg(env) => env,
+            Reply::PeerClosed { .. } => panic!(
+                "rank {} recv: all peers exited while still waiting for a message",
+                self.rank
+            ),
+            _ => unreachable!("sim: bad reply to recv"),
+        }
+    }
+
+    fn try_recv(&self) -> Option<Envelope<M>> {
+        match self.rendezvous(Call::TryRecv) {
+            Reply::Msg(env) => Some(env),
+            Reply::NoMsg => None,
+            _ => unreachable!("sim: bad reply to try_recv"),
+        }
+    }
+}
+
+impl<M: Send> SimCtx<M> {
+    /// This processor's rank (inherent mirror of [`Comm::rank`], so
+    /// closures taking `SimCtx` by value don't need the trait in scope).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of logical processors.
+    #[inline]
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// See [`Comm::send`].
+    pub fn send(&self, to: usize, msg: M) {
+        Comm::send(self, to, msg)
+    }
+
+    /// See [`Comm::send_lossy`].
+    pub fn send_lossy(&self, to: usize, msg: M) -> bool {
+        Comm::send_lossy(self, to, msg)
+    }
+
+    /// See [`Comm::recv`].
+    pub fn recv(&self) -> Envelope<M> {
+        Comm::recv(self)
+    }
+
+    /// See [`Comm::try_recv`].
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        Comm::try_recv(self)
+    }
+}
+
+/// An in-flight message: sent, not yet delivered to its mailbox.
+struct InFlight<M> {
+    to: usize,
+    env: Envelope<M>,
+    lossy: bool,
+}
+
+enum WorkerState<M> {
+    /// Executing user code between comm calls.
+    Running,
+    /// Parked on a comm call, waiting for the scheduler.
+    Parked(Call<M>),
+    /// Closure returned or panicked.
+    Done,
+}
+
+struct SchedulerState<M> {
+    plan: FaultPlan,
+    rng: SimRng,
+    states: Vec<WorkerState<M>>,
+    mailboxes: Vec<std::collections::VecDeque<Envelope<M>>>,
+    net: Vec<InFlight<M>>,
+    running: usize,
+    live: usize,
+    steps: u64,
+}
+
+enum Action {
+    /// Service rank's parked call.
+    Service(usize),
+    /// Deliver net[i] to its mailbox.
+    Deliver(usize),
+}
+
+impl<M: Clone> SchedulerState<M> {
+    fn describe(&self) -> String {
+        let mut s = String::new();
+        for (r, st) in self.states.iter().enumerate() {
+            let what = match st {
+                WorkerState::Running => "running".to_string(),
+                WorkerState::Parked(Call::Recv) => {
+                    format!("blocked in recv (mailbox: {})", self.mailboxes[r].len())
+                }
+                WorkerState::Parked(Call::Send { to, lossy, .. }) => {
+                    format!("parked in send(to={to}, lossy={lossy})")
+                }
+                WorkerState::Parked(Call::TryRecv) => "parked in try_recv".to_string(),
+                WorkerState::Parked(Call::Finished) | WorkerState::Done => "finished".to_string(),
+            };
+            s.push_str(&format!("  rank {r}: {what}\n"));
+        }
+        s.push_str(&format!(
+            "  in-flight messages: {}, steps executed: {}",
+            self.net.len(),
+            self.steps
+        ));
+        s
+    }
+
+    fn enabled_actions(&self) -> Vec<Action> {
+        let mut acts = Vec::new();
+        for (r, st) in self.states.iter().enumerate() {
+            if let WorkerState::Parked(call) = st {
+                let serviceable = match call {
+                    Call::Recv => !self.mailboxes[r].is_empty(),
+                    Call::Send { .. } | Call::TryRecv => true,
+                    Call::Finished => false,
+                };
+                if serviceable {
+                    acts.push(Action::Service(r));
+                }
+            }
+        }
+        for i in 0..self.net.len() {
+            acts.push(Action::Deliver(i));
+        }
+        acts
+    }
+}
+
+/// Runs `n_procs` logical processors under the deterministic simulator
+/// with the given fault plan; returns results in rank order.
+///
+/// Semantics match [`run_spmd`] (same `Comm` contract, same panic
+/// behavior: a worker panic propagates to the caller after every other
+/// worker has unwound), but the interleaving is a pure function of
+/// `plan`. A protocol deadlock — every live worker blocked in `recv`
+/// with an empty network — panics with a per-rank state dump naming
+/// `plan.seed`.
+///
+/// `M: Clone` is required so the duplicate-delivery fault can replicate a
+/// message; with `duplicate_lossy == 0.0` no clone ever happens.
+///
+/// ```
+/// use pastix_runtime::sim::{run_sim_spmd, FaultPlan};
+/// let plan = FaultPlan::interleave_only(42);
+/// let out = run_sim_spmd::<usize, usize, _>(3, &plan, |ctx| {
+///     if ctx.rank() == 0 {
+///         (1..ctx.n_procs()).map(|_| ctx.recv().msg).sum()
+///     } else {
+///         ctx.send(0, ctx.rank());
+///         0
+///     }
+/// });
+/// assert_eq!(out[0], 3);
+/// ```
+pub fn run_sim_spmd<M, R, F>(n_procs: usize, plan: &FaultPlan, f: F) -> Vec<R>
+where
+    M: Send + Clone,
+    R: Send,
+    F: Fn(SimCtx<M>) -> R + Sync,
+{
+    assert!(n_procs >= 1);
+    let (call_tx, call_rx) = channel::<(usize, Call<M>)>();
+    let mut reply_txs: Vec<Sender<Reply<M>>> = Vec::with_capacity(n_procs);
+    let mut contexts: Vec<SimCtx<M>> = Vec::with_capacity(n_procs);
+    for rank in 0..n_procs {
+        let (tx, rx) = channel();
+        reply_txs.push(tx);
+        contexts.push(SimCtx {
+            rank,
+            n_procs,
+            call_tx: call_tx.clone(),
+            reply_rx: rx,
+        });
+    }
+    drop(call_tx);
+
+    type Slot<R> = Mutex<Option<Result<R, Box<dyn Any + Send>>>>;
+    let results: Vec<Slot<R>> = (0..n_procs).map(|_| Mutex::new(None)).collect();
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        // Owned by this closure: dropping the reply senders (normal exit,
+        // early return on a detected worker panic, or deadlock unwind) is
+        // what unparks any still-blocked workers so the scope can join.
+        let reply_txs = reply_txs;
+        for ctx in contexts {
+            let rank = ctx.rank;
+            let finish_tx = ctx.call_tx.clone();
+            let slot = &results[rank];
+            scope.spawn(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| f(ctx)));
+                *slot.lock().unwrap() = Some(out);
+                // Best-effort: the scheduler may already be gone.
+                let _ = finish_tx.send((rank, Call::Finished));
+            });
+        }
+
+        let mut st = SchedulerState::<M> {
+            plan: *plan,
+            rng: SimRng::new(plan.seed),
+            states: (0..n_procs).map(|_| WorkerState::Running).collect(),
+            mailboxes: (0..n_procs)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            net: Vec::new(),
+            running: n_procs,
+            live: n_procs,
+            steps: 0,
+        };
+
+        loop {
+            // Phase 1: wait until every live worker is parked (or done), so
+            // the OS thread scheduler cannot influence the choice below.
+            while st.running > 0 {
+                let (rank, call) = call_rx
+                    .recv()
+                    .expect("sim: all workers vanished without finishing");
+                st.running -= 1;
+                match call {
+                    Call::Finished => {
+                        st.states[rank] = WorkerState::Done;
+                        st.live -= 1;
+                        // Undelivered traffic to a dead worker can never be
+                        // observed; drop it so it doesn't count as progress.
+                        st.net.retain(|m| m.to != rank);
+                    }
+                    call => st.states[rank] = WorkerState::Parked(call),
+                }
+            }
+
+            if st.live == 0 {
+                break;
+            }
+
+            // Phase 2: pick one enabled action with the seeded RNG.
+            let actions = st.enabled_actions();
+            if actions.is_empty() {
+                // Every live worker is blocked in recv and nothing is in
+                // flight. If a worker panicked, that is the root cause:
+                // re-raise it instead of reporting a secondary deadlock.
+                for slot in &results {
+                    if let Some(Err(_)) = &*slot.lock().unwrap() {
+                        // Dropping the scheduler (reply senders) unparks the
+                        // blocked workers; propagate after scope join below.
+                        return;
+                    }
+                }
+                panic!(
+                    "sim deadlock (seed {}): every live worker is blocked and the network is empty\n{}",
+                    st.plan.seed,
+                    st.describe()
+                );
+            }
+            st.steps += 1;
+            let pick = st.rng.below(actions.len());
+            match actions[pick] {
+                Action::Deliver(i) => {
+                    let m = st.net.remove(i);
+                    if m.lossy && st.rng.chance(st.plan.duplicate_lossy) {
+                        st.mailboxes[m.to].push_back(m.env.clone());
+                    }
+                    st.mailboxes[m.to].push_back(m.env);
+                }
+                Action::Service(rank) => {
+                    let call =
+                        std::mem::replace(&mut st.states[rank], WorkerState::Running);
+                    let WorkerState::Parked(call) = call else {
+                        unreachable!("sim: serviced a non-parked worker")
+                    };
+                    let reply = match call {
+                        Call::Send { to, msg, lossy } => {
+                            if matches!(st.states[to], WorkerState::Done) {
+                                Reply::PeerClosed { to }
+                            } else if lossy && st.rng.chance(st.plan.drop_lossy) {
+                                Reply::Sent(false)
+                            } else {
+                                st.net.push(InFlight {
+                                    to,
+                                    env: Envelope { from: rank, msg },
+                                    lossy,
+                                });
+                                Reply::Sent(true)
+                            }
+                        }
+                        Call::Recv => {
+                            let env = st.mailboxes[rank]
+                                .pop_front()
+                                .expect("sim: recv serviced with empty mailbox");
+                            Reply::Msg(env)
+                        }
+                        Call::TryRecv => match st.mailboxes[rank].pop_front() {
+                            Some(env) => Reply::Msg(env),
+                            None => Reply::NoMsg,
+                        },
+                        Call::Finished => unreachable!("sim: Finished is never serviceable"),
+                    };
+                    st.running += 1;
+                    if reply_txs[rank].send(reply).is_err() {
+                        // Worker died between parking and service — only
+                        // possible if its thread was killed externally.
+                        panic!("sim: worker {rank} vanished while parked");
+                    }
+                }
+            }
+        }
+    });
+
+    // All threads joined. Propagate the first *root-cause* panic (by
+    // rank) if any: workers unwound by scheduler teardown carry the
+    // internal "sim scheduler terminated" sentinel and are secondary.
+    let is_teardown = |p: &Box<dyn Any + Send>| {
+        p.downcast_ref::<&str>()
+            .is_some_and(|s| *s == "sim scheduler terminated")
+    };
+    let mut out = Vec::with_capacity(n_procs);
+    let mut root_cause: Option<Box<dyn Any + Send>> = None;
+    let mut teardown: Option<Box<dyn Any + Send>> = None;
+    for slot in results {
+        match slot.into_inner().unwrap() {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(p)) => {
+                if is_teardown(&p) {
+                    teardown.get_or_insert(p);
+                } else {
+                    root_cause.get_or_insert(p);
+                }
+            }
+            None => {
+                root_cause.get_or_insert(Box::new(
+                    "sim: worker exited without recording a result".to_string(),
+                ));
+            }
+        }
+    }
+    if let Some(p) = root_cause.or(teardown) {
+        std::panic::resume_unwind(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{collective, TaggedMailbox};
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ring_pass_many_seeds() {
+        for seed in 0..50 {
+            let plan = FaultPlan::interleave_only(seed);
+            let results = run_sim_spmd::<usize, usize, _>(4, &plan, |ctx| {
+                let next = (ctx.rank() + 1) % ctx.n_procs();
+                ctx.send(next, ctx.rank() * 10);
+                ctx.recv().msg
+            });
+            assert_eq!(results, vec![30, 0, 10, 20], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn interleaving_is_reproducible() {
+        // The arrival order at rank 0 is seed-dependent but identical
+        // across replays of the same seed.
+        let observe = |seed: u64| {
+            let plan = FaultPlan::interleave_only(seed);
+            run_sim_spmd::<u32, Vec<u32>, _>(4, &plan, |ctx| {
+                if ctx.rank() == 0 {
+                    (0..6).map(|_| ctx.recv().msg).collect()
+                } else {
+                    ctx.send(0, ctx.rank() as u32 * 100);
+                    ctx.send(0, ctx.rank() as u32 * 100 + 1);
+                    vec![]
+                }
+            })
+        };
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..30 {
+            let a = observe(seed);
+            let b = observe(seed);
+            assert_eq!(a, b, "seed {seed} not reproducible");
+            distinct.insert(a[0].clone());
+        }
+        // Sanity: chaos really does vary the interleaving across seeds.
+        assert!(
+            distinct.len() > 3,
+            "expected many distinct arrival orders, got {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn collectives_under_chaos() {
+        for seed in 0..20 {
+            let plan = FaultPlan::interleave_only(seed);
+            let results = run_sim_spmd::<u64, u64, _>(5, &plan, |ctx| {
+                collective::barrier(&ctx, 0);
+                collective::all_reduce(&ctx, ctx.rank() as u64 + 1, |a, b| a + b)
+            });
+            assert_eq!(results, vec![15; 5], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn drop_lossy_always_drops_at_p1() {
+        let plan = FaultPlan::with_drops(3, 1.0);
+        let results = run_sim_spmd::<u8, bool, _>(2, &plan, |ctx| {
+            if ctx.rank() == 0 {
+                !ctx.send_lossy(1, 9) // must report the drop
+            } else {
+                ctx.try_recv().is_none() // and nothing may arrive
+            }
+        });
+        assert_eq!(results, vec![true, true]);
+    }
+
+    #[test]
+    fn duplicate_lossy_delivers_twice() {
+        let plan = FaultPlan::with_duplicates(11, 1.0);
+        let results = run_sim_spmd::<u8, usize, _>(2, &plan, |ctx| {
+            if ctx.rank() == 0 {
+                assert!(ctx.send_lossy(1, 9));
+                0
+            } else {
+                let a = ctx.recv();
+                let b = ctx.recv();
+                assert_eq!((a.from, a.msg), (0, 9));
+                assert_eq!((b.from, b.msg), (0, 9));
+                2
+            }
+        });
+        assert_eq!(results[1], 2);
+    }
+
+    #[test]
+    fn reliable_send_never_dropped_or_duplicated() {
+        // Non-lossy sends must be exactly-once even at fault probability 1.
+        let plan = FaultPlan {
+            seed: 5,
+            drop_lossy: 1.0,
+            duplicate_lossy: 1.0,
+        };
+        let results = run_sim_spmd::<u32, usize, _>(2, &plan, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..10 {
+                    ctx.send(1, i);
+                }
+                0
+            } else {
+                let got: Vec<u32> = (0..10).map(|_| ctx.recv().msg).collect();
+                let mut sorted = got.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+                assert!(ctx.try_recv().is_none(), "duplicate on reliable channel");
+                got.len()
+            }
+        });
+        assert_eq!(results[1], 10);
+    }
+
+    #[test]
+    fn send_lossy_false_after_peer_done() {
+        let plan = FaultPlan::interleave_only(1);
+        let results = run_sim_spmd::<u8, bool, _>(2, &plan, |ctx| {
+            if ctx.rank() == 1 {
+                return true;
+            }
+            // Rank 1 performs no comm calls: it finishes as soon as the
+            // scheduler hears from it. Keep lossy-sending until then.
+            loop {
+                if !ctx.send_lossy(1, 1) {
+                    return true;
+                }
+            }
+        });
+        assert_eq!(results, vec![true, true]);
+    }
+
+    #[test]
+    fn deadlock_is_detected_with_seed() {
+        let caught = std::panic::catch_unwind(|| {
+            let plan = FaultPlan::interleave_only(77);
+            run_sim_spmd::<u8, (), _>(2, &plan, |ctx| {
+                // Both ranks wait forever.
+                let _ = ctx.recv();
+            });
+        });
+        let payload = caught.expect_err("must deadlock");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("sim deadlock (seed 77)"), "got: {msg:?}");
+        assert!(msg.contains("blocked in recv"), "got: {msg:?}");
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_unwind() {
+        let caught = std::panic::catch_unwind(|| {
+            let plan = FaultPlan::interleave_only(13);
+            run_sim_spmd::<u8, (), _>(3, &plan, |ctx| {
+                if ctx.rank() == 1 {
+                    panic!("injected chaos panic");
+                }
+                // Others block forever: the runtime must still unwind them.
+                let _ = ctx.recv();
+            });
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("injected chaos panic"), "got: {msg:?}");
+    }
+
+    #[test]
+    fn tagged_mailbox_under_max_reorder() {
+        // Exactly-once, key-correct delivery through the pool under heavy
+        // reordering across many seeds.
+        for seed in 0..40 {
+            let plan = FaultPlan::interleave_only(seed);
+            let results = run_sim_spmd::<(u32, u32), u64, _>(3, &plan, |ctx| {
+                if ctx.rank() != 0 {
+                    for tag in 0..5u32 {
+                        ctx.send(0, (tag, ctx.rank() as u32 * 1000 + tag));
+                    }
+                    return 0;
+                }
+                let mut mb = TaggedMailbox::<(usize, u32), (u32, u32)>::new();
+                let mut sum = 0u64;
+                // Demand (sender, tag) pairs in a fixed order the senders
+                // do not follow.
+                for tag in (0..5u32).rev() {
+                    for q in 1..3usize {
+                        let env = mb.recv_key(&ctx, &(q, tag), |m| {
+                            // classify() cannot see the envelope sender, so
+                            // the payload carries it.
+                            ((m.1 / 1000) as usize, m.0)
+                        });
+                        assert_eq!(env.from, q);
+                        sum += env.msg.1 as u64;
+                    }
+                }
+                assert_eq!(mb.buffered(), 0, "pool must drain exactly");
+                sum
+            });
+            let expect: u64 = (1..3u64).map(|q| (0..5).map(|t| q * 1000 + t).sum::<u64>()).sum();
+            assert_eq!(results[0], expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_proc_sim() {
+        let plan = FaultPlan::interleave_only(0);
+        let results = run_sim_spmd::<(), usize, _>(1, &plan, |ctx| ctx.n_procs());
+        assert_eq!(results, vec![1]);
+    }
+}

@@ -37,6 +37,40 @@ pub struct Schedule {
 }
 
 impl Schedule {
+    /// Canonical byte serialization of the schedule's *discrete* decisions:
+    /// processor count, task→processor ownership, and each processor's
+    /// execution order `K_p`. Predicted times are derived floating-point
+    /// data and deliberately excluded. Two scheduler runs produced the same
+    /// schedule iff their canonical bytes are equal — this is the replay
+    /// hook the determinism suite and the chaos harness compare on.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 4 * self.task_proc.len() * 2);
+        out.extend_from_slice(&(self.n_procs as u64).to_le_bytes());
+        out.extend_from_slice(&(self.task_proc.len() as u64).to_le_bytes());
+        for &p in &self.task_proc {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        for tasks in &self.proc_tasks {
+            out.extend_from_slice(&(tasks.len() as u64).to_le_bytes());
+            for &t in tasks {
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// FNV-1a digest of [`canonical_bytes`](Self::canonical_bytes) — a
+    /// cheap fingerprint to print next to a chaos seed so a replayed run
+    /// can assert it is executing the very same schedule.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.canonical_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
     /// Busy seconds per processor.
     pub fn busy_time(&self, g: &TaskGraph) -> Vec<f64> {
         let mut busy = vec![0.0; self.n_procs];

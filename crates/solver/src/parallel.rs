@@ -21,12 +21,15 @@ use pastix_kernels::factor::{ldlt_factor_inplace, FactorError};
 use pastix_kernels::{
     gemm_nt_acc, scale_cols_by_diag_into, trsm_ldlt_panel, Scalar,
 };
-use pastix_runtime::{run_spmd, ProcCtx};
+use pastix_runtime::sim::{run_sim_spmd, FaultPlan};
+use pastix_runtime::{run_spmd, Comm};
 use pastix_sched::{Schedule, TaskGraph, TaskKind};
 use pastix_symbolic::SymbolMatrix;
 use std::collections::HashMap;
 
-/// Message shipped between logical processors.
+/// Message shipped between logical processors. (`Clone` is only exercised
+/// by the simulator's duplicate-delivery fault.)
+#[derive(Clone)]
 enum PMsg<T> {
     /// Aggregated update block for the region of task `dst`, carrying
     /// `pairs` block contributions (fewer than the full count when the
@@ -191,6 +194,8 @@ struct Worker<'a, T> {
     /// Factor data received from remote producers.
     fac_cache: HashMap<u32, Vec<T>>,
     aborted: Option<FactorError>,
+    /// Deterministic fault injection (chaos suite only; `Default` is off).
+    chaos: ChaosOptions,
 }
 
 impl<'a, T: Scalar> Worker<'a, T> {
@@ -216,7 +221,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
     }
 
     /// Blocks until every remote AUB of task `t` has been applied.
-    fn wait_aubs(&mut self, ctx: &ProcCtx<PMsg<T>>, t: u32) -> Result<(), FactorError> {
+    fn wait_aubs<C: Comm<PMsg<T>>>(&mut self, ctx: &C, t: u32) -> Result<(), FactorError> {
         while self.aborted.is_none() && self.aubs_pending.get(&t).copied().unwrap_or(0) > 0 {
             let env = ctx.recv();
             self.handle(env.msg);
@@ -229,7 +234,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
 
     /// Obtains factor data produced by task `src` (cloned; local regions
     /// are read from the store, remote ones from the cache / mailbox).
-    fn get_fac(&mut self, ctx: &ProcCtx<PMsg<T>>, src: u32) -> Result<Vec<T>, FactorError> {
+    fn get_fac<C: Comm<PMsg<T>>>(&mut self, ctx: &C, src: u32) -> Result<Vec<T>, FactorError> {
         if self.sched.task_proc[src as usize] == self.rank {
             return Ok(self.regions.get(&src).expect("local factor region missing").clone());
         }
@@ -249,9 +254,9 @@ impl<'a, T: Scalar> Worker<'a, T> {
     /// local regions are updated directly; remote ones accumulate into the
     /// AUB buffer, which is sent when its pair count reaches zero.
     #[allow(clippy::too_many_arguments)]
-    fn apply_contribution(
+    fn apply_contribution<C: Comm<PMsg<T>>>(
         &mut self,
-        ctx: &ProcCtx<PMsg<T>>,
+        ctx: &C,
         route: &PairRoute,
         hr: usize,
         hc: usize,
@@ -304,7 +309,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
     /// Sends the largest outgoing AUB buffer with whatever it has
     /// aggregated so far (its pair budget stays open; the buffer is
     /// re-created on the next contribution).
-    fn flush_largest_aub(&mut self, ctx: &ProcCtx<PMsg<T>>) {
+    fn flush_largest_aub<C: Comm<PMsg<T>>>(&mut self, ctx: &C) {
         let Some((&dst, _)) = self
             .aub_out
             .iter()
@@ -323,7 +328,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
         }
     }
 
-    fn abort(&mut self, ctx: &ProcCtx<PMsg<T>>, col: usize) {
+    fn abort<C: Comm<PMsg<T>>>(&mut self, ctx: &C, col: usize) {
         for q in 0..ctx.n_procs() {
             if q != self.rank as usize {
                 ctx.send_lossy(q, PMsg::Abort { col: col as u32 });
@@ -333,7 +338,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
 
     /// Sends factor data of task `t` to every remote consumer processor
     /// (deduplicated).
-    fn send_fac(&mut self, ctx: &ProcCtx<PMsg<T>>, t: u32) {
+    fn send_fac<C: Comm<PMsg<T>>>(&mut self, ctx: &C, t: u32) {
         let mut procs: Vec<u32> = self
             .graph
             .out_edges(t as usize)
@@ -353,11 +358,17 @@ impl<'a, T: Scalar> Worker<'a, T> {
     }
 
     /// Executes the tasks of `K_p` in schedule order.
-    fn run(&mut self, ctx: &ProcCtx<PMsg<T>>) -> Result<(), FactorError> {
+    fn run<C: Comm<PMsg<T>>>(&mut self, ctx: &C) -> Result<(), FactorError> {
         let order: Vec<u32> = self.sched.proc_tasks[self.rank as usize].clone();
-        for t in order {
+        for (idx, t) in order.into_iter().enumerate() {
             if let Some(e) = self.aborted {
                 return Err(e);
+            }
+            if self.chaos.panic_at == Some((self.rank, idx)) {
+                panic!(
+                    "chaos: injected panic on rank {} at local task index {idx} (task {t})",
+                    self.rank
+                );
             }
             match self.graph.kinds[t as usize] {
                 TaskKind::Comp1d { cblk } => self.run_comp1d(ctx, t, cblk as usize)?,
@@ -371,13 +382,16 @@ impl<'a, T: Scalar> Worker<'a, T> {
         Ok(())
     }
 
-    fn run_comp1d(&mut self, ctx: &ProcCtx<PMsg<T>>, t: u32, k: usize) -> Result<(), FactorError> {
+    fn run_comp1d<C: Comm<PMsg<T>>>(&mut self, ctx: &C, t: u32, k: usize) -> Result<(), FactorError> {
         self.wait_aubs(ctx, t)?;
         let cb = &self.sym.cblks[k];
         let w = cb.width();
         let lda = self.layout.panel_rows(k);
         let h = lda - w;
         let mut panel = self.regions.remove(&t).expect("comp1d panel missing");
+        if self.chaos.zero_pivot_task == Some(t) {
+            panel[0] = T::zero();
+        }
         // Factor + panel solve (same steps as the sequential COMP1D).
         if let Err(FactorError::ZeroPivot(i)) = ldlt_factor_inplace(w, &mut panel, lda) {
             let col = cb.fcol as usize + i;
@@ -426,11 +440,14 @@ impl<'a, T: Scalar> Worker<'a, T> {
         Ok(())
     }
 
-    fn run_factor(&mut self, ctx: &ProcCtx<PMsg<T>>, t: u32, k: usize) -> Result<(), FactorError> {
+    fn run_factor<C: Comm<PMsg<T>>>(&mut self, ctx: &C, t: u32, k: usize) -> Result<(), FactorError> {
         self.wait_aubs(ctx, t)?;
         let cb = &self.sym.cblks[k];
         let w = cb.width();
         let mut region = self.regions.remove(&t).expect("factor region missing");
+        if self.chaos.zero_pivot_task == Some(t) {
+            region[0] = T::zero();
+        }
         if let Err(FactorError::ZeroPivot(i)) = ldlt_factor_inplace(w, &mut region, w) {
             let col = cb.fcol as usize + i;
             self.abort(ctx, col);
@@ -442,7 +459,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
         Ok(())
     }
 
-    fn run_bdiv(&mut self, ctx: &ProcCtx<PMsg<T>>, t: u32, k: usize, blok: usize) -> Result<(), FactorError> {
+    fn run_bdiv<C: Comm<PMsg<T>>>(&mut self, ctx: &C, t: u32, k: usize, blok: usize) -> Result<(), FactorError> {
         self.wait_aubs(ctx, t)?;
         let w = self.sym.cblks[k].width();
         let hb = self.sym.bloks[blok].nrows();
@@ -461,9 +478,9 @@ impl<'a, T: Scalar> Worker<'a, T> {
         Ok(())
     }
 
-    fn run_bmod(
+    fn run_bmod<C: Comm<PMsg<T>>>(
         &mut self,
-        ctx: &ProcCtx<PMsg<T>>,
+        ctx: &C,
         _t: u32,
         k: usize,
         blok_row: usize,
@@ -489,6 +506,20 @@ impl<'a, T: Scalar> Worker<'a, T> {
     }
 }
 
+/// Deterministic solver-level fault injection, used by the chaos suite to
+/// exercise the abort and panic-unwind paths at a chosen point. All fields
+/// default to "no fault".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosOptions {
+    /// Panic on `(rank, local task index)` just before executing that
+    /// entry of the rank's schedule — models a crashed processor.
+    pub panic_at: Option<(u32, usize)>,
+    /// Zero the leading pivot of this task's region right before its
+    /// factorization kernel (the task must be a COMP1D or FACTOR), forcing
+    /// the zero-pivot abort protocol deterministically.
+    pub zero_pivot_task: Option<u32>,
+}
+
 /// Options of the parallel factorization.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ParallelOptions {
@@ -499,6 +530,8 @@ pub struct ParallelOptions {
     /// free memory space; this is close to the Fan-Both scheme"*).
     /// `None` (default) keeps total local aggregation (pure Fan-In).
     pub aub_memory_limit: Option<usize>,
+    /// Fault injection for the chaos suite; off by default.
+    pub chaos: ChaosOptions,
 }
 
 /// Runs the parallel factorization and assembles the distributed factor
@@ -525,48 +558,92 @@ pub fn factorize_parallel_with<T: Scalar>(
         "schedule must be built on the same split symbol");
     let layout = PanelLayout::new(sym);
     let routing = build_routing(sym, &layout, graph, sched);
-
     let results = run_spmd::<PMsg<T>, Result<HashMap<u32, Vec<T>>, FactorError>, _>(
         sched.n_procs,
-        |ctx| {
-            let rank = ctx.rank() as u32;
-            // Allocate and scatter the owned regions.
-            let mut regions: HashMap<u32, Vec<T>> = HashMap::new();
-            let mut aubs_pending: HashMap<u32, u32> = HashMap::new();
-            for &t in &sched.proc_tasks[rank as usize] {
-                let len = match graph.kinds[t as usize] {
-                    TaskKind::Bdiv { .. } => 2 * routing.region_len[t as usize],
-                    _ => routing.region_len[t as usize],
-                };
-                if len > 0 {
-                    regions.insert(t, vec![T::zero(); len]);
-                }
-                let pairs = routing.remote_pairs[t as usize];
-                if pairs > 0 {
-                    aubs_pending.insert(t, pairs);
-                }
-            }
-            scatter_owned(sym, &layout, graph, a, &mut regions);
-            let mut worker = Worker {
-                rank,
-                sym,
-                layout: &layout,
-                graph,
-                sched,
-                routing: &routing,
-                regions,
-                aubs_pending,
-                aub_out: HashMap::new(),
-                aub_memory_limit: opts.aub_memory_limit,
-                fac_cache: HashMap::new(),
-                aborted: None,
-            };
-            worker.run(&ctx)?;
-            Ok(worker.regions)
-        },
+        |ctx| worker_run(&ctx, sym, &layout, graph, sched, &routing, a, opts),
     );
+    assemble(sym, &layout, graph, results)
+}
 
-    // Assemble.
+/// [`factorize_parallel_with`] on the deterministic simulation backend:
+/// the interleaving (and any injected runtime fault) is a pure function of
+/// `plan`, so a failing execution replays exactly from its seed.
+pub fn factorize_parallel_sim<T: Scalar>(
+    sym: &SymbolMatrix,
+    a: &SymCsc<T>,
+    graph: &TaskGraph,
+    sched: &Schedule,
+    opts: &ParallelOptions,
+    plan: &FaultPlan,
+) -> Result<FactorStorage<T>, FactorError> {
+    assert!(std::ptr::eq(sym, &graph.split.symbol) || sym == &graph.split.symbol,
+        "schedule must be built on the same split symbol");
+    let layout = PanelLayout::new(sym);
+    let routing = build_routing(sym, &layout, graph, sched);
+    let results = run_sim_spmd::<PMsg<T>, Result<HashMap<u32, Vec<T>>, FactorError>, _>(
+        sched.n_procs,
+        plan,
+        |ctx| worker_run(&ctx, sym, &layout, graph, sched, &routing, a, opts),
+    );
+    assemble(sym, &layout, graph, results)
+}
+
+/// The SPMD body executed by one logical processor, on either backend.
+#[allow(clippy::too_many_arguments)]
+fn worker_run<T: Scalar, C: Comm<PMsg<T>>>(
+    ctx: &C,
+    sym: &SymbolMatrix,
+    layout: &PanelLayout,
+    graph: &TaskGraph,
+    sched: &Schedule,
+    routing: &Routing,
+    a: &SymCsc<T>,
+    opts: &ParallelOptions,
+) -> Result<HashMap<u32, Vec<T>>, FactorError> {
+    let rank = ctx.rank() as u32;
+    // Allocate and scatter the owned regions.
+    let mut regions: HashMap<u32, Vec<T>> = HashMap::new();
+    let mut aubs_pending: HashMap<u32, u32> = HashMap::new();
+    for &t in &sched.proc_tasks[rank as usize] {
+        let len = match graph.kinds[t as usize] {
+            TaskKind::Bdiv { .. } => 2 * routing.region_len[t as usize],
+            _ => routing.region_len[t as usize],
+        };
+        if len > 0 {
+            regions.insert(t, vec![T::zero(); len]);
+        }
+        let pairs = routing.remote_pairs[t as usize];
+        if pairs > 0 {
+            aubs_pending.insert(t, pairs);
+        }
+    }
+    scatter_owned(sym, layout, graph, a, &mut regions);
+    let mut worker = Worker {
+        rank,
+        sym,
+        layout,
+        graph,
+        sched,
+        routing,
+        regions,
+        aubs_pending,
+        aub_out: HashMap::new(),
+        aub_memory_limit: opts.aub_memory_limit,
+        fac_cache: HashMap::new(),
+        aborted: None,
+        chaos: opts.chaos,
+    };
+    worker.run(ctx)?;
+    Ok(worker.regions)
+}
+
+/// Merges the per-processor region maps into one factor store.
+fn assemble<T: Scalar>(
+    sym: &SymbolMatrix,
+    layout: &PanelLayout,
+    graph: &TaskGraph,
+    results: Vec<Result<HashMap<u32, Vec<T>>, FactorError>>,
+) -> Result<FactorStorage<T>, FactorError> {
     let mut storage = FactorStorage::zeros(sym);
     let mut err: Option<FactorError> = None;
     for res in results {
@@ -574,7 +651,7 @@ pub fn factorize_parallel_with<T: Scalar>(
             Err(e) => err = Some(e),
             Ok(regions) => {
                 for (t, data) in regions {
-                    merge_region(sym, &layout, graph, &mut storage, t, &data);
+                    merge_region(sym, layout, graph, &mut storage, t, &data);
                 }
             }
         }
@@ -764,6 +841,7 @@ mod tests {
             &mapping.schedule,
             &ParallelOptions {
                 aub_memory_limit: Some(16),
+                ..Default::default()
             },
         )
         .unwrap();

@@ -17,12 +17,15 @@
 
 use crate::storage::FactorStorage;
 use pastix_kernels::{gemm_nn_acc, solve_unit_lower, solve_unit_lower_trans, Scalar};
-use pastix_runtime::{run_spmd, ProcCtx};
+use pastix_runtime::sim::{run_sim_spmd, FaultPlan};
+use pastix_runtime::{run_spmd, Comm};
 use pastix_sched::{Schedule, TaskGraph};
 use pastix_symbolic::SymbolMatrix;
 use std::collections::HashMap;
 
-/// Messages of the distributed solve.
+/// Messages of the distributed solve. (`Clone` is only exercised by the
+/// simulator's duplicate-delivery fault.)
+#[derive(Clone)]
 enum SMsg<T> {
     /// Solved segment of a column block (forward sweep).
     XFwd { cblk: u32, data: Vec<T> },
@@ -128,41 +131,73 @@ pub fn solve_parallel<T: Scalar>(
 ) -> Vec<T> {
     assert_eq!(b_perm.len(), sym.n);
     let routing = build_solve_routing(sym, graph, sched);
-    let ns = sym.n_cblks();
-
     let results = run_spmd::<SMsg<T>, Vec<(u32, Vec<T>)>, _>(sched.n_procs, |ctx| {
-        let me = ctx.rank() as u32;
-        let mut w = SolveWorker {
-            sym,
-            storage,
-            routing: &routing,
-            me,
-            x: HashMap::new(),
-            fwd_pending: HashMap::new(),
-            bwd_pending: HashMap::new(),
-            x_cache: HashMap::new(),
-            fwd_aub_out: HashMap::new(),
-            bwd_aub_out: HashMap::new(),
-            bwd_partial_in: HashMap::new(),
-        };
-        // Initialize owned segments with b, and pending counters.
-        for k in 0..ns {
-            if routing.cblk_owner[k] != me {
-                continue;
-            }
-            let cb = &sym.cblks[k];
-            let seg = b_perm[cb.fcol as usize..=cb.lcol as usize].to_vec();
-            w.x.insert(k as u32, seg);
-            w.fwd_pending
-                .insert(k as u32, routing.fwd_remote[k] + routing.fwd_local[k]);
-            w.bwd_pending
-                .insert(k as u32, routing.bwd_remote[k] + routing.bwd_local[k]);
-        }
-        w.forward(&ctx);
-        w.backward(&ctx);
-        w.x.into_iter().collect()
+        solve_worker_run(&ctx, sym, storage, &routing, b_perm)
     });
+    gather_solution(sym, results)
+}
 
+/// [`solve_parallel`] on the deterministic simulation backend: message
+/// delivery and processor interleaving are a pure function of `plan`.
+pub fn solve_parallel_sim<T: Scalar>(
+    sym: &SymbolMatrix,
+    storage: &FactorStorage<T>,
+    graph: &TaskGraph,
+    sched: &Schedule,
+    b_perm: &[T],
+    plan: &FaultPlan,
+) -> Vec<T> {
+    assert_eq!(b_perm.len(), sym.n);
+    let routing = build_solve_routing(sym, graph, sched);
+    let results = run_sim_spmd::<SMsg<T>, Vec<(u32, Vec<T>)>, _>(sched.n_procs, plan, |ctx| {
+        solve_worker_run(&ctx, sym, storage, &routing, b_perm)
+    });
+    gather_solution(sym, results)
+}
+
+/// The SPMD body of one logical processor of the solve, on either backend.
+fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>>>(
+    ctx: &C,
+    sym: &SymbolMatrix,
+    storage: &FactorStorage<T>,
+    routing: &SolveRouting,
+    b_perm: &[T],
+) -> Vec<(u32, Vec<T>)> {
+    let ns = sym.n_cblks();
+    let me = ctx.rank() as u32;
+    let mut w = SolveWorker {
+        sym,
+        storage,
+        routing,
+        me,
+        x: HashMap::new(),
+        fwd_pending: HashMap::new(),
+        bwd_pending: HashMap::new(),
+        x_cache: HashMap::new(),
+        fwd_aub_out: HashMap::new(),
+        bwd_aub_out: HashMap::new(),
+        bwd_partial_in: HashMap::new(),
+    };
+    // Initialize owned segments with b, and pending counters.
+    for k in 0..ns {
+        if routing.cblk_owner[k] != me {
+            continue;
+        }
+        let cb = &sym.cblks[k];
+        let seg = b_perm[cb.fcol as usize..=cb.lcol as usize].to_vec();
+        w.x.insert(k as u32, seg);
+        w.fwd_pending
+            .insert(k as u32, routing.fwd_remote[k] + routing.fwd_local[k]);
+        w.bwd_pending
+            .insert(k as u32, routing.bwd_remote[k] + routing.bwd_local[k]);
+    }
+    w.forward(ctx);
+    w.backward(ctx);
+    w.x.into_iter().collect()
+}
+
+/// Stitches the per-processor owned segments into the full solution.
+fn gather_solution<T: Scalar>(sym: &SymbolMatrix, results: Vec<Vec<(u32, Vec<T>)>>) -> Vec<T> {
     let mut x = vec![T::zero(); sym.n];
     for segs in results {
         for (k, seg) in segs {
@@ -225,7 +260,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
     // Forward sweep: L·y = b, ascending column blocks.
     // ------------------------------------------------------------------
 
-    fn forward(&mut self, ctx: &ProcCtx<SMsg<T>>) {
+    fn forward<C: Comm<SMsg<T>>>(&mut self, ctx: &C) {
         let ns = self.sym.n_cblks();
         // Expected remote x segments whose bloks I own.
         let mut expected_x: Vec<u32> = Vec::new();
@@ -272,7 +307,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
     }
 
     /// Diagonal forward solve of an owned cblk, then fan the segment out.
-    fn fwd_solve_cblk(&mut self, ctx: &ProcCtx<SMsg<T>>, k: usize) {
+    fn fwd_solve_cblk<C: Comm<SMsg<T>>>(&mut self, ctx: &C, k: usize) {
         let cb = &self.sym.cblks[k];
         let w = cb.width();
         let lda = self.storage.layout.panel_rows(k);
@@ -289,7 +324,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
 
     /// Computes `L_b · x_k` for every blok of `k` this processor owns and
     /// routes the contributions.
-    fn fwd_blok_contributions(&mut self, ctx: &ProcCtx<SMsg<T>>, k: usize, xk: &[T]) {
+    fn fwd_blok_contributions<C: Comm<SMsg<T>>>(&mut self, ctx: &C, k: usize, xk: &[T]) {
         let cb = &self.sym.cblks[k];
         let w = cb.width();
         let lda = self.storage.layout.panel_rows(k);
@@ -350,7 +385,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
     // Backward sweep: D·z = y then Lᵀ·x = z, descending column blocks.
     // ------------------------------------------------------------------
 
-    fn backward(&mut self, ctx: &ProcCtx<SMsg<T>>) {
+    fn backward<C: Comm<SMsg<T>>>(&mut self, ctx: &C) {
         let ns = self.sym.n_cblks();
         self.x_cache.clear();
         // Expected final segments of cblks whose *facing* bloks I own.
@@ -404,7 +439,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
 
     /// Backward step of an owned cblk: divide by D, subtract the (already
     /// received) partials, solve the transposed unit diagonal, broadcast.
-    fn bwd_solve_cblk(&mut self, ctx: &ProcCtx<SMsg<T>>, k: usize) {
+    fn bwd_solve_cblk<C: Comm<SMsg<T>>>(&mut self, ctx: &C, k: usize) {
         let cb = &self.sym.cblks[k];
         let w = cb.width();
         let lda = self.storage.layout.panel_rows(k);
@@ -433,7 +468,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
 
     /// Computes `L_bᵀ · x_rows` for every blok facing `t` this processor
     /// owns and routes the partials toward the blok's source cblk.
-    fn bwd_blok_partials(&mut self, ctx: &ProcCtx<SMsg<T>>, t: usize, xt: &[T]) {
+    fn bwd_blok_partials<C: Comm<SMsg<T>>>(&mut self, ctx: &C, t: usize, xt: &[T]) {
         let tcb = &self.sym.cblks[t];
         // Iterate bloks facing t that I own; each belongs to a source cblk
         // k < t and contributes to x_k.

@@ -1,0 +1,406 @@
+//! Seeded chaos suite for the fan-in solver on the deterministic
+//! simulation runtime.
+//!
+//! Every execution here is a pure function of its printed seed: the
+//! simulator serializes the logical processors and lets a seeded RNG pick
+//! which one runs next and when each message is delivered, so any failure
+//! this suite ever finds is replayed exactly by re-running with the same
+//! seed (see README § Testing).
+//!
+//! Scaling: `PASTIX_CHAOS_SEEDS` overrides the total number of seeded
+//! interleavings of the main agreement sweep (default 216; CI smoke uses
+//! 50).
+
+use pastix::graph::gen::{grid_spd, Stencil, ValueKind};
+use pastix::graph::{canonical_solution, rhs_for_solution, SymCsc};
+use pastix::machine::MachineModel;
+use pastix::ordering::{nested_dissection, OrderingOptions};
+use pastix::runtime::sim::{run_sim_spmd, FaultPlan, SimRng};
+use pastix::runtime::TaggedMailbox;
+use pastix::sched::{map_and_schedule, DistStrategy, Mapping, SchedOptions, TaskKind};
+use pastix::solver::{
+    factorize_parallel_sim, factorize_sequential, solve_in_place, solve_parallel_sim,
+    ChaosOptions, FactorStorage, ParallelOptions,
+};
+use pastix::symbolic::{analyze, AnalysisOptions};
+
+/// One prepared problem × processor-count case with its sequential
+/// reference factor and solution.
+struct Case {
+    name: &'static str,
+    procs: usize,
+    ap: SymCsc<f64>,
+    mapping: Mapping,
+    seq: FactorStorage<f64>,
+    b: Vec<f64>,
+    x_seq: Vec<f64>,
+}
+
+fn build_case(
+    name: &'static str,
+    (nx, ny, nz): (usize, usize, usize),
+    strategy: DistStrategy,
+    block: usize,
+    procs: usize,
+) -> Case {
+    let a = grid_spd::<f64>(nx, ny, nz, Stencil::Star, false, ValueKind::RandomSpd(97));
+    let g = a.to_graph();
+    let ord = nested_dissection(
+        &g,
+        &OrderingOptions {
+            leaf_size: 8,
+            ..Default::default()
+        },
+    );
+    let an = analyze(&g, &ord, &AnalysisOptions::default());
+    let machine = MachineModel::sp2(procs);
+    let mut opts = SchedOptions::default();
+    opts.block_size = block;
+    opts.mapping.strategy = strategy;
+    opts.mapping.procs_2d_min = 2.0;
+    opts.mapping.width_2d_min = 4;
+    let mapping = map_and_schedule(&an.symbol, &machine, &opts);
+    let ap = a.permuted(&an.perm);
+    let sym = &mapping.graph.split.symbol;
+    let mut seq = FactorStorage::zeros(sym);
+    seq.scatter(sym, &ap);
+    factorize_sequential(sym, &mut seq).unwrap();
+    let x_exact = canonical_solution::<f64>(ap.n());
+    let b = rhs_for_solution(&ap, &x_exact);
+    let mut x_seq = b.clone();
+    solve_in_place(sym, &seq, &mut x_seq);
+    Case {
+        name,
+        procs,
+        ap,
+        mapping,
+        seq,
+        b,
+        x_seq,
+    }
+}
+
+type ProblemSpec = (&'static str, (usize, usize, usize), DistStrategy, usize);
+
+/// The 3 problems × 3 processor counts matrix of the sweep.
+fn build_matrix() -> Vec<Case> {
+    let problems: [ProblemSpec; 3] = [
+        ("grid6x6-1d", (6, 6, 1), DistStrategy::Only1d, 4),
+        ("grid8x8-mixed", (8, 8, 1), DistStrategy::Mixed1d2d, 4),
+        ("grid3x3x3-mixed", (3, 3, 3), DistStrategy::Mixed1d2d, 4),
+    ];
+    let mut cases = Vec::new();
+    for &(name, dims, strategy, block) in &problems {
+        for procs in [2usize, 3, 4] {
+            cases.push(build_case(name, dims, strategy, block, procs));
+        }
+    }
+    cases
+}
+
+fn seed_budget(default_total: usize) -> usize {
+    std::env::var("PASTIX_CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_total)
+        .max(1)
+}
+
+/// (a) The agreement sweep: across seeds × problems × proc counts, the
+/// simulated factorization and distributed solve must match the
+/// sequential solver entry for entry.
+#[test]
+fn chaos_factorization_and_solve_agree_with_sequential() {
+    let cases = build_matrix();
+    let total = seed_budget(216);
+    for i in 0..total {
+        let case = &cases[i % cases.len()];
+        let seed = i as u64;
+        let plan = FaultPlan::interleave_only(seed);
+        let diag = format!(
+            "[chaos seed {seed}, problem {}, procs {}] — rerun: PASTIX_CHAOS_SEEDS with this seed, \
+             or FaultPlan::interleave_only({seed})",
+            case.name, case.procs
+        );
+        let sym = &case.mapping.graph.split.symbol;
+        let par = factorize_parallel_sim(
+            sym,
+            &case.ap,
+            &case.mapping.graph,
+            &case.mapping.schedule,
+            &ParallelOptions::default(),
+            &plan,
+        )
+        .unwrap_or_else(|e| panic!("{diag}: factorization failed: {e:?}"));
+        let mut max_diff = 0.0f64;
+        for (pa, pb) in par.panels.iter().zip(&case.seq.panels) {
+            for (x, y) in pa.iter().zip(pb) {
+                max_diff = max_diff.max((x - y).abs());
+            }
+        }
+        assert!(max_diff < 1e-8, "{diag}: factor deviation {max_diff}");
+        let x_par = solve_parallel_sim(
+            sym,
+            &par,
+            &case.mapping.graph,
+            &case.mapping.schedule,
+            &case.b,
+            &plan,
+        );
+        for (u, v) in x_par.iter().zip(&case.x_seq) {
+            assert!(
+                (u - v).abs() < 1e-9,
+                "{diag}: solve deviates: parallel {u} vs sequential {v}"
+            );
+        }
+        let res = case.ap.residual_norm(&x_par, &case.b);
+        assert!(res < 1e-12, "{diag}: residual {res}");
+    }
+}
+
+/// The replay guarantee itself: same seed → bit-identical factor and
+/// solution; different seeds exercise genuinely different interleavings
+/// (checked indirectly: the sweep above covers them, here we pin equality).
+#[test]
+fn chaos_same_seed_replays_identically() {
+    let case = build_case("grid8x8-mixed", (8, 8, 1), DistStrategy::Mixed1d2d, 4, 3);
+    let sym = &case.mapping.graph.split.symbol;
+    for seed in [1u64, 17, 4242] {
+        let plan = FaultPlan::interleave_only(seed);
+        let run = || {
+            let f = factorize_parallel_sim(
+                sym,
+                &case.ap,
+                &case.mapping.graph,
+                &case.mapping.schedule,
+                &ParallelOptions::default(),
+                &plan,
+            )
+            .unwrap();
+            let x = solve_parallel_sim(
+                sym,
+                &f,
+                &case.mapping.graph,
+                &case.mapping.schedule,
+                &case.b,
+                &plan,
+            );
+            (f, x)
+        };
+        let (f1, x1) = run();
+        let (f2, x2) = run();
+        // Bit-identical, not approximately equal: the execution replayed.
+        assert_eq!(x1, x2, "seed {seed}: solve not replayed bit-identically");
+        for (pa, pb) in f1.panels.iter().zip(&f2.panels) {
+            assert!(
+                pa.iter().zip(pb).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "seed {seed}: factor not replayed bit-identically"
+            );
+        }
+    }
+}
+
+/// (b) Abort propagation: an injected zero pivot at a seed-chosen task
+/// must terminate every interleaving cleanly — every worker unwinds with
+/// the error, nobody deadlocks (a sim deadlock panics with the seed).
+#[test]
+fn chaos_zero_pivot_abort_always_terminates_cleanly() {
+    let cases = build_matrix();
+    let total = seed_budget(216).div_ceil(4).max(24);
+    for i in 0..total {
+        let case = &cases[i % cases.len()];
+        let seed = 0x5EED_0000 + i as u64;
+        // Seed-pick a factorization-bearing task (COMP1D or FACTOR head).
+        let graph = &case.mapping.graph;
+        let candidates: Vec<u32> = (0..graph.n_tasks() as u32)
+            .filter(|&t| {
+                matches!(
+                    graph.kinds[t as usize],
+                    TaskKind::Comp1d { .. } | TaskKind::Factor { .. }
+                )
+            })
+            .collect();
+        let mut rng = SimRng::new(seed);
+        let victim = candidates[rng.below(candidates.len())];
+        let opts = ParallelOptions {
+            chaos: ChaosOptions {
+                zero_pivot_task: Some(victim),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let plan = FaultPlan::interleave_only(seed);
+        let sym = &case.mapping.graph.split.symbol;
+        let res = factorize_parallel_sim(
+            sym,
+            &case.ap,
+            graph,
+            &case.mapping.schedule,
+            &opts,
+            &plan,
+        );
+        assert!(
+            res.is_err(),
+            "[chaos seed {seed}, problem {}, procs {}] injected zero pivot at task {victim} \
+             was not reported",
+            case.name,
+            case.procs
+        );
+    }
+}
+
+/// (b') Crash injection: a worker panicking mid-schedule must unwind the
+/// whole simulated machine and surface the original panic — never hang
+/// the other workers.
+#[test]
+fn chaos_worker_panic_unwinds_whole_machine() {
+    let case = build_case("grid8x8-mixed", (8, 8, 1), DistStrategy::Mixed1d2d, 4, 4);
+    let sym = &case.mapping.graph.split.symbol;
+    for i in 0..12u64 {
+        let seed = 0xDEAD_0000 + i;
+        let mut rng = SimRng::new(seed);
+        let rank = rng.below(case.procs) as u32;
+        let n_local = case.mapping.schedule.proc_tasks[rank as usize].len();
+        if n_local == 0 {
+            continue;
+        }
+        let idx = rng.below(n_local);
+        let opts = ParallelOptions {
+            chaos: ChaosOptions {
+                panic_at: Some((rank, idx)),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let plan = FaultPlan::interleave_only(seed);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = factorize_parallel_sim(
+                sym,
+                &case.ap,
+                &case.mapping.graph,
+                &case.mapping.schedule,
+                &opts,
+                &plan,
+            );
+        }));
+        let payload = caught.expect_err("injected panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| {
+                payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .unwrap_or_default()
+            });
+        assert!(
+            msg.contains("chaos: injected panic"),
+            "seed {seed}: expected the injected panic, got: {msg:?}"
+        );
+    }
+}
+
+/// (c) TaggedMailbox exactly-once buffering: under maximal reordering,
+/// every reliable message is delivered exactly once through the pool, in
+/// the key order the receiver demands, and the pool drains to empty.
+#[test]
+fn chaos_tagged_mailbox_exactly_once_under_max_reorder() {
+    const PROCS: usize = 4;
+    const TAGS: u32 = 8;
+    let total = seed_budget(216).div_ceil(3).max(40);
+    for i in 0..total {
+        let seed = 0x7A66_0000 + i as u64;
+        let plan = FaultPlan::interleave_only(seed);
+        let results = run_sim_spmd::<(u32, u32), u64, _>(PROCS, &plan, |ctx| {
+            let me = ctx.rank();
+            // Everyone sends TAGS messages to everyone else (reliable
+            // channel: exactly-once is the invariant under test).
+            for q in 0..PROCS {
+                if q != me {
+                    for tag in 0..TAGS {
+                        ctx.send(q, (tag, (me as u32) << 16 | tag));
+                    }
+                }
+            }
+            // Demand (sender, tag) keys in a seed-scrambled order the
+            // senders certainly did not follow.
+            let mut keys: Vec<(usize, u32)> = (0..PROCS)
+                .filter(|&q| q != me)
+                .flat_map(|q| (0..TAGS).map(move |t| (q, t)))
+                .collect();
+            let mut rng = SimRng::new(plan.seed ^ me as u64);
+            for j in (1..keys.len()).rev() {
+                keys.swap(j, rng.below(j + 1));
+            }
+            let mut mb = TaggedMailbox::<(usize, u32), (u32, u32)>::new();
+            let mut seen = std::collections::HashSet::new();
+            let mut sum = 0u64;
+            for key in keys {
+                let env = mb.recv_key(&ctx, &key, |m| ((m.1 >> 16) as usize, m.0));
+                assert_eq!(env.from, key.0, "sender mismatch for {key:?}");
+                assert_eq!(env.msg.0, key.1, "tag mismatch for {key:?}");
+                assert!(seen.insert(key), "duplicate delivery of {key:?}");
+                sum += env.msg.1 as u64;
+            }
+            assert_eq!(mb.buffered(), 0, "pool must drain to empty");
+            assert!(ctx.try_recv().is_none(), "stray message after drain");
+            sum
+        });
+        // Every rank received exactly the same multiset of payloads.
+        let expect: u64 = (0..PROCS as u64)
+            .map(|q| (0..TAGS as u64).map(|t| (q << 16) | t).sum::<u64>())
+            .sum::<u64>();
+        for (me, &got) in results.iter().enumerate() {
+            let mine: u64 = (0..TAGS as u64).map(|t| ((me as u64) << 16) | t).sum();
+            assert_eq!(got, expect - mine, "rank {me}, seed {seed}");
+        }
+    }
+}
+
+/// Duplicate-delivery fault: with `duplicate_lossy = 1.0` every lossy
+/// message arrives exactly twice — the buffering pool must hand back both
+/// copies (it buffers envelopes, it does not deduplicate), and a receiver
+/// that counts arrivals can verify at-least-once semantics exactly.
+#[test]
+fn chaos_duplicate_lossy_delivers_exactly_twice() {
+    const TAGS: u32 = 6;
+    for i in 0..20u64 {
+        let seed = 0xD0_0000 + i;
+        let plan = FaultPlan::with_duplicates(seed, 1.0);
+        let results = run_sim_spmd::<u32, Vec<u32>, _>(2, &plan, |ctx| {
+            if ctx.rank() == 0 {
+                for tag in 0..TAGS {
+                    assert!(ctx.send_lossy(1, tag));
+                }
+                return vec![];
+            }
+            let mut counts = vec![0u32; TAGS as usize];
+            for _ in 0..2 * TAGS {
+                let env = ctx.recv();
+                counts[env.msg as usize] += 1;
+            }
+            assert!(ctx.try_recv().is_none(), "more than two copies in flight");
+            counts
+        });
+        assert_eq!(results[1], vec![2u32; TAGS as usize], "seed {seed}");
+    }
+}
+
+/// Drop fault: with `drop_lossy = 1.0` every lossy send reports the drop
+/// to the sender (`false`) and nothing ever arrives — the sender-visible
+/// outcome the solver's abort protocol relies on.
+#[test]
+fn chaos_dropped_lossy_reports_to_sender() {
+    for i in 0..20u64 {
+        let seed = 0xD60_0000 + i;
+        let plan = FaultPlan::with_drops(seed, 1.0);
+        let results = run_sim_spmd::<u32, bool, _>(2, &plan, |ctx| {
+            if ctx.rank() == 0 {
+                (0..8).all(|t| !ctx.send_lossy(1, t))
+            } else {
+                ctx.try_recv().is_none()
+            }
+        });
+        assert_eq!(results, vec![true, true], "seed {seed}");
+    }
+}

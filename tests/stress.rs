@@ -1,8 +1,9 @@
-//! Large-scale stress tests, `#[ignore]`d by default (run with
-//! `cargo test --release -p pastix-integration --test stress -- --ignored`).
-//! These push the pipeline to paper-adjacent sizes on a laptop-class
-//! machine; the regular suite keeps problem sizes small so `cargo test`
-//! stays fast.
+//! Stress tests in two tiers.
+//!
+//! The `*_fast` variants below run in the regular suite (tier-1): same
+//! code paths as the large runs, downscaled so `cargo test` stays fast.
+//! The paper-adjacent sizes stay `#[ignore]`d — run them with
+//! `cargo test --release -p pastix-integration --test stress -- --ignored`.
 
 use pastix::graph::{build_problem, canonical_solution, rhs_for_solution, ProblemId};
 use pastix::machine::MachineModel;
@@ -10,6 +11,52 @@ use pastix::ordering::{nested_dissection, OrderingOptions};
 use pastix::sched::{map_and_schedule, validate_schedule, SchedOptions};
 use pastix::symbolic::{analyze, AnalysisOptions};
 use pastix::{Pastix, PastixOptions};
+
+#[test]
+fn shipsec5_end_to_end_fast() {
+    // Tier-1 variant of `quarter_scale_shipsec5_end_to_end`: same
+    // pipeline, same assertions, downscaled problem.
+    let a = build_problem::<f64>(ProblemId::Shipsec5, 0.05);
+    let mut opts = PastixOptions::with_procs(2);
+    opts.sched.block_size = 32;
+    let solver = Pastix::analyze(&a, &opts).unwrap();
+    let f = solver.factorize(&a).unwrap();
+    let x_exact = canonical_solution::<f64>(a.n());
+    let b = rhs_for_solution(&a, &x_exact);
+    let x = f.solve(&b);
+    assert!(a.residual_norm(&x, &b) < 1e-12);
+}
+
+#[test]
+fn full_suite_schedules_fast() {
+    // Tier-1 variant of `full_suite_schedules_at_tenth_scale`: every
+    // problem of the suite still flows through ordering → analysis →
+    // mapping → validated schedule, at 3% scale for 16 processors.
+    for id in ProblemId::ALL {
+        let a = build_problem::<f64>(id, 0.03);
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions::scotch_like());
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        let machine = MachineModel::sp2(16);
+        let m = map_and_schedule(&an.symbol, &machine, &SchedOptions::default());
+        validate_schedule(&m.graph, &m.schedule, &machine)
+            .unwrap_or_else(|e| panic!("{}: {e}", id.name()));
+    }
+}
+
+#[test]
+fn parallel_numeric_3d_solid_fast() {
+    // Tier-1 variant of `parallel_numeric_on_large_3d_solid`, including
+    // the distributed solve.
+    let a = build_problem::<f64>(ProblemId::Mt1, 0.02);
+    let opts = PastixOptions::with_procs(4);
+    let solver = Pastix::analyze(&a, &opts).unwrap();
+    let f = solver.factorize(&a).unwrap();
+    let x_exact = canonical_solution::<f64>(a.n());
+    let b = rhs_for_solution(&a, &x_exact);
+    let x = f.solve_distributed(&b);
+    assert!(a.residual_norm(&x, &b) < 1e-12);
+}
 
 #[test]
 #[ignore = "large: ~1 minute in release"]

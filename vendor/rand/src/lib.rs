@@ -1,0 +1,202 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in containers without network access to
+//! crates.io, so the handful of `rand` APIs actually used — seeded
+//! [`rngs::SmallRng`], [`Rng::gen_range`] over integer and float ranges,
+//! and [`SeedableRng::seed_from_u64`] — are reimplemented here on top of
+//! SplitMix64. The value *streams* differ from upstream `rand`, which is
+//! fine for this repository: seeds only pick reproducible test matrices
+//! and tie-breaks, nothing depends on upstream's exact sequences.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core of a random number generator: a 64-bit output stream.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically seeds the generator.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types drawable uniformly from a range (mirrors upstream's
+/// `SampleUniform`; a single blanket `SampleRange` impl per range shape is
+/// what lets `gen_range(0.5..1.5)` infer `f64` through literal fallback).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws from `[lo, hi)` (`inclusive == false`) or `[lo, hi]`.
+    fn sample_in<G: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut G) -> Self;
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<G: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut G) -> Self {
+                let span = if inclusive {
+                    assert!(lo <= hi, "empty range");
+                    (hi as i128).wrapping_sub(lo as i128) as u128 + 1
+                } else {
+                    assert!(lo < hi, "empty range");
+                    (hi as i128).wrapping_sub(lo as i128) as u128
+                };
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_int_uniform!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_in<G: RngCore + ?Sized>(lo: Self, hi: Self, _inclusive: bool, rng: &mut G) -> Self {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in<G: RngCore + ?Sized>(lo: Self, hi: Self, _inclusive: bool, rng: &mut G) -> Self {
+        let u = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        lo + u * (hi - lo)
+    }
+}
+
+/// Sampling within a range, mirroring `rand::distributions::uniform`.
+pub trait SampleRange<T> {
+    /// Draws one value of the range using `rng`.
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_in(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// The user-facing sampling interface (blanket-implemented for every
+/// [`RngCore`], exactly like upstream).
+pub trait Rng: RngCore {
+    /// Uniform draw from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (the only `gen` instantiation used).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Bernoulli draw.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+impl<G: RngCore + ?Sized> Rng for G {}
+
+/// Types drawable "from the standard distribution".
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<G: RngCore + ?Sized>(rng: &mut G) -> Self;
+}
+impl Standard for f64 {
+    fn sample<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+impl Standard for u64 {
+    fn sample<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn sample<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for bool {
+    fn sample<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, seedable generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    /// Alias used by code written against `StdRng`.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: usize = r.gen_range(0..=5);
+            assert!(y <= 5);
+            let f: f64 = r.gen_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+            acc += v;
+        }
+        assert!((acc / 1000.0 - 0.5).abs() < 0.1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Only [`join`] is used by this workspace (the fork-join shape of nested
+//! dissection). Instead of a work-stealing pool, each join spawns one
+//! scoped thread for the second closure — bounded by a global budget so
+//! deep recursions degrade to sequential execution instead of spawning
+//! thousands of OS threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ACTIVE_SPAWNS: AtomicUsize = AtomicUsize::new(0);
+
+/// Maximum concurrently outstanding spawned branches before [`join`]
+/// falls back to running both closures sequentially.
+const SPAWN_BUDGET: usize = 48;
+
+/// Runs the two closures, potentially in parallel, and returns both
+/// results. Panics in either closure propagate.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if ACTIVE_SPAWNS.load(Ordering::Relaxed) >= SPAWN_BUDGET {
+        return (oper_a(), oper_b());
+    }
+    ACTIVE_SPAWNS.fetch_add(1, Ordering::Relaxed);
+    let out = std::thread::scope(|s| {
+        let hb = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    });
+    ACTIVE_SPAWNS.fetch_sub(1, Ordering::Relaxed);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn nested_joins_respect_budget() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+        assert_eq!(ACTIVE_SPAWNS.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate() {
+        let _ = join(|| 1, || panic!("boom"));
+    }
+}
