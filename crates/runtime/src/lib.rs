@@ -39,6 +39,27 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
+/// Outcome of a fault-aware send ([`Comm::send_faulty`]). The failing
+/// variants hand the message back to the caller so a retry needs no
+/// `Clone`.
+#[derive(Debug)]
+pub enum SendOutcome<M> {
+    /// Accepted by the transport (delivery may still be delayed or
+    /// duplicated by the simulator's faults).
+    Delivered,
+    /// Dropped by fault injection; the message is returned for retry.
+    /// The thread backend never drops.
+    Dropped(M),
+    /// The peer already exited; the message is returned.
+    Closed(M),
+}
+
+/// How many consecutive transport drops [`Comm::send_resilient`] retries
+/// before declaring the link dead. With drop probability `p < 1` the
+/// chance of hitting the limit is `p^64` — unreachable in practice, but it
+/// turns a livelock (spinning on a dead peer) into a diagnosable panic.
+pub const SEND_RETRY_LIMIT: usize = 64;
+
 /// The SPMD communication surface shared by every backend: asynchronous
 /// point-to-point sends plus blocking and non-blocking receives.
 ///
@@ -53,19 +74,95 @@ pub trait Comm<M> {
     fn n_procs(&self) -> usize;
 
     /// Sends a message to `to` (sending to self is allowed and delivered
-    /// through the same mailbox). Panics if the peer already exited.
+    /// through the same mailbox). Panics if the peer already exited. This
+    /// is the *reliable* channel: fault injection never drops or
+    /// duplicates it.
     fn send(&self, to: usize, msg: M);
+
+    /// Fault-aware send: the message travels the lossy path (subject to
+    /// the simulator's drop/duplicate faults) and the outcome — including
+    /// the message itself on failure — is reported to the sender.
+    fn send_faulty(&self, to: usize, msg: M) -> SendOutcome<M>;
 
     /// Sends a message, returning `false` instead of panicking when the
     /// peer already exited (used by error-propagation paths, where a
-    /// recipient may have unwound before the message was produced).
-    fn send_lossy(&self, to: usize, msg: M) -> bool;
+    /// recipient may have unwound before the message was produced). Under
+    /// the simulator this traffic is also subject to the drop fault, which
+    /// likewise reports `false`.
+    fn send_lossy(&self, to: usize, msg: M) -> bool {
+        matches!(self.send_faulty(to, msg), SendOutcome::Delivered)
+    }
+
+    /// Fault-tolerant send: retries transport drops (fault injection)
+    /// until the message is accepted, returning `false` if the peer
+    /// already exited. Panics after [`SEND_RETRY_LIMIT`] consecutive
+    /// drops, which is unreachable for any drop probability below 1.
+    fn send_resilient(&self, to: usize, msg: M) -> bool {
+        let mut msg = msg;
+        for _ in 0..SEND_RETRY_LIMIT {
+            match self.send_faulty(to, msg) {
+                SendOutcome::Delivered => return true,
+                SendOutcome::Dropped(m) => msg = m,
+                SendOutcome::Closed(_) => return false,
+            }
+        }
+        panic!(
+            "rank {} send_resilient to rank {to}: dropped {SEND_RETRY_LIMIT} consecutive times \
+             (drop probability must be < 1 for resilient traffic)",
+            self.rank()
+        );
+    }
 
     /// Blocking receive of the next message in arrival order.
     fn recv(&self) -> Envelope<M>;
 
     /// Non-blocking receive.
     fn try_recv(&self) -> Option<Envelope<M>>;
+}
+
+/// Which runtime executes an SPMD program: the production thread backend
+/// or the deterministic fault-injecting simulator. This is the one switch
+/// the backend-generic solver entry points
+/// (`factorize_parallel_with` / `solve_parallel_with` in `pastix-solver`)
+/// dispatch on, so a single numerical codepath runs on every backend.
+///
+/// ```
+/// use pastix_runtime::{run_spmd_with, Backend, Comm};
+/// use pastix_runtime::sim::FaultPlan;
+/// // The same closure runs on threads or under the seeded simulator.
+/// let hello = |ctx: &dyn Comm<usize>| ctx.rank() * 2;
+/// let t = run_spmd_with::<usize, _, _>(&Backend::Threads, 3, hello);
+/// let s = run_spmd_with::<usize, _, _>(
+///     &Backend::Sim(FaultPlan::builder(7).build()),
+///     3,
+///     hello,
+/// );
+/// assert_eq!(t, s);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum Backend {
+    /// One OS thread per logical processor — the production backend.
+    #[default]
+    Threads,
+    /// Deterministic serialized simulation driven by the given fault plan;
+    /// every execution is a pure function of `(seed, policy)`.
+    Sim(sim::FaultPlan),
+}
+
+/// Runs `n_procs` logical processors of `f` on the chosen [`Backend`].
+/// The closure receives the backend-erased [`Comm`] surface, so the same
+/// SPMD body serves production and simulation; `M: Clone` is only
+/// exercised by the simulator's duplicate-delivery fault.
+pub fn run_spmd_with<M, R, F>(backend: &Backend, n_procs: usize, f: F) -> Vec<R>
+where
+    M: Send + Clone,
+    R: Send,
+    F: Fn(&dyn Comm<M>) -> R + Sync,
+{
+    match backend {
+        Backend::Threads => run_spmd(n_procs, |ctx| f(&ctx)),
+        Backend::Sim(plan) => sim::run_sim_spmd(n_procs, plan, |ctx| f(&ctx)),
+    }
 }
 
 /// Per-processor communication context of the thread backend.
@@ -102,13 +199,17 @@ impl<M: Send> Comm<M> for ProcCtx<M> {
         }
     }
 
-    fn send_lossy(&self, to: usize, msg: M) -> bool {
-        self.peers[to]
-            .send(Envelope {
-                from: self.rank,
-                msg,
-            })
-            .is_ok()
+    fn send_faulty(&self, to: usize, msg: M) -> SendOutcome<M> {
+        // The thread backend's channels are reliable: the only failure is
+        // a peer that already exited, in which case std's mpsc hands the
+        // envelope back through the error.
+        match self.peers[to].send(Envelope {
+            from: self.rank,
+            msg,
+        }) {
+            Ok(()) => SendOutcome::Delivered,
+            Err(e) => SendOutcome::Closed(e.0.msg),
+        }
     }
 
     fn recv(&self) -> Envelope<M> {
@@ -148,6 +249,16 @@ impl<M: Send> ProcCtx<M> {
     /// See [`Comm::send_lossy`].
     pub fn send_lossy(&self, to: usize, msg: M) -> bool {
         Comm::send_lossy(self, to, msg)
+    }
+
+    /// See [`Comm::send_faulty`].
+    pub fn send_faulty(&self, to: usize, msg: M) -> SendOutcome<M> {
+        Comm::send_faulty(self, to, msg)
+    }
+
+    /// See [`Comm::send_resilient`].
+    pub fn send_resilient(&self, to: usize, msg: M) -> bool {
+        Comm::send_resilient(self, to, msg)
     }
 
     /// See [`Comm::recv`].
@@ -222,71 +333,212 @@ where
 /// Collective operations built on the point-to-point layer. They follow
 /// simple linear (rank-0-rooted) patterns — adequate for the phase
 /// boundaries of a solver whose steady state is fully asynchronous.
+///
+/// The collectives travel the *faulty* path ([`Comm::send_faulty`]), so
+/// under the simulator their messages can be delayed, dropped, or
+/// duplicated like any other lossy traffic — and the protocol absorbs it:
+/// dropped sends are retried (the transport reports the drop to the
+/// sender) and every message carries a caller-supplied **phase id** in a
+/// [`CollMsg`] envelope. Each rank keeps a [`Collectives`] hold-buffer:
+/// frames from a *future* phase (possible when reordering lets phase
+/// `k+1` traffic overtake phase `k`'s release) are parked until their
+/// phase is demanded; frames from a *past* phase are duplicates and are
+/// dropped at the next phase boundary.
+///
+/// Contract: every rank invokes the same sequence of collectives on one
+/// [`Collectives`] instance, with strictly increasing phase ids (a
+/// monotonic counter does). Collective traffic must not be interleaved
+/// with other in-flight messages of the same `Comm` channel.
 pub mod collective {
-    use super::{Comm, Envelope};
+    use super::{Comm, HashMap};
 
-    /// Barrier: everyone reports to rank 0, rank 0 releases everyone.
-    /// Messages of type `M` must be constructible for the signal; the
-    /// caller provides the signal value and a predicate recognizing it.
-    /// The barrier must not be interleaved with other in-flight traffic.
-    pub fn barrier<M: Clone, C: Comm<M>>(ctx: &C, signal: M) {
-        let p = ctx.n_procs();
-        if p == 1 {
-            return;
-        }
-        if ctx.rank() == 0 {
-            for _ in 1..p {
-                let _ = ctx.recv();
-            }
-            for q in 1..p {
-                ctx.send(q, signal.clone());
-            }
-        } else {
-            ctx.send(0, signal.clone());
-            let _ = ctx.recv();
-        }
+    /// Wire envelope of the resilient collectives: the caller's payload
+    /// plus the phase id that fences one collective invocation from the
+    /// next under duplicate-delivery and reordering faults.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct CollMsg<M> {
+        /// Caller-chosen phase id; strictly increasing across calls on
+        /// the same channel.
+        pub phase: u64,
+        /// The collective's payload.
+        pub payload: M,
     }
 
-    /// Broadcast from `root`: returns the payload on every rank.
-    pub fn broadcast<M: Clone, C: Comm<M>>(ctx: &C, root: usize, value: Option<M>) -> M {
-        if ctx.rank() == root {
-            let v = value.expect("root must supply the broadcast value");
-            for q in 0..ctx.n_procs() {
-                if q != root {
-                    ctx.send(q, v.clone());
+    /// Sends one collective frame, retrying injected drops; a peer that
+    /// exited mid-collective is a protocol violation, as with the
+    /// reliable channel.
+    fn coll_send<M: Clone, C: Comm<CollMsg<M>> + ?Sized>(ctx: &C, to: usize, msg: CollMsg<M>) {
+        assert!(
+            ctx.send_resilient(to, msg),
+            "rank {} collective send to rank {to}: peer exited mid-collective",
+            ctx.rank()
+        );
+    }
+
+    /// Per-rank collective state: a hold-buffer for frames that arrive
+    /// before their phase is demanded. One instance per rank, shared by
+    /// every collective call on that rank, in phase order.
+    #[derive(Default)]
+    pub struct Collectives<M> {
+        /// Frames parked by (phase, sender) until demanded. Entries older
+        /// than the current phase are dropped on the next phase boundary.
+        held: HashMap<(u64, usize), Vec<M>>,
+    }
+
+    impl<M: Clone> Collectives<M> {
+        /// Creates an empty hold-buffer.
+        pub fn new() -> Self {
+            Self {
+                held: HashMap::new(),
+            }
+        }
+
+        /// Number of parked frames (diagnostics).
+        pub fn held(&self) -> usize {
+            self.held.values().map(|v| v.len()).sum()
+        }
+
+        /// Drops parked frames from phases before `phase`: with strictly
+        /// increasing phases they can only be stale duplicates.
+        fn gc(&mut self, phase: u64) {
+            self.held.retain(|(ph, _), _| *ph >= phase);
+        }
+
+        /// Receives the `(phase, from)` frame, parking everything else
+        /// that arrives in the meantime. Duplicates of frames already
+        /// consumed simply sit parked until [`Self::gc`] clears them.
+        fn recv_from<C: Comm<CollMsg<M>> + ?Sized>(
+            &mut self,
+            ctx: &C,
+            phase: u64,
+            from: usize,
+        ) -> M {
+            if let Some(v) = self.held.get_mut(&(phase, from)) {
+                let m = v.pop().expect("held entries are never empty");
+                if v.is_empty() {
+                    self.held.remove(&(phase, from));
                 }
+                return m;
             }
-            v
-        } else {
-            ctx.recv().msg
+            loop {
+                let env = ctx.recv();
+                if env.msg.phase == phase && env.from == from {
+                    return env.msg.payload;
+                }
+                self.held
+                    .entry((env.msg.phase, env.from))
+                    .or_default()
+                    .push(env.msg.payload);
+            }
         }
-    }
 
-    /// All-reduce with a commutative combiner; linear gather to rank 0 then
-    /// broadcast. Returns the combined value on every rank.
-    pub fn all_reduce<M, C, F>(ctx: &C, mine: M, combine: F) -> M
-    where
-        M: Clone,
-        C: Comm<M>,
-        F: Fn(M, M) -> M,
-    {
-        let p = ctx.n_procs();
-        if p == 1 {
-            return mine;
+        /// Barrier: everyone reports to rank 0, rank 0 releases everyone.
+        /// The caller provides the signal payload (any value) and the
+        /// phase id.
+        pub fn barrier<C: Comm<CollMsg<M>> + ?Sized>(&mut self, ctx: &C, phase: u64, signal: M) {
+            self.gc(phase);
+            let p = ctx.n_procs();
+            if p == 1 {
+                return;
+            }
+            if ctx.rank() == 0 {
+                for q in 1..p {
+                    let _ = self.recv_from(ctx, phase, q);
+                }
+                for q in 1..p {
+                    coll_send(
+                        ctx,
+                        q,
+                        CollMsg {
+                            phase,
+                            payload: signal.clone(),
+                        },
+                    );
+                }
+            } else {
+                coll_send(
+                    ctx,
+                    0,
+                    CollMsg {
+                        phase,
+                        payload: signal,
+                    },
+                );
+                let _ = self.recv_from(ctx, phase, 0);
+            }
         }
-        if ctx.rank() == 0 {
-            let mut acc = mine;
-            for _ in 1..p {
-                let Envelope { msg, .. } = ctx.recv();
-                acc = combine(acc, msg);
+
+        /// Broadcast from `root`: returns the payload on every rank. Only
+        /// the root supplies `Some(value)`.
+        pub fn broadcast<C: Comm<CollMsg<M>> + ?Sized>(
+            &mut self,
+            ctx: &C,
+            phase: u64,
+            root: usize,
+            value: Option<M>,
+        ) -> M {
+            self.gc(phase);
+            if ctx.rank() == root {
+                let v = value.expect("root must supply the broadcast value");
+                for q in 0..ctx.n_procs() {
+                    if q != root {
+                        coll_send(
+                            ctx,
+                            q,
+                            CollMsg {
+                                phase,
+                                payload: v.clone(),
+                            },
+                        );
+                    }
+                }
+                v
+            } else {
+                self.recv_from(ctx, phase, root)
             }
-            for q in 1..p {
-                ctx.send(q, acc.clone());
+        }
+
+        /// All-reduce: linear gather to rank 0 (combined in rank order, so
+        /// the result is interleaving-independent even for non-commutative
+        /// combiners), then broadcast of the result.
+        pub fn all_reduce<C, F>(&mut self, ctx: &C, phase: u64, mine: M, combine: F) -> M
+        where
+            C: Comm<CollMsg<M>> + ?Sized,
+            F: Fn(M, M) -> M,
+        {
+            self.gc(phase);
+            let p = ctx.n_procs();
+            if p == 1 {
+                return mine;
             }
-            acc
-        } else {
-            ctx.send(0, mine);
-            ctx.recv().msg
+            if ctx.rank() == 0 {
+                let mut acc = mine;
+                for q in 1..p {
+                    let theirs = self.recv_from(ctx, phase, q);
+                    acc = combine(acc, theirs);
+                }
+                for q in 1..p {
+                    coll_send(
+                        ctx,
+                        q,
+                        CollMsg {
+                            phase,
+                            payload: acc.clone(),
+                        },
+                    );
+                }
+                acc
+            } else {
+                coll_send(
+                    ctx,
+                    0,
+                    CollMsg {
+                        phase,
+                        payload: mine,
+                    },
+                );
+                self.recv_from(ctx, phase, 0)
+            }
         }
     }
 }
@@ -425,10 +677,12 @@ mod tests {
 
     #[test]
     fn collective_barrier_and_broadcast() {
-        let results = run_spmd::<u64, u64, _>(4, |ctx| {
-            collective::barrier(&ctx, 0);
-            let v = collective::broadcast(&ctx, 2, if ctx.rank() == 2 { Some(99) } else { None });
-            collective::barrier(&ctx, 0);
+        use collective::{CollMsg, Collectives};
+        let results = run_spmd::<CollMsg<u64>, u64, _>(4, |ctx| {
+            let mut coll = Collectives::new();
+            coll.barrier(&ctx, 0, 0);
+            let v = coll.broadcast(&ctx, 1, 2, if ctx.rank() == 2 { Some(99) } else { None });
+            coll.barrier(&ctx, 2, 0);
             v
         });
         assert_eq!(results, vec![99; 4]);
@@ -436,17 +690,20 @@ mod tests {
 
     #[test]
     fn collective_all_reduce_sum() {
-        let results = run_spmd::<u64, u64, _>(5, |ctx| {
-            collective::all_reduce(&ctx, ctx.rank() as u64 + 1, |a, b| a + b)
+        use collective::{CollMsg, Collectives};
+        let results = run_spmd::<CollMsg<u64>, u64, _>(5, |ctx| {
+            Collectives::new().all_reduce(&ctx, 0, ctx.rank() as u64 + 1, |a, b| a + b)
         });
         assert_eq!(results, vec![15; 5]);
     }
 
     #[test]
     fn collective_single_proc_degenerate() {
-        let results = run_spmd::<u64, u64, _>(1, |ctx| {
-            collective::barrier(&ctx, 0);
-            collective::all_reduce(&ctx, 7, |a, b| a + b)
+        use collective::{CollMsg, Collectives};
+        let results = run_spmd::<CollMsg<u64>, u64, _>(1, |ctx| {
+            let mut coll = Collectives::new();
+            coll.barrier(&ctx, 0, 0);
+            coll.all_reduce(&ctx, 1, 7, |a, b| a + b)
         });
         assert_eq!(results, vec![7]);
     }

@@ -17,11 +17,25 @@
 //! has no influence on the outcome — the only nondeterminism source is
 //! the seeded [`SimRng`].
 //!
+//! ## Adversarial scheduling policies
+//!
+//! The scheduler's choice among enabled actions is shaped by the plan's
+//! [`SchedPolicy`]: [`Uniform`](SchedPolicy::Uniform) samples uniformly,
+//! [`StarveRank`](SchedPolicy::StarveRank) never services one rank while
+//! anything else can make progress, [`DeliverLast`](SchedPolicy::DeliverLast)
+//! always delays the oldest in-flight message the longest, and
+//! [`FifoPerPair`](SchedPolicy::FifoPerPair) forces in-order delivery per
+//! sender/receiver pair (the "nice network" that masks reordering bugs —
+//! useful as a control). Every policy only *filters* the enabled set and
+//! falls back to the full set when the filter would empty it, so liveness
+//! is preserved and the execution stays a pure function of
+//! `(seed, policy)`.
+//!
 //! ## Faults
 //!
-//! - **Reordering / delay** are inherent: the scheduler picks uniformly
-//!   among all enabled actions, so a message can sit in flight while an
-//!   arbitrary amount of other progress happens.
+//! - **Reordering / delay** are inherent: the scheduler picks (per the
+//!   policy) among all enabled actions, so a message can sit in flight
+//!   while an arbitrary amount of other progress happens.
 //! - **Lossy drops**: each [`Comm::send_lossy`] is dropped with
 //!   probability [`FaultPlan::drop_lossy`] (the call returns `false`,
 //!   exactly as if the peer had exited).
@@ -38,7 +52,7 @@
 //! flight) are detected and reported with a per-rank state dump and the
 //! seed that produced them.
 
-use crate::{Comm, Envelope};
+use crate::{Comm, Envelope, SendOutcome};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -84,7 +98,32 @@ impl SimRng {
     }
 }
 
-/// Seed plus fault probabilities for one simulated execution.
+/// Adversarial scheduling policy of the simulator: how the central
+/// scheduler chooses among the enabled actions (servicing a parked worker
+/// or delivering an in-flight message). Every policy is deterministic
+/// given the plan's seed, and every policy preserves liveness: it only
+/// filters the enabled set, falling back to the full set when the filter
+/// would leave nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Uniform sampling over all enabled actions (the baseline chaos).
+    #[default]
+    Uniform,
+    /// Never service rank `r`'s parked call while any other action is
+    /// enabled: maximal starvation of one worker. Messages *to* the
+    /// starved rank still get delivered, so its mailbox piles up.
+    StarveRank(usize),
+    /// Always pick the oldest undelivered message last: the anti-FIFO
+    /// network that maximally delays whatever has been in flight longest.
+    DeliverLast,
+    /// In-order delivery per (sender, receiver) pair — the "nice network"
+    /// that masks reordering bugs; useful as a control to show a failure
+    /// is reordering-dependent.
+    FifoPerPair,
+}
+
+/// Seed, fault probabilities, and scheduling policy for one simulated
+/// execution: every run is a pure function of this plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     /// Seed for the interleaving RNG; same plan → same execution.
@@ -94,35 +133,89 @@ pub struct FaultPlan {
     pub drop_lossy: f64,
     /// Probability that a lossy-sent message is delivered twice.
     pub duplicate_lossy: f64,
+    /// How the scheduler picks among enabled actions.
+    pub policy: SchedPolicy,
 }
 
 impl FaultPlan {
-    /// Pure interleaving chaos: random scheduling and delivery order, but
-    /// no drops or duplicates.
-    pub fn interleave_only(seed: u64) -> Self {
-        Self {
-            seed,
-            drop_lossy: 0.0,
-            duplicate_lossy: 0.0,
+    /// Starts a [`FaultPlanBuilder`] with the given seed, no faults, and
+    /// the [`Uniform`](SchedPolicy::Uniform) policy.
+    ///
+    /// ```
+    /// use pastix_runtime::sim::{FaultPlan, SchedPolicy};
+    /// let plan = FaultPlan::builder(42)
+    ///     .drop_lossy(0.25)
+    ///     .duplicate_lossy(0.25)
+    ///     .policy(SchedPolicy::StarveRank(0))
+    ///     .build();
+    /// assert_eq!(plan.seed, 42);
+    /// assert_eq!(plan.policy, SchedPolicy::StarveRank(0));
+    /// // Replay recipe: the pair (seed, policy) pins the whole execution.
+    /// assert_eq!(plan, FaultPlan { ..plan });
+    /// ```
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            plan: FaultPlan {
+                seed,
+                drop_lossy: 0.0,
+                duplicate_lossy: 0.0,
+                policy: SchedPolicy::Uniform,
+            },
         }
+    }
+
+    /// Pure interleaving chaos: random scheduling and delivery order, but
+    /// no drops or duplicates. (Delegates to [`FaultPlan::builder`].)
+    pub fn interleave_only(seed: u64) -> Self {
+        Self::builder(seed).build()
     }
 
     /// Interleaving chaos plus the given lossy-drop probability.
+    /// (Delegates to [`FaultPlan::builder`].)
     pub fn with_drops(seed: u64, drop_lossy: f64) -> Self {
-        Self {
-            seed,
-            drop_lossy,
-            duplicate_lossy: 0.0,
-        }
+        Self::builder(seed).drop_lossy(drop_lossy).build()
     }
 
     /// Interleaving chaos plus duplicate delivery of lossy traffic.
+    /// (Delegates to [`FaultPlan::builder`].)
     pub fn with_duplicates(seed: u64, duplicate_lossy: f64) -> Self {
-        Self {
-            seed,
-            drop_lossy: 0.0,
-            duplicate_lossy,
-        }
+        Self::builder(seed).duplicate_lossy(duplicate_lossy).build()
+    }
+}
+
+/// Builder for [`FaultPlan`]; see [`FaultPlan::builder`].
+#[derive(Debug, Clone)]
+pub struct FaultPlanBuilder {
+    plan: FaultPlan,
+}
+
+impl FaultPlanBuilder {
+    /// Sets the probability that a lossy send is dropped.
+    pub fn drop_lossy(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability {p} outside [0, 1]");
+        self.plan.drop_lossy = p;
+        self
+    }
+
+    /// Sets the probability that a lossy-sent message is delivered twice.
+    pub fn duplicate_lossy(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplicate probability {p} outside [0, 1]"
+        );
+        self.plan.duplicate_lossy = p;
+        self
+    }
+
+    /// Sets the adversarial scheduling policy.
+    pub fn policy(mut self, policy: SchedPolicy) -> Self {
+        self.plan.policy = policy;
+        self
+    }
+
+    /// Finishes the plan.
+    pub fn build(self) -> FaultPlan {
+        self.plan
     }
 }
 
@@ -137,10 +230,14 @@ enum Call<M> {
 }
 
 enum Reply<M> {
-    /// Send accepted (lossy flag result for `send_lossy`).
-    Sent(bool),
-    /// The peer exited: a non-lossy send must panic on the sender.
-    PeerClosed { to: usize },
+    /// Send accepted into the network.
+    Sent,
+    /// Send dropped by the lossy fault; the message is handed back so the
+    /// sender can retry without cloning.
+    Dropped(M),
+    /// The peer exited; the message is handed back. A non-lossy send must
+    /// panic on the sender.
+    Closed(M),
     Msg(Envelope<M>),
     NoMsg,
 }
@@ -185,8 +282,8 @@ impl<M: Send> Comm<M> for SimCtx<M> {
             msg,
             lossy: false,
         }) {
-            Reply::Sent(_) => {}
-            Reply::PeerClosed { to } => panic!(
+            Reply::Sent => {}
+            Reply::Closed(_) => panic!(
                 "rank {} send to rank {}: peer mailbox closed (peer exited before this message)",
                 self.rank, to
             ),
@@ -194,25 +291,22 @@ impl<M: Send> Comm<M> for SimCtx<M> {
         }
     }
 
-    fn send_lossy(&self, to: usize, msg: M) -> bool {
+    fn send_faulty(&self, to: usize, msg: M) -> SendOutcome<M> {
         match self.rendezvous(Call::Send {
             to,
             msg,
             lossy: true,
         }) {
-            Reply::Sent(delivered) => delivered,
-            Reply::PeerClosed { .. } => false,
-            _ => unreachable!("sim: bad reply to send_lossy"),
+            Reply::Sent => SendOutcome::Delivered,
+            Reply::Dropped(m) => SendOutcome::Dropped(m),
+            Reply::Closed(m) => SendOutcome::Closed(m),
+            _ => unreachable!("sim: bad reply to send_faulty"),
         }
     }
 
     fn recv(&self) -> Envelope<M> {
         match self.rendezvous(Call::Recv) {
             Reply::Msg(env) => env,
-            Reply::PeerClosed { .. } => panic!(
-                "rank {} recv: all peers exited while still waiting for a message",
-                self.rank
-            ),
             _ => unreachable!("sim: bad reply to recv"),
         }
     }
@@ -250,6 +344,16 @@ impl<M: Send> SimCtx<M> {
         Comm::send_lossy(self, to, msg)
     }
 
+    /// See [`Comm::send_faulty`].
+    pub fn send_faulty(&self, to: usize, msg: M) -> SendOutcome<M> {
+        Comm::send_faulty(self, to, msg)
+    }
+
+    /// See [`Comm::send_resilient`].
+    pub fn send_resilient(&self, to: usize, msg: M) -> bool {
+        Comm::send_resilient(self, to, msg)
+    }
+
     /// See [`Comm::recv`].
     pub fn recv(&self) -> Envelope<M> {
         Comm::recv(self)
@@ -266,6 +370,9 @@ struct InFlight<M> {
     to: usize,
     env: Envelope<M>,
     lossy: bool,
+    /// Monotonic send order, so the policies can reason about message age
+    /// ("oldest in flight", "head of the (from, to) pair's queue").
+    seq: u64,
 }
 
 enum WorkerState<M> {
@@ -286,8 +393,11 @@ struct SchedulerState<M> {
     running: usize,
     live: usize,
     steps: u64,
+    /// Send-order counter feeding [`InFlight::seq`].
+    next_seq: u64,
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
 enum Action {
     /// Service rank's parked call.
     Service(usize),
@@ -339,6 +449,60 @@ impl<M: Clone> SchedulerState<M> {
         }
         acts
     }
+
+    /// Applies the plan's [`SchedPolicy`] to the enabled set. Policies
+    /// only *remove* candidates; when a filter would empty the set, the
+    /// full set is restored so no policy can deadlock a live execution.
+    fn policy_filter(&self, acts: Vec<Action>) -> Vec<Action> {
+        let keep: Vec<Action> = match self.plan.policy {
+            SchedPolicy::Uniform => return acts,
+            SchedPolicy::StarveRank(r) => acts
+                .iter()
+                .copied()
+                .filter(|a| !matches!(a, Action::Service(x) if *x == r))
+                .collect(),
+            SchedPolicy::DeliverLast => {
+                let oldest = self
+                    .net
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, m)| m.seq)
+                    .map(|(i, _)| i);
+                match oldest {
+                    None => return acts,
+                    Some(oldest) => acts
+                        .iter()
+                        .copied()
+                        .filter(|a| !matches!(a, Action::Deliver(i) if *i == oldest))
+                        .collect(),
+                }
+            }
+            SchedPolicy::FifoPerPair => {
+                // Only the head (lowest seq) of each (from, to) queue is
+                // deliverable; computation actions are unconstrained.
+                let mut heads: std::collections::HashMap<(usize, usize), usize> =
+                    std::collections::HashMap::new();
+                for (i, m) in self.net.iter().enumerate() {
+                    let e = heads.entry((m.env.from, m.to)).or_insert(i);
+                    if self.net[*e].seq > m.seq {
+                        *e = i;
+                    }
+                }
+                acts.iter()
+                    .copied()
+                    .filter(|a| match a {
+                        Action::Deliver(i) => heads.values().any(|&h| h == *i),
+                        Action::Service(_) => true,
+                    })
+                    .collect()
+            }
+        };
+        if keep.is_empty() {
+            acts
+        } else {
+            keep
+        }
+    }
 }
 
 /// Runs `n_procs` logical processors under the deterministic simulator
@@ -349,7 +513,7 @@ impl<M: Clone> SchedulerState<M> {
 /// worker has unwound), but the interleaving is a pure function of
 /// `plan`. A protocol deadlock — every live worker blocked in `recv`
 /// with an empty network — panics with a per-rank state dump naming
-/// `plan.seed`.
+/// `plan.seed` and `plan.policy`.
 ///
 /// `M: Clone` is required so the duplicate-delivery fault can replicate a
 /// message; with `duplicate_lossy == 0.0` no clone ever happens.
@@ -421,6 +585,7 @@ where
             running: n_procs,
             live: n_procs,
             steps: 0,
+            next_seq: 0,
         };
 
         loop {
@@ -461,12 +626,14 @@ where
                     }
                 }
                 panic!(
-                    "sim deadlock (seed {}): every live worker is blocked and the network is empty\n{}",
+                    "sim deadlock (seed {}, policy {:?}): every live worker is blocked and the network is empty\n{}",
                     st.plan.seed,
+                    st.plan.policy,
                     st.describe()
                 );
             }
             st.steps += 1;
+            let actions = st.policy_filter(actions);
             let pick = st.rng.below(actions.len());
             match actions[pick] {
                 Action::Deliver(i) => {
@@ -485,16 +652,18 @@ where
                     let reply = match call {
                         Call::Send { to, msg, lossy } => {
                             if matches!(st.states[to], WorkerState::Done) {
-                                Reply::PeerClosed { to }
+                                Reply::Closed(msg)
                             } else if lossy && st.rng.chance(st.plan.drop_lossy) {
-                                Reply::Sent(false)
+                                Reply::Dropped(msg)
                             } else {
                                 st.net.push(InFlight {
                                     to,
                                     env: Envelope { from: rank, msg },
                                     lossy,
+                                    seq: st.next_seq,
                                 });
-                                Reply::Sent(true)
+                                st.next_seq += 1;
+                                Reply::Sent
                             }
                         }
                         Call::Recv => {
@@ -556,7 +725,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{collective, TaggedMailbox};
+    use crate::TaggedMailbox;
 
     #[test]
     fn rng_is_deterministic() {
@@ -615,13 +784,43 @@ mod tests {
 
     #[test]
     fn collectives_under_chaos() {
+        use crate::collective::{CollMsg, Collectives};
         for seed in 0..20 {
             let plan = FaultPlan::interleave_only(seed);
-            let results = run_sim_spmd::<u64, u64, _>(5, &plan, |ctx| {
-                collective::barrier(&ctx, 0);
-                collective::all_reduce(&ctx, ctx.rank() as u64 + 1, |a, b| a + b)
+            let results = run_sim_spmd::<CollMsg<u64>, u64, _>(5, &plan, |ctx| {
+                let mut coll = Collectives::new();
+                coll.barrier(&ctx, 0, 0);
+                let root_val = coll.broadcast(&ctx, 1, 0, (ctx.rank() == 0).then_some(7u64));
+                coll.all_reduce(&ctx, 2, ctx.rank() as u64 + 1, |a, b| a + b) + root_val
             });
-            assert_eq!(results, vec![15; 5], "seed {seed}");
+            assert_eq!(results, vec![22; 5], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn collectives_survive_lossy_faults_under_every_policy() {
+        use crate::collective::{CollMsg, Collectives};
+        let policies = [
+            SchedPolicy::Uniform,
+            SchedPolicy::StarveRank(1),
+            SchedPolicy::DeliverLast,
+            SchedPolicy::FifoPerPair,
+        ];
+        for policy in policies {
+            for seed in 0..10 {
+                let plan = FaultPlan::builder(seed)
+                    .drop_lossy(0.3)
+                    .duplicate_lossy(0.3)
+                    .policy(policy)
+                    .build();
+                let results = run_sim_spmd::<CollMsg<u64>, u64, _>(4, &plan, |ctx| {
+                    let mut coll = Collectives::new();
+                    coll.barrier(&ctx, 0, 0);
+                    let b = coll.broadcast(&ctx, 1, 2, (ctx.rank() == 2).then_some(100u64));
+                    coll.all_reduce(&ctx, 2, ctx.rank() as u64, |a, b| a + b) + b
+                });
+                assert_eq!(results, vec![106; 4], "seed {seed} policy {policy:?}");
+            }
         }
     }
 
@@ -659,11 +858,10 @@ mod tests {
     #[test]
     fn reliable_send_never_dropped_or_duplicated() {
         // Non-lossy sends must be exactly-once even at fault probability 1.
-        let plan = FaultPlan {
-            seed: 5,
-            drop_lossy: 1.0,
-            duplicate_lossy: 1.0,
-        };
+        let plan = FaultPlan::builder(5)
+            .drop_lossy(1.0)
+            .duplicate_lossy(1.0)
+            .build();
         let results = run_sim_spmd::<u32, usize, _>(2, &plan, |ctx| {
             if ctx.rank() == 0 {
                 for i in 0..10 {
@@ -714,8 +912,32 @@ mod tests {
             .downcast_ref::<String>()
             .cloned()
             .unwrap_or_default();
-        assert!(msg.contains("sim deadlock (seed 77)"), "got: {msg:?}");
+        assert!(
+            msg.contains("sim deadlock (seed 77, policy Uniform)"),
+            "got: {msg:?}"
+        );
         assert!(msg.contains("blocked in recv"), "got: {msg:?}");
+    }
+
+    #[test]
+    fn deadlock_dump_names_adversarial_policy() {
+        let caught = std::panic::catch_unwind(|| {
+            let plan = FaultPlan::builder(9)
+                .policy(SchedPolicy::StarveRank(1))
+                .build();
+            run_sim_spmd::<u8, (), _>(2, &plan, |ctx| {
+                let _ = ctx.recv();
+            });
+        });
+        let msg = caught
+            .expect_err("must deadlock")
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("sim deadlock (seed 9, policy StarveRank(1))"),
+            "got: {msg:?}"
+        );
     }
 
     #[test]
@@ -772,6 +994,123 @@ mod tests {
             });
             let expect: u64 = (1..3u64).map(|q| (0..5).map(|t| q * 1000 + t).sum::<u64>()).sum();
             assert_eq!(results[0], expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fifo_per_pair_delivers_in_send_order() {
+        // Under FifoPerPair every (sender, receiver) pair is a FIFO
+        // channel: the per-sender subsequence at rank 0 must match send
+        // order for every seed, even though senders interleave freely.
+        for seed in 0..25 {
+            let plan = FaultPlan::builder(seed)
+                .policy(SchedPolicy::FifoPerPair)
+                .build();
+            let results = run_sim_spmd::<u32, Vec<(usize, u32)>, _>(3, &plan, |ctx| {
+                if ctx.rank() == 0 {
+                    (0..10).map(|_| ctx.recv()).map(|e| (e.from, e.msg)).collect()
+                } else {
+                    for i in 0..5u32 {
+                        ctx.send(0, i);
+                    }
+                    vec![]
+                }
+            });
+            for sender in 1..3 {
+                let per_sender: Vec<u32> = results[0]
+                    .iter()
+                    .filter(|(f, _)| *f == sender)
+                    .map(|(_, m)| *m)
+                    .collect();
+                assert_eq!(per_sender, vec![0, 1, 2, 3, 4], "seed {seed} sender {sender}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_policy_does_reorder_per_pair() {
+        // Control for the FifoPerPair test: uniform sampling must produce
+        // at least one out-of-order per-pair delivery across these seeds,
+        // otherwise the "nice network" policy is indistinguishable.
+        let mut reordered = false;
+        for seed in 0..25 {
+            let plan = FaultPlan::interleave_only(seed);
+            let results = run_sim_spmd::<u32, Vec<u32>, _>(2, &plan, |ctx| {
+                if ctx.rank() == 0 {
+                    (0..8).map(|_| ctx.recv().msg).collect()
+                } else {
+                    for i in 0..8u32 {
+                        ctx.send(0, i);
+                    }
+                    vec![]
+                }
+            });
+            if results[0].windows(2).any(|w| w[0] > w[1]) {
+                reordered = true;
+                break;
+            }
+        }
+        assert!(reordered, "uniform policy never reordered a pair in 25 seeds");
+    }
+
+    #[test]
+    fn starve_rank_defers_victim_progress() {
+        // Rank 1 (the victim) lossy-sends to rank 0 while rank 2 floods
+        // rank 0 with reliable traffic. Under StarveRank(1) the victim's
+        // message must arrive after all of rank 2's, because rank 1 is
+        // only serviced when nothing else can run.
+        for seed in 0..25 {
+            let plan = FaultPlan::builder(seed)
+                .policy(SchedPolicy::StarveRank(1))
+                .build();
+            let results = run_sim_spmd::<u32, Vec<usize>, _>(3, &plan, |ctx| {
+                match ctx.rank() {
+                    0 => (0..7).map(|_| ctx.recv().from).collect(),
+                    1 => {
+                        ctx.send(0, 999);
+                        vec![]
+                    }
+                    _ => {
+                        for i in 0..6u32 {
+                            ctx.send(0, i);
+                        }
+                        vec![]
+                    }
+                }
+            });
+            let pos_victim = results[0].iter().position(|&f| f == 1).unwrap();
+            assert_eq!(
+                pos_victim, 6,
+                "seed {seed}: victim serviced before the starver drained: {:?}",
+                results[0]
+            );
+        }
+    }
+
+    #[test]
+    fn every_policy_is_deterministic_and_agrees_on_results() {
+        // Same (seed, policy) → identical observable run; and policies
+        // never change the *converged values* of a correct protocol.
+        let run = |plan: FaultPlan| {
+            run_sim_spmd::<u64, u64, _>(4, &plan, |ctx| {
+                let next = (ctx.rank() + 1) % ctx.n_procs();
+                ctx.send(next, ctx.rank() as u64 * 3);
+                ctx.recv().msg
+            })
+        };
+        let policies = [
+            SchedPolicy::Uniform,
+            SchedPolicy::StarveRank(2),
+            SchedPolicy::DeliverLast,
+            SchedPolicy::FifoPerPair,
+        ];
+        for seed in 0..10 {
+            let baseline = run(FaultPlan::builder(seed).build());
+            for policy in policies {
+                let plan = FaultPlan::builder(seed).policy(policy).build();
+                assert_eq!(run(plan), run(plan), "seed {seed} policy {policy:?} replay");
+                assert_eq!(run(plan), baseline, "seed {seed} policy {policy:?} values");
+            }
         }
     }
 

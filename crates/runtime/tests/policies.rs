@@ -1,0 +1,102 @@
+//! Property tests for the adversarial scheduling policies.
+//!
+//! The simulator's contract is that a `SchedPolicy` only reshapes the
+//! *interleaving* — which enabled action fires next — never the *values* a
+//! correct program computes. These tests drive the resilient collectives
+//! (barrier, broadcast, all-reduce) under every policy with lossy faults
+//! enabled and assert the results are byte-identical to the uniform
+//! baseline, across randomly drawn seeds, world sizes, and fault rates.
+
+use pastix_runtime::collective::{CollMsg, Collectives};
+use pastix_runtime::sim::{FaultPlan, SchedPolicy};
+use pastix_runtime::{run_spmd_with, Backend, Comm};
+use proptest::prelude::*;
+
+/// One SPMD program exercising all three collectives; returns the tuple of
+/// results every rank observed so the caller can compare whole executions.
+fn run_collectives(n_procs: usize, plan: FaultPlan) -> Vec<(i64, i64, i64)> {
+    run_spmd_with(
+        &Backend::Sim(plan),
+        n_procs,
+        |ctx: &dyn Comm<CollMsg<i64>>| {
+            let mut coll = Collectives::new();
+            coll.barrier(ctx, 0, 0);
+            let b = coll.broadcast(ctx, 1, 0, (ctx.rank() == 0).then_some(41));
+            let s = coll.all_reduce(ctx, 2, ctx.rank() as i64 + 1, |a, c| a + c);
+            let m = coll.all_reduce(ctx, 3, ctx.rank() as i64 * 3, i64::max);
+            (b, s, m)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every `SchedPolicy`, the collectives return values identical to
+    /// the uniform policy on the same seed — adversarial scheduling may
+    /// starve, reorder, or FIFO-restrict delivery but never change results.
+    #[test]
+    fn every_policy_matches_uniform_collectives(
+        seed in 0u64..100_000,
+        n_procs in 2usize..5,
+        drop in 0.0f64..0.35,
+        dup in 0.0f64..0.35,
+        victim in 0usize..8,
+    ) {
+        let base_plan = FaultPlan::builder(seed)
+            .drop_lossy(drop)
+            .duplicate_lossy(dup)
+            .build();
+        let baseline = run_collectives(n_procs, base_plan);
+        prop_assert_eq!(baseline.len(), n_procs);
+        let expect_sum: i64 = (1..=n_procs as i64).sum();
+        for (rank, &(b, s, m)) in baseline.iter().enumerate() {
+            prop_assert_eq!(b, 41, "rank {} broadcast under Uniform", rank);
+            prop_assert_eq!(s, expect_sum, "rank {} sum under Uniform", rank);
+            prop_assert_eq!(m, (n_procs as i64 - 1) * 3, "rank {} max under Uniform", rank);
+        }
+        let policies = [
+            SchedPolicy::Uniform,
+            SchedPolicy::StarveRank(victim % n_procs),
+            SchedPolicy::DeliverLast,
+            SchedPolicy::FifoPerPair,
+        ];
+        for policy in policies {
+            let plan = FaultPlan::builder(seed)
+                .drop_lossy(drop)
+                .duplicate_lossy(dup)
+                .policy(policy)
+                .build();
+            let got = run_collectives(n_procs, plan);
+            prop_assert_eq!(
+                &got, &baseline,
+                "policy {:?} diverged from Uniform (seed {}, p={}, drop={}, dup={})",
+                policy, seed, n_procs, drop, dup
+            );
+        }
+    }
+
+    /// Same `(seed, policy)` replays the same execution: the whole point of
+    /// the deadlock dump naming the pair is that it is sufficient to replay.
+    #[test]
+    fn seed_policy_pair_replays_identically(
+        seed in 0u64..100_000,
+        n_procs in 2usize..5,
+        which in 0usize..4,
+    ) {
+        let policy = match which {
+            0 => SchedPolicy::Uniform,
+            1 => SchedPolicy::StarveRank(seed as usize % n_procs),
+            2 => SchedPolicy::DeliverLast,
+            _ => SchedPolicy::FifoPerPair,
+        };
+        let plan = FaultPlan::builder(seed)
+            .drop_lossy(0.2)
+            .duplicate_lossy(0.2)
+            .policy(policy)
+            .build();
+        let a = run_collectives(n_procs, plan);
+        let b = run_collectives(n_procs, plan);
+        prop_assert_eq!(a, b, "replay of (seed {}, policy {:?}) diverged", seed, policy);
+    }
+}

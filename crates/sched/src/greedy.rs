@@ -91,13 +91,22 @@ impl Schedule {
 
     /// Writes the predicted timeline as CSV
     /// (`task,proc,kind,cblk,start,end,cost`), one row per task in global
-    /// mapping order — loadable by any Gantt/trace viewer.
+    /// mapping order — loadable by any Gantt/trace viewer. The leading
+    /// comment line carries the schedule [`digest`](Self::digest) so a
+    /// trace can be matched to the chaos suite's replayable
+    /// `(seed, policy, digest)` triple.
     pub fn write_timeline_csv<W: std::io::Write>(
         &self,
         g: &TaskGraph,
         mut w: W,
     ) -> std::io::Result<()> {
         use crate::tasks::TaskKind;
+        writeln!(
+            w,
+            "# schedule_digest={:#018x} n_procs={}",
+            self.digest(),
+            self.n_procs
+        )?;
         writeln!(w, "task,proc,kind,cblk,start,end,cost")?;
         for t in 0..g.n_tasks() {
             let kind = match g.kinds[t] {
@@ -588,8 +597,11 @@ mod tests {
         let mut buf = Vec::new();
         s.write_timeline_csv(&tg, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        assert_eq!(text.lines().count(), tg.n_tasks() + 1); // header + rows
-        assert!(text.starts_with("task,proc,kind,cblk,start,end,cost"));
+        // digest comment + header + rows
+        assert_eq!(text.lines().count(), tg.n_tasks() + 2);
+        let expect = format!("# schedule_digest={:#018x} n_procs={}", s.digest(), s.n_procs);
+        assert!(text.starts_with(&expect), "missing digest line: {text:.80}");
+        assert!(text.lines().nth(1).unwrap().starts_with("task,proc,kind,cblk,start,end,cost"));
     }
 
     #[test]

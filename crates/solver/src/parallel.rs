@@ -21,11 +21,11 @@ use pastix_kernels::factor::{ldlt_factor_inplace, FactorError};
 use pastix_kernels::{
     gemm_nt_acc, scale_cols_by_diag_into, trsm_ldlt_panel, Scalar,
 };
-use pastix_runtime::sim::{run_sim_spmd, FaultPlan};
-use pastix_runtime::{run_spmd, Comm};
+use pastix_runtime::sim::FaultPlan;
+use pastix_runtime::{run_spmd_with, Backend, Comm};
 use pastix_sched::{Schedule, TaskGraph, TaskKind};
 use pastix_symbolic::SymbolMatrix;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Message shipped between logical processors. (`Clone` is only exercised
 /// by the simulator's duplicate-delivery fault.)
@@ -34,11 +34,21 @@ enum PMsg<T> {
     /// Aggregated update block for the region of task `dst`, carrying
     /// `pairs` block contributions (fewer than the full count when the
     /// Fan-Both memory fallback flushed a partial aggregate early).
-    Aub { dst: u32, pairs: u32, data: Vec<T> },
+    /// `seq` is a per-sender sequence number: together with the envelope's
+    /// sender it identifies the AUB so receivers can discard the
+    /// simulator's duplicate deliveries (an AUB applied twice would
+    /// corrupt the region *and* underflow the pending-pair counter).
+    Aub {
+        dst: u32,
+        seq: u32,
+        pairs: u32,
+        data: Vec<T>,
+    },
     /// Factor data produced by task `src` (`L_kk D_k` of a FACTOR, or
-    /// `[L_b | F_b]` of a BDIV).
+    /// `[L_b | F_b]` of a BDIV). Duplicate delivery is harmless: the cache
+    /// insert is idempotent.
     Fac { src: u32, data: Vec<T> },
-    /// A processor hit a zero pivot; everyone unwinds.
+    /// A processor hit a zero pivot; everyone unwinds. Idempotent.
     Abort { col: u32 },
 }
 
@@ -193,6 +203,12 @@ struct Worker<'a, T> {
     aub_memory_limit: Option<usize>,
     /// Factor data received from remote producers.
     fac_cache: HashMap<u32, Vec<T>>,
+    /// AUBs already applied, keyed by (sender, sender-sequence): the
+    /// duplicate-delivery fault replays a message verbatim, so this set is
+    /// what makes AUB application exactly-once.
+    seen_aubs: HashSet<(usize, u32)>,
+    /// Next sequence number for this worker's outgoing AUBs.
+    aub_seq: u32,
     aborted: Option<FactorError>,
     /// Deterministic fault injection (chaos suite only; `Default` is off).
     chaos: ChaosOptions,
@@ -200,9 +216,17 @@ struct Worker<'a, T> {
 
 impl<'a, T: Scalar> Worker<'a, T> {
     /// Handles one incoming message.
-    fn handle(&mut self, msg: PMsg<T>) {
+    fn handle(&mut self, from: usize, msg: PMsg<T>) {
         match msg {
-            PMsg::Aub { dst, pairs, data } => {
+            PMsg::Aub {
+                dst,
+                seq,
+                pairs,
+                data,
+            } => {
+                if !self.seen_aubs.insert((from, seq)) {
+                    return; // duplicate delivery
+                }
                 // Updates commute: apply immediately into the region.
                 let region = self.regions.get_mut(&dst).expect("AUB for unowned task");
                 for (r, v) in region.iter_mut().zip(&data) {
@@ -221,10 +245,10 @@ impl<'a, T: Scalar> Worker<'a, T> {
     }
 
     /// Blocks until every remote AUB of task `t` has been applied.
-    fn wait_aubs<C: Comm<PMsg<T>>>(&mut self, ctx: &C, t: u32) -> Result<(), FactorError> {
+    fn wait_aubs<C: Comm<PMsg<T>> + ?Sized>(&mut self, ctx: &C, t: u32) -> Result<(), FactorError> {
         while self.aborted.is_none() && self.aubs_pending.get(&t).copied().unwrap_or(0) > 0 {
             let env = ctx.recv();
-            self.handle(env.msg);
+            self.handle(env.from, env.msg);
         }
         match self.aborted {
             Some(e) => Err(e),
@@ -234,7 +258,11 @@ impl<'a, T: Scalar> Worker<'a, T> {
 
     /// Obtains factor data produced by task `src` (cloned; local regions
     /// are read from the store, remote ones from the cache / mailbox).
-    fn get_fac<C: Comm<PMsg<T>>>(&mut self, ctx: &C, src: u32) -> Result<Vec<T>, FactorError> {
+    fn get_fac<C: Comm<PMsg<T>> + ?Sized>(
+        &mut self,
+        ctx: &C,
+        src: u32,
+    ) -> Result<Vec<T>, FactorError> {
         if self.sched.task_proc[src as usize] == self.rank {
             return Ok(self.regions.get(&src).expect("local factor region missing").clone());
         }
@@ -246,15 +274,40 @@ impl<'a, T: Scalar> Worker<'a, T> {
                 return Ok(data.clone());
             }
             let env = ctx.recv();
-            self.handle(env.msg);
+            self.handle(env.from, env.msg);
         }
+    }
+
+    /// Ships one AUB over the faulty path: drops are retried (the
+    /// transport reports them), duplicates are filtered by the receiver's
+    /// `seen_aubs`; a closed peer means the machine is unwinding (abort or
+    /// injected panic) and the message no longer matters.
+    fn send_aub<C: Comm<PMsg<T>> + ?Sized>(
+        &mut self,
+        ctx: &C,
+        q: usize,
+        dst: u32,
+        pairs: u32,
+        data: Vec<T>,
+    ) {
+        let seq = self.aub_seq;
+        self.aub_seq += 1;
+        let _ = ctx.send_resilient(
+            q,
+            PMsg::Aub {
+                dst,
+                seq,
+                pairs,
+                data,
+            },
+        );
     }
 
     /// Routes one computed contribution (`hr × hc` starting at `c_data`):
     /// local regions are updated directly; remote ones accumulate into the
     /// AUB buffer, which is sent when its pair count reaches zero.
     #[allow(clippy::too_many_arguments)]
-    fn apply_contribution<C: Comm<PMsg<T>>>(
+    fn apply_contribution<C: Comm<PMsg<T>> + ?Sized>(
         &mut self,
         ctx: &C,
         route: &PairRoute,
@@ -294,7 +347,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
             if entry.1 == 0 {
                 // Total local aggregation complete: ship the AUB.
                 let (data, _, pairs) = self.aub_out.remove(&route.dst).unwrap();
-                ctx.send_lossy(q as usize, PMsg::Aub { dst: route.dst, pairs, data });
+                self.send_aub(ctx, q as usize, route.dst, pairs, data);
             } else if let Some(limit) = self.aub_memory_limit {
                 // Fan-Both fallback: "an aggregated update block can be
                 // sent with partial aggregation to free memory space".
@@ -309,7 +362,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
     /// Sends the largest outgoing AUB buffer with whatever it has
     /// aggregated so far (its pair budget stays open; the buffer is
     /// re-created on the next contribution).
-    fn flush_largest_aub<C: Comm<PMsg<T>>>(&mut self, ctx: &C) {
+    fn flush_largest_aub<C: Comm<PMsg<T>> + ?Sized>(&mut self, ctx: &C) {
         let Some((&dst, _)) = self
             .aub_out
             .iter()
@@ -320,7 +373,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
         };
         let (data, left, pairs) = self.aub_out.remove(&dst).unwrap();
         let q = self.sched.task_proc[dst as usize] as usize;
-        ctx.send_lossy(q, PMsg::Aub { dst, pairs, data });
+        self.send_aub(ctx, q, dst, pairs, data);
         if left > 0 {
             // Keep the remaining pair budget with an empty placeholder;
             // the buffer is re-allocated on the next contribution.
@@ -328,17 +381,18 @@ impl<'a, T: Scalar> Worker<'a, T> {
         }
     }
 
-    fn abort<C: Comm<PMsg<T>>>(&mut self, ctx: &C, col: usize) {
+    fn abort<C: Comm<PMsg<T>> + ?Sized>(&mut self, ctx: &C, col: usize) {
         for q in 0..ctx.n_procs() {
             if q != self.rank as usize {
-                ctx.send_lossy(q, PMsg::Abort { col: col as u32 });
+                // A peer that already exited no longer needs the abort.
+                let _ = ctx.send_resilient(q, PMsg::Abort { col: col as u32 });
             }
         }
     }
 
     /// Sends factor data of task `t` to every remote consumer processor
     /// (deduplicated).
-    fn send_fac<C: Comm<PMsg<T>>>(&mut self, ctx: &C, t: u32) {
+    fn send_fac<C: Comm<PMsg<T>> + ?Sized>(&mut self, ctx: &C, t: u32) {
         let mut procs: Vec<u32> = self
             .graph
             .out_edges(t as usize)
@@ -353,12 +407,13 @@ impl<'a, T: Scalar> Worker<'a, T> {
         }
         let data = self.regions.get(&t).expect("factor region missing").clone();
         for q in procs {
-            ctx.send_lossy(q as usize, PMsg::Fac { src: t, data: data.clone() });
+            // Retried on drop; a closed peer is already unwinding.
+            let _ = ctx.send_resilient(q as usize, PMsg::Fac { src: t, data: data.clone() });
         }
     }
 
     /// Executes the tasks of `K_p` in schedule order.
-    fn run<C: Comm<PMsg<T>>>(&mut self, ctx: &C) -> Result<(), FactorError> {
+    fn run<C: Comm<PMsg<T>> + ?Sized>(&mut self, ctx: &C) -> Result<(), FactorError> {
         let order: Vec<u32> = self.sched.proc_tasks[self.rank as usize].clone();
         for (idx, t) in order.into_iter().enumerate() {
             if let Some(e) = self.aborted {
@@ -382,7 +437,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
         Ok(())
     }
 
-    fn run_comp1d<C: Comm<PMsg<T>>>(&mut self, ctx: &C, t: u32, k: usize) -> Result<(), FactorError> {
+    fn run_comp1d<C: Comm<PMsg<T>> + ?Sized>(&mut self, ctx: &C, t: u32, k: usize) -> Result<(), FactorError> {
         self.wait_aubs(ctx, t)?;
         let cb = &self.sym.cblks[k];
         let w = cb.width();
@@ -440,7 +495,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
         Ok(())
     }
 
-    fn run_factor<C: Comm<PMsg<T>>>(&mut self, ctx: &C, t: u32, k: usize) -> Result<(), FactorError> {
+    fn run_factor<C: Comm<PMsg<T>> + ?Sized>(&mut self, ctx: &C, t: u32, k: usize) -> Result<(), FactorError> {
         self.wait_aubs(ctx, t)?;
         let cb = &self.sym.cblks[k];
         let w = cb.width();
@@ -459,7 +514,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
         Ok(())
     }
 
-    fn run_bdiv<C: Comm<PMsg<T>>>(&mut self, ctx: &C, t: u32, k: usize, blok: usize) -> Result<(), FactorError> {
+    fn run_bdiv<C: Comm<PMsg<T>> + ?Sized>(&mut self, ctx: &C, t: u32, k: usize, blok: usize) -> Result<(), FactorError> {
         self.wait_aubs(ctx, t)?;
         let w = self.sym.cblks[k].width();
         let hb = self.sym.bloks[blok].nrows();
@@ -478,7 +533,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
         Ok(())
     }
 
-    fn run_bmod<C: Comm<PMsg<T>>>(
+    fn run_bmod<C: Comm<PMsg<T>> + ?Sized>(
         &mut self,
         ctx: &C,
         _t: u32,
@@ -520,9 +575,16 @@ pub struct ChaosOptions {
     pub zero_pivot_task: Option<u32>,
 }
 
-/// Options of the parallel factorization.
+/// Options of the parallel factorization and solve: the execution backend
+/// plus solver-level knobs. One options value drives every entry point —
+/// the numerical codepath is identical on all backends.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ParallelOptions {
+    /// Execution backend: real OS threads ([`Backend::Threads`], default)
+    /// or the deterministic fault-injecting simulator
+    /// ([`Backend::Sim`]) whose whole execution is a pure function of the
+    /// embedded [`FaultPlan`]'s `(seed, policy)`.
+    pub backend: Backend,
     /// Fan-Both memory cap in scalars per processor: when the outgoing
     /// aggregation buffers exceed it, the largest is sent partially
     /// aggregated (paper §2: *"if memory is a critical issue, an
@@ -546,7 +608,8 @@ pub fn factorize_parallel<T: Scalar>(
     factorize_parallel_with(sym, a, graph, sched, &ParallelOptions::default())
 }
 
-/// [`factorize_parallel`] with explicit options.
+/// [`factorize_parallel`] with explicit options; `opts.backend` selects
+/// the execution substrate (threads or the deterministic simulator).
 pub fn factorize_parallel_with<T: Scalar>(
     sym: &SymbolMatrix,
     a: &SymCsc<T>,
@@ -558,16 +621,19 @@ pub fn factorize_parallel_with<T: Scalar>(
         "schedule must be built on the same split symbol");
     let layout = PanelLayout::new(sym);
     let routing = build_routing(sym, &layout, graph, sched);
-    let results = run_spmd::<PMsg<T>, Result<HashMap<u32, Vec<T>>, FactorError>, _>(
+    let results = run_spmd_with::<PMsg<T>, Result<HashMap<u32, Vec<T>>, FactorError>, _>(
+        &opts.backend,
         sched.n_procs,
-        |ctx| worker_run(&ctx, sym, &layout, graph, sched, &routing, a, opts),
+        |ctx| worker_run(ctx, sym, &layout, graph, sched, &routing, a, opts),
     );
     assemble(sym, &layout, graph, results)
 }
 
-/// [`factorize_parallel_with`] on the deterministic simulation backend:
-/// the interleaving (and any injected runtime fault) is a pure function of
-/// `plan`, so a failing execution replays exactly from its seed.
+/// [`factorize_parallel_with`] on the deterministic simulation backend.
+#[deprecated(
+    since = "0.1.0",
+    note = "set `ParallelOptions::backend = Backend::Sim(plan)` and call `factorize_parallel_with`"
+)]
 pub fn factorize_parallel_sim<T: Scalar>(
     sym: &SymbolMatrix,
     a: &SymCsc<T>,
@@ -576,21 +642,16 @@ pub fn factorize_parallel_sim<T: Scalar>(
     opts: &ParallelOptions,
     plan: &FaultPlan,
 ) -> Result<FactorStorage<T>, FactorError> {
-    assert!(std::ptr::eq(sym, &graph.split.symbol) || sym == &graph.split.symbol,
-        "schedule must be built on the same split symbol");
-    let layout = PanelLayout::new(sym);
-    let routing = build_routing(sym, &layout, graph, sched);
-    let results = run_sim_spmd::<PMsg<T>, Result<HashMap<u32, Vec<T>>, FactorError>, _>(
-        sched.n_procs,
-        plan,
-        |ctx| worker_run(&ctx, sym, &layout, graph, sched, &routing, a, opts),
-    );
-    assemble(sym, &layout, graph, results)
+    let opts = ParallelOptions {
+        backend: Backend::Sim(*plan),
+        ..*opts
+    };
+    factorize_parallel_with(sym, a, graph, sched, &opts)
 }
 
 /// The SPMD body executed by one logical processor, on either backend.
 #[allow(clippy::too_many_arguments)]
-fn worker_run<T: Scalar, C: Comm<PMsg<T>>>(
+fn worker_run<T: Scalar, C: Comm<PMsg<T>> + ?Sized>(
     ctx: &C,
     sym: &SymbolMatrix,
     layout: &PanelLayout,
@@ -630,6 +691,8 @@ fn worker_run<T: Scalar, C: Comm<PMsg<T>>>(
         aub_out: HashMap::new(),
         aub_memory_limit: opts.aub_memory_limit,
         fac_cache: HashMap::new(),
+        seen_aubs: HashSet::new(),
+        aub_seq: 0,
         aborted: None,
         chaos: opts.chaos,
     };

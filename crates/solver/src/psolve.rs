@@ -15,16 +15,21 @@
 //! message-passing structure of the solve: segment broadcasts, update
 //! aggregation, and the demand-driven reception the static order allows.
 
+use crate::parallel::ParallelOptions;
 use crate::storage::FactorStorage;
 use pastix_kernels::{gemm_nn_acc, solve_unit_lower, solve_unit_lower_trans, Scalar};
-use pastix_runtime::sim::{run_sim_spmd, FaultPlan};
-use pastix_runtime::{run_spmd, Comm};
+use pastix_runtime::sim::FaultPlan;
+use pastix_runtime::{run_spmd_with, Backend, Comm};
 use pastix_sched::{Schedule, TaskGraph};
 use pastix_symbolic::SymbolMatrix;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Messages of the distributed solve. (`Clone` is only exercised by the
-/// simulator's duplicate-delivery fault.)
+/// simulator's duplicate-delivery fault.) Every variant is naturally
+/// keyed — `XFwd`/`XBwd` by the column block, the AUBs by (sender, column
+/// block) since each sender aggregates at most one AUB per target — so
+/// receivers deduplicate injected duplicate deliveries with seen-sets
+/// instead of sequence numbers.
 #[derive(Clone)]
 enum SMsg<T> {
     /// Solved segment of a column block (forward sweep).
@@ -129,16 +134,36 @@ pub fn solve_parallel<T: Scalar>(
     sched: &Schedule,
     b_perm: &[T],
 ) -> Vec<T> {
+    solve_parallel_with(sym, storage, graph, sched, b_perm, &ParallelOptions::default())
+}
+
+/// [`solve_parallel`] with explicit options; `opts.backend` selects the
+/// execution substrate exactly as for the factorization. (The
+/// factorization-only knobs of [`ParallelOptions`] — memory cap, chaos —
+/// are ignored by the solve.)
+pub fn solve_parallel_with<T: Scalar>(
+    sym: &SymbolMatrix,
+    storage: &FactorStorage<T>,
+    graph: &TaskGraph,
+    sched: &Schedule,
+    b_perm: &[T],
+    opts: &ParallelOptions,
+) -> Vec<T> {
     assert_eq!(b_perm.len(), sym.n);
     let routing = build_solve_routing(sym, graph, sched);
-    let results = run_spmd::<SMsg<T>, Vec<(u32, Vec<T>)>, _>(sched.n_procs, |ctx| {
-        solve_worker_run(&ctx, sym, storage, &routing, b_perm)
-    });
+    let results = run_spmd_with::<SMsg<T>, Vec<(u32, Vec<T>)>, _>(
+        &opts.backend,
+        sched.n_procs,
+        |ctx| solve_worker_run(ctx, sym, storage, &routing, b_perm),
+    );
     gather_solution(sym, results)
 }
 
-/// [`solve_parallel`] on the deterministic simulation backend: message
-/// delivery and processor interleaving are a pure function of `plan`.
+/// [`solve_parallel_with`] on the deterministic simulation backend.
+#[deprecated(
+    since = "0.1.0",
+    note = "set `ParallelOptions::backend = Backend::Sim(plan)` and call `solve_parallel_with`"
+)]
 pub fn solve_parallel_sim<T: Scalar>(
     sym: &SymbolMatrix,
     storage: &FactorStorage<T>,
@@ -147,16 +172,15 @@ pub fn solve_parallel_sim<T: Scalar>(
     b_perm: &[T],
     plan: &FaultPlan,
 ) -> Vec<T> {
-    assert_eq!(b_perm.len(), sym.n);
-    let routing = build_solve_routing(sym, graph, sched);
-    let results = run_sim_spmd::<SMsg<T>, Vec<(u32, Vec<T>)>, _>(sched.n_procs, plan, |ctx| {
-        solve_worker_run(&ctx, sym, storage, &routing, b_perm)
-    });
-    gather_solution(sym, results)
+    let opts = ParallelOptions {
+        backend: Backend::Sim(*plan),
+        ..Default::default()
+    };
+    solve_parallel_with(sym, storage, graph, sched, b_perm, &opts)
 }
 
 /// The SPMD body of one logical processor of the solve, on either backend.
-fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>>>(
+fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>> + ?Sized>(
     ctx: &C,
     sym: &SymbolMatrix,
     storage: &FactorStorage<T>,
@@ -173,10 +197,14 @@ fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>>>(
         x: HashMap::new(),
         fwd_pending: HashMap::new(),
         bwd_pending: HashMap::new(),
-        x_cache: HashMap::new(),
         fwd_aub_out: HashMap::new(),
         bwd_aub_out: HashMap::new(),
         bwd_partial_in: HashMap::new(),
+        fwd_x_seen: HashSet::new(),
+        bwd_x_seen: HashSet::new(),
+        fwd_aub_seen: HashSet::new(),
+        bwd_aub_seen: HashSet::new(),
+        bwd_early: Vec::new(),
     };
     // Initialize owned segments with b, and pending counters.
     for k in 0..ns {
@@ -219,8 +247,6 @@ struct SolveWorker<'a, T> {
     fwd_pending: HashMap<u32, u32>,
     /// Remaining partial events before a cblk's backward solve.
     bwd_pending: HashMap<u32, u32>,
-    /// Segments received from other owners (forward or backward phase).
-    x_cache: HashMap<u32, Vec<T>>,
     /// Outgoing forward AUB accumulators: (target cblk) → (buffer, left).
     fwd_aub_out: HashMap<u32, (Vec<T>, u32)>,
     /// Outgoing backward AUB accumulators.
@@ -229,6 +255,17 @@ struct SolveWorker<'a, T> {
     /// D division (the sequential order is D-divide, then subtract the
     /// `Lᵀ·x` partials, then the transposed diagonal solve).
     bwd_partial_in: HashMap<u32, Vec<T>>,
+    /// Segments already processed, for exactly-once application under the
+    /// simulator's duplicate-delivery fault.
+    fwd_x_seen: HashSet<u32>,
+    bwd_x_seen: HashSet<u32>,
+    /// AUBs already applied, keyed (sender, target cblk).
+    fwd_aub_seen: HashSet<(usize, u32)>,
+    bwd_aub_seen: HashSet<(usize, u32)>,
+    /// Backward-sweep traffic that arrived while this processor was still
+    /// in its forward sweep (a faster peer may legitimately race ahead);
+    /// drained at the start of the backward sweep.
+    bwd_early: Vec<(usize, SMsg<T>)>,
 }
 
 impl<T: Scalar> SolveWorker<'_, T> {
@@ -260,7 +297,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
     // Forward sweep: L·y = b, ascending column blocks.
     // ------------------------------------------------------------------
 
-    fn forward<C: Comm<SMsg<T>>>(&mut self, ctx: &C) {
+    fn forward<C: Comm<SMsg<T>> + ?Sized>(&mut self, ctx: &C) {
         let ns = self.sym.n_cblks();
         // Expected remote x segments whose bloks I own.
         let mut expected_x: Vec<u32> = Vec::new();
@@ -290,33 +327,43 @@ impl<T: Scalar> SolveWorker<'_, T> {
             let env = ctx.recv();
             match env.msg {
                 SMsg::XFwd { cblk, data } => {
+                    if !self.fwd_x_seen.insert(cblk) {
+                        continue; // duplicate delivery
+                    }
                     self.fwd_blok_contributions(ctx, cblk as usize, &data);
-                    self.x_cache.insert(cblk, data);
                     expected_left -= 1;
                 }
                 SMsg::FwdAub { cblk, data } => {
+                    if !self.fwd_aub_seen.insert((env.from, cblk)) {
+                        continue; // duplicate delivery
+                    }
                     let seg = self.x.get_mut(&cblk).expect("AUB for unowned segment");
                     for (s, v) in seg.iter_mut().zip(&data) {
                         *s -= *v;
                     }
                     *self.fwd_pending.get_mut(&cblk).unwrap() -= 1;
                 }
-                _ => unreachable!("backward message during forward sweep"),
+                msg @ (SMsg::XBwd { .. } | SMsg::BwdAub { .. }) => {
+                    // A peer that finished its forward sweep may already be
+                    // descending; park its traffic for our backward sweep.
+                    self.bwd_early.push((env.from, msg));
+                }
             }
         }
     }
 
     /// Diagonal forward solve of an owned cblk, then fan the segment out.
-    fn fwd_solve_cblk<C: Comm<SMsg<T>>>(&mut self, ctx: &C, k: usize) {
+    fn fwd_solve_cblk<C: Comm<SMsg<T>> + ?Sized>(&mut self, ctx: &C, k: usize) {
         let cb = &self.sym.cblks[k];
         let w = cb.width();
         let lda = self.storage.layout.panel_rows(k);
         let seg = self.x.get_mut(&(k as u32)).unwrap();
         solve_unit_lower(w, &self.storage.panels[k], lda, seg, 1, w);
         let seg = seg.clone();
-        // Ship to the owners of this cblk's off-diagonal bloks.
+        // Ship to the owners of this cblk's off-diagonal bloks. Drops are
+        // retried; a closed peer is already unwinding (panic teardown).
         for q in self.blok_owner_procs(k) {
-            ctx.send_lossy(q as usize, SMsg::XFwd { cblk: k as u32, data: seg.clone() });
+            let _ = ctx.send_resilient(q as usize, SMsg::XFwd { cblk: k as u32, data: seg.clone() });
         }
         // Process my own bloks of k immediately.
         self.fwd_blok_contributions(ctx, k, &seg);
@@ -324,7 +371,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
 
     /// Computes `L_b · x_k` for every blok of `k` this processor owns and
     /// routes the contributions.
-    fn fwd_blok_contributions<C: Comm<SMsg<T>>>(&mut self, ctx: &C, k: usize, xk: &[T]) {
+    fn fwd_blok_contributions<C: Comm<SMsg<T>> + ?Sized>(&mut self, ctx: &C, k: usize, xk: &[T]) {
         let cb = &self.sym.cblks[k];
         let w = cb.width();
         let lda = self.storage.layout.panel_rows(k);
@@ -375,7 +422,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
                 entry.1 -= 1;
                 if entry.1 == 0 {
                     let (data, _) = self.fwd_aub_out.remove(&(t as u32)).unwrap();
-                    ctx.send_lossy(owner as usize, SMsg::FwdAub { cblk: t as u32, data });
+                    let _ = ctx.send_resilient(owner as usize, SMsg::FwdAub { cblk: t as u32, data });
                 }
             }
         }
@@ -385,9 +432,8 @@ impl<T: Scalar> SolveWorker<'_, T> {
     // Backward sweep: D·z = y then Lᵀ·x = z, descending column blocks.
     // ------------------------------------------------------------------
 
-    fn backward<C: Comm<SMsg<T>>>(&mut self, ctx: &C) {
+    fn backward<C: Comm<SMsg<T>> + ?Sized>(&mut self, ctx: &C) {
         let ns = self.sym.n_cblks();
-        self.x_cache.clear();
         // Expected final segments of cblks whose *facing* bloks I own.
         let mut expected_left = 0usize;
         for t in 0..ns {
@@ -400,6 +446,11 @@ impl<T: Scalar> SolveWorker<'_, T> {
             {
                 expected_left += 1;
             }
+        }
+        // First replay any backward traffic that overtook our forward sweep.
+        let early = std::mem::take(&mut self.bwd_early);
+        for (from, msg) in early {
+            self.handle_bwd(ctx, from, msg, &mut expected_left);
         }
         let own: Vec<u32> = (0..ns as u32)
             .rev()
@@ -416,30 +467,49 @@ impl<T: Scalar> SolveWorker<'_, T> {
                 }
             }
             let env = ctx.recv();
-            match env.msg {
-                SMsg::XBwd { cblk, data } => {
-                    self.bwd_blok_partials(ctx, cblk as usize, &data);
-                    self.x_cache.insert(cblk, data);
-                    expected_left -= 1;
+            self.handle_bwd(ctx, env.from, env.msg, &mut expected_left);
+        }
+    }
+
+    /// Applies one backward-sweep message (live or parked during the
+    /// forward sweep). Forward-sweep messages reaching this point can only
+    /// be late duplicates — every original was consumed before the forward
+    /// sweep could end — and are discarded.
+    fn handle_bwd<C: Comm<SMsg<T>> + ?Sized>(
+        &mut self,
+        ctx: &C,
+        from: usize,
+        msg: SMsg<T>,
+        expected_left: &mut usize,
+    ) {
+        match msg {
+            SMsg::XBwd { cblk, data } => {
+                if !self.bwd_x_seen.insert(cblk) {
+                    return; // duplicate delivery
                 }
-                SMsg::BwdAub { cblk, data } => {
-                    let buf = self
-                        .bwd_partial_in
-                        .entry(cblk)
-                        .or_insert_with(|| vec![T::zero(); data.len()]);
-                    for (s, v) in buf.iter_mut().zip(&data) {
-                        *s += *v;
-                    }
-                    *self.bwd_pending.get_mut(&cblk).unwrap() -= 1;
-                }
-                _ => unreachable!("forward message during backward sweep"),
+                self.bwd_blok_partials(ctx, cblk as usize, &data);
+                *expected_left -= 1;
             }
+            SMsg::BwdAub { cblk, data } => {
+                if !self.bwd_aub_seen.insert((from, cblk)) {
+                    return; // duplicate delivery
+                }
+                let buf = self
+                    .bwd_partial_in
+                    .entry(cblk)
+                    .or_insert_with(|| vec![T::zero(); data.len()]);
+                for (s, v) in buf.iter_mut().zip(&data) {
+                    *s += *v;
+                }
+                *self.bwd_pending.get_mut(&cblk).unwrap() -= 1;
+            }
+            SMsg::XFwd { .. } | SMsg::FwdAub { .. } => {}
         }
     }
 
     /// Backward step of an owned cblk: divide by D, subtract the (already
     /// received) partials, solve the transposed unit diagonal, broadcast.
-    fn bwd_solve_cblk<C: Comm<SMsg<T>>>(&mut self, ctx: &C, k: usize) {
+    fn bwd_solve_cblk<C: Comm<SMsg<T>> + ?Sized>(&mut self, ctx: &C, k: usize) {
         let cb = &self.sym.cblks[k];
         let w = cb.width();
         let lda = self.storage.layout.panel_rows(k);
@@ -461,14 +531,14 @@ impl<T: Scalar> SolveWorker<'_, T> {
         solve_unit_lower_trans(w, panel, lda, seg, 1, w);
         let seg = seg.clone();
         for q in self.facing_owner_procs(k) {
-            ctx.send_lossy(q as usize, SMsg::XBwd { cblk: k as u32, data: seg.clone() });
+            let _ = ctx.send_resilient(q as usize, SMsg::XBwd { cblk: k as u32, data: seg.clone() });
         }
         self.bwd_blok_partials(ctx, k, &seg);
     }
 
     /// Computes `L_bᵀ · x_rows` for every blok facing `t` this processor
     /// owns and routes the partials toward the blok's source cblk.
-    fn bwd_blok_partials<C: Comm<SMsg<T>>>(&mut self, ctx: &C, t: usize, xt: &[T]) {
+    fn bwd_blok_partials<C: Comm<SMsg<T>> + ?Sized>(&mut self, ctx: &C, t: usize, xt: &[T]) {
         let tcb = &self.sym.cblks[t];
         // Iterate bloks facing t that I own; each belongs to a source cblk
         // k < t and contributes to x_k.
@@ -523,7 +593,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
                 entry.1 -= 1;
                 if entry.1 == 0 {
                     let (data, _) = self.bwd_aub_out.remove(&(k as u32)).unwrap();
-                    ctx.send_lossy(owner as usize, SMsg::BwdAub { cblk: k as u32, data });
+                    let _ = ctx.send_resilient(owner as usize, SMsg::BwdAub { cblk: k as u32, data });
                 }
             }
         }

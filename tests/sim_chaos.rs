@@ -1,25 +1,29 @@
-//! Seeded chaos suite for the fan-in solver on the deterministic
+//! Seeded chaos suite for the fan-in/fan-both solver on the deterministic
 //! simulation runtime.
 //!
-//! Every execution here is a pure function of its printed seed: the
-//! simulator serializes the logical processors and lets a seeded RNG pick
-//! which one runs next and when each message is delivered, so any failure
-//! this suite ever finds is replayed exactly by re-running with the same
-//! seed (see README § Testing).
+//! Every execution here is a pure function of its printed `(seed, policy)`
+//! pair: the simulator serializes the logical processors and lets a seeded
+//! RNG pick among the actions the [`SchedPolicy`] leaves enabled, so any
+//! failure this suite ever finds is replayed exactly by re-running with
+//! the same fault plan (see README § Testing). Failure diagnostics print
+//! the replayable `(seed, policy, schedule digest)` triple.
 //!
-//! Scaling: `PASTIX_CHAOS_SEEDS` overrides the total number of seeded
-//! interleavings of the main agreement sweep (default 216; CI smoke uses
-//! 50).
+//! Scaling knobs:
+//! * `PASTIX_CHAOS_SEEDS` — total seeded interleavings of the agreement
+//!   sweeps (default 216; CI smoke uses 50).
+//! * `PASTIX_CHAOS_POLICY` — scheduling policy of the main sweep:
+//!   `uniform` (default), `starve` (victim = seed % procs),
+//!   `deliver-last`, or `fifo`. CI runs the sweep once per policy.
 
 use pastix::graph::gen::{grid_spd, Stencil, ValueKind};
 use pastix::graph::{canonical_solution, rhs_for_solution, SymCsc};
 use pastix::machine::MachineModel;
 use pastix::ordering::{nested_dissection, OrderingOptions};
-use pastix::runtime::sim::{run_sim_spmd, FaultPlan, SimRng};
-use pastix::runtime::TaggedMailbox;
+use pastix::runtime::sim::{run_sim_spmd, FaultPlan, SchedPolicy, SimRng};
+use pastix::runtime::{Backend, TaggedMailbox};
 use pastix::sched::{map_and_schedule, DistStrategy, Mapping, SchedOptions, TaskKind};
 use pastix::solver::{
-    factorize_parallel_sim, factorize_sequential, solve_in_place, solve_parallel_sim,
+    factorize_parallel_with, factorize_sequential, solve_in_place, solve_parallel_with,
     ChaosOptions, FactorStorage, ParallelOptions,
 };
 use pastix::symbolic::{analyze, AnalysisOptions};
@@ -34,6 +38,64 @@ struct Case {
     seq: FactorStorage<f64>,
     b: Vec<f64>,
     x_seq: Vec<f64>,
+}
+
+impl Case {
+    /// The replayable failure triple plus the builder call reproducing the
+    /// plan — everything a developer needs to replay a red run.
+    fn diag(&self, plan: &FaultPlan) -> String {
+        format!(
+            "[chaos seed {}, policy {:?}, schedule digest {:#018x}, problem {}, procs {}] — \
+             replay: FaultPlan::builder({}).drop_lossy({:?}).duplicate_lossy({:?})\
+             .policy(SchedPolicy::{:?}).build()",
+            plan.seed,
+            plan.policy,
+            self.mapping.schedule.digest(),
+            self.name,
+            self.procs,
+            plan.seed,
+            plan.drop_lossy,
+            plan.duplicate_lossy,
+            plan.policy
+        )
+    }
+
+    /// Simulated factorize + solve under `opts`, checked entry-for-entry
+    /// against the sequential references.
+    fn check_against_sequential(&self, opts: &ParallelOptions, diag: &str) {
+        let sym = &self.mapping.graph.split.symbol;
+        let par = factorize_parallel_with(
+            sym,
+            &self.ap,
+            &self.mapping.graph,
+            &self.mapping.schedule,
+            opts,
+        )
+        .unwrap_or_else(|e| panic!("{diag}: factorization failed: {e:?}"));
+        let mut max_diff = 0.0f64;
+        for (pa, pb) in par.panels.iter().zip(&self.seq.panels) {
+            for (x, y) in pa.iter().zip(pb) {
+                max_diff = max_diff.max((x - y).abs());
+            }
+        }
+        assert!(max_diff < 1e-8, "{diag}: factor deviation {max_diff}");
+        let x_par = solve_parallel_with(
+            sym,
+            &par,
+            &self.mapping.graph,
+            &self.mapping.schedule,
+            &self.b,
+            opts,
+        );
+        for (u, v) in x_par.iter().zip(&self.x_seq) {
+            assert!(
+                (u - v).abs() < 1e-9,
+                "{diag}: solve deviates: parallel {u} vs sequential {v}"
+            );
+        }
+        let res = self.ap.residual_norm(&x_par, &self.b);
+        assert!(res < 1e-12, "{diag}: residual {res}");
+    }
 }
 
 fn build_case(
@@ -106,9 +168,25 @@ fn seed_budget(default_total: usize) -> usize {
         .max(1)
 }
 
+/// Resolves `PASTIX_CHAOS_POLICY` for one `(seed, procs)` point of the
+/// sweep; `starve` picks its victim from the seed so the whole sweep does
+/// not fixate on one rank.
+fn sweep_policy(seed: u64, procs: usize) -> SchedPolicy {
+    match std::env::var("PASTIX_CHAOS_POLICY").ok().as_deref() {
+        None | Some("uniform") => SchedPolicy::Uniform,
+        Some("starve") => SchedPolicy::StarveRank(seed as usize % procs),
+        Some("deliver-last") => SchedPolicy::DeliverLast,
+        Some("fifo") => SchedPolicy::FifoPerPair,
+        Some(other) => panic!(
+            "unknown PASTIX_CHAOS_POLICY {other:?} (use uniform | starve | deliver-last | fifo)"
+        ),
+    }
+}
+
 /// (a) The agreement sweep: across seeds × problems × proc counts, the
 /// simulated factorization and distributed solve must match the
-/// sequential solver entry for entry.
+/// sequential solver entry for entry. `PASTIX_CHAOS_POLICY` reruns the
+/// whole sweep under an adversarial scheduling policy.
 #[test]
 fn chaos_factorization_and_solve_agree_with_sequential() {
     let cases = build_matrix();
@@ -116,93 +194,144 @@ fn chaos_factorization_and_solve_agree_with_sequential() {
     for i in 0..total {
         let case = &cases[i % cases.len()];
         let seed = i as u64;
-        let plan = FaultPlan::interleave_only(seed);
-        let diag = format!(
-            "[chaos seed {seed}, problem {}, procs {}] — rerun: PASTIX_CHAOS_SEEDS with this seed, \
-             or FaultPlan::interleave_only({seed})",
-            case.name, case.procs
-        );
-        let sym = &case.mapping.graph.split.symbol;
-        let par = factorize_parallel_sim(
-            sym,
-            &case.ap,
-            &case.mapping.graph,
-            &case.mapping.schedule,
-            &ParallelOptions::default(),
-            &plan,
-        )
-        .unwrap_or_else(|e| panic!("{diag}: factorization failed: {e:?}"));
-        let mut max_diff = 0.0f64;
-        for (pa, pb) in par.panels.iter().zip(&case.seq.panels) {
-            for (x, y) in pa.iter().zip(pb) {
-                max_diff = max_diff.max((x - y).abs());
-            }
-        }
-        assert!(max_diff < 1e-8, "{diag}: factor deviation {max_diff}");
-        let x_par = solve_parallel_sim(
-            sym,
-            &par,
-            &case.mapping.graph,
-            &case.mapping.schedule,
-            &case.b,
-            &plan,
-        );
-        for (u, v) in x_par.iter().zip(&case.x_seq) {
-            assert!(
-                (u - v).abs() < 1e-9,
-                "{diag}: solve deviates: parallel {u} vs sequential {v}"
-            );
-        }
-        let res = case.ap.residual_norm(&x_par, &case.b);
-        assert!(res < 1e-12, "{diag}: residual {res}");
+        let plan = FaultPlan::builder(seed)
+            .policy(sweep_policy(seed, case.procs))
+            .build();
+        let opts = ParallelOptions {
+            backend: Backend::Sim(plan),
+            ..Default::default()
+        };
+        case.check_against_sequential(&opts, &case.diag(&plan));
     }
 }
 
-/// The replay guarantee itself: same seed → bit-identical factor and
-/// solution; different seeds exercise genuinely different interleavings
-/// (checked indirectly: the sweep above covers them, here we pin equality).
+/// (a') The adversarial agreement sweep: the same seed budget split across
+/// `StarveRank` and `DeliverLast`, independent of `PASTIX_CHAOS_POLICY` —
+/// starving one rank or always delivering the freshest message must never
+/// change what the solver computes.
+#[test]
+fn chaos_adversarial_policies_agree_with_sequential() {
+    let cases = build_matrix();
+    let total = seed_budget(216);
+    for i in 0..total {
+        let case = &cases[i % cases.len()];
+        let seed = 0xADE_0000 + i as u64;
+        let policy = if i % 2 == 0 {
+            SchedPolicy::StarveRank(seed as usize % case.procs)
+        } else {
+            SchedPolicy::DeliverLast
+        };
+        let plan = FaultPlan::builder(seed).policy(policy).build();
+        let opts = ParallelOptions {
+            backend: Backend::Sim(plan),
+            ..Default::default()
+        };
+        case.check_against_sequential(&opts, &case.diag(&plan));
+    }
+}
+
+/// (a'') Fan-Both partial aggregation under a punishing memory cap, with
+/// lossy faults (drops reported to the sender, duplicate deliveries) and
+/// every scheduling policy: AUB flushes are retried on drop and deduped on
+/// duplication, so the factorization stays exact.
+#[test]
+fn chaos_fan_both_lossy_under_every_policy() {
+    let cases = [
+        build_case("grid8x8-mixed", (8, 8, 1), DistStrategy::Mixed1d2d, 4, 3),
+        build_case("grid3x3x3-mixed", (3, 3, 3), DistStrategy::Mixed1d2d, 4, 4),
+    ];
+    let per_policy = seed_budget(216).div_ceil(27).max(4);
+    for (c, case) in cases.iter().enumerate() {
+        for p in 0..4usize {
+            for i in 0..per_policy {
+                let seed = 0xFB_0000 + (((c * 4 + p) * per_policy + i) as u64);
+                let policy = match p {
+                    0 => SchedPolicy::Uniform,
+                    1 => SchedPolicy::StarveRank(seed as usize % case.procs),
+                    2 => SchedPolicy::DeliverLast,
+                    _ => SchedPolicy::FifoPerPair,
+                };
+                let plan = FaultPlan::builder(seed)
+                    .drop_lossy(0.25)
+                    .duplicate_lossy(0.25)
+                    .policy(policy)
+                    .build();
+                let opts = ParallelOptions {
+                    backend: Backend::Sim(plan),
+                    // Punishing cap: forces many partial AUB flushes, so
+                    // drops/duplicates hit the aggregation path itself.
+                    aub_memory_limit: Some(16),
+                    ..Default::default()
+                };
+                case.check_against_sequential(&opts, &case.diag(&plan));
+            }
+        }
+    }
+}
+
+/// The replay guarantee itself: same `(seed, policy)` → bit-identical
+/// factor and solution, including under an adversarial policy with lossy
+/// faults enabled.
 #[test]
 fn chaos_same_seed_replays_identically() {
     let case = build_case("grid8x8-mixed", (8, 8, 1), DistStrategy::Mixed1d2d, 4, 3);
     let sym = &case.mapping.graph.split.symbol;
-    for seed in [1u64, 17, 4242] {
-        let plan = FaultPlan::interleave_only(seed);
+    let plans = [
+        FaultPlan::builder(1).build(),
+        FaultPlan::builder(17).policy(SchedPolicy::DeliverLast).build(),
+        FaultPlan::builder(4242)
+            .drop_lossy(0.3)
+            .duplicate_lossy(0.3)
+            .policy(SchedPolicy::StarveRank(2))
+            .build(),
+    ];
+    for plan in plans {
+        let opts = ParallelOptions {
+            backend: Backend::Sim(plan),
+            ..Default::default()
+        };
         let run = || {
-            let f = factorize_parallel_sim(
+            let f = factorize_parallel_with(
                 sym,
                 &case.ap,
                 &case.mapping.graph,
                 &case.mapping.schedule,
-                &ParallelOptions::default(),
-                &plan,
+                &opts,
             )
             .unwrap();
-            let x = solve_parallel_sim(
+            let x = solve_parallel_with(
                 sym,
                 &f,
                 &case.mapping.graph,
                 &case.mapping.schedule,
                 &case.b,
-                &plan,
+                &opts,
             );
             (f, x)
         };
         let (f1, x1) = run();
         let (f2, x2) = run();
         // Bit-identical, not approximately equal: the execution replayed.
-        assert_eq!(x1, x2, "seed {seed}: solve not replayed bit-identically");
+        assert_eq!(
+            x1,
+            x2,
+            "{}: solve not replayed bit-identically",
+            case.diag(&plan)
+        );
         for (pa, pb) in f1.panels.iter().zip(&f2.panels) {
             assert!(
                 pa.iter().zip(pb).all(|(a, b)| a.to_bits() == b.to_bits()),
-                "seed {seed}: factor not replayed bit-identically"
+                "{}: factor not replayed bit-identically",
+                case.diag(&plan)
             );
         }
     }
 }
 
 /// (b) Abort propagation: an injected zero pivot at a seed-chosen task
-/// must terminate every interleaving cleanly — every worker unwinds with
-/// the error, nobody deadlocks (a sim deadlock panics with the seed).
+/// must terminate every interleaving cleanly under every scheduling
+/// policy — every worker unwinds with the error, nobody deadlocks (a sim
+/// deadlock panics with the `(seed, policy)` pair).
 #[test]
 fn chaos_zero_pivot_abort_always_terminates_cleanly() {
     let cases = build_matrix();
@@ -222,29 +351,28 @@ fn chaos_zero_pivot_abort_always_terminates_cleanly() {
             .collect();
         let mut rng = SimRng::new(seed);
         let victim = candidates[rng.below(candidates.len())];
+        let policy = match i % 4 {
+            0 => SchedPolicy::Uniform,
+            1 => SchedPolicy::StarveRank(seed as usize % case.procs),
+            2 => SchedPolicy::DeliverLast,
+            _ => SchedPolicy::FifoPerPair,
+        };
+        let plan = FaultPlan::builder(seed).policy(policy).build();
         let opts = ParallelOptions {
+            backend: Backend::Sim(plan),
             chaos: ChaosOptions {
                 zero_pivot_task: Some(victim),
                 ..Default::default()
             },
             ..Default::default()
         };
-        let plan = FaultPlan::interleave_only(seed);
         let sym = &case.mapping.graph.split.symbol;
-        let res = factorize_parallel_sim(
-            sym,
-            &case.ap,
-            graph,
-            &case.mapping.schedule,
-            &opts,
-            &plan,
-        );
+        let res =
+            factorize_parallel_with(sym, &case.ap, graph, &case.mapping.schedule, &opts);
         assert!(
             res.is_err(),
-            "[chaos seed {seed}, problem {}, procs {}] injected zero pivot at task {victim} \
-             was not reported",
-            case.name,
-            case.procs
+            "{}: injected zero pivot at task {victim} was not reported",
+            case.diag(&plan)
         );
     }
 }
@@ -265,22 +393,22 @@ fn chaos_worker_panic_unwinds_whole_machine() {
             continue;
         }
         let idx = rng.below(n_local);
+        let plan = FaultPlan::builder(seed).build();
         let opts = ParallelOptions {
+            backend: Backend::Sim(plan),
             chaos: ChaosOptions {
                 panic_at: Some((rank, idx)),
                 ..Default::default()
             },
             ..Default::default()
         };
-        let plan = FaultPlan::interleave_only(seed);
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = factorize_parallel_sim(
+            let _ = factorize_parallel_with(
                 sym,
                 &case.ap,
                 &case.mapping.graph,
                 &case.mapping.schedule,
                 &opts,
-                &plan,
             );
         }));
         let payload = caught.expect_err("injected panic must propagate");
@@ -295,7 +423,8 @@ fn chaos_worker_panic_unwinds_whole_machine() {
             });
         assert!(
             msg.contains("chaos: injected panic"),
-            "seed {seed}: expected the injected panic, got: {msg:?}"
+            "{}: expected the injected panic, got: {msg:?}",
+            case.diag(&plan)
         );
     }
 }
@@ -310,7 +439,7 @@ fn chaos_tagged_mailbox_exactly_once_under_max_reorder() {
     let total = seed_budget(216).div_ceil(3).max(40);
     for i in 0..total {
         let seed = 0x7A66_0000 + i as u64;
-        let plan = FaultPlan::interleave_only(seed);
+        let plan = FaultPlan::builder(seed).build();
         let results = run_sim_spmd::<(u32, u32), u64, _>(PROCS, &plan, |ctx| {
             let me = ctx.rank();
             // Everyone sends TAGS messages to everyone else (reliable
@@ -366,7 +495,7 @@ fn chaos_duplicate_lossy_delivers_exactly_twice() {
     const TAGS: u32 = 6;
     for i in 0..20u64 {
         let seed = 0xD0_0000 + i;
-        let plan = FaultPlan::with_duplicates(seed, 1.0);
+        let plan = FaultPlan::builder(seed).duplicate_lossy(1.0).build();
         let results = run_sim_spmd::<u32, Vec<u32>, _>(2, &plan, |ctx| {
             if ctx.rank() == 0 {
                 for tag in 0..TAGS {
@@ -393,7 +522,7 @@ fn chaos_duplicate_lossy_delivers_exactly_twice() {
 fn chaos_dropped_lossy_reports_to_sender() {
     for i in 0..20u64 {
         let seed = 0xD60_0000 + i;
-        let plan = FaultPlan::with_drops(seed, 1.0);
+        let plan = FaultPlan::builder(seed).drop_lossy(1.0).build();
         let results = run_sim_spmd::<u32, bool, _>(2, &plan, |ctx| {
             if ctx.rank() == 0 {
                 (0..8).all(|t| !ctx.send_lossy(1, t))
@@ -403,4 +532,60 @@ fn chaos_dropped_lossy_reports_to_sender() {
         });
         assert_eq!(results, vec![true, true], "seed {seed}");
     }
+}
+
+/// The deprecated `*_sim` wrappers must keep working until callers have
+/// migrated to `ParallelOptions::backend`: same inputs, same results as
+/// the backend-generic entry points.
+#[test]
+#[allow(deprecated)]
+fn deprecated_sim_wrappers_match_backend_generic_api() {
+    use pastix::solver::{factorize_parallel_sim, solve_parallel_sim};
+    let case = build_case("grid6x6-1d", (6, 6, 1), DistStrategy::Only1d, 4, 2);
+    let sym = &case.mapping.graph.split.symbol;
+    let plan = FaultPlan::builder(11).build();
+    let old = factorize_parallel_sim(
+        sym,
+        &case.ap,
+        &case.mapping.graph,
+        &case.mapping.schedule,
+        &ParallelOptions::default(),
+        &plan,
+    )
+    .unwrap();
+    let opts = ParallelOptions {
+        backend: Backend::Sim(plan),
+        ..Default::default()
+    };
+    let new = factorize_parallel_with(
+        sym,
+        &case.ap,
+        &case.mapping.graph,
+        &case.mapping.schedule,
+        &opts,
+    )
+    .unwrap();
+    for (pa, pb) in old.panels.iter().zip(&new.panels) {
+        assert!(
+            pa.iter().zip(pb).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "wrapper and backend-generic factorization disagree"
+        );
+    }
+    let x_old = solve_parallel_sim(
+        sym,
+        &old,
+        &case.mapping.graph,
+        &case.mapping.schedule,
+        &case.b,
+        &plan,
+    );
+    let x_new = solve_parallel_with(
+        sym,
+        &new,
+        &case.mapping.graph,
+        &case.mapping.schedule,
+        &case.b,
+        &opts,
+    );
+    assert_eq!(x_old, x_new, "wrapper and backend-generic solve disagree");
 }
