@@ -1,0 +1,230 @@
+//! Persistent hot-path benchmark: packed cache-blocked kernels vs the seed
+//! axpy reference, at both the microkernel level and the sequential
+//! supernodal factorization level.
+//!
+//! Writes two JSON reports at the repository root so before/after numbers
+//! ride with the code:
+//!
+//! * `BENCH_kernels.json` — `gemm_nt_acc` reference vs packed over a grid
+//!   of panel-shaped `(m, n, k)` cases;
+//! * `BENCH_factorize.json` — sequential LDLᵀ wall time and Gflop/s per
+//!   problem under [`KernelMode::Reference`] vs [`KernelMode::Auto`] (the
+//!   packed path above the dispatch threshold), with a factor checksum per
+//!   mode.
+//!
+//! The process exits non-zero if the two modes' factor checksums diverge
+//! beyond round-off — the packed path must be a pure reassociation of the
+//! reference arithmetic, never a different answer. `--quick` shrinks reps
+//! and problem scale for CI; `PASTIX_SCALE` / `PASTIX_PROBLEMS` apply to
+//! the full run as in the other binaries.
+
+use pastix_bench::{gflops, prepare, scale, scotch_ordering};
+use pastix_graph::ProblemId;
+use pastix_json::{num_arr, obj, Json};
+use pastix_kernels::gemm::{gemm_nt_acc, gemm_nt_acc_ref};
+use pastix_kernels::{blocking_for, set_kernel_mode, KernelMode};
+use pastix_machine::probe_blocking;
+use pastix_solver::{factorize_sequential, FactorStorage};
+use std::time::Instant;
+
+const KERNELS_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+const FACTORIZE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_factorize.json");
+
+/// Checksum gate: the packed path reassociates sums, so per-entry
+/// round-off differs, but the aggregate must agree to far better than
+/// this.
+const CHECKSUM_RTOL: f64 = 1e-7;
+
+/// Acceptance target from the issue: packed sequential factorization
+/// throughput on the largest problem vs the seed axpy path.
+const TARGET_SPEEDUP: f64 = 1.3;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    println!("bench_hotpath ({mode}) — packed kernels vs seed axpy reference");
+
+    // Install the probed blocking before any packed timing.
+    let bs = probe_blocking();
+    println!("probed f64 blocking: mc={} kc={} nc={}", bs.mc, bs.kc, bs.nc);
+
+    let kernels = bench_kernels(quick);
+    std::fs::write(KERNELS_PATH, kernels.pretty()).expect("write BENCH_kernels.json");
+    println!("wrote {KERNELS_PATH}");
+
+    let (factorize, checksums_ok) = bench_factorize(quick);
+    std::fs::write(FACTORIZE_PATH, factorize.pretty()).expect("write BENCH_factorize.json");
+    println!("wrote {FACTORIZE_PATH}");
+
+    if !checksums_ok {
+        eprintln!("FAIL: packed/reference factor checksums diverged (see BENCH_factorize.json)");
+        std::process::exit(1);
+    }
+}
+
+/// Times one `gemm_nt_acc` case for `reps` repetitions, returning seconds
+/// for the whole batch. `C` is reused across reps (accumulation does not
+/// change the flop count).
+fn time_gemm(
+    f: impl Fn(usize, usize, usize, f64, &[f64], usize, &[f64], usize, &mut [f64], usize),
+    m: usize,
+    n: usize,
+    k: usize,
+    reps: usize,
+) -> f64 {
+    let a: Vec<f64> = (0..m * k).map(|i| ((i * 37 + 11) % 101) as f64 * 0.013 - 0.6).collect();
+    let b: Vec<f64> = (0..n * k).map(|i| ((i * 53 + 7) % 97) as f64 * 0.017 - 0.8).collect();
+    let mut c = vec![0.0f64; m * n];
+    // Warm-up outside the clock.
+    f(m, n, k, 1.0, &a, m, &b, n, &mut c, m);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f(m, n, k, 1.0, &a, m, &b, n, &mut c, m);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(c.iter().all(|x| x.is_finite()), "kernel produced non-finite values");
+    dt
+}
+
+fn bench_kernels(quick: bool) -> Json {
+    // Panel-shaped cases: tall update panels, wide rank-k blocks, and one
+    // large square as the asymptotic point.
+    let cases: &[(usize, usize, usize)] = &[
+        (64, 64, 64),
+        (192, 96, 128),
+        (256, 64, 192),
+        (512, 128, 128),
+        (384, 384, 384),
+    ];
+    let cases = if quick { &cases[..3] } else { cases };
+    let target_madds: f64 = if quick { 4e7 } else { 6e8 };
+
+    let mut rows = Vec::new();
+    println!("{:>5} {:>5} {:>5} {:>6}  {:>10} {:>10} {:>8}", "m", "n", "k", "reps", "ref GF/s", "pack GF/s", "speedup");
+    for &(m, n, k) in cases {
+        let madds = (m * n * k) as f64;
+        let reps = ((target_madds / madds).ceil() as usize).max(3);
+        let flops = 2.0 * madds * reps as f64;
+        let t_ref = time_gemm(gemm_nt_acc_ref::<f64>, m, n, k, reps);
+        set_kernel_mode(KernelMode::Packed);
+        let t_pack = time_gemm(gemm_nt_acc::<f64>, m, n, k, reps);
+        set_kernel_mode(KernelMode::Auto);
+        let (gf_ref, gf_pack) = (gflops(flops, t_ref), gflops(flops, t_pack));
+        let speedup = t_ref / t_pack;
+        println!("{m:>5} {n:>5} {k:>5} {reps:>6}  {gf_ref:>10.2} {gf_pack:>10.2} {speedup:>7.2}x");
+        rows.push(obj([
+            ("m", Json::Num(m as f64)),
+            ("n", Json::Num(n as f64)),
+            ("k", Json::Num(k as f64)),
+            ("reps", Json::Num(reps as f64)),
+            ("ref_seconds", Json::Num(t_ref)),
+            ("packed_seconds", Json::Num(t_pack)),
+            ("ref_gflops", Json::Num(gf_ref)),
+            ("packed_gflops", Json::Num(gf_pack)),
+            ("speedup", Json::Num(speedup)),
+        ]));
+    }
+    let bs = blocking_for::<f64>();
+    obj([
+        ("bench", Json::Str("gemm_nt_acc packed vs reference".into())),
+        ("mode", Json::Str(if quick { "quick" } else { "full" }.into())),
+        ("elem", Json::Str("f64".into())),
+        ("blocking", num_arr([bs.mc as f64, bs.kc as f64, bs.nc as f64])),
+        ("cases", Json::Arr(rows)),
+    ])
+}
+
+/// Sum of entry magnitudes over every factor panel: a single scalar that
+/// any arithmetic divergence between kernel paths would move.
+fn factor_checksum(st: &FactorStorage<f64>) -> f64 {
+    st.panels.iter().flatten().map(|x| x.abs()).sum()
+}
+
+/// Best-of-`reps` sequential factorization time under the current kernel
+/// mode, plus the checksum of the last factor.
+fn time_factorize(
+    sym: &pastix_symbolic::SymbolMatrix,
+    ap: &pastix_graph::SymCsc<f64>,
+    reps: usize,
+) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0.0;
+    for _ in 0..reps {
+        let mut st = FactorStorage::zeros(sym);
+        st.scatter(sym, ap);
+        let t0 = Instant::now();
+        factorize_sequential(sym, &mut st).expect("factorization failed");
+        best = best.min(t0.elapsed().as_secs_f64());
+        checksum = factor_checksum(&st);
+    }
+    (best, checksum)
+}
+
+fn bench_factorize(quick: bool) -> (Json, bool) {
+    let sc = if quick { 0.02 } else { scale() };
+    let reps = if quick { 1 } else { 3 };
+    let ids: Vec<ProblemId> = if quick {
+        vec![ProblemId::Shipsec5]
+    } else {
+        vec![ProblemId::Ship001, ProblemId::Shipsec5]
+    };
+
+    let mut rows = Vec::new();
+    let mut ok = true;
+    let mut largest_speedup = 0.0;
+    println!();
+    println!("sequential LDLᵀ, scale {sc}, best of {reps}");
+    println!("{:<10} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8}", "Name", "n", "ref s", "packed s", "ref GF/s", "pk GF/s", "speedup");
+    for id in ids {
+        let prep = prepare(id, sc, &scotch_ordering());
+        let sym = &prep.analysis.symbol;
+        let ap = prep.matrix.permuted(&prep.analysis.perm);
+        let opc = prep.analysis.scalar_opc;
+
+        set_kernel_mode(KernelMode::Reference);
+        let (t_ref, ck_ref) = time_factorize(sym, &ap, reps);
+        set_kernel_mode(KernelMode::Auto);
+        let (t_pack, ck_pack) = time_factorize(sym, &ap, reps);
+
+        let speedup = t_ref / t_pack;
+        let rel = (ck_ref - ck_pack).abs() / ck_ref.abs().max(1.0);
+        if rel > CHECKSUM_RTOL {
+            ok = false;
+            eprintln!("{}: checksum divergence {rel:.3e} (ref {ck_ref}, packed {ck_pack})", id.name());
+        }
+        if id == ProblemId::Shipsec5 {
+            largest_speedup = speedup;
+        }
+        println!(
+            "{:<10} {:>8} {:>10.3} {:>10.3} {:>9.2} {:>9.2} {:>7.2}x",
+            id.name(), ap.n(), t_ref, t_pack, gflops(opc, t_ref), gflops(opc, t_pack), speedup
+        );
+        rows.push(obj([
+            ("name", Json::Str(id.name().into())),
+            ("n", Json::Num(ap.n() as f64)),
+            ("opc", Json::Num(opc)),
+            ("ref_seconds", Json::Num(t_ref)),
+            ("packed_seconds", Json::Num(t_pack)),
+            ("ref_gflops", Json::Num(gflops(opc, t_ref))),
+            ("packed_gflops", Json::Num(gflops(opc, t_pack))),
+            ("speedup", Json::Num(speedup)),
+            ("checksum_ref", Json::Num(ck_ref)),
+            ("checksum_packed", Json::Num(ck_pack)),
+            ("checksum_rel_err", Json::Num(rel)),
+        ]));
+    }
+    println!();
+    let verdict = if largest_speedup >= TARGET_SPEEDUP { "MET" } else { "NOT MET" };
+    println!("acceptance (SHIPSEC5 ≥ {TARGET_SPEEDUP}x): {largest_speedup:.2}x — {verdict}");
+    let report = obj([
+        ("bench", Json::Str("sequential LDLt, packed vs reference kernels".into())),
+        ("mode", Json::Str(if quick { "quick" } else { "full" }.into())),
+        ("scale", Json::Num(sc)),
+        ("reps", Json::Num(reps as f64)),
+        ("problems", Json::Arr(rows)),
+        ("shipsec5_speedup", Json::Num(largest_speedup)),
+        ("target_speedup", Json::Num(TARGET_SPEEDUP)),
+        ("checksums_ok", Json::Bool(ok)),
+    ]);
+    (report, ok)
+}

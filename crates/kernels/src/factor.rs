@@ -35,6 +35,11 @@ impl std::fmt::Display for FactorError {
 
 impl std::error::Error for FactorError {}
 
+/// Default panel width of the blocked factor kernels: wide enough that the
+/// trailing updates run as packed GEMMs, narrow enough that the unblocked
+/// diagonal step stays negligible.
+pub const NB_FACTOR: usize = 48;
+
 /// In-place `L·D·Lᵀ` factorization of the lower triangle of an `n × n`
 /// column-major block (leading dimension `lda`).
 ///

@@ -6,10 +6,19 @@
 //! and a little in `C ← C + α·A·B` (triangular solve sweeps). Both kernels
 //! operate on column-major panels with explicit leading dimensions.
 //!
-//! The implementation is a register-blocked axpy formulation: each column of
-//! `C` is written once per four `k` steps, which keeps the `C` traffic low
-//! and lets LLVM vectorize the inner zips. No `unsafe` is needed.
+//! Two implementations live behind each public entry point:
+//!
+//! * a register-blocked **axpy reference** (the seed kernel): each column of
+//!   `C` is written once per four `k` steps; simple, exact, and fastest for
+//!   small tiles;
+//! * the **cache-blocked packed path** of [`crate::pack`]: `MC×KC×NC`
+//!   tiling with packed operand panels and an `MR×NR` register microkernel,
+//!   which the dispatcher selects for products large enough to amortize the
+//!   packing (see [`crate::pack::KernelMode`] to force either side).
+//!
+//! No `unsafe` is needed anywhere.
 
+use crate::pack;
 use crate::scalar::Scalar;
 
 /// `C ← C + α · A · Bᵀ` where `A` is `m×k` (lda ≥ m), `B` is `n×k`
@@ -19,6 +28,32 @@ use crate::scalar::Scalar;
 /// column block `k` to block `(i,j)` is `L_ik · F_jᵀ` (paper, Fig. 1 lines
 /// 7 and 15).
 pub fn gemm_nt_acc<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if pack::use_packed(m, n, k) {
+        pack::gemm_nt_acc_packed(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else {
+        gemm_nt_acc_ref(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    }
+}
+
+/// The seed axpy formulation of [`gemm_nt_acc`]: the reference
+/// implementation every packed kernel is property-tested against, and the
+/// "before" side of `bench_hotpath`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_acc_ref<T: Scalar>(
     m: usize,
     n: usize,
     k: usize,
@@ -85,6 +120,30 @@ pub fn gemm_nn_acc<T: Scalar>(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    if pack::use_packed(m, n, k) {
+        pack::gemm_nn_acc_packed(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else {
+        gemm_nn_acc_ref(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    }
+}
+
+/// The seed axpy formulation of [`gemm_nn_acc`] (reference path).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn_acc_ref<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
     assert!(lda >= m && ldc >= m, "leading dimensions too small");
     assert!(ldb >= k, "B leading dimension too small");
     assert!(a.len() >= lda * (k - 1) + m, "A buffer too small");
@@ -125,6 +184,31 @@ pub fn gemm_nn_acc<T: Scalar>(
 /// are touched (the strictly upper triangle of a diagonal block is never
 /// stored by the solver).
 pub fn gemm_nt_acc_lower<T: Scalar>(
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    if n == 0 || k == 0 {
+        return;
+    }
+    // Roughly half the full product's multiply-adds land in the lower
+    // triangle.
+    if pack::use_packed(n, n.div_ceil(2), k) {
+        pack::gemm_nt_acc_lower_packed(n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else {
+        gemm_nt_acc_lower_ref(n, k, alpha, a, lda, b, ldb, c, ldc);
+    }
+}
+
+/// The seed axpy formulation of [`gemm_nt_acc_lower`] (reference path).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_acc_lower_ref<T: Scalar>(
     n: usize,
     k: usize,
     alpha: T,

@@ -9,7 +9,13 @@
 //! factors are read from the *lower* triangle only; the strictly upper part
 //! of a factored block is never referenced.
 
+use crate::gemm::gemm_nt_acc;
 use crate::scalar::Scalar;
+
+/// Column-tile width of the blocked panel solves: cross-tile updates become
+/// `m × NB_TRSM × j0` GEMMs routed through the packed kernels, while the
+/// in-tile dependence chain runs the scalar column sweep.
+const NB_TRSM: usize = 48;
 
 /// Solves `X · Lᵀ = A` in place where `L` (order `n`, leading dimension
 /// `ldd`, lower triangle of `diag`) is **unit** lower triangular, then
@@ -18,6 +24,10 @@ use crate::scalar::Scalar;
 ///
 /// `panel` is `m × n` (leading dimension `ldp`) and holds `A` on entry, the
 /// final off-diagonal factor rows `L_off` on exit.
+///
+/// Blocked by column tiles: the contribution of all already-solved tiles to
+/// tile `J` is `X_J ← X_J − X_{0..j0} · L(J, 0..j0)ᵀ`, a single
+/// [`gemm_nt_acc`]; only the `NB_TRSM`-wide in-tile solve is scalar.
 pub fn trsm_ldlt_panel<T: Scalar>(
     m: usize,
     n: usize,
@@ -35,21 +45,32 @@ pub fn trsm_ldlt_panel<T: Scalar>(
     assert!(panel.len() >= ldp * (n - 1) + m, "panel buffer too small");
     // Pass 1: unit-lower solve X'·Lᵀ = A. Each column must stay unscaled
     // until every later column has consumed it.
-    for j in 0..n {
-        // X'(:,j) = A(:,j) − Σ_{i<j} X'(:,i) · L(j,i)   (unit diagonal)
-        for i in 0..j {
-            let l = diag[j + i * ldd];
-            if l == T::zero() {
-                continue;
-            }
-            let (xi, xj) = {
-                let (left, right) = panel.split_at_mut(j * ldp);
-                (&left[i * ldp..i * ldp + m], &mut right[..m])
-            };
-            for (x, &v) in xj.iter_mut().zip(xi) {
-                *x -= v * l;
+    let mut j0 = 0;
+    while j0 < n {
+        let w = NB_TRSM.min(n - j0);
+        if j0 > 0 {
+            // X'_J -= X'_{0..j0} · L(J, 0..j0)ᵀ: the solved columns are in
+            // `left`, tile J starts `right`; rows j0.. of `diag` hold L(J,·).
+            let (left, right) = panel.split_at_mut(j0 * ldp);
+            gemm_nt_acc(m, w, j0, -T::one(), left, ldp, &diag[j0..], ldd, right, ldp);
+        }
+        for j in j0..j0 + w {
+            // X'(:,j) -= Σ_{j0≤i<j} X'(:,i) · L(j,i)   (unit diagonal)
+            for i in j0..j {
+                let l = diag[j + i * ldd];
+                if l == T::zero() {
+                    continue;
+                }
+                let (xi, xj) = {
+                    let (left, right) = panel.split_at_mut(j * ldp);
+                    (&left[i * ldp..i * ldp + m], &mut right[..m])
+                };
+                for (x, &v) in xj.iter_mut().zip(xi) {
+                    *x -= v * l;
+                }
             }
         }
+        j0 += w;
     }
     // Pass 2: X = X' · D⁻¹.
     for j in 0..n {
@@ -61,7 +82,9 @@ pub fn trsm_ldlt_panel<T: Scalar>(
 }
 
 /// Solves `X · Lᵀ = A` in place where `L` is **non-unit** lower triangular
-/// (Cholesky factor). Used by the `L·Lᵀ` baseline.
+/// (Cholesky factor). Used by the `L·Lᵀ` baseline. Blocked the same way as
+/// [`trsm_ldlt_panel`] (solved columns are already scaled, so the cross-tile
+/// update is the same GEMM).
 pub fn trsm_llt_panel<T: Scalar>(
     m: usize,
     n: usize,
@@ -75,24 +98,33 @@ pub fn trsm_llt_panel<T: Scalar>(
     }
     assert!(ldd >= n, "diag leading dimension too small");
     assert!(ldp >= m, "panel leading dimension too small");
-    for j in 0..n {
-        for i in 0..j {
-            let l = diag[j + i * ldd];
-            if l == T::zero() {
-                continue;
+    let mut j0 = 0;
+    while j0 < n {
+        let w = NB_TRSM.min(n - j0);
+        if j0 > 0 {
+            let (left, right) = panel.split_at_mut(j0 * ldp);
+            gemm_nt_acc(m, w, j0, -T::one(), left, ldp, &diag[j0..], ldd, right, ldp);
+        }
+        for j in j0..j0 + w {
+            for i in j0..j {
+                let l = diag[j + i * ldd];
+                if l == T::zero() {
+                    continue;
+                }
+                let (xi, xj) = {
+                    let (left, right) = panel.split_at_mut(j * ldp);
+                    (&left[i * ldp..i * ldp + m], &mut right[..m])
+                };
+                for (x, &v) in xj.iter_mut().zip(xi) {
+                    *x -= v * l;
+                }
             }
-            let (xi, xj) = {
-                let (left, right) = panel.split_at_mut(j * ldp);
-                (&left[i * ldp..i * ldp + m], &mut right[..m])
-            };
-            for (x, &v) in xj.iter_mut().zip(xi) {
-                *x -= v * l;
+            let linv = diag[j + j * ldd].recip();
+            for x in &mut panel[j * ldp..j * ldp + m] {
+                *x *= linv;
             }
         }
-        let linv = diag[j + j * ldd].recip();
-        for x in &mut panel[j * ldp..j * ldp + m] {
-            *x *= linv;
-        }
+        j0 += w;
     }
 }
 

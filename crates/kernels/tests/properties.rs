@@ -3,6 +3,9 @@
 //! the factorizations.
 
 use pastix_kernels::dense::DenseMat;
+use pastix_kernels::pack::{
+    gemm_nn_acc_packed, gemm_nt_acc_lower_packed, gemm_nt_acc_packed_with, BlockSizes,
+};
 use pastix_kernels::{
     gemm_nn_acc, gemm_nt_acc, gemm_nt_acc_lower, ldlt_factor_inplace, llt_factor_inplace,
     solve_unit_lower, solve_unit_lower_trans, trsm_ldlt_panel,
@@ -210,5 +213,138 @@ proptest! {
         }
         solve_unit_lower_trans(n, diag.as_slice(), n, z.as_mut_slice(), nrhs, n);
         prop_assert!(z.max_diff(&x0) < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed-kernel properties: every packed entry point against a naive
+// triple loop over random shapes *and* random (non-tight) leading
+// dimensions, including degenerate (zero) extents and shapes that are not
+// multiples of any register or cache tile. The packed path must also never
+// touch C's padding rows (the gap between `m` and `ldc` in each column) —
+// the zero-copy guarantee that lets the solver hand it raw panel regions.
+// ---------------------------------------------------------------------
+
+/// Deterministic values from a seed; strided column-major fill with a
+/// sentinel in the padding rows so writes outside the valid `m × n` box
+/// are detectable.
+fn fill_strided(rows: usize, cols: usize, ld: usize, seed: u64) -> Vec<f64> {
+    let mut rng = seed.max(1);
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        (rng >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let len = if cols == 0 { 0 } else { ld * (cols - 1) + rows };
+    let mut v = vec![f64::MAX; len];
+    for j in 0..cols {
+        for i in 0..rows {
+            v[i + j * ld] = next();
+        }
+    }
+    v
+}
+
+/// Asserts the padding rows of a strided buffer still hold the sentinel.
+fn padding_untouched(v: &[f64], rows: usize, cols: usize, ld: usize) -> bool {
+    (0..cols.saturating_sub(1))
+        .all(|j| (rows..ld).all(|i| v[i + j * ld] == f64::MAX))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn packed_nt_random_shapes_and_strides(
+        (m, n, k) in (0usize..40, 0usize..40, 0usize..40),
+        (pa, pb, pc) in (0usize..5, 0usize..5, 0usize..5),
+        // Tiny randomized blocking so a 40-element extent spans several
+        // cache tiles and register slabs (sanitization rounds it legal).
+        (bmc, bkc, bnc) in (1usize..25, 1usize..10, 1usize..13),
+        alpha in -2.0f64..2.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let bs = BlockSizes { mc: bmc, kc: bkc, nc: bnc };
+        let (lda, ldb, ldc) = (m + pa, n + pb, m + pc);
+        let a = fill_strided(m, k, lda, seed);
+        let b = fill_strided(n, k, ldb, seed ^ 0x9e3779b97f4a7c15);
+        let mut c = fill_strided(m, n, ldc, seed ^ 0xdeadbeef);
+        let mut expect = c.clone();
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i + p * lda] * b[j + p * ldb];
+                }
+                expect[i + j * ldc] += alpha * acc;
+            }
+        }
+        gemm_nt_acc_packed_with(bs, m, n, k, alpha, &a, lda.max(1), &b, ldb.max(1), &mut c, ldc.max(1));
+        for (x, y) in c.iter().zip(&expect) {
+            prop_assert!((x - y).abs() < 1e-10 || (x == y), "{x} vs {y}");
+        }
+        prop_assert!(padding_untouched(&c, m, n, ldc));
+    }
+
+    #[test]
+    fn packed_nn_random_shapes_and_strides(
+        (m, n, k) in (0usize..300, 0usize..24, 0usize..150),
+        (pa, pb, pc) in (0usize..5, 0usize..5, 0usize..5),
+        alpha in -2.0f64..2.0,
+        seed in 0u64..1_000_000,
+    ) {
+        // Large enough `m`/`k` to cross the default MC/KC tile boundaries
+        // (the nn entry point runs under the per-scalar blocking).
+        let (lda, ldb, ldc) = (m + pa, k + pb, m + pc);
+        let a = fill_strided(m, k, lda, seed);
+        let b = fill_strided(k, n, ldb, seed ^ 0x9e3779b97f4a7c15);
+        let mut c = fill_strided(m, n, ldc, seed ^ 0xdeadbeef);
+        let mut expect = c.clone();
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i + p * lda] * b[p + j * ldb];
+                }
+                expect[i + j * ldc] += alpha * acc;
+            }
+        }
+        gemm_nn_acc_packed(m, n, k, alpha, &a, lda.max(1), &b, ldb.max(1), &mut c, ldc.max(1));
+        for (x, y) in c.iter().zip(&expect) {
+            prop_assert!((x - y).abs() < 1e-10 || (x == y), "{x} vs {y}");
+        }
+        prop_assert!(padding_untouched(&c, m, n, ldc));
+    }
+
+    #[test]
+    fn packed_lower_random_shapes_and_strides(
+        (n, k) in (0usize..90, 0usize..60),
+        (pa, pb, pc) in (0usize..5, 0usize..5, 0usize..5),
+        alpha in -2.0f64..2.0,
+        seed in 0u64..1_000_000,
+    ) {
+        // `n` up to 90 crosses several of the lower kernel's column tiles.
+        let (lda, ldb, ldc) = (n + pa, n + pb, n + pc);
+        let a = fill_strided(n, k, lda, seed);
+        let b = fill_strided(n, k, ldb, seed ^ 0x9e3779b97f4a7c15);
+        let mut c = fill_strided(n, n, ldc, seed ^ 0xdeadbeef);
+        let mut expect = c.clone();
+        for j in 0..n {
+            for i in j..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i + p * lda] * b[j + p * ldb];
+                }
+                expect[i + j * ldc] += alpha * acc;
+            }
+        }
+        gemm_nt_acc_lower_packed(n, k, alpha, &a, lda.max(1), &b, ldb.max(1), &mut c, ldc.max(1));
+        // Exact match required above the diagonal: the strictly upper
+        // triangle (and the padding) must never be written.
+        for (x, y) in c.iter().zip(&expect) {
+            prop_assert!((x - y).abs() < 1e-10 || (x == y), "{x} vs {y}");
+        }
+        prop_assert!(padding_untouched(&c, n, n, ldc));
     }
 }

@@ -14,7 +14,9 @@
 
 use pastix_json::{obj, Json, JsonError};
 use pastix_kernels::model::{calibrate_blas_model, BlasModel, KernelClass};
+use pastix_kernels::pack::{self, BlockSizes};
 use std::io::{Read, Write};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Linear (alpha–beta) communication model: sending `bytes` costs
@@ -227,6 +229,59 @@ impl Default for MachineModel {
     }
 }
 
+/// One-shot runtime calibration of the packed GEMM blocking constants on
+/// *this* machine: times a representative `C += A·Bᵀ` under a handful of
+/// candidate `MC×KC×NC` tilings and installs the fastest via
+/// [`pastix_kernels::pack::configure_blocking`] (for `f64`, and a
+/// half-sized derivation for 16-byte scalars whose elements take twice the
+/// cache space). Idempotent and cheap (~10⁸ flops total): the first caller
+/// pays the probe, every later call returns the cached winner. Solvers work
+/// fine without it — the per-width defaults are sane — but the bench
+/// harness and long-running services call it once at startup.
+pub fn probe_blocking() -> BlockSizes {
+    static PROBE: OnceLock<BlockSizes> = OnceLock::new();
+    *PROBE.get_or_init(|| {
+        let candidates = [
+            BlockSizes { mc: 64, kc: 128, nc: 1024 },
+            BlockSizes { mc: 128, kc: 224, nc: 2048 },
+            BlockSizes { mc: 128, kc: 256, nc: 4096 },
+            BlockSizes { mc: 192, kc: 256, nc: 2048 },
+        ];
+        // A shape of the solver's own flavor: a tall contribution product
+        // with a supernode-width inner dimension.
+        let (m, n, k) = (384usize, 256usize, 192usize);
+        let a: Vec<f64> = (0..m * k).map(|i| (i % 17) as f64 * 0.25 - 2.0).collect();
+        let b: Vec<f64> = (0..n * k).map(|i| (i % 11) as f64 * 0.5 - 2.5).collect();
+        let mut best = candidates[0];
+        let mut best_t = f64::INFINITY;
+        for cand in candidates {
+            let mut c = vec![0.0f64; m * n];
+            // Warm the instruction path and the pack buffers once.
+            pack::gemm_nt_acc_packed_with(cand, m, n, k, 1.0, &a, m, &b, n, &mut c, m);
+            let reps = 3;
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                pack::gemm_nt_acc_packed_with(cand, m, n, k, 1.0, &a, m, &b, n, &mut c, m);
+            }
+            let dt = t0.elapsed().as_secs_f64() / reps as f64;
+            if dt < best_t {
+                best_t = dt;
+                best = cand;
+            }
+        }
+        pack::configure_blocking(8, best);
+        pack::configure_blocking(
+            16,
+            BlockSizes {
+                mc: best.mc / 2,
+                kc: best.kc / 2,
+                nc: best.nc / 2,
+            },
+        );
+        best
+    })
+}
+
 /// Measures an in-process "network": the cost of handing a buffer between
 /// threads through a channel, fitted to the alpha–beta form from two
 /// message sizes.
@@ -350,6 +405,16 @@ mod tests {
         let mut m = MachineModel::sp2(4);
         m.procs_per_node = 0; // defensive: treated as 1
         assert_eq!(m.node_of(3), 3);
+    }
+
+    #[test]
+    fn probe_blocking_is_one_shot_and_legal() {
+        let first = probe_blocking();
+        assert_eq!(first, probe_blocking(), "probe must cache its winner");
+        let bs = first.sanitized();
+        assert_eq!(bs, first, "installed blocking must already be sanitized");
+        // The f64 slot now serves the probe's winner.
+        assert_eq!(pastix_kernels::blocking_for::<f64>(), first);
     }
 
     #[test]

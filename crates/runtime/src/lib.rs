@@ -330,9 +330,11 @@ where
     })
 }
 
-/// Collective operations built on the point-to-point layer. They follow
-/// simple linear (rank-0-rooted) patterns — adequate for the phase
-/// boundaries of a solver whose steady state is fully asynchronous.
+/// Collective operations built on the point-to-point layer. They run as
+/// **binomial trees** — `⌈log₂ p⌉` rounds instead of the linear
+/// rank-0-rooted sweeps of the first version — so the phase boundaries of
+/// a solver whose steady state is fully asynchronous stay cheap as the
+/// processor count grows.
 ///
 /// The collectives travel the *faulty* path ([`Comm::send_faulty`]), so
 /// under the simulator their messages can be delayed, dropped, or
@@ -432,44 +434,97 @@ pub mod collective {
             }
         }
 
-        /// Barrier: everyone reports to rank 0, rank 0 releases everyone.
-        /// The caller provides the signal payload (any value) and the
-        /// phase id.
-        pub fn barrier<C: Comm<CollMsg<M>> + ?Sized>(&mut self, ctx: &C, phase: u64, signal: M) {
-            self.gc(phase);
+        /// Binomial reduce to rank 0. In round `j` (step `2^j`) a rank
+        /// whose bit `j` is set forwards its accumulator to `rank - 2^j`
+        /// and is done; a rank whose bit `j` is clear absorbs the subtree
+        /// of `rank + 2^j` (when it exists). The accumulator of rank `r`
+        /// after round `j` therefore covers the *contiguous* rank range
+        /// `[r, min(r + 2^{j+1}, p))`, and every combine joins two
+        /// adjacent ranges left-to-right — the association tree is fixed
+        /// by `p` alone, so the result never depends on message
+        /// interleaving. Returns `Some(total)` on rank 0, `None`
+        /// elsewhere.
+        fn reduce_to_zero<C, F>(&mut self, ctx: &C, phase: u64, mine: M, combine: &F) -> Option<M>
+        where
+            C: Comm<CollMsg<M>> + ?Sized,
+            F: Fn(M, M) -> M,
+        {
             let p = ctx.n_procs();
-            if p == 1 {
-                return;
-            }
-            if ctx.rank() == 0 {
-                for q in 1..p {
-                    let _ = self.recv_from(ctx, phase, q);
+            let r = ctx.rank();
+            let mut acc = mine;
+            let mut step = 1usize;
+            while step < p {
+                if r & step != 0 {
+                    coll_send(ctx, r - step, CollMsg { phase, payload: acc });
+                    return None;
                 }
-                for q in 1..p {
+                if r + step < p {
+                    let theirs = self.recv_from(ctx, phase, r + step);
+                    acc = combine(acc, theirs);
+                }
+                step <<= 1;
+            }
+            Some(acc)
+        }
+
+        /// Binomial broadcast from `root`. Ranks are rotated so the root
+        /// is virtual rank 0; virtual rank `v > 0` receives from its
+        /// parent `v` with the lowest set bit cleared, then fans out to
+        /// children `v + 2^j` for every `2^j` below its lowest set bit
+        /// (every power below `p` for the root), largest subtree first.
+        fn bcast<C: Comm<CollMsg<M>> + ?Sized>(
+            &mut self,
+            ctx: &C,
+            phase: u64,
+            root: usize,
+            value: Option<M>,
+        ) -> M {
+            let p = ctx.n_procs();
+            let vr = (ctx.rank() + p - root) % p;
+            let v = if vr == 0 {
+                value.expect("root must supply the broadcast value")
+            } else {
+                let parent = ((vr & (vr - 1)) + root) % p;
+                self.recv_from(ctx, phase, parent)
+            };
+            let limit = if vr == 0 { p } else { vr & vr.wrapping_neg() };
+            let mut step = 1usize;
+            while step < limit {
+                step <<= 1;
+            }
+            step >>= 1;
+            while step > 0 {
+                let child = vr + step;
+                if child < p {
                     coll_send(
                         ctx,
-                        q,
+                        (child + root) % p,
                         CollMsg {
                             phase,
-                            payload: signal.clone(),
+                            payload: v.clone(),
                         },
                     );
                 }
-            } else {
-                coll_send(
-                    ctx,
-                    0,
-                    CollMsg {
-                        phase,
-                        payload: signal,
-                    },
-                );
-                let _ = self.recv_from(ctx, phase, 0);
+                step >>= 1;
             }
+            v
         }
 
-        /// Broadcast from `root`: returns the payload on every rank. Only
-        /// the root supplies `Some(value)`.
+        /// Barrier: binomial gather to rank 0, then a binomial release
+        /// down the mirrored tree — `2⌈log₂ p⌉` rounds. The caller
+        /// provides the signal payload (any value) and the phase id.
+        pub fn barrier<C: Comm<CollMsg<M>> + ?Sized>(&mut self, ctx: &C, phase: u64, signal: M) {
+            self.gc(phase);
+            if ctx.n_procs() == 1 {
+                return;
+            }
+            let done = self.reduce_to_zero(ctx, phase, signal, &|keep, _| keep);
+            let _ = self.bcast(ctx, phase, 0, done);
+        }
+
+        /// Broadcast from `root`: returns the payload on every rank after
+        /// `⌈log₂ p⌉` binomial rounds. Only the root supplies
+        /// `Some(value)`.
         pub fn broadcast<C: Comm<CollMsg<M>> + ?Sized>(
             &mut self,
             ctx: &C,
@@ -478,67 +533,24 @@ pub mod collective {
             value: Option<M>,
         ) -> M {
             self.gc(phase);
-            if ctx.rank() == root {
-                let v = value.expect("root must supply the broadcast value");
-                for q in 0..ctx.n_procs() {
-                    if q != root {
-                        coll_send(
-                            ctx,
-                            q,
-                            CollMsg {
-                                phase,
-                                payload: v.clone(),
-                            },
-                        );
-                    }
-                }
-                v
-            } else {
-                self.recv_from(ctx, phase, root)
-            }
+            self.bcast(ctx, phase, root, value)
         }
 
-        /// All-reduce: linear gather to rank 0 (combined in rank order, so
-        /// the result is interleaving-independent even for non-commutative
-        /// combiners), then broadcast of the result.
+        /// All-reduce: binomial reduce to rank 0 followed by a binomial
+        /// broadcast of the total. Contributions are combined over
+        /// contiguous rank ranges in the fixed tree of
+        /// [`Self::reduce_to_zero`], so the result is a pure function of
+        /// the inputs and `p` — independent of message interleaving — for
+        /// any associative combiner (a non-associative combiner sees the
+        /// tree's association, not a linear left fold).
         pub fn all_reduce<C, F>(&mut self, ctx: &C, phase: u64, mine: M, combine: F) -> M
         where
             C: Comm<CollMsg<M>> + ?Sized,
             F: Fn(M, M) -> M,
         {
             self.gc(phase);
-            let p = ctx.n_procs();
-            if p == 1 {
-                return mine;
-            }
-            if ctx.rank() == 0 {
-                let mut acc = mine;
-                for q in 1..p {
-                    let theirs = self.recv_from(ctx, phase, q);
-                    acc = combine(acc, theirs);
-                }
-                for q in 1..p {
-                    coll_send(
-                        ctx,
-                        q,
-                        CollMsg {
-                            phase,
-                            payload: acc.clone(),
-                        },
-                    );
-                }
-                acc
-            } else {
-                coll_send(
-                    ctx,
-                    0,
-                    CollMsg {
-                        phase,
-                        payload: mine,
-                    },
-                );
-                self.recv_from(ctx, phase, 0)
-            }
+            let total = self.reduce_to_zero(ctx, phase, mine, &combine);
+            self.bcast(ctx, phase, 0, total)
         }
     }
 }

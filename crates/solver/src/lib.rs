@@ -17,19 +17,17 @@
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod parallel;
 pub mod psolve;
 pub mod seq;
 pub mod seq_left;
 pub mod storage;
 
+pub use metrics::MessagePathMetrics;
 pub use parallel::{factorize_parallel, factorize_parallel_with, ChaosOptions, ParallelOptions};
-#[allow(deprecated)]
-pub use parallel::factorize_parallel_sim;
 pub use pastix_runtime::Backend;
 pub use psolve::{solve_parallel, solve_parallel_with};
-#[allow(deprecated)]
-pub use psolve::solve_parallel_sim;
 pub use seq::{factor_and_solve, factorize_sequential, reconstruction_error, solve_block_in_place, solve_in_place};
 pub use seq_left::factorize_sequential_left;
 pub use storage::{FactorStorage, PanelLayout};

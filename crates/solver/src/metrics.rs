@@ -1,0 +1,84 @@
+//! Message-path allocation and traffic counters.
+//!
+//! The zero-copy message path makes two claims that a unit test cannot
+//! check by inspection: factor regions are deep-copied **once per
+//! producing task** (the `Arc<[T]>` payload is then reference-bumped per
+//! consumer send) instead of once per send, and outgoing AUB accumulation
+//! buffers are recycled from received/flushed Fan-Both blocks instead of
+//! freshly allocated. These process-wide atomic counters make both
+//! properties assertable without a counting global allocator: the
+//! regression test in `tests/zero_copy.rs` resets them, runs a
+//! factorization, and checks the relations on the snapshot.
+//!
+//! Counters are cumulative across the process; call [`reset`] before the
+//! region you want to measure (the test lives alone in its own integration
+//! binary so nothing races it).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FAC_DEEP_COPIES: AtomicU64 = AtomicU64::new(0);
+static FAC_SENDS: AtomicU64 = AtomicU64::new(0);
+static AUB_SENDS: AtomicU64 = AtomicU64::new(0);
+static AUB_FRESH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static AUB_POOL_REUSES: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn count_fac_deep_copy() {
+    FAC_DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_fac_send() {
+    FAC_SENDS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_aub_send() {
+    AUB_SENDS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_aub_fresh_alloc() {
+    AUB_FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_aub_pool_reuse() {
+    AUB_POOL_REUSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Point-in-time reading of the message-path counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessagePathMetrics {
+    /// Factor regions materialized into an `Arc<[T]>` payload (at most one
+    /// per factor-producing task; the seed paid one per send).
+    pub fac_deep_copies: u64,
+    /// Factor messages actually sent (each is an `Arc` refcount bump).
+    pub fac_sends: u64,
+    /// AUB messages sent (complete or partially aggregated).
+    pub aub_sends: u64,
+    /// Outgoing AUB buffers that had to be freshly allocated.
+    pub aub_fresh_allocs: u64,
+    /// Outgoing AUB buffers recycled from the per-rank pool.
+    pub aub_pool_reuses: u64,
+}
+
+/// Reads all counters.
+pub fn snapshot() -> MessagePathMetrics {
+    MessagePathMetrics {
+        fac_deep_copies: FAC_DEEP_COPIES.load(Ordering::Relaxed),
+        fac_sends: FAC_SENDS.load(Ordering::Relaxed),
+        aub_sends: AUB_SENDS.load(Ordering::Relaxed),
+        aub_fresh_allocs: AUB_FRESH_ALLOCS.load(Ordering::Relaxed),
+        aub_pool_reuses: AUB_POOL_REUSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes all counters (do this before the region you want to measure).
+pub fn reset() {
+    FAC_DEEP_COPIES.store(0, Ordering::Relaxed);
+    FAC_SENDS.store(0, Ordering::Relaxed);
+    AUB_SENDS.store(0, Ordering::Relaxed);
+    AUB_FRESH_ALLOCS.store(0, Ordering::Relaxed);
+    AUB_POOL_REUSES.store(0, Ordering::Relaxed);
+}

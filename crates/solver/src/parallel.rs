@@ -15,20 +15,22 @@
 //! applying any AUB immediately (updates commute) and caching factor
 //! blocks — until the wanted block appears.
 
+use crate::metrics;
 use crate::storage::{FactorStorage, PanelLayout};
 use pastix_graph::SymCsc;
-use pastix_kernels::factor::{ldlt_factor_inplace, FactorError};
+use pastix_kernels::factor::{ldlt_factor_blocked, FactorError, NB_FACTOR};
 use pastix_kernels::{
     gemm_nt_acc, scale_cols_by_diag_into, trsm_ldlt_panel, Scalar,
 };
-use pastix_runtime::sim::FaultPlan;
 use pastix_runtime::{run_spmd_with, Backend, Comm};
 use pastix_sched::{Schedule, TaskGraph, TaskKind};
 use pastix_symbolic::SymbolMatrix;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Message shipped between logical processors. (`Clone` is only exercised
-/// by the simulator's duplicate-delivery fault.)
+/// by the simulator's duplicate-delivery fault; for the `Arc` factor
+/// payload it is a refcount bump.)
 #[derive(Clone)]
 enum PMsg<T> {
     /// Aggregated update block for the region of task `dst`, carrying
@@ -38,6 +40,9 @@ enum PMsg<T> {
     /// sender it identifies the AUB so receivers can discard the
     /// simulator's duplicate deliveries (an AUB applied twice would
     /// corrupt the region *and* underflow the pending-pair counter).
+    /// The payload stays an owned `Vec` on purpose: an AUB has exactly one
+    /// destination, and the receiver recycles the buffer into its own
+    /// outgoing pool after applying it.
     Aub {
         dst: u32,
         seq: u32,
@@ -46,8 +51,10 @@ enum PMsg<T> {
     },
     /// Factor data produced by task `src` (`L_kk D_k` of a FACTOR, or
     /// `[L_b | F_b]` of a BDIV). Duplicate delivery is harmless: the cache
-    /// insert is idempotent.
-    Fac { src: u32, data: Vec<T> },
+    /// insert is idempotent. Shipped as `Arc<[T]>`: the producer
+    /// materializes the payload once and every consumer send is a refcount
+    /// bump instead of a deep clone.
+    Fac { src: u32, data: Arc<[T]> },
     /// A processor hit a zero pivot; everyone unwinds. Idempotent.
     Abort { col: u32 },
 }
@@ -201,8 +208,12 @@ struct Worker<'a, T> {
     /// Fan-Both memory cap: when the outgoing AUB buffers hold more than
     /// this many scalars, the largest one is flushed partially aggregated.
     aub_memory_limit: Option<usize>,
-    /// Factor data received from remote producers.
-    fac_cache: HashMap<u32, Vec<T>>,
+    /// Recycled AUB buffers: applied incoming AUB payloads land here and
+    /// are reused for outgoing accumulation instead of fresh allocations.
+    aub_pool: Vec<Vec<T>>,
+    /// Factor payloads, remote (received) and local (materialized once per
+    /// producing task, then shared by every consumer send).
+    fac_cache: HashMap<u32, Arc<[T]>>,
     /// AUBs already applied, keyed by (sender, sender-sequence): the
     /// duplicate-delivery fault replays a message verbatim, so this set is
     /// what makes AUB application exactly-once.
@@ -225,6 +236,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
                 data,
             } => {
                 if !self.seen_aubs.insert((from, seq)) {
+                    self.recycle_aub(data);
                     return; // duplicate delivery
                 }
                 // Updates commute: apply immediately into the region.
@@ -234,6 +246,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
                 }
                 let left = self.aubs_pending.get_mut(&dst).expect("unexpected AUB");
                 *left -= pairs;
+                self.recycle_aub(data);
             }
             PMsg::Fac { src, data } => {
                 self.fac_cache.insert(src, data);
@@ -256,15 +269,30 @@ impl<'a, T: Scalar> Worker<'a, T> {
         }
     }
 
-    /// Obtains factor data produced by task `src` (cloned; local regions
-    /// are read from the store, remote ones from the cache / mailbox).
+    /// Materializes the finished factor region of locally owned task `t`
+    /// as a shared payload — once; later callers (and every consumer send)
+    /// get refcount bumps of the same allocation.
+    fn local_fac_payload(&mut self, t: u32) -> Arc<[T]> {
+        if let Some(data) = self.fac_cache.get(&t) {
+            return data.clone();
+        }
+        let region = self.regions.get(&t).expect("local factor region missing");
+        metrics::count_fac_deep_copy();
+        let arc: Arc<[T]> = Arc::from(region.as_slice());
+        self.fac_cache.insert(t, arc.clone());
+        arc
+    }
+
+    /// Obtains factor data produced by task `src` (shared, read-only;
+    /// local regions are materialized once, remote ones come from the
+    /// cache / mailbox).
     fn get_fac<C: Comm<PMsg<T>> + ?Sized>(
         &mut self,
         ctx: &C,
         src: u32,
-    ) -> Result<Vec<T>, FactorError> {
+    ) -> Result<Arc<[T]>, FactorError> {
         if self.sched.task_proc[src as usize] == self.rank {
-            return Ok(self.regions.get(&src).expect("local factor region missing").clone());
+            return Ok(self.local_fac_payload(src));
         }
         loop {
             if let Some(e) = self.aborted {
@@ -275,6 +303,32 @@ impl<'a, T: Scalar> Worker<'a, T> {
             }
             let env = ctx.recv();
             self.handle(env.from, env.msg);
+        }
+    }
+
+    /// Returns an applied incoming AUB payload to the pool for reuse as an
+    /// outgoing accumulation buffer (bounded so the pool cannot hoard).
+    fn recycle_aub(&mut self, buf: Vec<T>) {
+        const AUB_POOL_CAP: usize = 16;
+        if buf.capacity() > 0 && self.aub_pool.len() < AUB_POOL_CAP {
+            self.aub_pool.push(buf);
+        }
+    }
+
+    /// Takes a zeroed buffer of `len` scalars, recycling from the pool
+    /// when possible.
+    fn take_aub_buffer(&mut self, len: usize) -> Vec<T> {
+        match self.aub_pool.pop() {
+            Some(mut buf) => {
+                metrics::count_aub_pool_reuse();
+                buf.clear();
+                buf.resize(len, T::zero());
+                buf
+            }
+            None => {
+                metrics::count_aub_fresh_alloc();
+                vec![T::zero(); len]
+            }
         }
     }
 
@@ -292,6 +346,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
     ) {
         let seq = self.aub_seq;
         self.aub_seq += 1;
+        metrics::count_aub_send();
         let _ = ctx.send_resilient(
             q,
             PMsg::Aub {
@@ -331,15 +386,22 @@ impl<'a, T: Scalar> Worker<'a, T> {
                 .pair_count
                 .get(&(self.rank, route.dst))
                 .expect("pair count missing");
-            let entry = self
+            if self
                 .aub_out
-                .entry(route.dst)
-                .or_insert_with(|| (Vec::new(), total, 0u32));
-            if entry.0.is_empty() {
-                // (Re-)allocate lazily: a Fan-Both flush leaves an empty
-                // placeholder holding the remaining pair budget.
-                entry.0 = vec![T::zero(); len];
+                .get(&route.dst)
+                .is_none_or(|(buf, _, _)| buf.is_empty())
+            {
+                // (Re-)acquire lazily: a Fan-Both flush leaves an empty
+                // placeholder holding the remaining pair budget. Buffers
+                // come from the recycling pool when it has one.
+                let buf = self.take_aub_buffer(len);
+                let entry = self
+                    .aub_out
+                    .entry(route.dst)
+                    .or_insert_with(|| (Vec::new(), total, 0u32));
+                entry.0 = buf;
             }
+            let entry = self.aub_out.get_mut(&route.dst).expect("AUB entry just ensured");
             let off = route.row_off + route.col_off * route.ldr;
             gemm_nt_acc(hr, hc, w, T::one(), a, lda, b, ldb, &mut entry.0[off..], route.ldr);
             entry.1 -= 1;
@@ -405,9 +467,12 @@ impl<'a, T: Scalar> Worker<'a, T> {
         if procs.is_empty() {
             return;
         }
-        let data = self.regions.get(&t).expect("factor region missing").clone();
+        // One deep copy (shared with later local readers), N refcount
+        // bumps — the seed cloned the whole region once per consumer.
+        let data = self.local_fac_payload(t);
         for q in procs {
             // Retried on drop; a closed peer is already unwinding.
+            metrics::count_fac_send();
             let _ = ctx.send_resilient(q as usize, PMsg::Fac { src: t, data: data.clone() });
         }
     }
@@ -448,7 +513,8 @@ impl<'a, T: Scalar> Worker<'a, T> {
             panel[0] = T::zero();
         }
         // Factor + panel solve (same steps as the sequential COMP1D).
-        if let Err(FactorError::ZeroPivot(i)) = ldlt_factor_inplace(w, &mut panel, lda) {
+        let mut fwork = Vec::new();
+        if let Err(FactorError::ZeroPivot(i)) = ldlt_factor_blocked(w, &mut panel, lda, NB_FACTOR, &mut fwork) {
             let col = cb.fcol as usize + i;
             self.abort(ctx, col);
             self.regions.insert(t, panel);
@@ -503,7 +569,8 @@ impl<'a, T: Scalar> Worker<'a, T> {
         if self.chaos.zero_pivot_task == Some(t) {
             region[0] = T::zero();
         }
-        if let Err(FactorError::ZeroPivot(i)) = ldlt_factor_inplace(w, &mut region, w) {
+        let mut fwork = Vec::new();
+        if let Err(FactorError::ZeroPivot(i)) = ldlt_factor_blocked(w, &mut region, w, NB_FACTOR, &mut fwork) {
             let col = cb.fcol as usize + i;
             self.abort(ctx, col);
             self.regions.insert(t, region);
@@ -629,26 +696,6 @@ pub fn factorize_parallel_with<T: Scalar>(
     assemble(sym, &layout, graph, results)
 }
 
-/// [`factorize_parallel_with`] on the deterministic simulation backend.
-#[deprecated(
-    since = "0.1.0",
-    note = "set `ParallelOptions::backend = Backend::Sim(plan)` and call `factorize_parallel_with`"
-)]
-pub fn factorize_parallel_sim<T: Scalar>(
-    sym: &SymbolMatrix,
-    a: &SymCsc<T>,
-    graph: &TaskGraph,
-    sched: &Schedule,
-    opts: &ParallelOptions,
-    plan: &FaultPlan,
-) -> Result<FactorStorage<T>, FactorError> {
-    let opts = ParallelOptions {
-        backend: Backend::Sim(*plan),
-        ..*opts
-    };
-    factorize_parallel_with(sym, a, graph, sched, &opts)
-}
-
 /// The SPMD body executed by one logical processor, on either backend.
 #[allow(clippy::too_many_arguments)]
 fn worker_run<T: Scalar, C: Comm<PMsg<T>> + ?Sized>(
@@ -690,6 +737,7 @@ fn worker_run<T: Scalar, C: Comm<PMsg<T>> + ?Sized>(
         aubs_pending,
         aub_out: HashMap::new(),
         aub_memory_limit: opts.aub_memory_limit,
+        aub_pool: Vec::new(),
         fac_cache: HashMap::new(),
         seen_aubs: HashSet::new(),
         aub_seq: 0,

@@ -18,11 +18,11 @@
 use crate::parallel::ParallelOptions;
 use crate::storage::FactorStorage;
 use pastix_kernels::{gemm_nn_acc, solve_unit_lower, solve_unit_lower_trans, Scalar};
-use pastix_runtime::sim::FaultPlan;
-use pastix_runtime::{run_spmd_with, Backend, Comm};
+use pastix_runtime::{run_spmd_with, Comm};
 use pastix_sched::{Schedule, TaskGraph};
 use pastix_symbolic::SymbolMatrix;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Messages of the distributed solve. (`Clone` is only exercised by the
 /// simulator's duplicate-delivery fault.) Every variant is naturally
@@ -30,12 +30,16 @@ use std::collections::{HashMap, HashSet};
 /// block) since each sender aggregates at most one AUB per target — so
 /// receivers deduplicate injected duplicate deliveries with seen-sets
 /// instead of sequence numbers.
+///
+/// Solved segments are broadcast to every blok owner, so they travel as
+/// `Arc<[T]>` (one materialization, refcount bumps per send); the AUBs have
+/// exactly one destination each and stay owned `Vec`s.
 #[derive(Clone)]
 enum SMsg<T> {
     /// Solved segment of a column block (forward sweep).
-    XFwd { cblk: u32, data: Vec<T> },
+    XFwd { cblk: u32, data: Arc<[T]> },
     /// Final segment of a column block (backward sweep).
-    XBwd { cblk: u32, data: Vec<T> },
+    XBwd { cblk: u32, data: Arc<[T]> },
     /// Aggregated forward updates targeting a column block's segment.
     FwdAub { cblk: u32, data: Vec<T> },
     /// Aggregated backward partial dot-products targeting a column block.
@@ -159,26 +163,6 @@ pub fn solve_parallel_with<T: Scalar>(
     gather_solution(sym, results)
 }
 
-/// [`solve_parallel_with`] on the deterministic simulation backend.
-#[deprecated(
-    since = "0.1.0",
-    note = "set `ParallelOptions::backend = Backend::Sim(plan)` and call `solve_parallel_with`"
-)]
-pub fn solve_parallel_sim<T: Scalar>(
-    sym: &SymbolMatrix,
-    storage: &FactorStorage<T>,
-    graph: &TaskGraph,
-    sched: &Schedule,
-    b_perm: &[T],
-    plan: &FaultPlan,
-) -> Vec<T> {
-    let opts = ParallelOptions {
-        backend: Backend::Sim(*plan),
-        ..Default::default()
-    };
-    solve_parallel_with(sym, storage, graph, sched, b_perm, &opts)
-}
-
 /// The SPMD body of one logical processor of the solve, on either backend.
 fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>> + ?Sized>(
     ctx: &C,
@@ -205,6 +189,7 @@ fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>> + ?Sized>(
         fwd_aub_seen: HashSet::new(),
         bwd_aub_seen: HashSet::new(),
         bwd_early: Vec::new(),
+        scratch: Vec::new(),
     };
     // Initialize owned segments with b, and pending counters.
     for k in 0..ns {
@@ -266,6 +251,10 @@ struct SolveWorker<'a, T> {
     /// in its forward sweep (a faster peer may legitimately race ahead);
     /// drained at the start of the backward sweep.
     bwd_early: Vec<(usize, SMsg<T>)>,
+    /// Reused per-blok scratch of both sweeps (`L_b·x_k` contributions,
+    /// `L_bᵀ·x` partials): one allocation per worker instead of one per
+    /// owned blok per supernode.
+    scratch: Vec<T>,
 }
 
 impl<T: Scalar> SolveWorker<'_, T> {
@@ -359,7 +348,8 @@ impl<T: Scalar> SolveWorker<'_, T> {
         let lda = self.storage.layout.panel_rows(k);
         let seg = self.x.get_mut(&(k as u32)).unwrap();
         solve_unit_lower(w, &self.storage.panels[k], lda, seg, 1, w);
-        let seg = seg.clone();
+        // One shared materialization; every consumer send bumps a refcount.
+        let seg: Arc<[T]> = Arc::from(seg.as_slice());
         // Ship to the owners of this cblk's off-diagonal bloks. Drops are
         // retried; a closed peer is already unwinding (panic teardown).
         for q in self.blok_owner_procs(k) {
@@ -375,13 +365,16 @@ impl<T: Scalar> SolveWorker<'_, T> {
         let cb = &self.sym.cblks[k];
         let w = cb.width();
         let lda = self.storage.layout.panel_rows(k);
+        // Reused scratch: swapped out of the worker for the borrow's sake.
+        let mut contrib = std::mem::take(&mut self.scratch);
         for b in cb.blok_start + 1..cb.blok_end {
             if self.routing.blok_owner[b] != self.me {
                 continue;
             }
             let blok = &self.sym.bloks[b];
             let hb = blok.nrows();
-            let mut contrib = vec![T::zero(); hb];
+            contrib.clear();
+            contrib.resize(hb, T::zero());
             gemm_nn_acc(
                 hb,
                 1,
@@ -426,6 +419,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
                 }
             }
         }
+        self.scratch = contrib;
     }
 
     // ------------------------------------------------------------------
@@ -529,7 +523,8 @@ impl<T: Scalar> SolveWorker<'_, T> {
             }
         }
         solve_unit_lower_trans(w, panel, lda, seg, 1, w);
-        let seg = seg.clone();
+        // One shared materialization; every consumer send bumps a refcount.
+        let seg: Arc<[T]> = Arc::from(seg.as_slice());
         for q in self.facing_owner_procs(k) {
             let _ = ctx.send_resilient(q as usize, SMsg::XBwd { cblk: k as u32, data: seg.clone() });
         }
@@ -547,6 +542,8 @@ impl<T: Scalar> SolveWorker<'_, T> {
             .copied()
             .filter(|&(b, _)| self.routing.blok_owner[b as usize] == self.me)
             .collect();
+        // Reused scratch: swapped out of the worker for the borrow's sake.
+        let mut partial = std::mem::take(&mut self.scratch);
         for (b, k) in facing {
             let b = b as usize;
             let k = k as usize;
@@ -557,7 +554,8 @@ impl<T: Scalar> SolveWorker<'_, T> {
             let prow = self.storage.layout.panel_row[b] as usize;
             let off = (blok.frow - tcb.fcol) as usize;
             let xs = &xt[off..off + hb];
-            let mut partial = vec![T::zero(); w];
+            partial.clear();
+            partial.resize(w, T::zero());
             let panel = &self.storage.panels[k];
             for (col, p) in partial.iter_mut().enumerate() {
                 let colv = &panel[prow + col * lda..prow + col * lda + hb];
@@ -597,6 +595,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
                 }
             }
         }
+        self.scratch = partial;
     }
 }
 

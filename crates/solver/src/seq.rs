@@ -7,7 +7,8 @@
 //! The parallel solver must produce the same factor; tests enforce it.
 
 use crate::storage::{FactorStorage, PanelLayout};
-use pastix_kernels::factor::{ldlt_factor_inplace, FactorError};
+use pastix_kernels::factor::{ldlt_factor_blocked, ldlt_factor_inplace, FactorError, NB_FACTOR};
+use pastix_kernels::{kernel_mode, KernelMode};
 use pastix_kernels::{
     gemm_nn_acc, gemm_nt_acc, scale_cols_by_diag_into, solve_unit_lower, solve_unit_lower_trans,
     trsm_ldlt_panel, Scalar,
@@ -22,8 +23,9 @@ pub fn factorize_sequential<T: Scalar>(
     let layout = storage.layout.clone();
     let mut wbuf: Vec<T> = Vec::new();
     let mut dtmp: Vec<T> = Vec::new();
+    let mut ubuf: Vec<T> = Vec::new();
     for k in 0..sym.n_cblks() {
-        comp1d_step(sym, &layout, &mut storage.panels, k, &mut wbuf, &mut dtmp)?;
+        comp1d_step(sym, &layout, &mut storage.panels, k, &mut wbuf, &mut dtmp, &mut ubuf)?;
     }
     Ok(())
 }
@@ -36,6 +38,7 @@ fn comp1d_step<T: Scalar>(
     k: usize,
     wbuf: &mut Vec<T>,
     dtmp: &mut Vec<T>,
+    ubuf: &mut Vec<T>,
 ) -> Result<(), FactorError> {
     let cb = &sym.cblks[k];
     let w = cb.width();
@@ -44,9 +47,18 @@ fn comp1d_step<T: Scalar>(
     let (left, right) = panels.split_at_mut(k + 1);
     let panel = &mut left[k][..];
 
-    // Factor the diagonal block.
-    ldlt_factor_inplace(w, panel, lda)
-        .map_err(|FactorError::ZeroPivot(i)| FactorError::ZeroPivot(cb.fcol as usize + i))?;
+    // Factor the diagonal block (wbuf is dead here; it doubles as the
+    // blocked kernel's panel scratch before being rebuilt as F below).
+    // [`KernelMode::Reference`] freezes the seed hot path — unblocked
+    // factor, per-pair contributions — as the bench harness's "before"
+    // side; every other mode takes the blocked/fused formulation.
+    let seed_path = kernel_mode() == KernelMode::Reference;
+    if seed_path {
+        ldlt_factor_inplace(w, panel, lda)
+    } else {
+        ldlt_factor_blocked(w, panel, lda, NB_FACTOR, wbuf)
+    }
+    .map_err(|FactorError::ZeroPivot(i)| FactorError::ZeroPivot(cb.fcol as usize + i))?;
     if h == 0 {
         return Ok(());
     }
@@ -68,8 +80,13 @@ fn comp1d_step<T: Scalar>(
         }
         scale_cols_by_diag_into(h, w, &panel[w..], lda, &d, wbuf, h);
     }
-    // Contributions: for every block pair (r ≥ c), subtract
-    // L_r · F_cᵀ from the target region (direct local aggregation).
+    // Contributions: for every source block c, ONE product over *all* the
+    // panel rows at and below it (they are contiguous in the panel) into a
+    // scratch strip, scattered row-block by row-block into the target
+    // panel. Fusing the per-pair GEMMs of the seed this way turns ~B²/2
+    // tiny products per column block into B medium ones — the per-call
+    // overhead disappears and the tall strips are exactly the shapes the
+    // packed path is fastest on.
     let offs = sym.off_bloks_of(k);
     for c in 0..offs.len() {
         let bc = &offs[c];
@@ -78,25 +95,64 @@ fn comp1d_step<T: Scalar>(
         let tcb = &sym.cblks[tk];
         let tlda = layout.panel_rows(tk);
         let tcol = (bc.frow - tcb.fcol) as usize;
-        for (r, br) in offs.iter().enumerate().skip(c) {
+        let a_off = layout.panel_row[cb.blok_start + 1 + c] as usize;
+        let b_off = a_off - w;
+        let mbelow = lda - a_off;
+        if seed_path {
+            // Seed formulation: one small GEMM per block pair, applied
+            // straight to the target region.
+            for (r, br) in offs.iter().enumerate().skip(c) {
+                let hr = br.nrows();
+                let tb = sym.covering_blok(tk, br.frow, br.lrow);
+                let trow = layout.panel_row[tb] as usize + (br.frow - sym.bloks[tb].frow) as usize;
+                let ra_off = layout.panel_row[cb.blok_start + 1 + r] as usize;
+                let target = &mut right[tk - (k + 1)][trow + tcol * tlda..];
+                gemm_nt_acc(
+                    hr,
+                    hc,
+                    w,
+                    -T::one(),
+                    &panel[ra_off..],
+                    lda,
+                    &wbuf[b_off..],
+                    h,
+                    target,
+                    tlda,
+                );
+            }
+            continue;
+        }
+        // U = −L_{c..} · F_cᵀ, an mbelow × hc strip.
+        ubuf.clear();
+        ubuf.resize(mbelow * hc, T::zero());
+        gemm_nt_acc(
+            mbelow,
+            hc,
+            w,
+            -T::one(),
+            &panel[a_off..],
+            lda,
+            &wbuf[b_off..],
+            h,
+            ubuf,
+            mbelow,
+        );
+        // Scatter: row block r of the strip lands at its covering block's
+        // row offset in the target panel.
+        let target = &mut right[tk - (k + 1)][..];
+        let mut urow = 0;
+        for br in offs.iter().skip(c) {
             let hr = br.nrows();
             let tb = sym.covering_blok(tk, br.frow, br.lrow);
             let trow = layout.panel_row[tb] as usize + (br.frow - sym.bloks[tb].frow) as usize;
-            let a_off = layout.panel_row[cb.blok_start + 1 + r] as usize;
-            let b_off = layout.panel_row[cb.blok_start + 1 + c] as usize - w;
-            let target = &mut right[tk - (k + 1)][trow + tcol * tlda..];
-            gemm_nt_acc(
-                hr,
-                hc,
-                w,
-                -T::one(),
-                &panel[a_off..],
-                lda,
-                &wbuf[b_off..],
-                h,
-                target,
-                tlda,
-            );
+            for j in 0..hc {
+                let src = &ubuf[urow + j * mbelow..urow + j * mbelow + hr];
+                let dst = &mut target[trow + (tcol + j) * tlda..trow + (tcol + j) * tlda + hr];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+            urow += hr;
         }
     }
     Ok(())

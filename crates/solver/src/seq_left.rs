@@ -10,7 +10,7 @@
 //! rounding) is strong evidence against indexing bugs in either.
 
 use crate::storage::FactorStorage;
-use pastix_kernels::factor::{ldlt_factor_inplace, FactorError};
+use pastix_kernels::factor::{ldlt_factor_blocked, FactorError, NB_FACTOR};
 use pastix_kernels::{gemm_nt_acc, scale_cols_by_diag_into, trsm_ldlt_panel, Scalar};
 use pastix_symbolic::SymbolMatrix;
 
@@ -82,7 +82,8 @@ pub fn factorize_sequential_left<T: Scalar>(
         }
         // Factor the (fully updated) diagonal block and solve the panel.
         let panel = &mut storage.panels[k][..];
-        ldlt_factor_inplace(wk, panel, ldak)
+        // wbuf is dead between column blocks; reuse it as factor scratch.
+        ldlt_factor_blocked(wk, panel, ldak, NB_FACTOR, &mut wbuf)
             .map_err(|FactorError::ZeroPivot(i)| FactorError::ZeroPivot(cbk.fcol as usize + i))?;
         let h = ldak - wk;
         if h > 0 {

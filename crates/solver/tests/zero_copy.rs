@@ -1,0 +1,95 @@
+//! Allocation-count regression tests for the zero-copy message path.
+//!
+//! The claims under test (see `pastix_solver::metrics`):
+//!
+//! 1. factor regions are materialized into an `Arc<[T]>` payload at most
+//!    once per producing task — consumer sends are refcount bumps, so with
+//!    any fan-out the send count strictly exceeds the deep-copy count
+//!    (the seed cloned the region on every send);
+//! 2. under the Fan-Both memory cap, outgoing AUB accumulation buffers are
+//!    recycled from applied incoming AUBs instead of freshly allocated.
+//!
+//! This file holds a single `#[test]` on purpose: the counters are
+//! process-wide, and a lone test in its own integration binary is the only
+//! thing touching them.
+
+use pastix_graph::gen::{grid_spd, Stencil, ValueKind};
+use pastix_machine::MachineModel;
+use pastix_ordering::{nested_dissection, OrderingOptions};
+use pastix_sched::{map_and_schedule, DistStrategy, MappingOptions, SchedOptions, TaskKind};
+use pastix_solver::{factorize_parallel, factorize_parallel_with, metrics, ParallelOptions};
+use pastix_symbolic::{analyze, AnalysisOptions};
+
+#[test]
+fn factor_payloads_are_shared_and_aub_buffers_recycled() {
+    // A mixed 1D/2D problem on 8 logical processors: plenty of factor
+    // fan-out and cross-processor AUB traffic.
+    let a = grid_spd::<f64>(12, 12, 1, Stencil::Star, false, ValueKind::RandomSpd(21));
+    let g = a.to_graph();
+    let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 8, ..Default::default() });
+    let an = analyze(&g, &ord, &AnalysisOptions::default());
+    let machine = MachineModel::sp2(8);
+    let opts = SchedOptions {
+        block_size: 4,
+        mapping: MappingOptions {
+            procs_2d_min: 2.0,
+            width_2d_min: 4,
+            strategy: DistStrategy::Mixed1d2d,
+        },
+    };
+    let mapping = map_and_schedule(&an.symbol, &machine, &opts);
+    let ap = a.permuted(&an.perm);
+    let sym = &mapping.graph.split.symbol;
+    let n_producers = mapping
+        .graph
+        .kinds
+        .iter()
+        .filter(|k| matches!(k, TaskKind::Factor { .. } | TaskKind::Bdiv { .. }))
+        .count() as u64;
+
+    // Phase 1: plain fan-in factorization — factor-payload sharing.
+    metrics::reset();
+    let fanin = factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule).unwrap();
+    let m1 = metrics::snapshot();
+    assert!(m1.fac_sends > 0, "expected remote factor traffic: {m1:?}");
+    assert!(
+        m1.fac_deep_copies <= n_producers,
+        "factor regions must be deep-copied at most once per producing task \
+         ({n_producers} producers): {m1:?}"
+    );
+    assert!(
+        m1.fac_deep_copies < m1.fac_sends,
+        "with fan-out, sends must exceed deep copies (seed cloned per send): {m1:?}"
+    );
+
+    // Phase 2: punishing Fan-Both memory cap — AUB buffer recycling.
+    metrics::reset();
+    let fanboth = factorize_parallel_with(
+        sym,
+        &ap,
+        &mapping.graph,
+        &mapping.schedule,
+        &ParallelOptions {
+            aub_memory_limit: Some(16),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let m2 = metrics::snapshot();
+    assert!(m2.aub_sends > 0, "the cap should force AUB traffic: {m2:?}");
+    assert!(
+        m2.aub_pool_reuses > 0,
+        "flushed/applied AUB payloads must be recycled into outgoing buffers: {m2:?}"
+    );
+    assert!(
+        m2.aub_fresh_allocs + m2.aub_pool_reuses >= m2.aub_sends,
+        "every sent AUB consumed an acquired buffer: {m2:?}"
+    );
+
+    // The optimization must not change the numbers.
+    for (pa, pb) in fanin.panels.iter().zip(&fanboth.panels) {
+        for (x, y) in pa.iter().zip(pb) {
+            assert!((x - y).abs() < 1e-9, "fan-both deviates: {x} vs {y}");
+        }
+    }
+}

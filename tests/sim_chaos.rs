@@ -534,58 +534,49 @@ fn chaos_dropped_lossy_reports_to_sender() {
     }
 }
 
-/// The deprecated `*_sim` wrappers must keep working until callers have
-/// migrated to `ParallelOptions::backend`: same inputs, same results as
-/// the backend-generic entry points.
+
+/// (g) Paper-adjacent stress sweep: the same agreement check at grid sizes
+/// and processor counts an order of magnitude past the smoke matrix —
+/// deeper elimination trees, wider 2D blocks, and 6–8 logical processors
+/// stress the AUB aggregation and fan-both routing paths the small grids
+/// barely touch. Every seed runs under all four `SchedPolicy` variants.
+/// Too slow for the per-push smoke lane; run it on demand with
+/// `cargo test --release -p pastix-integration --test sim_chaos -- --ignored`.
 #[test]
-#[allow(deprecated)]
-fn deprecated_sim_wrappers_match_backend_generic_api() {
-    use pastix::solver::{factorize_parallel_sim, solve_parallel_sim};
-    let case = build_case("grid6x6-1d", (6, 6, 1), DistStrategy::Only1d, 4, 2);
-    let sym = &case.mapping.graph.split.symbol;
-    let plan = FaultPlan::builder(11).build();
-    let old = factorize_parallel_sim(
-        sym,
-        &case.ap,
-        &case.mapping.graph,
-        &case.mapping.schedule,
-        &ParallelOptions::default(),
-        &plan,
-    )
-    .unwrap();
-    let opts = ParallelOptions {
-        backend: Backend::Sim(plan),
-        ..Default::default()
-    };
-    let new = factorize_parallel_with(
-        sym,
-        &case.ap,
-        &case.mapping.graph,
-        &case.mapping.schedule,
-        &opts,
-    )
-    .unwrap();
-    for (pa, pb) in old.panels.iter().zip(&new.panels) {
-        assert!(
-            pa.iter().zip(pb).all(|(a, b)| a.to_bits() == b.to_bits()),
-            "wrapper and backend-generic factorization disagree"
-        );
+#[ignore = "paper-adjacent sizes; minutes in release — see CI stress job"]
+fn chaos_stress_paper_adjacent_sizes() {
+    let problems: [ProblemSpec; 3] = [
+        ("grid16x16-mixed", (16, 16, 1), DistStrategy::Mixed1d2d, 8),
+        ("grid24x10-mixed", (24, 10, 1), DistStrategy::Mixed1d2d, 8),
+        ("grid6x6x6-mixed", (6, 6, 6), DistStrategy::Mixed1d2d, 8),
+    ];
+    let seeds_per_point = seed_budget(216).div_ceil(72).max(2);
+    for (pi, &(name, dims, strategy, block)) in problems.iter().enumerate() {
+        for (ci, procs) in [6usize, 8].into_iter().enumerate() {
+            let case = build_case(name, dims, strategy, block, procs);
+            for p in 0..4usize {
+                for i in 0..seeds_per_point {
+                    let seed =
+                        0x57E_0000 + ((((pi * 2 + ci) * 4 + p) * seeds_per_point + i) as u64);
+                    let policy = match p {
+                        0 => SchedPolicy::Uniform,
+                        1 => SchedPolicy::StarveRank(seed as usize % case.procs),
+                        2 => SchedPolicy::DeliverLast,
+                        _ => SchedPolicy::FifoPerPair,
+                    };
+                    let plan = FaultPlan::builder(seed)
+                        .drop_lossy(0.1)
+                        .duplicate_lossy(0.1)
+                        .policy(policy)
+                        .build();
+                    let opts = ParallelOptions {
+                        backend: Backend::Sim(plan),
+                        aub_memory_limit: Some(64),
+                        ..Default::default()
+                    };
+                    case.check_against_sequential(&opts, &case.diag(&plan));
+                }
+            }
+        }
     }
-    let x_old = solve_parallel_sim(
-        sym,
-        &old,
-        &case.mapping.graph,
-        &case.mapping.schedule,
-        &case.b,
-        &plan,
-    );
-    let x_new = solve_parallel_with(
-        sym,
-        &new,
-        &case.mapping.graph,
-        &case.mapping.schedule,
-        &case.b,
-        &opts,
-    );
-    assert_eq!(x_old, x_new, "wrapper and backend-generic solve disagree");
 }
