@@ -22,9 +22,10 @@ use pastix_bench::{gflops, prepare, scale, scotch_ordering};
 use pastix_graph::ProblemId;
 use pastix_json::{num_arr, obj, Json};
 use pastix_kernels::gemm::{gemm_nt_acc, gemm_nt_acc_ref};
-use pastix_kernels::{blocking_for, set_kernel_mode, KernelMode};
+use pastix_kernels::{blocking_for, KernelMode};
 use pastix_machine::probe_blocking;
 use pastix_solver::{factorize_sequential, FactorStorage};
+use pastix_trace::TraceOptions;
 use std::time::Instant;
 
 const KERNELS_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
@@ -106,9 +107,10 @@ fn bench_kernels(quick: bool) -> Json {
         let reps = ((target_madds / madds).ceil() as usize).max(3);
         let flops = 2.0 * madds * reps as f64;
         let t_ref = time_gemm(gemm_nt_acc_ref::<f64>, m, n, k, reps);
-        set_kernel_mode(KernelMode::Packed);
-        let t_pack = time_gemm(gemm_nt_acc::<f64>, m, n, k, reps);
-        set_kernel_mode(KernelMode::Auto);
+        let t_pack = {
+            let _mode = KernelMode::Packed.scoped();
+            time_gemm(gemm_nt_acc::<f64>, m, n, k, reps)
+        };
         let (gf_ref, gf_pack) = (gflops(flops, t_ref), gflops(flops, t_pack));
         let speedup = t_ref / t_pack;
         println!("{m:>5} {n:>5} {k:>5} {reps:>6}  {gf_ref:>10.2} {gf_pack:>10.2} {speedup:>7.2}x");
@@ -160,6 +162,44 @@ fn time_factorize(
     (best, checksum)
 }
 
+/// Tracing overhead, measured **paired**: untraced and traced reps
+/// alternate in one loop so both sides see the same cache, frequency and
+/// allocator state (a sequential before/after comparison confounds the
+/// tracer with machine drift). Returns `(overhead_fraction, events)` from
+/// the best rep of each side.
+fn measure_trace_overhead(
+    sym: &pastix_symbolic::SymbolMatrix,
+    ap: &pastix_graph::SymCsc<f64>,
+    reps: usize,
+) -> (f64, u64) {
+    let mut best_plain = f64::INFINITY;
+    let mut best_traced = f64::INFINITY;
+    let mut events = 0u64;
+    let topts = TraceOptions::wall();
+    for _ in 0..reps {
+        let mut st = FactorStorage::zeros(sym);
+        st.scatter(sym, ap);
+        let t0 = Instant::now();
+        factorize_sequential(sym, &mut st).expect("factorization failed");
+        best_plain = best_plain.min(t0.elapsed().as_secs_f64());
+
+        let mut st = FactorStorage::zeros(sym);
+        st.scatter(sym, ap);
+        let session = pastix_trace::begin_rank(0, &topts);
+        let t0 = Instant::now();
+        factorize_sequential(sym, &mut st).expect("factorization failed");
+        best_traced = best_traced.min(t0.elapsed().as_secs_f64());
+        if let Some(rt) = session.finish() {
+            events = rt.events.len() as u64 + rt.dropped_events;
+        }
+    }
+    (best_traced / best_plain - 1.0, events)
+}
+
+/// Acceptance target from the issue: with tracing enabled the hot path may
+/// regress by at most this fraction vs tracing disabled.
+const TRACE_OVERHEAD_LIMIT: f64 = 0.02;
+
 fn bench_factorize(quick: bool) -> (Json, bool) {
     let sc = if quick { 0.02 } else { scale() };
     let reps = if quick { 1 } else { 3 };
@@ -172,6 +212,8 @@ fn bench_factorize(quick: bool) -> (Json, bool) {
     let mut rows = Vec::new();
     let mut ok = true;
     let mut largest_speedup = 0.0;
+    let mut trace_overhead = 0.0;
+    let mut trace_events = 0u64;
     println!();
     println!("sequential LDLᵀ, scale {sc}, best of {reps}");
     println!("{:<10} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8}", "Name", "n", "ref s", "packed s", "ref GF/s", "pk GF/s", "speedup");
@@ -181,9 +223,10 @@ fn bench_factorize(quick: bool) -> (Json, bool) {
         let ap = prep.matrix.permuted(&prep.analysis.perm);
         let opc = prep.analysis.scalar_opc;
 
-        set_kernel_mode(KernelMode::Reference);
-        let (t_ref, ck_ref) = time_factorize(sym, &ap, reps);
-        set_kernel_mode(KernelMode::Auto);
+        let (t_ref, ck_ref) = {
+            let _mode = KernelMode::Reference.scoped();
+            time_factorize(sym, &ap, reps)
+        };
         let (t_pack, ck_pack) = time_factorize(sym, &ap, reps);
 
         let speedup = t_ref / t_pack;
@@ -194,6 +237,12 @@ fn bench_factorize(quick: bool) -> (Json, bool) {
         }
         if id == ProblemId::Shipsec5 {
             largest_speedup = speedup;
+            // Tracing-overhead gate: paired untraced/traced reps of the
+            // same packed factorization (drift-free comparison). More reps
+            // than the headline timing — this ratio is the gate.
+            let (ov, ev) = measure_trace_overhead(sym, &ap, reps.max(5));
+            trace_overhead = ov;
+            trace_events = ev;
         }
         println!(
             "{:<10} {:>8} {:>10.3} {:>10.3} {:>9.2} {:>9.2} {:>7.2}x",
@@ -216,6 +265,14 @@ fn bench_factorize(quick: bool) -> (Json, bool) {
     println!();
     let verdict = if largest_speedup >= TARGET_SPEEDUP { "MET" } else { "NOT MET" };
     println!("acceptance (SHIPSEC5 ≥ {TARGET_SPEEDUP}x): {largest_speedup:.2}x — {verdict}");
+    let trace_ok = trace_overhead < TRACE_OVERHEAD_LIMIT;
+    println!(
+        "tracing overhead (SHIPSEC5, {} events, < {:.0}%): {:+.2}% — {}",
+        trace_events,
+        TRACE_OVERHEAD_LIMIT * 100.0,
+        trace_overhead * 100.0,
+        if trace_ok { "MET" } else { "NOT MET" }
+    );
     let report = obj([
         ("bench", Json::Str("sequential LDLt, packed vs reference kernels".into())),
         ("mode", Json::Str(if quick { "quick" } else { "full" }.into())),
@@ -224,6 +281,10 @@ fn bench_factorize(quick: bool) -> (Json, bool) {
         ("problems", Json::Arr(rows)),
         ("shipsec5_speedup", Json::Num(largest_speedup)),
         ("target_speedup", Json::Num(TARGET_SPEEDUP)),
+        ("tracing_overhead_shipsec5", Json::Num(trace_overhead)),
+        ("tracing_overhead_limit", Json::Num(TRACE_OVERHEAD_LIMIT)),
+        ("tracing_events_shipsec5", Json::Num(trace_events as f64)),
+        ("tracing_overhead_ok", Json::Bool(trace_ok)),
         ("checksums_ok", Json::Bool(ok)),
     ]);
     (report, ok)

@@ -1,0 +1,79 @@
+//! Trace-driven schedule validation: runs the parallel fan-in
+//! factorization on the deterministic simulation backend with wall-clock
+//! tracing, joins the recorded trace against the static schedule's
+//! predictions, and writes the predicted-vs-measured report.
+//!
+//! Outputs:
+//!
+//! * `BENCH_trace.json` — the full [`TraceReport`] (per-rank
+//!   compute/wait/idle split, critical-path pricing, top tasks by measured
+//!   time, reconciliation ratio);
+//! * human tables on stdout.
+//!
+//! The process exits non-zero if the trace fails to **reconcile**: the
+//! trace's span (first-to-last event across all ranks, shared epoch) must
+//! account for at least 95% of the run's wall time — anything less means
+//! the tracer is losing events or the session windows do not cover the
+//! run. `--quick` shrinks the problem for CI.
+
+use pastix_bench::{prepare, scale, scotch_ordering};
+use pastix_graph::ProblemId;
+use pastix_machine::MachineModel;
+use pastix_runtime::Backend;
+use pastix_sched::{map_and_schedule, SchedOptions};
+use pastix_solver::{factorize_parallel_with, SolverConfig};
+use pastix_trace::report::build_report;
+use pastix_trace::TraceOptions;
+use pastix_runtime::sim::FaultPlan;
+
+const TRACE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+
+/// Acceptance: the trace span must cover at least this fraction of the
+/// wall time (and cannot exceed it — the span is measured inside it).
+const RECONCILE_MIN: f64 = 0.95;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    println!("bench_trace ({mode}) — task trace vs static schedule, sim backend");
+
+    let sc = if quick { 0.02 } else { scale() };
+    let procs = 4;
+    let prep = prepare(ProblemId::Shipsec5, sc, &scotch_ordering());
+    let machine = MachineModel::sp2(procs);
+    let mut sopts = SchedOptions::default();
+    sopts.block_size = if quick { 16 } else { 32 };
+    let mapping = map_and_schedule(&prep.analysis.symbol, &machine, &sopts);
+    let ap = prep.matrix.permuted(&prep.analysis.perm);
+    let sym = &mapping.graph.split.symbol;
+    println!(
+        "problem {} n={} procs={procs} tasks={} digest={:#018x}",
+        prep.id.name(),
+        ap.n(),
+        mapping.graph.n_tasks(),
+        mapping.schedule.digest()
+    );
+
+    let cfg = SolverConfig::new()
+        .with_backend(Backend::Sim(FaultPlan::builder(1).build()))
+        .with_trace(TraceOptions::wall());
+    let run = factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, &cfg)
+        .expect("factorization failed");
+    let report = build_report(&mapping.graph, &mapping.schedule, &run.trace);
+
+    print!("{}", report.render_tables(15));
+    std::fs::write(TRACE_PATH, report.to_json(50).pretty()).expect("write BENCH_trace.json");
+    println!("wrote {TRACE_PATH}");
+
+    let ok = report.reconciliation >= RECONCILE_MIN && report.reconciliation <= 1.0;
+    println!(
+        "reconciliation (trace span / wall ≥ {:.0}%): {:.2}% — {}",
+        RECONCILE_MIN * 100.0,
+        report.reconciliation * 100.0,
+        if ok { "MET" } else { "NOT MET" }
+    );
+    if !ok {
+        eprintln!("FAIL: trace does not reconcile with wall time");
+        std::process::exit(1);
+    }
+}

@@ -43,6 +43,7 @@ pub use pastix_runtime as runtime;
 pub use pastix_sched as sched;
 pub use pastix_solver as solver;
 pub use pastix_symbolic as symbolic;
+pub use pastix_trace as trace;
 
 use pastix_graph::{Permutation, SymCsc};
 use pastix_kernels::factor::FactorError;

@@ -116,11 +116,12 @@ pub fn blocking_for<T: Scalar>() -> BlockSizes {
 }
 
 /// Which implementation the public GEMM entry points dispatch to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[repr(u8)]
 pub enum KernelMode {
     /// Packed path for large products, axpy reference below the packing
     /// break-even (default).
+    #[default]
     Auto = 0,
     /// Always the seed's axpy reference — the "before" side of the bench
     /// harness and the oracle of the divergence checks.
@@ -131,7 +132,47 @@ pub enum KernelMode {
 
 static KERNEL_MODE: AtomicU8 = AtomicU8::new(KernelMode::Auto as u8);
 
+impl KernelMode {
+    /// Installs this mode process-wide and returns a guard that restores
+    /// the previous mode when dropped. The scoped form is the supported
+    /// replacement for the deprecated bare setters: it composes (nested
+    /// scopes unwind in order) and cannot leak a mode into unrelated code
+    /// the way the fire-and-forget global store did. Solver entry points
+    /// apply `SolverConfig::kernel_mode` through this.
+    #[must_use = "the mode reverts when the guard drops"]
+    pub fn scoped(self) -> KernelModeGuard {
+        let prev = KERNEL_MODE.swap(self as u8, Ordering::Relaxed);
+        KernelModeGuard { prev }
+    }
+
+    /// Deprecated shim over the old process-global store.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `KernelMode::scoped()` (or `SolverConfig::kernel_mode`) instead of mutating process-global state"
+    )]
+    pub fn set_global(self) {
+        KERNEL_MODE.store(self as u8, Ordering::Relaxed);
+    }
+}
+
+/// Restores the previous [`KernelMode`] on drop; created by
+/// [`KernelMode::scoped`].
+#[derive(Debug)]
+pub struct KernelModeGuard {
+    prev: u8,
+}
+
+impl Drop for KernelModeGuard {
+    fn drop(&mut self) {
+        KERNEL_MODE.store(self.prev, Ordering::Relaxed);
+    }
+}
+
 /// Selects the dispatch mode process-wide (bench harness / tests).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `KernelMode::scoped()` (or `SolverConfig::kernel_mode`) instead of mutating process-global state"
+)]
 pub fn set_kernel_mode(mode: KernelMode) {
     KERNEL_MODE.store(mode as u8, Ordering::Relaxed);
 }
@@ -482,12 +523,39 @@ mod tests {
         assert!(bs.kc >= 1);
     }
 
+    // The mode tests mutate one process-global; serialize them.
+    static MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
-    fn kernel_mode_roundtrip() {
+    fn kernel_mode_scoped_restores() {
+        let _serial = MODE_LOCK.lock().unwrap();
         let before = kernel_mode();
-        set_kernel_mode(KernelMode::Packed);
-        assert_eq!(kernel_mode(), KernelMode::Packed);
-        set_kernel_mode(before);
+        {
+            let _g = KernelMode::Packed.scoped();
+            assert_eq!(kernel_mode(), KernelMode::Packed);
+            {
+                let _g2 = KernelMode::Reference.scoped();
+                assert_eq!(kernel_mode(), KernelMode::Reference);
+            }
+            assert_eq!(kernel_mode(), KernelMode::Packed);
+        }
+        assert_eq!(kernel_mode(), before);
+    }
+
+    #[test]
+    fn deprecated_setters_still_work() {
+        // The one-release compatibility shims must keep mutating the same
+        // global the scoped guard uses.
+        let _serial = MODE_LOCK.lock().unwrap();
+        #[allow(deprecated)]
+        {
+            let before = kernel_mode();
+            set_kernel_mode(KernelMode::Packed);
+            assert_eq!(kernel_mode(), KernelMode::Packed);
+            KernelMode::Reference.set_global();
+            assert_eq!(kernel_mode(), KernelMode::Reference);
+            set_kernel_mode(before);
+        }
     }
 
     #[test]

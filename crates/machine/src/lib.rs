@@ -229,46 +229,137 @@ impl Default for MachineModel {
     }
 }
 
+/// How many times the timed blocking sweep has actually run in this
+/// process. The cache layers in front of it ([`probe_blocking`],
+/// [`resolve_blocking_in`]) exist to keep this at most 1 per machine —
+/// the at-most-once test asserts through this counter.
+pub fn probe_runs() -> u64 {
+    PROBE_RUNS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+static PROBE_RUNS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Cache key of the blocking calibration: the result depends on the CPU
+/// architecture and core count, nothing else this crate can observe.
+fn blocking_cache_key() -> String {
+    format!(
+        "{}-{}cpu",
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    )
+}
+
+fn parse_blocking(text: &str) -> Option<BlockSizes> {
+    let mut it = text.trim().split('x');
+    let mc = it.next()?.trim().parse().ok()?;
+    let kc = it.next()?.trim().parse().ok()?;
+    let nc = it.next()?.trim().parse().ok()?;
+    if it.next().is_some() || mc == 0 || kc == 0 || nc == 0 {
+        return None;
+    }
+    Some(BlockSizes { mc, kc, nc }.sanitized())
+}
+
+/// The timed sweep itself: times a representative `C += A·Bᵀ` under a
+/// handful of candidate `MC×KC×NC` tilings and returns the fastest.
+/// ~10⁸ flops; every call is counted in [`probe_runs`].
+fn timed_blocking_sweep() -> BlockSizes {
+    PROBE_RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let candidates = [
+        BlockSizes { mc: 64, kc: 128, nc: 1024 },
+        BlockSizes { mc: 128, kc: 224, nc: 2048 },
+        BlockSizes { mc: 128, kc: 256, nc: 4096 },
+        BlockSizes { mc: 192, kc: 256, nc: 2048 },
+    ];
+    // A shape of the solver's own flavor: a tall contribution product
+    // with a supernode-width inner dimension.
+    let (m, n, k) = (384usize, 256usize, 192usize);
+    let a: Vec<f64> = (0..m * k).map(|i| (i % 17) as f64 * 0.25 - 2.0).collect();
+    let b: Vec<f64> = (0..n * k).map(|i| (i % 11) as f64 * 0.5 - 2.5).collect();
+    let mut best = candidates[0];
+    let mut best_t = f64::INFINITY;
+    for cand in candidates {
+        let mut c = vec![0.0f64; m * n];
+        // Warm the instruction path and the pack buffers once.
+        pack::gemm_nt_acc_packed_with(cand, m, n, k, 1.0, &a, m, &b, n, &mut c, m);
+        let reps = 3;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            pack::gemm_nt_acc_packed_with(cand, m, n, k, 1.0, &a, m, &b, n, &mut c, m);
+        }
+        let dt = t0.elapsed().as_secs_f64() / reps as f64;
+        if dt < best_t {
+            best_t = dt;
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Resolves the blocking constants with the persistent cache rooted at
+/// `cache_dir`, without touching the process-wide memo (that layer is
+/// [`probe_blocking`]). Resolution order:
+///
+/// 1. `PASTIX_BLOCKING=MCxKCxNC` in the environment — an explicit operator
+///    override, never persisted;
+/// 2. the dotfile `.pastix-blocking-<arch>-<n>cpu` under `cache_dir`,
+///    written by a previous run on this machine;
+/// 3. the timed sweep, whose winner is persisted to that dotfile
+///    (best-effort: an unwritable directory costs a re-probe next process,
+///    nothing else).
+pub fn resolve_blocking_in(cache_dir: &std::path::Path) -> BlockSizes {
+    if let Some(bs) = std::env::var("PASTIX_BLOCKING")
+        .ok()
+        .as_deref()
+        .and_then(parse_blocking)
+    {
+        return bs;
+    }
+    let dotfile = cache_dir.join(format!(".pastix-blocking-{}", blocking_cache_key()));
+    if let Some(bs) = std::fs::read_to_string(&dotfile)
+        .ok()
+        .as_deref()
+        .and_then(parse_blocking)
+    {
+        return bs;
+    }
+    let best = timed_blocking_sweep();
+    let _ = std::fs::create_dir_all(cache_dir);
+    let _ = std::fs::write(&dotfile, format!("{}x{}x{}\n", best.mc, best.kc, best.nc));
+    best
+}
+
+/// Directory of the persistent blocking cache: `PASTIX_BLOCKING_CACHE_DIR`
+/// if set, else the Cargo target dir (`CARGO_TARGET_DIR`, or `target/` when
+/// that exists beneath the current directory), else the system temp dir.
+fn blocking_cache_dir() -> std::path::PathBuf {
+    if let Ok(d) = std::env::var("PASTIX_BLOCKING_CACHE_DIR") {
+        return d.into();
+    }
+    if let Ok(d) = std::env::var("CARGO_TARGET_DIR") {
+        return d.into();
+    }
+    let target = std::path::Path::new("target");
+    if target.is_dir() {
+        return target.to_path_buf();
+    }
+    std::env::temp_dir()
+}
+
 /// One-shot runtime calibration of the packed GEMM blocking constants on
-/// *this* machine: times a representative `C += A·Bᵀ` under a handful of
-/// candidate `MC×KC×NC` tilings and installs the fastest via
+/// *this* machine, and installation of the winner via
 /// [`pastix_kernels::pack::configure_blocking`] (for `f64`, and a
 /// half-sized derivation for 16-byte scalars whose elements take twice the
-/// cache space). Idempotent and cheap (~10⁸ flops total): the first caller
-/// pays the probe, every later call returns the cached winner. Solvers work
-/// fine without it — the per-width defaults are sane — but the bench
+/// cache space). The timed sweep runs **at most once per machine**, not
+/// once per process: the winner is memoized in-process (`OnceLock`) and
+/// persisted under a machine cache key (see [`resolve_blocking_in`]), and
+/// `PASTIX_BLOCKING=MCxKCxNC` skips probing entirely. Solvers work fine
+/// without calling this — the per-width defaults are sane — but the bench
 /// harness and long-running services call it once at startup.
 pub fn probe_blocking() -> BlockSizes {
     static PROBE: OnceLock<BlockSizes> = OnceLock::new();
     *PROBE.get_or_init(|| {
-        let candidates = [
-            BlockSizes { mc: 64, kc: 128, nc: 1024 },
-            BlockSizes { mc: 128, kc: 224, nc: 2048 },
-            BlockSizes { mc: 128, kc: 256, nc: 4096 },
-            BlockSizes { mc: 192, kc: 256, nc: 2048 },
-        ];
-        // A shape of the solver's own flavor: a tall contribution product
-        // with a supernode-width inner dimension.
-        let (m, n, k) = (384usize, 256usize, 192usize);
-        let a: Vec<f64> = (0..m * k).map(|i| (i % 17) as f64 * 0.25 - 2.0).collect();
-        let b: Vec<f64> = (0..n * k).map(|i| (i % 11) as f64 * 0.5 - 2.5).collect();
-        let mut best = candidates[0];
-        let mut best_t = f64::INFINITY;
-        for cand in candidates {
-            let mut c = vec![0.0f64; m * n];
-            // Warm the instruction path and the pack buffers once.
-            pack::gemm_nt_acc_packed_with(cand, m, n, k, 1.0, &a, m, &b, n, &mut c, m);
-            let reps = 3;
-            let t0 = Instant::now();
-            for _ in 0..reps {
-                pack::gemm_nt_acc_packed_with(cand, m, n, k, 1.0, &a, m, &b, n, &mut c, m);
-            }
-            let dt = t0.elapsed().as_secs_f64() / reps as f64;
-            if dt < best_t {
-                best_t = dt;
-                best = cand;
-            }
-        }
+        let best = resolve_blocking_in(&blocking_cache_dir());
         pack::configure_blocking(8, best);
         pack::configure_blocking(
             16,
@@ -407,14 +498,67 @@ mod tests {
         assert_eq!(m.node_of(3), 3);
     }
 
+    // Serializes every test that can run the timed sweep or mutate the
+    // probe-related environment, so the `probe_runs()` deltas are exact.
+    static PROBE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn probe_blocking_is_one_shot_and_legal() {
+        let _serial = PROBE_LOCK.lock().unwrap();
         let first = probe_blocking();
         assert_eq!(first, probe_blocking(), "probe must cache its winner");
         let bs = first.sanitized();
         assert_eq!(bs, first, "installed blocking must already be sanitized");
         // The f64 slot now serves the probe's winner.
         assert_eq!(pastix_kernels::blocking_for::<f64>(), first);
+    }
+
+    #[test]
+    fn blocking_sweep_runs_at_most_once_per_cache_key() {
+        let _serial = PROBE_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("pastix-blk-cold-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r0 = probe_runs();
+        let a = resolve_blocking_in(&dir);
+        assert_eq!(probe_runs(), r0 + 1, "cold cache must pay the sweep once");
+        let b = resolve_blocking_in(&dir);
+        assert_eq!(probe_runs(), r0 + 1, "dotfile hit must skip the sweep");
+        assert_eq!(a, b, "cached winner must round-trip through the dotfile");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn blocking_cache_honors_dotfile_and_env_override() {
+        let _serial = PROBE_LOCK.lock().unwrap();
+        // Pre-seeded dotfile: no sweep, exact value back.
+        let dir = std::env::temp_dir().join(format!("pastix-blk-seed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = format!(
+            "{}-{}cpu",
+            std::env::consts::ARCH,
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+        std::fs::write(dir.join(format!(".pastix-blocking-{key}")), "64x128x1024").unwrap();
+        let r0 = probe_runs();
+        assert_eq!(
+            resolve_blocking_in(&dir),
+            BlockSizes { mc: 64, kc: 128, nc: 1024 }
+        );
+        assert_eq!(probe_runs(), r0, "seeded dotfile must skip the sweep");
+        // Env override wins over everything and is never persisted.
+        std::env::set_var("PASTIX_BLOCKING", "128x96x512");
+        let got = resolve_blocking_in(&dir);
+        std::env::remove_var("PASTIX_BLOCKING");
+        assert_eq!(got, BlockSizes { mc: 128, kc: 96, nc: 512 });
+        assert_eq!(probe_runs(), r0);
+        // Garbage in the dotfile falls through to the sweep rather than
+        // panicking or installing nonsense.
+        std::fs::write(dir.join(format!(".pastix-blocking-{key}")), "not-a-size").unwrap();
+        let swept = resolve_blocking_in(&dir);
+        assert_eq!(probe_runs(), r0 + 1);
+        assert_eq!(swept, swept.sanitized());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

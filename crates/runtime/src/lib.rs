@@ -330,6 +330,86 @@ where
     })
 }
 
+/// Observer of one rank's communication traffic, attached with
+/// [`Instrumented`]. The runtime stays dependency-free: the tracing crate
+/// implements this trait, the runtime only defines the seam.
+///
+/// `bytes` and `kind` come from the caller-supplied metadata function
+/// (payload size and a small message-class tag), so the runtime never
+/// needs to understand message types.
+pub trait CommHook {
+    /// A message was accepted by the transport (reliable or faulty path).
+    fn on_send(&self, to: usize, bytes: u64, kind: u8);
+    /// A lossy-path message was dropped by fault injection.
+    fn on_send_dropped(&self, to: usize, bytes: u64, kind: u8);
+    /// A message was received; `wait_ns` is the time this rank spent
+    /// blocked in `recv()` for it (0 for non-blocking receives).
+    fn on_recv(&self, from: usize, bytes: u64, kind: u8, wait_ns: u64);
+}
+
+/// A [`Comm`] decorator that reports every send/receive to a [`CommHook`]
+/// with `(kind, bytes)` metadata extracted by a caller-supplied function.
+/// `send_lossy` and `send_resilient` keep their default implementations,
+/// so retries and drops are observed per attempt through `send_faulty`.
+pub struct Instrumented<'a, M, C: ?Sized, H> {
+    inner: &'a C,
+    hook: H,
+    meta: fn(&M) -> (u8, u64),
+}
+
+impl<'a, M, C: Comm<M> + ?Sized, H: CommHook> Instrumented<'a, M, C, H> {
+    /// Wraps `inner`, reporting traffic to `hook`. `meta` maps a message
+    /// to `(kind_tag, payload_bytes)`.
+    pub fn new(inner: &'a C, hook: H, meta: fn(&M) -> (u8, u64)) -> Self {
+        Self { inner, hook, meta }
+    }
+}
+
+impl<M, C: Comm<M> + ?Sized, H: CommHook> Comm<M> for Instrumented<'_, M, C, H> {
+    #[inline]
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    #[inline]
+    fn n_procs(&self) -> usize {
+        self.inner.n_procs()
+    }
+
+    fn send(&self, to: usize, msg: M) {
+        let (kind, bytes) = (self.meta)(&msg);
+        self.inner.send(to, msg);
+        self.hook.on_send(to, bytes, kind);
+    }
+
+    fn send_faulty(&self, to: usize, msg: M) -> SendOutcome<M> {
+        let (kind, bytes) = (self.meta)(&msg);
+        let out = self.inner.send_faulty(to, msg);
+        match &out {
+            SendOutcome::Delivered => self.hook.on_send(to, bytes, kind),
+            SendOutcome::Dropped(_) => self.hook.on_send_dropped(to, bytes, kind),
+            SendOutcome::Closed(_) => {}
+        }
+        out
+    }
+
+    fn recv(&self) -> Envelope<M> {
+        let t0 = std::time::Instant::now();
+        let env = self.inner.recv();
+        let (kind, bytes) = (self.meta)(&env.msg);
+        self.hook
+            .on_recv(env.from, bytes, kind, t0.elapsed().as_nanos() as u64);
+        env
+    }
+
+    fn try_recv(&self) -> Option<Envelope<M>> {
+        let env = self.inner.try_recv()?;
+        let (kind, bytes) = (self.meta)(&env.msg);
+        self.hook.on_recv(env.from, bytes, kind, 0);
+        Some(env)
+    }
+}
+
 /// Collective operations built on the point-to-point layer. They run as
 /// **binomial trees** — `⌈log₂ p⌉` rounds instead of the linear
 /// rank-0-rooted sweeps of the first version — so the phase boundaries of
@@ -813,6 +893,52 @@ mod tests {
             }
         });
         assert_eq!(results, vec![true, true]);
+    }
+
+    #[test]
+    fn instrumented_reports_sends_and_recvs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        #[derive(Clone)]
+        struct Count {
+            sends: Arc<AtomicU64>,
+            recvs: Arc<AtomicU64>,
+            bytes: Arc<AtomicU64>,
+        }
+        impl CommHook for Count {
+            fn on_send(&self, _to: usize, bytes: u64, _kind: u8) {
+                self.sends.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+            fn on_send_dropped(&self, _to: usize, _bytes: u64, _kind: u8) {}
+            fn on_recv(&self, _from: usize, _bytes: u64, _kind: u8, _wait: u64) {
+                self.recvs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let hook = Count {
+            sends: Arc::new(AtomicU64::new(0)),
+            recvs: Arc::new(AtomicU64::new(0)),
+            bytes: Arc::new(AtomicU64::new(0)),
+        };
+        let h = hook.clone();
+        run_spmd::<u32, (), _>(2, move |ctx| {
+            let ctx = Instrumented::new(&ctx, h.clone(), |m: &u32| (1, *m as u64));
+            let next = (ctx.rank() + 1) % 2;
+            // One reliable send, one faulty-path send, one try_recv poll.
+            ctx.send(next, 10);
+            assert!(matches!(ctx.send_faulty(next, 6), SendOutcome::Delivered));
+            let a = ctx.recv();
+            let b = loop {
+                if let Some(e) = ctx.try_recv() {
+                    break e;
+                }
+            };
+            assert_eq!(a.msg + b.msg, 16);
+        });
+        assert_eq!(hook.sends.load(Ordering::Relaxed), 4);
+        assert_eq!(hook.recvs.load(Ordering::Relaxed), 4);
+        assert_eq!(hook.bytes.load(Ordering::Relaxed), 32);
     }
 
     #[test]

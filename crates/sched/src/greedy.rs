@@ -290,18 +290,81 @@ pub struct ScheduleAnalysis {
 /// Computes the dependency-chain critical path of the task graph (edges
 /// point forward, so one pass suffices).
 pub fn critical_path(g: &TaskGraph) -> f64 {
+    critical_path_chain(g).0
+}
+
+/// Critical path of the task graph together with one realizing task chain
+/// (dependency order, source first). The chain is what the trace report
+/// walks to break a run's makespan down against the model's prediction.
+pub fn critical_path_chain(g: &TaskGraph) -> (f64, Vec<u32>) {
     let n = g.n_tasks();
+    if n == 0 {
+        return (0.0, Vec::new());
+    }
     let mut cp = vec![0.0f64; n];
+    let mut pred = vec![u32::MAX; n];
     let mut best = 0.0f64;
+    let mut best_t = 0usize;
     for t in 0..n {
         let mut ready = 0.0f64;
         for (src, _) in g.in_edges(t) {
-            ready = ready.max(cp[src as usize]);
+            if cp[src as usize] > ready {
+                ready = cp[src as usize];
+                pred[t] = src;
+            }
         }
         cp[t] = ready + g.cost[t];
-        best = best.max(cp[t]);
+        if cp[t] > best {
+            best = cp[t];
+            best_t = t;
+        }
     }
-    best
+    let mut chain = Vec::new();
+    let mut t = best_t as u32;
+    loop {
+        chain.push(t);
+        let p = pred[t as usize];
+        if p == u32::MAX {
+            break;
+        }
+        t = p;
+    }
+    chain.reverse();
+    (best, chain)
+}
+
+/// One row of [`Schedule::predicted_tasks`]: the static model's prediction
+/// for a task, in the cost model's time unit (seconds of the calibrated
+/// BLAS/network model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedTask {
+    /// Task id.
+    pub task: u32,
+    /// Owning processor.
+    pub proc: u32,
+    /// Modeled execution cost.
+    pub cost: f64,
+    /// Predicted start time.
+    pub start: f64,
+    /// Predicted end time.
+    pub end: f64,
+}
+
+impl Schedule {
+    /// The per-task predictions of this schedule, joined with the task
+    /// graph's modeled costs — the "expected" side of the trace report's
+    /// predicted-vs-measured comparison.
+    pub fn predicted_tasks(&self, g: &TaskGraph) -> Vec<PredictedTask> {
+        (0..g.n_tasks())
+            .map(|t| PredictedTask {
+                task: t as u32,
+                proc: self.task_proc[t],
+                cost: g.cost[t],
+                start: self.start[t],
+                end: self.end[t],
+            })
+            .collect()
+    }
 }
 
 /// Produces the [`ScheduleAnalysis`] of a schedule.

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod metrics;
 pub mod parallel;
 pub mod psolve;
@@ -24,10 +25,14 @@ pub mod seq;
 pub mod seq_left;
 pub mod storage;
 
+pub use config::{FactorRun, SolverConfig};
 pub use metrics::MessagePathMetrics;
-pub use parallel::{factorize_parallel, factorize_parallel_with, ChaosOptions, ParallelOptions};
+pub use parallel::{factorize_parallel, factorize_parallel_with, ChaosOptions};
+#[allow(deprecated)]
+pub use parallel::ParallelOptions;
 pub use pastix_runtime::Backend;
-pub use psolve::{solve_parallel, solve_parallel_with};
+pub use pastix_trace::{MetricsRegistry, TraceLog, TraceOptions};
+pub use psolve::{solve_parallel, solve_parallel_traced, solve_parallel_with};
 pub use seq::{factor_and_solve, factorize_sequential, reconstruction_error, solve_block_in_place, solve_in_place};
 pub use seq_left::factorize_sequential_left;
 pub use storage::{FactorStorage, PanelLayout};

@@ -1,51 +1,20 @@
-//! Message-path allocation and traffic counters.
+//! Message-path metrics: the typed view and the deprecated process-global
+//! accessors.
 //!
 //! The zero-copy message path makes two claims that a unit test cannot
 //! check by inspection: factor regions are deep-copied **once per
 //! producing task** (the `Arc<[T]>` payload is then reference-bumped per
 //! consumer send) instead of once per send, and outgoing AUB accumulation
 //! buffers are recycled from received/flushed Fan-Both blocks instead of
-//! freshly allocated. These process-wide atomic counters make both
-//! properties assertable without a counting global allocator: the
-//! regression test in `tests/zero_copy.rs` resets them, runs a
-//! factorization, and checks the relations on the snapshot.
-//!
-//! Counters are cumulative across the process; call [`reset`] before the
-//! region you want to measure (the test lives alone in its own integration
-//! binary so nothing races it).
+//! freshly allocated. Those counts now live in a
+//! [`pastix_trace::MetricsRegistry`]: every `factorize_parallel_with` run
+//! merges its per-rank counters into the registry handle carried by its
+//! `SolverConfig` **and** into [`MetricsRegistry::global`]. The global
+//! mirror exists only so the deprecated free functions below keep working
+//! for one release; new code should read `run.metrics` from the returned
+//! `FactorRun` instead.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-static FAC_DEEP_COPIES: AtomicU64 = AtomicU64::new(0);
-static FAC_SENDS: AtomicU64 = AtomicU64::new(0);
-static AUB_SENDS: AtomicU64 = AtomicU64::new(0);
-static AUB_FRESH_ALLOCS: AtomicU64 = AtomicU64::new(0);
-static AUB_POOL_REUSES: AtomicU64 = AtomicU64::new(0);
-
-#[inline]
-pub(crate) fn count_fac_deep_copy() {
-    FAC_DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
-}
-
-#[inline]
-pub(crate) fn count_fac_send() {
-    FAC_SENDS.fetch_add(1, Ordering::Relaxed);
-}
-
-#[inline]
-pub(crate) fn count_aub_send() {
-    AUB_SENDS.fetch_add(1, Ordering::Relaxed);
-}
-
-#[inline]
-pub(crate) fn count_aub_fresh_alloc() {
-    AUB_FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
-}
-
-#[inline]
-pub(crate) fn count_aub_pool_reuse() {
-    AUB_POOL_REUSES.fetch_add(1, Ordering::Relaxed);
-}
+use pastix_trace::MetricsRegistry;
 
 /// Point-in-time reading of the message-path counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,22 +32,36 @@ pub struct MessagePathMetrics {
     pub aub_pool_reuses: u64,
 }
 
-/// Reads all counters.
-pub fn snapshot() -> MessagePathMetrics {
-    MessagePathMetrics {
-        fac_deep_copies: FAC_DEEP_COPIES.load(Ordering::Relaxed),
-        fac_sends: FAC_SENDS.load(Ordering::Relaxed),
-        aub_sends: AUB_SENDS.load(Ordering::Relaxed),
-        aub_fresh_allocs: AUB_FRESH_ALLOCS.load(Ordering::Relaxed),
-        aub_pool_reuses: AUB_POOL_REUSES.load(Ordering::Relaxed),
+impl MessagePathMetrics {
+    /// Reads the message-path counters out of `registry` (sums over
+    /// ranks). Counter names are the `solver.*` family written by the
+    /// factorization.
+    pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        Self {
+            fac_deep_copies: registry.counter("solver.fac_deep_copies"),
+            fac_sends: registry.counter("solver.fac_sends"),
+            aub_sends: registry.counter("solver.aub_sends"),
+            aub_fresh_allocs: registry.counter("solver.aub_fresh_allocs"),
+            aub_pool_reuses: registry.counter("solver.aub_pool_reuses"),
+        }
     }
 }
 
-/// Zeroes all counters (do this before the region you want to measure).
+/// Reads all counters from the process-global registry.
+#[deprecated(
+    since = "0.1.0",
+    note = "read `MessagePathMetrics::from_registry(&run.metrics)` from the `FactorRun` returned by `factorize_parallel_with`"
+)]
+pub fn snapshot() -> MessagePathMetrics {
+    MessagePathMetrics::from_registry(MetricsRegistry::global())
+}
+
+/// Zeroes the process-global registry (do this before the region you want
+/// to measure).
+#[deprecated(
+    since = "0.1.0",
+    note = "give each run its own registry via `SolverConfig::with_metrics` instead of resetting a process-global"
+)]
 pub fn reset() {
-    FAC_DEEP_COPIES.store(0, Ordering::Relaxed);
-    FAC_SENDS.store(0, Ordering::Relaxed);
-    AUB_SENDS.store(0, Ordering::Relaxed);
-    AUB_FRESH_ALLOCS.store(0, Ordering::Relaxed);
-    AUB_POOL_REUSES.store(0, Ordering::Relaxed);
+    MetricsRegistry::global().reset();
 }

@@ -15,18 +15,22 @@
 //! applying any AUB immediately (updates commute) and caching factor
 //! blocks — until the wanted block appears.
 
-use crate::metrics;
+use crate::config::{FactorRun, SolverConfig};
 use crate::storage::{FactorStorage, PanelLayout};
 use pastix_graph::SymCsc;
 use pastix_kernels::factor::{ldlt_factor_blocked, FactorError, NB_FACTOR};
 use pastix_kernels::{
     gemm_nt_acc, scale_cols_by_diag_into, trsm_ldlt_panel, Scalar,
 };
-use pastix_runtime::{run_spmd_with, Backend, Comm};
+use pastix_runtime::{run_spmd_with, Backend, Comm, Instrumented};
 use pastix_sched::{Schedule, TaskGraph, TaskKind};
 use pastix_symbolic::SymbolMatrix;
+use pastix_trace::{
+    task_span, MetricsRegistry, RankTrace, SessionHook, TaskClass, TraceLog, TraceOptions,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Message shipped between logical processors. (`Clone` is only exercised
 /// by the simulator's duplicate-delivery fault; for the `Arc` factor
@@ -57,6 +61,79 @@ enum PMsg<T> {
     Fac { src: u32, data: Arc<[T]> },
     /// A processor hit a zero pivot; everyone unwinds. Idempotent.
     Abort { col: u32 },
+}
+
+/// Message metadata for the trace layer: `(kind tag, payload bytes)`.
+/// Tags: 0 = AUB, 1 = factor block, 2 = abort.
+fn pmsg_meta<T>(m: &PMsg<T>) -> (u8, u64) {
+    let elem = std::mem::size_of::<T>() as u64;
+    match m {
+        PMsg::Aub { data, .. } => (0, data.len() as u64 * elem),
+        PMsg::Fac { data, .. } => (1, data.len() as u64 * elem),
+        PMsg::Abort { .. } => (2, 0),
+    }
+}
+
+/// Per-rank message-path counters, bumped as plain fields on the worker's
+/// hot path (no atomics, no sharing) and merged into the run's
+/// [`MetricsRegistry`] once at run end.
+#[derive(Debug, Clone, Copy, Default)]
+struct RankCounters {
+    fac_deep_copies: u64,
+    fac_sends: u64,
+    aub_sends: u64,
+    aub_fresh_allocs: u64,
+    aub_pool_reuses: u64,
+}
+
+/// Merges one rank's counters into `reg` under the `solver.*` names
+/// (zero counters are skipped; absent names read as 0 anyway).
+fn merge_rank_counters(reg: &MetricsRegistry, rank: u32, c: &RankCounters) {
+    for (name, v) in [
+        ("solver.fac_deep_copies", c.fac_deep_copies),
+        ("solver.fac_sends", c.fac_sends),
+        ("solver.aub_sends", c.aub_sends),
+        ("solver.aub_fresh_allocs", c.aub_fresh_allocs),
+        ("solver.aub_pool_reuses", c.aub_pool_reuses),
+    ] {
+        if v > 0 {
+            reg.add_counter_rank(name, Some(rank), v);
+        }
+    }
+}
+
+/// Folds a recorded trace into `reg`: per-rank communication counters
+/// under `comm.*` and every closed task span into the
+/// `task.duration_ns` histogram.
+pub(crate) fn merge_trace_metrics(reg: &MetricsRegistry, log: &TraceLog) {
+    use pastix_trace::EventKind;
+    for rt in &log.ranks {
+        for (name, v) in [
+            ("comm.sends", rt.comm.sends),
+            ("comm.send_drops", rt.comm.send_drops),
+            ("comm.recvs", rt.comm.recvs),
+            ("comm.send_bytes", rt.comm.send_bytes),
+            ("comm.recv_bytes", rt.comm.recv_bytes),
+        ] {
+            if v > 0 {
+                reg.add_counter_rank(name, Some(rt.rank), v);
+            }
+        }
+        let mut open: HashMap<(u32, u8), u64> = HashMap::new();
+        for ev in &rt.events {
+            match ev.kind {
+                EventKind::TaskBegin { task, class } => {
+                    open.insert((task, class as u8), ev.at);
+                }
+                EventKind::TaskEnd { task, class } => {
+                    if let Some(b) = open.remove(&(task, class as u8)) {
+                        reg.observe("task.duration_ns", ev.at.saturating_sub(b));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 /// Static routing info shared read-only by all workers.
@@ -223,6 +300,8 @@ struct Worker<'a, T> {
     aborted: Option<FactorError>,
     /// Deterministic fault injection (chaos suite only; `Default` is off).
     chaos: ChaosOptions,
+    /// Message-path counters, merged into the registry at run end.
+    counters: RankCounters,
 }
 
 impl<'a, T: Scalar> Worker<'a, T> {
@@ -277,7 +356,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
             return data.clone();
         }
         let region = self.regions.get(&t).expect("local factor region missing");
-        metrics::count_fac_deep_copy();
+        self.counters.fac_deep_copies += 1;
         let arc: Arc<[T]> = Arc::from(region.as_slice());
         self.fac_cache.insert(t, arc.clone());
         arc
@@ -320,13 +399,13 @@ impl<'a, T: Scalar> Worker<'a, T> {
     fn take_aub_buffer(&mut self, len: usize) -> Vec<T> {
         match self.aub_pool.pop() {
             Some(mut buf) => {
-                metrics::count_aub_pool_reuse();
+                self.counters.aub_pool_reuses += 1;
                 buf.clear();
                 buf.resize(len, T::zero());
                 buf
             }
             None => {
-                metrics::count_aub_fresh_alloc();
+                self.counters.aub_fresh_allocs += 1;
                 vec![T::zero(); len]
             }
         }
@@ -346,7 +425,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
     ) {
         let seq = self.aub_seq;
         self.aub_seq += 1;
-        metrics::count_aub_send();
+        self.counters.aub_sends += 1;
         let _ = ctx.send_resilient(
             q,
             PMsg::Aub {
@@ -472,7 +551,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
         let data = self.local_fac_payload(t);
         for q in procs {
             // Retried on drop; a closed peer is already unwinding.
-            metrics::count_fac_send();
+            self.counters.fac_sends += 1;
             let _ = ctx.send_resilient(q as usize, PMsg::Fac { src: t, data: data.clone() });
         }
     }
@@ -490,11 +569,23 @@ impl<'a, T: Scalar> Worker<'a, T> {
                     self.rank
                 );
             }
+            // The span guard closes on every exit path, including the `?`
+            // error returns and the injected chaos panics below it.
             match self.graph.kinds[t as usize] {
-                TaskKind::Comp1d { cblk } => self.run_comp1d(ctx, t, cblk as usize)?,
-                TaskKind::Factor { cblk } => self.run_factor(ctx, t, cblk as usize)?,
-                TaskKind::Bdiv { cblk, blok } => self.run_bdiv(ctx, t, cblk as usize, blok as usize)?,
+                TaskKind::Comp1d { cblk } => {
+                    let _span = task_span(t, TaskClass::Comp1d);
+                    self.run_comp1d(ctx, t, cblk as usize)?
+                }
+                TaskKind::Factor { cblk } => {
+                    let _span = task_span(t, TaskClass::Factor);
+                    self.run_factor(ctx, t, cblk as usize)?
+                }
+                TaskKind::Bdiv { cblk, blok } => {
+                    let _span = task_span(t, TaskClass::Bdiv);
+                    self.run_bdiv(ctx, t, cblk as usize, blok as usize)?
+                }
                 TaskKind::Bmod { cblk, blok_row, blok_col } => {
+                    let _span = task_span(t, TaskClass::Bmod);
                     self.run_bmod(ctx, t, cblk as usize, blok_row as usize, blok_col as usize)?
                 }
             }
@@ -643,8 +734,14 @@ pub struct ChaosOptions {
 }
 
 /// Options of the parallel factorization and solve: the execution backend
-/// plus solver-level knobs. One options value drives every entry point —
-/// the numerical codepath is identical on all backends.
+/// plus solver-level knobs. Superseded by [`SolverConfig`], which carries
+/// the same fields plus the kernel mode and the observability surface;
+/// every entry point takes `&SolverConfig` now, and a `ParallelOptions`
+/// converts with `SolverConfig::from(&opts)`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SolverConfig` (same fields plus kernel_mode/trace/metrics); convert with `SolverConfig::from`"
+)]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ParallelOptions {
     /// Execution backend: real OS threads ([`Backend::Threads`], default)
@@ -672,28 +769,72 @@ pub fn factorize_parallel<T: Scalar>(
     graph: &TaskGraph,
     sched: &Schedule,
 ) -> Result<FactorStorage<T>, FactorError> {
-    factorize_parallel_with(sym, a, graph, sched, &ParallelOptions::default())
+    factorize_parallel_with(sym, a, graph, sched, &SolverConfig::default())
+        .map(FactorRun::into_storage)
 }
 
-/// [`factorize_parallel`] with explicit options; `opts.backend` selects
-/// the execution substrate (threads or the deterministic simulator).
+/// [`factorize_parallel`] with an explicit [`SolverConfig`]:
+/// `cfg.backend` selects the execution substrate (threads or the
+/// deterministic simulator), `cfg.kernel_mode` is applied for the run
+/// through a scoped guard, and the returned [`FactorRun`] carries the
+/// factor together with the run's [`TraceLog`] and the metrics registry
+/// handle. Dereference (or [`FactorRun::into_storage`]) for the factor
+/// alone.
 pub fn factorize_parallel_with<T: Scalar>(
     sym: &SymbolMatrix,
     a: &SymCsc<T>,
     graph: &TaskGraph,
     sched: &Schedule,
-    opts: &ParallelOptions,
-) -> Result<FactorStorage<T>, FactorError> {
+    cfg: &SolverConfig,
+) -> Result<FactorRun<T>, FactorError> {
     assert!(std::ptr::eq(sym, &graph.split.symbol) || sym == &graph.split.symbol,
         "schedule must be built on the same split symbol");
+    let _mode = cfg.kernel_mode.scoped();
     let layout = PanelLayout::new(sym);
     let routing = build_routing(sym, &layout, graph, sched);
-    let results = run_spmd_with::<PMsg<T>, Result<HashMap<u32, Vec<T>>, FactorError>, _>(
-        &opts.backend,
+    // All ranks must share one epoch so the report can compare their wall
+    // timestamps; resolve it once, right before the SPMD launch.
+    let mut topts = cfg.trace;
+    if topts.enabled && topts.epoch.is_none() {
+        topts.epoch = Some(Instant::now());
+    }
+    let t0 = Instant::now();
+    let outputs = run_spmd_with::<PMsg<T>, WorkerOutput<T>, _>(
+        &cfg.backend,
         sched.n_procs,
-        |ctx| worker_run(ctx, sym, &layout, graph, sched, &routing, a, opts),
+        |ctx| worker_run(ctx, sym, &layout, graph, sched, &routing, a, cfg, &topts),
     );
-    assemble(sym, &layout, graph, results)
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let mut results = Vec::with_capacity(outputs.len());
+    let mut ranks = Vec::new();
+    for (rank, out) in outputs.into_iter().enumerate() {
+        merge_rank_counters(&cfg.metrics, rank as u32, &out.counters);
+        merge_rank_counters(MetricsRegistry::global(), rank as u32, &out.counters);
+        if let Some(rt) = out.trace {
+            ranks.push(rt);
+        }
+        results.push(out.result);
+    }
+    let trace = TraceLog {
+        ranks,
+        wall_ns,
+        digest: sched.digest(),
+    };
+    merge_trace_metrics(&cfg.metrics, &trace);
+    let storage = assemble(sym, &layout, graph, results)?;
+    Ok(FactorRun {
+        storage,
+        trace,
+        metrics: cfg.metrics.clone(),
+    })
+}
+
+/// What one logical processor hands back: its factor regions (or the
+/// error), its recorded trace (when tracing was on), and its counters.
+struct WorkerOutput<T> {
+    result: Result<HashMap<u32, Vec<T>>, FactorError>,
+    trace: Option<RankTrace>,
+    counters: RankCounters,
 }
 
 /// The SPMD body executed by one logical processor, on either backend.
@@ -706,26 +847,33 @@ fn worker_run<T: Scalar, C: Comm<PMsg<T>> + ?Sized>(
     sched: &Schedule,
     routing: &Routing,
     a: &SymCsc<T>,
-    opts: &ParallelOptions,
-) -> Result<HashMap<u32, Vec<T>>, FactorError> {
+    cfg: &SolverConfig,
+    topts: &TraceOptions,
+) -> WorkerOutput<T> {
     let rank = ctx.rank() as u32;
+    // Both backends run each logical processor on its own OS thread, so a
+    // thread-local session captures exactly this rank's activity.
+    let session = pastix_trace::begin_rank(ctx.rank(), topts);
     // Allocate and scatter the owned regions.
     let mut regions: HashMap<u32, Vec<T>> = HashMap::new();
     let mut aubs_pending: HashMap<u32, u32> = HashMap::new();
-    for &t in &sched.proc_tasks[rank as usize] {
-        let len = match graph.kinds[t as usize] {
-            TaskKind::Bdiv { .. } => 2 * routing.region_len[t as usize],
-            _ => routing.region_len[t as usize],
-        };
-        if len > 0 {
-            regions.insert(t, vec![T::zero(); len]);
+    {
+        let _span = task_span(rank, TaskClass::Scatter);
+        for &t in &sched.proc_tasks[rank as usize] {
+            let len = match graph.kinds[t as usize] {
+                TaskKind::Bdiv { .. } => 2 * routing.region_len[t as usize],
+                _ => routing.region_len[t as usize],
+            };
+            if len > 0 {
+                regions.insert(t, vec![T::zero(); len]);
+            }
+            let pairs = routing.remote_pairs[t as usize];
+            if pairs > 0 {
+                aubs_pending.insert(t, pairs);
+            }
         }
-        let pairs = routing.remote_pairs[t as usize];
-        if pairs > 0 {
-            aubs_pending.insert(t, pairs);
-        }
+        scatter_owned(sym, layout, graph, a, &mut regions);
     }
-    scatter_owned(sym, layout, graph, a, &mut regions);
     let mut worker = Worker {
         rank,
         sym,
@@ -736,16 +884,28 @@ fn worker_run<T: Scalar, C: Comm<PMsg<T>> + ?Sized>(
         regions,
         aubs_pending,
         aub_out: HashMap::new(),
-        aub_memory_limit: opts.aub_memory_limit,
+        aub_memory_limit: cfg.aub_memory_limit,
         aub_pool: Vec::new(),
         fac_cache: HashMap::new(),
         seen_aubs: HashSet::new(),
         aub_seq: 0,
         aborted: None,
-        chaos: opts.chaos,
+        chaos: cfg.chaos,
+        counters: RankCounters::default(),
     };
-    worker.run(ctx)?;
-    Ok(worker.regions)
+    // Only the traced path pays for the instrumented wrapper; the untraced
+    // monomorphization is byte-for-byte the old hot loop.
+    let run_result = if topts.enabled {
+        let ictx = Instrumented::new(ctx, SessionHook, pmsg_meta::<T>);
+        worker.run(&ictx)
+    } else {
+        worker.run(ctx)
+    };
+    WorkerOutput {
+        result: run_result.map(|()| worker.regions),
+        trace: session.finish(),
+        counters: worker.counters,
+    }
 }
 
 /// Merges the per-processor region maps into one factor store.
@@ -950,10 +1110,7 @@ mod tests {
             &ap,
             &mapping.graph,
             &mapping.schedule,
-            &ParallelOptions {
-                aub_memory_limit: Some(16),
-                ..Default::default()
-            },
+            &SolverConfig::new().with_aub_memory_limit(Some(16)),
         )
         .unwrap();
         for (pa, pb) in fanin.panels.iter().zip(&fanboth.panels) {

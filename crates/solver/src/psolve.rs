@@ -15,14 +15,16 @@
 //! message-passing structure of the solve: segment broadcasts, update
 //! aggregation, and the demand-driven reception the static order allows.
 
-use crate::parallel::ParallelOptions;
+use crate::config::SolverConfig;
 use crate::storage::FactorStorage;
 use pastix_kernels::{gemm_nn_acc, solve_unit_lower, solve_unit_lower_trans, Scalar};
-use pastix_runtime::{run_spmd_with, Comm};
+use pastix_runtime::{run_spmd_with, Comm, Instrumented};
 use pastix_sched::{Schedule, TaskGraph};
 use pastix_symbolic::SymbolMatrix;
+use pastix_trace::{task_span, RankTrace, SessionHook, TaskClass, TraceLog, TraceOptions};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Messages of the distributed solve. (`Clone` is only exercised by the
 /// simulator's duplicate-delivery fault.) Every variant is naturally
@@ -44,6 +46,18 @@ enum SMsg<T> {
     FwdAub { cblk: u32, data: Vec<T> },
     /// Aggregated backward partial dot-products targeting a column block.
     BwdAub { cblk: u32, data: Vec<T> },
+}
+
+/// Trace metadata of a solve message: `(kind tag, payload bytes)`.
+/// Tags: `XFwd`=0, `XBwd`=1, `FwdAub`=2, `BwdAub`=3.
+fn smsg_meta<T>(m: &SMsg<T>) -> (u8, u64) {
+    let scalar = std::mem::size_of::<T>() as u64;
+    match m {
+        SMsg::XFwd { data, .. } => (0, data.len() as u64 * scalar),
+        SMsg::XBwd { data, .. } => (1, data.len() as u64 * scalar),
+        SMsg::FwdAub { data, .. } => (2, data.len() as u64 * scalar),
+        SMsg::BwdAub { data, .. } => (3, data.len() as u64 * scalar),
+    }
 }
 
 /// Static ownership and routing tables of the solve phase.
@@ -138,29 +152,63 @@ pub fn solve_parallel<T: Scalar>(
     sched: &Schedule,
     b_perm: &[T],
 ) -> Vec<T> {
-    solve_parallel_with(sym, storage, graph, sched, b_perm, &ParallelOptions::default())
+    solve_parallel_with(sym, storage, graph, sched, b_perm, &SolverConfig::default())
 }
 
-/// [`solve_parallel`] with explicit options; `opts.backend` selects the
-/// execution substrate exactly as for the factorization. (The
-/// factorization-only knobs of [`ParallelOptions`] — memory cap, chaos —
-/// are ignored by the solve.)
+/// [`solve_parallel`] with an explicit [`SolverConfig`]; `cfg.backend`
+/// selects the execution substrate exactly as for the factorization. (The
+/// factorization-only knobs — memory cap, chaos — are ignored by the
+/// solve.) Use [`solve_parallel_traced`] to also recover the trace.
 pub fn solve_parallel_with<T: Scalar>(
     sym: &SymbolMatrix,
     storage: &FactorStorage<T>,
     graph: &TaskGraph,
     sched: &Schedule,
     b_perm: &[T],
-    opts: &ParallelOptions,
+    cfg: &SolverConfig,
 ) -> Vec<T> {
+    solve_parallel_traced(sym, storage, graph, sched, b_perm, cfg).0
+}
+
+/// [`solve_parallel_with`] that also returns the run's [`TraceLog`]
+/// (empty when `cfg.trace` is disabled). The solve records
+/// [`TaskClass::FwdSolve`] / [`TaskClass::BwdSolve`] spans keyed by column
+/// block, plus every message with its byte count.
+pub fn solve_parallel_traced<T: Scalar>(
+    sym: &SymbolMatrix,
+    storage: &FactorStorage<T>,
+    graph: &TaskGraph,
+    sched: &Schedule,
+    b_perm: &[T],
+    cfg: &SolverConfig,
+) -> (Vec<T>, TraceLog) {
     assert_eq!(b_perm.len(), sym.n);
     let routing = build_solve_routing(sym, graph, sched);
-    let results = run_spmd_with::<SMsg<T>, Vec<(u32, Vec<T>)>, _>(
-        &opts.backend,
+    let mut topts = cfg.trace;
+    if topts.enabled && topts.epoch.is_none() {
+        topts.epoch = Some(Instant::now());
+    }
+    let t0 = Instant::now();
+    let results = run_spmd_with::<SMsg<T>, (Vec<(u32, Vec<T>)>, Option<RankTrace>), _>(
+        &cfg.backend,
         sched.n_procs,
-        |ctx| solve_worker_run(ctx, sym, storage, &routing, b_perm),
+        |ctx| solve_worker_run(ctx, sym, storage, &routing, b_perm, &topts),
     );
-    gather_solution(sym, results)
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let mut segs = Vec::with_capacity(results.len());
+    let mut ranks = Vec::new();
+    for (seg, rt) in results {
+        segs.push(seg);
+        if let Some(rt) = rt {
+            ranks.push(rt);
+        }
+    }
+    let trace = TraceLog {
+        ranks,
+        wall_ns,
+        digest: sched.digest(),
+    };
+    (gather_solution(sym, segs), trace)
 }
 
 /// The SPMD body of one logical processor of the solve, on either backend.
@@ -170,9 +218,11 @@ fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>> + ?Sized>(
     storage: &FactorStorage<T>,
     routing: &SolveRouting,
     b_perm: &[T],
-) -> Vec<(u32, Vec<T>)> {
+    topts: &TraceOptions,
+) -> (Vec<(u32, Vec<T>)>, Option<RankTrace>) {
     let ns = sym.n_cblks();
     let me = ctx.rank() as u32;
+    let session = pastix_trace::begin_rank(ctx.rank(), topts);
     let mut w = SolveWorker {
         sym,
         storage,
@@ -204,9 +254,16 @@ fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>> + ?Sized>(
         w.bwd_pending
             .insert(k as u32, routing.bwd_remote[k] + routing.bwd_local[k]);
     }
-    w.forward(ctx);
-    w.backward(ctx);
-    w.x.into_iter().collect()
+    // Only the traced path pays for the instrumented wrapper.
+    if topts.enabled {
+        let ictx = Instrumented::new(ctx, SessionHook, smsg_meta::<T>);
+        w.forward(&ictx);
+        w.backward(&ictx);
+    } else {
+        w.forward(ctx);
+        w.backward(ctx);
+    }
+    (w.x.into_iter().collect(), session.finish())
 }
 
 /// Stitches the per-processor owned segments into the full solution.
@@ -343,6 +400,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
 
     /// Diagonal forward solve of an owned cblk, then fan the segment out.
     fn fwd_solve_cblk<C: Comm<SMsg<T>> + ?Sized>(&mut self, ctx: &C, k: usize) {
+        let _span = task_span(k as u32, TaskClass::FwdSolve);
         let cb = &self.sym.cblks[k];
         let w = cb.width();
         let lda = self.storage.layout.panel_rows(k);
@@ -504,6 +562,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
     /// Backward step of an owned cblk: divide by D, subtract the (already
     /// received) partials, solve the transposed unit diagonal, broadcast.
     fn bwd_solve_cblk<C: Comm<SMsg<T>> + ?Sized>(&mut self, ctx: &C, k: usize) {
+        let _span = task_span(k as u32, TaskClass::BwdSolve);
         let cb = &self.sym.cblks[k];
         let w = cb.width();
         let lda = self.storage.layout.panel_rows(k);

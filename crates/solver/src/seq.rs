@@ -25,6 +25,9 @@ pub fn factorize_sequential<T: Scalar>(
     let mut dtmp: Vec<T> = Vec::new();
     let mut ubuf: Vec<T> = Vec::new();
     for k in 0..sym.n_cblks() {
+        // Traced as its own class so sequential baselines and the
+        // parallel run stay distinguishable in a merged report.
+        let _span = pastix_trace::task_span(k as u32, pastix_trace::TaskClass::Seq);
         comp1d_step(sym, &layout, &mut storage.panels, k, &mut wbuf, &mut dtmp, &mut ubuf)?;
     }
     Ok(())

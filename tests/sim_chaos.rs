@@ -24,7 +24,7 @@ use pastix::runtime::{Backend, TaggedMailbox};
 use pastix::sched::{map_and_schedule, DistStrategy, Mapping, SchedOptions, TaskKind};
 use pastix::solver::{
     factorize_parallel_with, factorize_sequential, solve_in_place, solve_parallel_with,
-    ChaosOptions, FactorStorage, ParallelOptions,
+    ChaosOptions, FactorStorage, SolverConfig,
 };
 use pastix::symbolic::{analyze, AnalysisOptions};
 
@@ -62,7 +62,7 @@ impl Case {
 
     /// Simulated factorize + solve under `opts`, checked entry-for-entry
     /// against the sequential references.
-    fn check_against_sequential(&self, opts: &ParallelOptions, diag: &str) {
+    fn check_against_sequential(&self, opts: &SolverConfig, diag: &str) {
         let sym = &self.mapping.graph.split.symbol;
         let par = factorize_parallel_with(
             sym,
@@ -197,7 +197,7 @@ fn chaos_factorization_and_solve_agree_with_sequential() {
         let plan = FaultPlan::builder(seed)
             .policy(sweep_policy(seed, case.procs))
             .build();
-        let opts = ParallelOptions {
+        let opts = SolverConfig {
             backend: Backend::Sim(plan),
             ..Default::default()
         };
@@ -222,7 +222,7 @@ fn chaos_adversarial_policies_agree_with_sequential() {
             SchedPolicy::DeliverLast
         };
         let plan = FaultPlan::builder(seed).policy(policy).build();
-        let opts = ParallelOptions {
+        let opts = SolverConfig {
             backend: Backend::Sim(plan),
             ..Default::default()
         };
@@ -256,7 +256,7 @@ fn chaos_fan_both_lossy_under_every_policy() {
                     .duplicate_lossy(0.25)
                     .policy(policy)
                     .build();
-                let opts = ParallelOptions {
+                let opts = SolverConfig {
                     backend: Backend::Sim(plan),
                     // Punishing cap: forces many partial AUB flushes, so
                     // drops/duplicates hit the aggregation path itself.
@@ -286,7 +286,7 @@ fn chaos_same_seed_replays_identically() {
             .build(),
     ];
     for plan in plans {
-        let opts = ParallelOptions {
+        let opts = SolverConfig {
             backend: Backend::Sim(plan),
             ..Default::default()
         };
@@ -358,7 +358,7 @@ fn chaos_zero_pivot_abort_always_terminates_cleanly() {
             _ => SchedPolicy::FifoPerPair,
         };
         let plan = FaultPlan::builder(seed).policy(policy).build();
-        let opts = ParallelOptions {
+        let opts = SolverConfig {
             backend: Backend::Sim(plan),
             chaos: ChaosOptions {
                 zero_pivot_task: Some(victim),
@@ -394,7 +394,7 @@ fn chaos_worker_panic_unwinds_whole_machine() {
         }
         let idx = rng.below(n_local);
         let plan = FaultPlan::builder(seed).build();
-        let opts = ParallelOptions {
+        let opts = SolverConfig {
             backend: Backend::Sim(plan),
             chaos: ChaosOptions {
                 panic_at: Some((rank, idx)),
@@ -569,7 +569,7 @@ fn chaos_stress_paper_adjacent_sizes() {
                         .duplicate_lossy(0.1)
                         .policy(policy)
                         .build();
-                    let opts = ParallelOptions {
+                    let opts = SolverConfig {
                         backend: Backend::Sim(plan),
                         aub_memory_limit: Some(64),
                         ..Default::default()
