@@ -33,8 +33,6 @@ pub use dense::DenseMat;
 pub use factor::{ldlt_factor_blocked, ldlt_factor_inplace, llt_factor_blocked, llt_factor_inplace, FactorError, NB_FACTOR};
 pub use gemm::{gemm_flops, gemm_nn_acc, gemm_nt_acc, gemm_nt_acc_lower};
 pub use pack::{blocking_for, configure_blocking, kernel_mode, BlockSizes, KernelMode, KernelModeGuard};
-#[allow(deprecated)]
-pub use pack::set_kernel_mode;
 pub use model::{calibrate_blas_model, fit_poly, BlasModel, KernelClass, PolyCost};
 pub use scalar::Scalar;
 pub use trsm::{

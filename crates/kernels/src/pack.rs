@@ -144,15 +144,6 @@ impl KernelMode {
         let prev = KERNEL_MODE.swap(self as u8, Ordering::Relaxed);
         KernelModeGuard { prev }
     }
-
-    /// Deprecated shim over the old process-global store.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `KernelMode::scoped()` (or `SolverConfig::kernel_mode`) instead of mutating process-global state"
-    )]
-    pub fn set_global(self) {
-        KERNEL_MODE.store(self as u8, Ordering::Relaxed);
-    }
 }
 
 /// Restores the previous [`KernelMode`] on drop; created by
@@ -166,15 +157,6 @@ impl Drop for KernelModeGuard {
     fn drop(&mut self) {
         KERNEL_MODE.store(self.prev, Ordering::Relaxed);
     }
-}
-
-/// Selects the dispatch mode process-wide (bench harness / tests).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `KernelMode::scoped()` (or `SolverConfig::kernel_mode`) instead of mutating process-global state"
-)]
-pub fn set_kernel_mode(mode: KernelMode) {
-    KERNEL_MODE.store(mode as u8, Ordering::Relaxed);
 }
 
 /// Current dispatch mode.
@@ -540,22 +522,6 @@ mod tests {
             assert_eq!(kernel_mode(), KernelMode::Packed);
         }
         assert_eq!(kernel_mode(), before);
-    }
-
-    #[test]
-    fn deprecated_setters_still_work() {
-        // The one-release compatibility shims must keep mutating the same
-        // global the scoped guard uses.
-        let _serial = MODE_LOCK.lock().unwrap();
-        #[allow(deprecated)]
-        {
-            let before = kernel_mode();
-            set_kernel_mode(KernelMode::Packed);
-            assert_eq!(kernel_mode(), KernelMode::Packed);
-            KernelMode::Reference.set_global();
-            assert_eq!(kernel_mode(), KernelMode::Reference);
-            set_kernel_mode(before);
-        }
     }
 
     #[test]

@@ -78,6 +78,92 @@ impl Default for NetworkModel {
     }
 }
 
+/// Task-kind indices of a [`TaskCalibration`] (the scheduler's four
+/// block-computation kinds, in task-graph order).
+pub mod task_kind {
+    /// `COMP1D` (1D supernode update).
+    pub const COMP1D: usize = 0;
+    /// `FACTOR` (2D diagonal-block factorization).
+    pub const FACTOR: usize = 1;
+    /// `BDIV` (2D panel solve).
+    pub const BDIV: usize = 2;
+    /// `BMOD` (2D contribution product).
+    pub const BMOD: usize = 3;
+    /// Number of calibrated task kinds.
+    pub const COUNT: usize = 4;
+}
+
+/// Measured per-task-kind execution rates, fed back from a traced run
+/// (the `class_stats` of `pastix-trace`'s report) into the cost model —
+/// the closed calibration loop.
+///
+/// The absolute rates are ns per model-second; what the cost functions
+/// apply is the **relative** factor ([`TaskCalibration::relative`]): each
+/// kind's rate normalized by the measured-work-weighted mean, so
+/// calibration reshapes the cost ratios *between* kinds (the part the
+/// static schedule is sensitive to) without changing the overall unit of
+/// model seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskCalibration {
+    /// Measured ns per model-second, indexed by [`task_kind`]; 0 marks a
+    /// kind the calibrating run never measured (its factor stays 1).
+    pub ns_per_cost: [f64; task_kind::COUNT],
+}
+
+impl TaskCalibration {
+    /// Relative cost factors: `rate / weighted-mean-rate` per kind, 1.0
+    /// for unmeasured kinds.
+    pub fn relative(&self) -> [f64; task_kind::COUNT] {
+        let (mut sum, mut cnt) = (0.0f64, 0u32);
+        for &r in &self.ns_per_cost {
+            if r > 0.0 {
+                sum += r;
+                cnt += 1;
+            }
+        }
+        if cnt == 0 {
+            return [1.0; task_kind::COUNT];
+        }
+        let mean = sum / cnt as f64;
+        let mut out = [1.0; task_kind::COUNT];
+        for (o, &r) in out.iter_mut().zip(&self.ns_per_cost) {
+            if r > 0.0 && mean > 0.0 {
+                *o = r / mean;
+            }
+        }
+        out
+    }
+
+    /// Dotfile form: the four rates, space-separated.
+    pub fn render(&self) -> String {
+        let r = &self.ns_per_cost;
+        format!("{:e} {:e} {:e} {:e}\n", r[0], r[1], r[2], r[3])
+    }
+
+    /// Parses [`TaskCalibration::render`]'s form (also accepts commas, the
+    /// `PASTIX_CALIBRATION` environment syntax). Rejects negatives, NaN,
+    /// and wrong arity.
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut rates = [0.0f64; task_kind::COUNT];
+        let mut n = 0usize;
+        for tok in text.split(|c: char| c.is_whitespace() || c == ',').filter(|t| !t.is_empty()) {
+            if n >= task_kind::COUNT {
+                return None;
+            }
+            let v: f64 = tok.parse().ok()?;
+            if !v.is_finite() || v < 0.0 {
+                return None;
+            }
+            rates[n] = v;
+            n += 1;
+        }
+        if n != task_kind::COUNT {
+            return None;
+        }
+        Some(Self { ns_per_cost: rates })
+    }
+}
+
 /// The complete machine model used by the mapper/scheduler.
 ///
 /// ```
@@ -111,6 +197,10 @@ pub struct MachineModel {
     /// Intra-node (shared-memory) transfer model, used when
     /// `procs_per_node > 1` (defaulted on load of pre-SMP JSON).
     pub intra_node: NetworkModel,
+    /// Optional per-task-kind calibration measured by a traced run (see
+    /// [`TaskCalibration`]); `None` (and pre-calibration JSON) means all
+    /// task kinds are priced by the raw BLAS model.
+    pub task_calibration: Option<TaskCalibration>,
 }
 
 impl MachineModel {
@@ -123,6 +213,7 @@ impl MachineModel {
             bytes_per_scalar: 8,
             procs_per_node: 1,
             intra_node: NetworkModel::in_process(),
+            task_calibration: None,
         }
     }
 
@@ -148,6 +239,24 @@ impl MachineModel {
             bytes_per_scalar: 8,
             procs_per_node: 1,
             intra_node: NetworkModel::in_process(),
+            task_calibration: None,
+        }
+    }
+
+    /// Returns the model with `cal` installed (builder style).
+    pub fn with_task_calibration(mut self, cal: TaskCalibration) -> Self {
+        self.task_calibration = Some(cal);
+        self
+    }
+
+    /// The relative cost factor of task kind `kind` (a [`task_kind`]
+    /// index): 1.0 when uncalibrated. The scheduler's cost functions
+    /// multiply their modeled task time by this.
+    #[inline]
+    pub fn task_scale(&self, kind: usize) -> f64 {
+        match &self.task_calibration {
+            Some(c) if kind < task_kind::COUNT => c.relative()[kind],
+            _ => 1.0,
         }
     }
 
@@ -186,6 +295,15 @@ impl MachineModel {
             ("bytes_per_scalar", Json::Num(self.bytes_per_scalar as f64)),
             ("procs_per_node", Json::Num(self.procs_per_node as f64)),
             ("intra_node", self.intra_node.to_json()),
+            (
+                "task_calibration",
+                match &self.task_calibration {
+                    Some(c) => {
+                        Json::Arr(c.ns_per_cost.iter().map(|&r| Json::Num(r)).collect())
+                    }
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -205,6 +323,10 @@ impl MachineModel {
             intra_node: match v.get("intra_node") {
                 Some(f) => NetworkModel::from_json(f)?,
                 None => NetworkModel::in_process(),
+            },
+            task_calibration: match v.get("task_calibration") {
+                Some(Json::Null) | None => None,
+                Some(f) => Some(TaskCalibration { ns_per_cost: f.as_f64_array()? }),
             },
         })
     }
@@ -329,10 +451,47 @@ pub fn resolve_blocking_in(cache_dir: &std::path::Path) -> BlockSizes {
     best
 }
 
-/// Directory of the persistent blocking cache: `PASTIX_BLOCKING_CACHE_DIR`
-/// if set, else the Cargo target dir (`CARGO_TARGET_DIR`, or `target/` when
-/// that exists beneath the current directory), else the system temp dir.
-fn blocking_cache_dir() -> std::path::PathBuf {
+fn calibration_dotfile(cache_dir: &std::path::Path) -> std::path::PathBuf {
+    cache_dir.join(format!(".pastix-calibration-{}", blocking_cache_key()))
+}
+
+/// Loads the persisted per-task-kind calibration, mirroring the blocking
+/// probe's cache discipline:
+///
+/// 1. `PASTIX_CALIBRATION=c1d,fac,bdiv,bmod` in the environment — an
+///    explicit operator override, never persisted;
+/// 2. the dotfile `.pastix-calibration-<arch>-<n>cpu` under `cache_dir`,
+///    written by [`store_calibration_in`] after a traced run.
+///
+/// `None` (no source, or garbage in either) means "uncalibrated" — the
+/// cost model falls back to factor 1 everywhere, it never panics.
+pub fn load_calibration_in(cache_dir: &std::path::Path) -> Option<TaskCalibration> {
+    if let Some(c) = std::env::var("PASTIX_CALIBRATION")
+        .ok()
+        .as_deref()
+        .and_then(TaskCalibration::parse)
+    {
+        return Some(c);
+    }
+    std::fs::read_to_string(calibration_dotfile(cache_dir))
+        .ok()
+        .as_deref()
+        .and_then(TaskCalibration::parse)
+}
+
+/// Persists `cal` to the calibration dotfile under `cache_dir`
+/// (best-effort, like the blocking cache: an unwritable directory means
+/// the next process runs uncalibrated, nothing else).
+pub fn store_calibration_in(cache_dir: &std::path::Path, cal: &TaskCalibration) {
+    let _ = std::fs::create_dir_all(cache_dir);
+    let _ = std::fs::write(calibration_dotfile(cache_dir), cal.render());
+}
+
+/// Directory of the persistent machine caches (blocking probe and task
+/// calibration dotfiles): `PASTIX_BLOCKING_CACHE_DIR` if set, else the
+/// Cargo target dir (`CARGO_TARGET_DIR`, or `target/` when that exists
+/// beneath the current directory), else the system temp dir.
+pub fn cache_dir() -> std::path::PathBuf {
     if let Ok(d) = std::env::var("PASTIX_BLOCKING_CACHE_DIR") {
         return d.into();
     }
@@ -359,7 +518,7 @@ fn blocking_cache_dir() -> std::path::PathBuf {
 pub fn probe_blocking() -> BlockSizes {
     static PROBE: OnceLock<BlockSizes> = OnceLock::new();
     *PROBE.get_or_init(|| {
-        let best = resolve_blocking_in(&blocking_cache_dir());
+        let best = resolve_blocking_in(&cache_dir());
         pack::configure_blocking(8, best);
         pack::configure_blocking(
             16,
@@ -558,6 +717,78 @@ mod tests {
         let swept = resolve_blocking_in(&dir);
         assert_eq!(probe_runs(), r0 + 1);
         assert_eq!(swept, swept.sanitized());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn calibration_relative_normalizes_and_defaults() {
+        let c = TaskCalibration { ns_per_cost: [2e9, 4e9, 0.0, 6e9] };
+        let rel = c.relative();
+        // Mean over measured kinds is 4e9; unmeasured BDIV stays 1.
+        assert!((rel[0] - 0.5).abs() < 1e-12);
+        assert!((rel[1] - 1.0).abs() < 1e-12);
+        assert!((rel[2] - 1.0).abs() < 1e-12);
+        assert!((rel[3] - 1.5).abs() < 1e-12);
+        // Uncalibrated model scales by 1 everywhere.
+        let m = MachineModel::sp2(4);
+        for k in 0..task_kind::COUNT {
+            assert_eq!(m.task_scale(k), 1.0);
+        }
+        let m = m.with_task_calibration(c);
+        assert!((m.task_scale(task_kind::BMOD) - 1.5).abs() < 1e-12);
+        assert_eq!(m.task_scale(99), 1.0, "out-of-range kind is inert");
+    }
+
+    #[test]
+    fn calibration_parse_render_round_trip() {
+        let c = TaskCalibration { ns_per_cost: [1.5e9, 2.25e9, 3.125e8, 0.0] };
+        let back = TaskCalibration::parse(&c.render()).unwrap();
+        for (a, b) in c.ns_per_cost.iter().zip(back.ns_per_cost) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+        // Env syntax (commas) parses too; garbage does not.
+        assert!(TaskCalibration::parse("1,2,3,4").is_some());
+        assert!(TaskCalibration::parse("1 2 3").is_none());
+        assert!(TaskCalibration::parse("1 2 3 4 5").is_none());
+        assert!(TaskCalibration::parse("1 -2 3 4").is_none());
+        assert!(TaskCalibration::parse("1 nan 3 4").is_none());
+    }
+
+    #[test]
+    fn calibrated_model_json_round_trips() {
+        let m = MachineModel::sp2(8)
+            .with_task_calibration(TaskCalibration { ns_per_cost: [1e9, 2e9, 3e9, 4e9] });
+        let mut buf = Vec::new();
+        m.save(&mut buf).unwrap();
+        let m2 = MachineModel::load(&buf[..]).unwrap();
+        let c2 = m2.task_calibration.expect("calibration survives JSON");
+        for (a, b) in [1e9, 2e9, 3e9, 4e9].iter().zip(c2.ns_per_cost) {
+            assert!((a - b).abs() <= 1e-3);
+        }
+        // Pre-calibration JSON (no field) loads as uncalibrated — covered
+        // by json_without_smp_fields_loads_with_defaults's legacy blob.
+    }
+
+    #[test]
+    fn calibration_dotfile_round_trip_and_env_override() {
+        let _serial = PROBE_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("pastix-calib-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_calibration_in(&dir).is_none(), "cold cache is uncalibrated");
+        let cal = TaskCalibration { ns_per_cost: [1e9, 2e9, 3e9, 4e9] };
+        store_calibration_in(&dir, &cal);
+        let back = load_calibration_in(&dir).expect("dotfile loads");
+        for (a, b) in cal.ns_per_cost.iter().zip(back.ns_per_cost) {
+            assert!((a - b).abs() <= 1e-3);
+        }
+        // Env override wins over the dotfile.
+        std::env::set_var("PASTIX_CALIBRATION", "5e9,5e9,5e9,5e9");
+        let over = load_calibration_in(&dir).unwrap();
+        std::env::remove_var("PASTIX_CALIBRATION");
+        assert_eq!(over.ns_per_cost, [5e9; 4]);
+        // Garbage in the dotfile degrades to uncalibrated.
+        std::fs::write(calibration_dotfile(&dir), "broken").unwrap();
+        assert!(load_calibration_in(&dir).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

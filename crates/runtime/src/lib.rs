@@ -347,6 +347,29 @@ pub trait CommHook {
     fn on_recv(&self, from: usize, bytes: u64, kind: u8, wait_ns: u64);
 }
 
+/// Hook composition: `(a, b)` reports every observation to `a` then `b`,
+/// so one [`Instrumented`] wrapper can feed both the trace session and a
+/// live gauge aggregator without a second decoration layer.
+impl<A: CommHook, B: CommHook> CommHook for (A, B) {
+    #[inline]
+    fn on_send(&self, to: usize, bytes: u64, kind: u8) {
+        self.0.on_send(to, bytes, kind);
+        self.1.on_send(to, bytes, kind);
+    }
+
+    #[inline]
+    fn on_send_dropped(&self, to: usize, bytes: u64, kind: u8) {
+        self.0.on_send_dropped(to, bytes, kind);
+        self.1.on_send_dropped(to, bytes, kind);
+    }
+
+    #[inline]
+    fn on_recv(&self, from: usize, bytes: u64, kind: u8, wait_ns: u64) {
+        self.0.on_recv(from, bytes, kind, wait_ns);
+        self.1.on_recv(from, bytes, kind, wait_ns);
+    }
+}
+
 /// A [`Comm`] decorator that reports every send/receive to a [`CommHook`]
 /// with `(kind, bytes)` metadata extracted by a caller-supplied function.
 /// `send_lossy` and `send_resilient` keep their default implementations,

@@ -1,10 +1,9 @@
 //! The unified solver configuration and the factorization run result.
 //!
-//! One [`SolverConfig`] value now carries everything that used to be
-//! scattered across three places: the execution knobs of the old
-//! `ParallelOptions`, the kernel-dispatch mode that callers previously
-//! installed through the process-global `set_kernel_mode`, and the new
-//! tracing/metrics surface. Entry points apply the kernel mode through a
+//! One [`SolverConfig`] value carries everything that used to be
+//! scattered across three places: the execution knobs (backend, memory
+//! cap, chaos), the kernel-dispatch mode, and the tracing/metrics
+//! surface. Entry points apply the kernel mode through a
 //! scoped guard (restored on exit) and hand back a [`FactorRun`] that
 //! bundles the factor with the run's [`TraceLog`] and the
 //! [`MetricsRegistry`] handle that collected its counters.
@@ -36,8 +35,7 @@ pub struct SolverConfig {
     /// Fault injection for the chaos suite; off by default.
     pub chaos: ChaosOptions,
     /// Kernel dispatch mode, applied for the duration of the run through
-    /// [`KernelMode::scoped`] and restored on exit — the supported
-    /// replacement for the deprecated `set_kernel_mode` global.
+    /// [`KernelMode::scoped`] and restored on exit.
     pub kernel_mode: KernelMode,
     /// Task-level tracing; disabled by default (a disabled trace adds one
     /// thread-local `Option` check per record site).
@@ -49,8 +47,8 @@ pub struct SolverConfig {
 }
 
 impl SolverConfig {
-    /// The default configuration (same behavior as the old
-    /// `ParallelOptions::default()`).
+    /// The default configuration: thread backend, pure fan-in, no chaos,
+    /// `KernelMode::Auto`, tracing off.
     pub fn new() -> Self {
         Self::default()
     }
@@ -89,25 +87,6 @@ impl SolverConfig {
     pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
         self.metrics = registry;
         self
-    }
-}
-
-#[allow(deprecated)]
-impl From<crate::parallel::ParallelOptions> for SolverConfig {
-    fn from(o: crate::parallel::ParallelOptions) -> Self {
-        Self {
-            backend: o.backend,
-            aub_memory_limit: o.aub_memory_limit,
-            chaos: o.chaos,
-            ..Self::default()
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<&crate::parallel::ParallelOptions> for SolverConfig {
-    fn from(o: &crate::parallel::ParallelOptions) -> Self {
-        Self::from(*o)
     }
 }
 
@@ -152,18 +131,6 @@ mod tests {
         assert_eq!(c.chaos, ChaosOptions::default());
         assert_eq!(c.kernel_mode, KernelMode::Auto);
         assert!(!c.trace.enabled);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn from_parallel_options_preserves_knobs() {
-        let o = crate::parallel::ParallelOptions {
-            aub_memory_limit: Some(32),
-            ..Default::default()
-        };
-        let c = SolverConfig::from(&o);
-        assert_eq!(c.aub_memory_limit, Some(32));
-        assert_eq!(c.kernel_mode, KernelMode::Auto);
     }
 
     #[test]

@@ -28,8 +28,6 @@ pub mod storage;
 pub use config::{FactorRun, SolverConfig};
 pub use metrics::MessagePathMetrics;
 pub use parallel::{factorize_parallel, factorize_parallel_with, ChaosOptions};
-#[allow(deprecated)]
-pub use parallel::ParallelOptions;
 pub use pastix_runtime::Backend;
 pub use pastix_trace::{MetricsRegistry, TraceLog, TraceOptions};
 pub use psolve::{solve_parallel, solve_parallel_traced, solve_parallel_with};

@@ -1,18 +1,15 @@
-//! Message-path metrics: the typed view and the deprecated process-global
-//! accessors.
+//! Message-path metrics: the typed view over the `solver.*` counters.
 //!
 //! The zero-copy message path makes two claims that a unit test cannot
-//! check by inspection: factor regions are deep-copied **once per
-//! producing task** (the `Arc<[T]>` payload is then reference-bumped per
-//! consumer send) instead of once per send, and outgoing AUB accumulation
-//! buffers are recycled from received/flushed Fan-Both blocks instead of
-//! freshly allocated. Those counts now live in a
-//! [`pastix_trace::MetricsRegistry`]: every `factorize_parallel_with` run
-//! merges its per-rank counters into the registry handle carried by its
-//! `SolverConfig` **and** into [`MetricsRegistry::global`]. The global
-//! mirror exists only so the deprecated free functions below keep working
-//! for one release; new code should read `run.metrics` from the returned
-//! `FactorRun` instead.
+//! check by inspection: factor regions are deep-copied **at most once per
+//! producing task with a remote consumer** (the `Arc<[T]>` payload is then
+//! reference-bumped per consumer send, and purely local consumers borrow
+//! the region in place) instead of once per send, and outgoing AUB
+//! accumulation buffers are recycled from received/flushed Fan-Both blocks
+//! instead of freshly allocated. Those counts live in the
+//! [`pastix_trace::MetricsRegistry`] carried by each run's `SolverConfig`;
+//! read them from the `FactorRun` with
+//! [`MessagePathMetrics::from_registry`].
 
 use pastix_trace::MetricsRegistry;
 
@@ -20,7 +17,8 @@ use pastix_trace::MetricsRegistry;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MessagePathMetrics {
     /// Factor regions materialized into an `Arc<[T]>` payload (at most one
-    /// per factor-producing task; the seed paid one per send).
+    /// per factor-producing task *with a remote consumer*; the seed paid
+    /// one per send, and purely local fan-out pays none at all).
     pub fac_deep_copies: u64,
     /// Factor messages actually sent (each is an `Arc` refcount bump).
     pub fac_sends: u64,
@@ -45,23 +43,4 @@ impl MessagePathMetrics {
             aub_pool_reuses: registry.counter("solver.aub_pool_reuses"),
         }
     }
-}
-
-/// Reads all counters from the process-global registry.
-#[deprecated(
-    since = "0.1.0",
-    note = "read `MessagePathMetrics::from_registry(&run.metrics)` from the `FactorRun` returned by `factorize_parallel_with`"
-)]
-pub fn snapshot() -> MessagePathMetrics {
-    MessagePathMetrics::from_registry(MetricsRegistry::global())
-}
-
-/// Zeroes the process-global registry (do this before the region you want
-/// to measure).
-#[deprecated(
-    since = "0.1.0",
-    note = "give each run its own registry via `SolverConfig::with_metrics` instead of resetting a process-global"
-)]
-pub fn reset() {
-    MetricsRegistry::global().reset();
 }

@@ -22,13 +22,15 @@ use pastix_kernels::factor::{ldlt_factor_blocked, FactorError, NB_FACTOR};
 use pastix_kernels::{
     gemm_nt_acc, scale_cols_by_diag_into, trsm_ldlt_panel, Scalar,
 };
-use pastix_runtime::{run_spmd_with, Backend, Comm, Instrumented};
+use pastix_runtime::{run_spmd_with, Comm, CommHook, Instrumented};
 use pastix_sched::{Schedule, TaskGraph, TaskKind};
 use pastix_symbolic::SymbolMatrix;
 use pastix_trace::{
-    task_span, MetricsRegistry, RankTrace, SessionHook, TaskClass, TraceLog, TraceOptions,
+    heartbeat, sample_gauge, task_span, GaugeId, MetricsRegistry, RankTrace, SessionHook,
+    TaskClass, TraceLog, TraceOptions,
 };
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -71,6 +73,59 @@ fn pmsg_meta<T>(m: &PMsg<T>) -> (u8, u64) {
         PMsg::Aub { data, .. } => (0, data.len() as u64 * elem),
         PMsg::Fac { data, .. } => (1, data.len() as u64 * elem),
         PMsg::Abort { .. } => (2, 0),
+    }
+}
+
+/// Run-wide live gauges, shared by every rank and sampled onto the trace
+/// timeline at the `TraceOptions::sample_every` cadence. Only allocated
+/// (and only touched) when tracing is enabled, so the untraced hot path
+/// never sees an atomic. Under the simulator the serialized execution
+/// makes every reading a pure function of `(seed, policy)`.
+struct SharedGauges {
+    /// Payload bytes accepted by the transport but not yet received.
+    /// Signed because the simulator's duplicate-delivery fault can make
+    /// recvs overtake sends; samples clamp at zero.
+    inflight_bytes: AtomicI64,
+    /// Per-rank mailbox depth: messages sent to that rank, not yet
+    /// received by it.
+    mailbox_depth: Vec<AtomicI64>,
+    /// Run-global completed-task counter; each completion stamps the
+    /// finishing rank's heartbeat with the post-increment value.
+    progress: AtomicU64,
+}
+
+impl SharedGauges {
+    fn new(n_procs: usize) -> Self {
+        Self {
+            inflight_bytes: AtomicI64::new(0),
+            mailbox_depth: (0..n_procs).map(|_| AtomicI64::new(0)).collect(),
+            progress: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The [`CommHook`] feeding [`SharedGauges`] from one rank's traffic;
+/// composed with [`SessionHook`] through the runtime's tuple hook so one
+/// [`Instrumented`] wrapper serves both.
+struct GaugeHook<'g> {
+    rank: usize,
+    gauges: &'g SharedGauges,
+}
+
+impl CommHook for GaugeHook<'_> {
+    #[inline]
+    fn on_send(&self, to: usize, bytes: u64, _kind: u8) {
+        self.gauges.inflight_bytes.fetch_add(bytes as i64, Ordering::Relaxed);
+        self.gauges.mailbox_depth[to].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_send_dropped(&self, _to: usize, _bytes: u64, _kind: u8) {}
+
+    #[inline]
+    fn on_recv(&self, _from: usize, bytes: u64, _kind: u8, _wait_ns: u64) {
+        self.gauges.inflight_bytes.fetch_sub(bytes as i64, Ordering::Relaxed);
+        self.gauges.mailbox_depth[self.rank].fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -302,6 +357,43 @@ struct Worker<'a, T> {
     chaos: ChaosOptions,
     /// Message-path counters, merged into the registry at run end.
     counters: RankCounters,
+    /// Run-wide live gauges; `None` when tracing is off, so the untraced
+    /// loop never touches an atomic.
+    gauges: Option<&'a SharedGauges>,
+    /// Gauge sampling cadence in completed tasks (0 disables sampling).
+    sample_every: u32,
+    /// Tasks completed since the last gauge sample.
+    since_sample: u32,
+    /// Scalars resident in the owned regions (fixed after scatter).
+    region_scalars: usize,
+    /// Scalars held by the factor-payload cache (received + materialized).
+    fac_cache_scalars: usize,
+    /// Largest live-bytes reading seen so far on this rank.
+    peak_live_bytes: u64,
+}
+
+/// A factor payload as seen by one consumer task: a locally produced
+/// region is *borrowed* — taken out of the region store for the duration
+/// of the consumer and put back untouched — while remote (or already
+/// materialized) payloads are refcount bumps of the cached `Arc`. This is
+/// what keeps `fac_deep_copies` at zero for producers whose consumers are
+/// all local: only `send_fac` materializes.
+enum FacPayload<T> {
+    /// Temporarily removed from `regions`; must be returned via
+    /// [`Worker::put_fac`].
+    Borrowed(Vec<T>),
+    /// Shared cache entry (local materialized or remote received).
+    Shared(Arc<[T]>),
+}
+
+impl<T> FacPayload<T> {
+    #[inline]
+    fn as_slice(&self) -> &[T] {
+        match self {
+            FacPayload::Borrowed(v) => v,
+            FacPayload::Shared(a) => a,
+        }
+    }
 }
 
 impl<'a, T: Scalar> Worker<'a, T> {
@@ -328,7 +420,10 @@ impl<'a, T: Scalar> Worker<'a, T> {
                 self.recycle_aub(data);
             }
             PMsg::Fac { src, data } => {
-                self.fac_cache.insert(src, data);
+                let len = data.len();
+                if self.fac_cache.insert(src, data).is_none() {
+                    self.fac_cache_scalars += len;
+                }
             }
             PMsg::Abort { col } => {
                 self.aborted = Some(FactorError::ZeroPivot(col as usize));
@@ -350,7 +445,8 @@ impl<'a, T: Scalar> Worker<'a, T> {
 
     /// Materializes the finished factor region of locally owned task `t`
     /// as a shared payload — once; later callers (and every consumer send)
-    /// get refcount bumps of the same allocation.
+    /// get refcount bumps of the same allocation. Only remote sends pay
+    /// this copy: purely local consumers borrow through [`Self::take_fac`].
     fn local_fac_payload(&mut self, t: u32) -> Arc<[T]> {
         if let Some(data) = self.fac_cache.get(&t) {
             return data.clone();
@@ -358,30 +454,46 @@ impl<'a, T: Scalar> Worker<'a, T> {
         let region = self.regions.get(&t).expect("local factor region missing");
         self.counters.fac_deep_copies += 1;
         let arc: Arc<[T]> = Arc::from(region.as_slice());
+        self.fac_cache_scalars += arc.len();
         self.fac_cache.insert(t, arc.clone());
         arc
     }
 
-    /// Obtains factor data produced by task `src` (shared, read-only;
-    /// local regions are materialized once, remote ones come from the
-    /// cache / mailbox).
-    fn get_fac<C: Comm<PMsg<T>> + ?Sized>(
+    /// Obtains factor data produced by task `src`. A locally owned region
+    /// that was never materialized is moved out of the region store and
+    /// read in place (zero copy; return it with [`Self::put_fac`]); remote
+    /// payloads — and local ones already materialized for remote
+    /// consumers — are refcount bumps of the cache entry.
+    fn take_fac<C: Comm<PMsg<T>> + ?Sized>(
         &mut self,
         ctx: &C,
         src: u32,
-    ) -> Result<Arc<[T]>, FactorError> {
+    ) -> Result<FacPayload<T>, FactorError> {
+        if let Some(data) = self.fac_cache.get(&src) {
+            return Ok(FacPayload::Shared(data.clone()));
+        }
         if self.sched.task_proc[src as usize] == self.rank {
-            return Ok(self.local_fac_payload(src));
+            let region = self.regions.remove(&src).expect("local factor region missing");
+            return Ok(FacPayload::Borrowed(region));
         }
         loop {
             if let Some(e) = self.aborted {
                 return Err(e);
             }
             if let Some(data) = self.fac_cache.get(&src) {
-                return Ok(data.clone());
+                return Ok(FacPayload::Shared(data.clone()));
             }
             let env = ctx.recv();
             self.handle(env.from, env.msg);
+        }
+    }
+
+    /// Returns a payload obtained from [`Self::take_fac`]: a borrowed
+    /// local region goes back into the region store (shared payloads need
+    /// nothing).
+    fn put_fac(&mut self, src: u32, payload: FacPayload<T>) {
+        if let FacPayload::Borrowed(region) = payload {
+            self.regions.insert(src, region);
         }
     }
 
@@ -589,8 +701,43 @@ impl<'a, T: Scalar> Worker<'a, T> {
                     self.run_bmod(ctx, t, cblk as usize, blok_row as usize, blok_col as usize)?
                 }
             }
+            if let Some(gauges) = self.gauges {
+                // Heartbeat: stamp this completion with the run-global
+                // count, so gaps in one rank's sequence measure how far
+                // the rest of the machine ran while it was stuck.
+                let seq = gauges.progress.fetch_add(1, Ordering::Relaxed) + 1;
+                heartbeat(seq);
+                self.since_sample += 1;
+                if self.sample_every > 0 && self.since_sample >= self.sample_every {
+                    self.since_sample = 0;
+                    self.sample_gauges(gauges);
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Records one reading of every resource gauge onto this rank's trace
+    /// track. Runs every `sample_every`-th completed task; everything read
+    /// here is either a plain field or a relaxed atomic load, so the cost
+    /// stays a small fraction of one task's kernel work.
+    fn sample_gauges(&mut self, gauges: &SharedGauges) {
+        let elem = std::mem::size_of::<T>() as u64;
+        let aub_out_scalars: usize = self.aub_out.values().map(|(v, _, _)| v.len()).sum();
+        let live = (self.region_scalars + self.fac_cache_scalars + aub_out_scalars) as u64 * elem;
+        self.peak_live_bytes = self.peak_live_bytes.max(live);
+        sample_gauge(GaugeId::AubPoolBuffers, self.aub_pool.len() as u64);
+        sample_gauge(GaugeId::AubOutBytes, aub_out_scalars as u64 * elem);
+        sample_gauge(
+            GaugeId::InflightMsgs,
+            gauges.inflight_bytes.load(Ordering::Relaxed).max(0) as u64,
+        );
+        sample_gauge(GaugeId::LiveRegionBytes, live);
+        sample_gauge(GaugeId::PeakLiveBytes, self.peak_live_bytes);
+        sample_gauge(
+            GaugeId::MailboxDepth,
+            gauges.mailbox_depth[self.rank as usize].load(Ordering::Relaxed).max(0) as u64,
+        );
     }
 
     fn run_comp1d<C: Comm<PMsg<T>> + ?Sized>(&mut self, ctx: &C, t: u32, k: usize) -> Result<(), FactorError> {
@@ -677,15 +824,17 @@ impl<'a, T: Scalar> Worker<'a, T> {
         let w = self.sym.cblks[k].width();
         let hb = self.sym.bloks[blok].nrows();
         let factor_task = self.graph.head_task_of_cblk[k];
-        let fac = self.get_fac(ctx, factor_task)?; // w×w, D on diag, L lower
+        let fac = self.take_fac(ctx, factor_task)?; // w×w, D on diag, L lower
         let mut region = self.regions.remove(&t).expect("bdiv region missing");
         debug_assert_eq!(region.len(), 2 * hb * w);
         {
+            let fac = fac.as_slice();
             let (l_part, f_part) = region.split_at_mut(hb * w);
-            trsm_ldlt_panel(hb, w, &fac, w, l_part, hb);
+            trsm_ldlt_panel(hb, w, fac, w, l_part, hb);
             let d: Vec<T> = (0..w).map(|i| fac[i + i * w]).collect();
             scale_cols_by_diag_into(hb, w, l_part, hb, &d, f_part, hb);
         }
+        self.put_fac(factor_task, fac);
         self.regions.insert(t, region);
         self.send_fac(ctx, t);
         Ok(())
@@ -706,15 +855,30 @@ impl<'a, T: Scalar> Worker<'a, T> {
         let bdiv_c = self.graph.bdiv_task_of_blok[blok_col];
         let route = route_pair(self.sym, self.layout, self.graph, blok_row, blok_col);
         // L from the row block's BDIV, F from the column block's BDIV.
-        let lr_data = self.get_fac(ctx, bdiv_r)?;
+        // Both payloads are moved out of the worker (borrowed local region
+        // or shared cache entry), so the contribution — which targets a
+        // strictly later column block — can mutate the worker freely.
+        let lr_data = self.take_fac(ctx, bdiv_r)?;
         if bdiv_c == bdiv_r {
-            let (l_r, f_c) = lr_data.split_at(hr * w);
+            let (l_r, f_c) = lr_data.as_slice().split_at(hr * w);
             self.apply_contribution(ctx, &route, hr, hc, w, l_r, hr, f_c, hc);
         } else {
-            let fc_data = self.get_fac(ctx, bdiv_c)?;
-            debug_assert_eq!(fc_data.len(), 2 * hc * w);
-            self.apply_contribution(ctx, &route, hr, hc, w, &lr_data[..hr * w], hr, &fc_data[hc * w..], hc);
+            let fc_data = self.take_fac(ctx, bdiv_c)?;
+            debug_assert_eq!(fc_data.as_slice().len(), 2 * hc * w);
+            self.apply_contribution(
+                ctx,
+                &route,
+                hr,
+                hc,
+                w,
+                &lr_data.as_slice()[..hr * w],
+                hr,
+                &fc_data.as_slice()[hc * w..],
+                hc,
+            );
+            self.put_fac(bdiv_c, fc_data);
         }
+        self.put_fac(bdiv_r, lr_data);
         Ok(())
     }
 }
@@ -731,33 +895,6 @@ pub struct ChaosOptions {
     /// factorization kernel (the task must be a COMP1D or FACTOR), forcing
     /// the zero-pivot abort protocol deterministically.
     pub zero_pivot_task: Option<u32>,
-}
-
-/// Options of the parallel factorization and solve: the execution backend
-/// plus solver-level knobs. Superseded by [`SolverConfig`], which carries
-/// the same fields plus the kernel mode and the observability surface;
-/// every entry point takes `&SolverConfig` now, and a `ParallelOptions`
-/// converts with `SolverConfig::from(&opts)`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `SolverConfig` (same fields plus kernel_mode/trace/metrics); convert with `SolverConfig::from`"
-)]
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ParallelOptions {
-    /// Execution backend: real OS threads ([`Backend::Threads`], default)
-    /// or the deterministic fault-injecting simulator
-    /// ([`Backend::Sim`]) whose whole execution is a pure function of the
-    /// embedded [`FaultPlan`]'s `(seed, policy)`.
-    pub backend: Backend,
-    /// Fan-Both memory cap in scalars per processor: when the outgoing
-    /// aggregation buffers exceed it, the largest is sent partially
-    /// aggregated (paper §2: *"if memory is a critical issue, an
-    /// aggregated update block can be sent with partial aggregation to
-    /// free memory space; this is close to the Fan-Both scheme"*).
-    /// `None` (default) keeps total local aggregation (pure Fan-In).
-    pub aub_memory_limit: Option<usize>,
-    /// Fault injection for the chaos suite; off by default.
-    pub chaos: ChaosOptions,
 }
 
 /// Runs the parallel factorization and assembles the distributed factor
@@ -798,18 +935,18 @@ pub fn factorize_parallel_with<T: Scalar>(
     if topts.enabled && topts.epoch.is_none() {
         topts.epoch = Some(Instant::now());
     }
+    let gauges = SharedGauges::new(sched.n_procs);
     let t0 = Instant::now();
     let outputs = run_spmd_with::<PMsg<T>, WorkerOutput<T>, _>(
         &cfg.backend,
         sched.n_procs,
-        |ctx| worker_run(ctx, sym, &layout, graph, sched, &routing, a, cfg, &topts),
+        |ctx| worker_run(ctx, sym, &layout, graph, sched, &routing, a, cfg, &topts, &gauges),
     );
     let wall_ns = t0.elapsed().as_nanos() as u64;
     let mut results = Vec::with_capacity(outputs.len());
     let mut ranks = Vec::new();
     for (rank, out) in outputs.into_iter().enumerate() {
         merge_rank_counters(&cfg.metrics, rank as u32, &out.counters);
-        merge_rank_counters(MetricsRegistry::global(), rank as u32, &out.counters);
         if let Some(rt) = out.trace {
             ranks.push(rt);
         }
@@ -849,6 +986,7 @@ fn worker_run<T: Scalar, C: Comm<PMsg<T>> + ?Sized>(
     a: &SymCsc<T>,
     cfg: &SolverConfig,
     topts: &TraceOptions,
+    gauges: &SharedGauges,
 ) -> WorkerOutput<T> {
     let rank = ctx.rank() as u32;
     // Both backends run each logical processor on its own OS thread, so a
@@ -874,6 +1012,7 @@ fn worker_run<T: Scalar, C: Comm<PMsg<T>> + ?Sized>(
         }
         scatter_owned(sym, layout, graph, a, &mut regions);
     }
+    let region_scalars: usize = regions.values().map(|v| v.len()).sum();
     let mut worker = Worker {
         rank,
         sym,
@@ -892,11 +1031,18 @@ fn worker_run<T: Scalar, C: Comm<PMsg<T>> + ?Sized>(
         aborted: None,
         chaos: cfg.chaos,
         counters: RankCounters::default(),
+        gauges: topts.enabled.then_some(gauges),
+        sample_every: topts.sample_every,
+        since_sample: 0,
+        region_scalars,
+        fac_cache_scalars: 0,
+        peak_live_bytes: 0,
     };
     // Only the traced path pays for the instrumented wrapper; the untraced
     // monomorphization is byte-for-byte the old hot loop.
     let run_result = if topts.enabled {
-        let ictx = Instrumented::new(ctx, SessionHook, pmsg_meta::<T>);
+        let hook = (SessionHook, GaugeHook { rank: ctx.rank(), gauges });
+        let ictx = Instrumented::new(ctx, hook, pmsg_meta::<T>);
         worker.run(&ictx)
     } else {
         worker.run(ctx)

@@ -3,27 +3,30 @@
 //! The claims under test (see `pastix_solver::metrics`):
 //!
 //! 1. factor regions are materialized into an `Arc<[T]>` payload at most
-//!    once per producing task — consumer sends are refcount bumps, so with
-//!    any fan-out the send count strictly exceeds the deep-copy count
-//!    (the seed cloned the region on every send);
+//!    once per producing task **with a remote consumer** — purely local
+//!    consumers borrow the finished region in place, and consumer sends
+//!    are refcount bumps, so with any fan-out the send count strictly
+//!    exceeds the deep-copy count (the seed cloned the region on every
+//!    send);
 //! 2. under the Fan-Both memory cap, outgoing AUB accumulation buffers are
 //!    recycled from applied incoming AUBs instead of freshly allocated.
 //!
 //! Each run reads its counters from the private `MetricsRegistry` carried
-//! by its own `SolverConfig`, so the two phases cannot contaminate each
-//! other; the deprecated process-global accessors are exercised once at
-//! the end to pin the one-release compatibility shim.
+//! by its own `SolverConfig`, so the phases cannot contaminate each other.
+//! The whole suite runs on **both** backends: the production thread
+//! backend and the deterministic simulator follow the same message path,
+//! so the structural counts must agree.
 
 use pastix_graph::gen::{grid_spd, Stencil, ValueKind};
 use pastix_machine::MachineModel;
 use pastix_ordering::{nested_dissection, OrderingOptions};
+use pastix_runtime::sim::FaultPlan;
 use pastix_sched::{map_and_schedule, DistStrategy, MappingOptions, SchedOptions, TaskKind};
 use pastix_solver::metrics::MessagePathMetrics;
-use pastix_solver::{factorize_parallel_with, metrics, SolverConfig};
+use pastix_solver::{factorize_parallel_with, Backend, SolverConfig};
 use pastix_symbolic::{analyze, AnalysisOptions};
 
-#[test]
-fn factor_payloads_are_shared_and_aub_buffers_recycled() {
+fn check_zero_copy_on(backend: Backend) {
     // A mixed 1D/2D problem on 8 logical processors: plenty of factor
     // fan-out and cross-processor AUB traffic.
     let a = grid_spd::<f64>(12, 12, 1, Stencil::Star, false, ValueKind::RandomSpd(21));
@@ -42,11 +45,17 @@ fn factor_payloads_are_shared_and_aub_buffers_recycled() {
     let mapping = map_and_schedule(&an.symbol, &machine, &opts);
     let ap = a.permuted(&an.perm);
     let sym = &mapping.graph.split.symbol;
-    let n_producers = mapping
-        .graph
-        .kinds
-        .iter()
-        .filter(|k| matches!(k, TaskKind::Factor { .. } | TaskKind::Bdiv { .. }))
+    let graph = &mapping.graph;
+    let sched = &mapping.schedule;
+    // The only lawful deep copies: factor-producing tasks with at least
+    // one consumer scheduled on a different processor (the `Arc` payload
+    // is materialized once for the sends; everything local borrows).
+    let n_remote_producers = (0..graph.n_tasks())
+        .filter(|&t| matches!(graph.kinds[t], TaskKind::Factor { .. } | TaskKind::Bdiv { .. }))
+        .filter(|&t| {
+            let p = sched.task_proc[t];
+            graph.out_edges(t).iter().any(|&d| sched.task_proc[d as usize] != p)
+        })
         .count() as u64;
 
     // Phase 1: plain fan-in factorization — factor-payload sharing. The
@@ -54,17 +63,17 @@ fn factor_payloads_are_shared_and_aub_buffers_recycled() {
     let fanin = factorize_parallel_with(
         sym,
         &ap,
-        &mapping.graph,
-        &mapping.schedule,
-        &SolverConfig::default(),
+        graph,
+        sched,
+        &SolverConfig::new().with_backend(backend),
     )
     .unwrap();
     let m1 = MessagePathMetrics::from_registry(&fanin.metrics);
     assert!(m1.fac_sends > 0, "expected remote factor traffic: {m1:?}");
     assert!(
-        m1.fac_deep_copies <= n_producers,
+        m1.fac_deep_copies <= n_remote_producers,
         "factor regions must be deep-copied at most once per producing task \
-         ({n_producers} producers): {m1:?}"
+         with a remote consumer ({n_remote_producers} such producers): {m1:?}"
     );
     assert!(
         m1.fac_deep_copies < m1.fac_sends,
@@ -75,9 +84,11 @@ fn factor_payloads_are_shared_and_aub_buffers_recycled() {
     let fanboth = factorize_parallel_with(
         sym,
         &ap,
-        &mapping.graph,
-        &mapping.schedule,
-        &SolverConfig::new().with_aub_memory_limit(Some(16)),
+        graph,
+        sched,
+        &SolverConfig::new()
+            .with_backend(backend)
+            .with_aub_memory_limit(Some(16)),
     )
     .unwrap();
     let m2 = MessagePathMetrics::from_registry(&fanboth.metrics);
@@ -97,31 +108,14 @@ fn factor_payloads_are_shared_and_aub_buffers_recycled() {
             assert!((x - y).abs() < 1e-9, "fan-both deviates: {x} vs {y}");
         }
     }
+}
 
-    // Deprecated shims, kept one release: every run also mirrors its
-    // counters into the process-global registry, so `reset` + a run +
-    // `snapshot` must still observe the message path.
-    #[allow(deprecated)]
-    {
-        metrics::reset();
-        let _ = factorize_parallel_with(
-            sym,
-            &ap,
-            &mapping.graph,
-            &mapping.schedule,
-            &SolverConfig::default(),
-        )
-        .unwrap();
-        let m3 = metrics::snapshot();
-        // The fresh-alloc/pool-reuse split depends on thread timing; the
-        // structural counts and the acquired-buffer total do not.
-        assert_eq!(m3.fac_deep_copies, m1.fac_deep_copies);
-        assert_eq!(m3.fac_sends, m1.fac_sends);
-        assert_eq!(m3.aub_sends, m1.aub_sends);
-        assert_eq!(
-            m3.aub_fresh_allocs + m3.aub_pool_reuses,
-            m1.aub_fresh_allocs + m1.aub_pool_reuses,
-            "global shim must see the same acquired-buffer total"
-        );
-    }
+#[test]
+fn factor_payloads_are_shared_and_aub_buffers_recycled_threads() {
+    check_zero_copy_on(Backend::Threads);
+}
+
+#[test]
+fn factor_payloads_are_shared_and_aub_buffers_recycled_sim() {
+    check_zero_copy_on(Backend::Sim(FaultPlan::builder(21).build()));
 }

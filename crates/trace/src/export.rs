@@ -1,0 +1,505 @@
+//! Trace export: [`TraceLog`] → Chrome trace-event JSON (loadable in
+//! Perfetto / `chrome://tracing`) and a no-dependency terminal Gantt
+//! renderer for quick looks.
+//!
+//! The export is **canonical**: given the same log (and optional
+//! schedule context) the emitted JSON is byte-identical — on the sim
+//! backend with [`crate::ClockMode::Logical`] that makes the timeline
+//! file itself a pure function of `(seed, policy, digest)`, pinned by a
+//! golden test. Host-timing fields (`wall_ns`) are deliberately left
+//! out.
+//!
+//! Mapping of the event vocabulary:
+//!
+//! | ring event        | trace-event                                    |
+//! |-------------------|------------------------------------------------|
+//! | `TaskBegin`/`End` | `ph:"B"`/`"E"` span on the rank's track        |
+//! | `Send` → `Recv`   | `ph:"s"` → `ph:"f"` flow arrow (same `id`)     |
+//! | `SendDropped`     | `ph:"i"` instant (`send_dropped`)              |
+//! | `Fence`           | `ph:"i"` instant (`fence`)                     |
+//! | `Gauge`           | `ph:"C"` counter track `rank<r>/<gauge>`       |
+//! | `Heartbeat`       | `ph:"C"` counter track `rank<r>/progress`      |
+//!
+//! Only *matched* span pairs are exported (a `B` whose `E` was lost to
+//! ring overflow is skipped), and a flow `s` is only emitted when the
+//! matching `f` exists — the i-th send to the i-th receive per
+//! `(src, dst, kind)` triple — so the schema invariants hold even under
+//! drop faults and truncated rings.
+
+use crate::{EventKind, GaugeId, TaskClass, TraceLog};
+use pastix_json::{obj, Json};
+use pastix_sched::{Schedule, TaskGraph};
+use std::collections::HashMap;
+
+/// Converts a trace to Chrome trace-event JSON without schedule context
+/// (span args carry only the task id and class).
+pub fn chrome_trace(log: &TraceLog) -> Json {
+    chrome_trace_impl(log, None)
+}
+
+/// Converts a trace to Chrome trace-event JSON with schedule context:
+/// every task span's args gain the supernode (column block), the modeled
+/// cost, and the statically assigned processor.
+pub fn chrome_trace_with(log: &TraceLog, g: &TaskGraph, s: &Schedule) -> Json {
+    chrome_trace_impl(log, Some((g, s)))
+}
+
+fn ev_base(name: &str, cat: &str, ph: &str, ts: u64, tid: u32) -> Vec<(String, Json)> {
+    vec![
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("cat".to_string(), Json::Str(cat.to_string())),
+        ("ph".to_string(), Json::Str(ph.to_string())),
+        ("ts".to_string(), Json::Num(ts as f64)),
+        ("pid".to_string(), Json::Num(0.0)),
+        ("tid".to_string(), Json::Num(tid as f64)),
+    ]
+}
+
+fn span_args(task: u32, class: TaskClass, ctx: Option<(&TaskGraph, &Schedule)>) -> Json {
+    let mut a = vec![
+        ("task".to_string(), Json::Num(task as f64)),
+        ("class".to_string(), Json::Str(class.name().to_string())),
+    ];
+    if let Some((g, s)) = ctx {
+        let t = task as usize;
+        if t < g.n_tasks() && !matches!(class, TaskClass::Scatter | TaskClass::Seq) {
+            a.push(("supernode".to_string(), Json::Num(g.kinds[t].cblk() as f64)));
+            a.push(("predicted_cost".to_string(), Json::Num(g.cost[t])));
+            a.push(("sched_proc".to_string(), Json::Num(s.task_proc[t] as f64)));
+        }
+    }
+    Json::Obj(a)
+}
+
+fn chrome_trace_impl(log: &TraceLog, ctx: Option<(&TaskGraph, &Schedule)>) -> Json {
+    let mut events: Vec<Json> = Vec::with_capacity(log.event_count() + log.ranks.len() + 2);
+
+    // Track-naming metadata.
+    let mut meta = ev_base("process_name", "__metadata", "M", 0, 0);
+    meta.push(("args".to_string(), obj([("name", Json::Str("pastix".to_string()))])));
+    events.push(Json::Obj(meta));
+    for rt in &log.ranks {
+        let mut m = ev_base("thread_name", "__metadata", "M", 0, rt.rank);
+        m.push((
+            "args".to_string(),
+            obj([("name", Json::Str(format!("rank {}", rt.rank)))]),
+        ));
+        events.push(Json::Obj(m));
+    }
+
+    // Pass 1a: per rank, mark the span events whose begin/end partner is
+    // present (unpaired ones fell off the ring and are skipped).
+    let mut matched: Vec<Vec<bool>> = Vec::with_capacity(log.ranks.len());
+    for rt in &log.ranks {
+        let mut ok = vec![false; rt.events.len()];
+        let mut open: HashMap<(u32, u8), Vec<usize>> = HashMap::new();
+        for (i, ev) in rt.events.iter().enumerate() {
+            match ev.kind {
+                EventKind::TaskBegin { task, class } => {
+                    open.entry((task, class as u8)).or_default().push(i);
+                }
+                EventKind::TaskEnd { task, class } => {
+                    if let Some(b) = open.get_mut(&(task, class as u8)).and_then(Vec::pop) {
+                        ok[b] = true;
+                        ok[i] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        matched.push(ok);
+    }
+
+    // Pass 1b: count sends and recvs per (src, dst, kind) so each flow
+    // arrow pairs the i-th send with the i-th receive of its triple; a
+    // send beyond the receive count (dropped or still in flight) gets no
+    // arrow. Flow ids are dense in (src, dst, kind, i) order.
+    let mut n_sends: HashMap<(u32, u32, u8), u64> = HashMap::new();
+    let mut n_recvs: HashMap<(u32, u32, u8), u64> = HashMap::new();
+    for rt in &log.ranks {
+        for ev in &rt.events {
+            match ev.kind {
+                EventKind::Send { peer, kind, .. } => {
+                    *n_sends.entry((rt.rank, peer, kind)).or_default() += 1;
+                }
+                EventKind::Recv { peer, kind, .. } => {
+                    *n_recvs.entry((peer, rt.rank, kind)).or_default() += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut flow_base: HashMap<(u32, u32, u8), u64> = HashMap::new();
+    let mut keys: Vec<(u32, u32, u8)> = n_sends.keys().copied().collect();
+    keys.sort_unstable();
+    let mut next_id = 1u64;
+    for k in keys {
+        let pairs = n_sends[&k].min(n_recvs.get(&k).copied().unwrap_or(0));
+        flow_base.insert(k, next_id);
+        next_id += pairs;
+    }
+    let flow_pairs = |k: &(u32, u32, u8)| -> u64 {
+        n_sends
+            .get(k)
+            .copied()
+            .unwrap_or(0)
+            .min(n_recvs.get(k).copied().unwrap_or(0))
+    };
+
+    // Pass 2: emit, rank by rank, in ring order.
+    for (ri, rt) in log.ranks.iter().enumerate() {
+        let r = rt.rank;
+        let mut sent: HashMap<(u32, u32, u8), u64> = HashMap::new();
+        let mut rcvd: HashMap<(u32, u32, u8), u64> = HashMap::new();
+        for (i, ev) in rt.events.iter().enumerate() {
+            match ev.kind {
+                EventKind::TaskBegin { task, class } if matched[ri][i] => {
+                    let mut e = ev_base(class.name(), "task", "B", ev.at, r);
+                    e.push(("args".to_string(), span_args(task, class, ctx)));
+                    events.push(Json::Obj(e));
+                }
+                EventKind::TaskEnd { .. } if matched[ri][i] => {
+                    events.push(Json::Obj(ev_base("", "task", "E", ev.at, r)));
+                }
+                EventKind::TaskBegin { .. } | EventKind::TaskEnd { .. } => {}
+                EventKind::Send { peer, bytes, kind } => {
+                    let key = (r, peer, kind);
+                    let i_th = *sent.entry(key).or_default();
+                    sent.insert(key, i_th + 1);
+                    if i_th < flow_pairs(&key) {
+                        let mut e = ev_base(&format!("msg{kind}"), "flow", "s", ev.at, r);
+                        e.push(("id".to_string(), Json::Num((flow_base[&key] + i_th) as f64)));
+                        e.push(("args".to_string(), obj([("bytes", Json::Num(bytes as f64))])));
+                        events.push(Json::Obj(e));
+                    }
+                }
+                EventKind::Recv { peer, bytes, kind, wait_ns } => {
+                    let key = (peer, r, kind);
+                    let i_th = *rcvd.entry(key).or_default();
+                    rcvd.insert(key, i_th + 1);
+                    if i_th < flow_pairs(&key) {
+                        let mut e = ev_base(&format!("msg{kind}"), "flow", "f", ev.at, r);
+                        e.push(("bp".to_string(), Json::Str("e".to_string())));
+                        e.push(("id".to_string(), Json::Num((flow_base[&key] + i_th) as f64)));
+                        e.push((
+                            "args".to_string(),
+                            obj([
+                                ("bytes", Json::Num(bytes as f64)),
+                                ("wait_ns", Json::Num(wait_ns as f64)),
+                            ]),
+                        ));
+                        events.push(Json::Obj(e));
+                    }
+                }
+                EventKind::SendDropped { peer, bytes, kind } => {
+                    let mut e = ev_base("send_dropped", "fault", "i", ev.at, r);
+                    e.push(("s".to_string(), Json::Str("t".to_string())));
+                    e.push((
+                        "args".to_string(),
+                        obj([
+                            ("peer", Json::Num(peer as f64)),
+                            ("bytes", Json::Num(bytes as f64)),
+                            ("kind", Json::Num(kind as f64)),
+                        ]),
+                    ));
+                    events.push(Json::Obj(e));
+                }
+                EventKind::Fence { phase } => {
+                    let label = match phase {
+                        0 => "session_begin".to_string(),
+                        u64::MAX => "session_end".to_string(),
+                        p => format!("phase {p}"),
+                    };
+                    let mut e = ev_base("fence", "phase", "i", ev.at, r);
+                    e.push(("s".to_string(), Json::Str("t".to_string())));
+                    e.push(("args".to_string(), obj([("phase", Json::Str(label))])));
+                    events.push(Json::Obj(e));
+                }
+                EventKind::Gauge { id, value } => {
+                    let name = format!("rank{r}/{}", GaugeId::name_of(id));
+                    let mut e = ev_base(&name, "gauge", "C", ev.at, r);
+                    e.push(("args".to_string(), obj([("value", Json::Num(value as f64))])));
+                    events.push(Json::Obj(e));
+                }
+                EventKind::Heartbeat { seq } => {
+                    let name = format!("rank{r}/progress");
+                    let mut e = ev_base(&name, "gauge", "C", ev.at, r);
+                    e.push(("args".to_string(), obj([("value", Json::Num(seq as f64))])));
+                    events.push(Json::Obj(e));
+                }
+            }
+        }
+    }
+
+    obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".to_string())),
+        (
+            "otherData",
+            obj([
+                ("schedule_digest", Json::Str(format!("{:#018x}", log.digest))),
+                ("ranks", Json::Num(log.ranks.len() as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// Structural sanity check of an exported Chrome trace: per track every
+/// `B` has a matching `E` (properly nested), and every flow-start `s`
+/// has a flow-finish `f` with the same id (and vice versa). Returns the
+/// first violation as an error string.
+pub fn validate_chrome_trace(j: &Json) -> Result<(), String> {
+    let evs = j
+        .get("traceEvents")
+        .and_then(|e| e.as_arr().ok())
+        .ok_or("no traceEvents array")?;
+    let mut depth: HashMap<u64, i64> = HashMap::new();
+    let mut starts: Vec<u64> = Vec::new();
+    let mut finishes: Vec<u64> = Vec::new();
+    for (i, e) in evs.iter().enumerate() {
+        let ph = e.get("ph").and_then(|p| p.as_str().ok()).ok_or(format!("event {i}: no ph"))?;
+        let tid = e
+            .get("tid")
+            .and_then(|t| t.as_f64().ok())
+            .ok_or(format!("event {i}: no tid"))? as u64;
+        match ph {
+            "B" => *depth.entry(tid).or_default() += 1,
+            "E" => {
+                let d = depth.entry(tid).or_default();
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!("event {i}: E without B on tid {tid}"));
+                }
+            }
+            "s" | "f" => {
+                let id = e
+                    .get("id")
+                    .and_then(|v| v.as_f64().ok())
+                    .ok_or(format!("event {i}: flow without id"))? as u64;
+                if ph == "s" {
+                    starts.push(id);
+                } else {
+                    finishes.push(id);
+                }
+            }
+            "C" | "i" | "M" => {}
+            other => return Err(format!("event {i}: unknown ph {other:?}")),
+        }
+    }
+    for (tid, d) in depth {
+        if d != 0 {
+            return Err(format!("tid {tid}: {d} unclosed B spans"));
+        }
+    }
+    starts.sort_unstable();
+    finishes.sort_unstable();
+    if starts != finishes {
+        return Err(format!(
+            "flow mismatch: {} starts vs {} finishes (or id sets differ)",
+            starts.len(),
+            finishes.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Renders an ASCII Gantt chart: one row per rank over the trace window,
+/// `#` = inside a task span, `~` = blocked in `recv()`, `.` = idle,
+/// followed by the rank's busy fraction. The trailer names the
+/// compute-imbalance ratio (max rank compute / mean rank compute). Wants
+/// wall-clock traces; logical clocks render but the geometry is event
+/// counts, not time.
+pub fn render_gantt(log: &TraceLog, width: usize) -> String {
+    let width = width.clamp(16, 512);
+    // Collect matched spans and wait intervals per rank.
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    let mut spans: Vec<Vec<(u64, u64)>> = Vec::new();
+    let mut waits: Vec<Vec<(u64, u64)>> = Vec::new();
+    for rt in &log.ranks {
+        let mut open: HashMap<(u32, u8), Vec<u64>> = HashMap::new();
+        let mut sp = Vec::new();
+        let mut wt = Vec::new();
+        for ev in &rt.events {
+            lo = lo.min(ev.at);
+            hi = hi.max(ev.at);
+            match ev.kind {
+                EventKind::TaskBegin { task, class } => {
+                    open.entry((task, class as u8)).or_default().push(ev.at);
+                }
+                EventKind::TaskEnd { task, class } => {
+                    if let Some(b) = open.get_mut(&(task, class as u8)).and_then(Vec::pop) {
+                        sp.push((b, ev.at));
+                    }
+                }
+                EventKind::Recv { wait_ns, .. } if wait_ns > 0 => {
+                    wt.push((ev.at.saturating_sub(wait_ns), ev.at));
+                }
+                _ => {}
+            }
+        }
+        spans.push(sp);
+        waits.push(wt);
+    }
+    if lo == u64::MAX || hi <= lo {
+        return "gantt: empty trace\n".to_string();
+    }
+    let span = (hi - lo) as f64;
+    let cell = |at: u64| -> usize {
+        (((at - lo) as f64 / span) * (width as f64 - 1.0)).round() as usize
+    };
+
+    let mut out = String::new();
+    let mut compute: Vec<u64> = Vec::new();
+    for (ri, rt) in log.ranks.iter().enumerate() {
+        let mut row = vec![b'.'; width];
+        for &(b, e) in &waits[ri] {
+            for c in row.iter_mut().take(cell(e) + 1).skip(cell(b)) {
+                *c = b'~';
+            }
+        }
+        let mut busy = 0u64;
+        for &(b, e) in &spans[ri] {
+            busy += e - b;
+            for c in row.iter_mut().take(cell(e) + 1).skip(cell(b)) {
+                *c = b'#';
+            }
+        }
+        compute.push(busy);
+        let pct = busy as f64 / span * 100.0;
+        out.push_str(&format!(
+            "rank {:>3} |{}| {:>5.1}% busy\n",
+            rt.rank,
+            String::from_utf8(row).unwrap(),
+            pct
+        ));
+    }
+    let max = compute.iter().copied().max().unwrap_or(0) as f64;
+    let mean = if compute.is_empty() {
+        0.0
+    } else {
+        compute.iter().sum::<u64>() as f64 / compute.len() as f64
+    };
+    out.push_str(&format!(
+        "window {:.3} ms   compute imbalance (max/mean) {:.2}\n",
+        span / 1e6,
+        if mean > 0.0 { max / mean } else { 0.0 }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommCounters, Event, RankTrace};
+
+    fn two_rank_log() -> TraceLog {
+        let r0 = RankTrace {
+            rank: 0,
+            events: vec![
+                Event { at: 1, kind: EventKind::Fence { phase: 0 } },
+                Event { at: 2, kind: EventKind::TaskBegin { task: 5, class: TaskClass::Comp1d } },
+                Event { at: 3, kind: EventKind::Send { peer: 1, bytes: 64, kind: 1 } },
+                Event { at: 4, kind: EventKind::TaskEnd { task: 5, class: TaskClass::Comp1d } },
+                Event { at: 5, kind: EventKind::Gauge { id: 0, value: 2 } },
+                Event { at: 6, kind: EventKind::SendDropped { peer: 1, bytes: 8, kind: 0 } },
+                Event { at: 7, kind: EventKind::Fence { phase: u64::MAX } },
+            ],
+            dropped_events: 0,
+            comm: CommCounters::default(),
+        };
+        let r1 = RankTrace {
+            rank: 1,
+            events: vec![
+                Event { at: 1, kind: EventKind::Fence { phase: 0 } },
+                Event {
+                    at: 4,
+                    kind: EventKind::Recv { peer: 0, bytes: 64, kind: 1, wait_ns: 2 },
+                },
+                Event { at: 5, kind: EventKind::Heartbeat { seq: 3 } },
+                Event { at: 8, kind: EventKind::Fence { phase: u64::MAX } },
+            ],
+            dropped_events: 0,
+            comm: CommCounters::default(),
+        };
+        TraceLog { ranks: vec![r0, r1], wall_ns: 10, digest: 0xabc }
+    }
+
+    #[test]
+    fn export_is_valid_and_deterministic() {
+        let log = two_rank_log();
+        let a = chrome_trace(&log).compact();
+        let b = chrome_trace(&log).compact();
+        assert_eq!(a, b);
+        let j = chrome_trace(&log);
+        validate_chrome_trace(&j).unwrap();
+        // The matched send/recv pair produced exactly one flow arrow.
+        let evs = j.get("traceEvents").unwrap().as_arr().unwrap();
+        let n_s = evs.iter().filter(|e| e.get("ph").unwrap().as_str().ok() == Some("s")).count();
+        let n_f = evs.iter().filter(|e| e.get("ph").unwrap().as_str().ok() == Some("f")).count();
+        assert_eq!((n_s, n_f), (1, 1));
+        // Counters for the gauge and the heartbeat.
+        let n_c = evs.iter().filter(|e| e.get("ph").unwrap().as_str().ok() == Some("C")).count();
+        assert_eq!(n_c, 2);
+        // wall_ns (host timing) must not leak into the export.
+        assert!(!a.contains("wall_ns\":10"));
+    }
+
+    #[test]
+    fn unpaired_begin_is_skipped() {
+        let rt = RankTrace {
+            rank: 0,
+            events: vec![
+                Event { at: 1, kind: EventKind::TaskBegin { task: 1, class: TaskClass::Factor } },
+                Event { at: 2, kind: EventKind::TaskBegin { task: 2, class: TaskClass::Bdiv } },
+                Event { at: 3, kind: EventKind::TaskEnd { task: 2, class: TaskClass::Bdiv } },
+            ],
+            dropped_events: 0,
+            comm: CommCounters::default(),
+        };
+        let log = TraceLog { ranks: vec![rt], wall_ns: 0, digest: 0 };
+        let j = chrome_trace(&log);
+        validate_chrome_trace(&j).unwrap();
+        let evs = j.get("traceEvents").unwrap().as_arr().unwrap();
+        let n_b = evs.iter().filter(|e| e.get("ph").unwrap().as_str().ok() == Some("B")).count();
+        assert_eq!(n_b, 1, "the unclosed Factor begin must be dropped");
+    }
+
+    #[test]
+    fn sends_beyond_recvs_get_no_flow() {
+        let r0 = RankTrace {
+            rank: 0,
+            events: vec![
+                Event { at: 1, kind: EventKind::Send { peer: 1, bytes: 8, kind: 0 } },
+                Event { at: 2, kind: EventKind::Send { peer: 1, bytes: 8, kind: 0 } },
+            ],
+            dropped_events: 0,
+            comm: CommCounters::default(),
+        };
+        let r1 = RankTrace {
+            rank: 1,
+            events: vec![Event {
+                at: 3,
+                kind: EventKind::Recv { peer: 0, bytes: 8, kind: 0, wait_ns: 0 },
+            }],
+            dropped_events: 0,
+            comm: CommCounters::default(),
+        };
+        let log = TraceLog { ranks: vec![r0, r1], wall_ns: 0, digest: 0 };
+        let j = chrome_trace(&log);
+        validate_chrome_trace(&j).unwrap();
+        let evs = j.get("traceEvents").unwrap().as_arr().unwrap();
+        let n_s = evs.iter().filter(|e| e.get("ph").unwrap().as_str().ok() == Some("s")).count();
+        assert_eq!(n_s, 1, "only the matched first send flows");
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_imbalance() {
+        let log = two_rank_log();
+        let g = render_gantt(&log, 32);
+        assert!(g.contains("rank   0 |"));
+        assert!(g.contains("rank   1 |"));
+        assert!(g.contains("imbalance"));
+        assert!(g.contains('#'));
+    }
+}

@@ -34,8 +34,10 @@
 
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod metrics;
 pub mod report;
+pub mod watchdog;
 
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 
@@ -144,6 +146,21 @@ pub enum EventKind {
         /// `u64::MAX`.
         phase: u64,
     },
+    /// A sampled resource gauge reading (time-series counter track).
+    Gauge {
+        /// Which gauge (see [`GaugeId`]).
+        id: u8,
+        /// The sampled value.
+        value: u64,
+    },
+    /// A progress heartbeat: `seq` is the run-global count of completed
+    /// tasks at the moment this rank finished one. Gaps in one rank's
+    /// heartbeat sequence measure how much the *rest* of the machine
+    /// advanced while that rank was stuck — the watchdog's signal.
+    Heartbeat {
+        /// Global completed-task count after this rank's completion.
+        seq: u64,
+    },
 }
 
 impl EventKind {
@@ -155,6 +172,56 @@ impl EventKind {
             EventKind::SendDropped { .. } => 3,
             EventKind::Recv { .. } => 4,
             EventKind::Fence { .. } => 5,
+            EventKind::Gauge { .. } => 6,
+            EventKind::Heartbeat { .. } => 7,
+        }
+    }
+}
+
+/// The resource-gauge vocabulary: stable ids (and track names) for the
+/// sampled time-series the solver records alongside task spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum GaugeId {
+    /// Buffers parked in the rank's AUB recycling pool.
+    AubPoolBuffers = 0,
+    /// Bytes held in partially aggregated outgoing AUBs (Fan-Both).
+    AubOutBytes = 1,
+    /// Messages this rank has sent that have not been received yet
+    /// (from the sender's perspective: sends minus recvs observed).
+    InflightMsgs = 2,
+    /// Bytes resident in the rank's owned block regions.
+    LiveRegionBytes = 3,
+    /// Peak of [`GaugeId::LiveRegionBytes`] over the run so far.
+    PeakLiveBytes = 4,
+    /// Messages queued in this rank's mailbox (sent to it, not yet
+    /// received), from the run-wide gauge aggregator.
+    MailboxDepth = 5,
+}
+
+impl GaugeId {
+    /// Stable track name (export JSON, report tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            GaugeId::AubPoolBuffers => "aub_pool_buffers",
+            GaugeId::AubOutBytes => "aub_out_bytes",
+            GaugeId::InflightMsgs => "inflight_msgs",
+            GaugeId::LiveRegionBytes => "live_region_bytes",
+            GaugeId::PeakLiveBytes => "peak_live_bytes",
+            GaugeId::MailboxDepth => "mailbox_depth",
+        }
+    }
+
+    /// Recovers the track name from a recorded raw id.
+    pub fn name_of(id: u8) -> &'static str {
+        match id {
+            0 => GaugeId::AubPoolBuffers.name(),
+            1 => GaugeId::AubOutBytes.name(),
+            2 => GaugeId::InflightMsgs.name(),
+            3 => GaugeId::LiveRegionBytes.name(),
+            4 => GaugeId::PeakLiveBytes.name(),
+            5 => GaugeId::MailboxDepth.name(),
+            _ => "gauge_unknown",
         }
     }
 }
@@ -187,6 +254,11 @@ pub struct TraceOptions {
     /// time zero. The solver sets this right before launching the SPMD
     /// run; `None` makes each rank use its session start.
     pub epoch: Option<Instant>,
+    /// Resource-gauge sampling cadence: the solver samples its gauges
+    /// after every `sample_every`-th completed task per rank (0 disables
+    /// sampling). The default of 8 keeps the sampler's cost a fraction of
+    /// a task's work, preserving the < 2% overhead gate.
+    pub sample_every: u32,
 }
 
 impl Default for TraceOptions {
@@ -196,6 +268,7 @@ impl Default for TraceOptions {
             clock: ClockMode::Wall,
             capacity: 1 << 16,
             epoch: None,
+            sample_every: 8,
         }
     }
 }
@@ -380,6 +453,11 @@ impl TraceLog {
                         out.extend_from_slice(&wait_ns.to_le_bytes());
                     }
                     EventKind::Fence { phase } => out.extend_from_slice(&phase.to_le_bytes()),
+                    EventKind::Gauge { id, value } => {
+                        out.push(id);
+                        out.extend_from_slice(&value.to_le_bytes());
+                    }
+                    EventKind::Heartbeat { seq } => out.extend_from_slice(&seq.to_le_bytes()),
                 }
             }
         }
@@ -562,6 +640,31 @@ pub fn fence(phase: u64) {
     let _ = phase;
 }
 
+/// Records one resource-gauge sample on the calling rank's track. A no-op
+/// when no session is active.
+#[inline]
+pub fn sample_gauge(id: GaugeId, value: u64) {
+    #[cfg(feature = "record")]
+    session::with_active(|s| {
+        let at = s.now();
+        s.ring.push(Event { at, kind: EventKind::Gauge { id: id as u8, value } });
+    });
+    let _ = (id, value);
+}
+
+/// Records a progress heartbeat carrying the run-global completed-task
+/// count (see [`EventKind::Heartbeat`]). A no-op when no session is
+/// active.
+#[inline]
+pub fn heartbeat(seq: u64) {
+    #[cfg(feature = "record")]
+    session::with_active(|s| {
+        let at = s.now();
+        s.ring.push(Event { at, kind: EventKind::Heartbeat { seq } });
+    });
+    let _ = seq;
+}
+
 /// The [`pastix_runtime::CommHook`] that routes message events into the
 /// calling thread's active session. Zero-sized; pass by value to
 /// [`pastix_runtime::Instrumented`].
@@ -691,6 +794,33 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e.kind, EventKind::TaskEnd { task: 9, .. })));
+    }
+
+    #[test]
+    fn gauges_and_heartbeats_round_trip() {
+        let s = begin_rank(0, &TraceOptions::deterministic());
+        sample_gauge(GaugeId::AubPoolBuffers, 3);
+        heartbeat(17);
+        sample_gauge(GaugeId::LiveRegionBytes, 4096);
+        let t = s.finish().unwrap();
+        let gauges: Vec<_> = t
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Gauge { id, value } => Some((id, value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gauges, vec![(0, 3), (3, 4096)]);
+        assert!(t
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Heartbeat { seq: 17 })));
+        // The new variants serialize canonically (distinct tags).
+        let log = TraceLog { ranks: vec![t], wall_ns: 0, digest: 1 };
+        let bytes = log.canonical_bytes();
+        assert!(bytes.windows(1).any(|w| w[0] == 6));
+        assert!(bytes.windows(1).any(|w| w[0] == 7));
     }
 
     #[test]

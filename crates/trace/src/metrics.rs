@@ -6,13 +6,11 @@
 //! once, at run end. The registry itself is therefore a small mutex-guarded
 //! map: contention-free in practice, and a handle (`Clone` = `Arc` bump)
 //! can be owned by a `SolverConfig`, returned from a run, and read by the
-//! caller. A process-global default registry ([`MetricsRegistry::global`])
-//! backs the deprecated `solver::metrics::{snapshot, reset}` free
-//! functions for one release.
+//! caller.
 
 use pastix_json::{obj, Json};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 /// A power-of-two-bucketed histogram of `u64` samples (64 buckets: bucket
 /// `i` holds values whose highest set bit is `i`; bucket 0 holds 0).
@@ -136,14 +134,6 @@ impl MetricsRegistry {
     /// A fresh, empty registry.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// The process-global default registry. Run results are merged here
-    /// *in addition to* the config-owned handle so the deprecated
-    /// `solver::metrics` free functions keep reporting for one release.
-    pub fn global() -> &'static MetricsRegistry {
-        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
-        GLOBAL.get_or_init(MetricsRegistry::new)
     }
 
     /// Adds `n` to counter `name` (registering it on first use).

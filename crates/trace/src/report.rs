@@ -11,7 +11,7 @@
 //! model_scale_ns)` ratio strays far from 1 is where the static model and
 //! the machine disagree.
 
-use crate::{EventKind, TaskClass, TraceLog};
+use crate::{Event, EventKind, TaskClass, TraceLog};
 use pastix_json::{obj, Json};
 use pastix_sched::{critical_path_chain, Schedule, TaskGraph};
 use std::collections::HashMap;
@@ -60,6 +60,40 @@ pub struct RankRow {
     pub send_bytes: u64,
 }
 
+/// Aggregated predicted-vs-measured totals for one task class — the raw
+/// material of the closed calibration loop (`pastix-machine` turns the
+/// per-class `measured_ns / predicted` ratios into a `TaskCalibration`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassStat {
+    /// Matched tasks of this class.
+    pub count: u64,
+    /// Σ predicted cost (model seconds).
+    pub predicted: f64,
+    /// Σ measured span time (ns).
+    pub measured_ns: u64,
+}
+
+impl ClassStat {
+    /// Measured ns per model-second for this class (0 when unmatched).
+    pub fn ns_per_cost(&self) -> f64 {
+        if self.predicted > 0.0 { self.measured_ns as f64 / self.predicted } else { 0.0 }
+    }
+}
+
+/// One idle hotspot: the largest inter-event gap on a rank — the place
+/// to look when a timeline shows a hole.
+#[derive(Debug, Clone)]
+pub struct IdleHotspot {
+    /// Rank id.
+    pub rank: u32,
+    /// Gap start (session clock).
+    pub start_at: u64,
+    /// Gap length (ns under the wall clock).
+    pub gap_ns: u64,
+    /// What the rank had just finished doing when it went quiet.
+    pub after: String,
+}
+
 /// The schedule's critical-path chain, priced by model and by trace.
 #[derive(Debug, Clone, Default)]
 pub struct CriticalPathRow {
@@ -98,6 +132,19 @@ pub struct TraceReport {
     /// `span_ns / wall_ns`: how much of the run's wall time the trace
     /// accounts for (the ≤5% reconciliation gate of `bench_trace`).
     pub reconciliation: f64,
+    /// Per-class predicted-vs-measured totals, indexed by the task-graph
+    /// classes (`Comp1d`, `Factor`, `Bdiv`, `Bmod` = indices 0–3).
+    pub class_stats: [ClassStat; 4],
+    /// Prediction quality under the fitted global scale:
+    /// `1 − Σ|measured − predicted·scale| / Σ measured` over matched
+    /// tasks (1.0 = the model prices every task exactly; this is the
+    /// number calibration must not worsen).
+    pub prediction_fit: f64,
+    /// Load imbalance: max rank compute time / mean rank compute time
+    /// (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Worst idle gap per rank, largest first.
+    pub hotspots: Vec<IdleHotspot>,
 }
 
 fn class_of_kind(g: &TaskGraph, t: usize) -> TaskClass {
@@ -110,6 +157,21 @@ fn class_of_kind(g: &TaskGraph, t: usize) -> TaskClass {
     }
 }
 
+fn event_desc(kind: &EventKind) -> String {
+    match *kind {
+        EventKind::TaskBegin { task, class } => format!("{} {task} begin", class.name()),
+        EventKind::TaskEnd { task, class } => format!("{} {task} end", class.name()),
+        EventKind::Send { peer, .. } => format!("send to {peer}"),
+        EventKind::SendDropped { peer, .. } => format!("dropped send to {peer}"),
+        EventKind::Recv { peer, .. } => format!("recv from {peer}"),
+        EventKind::Fence { phase: 0 } => "session begin".to_string(),
+        EventKind::Fence { phase: u64::MAX } => "session end".to_string(),
+        EventKind::Fence { phase } => format!("fence {phase}"),
+        EventKind::Gauge { id, .. } => format!("gauge {}", crate::GaugeId::name_of(id)),
+        EventKind::Heartbeat { seq } => format!("heartbeat {seq}"),
+    }
+}
+
 /// Joins `log` against the schedule's predictions.
 pub fn build_report(g: &TaskGraph, s: &Schedule, log: &TraceLog) -> TraceReport {
     let n = g.n_tasks();
@@ -117,6 +179,8 @@ pub fn build_report(g: &TaskGraph, s: &Schedule, log: &TraceLog) -> TraceReport 
     let mut measured_at = vec![0u64; n];
     let mut run_rank = vec![u32::MAX; n];
     let mut ranks = Vec::with_capacity(log.ranks.len());
+    let mut class_stats = [ClassStat::default(); 4];
+    let mut hotspots: Vec<IdleHotspot> = Vec::new();
     let mut global_min = u64::MAX;
     let mut global_max = 0u64;
     for rt in &log.ranks {
@@ -132,9 +196,23 @@ pub fn build_report(g: &TaskGraph, s: &Schedule, log: &TraceLog) -> TraceReport 
         // map keeps the join robust to truncated rings).
         let mut open: HashMap<(u32, u8), u64> = HashMap::new();
         let (mut first, mut last) = (u64::MAX, 0u64);
+        let mut prev: Option<&Event> = None;
+        let mut worst_gap: Option<IdleHotspot> = None;
         for ev in &rt.events {
             first = first.min(ev.at);
             last = last.max(ev.at);
+            if let Some(p) = prev {
+                let gap = ev.at.saturating_sub(p.at);
+                if worst_gap.as_ref().map(|h| gap > h.gap_ns).unwrap_or(gap > 0) {
+                    worst_gap = Some(IdleHotspot {
+                        rank: rt.rank,
+                        start_at: p.at,
+                        gap_ns: gap,
+                        after: event_desc(&p.kind),
+                    });
+                }
+            }
+            prev = Some(ev);
             match ev.kind {
                 EventKind::TaskBegin { task, class } => {
                     open.insert((task, class as u8), ev.at);
@@ -163,7 +241,11 @@ pub fn build_report(g: &TaskGraph, s: &Schedule, log: &TraceLog) -> TraceReport 
         }
         row.idle_ns = row.window_ns.saturating_sub(row.compute_ns + row.wait_ns);
         ranks.push(row);
+        if let Some(h) = worst_gap {
+            hotspots.push(h);
+        }
     }
+    hotspots.sort_by_key(|h| std::cmp::Reverse(h.gap_ns));
 
     let mut tasks = Vec::with_capacity(n);
     let mut total_predicted = 0.0f64;
@@ -172,6 +254,10 @@ pub fn build_report(g: &TaskGraph, s: &Schedule, log: &TraceLog) -> TraceReport 
         if measured[t] > 0 {
             total_predicted += g.cost[t];
             total_measured += measured[t];
+            let c = &mut class_stats[class_of_kind(g, t) as usize];
+            c.count += 1;
+            c.predicted += g.cost[t];
+            c.measured_ns += measured[t];
         }
         tasks.push(TaskRow {
             task: t as u32,
@@ -194,6 +280,26 @@ pub fn build_report(g: &TaskGraph, s: &Schedule, log: &TraceLog) -> TraceReport 
         }
     }
 
+    let model_scale_ns =
+        if total_predicted > 0.0 { total_measured as f64 / total_predicted } else { 0.0 };
+    let mut abs_err = 0.0f64;
+    for t in 0..n {
+        if measured[t] > 0 {
+            abs_err += (measured[t] as f64 - g.cost[t] * model_scale_ns).abs();
+        }
+    }
+    let prediction_fit =
+        if total_measured > 0 { 1.0 - abs_err / total_measured as f64 } else { 0.0 };
+
+    let busy: Vec<u64> =
+        ranks.iter().filter(|r| r.window_ns > 0).map(|r| r.compute_ns).collect();
+    let imbalance = if busy.is_empty() {
+        0.0
+    } else {
+        let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+        if mean > 0.0 { busy.iter().copied().max().unwrap() as f64 / mean } else { 0.0 }
+    };
+
     let span_ns = if global_min == u64::MAX { 0 } else { global_max - global_min };
     TraceReport {
         digest: log.digest,
@@ -209,12 +315,12 @@ pub fn build_report(g: &TaskGraph, s: &Schedule, log: &TraceLog) -> TraceReport 
         },
         total_predicted,
         total_measured_ns: total_measured,
-        model_scale_ns: if total_predicted > 0.0 {
-            total_measured as f64 / total_predicted
-        } else {
-            0.0
-        },
+        model_scale_ns,
         reconciliation: if log.wall_ns > 0 { span_ns as f64 / log.wall_ns as f64 } else { 0.0 },
+        class_stats,
+        prediction_fit,
+        imbalance,
+        hotspots,
     }
 }
 
@@ -264,14 +370,46 @@ impl TraceReport {
                 ])
             })
             .collect();
+        let class_names = ["comp1d", "factor", "bdiv", "bmod"];
+        let class_rows: Vec<Json> = self
+            .class_stats
+            .iter()
+            .zip(class_names)
+            .filter(|(c, _)| c.count > 0)
+            .map(|(c, name)| {
+                obj([
+                    ("class", Json::Str(name.to_string())),
+                    ("count", Json::Num(c.count as f64)),
+                    ("predicted_cost", Json::Num(c.predicted)),
+                    ("measured_ns", Json::Num(c.measured_ns as f64)),
+                    ("ns_per_cost", Json::Num(c.ns_per_cost())),
+                ])
+            })
+            .collect();
+        let hotspot_rows: Vec<Json> = self
+            .hotspots
+            .iter()
+            .map(|h| {
+                obj([
+                    ("rank", Json::Num(h.rank as f64)),
+                    ("start_at", Json::Num(h.start_at as f64)),
+                    ("gap_ns", Json::Num(h.gap_ns as f64)),
+                    ("after", Json::Str(h.after.clone())),
+                ])
+            })
+            .collect();
         obj([
             ("schedule_digest", Json::Str(format!("{:#018x}", self.digest))),
             ("wall_ns", Json::Num(self.wall_ns as f64)),
             ("trace_span_ns", Json::Num(self.span_ns as f64)),
             ("reconciliation", Json::Num(self.reconciliation)),
+            ("prediction_fit", Json::Num(self.prediction_fit)),
+            ("imbalance", Json::Num(self.imbalance)),
             ("total_predicted_cost", Json::Num(self.total_predicted)),
             ("total_measured_ns", Json::Num(self.total_measured_ns as f64)),
             ("model_scale_ns_per_cost", Json::Num(self.model_scale_ns)),
+            ("class_stats", Json::Arr(class_rows)),
+            ("idle_hotspots", Json::Arr(hotspot_rows)),
             (
                 "critical_path",
                 obj([
@@ -317,6 +455,34 @@ impl TraceReport {
                 r.drops,
                 r.recvs
             ));
+        }
+        out.push_str(&format!(
+            "\nload: imbalance (max/mean compute) {:.2}   prediction fit {:.2}%\n",
+            self.imbalance,
+            self.prediction_fit * 100.0
+        ));
+        let class_names = ["comp1d", "factor", "bdiv", "bmod"];
+        for (c, name) in self.class_stats.iter().zip(class_names) {
+            if c.count > 0 {
+                out.push_str(&format!(
+                    "  {:>7}: {:>6} tasks  measured {:>10.3} ms  {:.3e} ns/model-s\n",
+                    name,
+                    c.count,
+                    ms(c.measured_ns),
+                    c.ns_per_cost()
+                ));
+            }
+        }
+        if !self.hotspots.is_empty() {
+            out.push_str("idle hotspots (worst gap per rank):\n");
+            for h in self.hotspots.iter().take(top) {
+                out.push_str(&format!(
+                    "  rank {:>3}  {:>10.3} ms after {}\n",
+                    h.rank,
+                    ms(h.gap_ns),
+                    h.after
+                ));
+            }
         }
         out.push_str(&format!(
             "\ncritical path: {} tasks, predicted {:.4} model-s, measured {:.3} ms over {} traced tasks\n\n",
@@ -394,6 +560,14 @@ mod tests {
         assert_eq!(rep.ranks[0].compute_ns, 100);
         assert!(!rep.critical.tasks.is_empty());
         assert!((rep.reconciliation - 110.0 / 120.0).abs() < 1e-12);
+        // One matched task: the global fit is exact and its class stat
+        // carries the whole measurement.
+        assert!((rep.prediction_fit - 1.0).abs() < 1e-12);
+        let total_class: u64 = rep.class_stats.iter().map(|c| c.measured_ns).sum();
+        assert_eq!(total_class, 100);
+        assert!((rep.imbalance - 1.0).abs() < 1e-12);
+        assert_eq!(rep.hotspots.len(), 1);
+        assert_eq!(rep.hotspots[0].rank, 0);
         // JSON and tables render without panicking and carry the digest.
         let j = rep.to_json(10);
         assert!(j.get("schedule_digest").is_some());

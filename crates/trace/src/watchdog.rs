@@ -1,0 +1,302 @@
+//! The stall watchdog: turns per-rank progress heartbeats and mailbox
+//! gauges into a liveness verdict.
+//!
+//! Two independent starvation signatures are checked per rank, and
+//! either one flags it:
+//!
+//! 1. **Progress gap.** Every completed task increments a run-global
+//!    progress counter and the completing rank records
+//!    [`crate::EventKind::Heartbeat`] carrying the post-increment value.
+//!    A healthy run interleaves: between two consecutive heartbeats of
+//!    one rank, the rest of the machine advances by a bounded amount. A
+//!    starved rank shows a long stretch where the global counter races
+//!    ahead while the rank completes nothing. The gap sequence analyzed
+//!    per rank is `[0, h₁, …, h_k]` — the leading gap counts (a rank
+//!    that only starts finishing work near the end was starved at the
+//!    start), the trailing gap does not (a rank that ran out of assigned
+//!    tasks early is *done*, not stuck). A gap flags when it reaches
+//!    `max(min_gap, gap_frac · total_progress)`.
+//!
+//! 2. **Mailbox backlog.** The solver samples the
+//!    [`crate::GaugeId::MailboxDepth`] gauge (messages sent to the rank
+//!    and not yet received). A starved rank keeps being *sent* work it
+//!    is never serviced to consume, so its backlog climbs far above the
+//!    steady trickle of a healthy run. The peak sampled depth flags when
+//!    it reaches `max(min_backlog, backlog_frac · recvs)` — normalized
+//!    by the rank's own total received-message count, because a rank
+//!    that legitimately handles most of the traffic also legitimately
+//!    queues more of it at once.
+//!
+//! The signals are complementary: a rank the whole machine quickly
+//! blocks on cannot be starved *long* (the sim's liveness fallback
+//! services it as soon as nothing else can run), so its progress gap
+//! stays modest — but the burst-service pattern leaves its mailbox
+//! visibly piled up at exactly the moments it completes work. The
+//! backlog test wants dense gauge sampling (`sample_every = 1`);
+//! heartbeats are recorded per completed task regardless.
+
+use crate::{EventKind, GaugeId, TraceLog};
+
+/// Watchdog thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogOptions {
+    /// Absolute floor on the progress gap: gaps below this never flag
+    /// (keeps tiny runs, where any interleaving is coarse, from
+    /// false-firing).
+    pub min_gap: u64,
+    /// Relative progress-gap threshold: fraction of the run's total
+    /// completed tasks a single gap must reach to flag.
+    pub gap_frac: f64,
+    /// Absolute floor on the mailbox backlog: peaks below this never
+    /// flag (a handful of queued messages is normal burst traffic).
+    pub min_backlog: u64,
+    /// Relative backlog threshold: fraction of the rank's total received
+    /// messages its peak sampled mailbox depth must reach to flag.
+    pub backlog_frac: f64,
+}
+
+impl Default for WatchdogOptions {
+    fn default() -> Self {
+        Self { min_gap: 16, gap_frac: 0.35, min_backlog: 6, backlog_frac: 0.36 }
+    }
+}
+
+/// One rank's progress health.
+#[derive(Debug, Clone, Copy)]
+pub struct RankStall {
+    /// Rank id.
+    pub rank: u32,
+    /// Heartbeats recorded.
+    pub heartbeats: u64,
+    /// Largest progress gap (see module docs).
+    pub max_gap: u64,
+    /// Global progress value at which the largest gap ended.
+    pub gap_at: u64,
+    /// Peak sampled mailbox depth (0 when the gauge was never sampled).
+    pub mailbox_peak: u64,
+    /// Messages this rank received over the run.
+    pub recvs: u64,
+    /// Whether the progress gap reached its stall threshold.
+    pub gap_stalled: bool,
+    /// Whether the mailbox backlog reached its stall threshold.
+    pub backlog_stalled: bool,
+    /// Whether either signal flagged the rank.
+    pub stalled: bool,
+}
+
+/// The watchdog's verdict over a whole trace.
+#[derive(Debug, Clone, Default)]
+pub struct StallReport {
+    /// Total completed tasks observed (max heartbeat value).
+    pub total_progress: u64,
+    /// The effective progress-gap threshold applied.
+    pub threshold: u64,
+    /// Per-rank rows, rank order.
+    pub ranks: Vec<RankStall>,
+}
+
+impl StallReport {
+    /// Ranks flagged as stalled.
+    pub fn stalled_ranks(&self) -> Vec<u32> {
+        self.ranks.iter().filter(|r| r.stalled).map(|r| r.rank).collect()
+    }
+
+    /// `true` when any rank stalled.
+    pub fn any_stalled(&self) -> bool {
+        self.ranks.iter().any(|r| r.stalled)
+    }
+
+    /// One-line-per-rank rendering for diagnostics.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "watchdog: total progress {} tasks, gap threshold {}\n",
+            self.total_progress, self.threshold
+        );
+        for r in &self.ranks {
+            out.push_str(&format!(
+                "rank {:>3}  heartbeats {:>6}  max gap {:>6} @ {:>6}  mailbox peak {:>5}/{:<5} {}\n",
+                r.rank,
+                r.heartbeats,
+                r.max_gap,
+                r.gap_at,
+                r.mailbox_peak,
+                r.recvs,
+                match (r.gap_stalled, r.backlog_stalled) {
+                    (true, true) => "STALLED (gap+backlog)",
+                    (true, false) => "STALLED (gap)",
+                    (false, true) => "STALLED (backlog)",
+                    (false, false) => "ok",
+                }
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the watchdog over a recorded trace.
+pub fn analyze(log: &TraceLog, opts: &WatchdogOptions) -> StallReport {
+    let mut per_rank: Vec<(u32, Vec<u64>, u64, u64)> = Vec::with_capacity(log.ranks.len());
+    let mut total = 0u64;
+    for rt in &log.ranks {
+        let mut hs: Vec<u64> = Vec::new();
+        let mut mailbox_peak = 0u64;
+        for ev in &rt.events {
+            match ev.kind {
+                EventKind::Heartbeat { seq } => hs.push(seq),
+                EventKind::Gauge { id, value } if id == GaugeId::MailboxDepth as u8 => {
+                    mailbox_peak = mailbox_peak.max(value);
+                }
+                _ => {}
+            }
+        }
+        // Ring order is recording order, but sort defensively: gaps are
+        // about *values*, not arrival order.
+        hs.sort_unstable();
+        total = total.max(hs.last().copied().unwrap_or(0));
+        per_rank.push((rt.rank, hs, mailbox_peak, rt.comm.recvs));
+    }
+    let threshold = opts.min_gap.max((opts.gap_frac * total as f64).ceil() as u64);
+    let ranks = per_rank
+        .into_iter()
+        .map(|(rank, hs, mailbox_peak, recvs)| {
+            let mut max_gap = 0u64;
+            let mut gap_at = 0u64;
+            let mut prev = 0u64;
+            for &h in &hs {
+                let gap = h - prev;
+                if gap > max_gap {
+                    max_gap = gap;
+                    gap_at = h;
+                }
+                prev = h;
+            }
+            let gap_stalled = !hs.is_empty() && max_gap >= threshold;
+            let backlog_threshold = opts
+                .min_backlog
+                .max((opts.backlog_frac * recvs as f64).ceil() as u64);
+            let backlog_stalled = mailbox_peak >= backlog_threshold;
+            RankStall {
+                rank,
+                heartbeats: hs.len() as u64,
+                max_gap,
+                gap_at,
+                mailbox_peak,
+                recvs,
+                gap_stalled,
+                backlog_stalled,
+                stalled: gap_stalled || backlog_stalled,
+            }
+        })
+        .collect();
+    StallReport { total_progress: total, threshold, ranks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommCounters, Event, RankTrace};
+
+    fn log_with_heartbeats(per_rank: Vec<Vec<u64>>) -> TraceLog {
+        let ranks = per_rank
+            .into_iter()
+            .enumerate()
+            .map(|(r, hs)| RankTrace {
+                rank: r as u32,
+                events: hs
+                    .into_iter()
+                    .map(|seq| Event { at: seq, kind: EventKind::Heartbeat { seq } })
+                    .collect(),
+                dropped_events: 0,
+                comm: CommCounters::default(),
+            })
+            .collect();
+        TraceLog { ranks, wall_ns: 0, digest: 0 }
+    }
+
+    #[test]
+    fn interleaved_progress_is_healthy() {
+        // Two ranks alternating: gaps of 2 out of 100 total.
+        let log = log_with_heartbeats(vec![
+            (1..=100).filter(|s| s % 2 == 1).collect(),
+            (1..=100).filter(|s| s % 2 == 0).collect(),
+        ]);
+        let rep = analyze(&log, &WatchdogOptions::default());
+        assert_eq!(rep.total_progress, 100);
+        assert!(!rep.any_stalled(), "{}", rep.render());
+    }
+
+    #[test]
+    fn starved_rank_is_flagged() {
+        // Rank 1 completes nothing until the other rank has finished 80
+        // of 100 tasks — the leading gap fires.
+        let log = log_with_heartbeats(vec![(1..=80).collect(), (81..=100).collect()]);
+        let rep = analyze(&log, &WatchdogOptions::default());
+        assert!(rep.ranks[1].stalled, "{}", rep.render());
+        assert!(rep.ranks[1].gap_stalled);
+        assert!(!rep.ranks[0].stalled, "{}", rep.render());
+        assert_eq!(rep.stalled_ranks(), vec![1]);
+        assert_eq!(rep.ranks[1].max_gap, 81);
+    }
+
+    #[test]
+    fn early_finisher_is_not_flagged() {
+        // Rank 0 finishes its 10 tasks in the first 20 completions and
+        // then legitimately goes idle; the trailing gap must not count.
+        let log = log_with_heartbeats(vec![
+            (1..=20).filter(|s| s % 2 == 0).collect(),
+            (1..=20).filter(|s| s % 2 == 1).chain(21..=100).collect(),
+        ]);
+        let rep = analyze(&log, &WatchdogOptions::default());
+        assert!(!rep.any_stalled(), "{}", rep.render());
+    }
+
+    #[test]
+    fn silent_rank_reports_zero_heartbeats() {
+        let log = log_with_heartbeats(vec![(1..=50).collect(), vec![]]);
+        let rep = analyze(&log, &WatchdogOptions::default());
+        assert_eq!(rep.ranks[1].heartbeats, 0);
+        // No heartbeats means no tasks were assigned — not a stall claim.
+        assert!(!rep.ranks[1].stalled);
+    }
+
+    #[test]
+    fn piled_mailbox_flags_backlog_even_with_modest_gaps() {
+        // Rank 1 interleaves acceptably (gap signal quiet) but its
+        // sampled mailbox shows 12 of its 20 messages queued at once —
+        // the burst-service signature of starvation at the blocking
+        // frontier.
+        let mut log = log_with_heartbeats(vec![
+            (1..=100).filter(|s| s % 2 == 1).collect(),
+            (1..=100).filter(|s| s % 2 == 0).collect(),
+        ]);
+        log.ranks[1].comm.recvs = 20;
+        log.ranks[1].events.push(Event {
+            at: 50,
+            kind: EventKind::Gauge { id: GaugeId::MailboxDepth as u8, value: 12 },
+        });
+        let rep = analyze(&log, &WatchdogOptions::default());
+        assert!(rep.ranks[1].stalled, "{}", rep.render());
+        assert!(rep.ranks[1].backlog_stalled);
+        assert!(!rep.ranks[1].gap_stalled);
+        assert_eq!(rep.ranks[1].mailbox_peak, 12);
+        // A modest queue relative to heavy traffic stays quiet: 12 of
+        // 200 received is a trickle, not a pile-up.
+        log.ranks[1].comm.recvs = 200;
+        let rep = analyze(&log, &WatchdogOptions::default());
+        assert!(!rep.ranks[1].stalled, "{}", rep.render());
+    }
+
+    #[test]
+    fn small_absolute_backlog_never_flags() {
+        // Peaks under the absolute floor stay quiet no matter how small
+        // the rank's traffic is.
+        let mut log = log_with_heartbeats(vec![(1..=40).collect(), (41..=50).collect()]);
+        log.ranks[1].comm.recvs = 2;
+        log.ranks[1].events.push(Event {
+            at: 45,
+            kind: EventKind::Gauge { id: GaugeId::MailboxDepth as u8, value: 4 },
+        });
+        let rep = analyze(&log, &WatchdogOptions::default());
+        assert!(!rep.ranks[1].backlog_stalled, "{}", rep.render());
+    }
+}

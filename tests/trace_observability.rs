@@ -23,7 +23,9 @@ use pastix::solver::{
     factorize_parallel_with, solve_parallel_traced, MetricsRegistry, SolverConfig, TraceOptions,
 };
 use pastix::symbolic::{analyze, AnalysisOptions};
+use pastix::trace::export::{chrome_trace_with, validate_chrome_trace};
 use pastix::trace::report::build_report;
+use pastix::trace::watchdog::{analyze as watchdog_analyze, WatchdogOptions};
 
 fn setup(procs: usize) -> (pastix::graph::SymCsc<f64>, Mapping) {
     let a = grid_spd::<f64>(8, 8, 1, Stencil::Star, false, ValueKind::RandomSpd(7));
@@ -158,6 +160,111 @@ fn comm_counters_conserve_messages_under_all_policies() {
             }
         }
     }
+}
+
+/// The stall watchdog must detect adversarial starvation and stay silent
+/// on healthy interleavings. Under `StarveRank(v)` the sim never services
+/// the victim while anything else can run, so either the victim's
+/// progress heartbeats cluster after the rest of the machine has raced
+/// ahead (a progress gap) or its mailbox visibly piles up while it sits
+/// unserviced (a backlog peak) — the watchdog combines both signatures
+/// and must name exactly the victim. Under `Uniform` the same problem,
+/// same seeds, must produce no stall verdicts (the false-positive
+/// guard). Gauges are sampled at every completion because the backlog
+/// signal reads the mailbox-depth time series.
+#[test]
+fn watchdog_flags_starved_rank_and_stays_silent_on_uniform() {
+    let procs = 4;
+    let (ap, mapping) = setup(procs);
+    let sym = &mapping.graph.split.symbol;
+    let run = |seed: u64, policy: SchedPolicy| {
+        let plan = FaultPlan::builder(seed).policy(policy).build();
+        let mut topts = TraceOptions::deterministic();
+        topts.sample_every = 1;
+        let cfg = SolverConfig::new()
+            .with_backend(Backend::Sim(plan))
+            .with_trace(topts);
+        factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, &cfg)
+            .unwrap()
+            .trace
+    };
+    let opts = WatchdogOptions::default();
+    for seed in [3u64, 4, 5] {
+        for victim in 0..procs {
+            let log = run(seed, SchedPolicy::StarveRank(victim));
+            let rep = watchdog_analyze(&log, &opts);
+            assert_eq!(
+                rep.stalled_ranks(),
+                vec![victim as u32],
+                "seed {seed}: StarveRank({victim}) must flag exactly the victim\n{}",
+                rep.render()
+            );
+        }
+        let log = run(seed, SchedPolicy::Uniform);
+        let rep = watchdog_analyze(&log, &opts);
+        assert!(
+            !rep.any_stalled(),
+            "seed {seed}: healthy Uniform run false-flagged\n{}",
+            rep.render()
+        );
+    }
+}
+
+/// Golden-file pin of the Chrome trace-event export: for one fixed
+/// `(seed, policy)` sim run under the logical clock, the exported JSON is
+/// byte-identical to the committed artifact. Regenerate deliberately with
+/// `PASTIX_UPDATE_GOLDEN=1 cargo test -p pastix-integration chrome_trace`.
+/// The same export is schema-checked (every `B` closes with an `E`, every
+/// flow `s` pairs with an `f`) and must carry span, flow and counter
+/// events for every rank.
+#[test]
+fn chrome_trace_export_matches_golden_file() {
+    let procs = 3;
+    let (ap, mapping) = setup(procs);
+    let sym = &mapping.graph.split.symbol;
+    let plan = FaultPlan::builder(17).policy(SchedPolicy::Uniform).build();
+    let mut topts = TraceOptions::deterministic();
+    topts.sample_every = 1; // gauge samples on every rank, even tiny ones
+    let cfg = SolverConfig::new()
+        .with_backend(Backend::Sim(plan))
+        .with_trace(topts);
+    let run = factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, &cfg).unwrap();
+    let json = chrome_trace_with(&run.trace, &mapping.graph, &mapping.schedule);
+    validate_chrome_trace(&json).expect("exported trace must satisfy the schema");
+
+    // Every rank's track carries task spans, flow arrows and counters.
+    let evs = json.get("traceEvents").unwrap().as_arr().unwrap();
+    for r in 0..procs as u64 {
+        let phases: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("tid").and_then(|t| t.as_f64().ok()) == Some(r as f64))
+            .filter_map(|e| e.get("ph").and_then(|p| p.as_str().ok()))
+            .collect();
+        for ph in ["B", "C"] {
+            assert!(phases.contains(&ph), "rank {r}: no {ph:?} events in export");
+        }
+        assert!(
+            phases.contains(&"s") || phases.contains(&"f"),
+            "rank {r}: no flow arrows in export"
+        );
+    }
+
+    let bytes = json.compact();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/chrome_trace_sim_seed17_uniform.json"
+    );
+    if std::env::var_os("PASTIX_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &bytes).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing — regenerate with PASTIX_UPDATE_GOLDEN=1");
+    assert_eq!(
+        bytes, golden,
+        "chrome trace export drifted from the golden file; if the change \
+         is intentional, regenerate with PASTIX_UPDATE_GOLDEN=1"
+    );
 }
 
 /// The post-run report joins the deterministic trace against the static
