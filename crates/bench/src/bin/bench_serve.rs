@@ -1,0 +1,303 @@
+//! Factorization-as-a-service benchmark: the serving layer under an
+//! open-loop arrival process.
+//!
+//! Four segments, all on the Shipsec5 analog:
+//!
+//! 1. **Agreement + batching throughput** (threads backend): a k=8
+//!    multi-RHS panel solve must agree entrywise with 8 independent
+//!    single-RHS solves (gated, ≤ 1e-7 relative) and complete at least
+//!    2× faster than serving the same 8 requests one at a time (gated).
+//! 2. **Open-loop serving**: deterministic arrivals against a virtual
+//!    clock; reports solves/sec and p50/p99 request latency out of the
+//!    session's metrics histograms.
+//! 3. **Cache behavior**: three distinct matrices through a
+//!    capacity-2 session; reports the hit rate and eviction count.
+//! 4. **Scheduled-solve reconciliation** (sim backend, logical clocks):
+//!    the traced panel solve must reconcile ≥ 95% against the level-set
+//!    solve schedule (gated); a chaos `StarveRank` run feeds the
+//!    watchdog (thresholds from `PASTIX_WATCHDOG_GAP` /
+//!    `PASTIX_WATCHDOG_BACKLOG`) so stalled serving ranks are named.
+//!
+//! Outputs `BENCH_serve.json` at the repo root and the serve trace
+//! reconciliation report at `target/serve_trace.json` (CI artifacts).
+//! `--quick` shrinks the problem for CI.
+
+use pastix_bench::{prepare, scale, scotch_ordering};
+use pastix_graph::{ProblemId, SymCsc};
+use pastix_json::{obj, Json};
+use pastix_runtime::sim::{FaultPlan, SchedPolicy};
+use pastix_runtime::Backend;
+use pastix_sched::SchedOptions;
+use pastix_serve::{unpack_completions, RequestQueue, SessionOptions, SolverSession};
+use pastix_solver::SolverConfig;
+use pastix_trace::report::build_solve_report;
+use pastix_trace::watchdog::{analyze as watchdog_analyze, WatchdogOptions};
+use pastix_trace::TraceOptions;
+use std::time::Instant;
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+const TRACE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/serve_trace.json");
+
+/// Agreement gate: batched vs single-RHS entrywise relative error.
+const AGREE_TOL: f64 = 1e-7;
+/// Throughput gate: batched k=8 must beat one-at-a-time by this factor.
+const SPEEDUP_MIN: f64 = 2.0;
+/// Reconciliation gate for the scheduled solve trace.
+const RECONCILE_MIN: f64 = 0.95;
+/// Panel width of the gated throughput comparison.
+const K: usize = 8;
+
+fn session_opts(procs: usize, block: usize, solver: SolverConfig) -> SessionOptions {
+    SessionOptions {
+        procs,
+        max_panel: K,
+        sched: SchedOptions { block_size: block, ..Default::default() },
+        solver,
+        ..Default::default()
+    }
+}
+
+/// Deterministic request stream: RHS r of order n.
+fn request_rhs(a: &SymCsc<f64>, r: usize) -> Vec<f64> {
+    let n = a.n();
+    let xe: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 7 + r * 13) % 17) as f64 * 0.125).collect();
+    pastix_graph::rhs_for_solution(a, &xe)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    println!("bench_serve ({mode}) — factorization-as-a-service on Shipsec5");
+
+    let sc = if quick { 0.02 } else { scale() };
+    let procs = 4;
+    let block = if quick { 16 } else { 32 };
+    let prep = prepare(ProblemId::Shipsec5, sc, &scotch_ordering());
+    let a = prep.matrix.clone();
+    let n = a.n();
+    println!("problem {} n={n} procs={procs}", prep.id.name());
+
+    // ---- segment 1: agreement + batching throughput (threads) ----
+    let mut session = SolverSession::<f64>::new(session_opts(procs, block, SolverConfig::default()));
+    session.get_or_factorize(&a).expect("factorization failed");
+    let rhs: Vec<Vec<f64>> = (0..K).map(|r| request_rhs(&a, r)).collect();
+    let mut panel = vec![0.0f64; n * K];
+    for (r, b) in rhs.iter().enumerate() {
+        panel[r * n..(r + 1) * n].copy_from_slice(b);
+    }
+
+    // Warm both paths once, then time best-of-3.
+    let singles: Vec<Vec<f64>> =
+        rhs.iter().map(|b| session.solve(&a, b).expect("single solve")).collect();
+    let (batched, _) = session.solve_panel(&a, &panel, K).expect("panel solve");
+    let mut max_rel = 0.0f64;
+    for (r, x1) in singles.iter().enumerate() {
+        for (u, v) in batched[r * n..(r + 1) * n].iter().zip(x1) {
+            let rel = (u - v).abs() / v.abs().max(1.0);
+            max_rel = max_rel.max(rel);
+        }
+    }
+    let resid = (0..K)
+        .map(|r| a.residual_norm(&batched[r * n..(r + 1) * n], &rhs[r]))
+        .fold(0.0f64, f64::max);
+    let agree_ok = max_rel <= AGREE_TOL && resid < 1e-9;
+    println!(
+        "agreement: batched k={K} vs singles max rel err {max_rel:.2e}, worst residual {resid:.2e} — {}",
+        if agree_ok { "MET" } else { "NOT MET" }
+    );
+
+    let time_best = |mut f: Box<dyn FnMut() + '_>| -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_nanos() as u64);
+        }
+        best
+    };
+    let one_at_a_time_ns = {
+        let s = &mut session;
+        let a = &a;
+        let rhs = &rhs;
+        time_best(Box::new(move || {
+            for b in rhs {
+                let _ = s.solve(a, b).expect("single solve");
+            }
+        }))
+    };
+    let batched_ns = {
+        let s = &mut session;
+        let a = &a;
+        let panel = &panel;
+        time_best(Box::new(move || {
+            let _ = s.solve_panel(a, panel, K).expect("panel solve");
+        }))
+    };
+    let speedup = one_at_a_time_ns as f64 / batched_ns.max(1) as f64;
+    let speedup_ok = speedup >= SPEEDUP_MIN;
+    println!(
+        "throughput: {K} singles {:.3} ms vs one k={K} panel {:.3} ms — batched {speedup:.2}x ({})",
+        one_at_a_time_ns as f64 / 1e6,
+        batched_ns as f64 / 1e6,
+        if speedup_ok { "MET" } else { "NOT MET" }
+    );
+
+    // ---- segment 2: open-loop serving against a virtual clock ----
+    let n_requests = if quick { 48 } else { 256 };
+    // Deterministic arrivals: mean spacing well below the batched solve
+    // time, so the queue actually coalesces.
+    let mean_gap_ns = (batched_ns / K as u64 / 2).max(1);
+    let arrivals: Vec<u64> = (0..n_requests)
+        .scan(0u64, |t, i| {
+            *t += mean_gap_ns * ((i * 31 + 7) % 23 + 12) as u64 / 23;
+            Some(*t)
+        })
+        .collect();
+    let mut q = RequestQueue::new();
+    let mut now = 0u64;
+    let mut next = 0usize;
+    let mut served = 0usize;
+    let mut batches = 0usize;
+    let t_serve0 = Instant::now();
+    while next < arrivals.len() || !q.is_empty() {
+        if q.is_empty() {
+            now = now.max(arrivals[next]);
+        }
+        while next < arrivals.len() && arrivals[next] <= now {
+            q.submit(request_rhs(&a, next), arrivals[next]);
+            next += 1;
+        }
+        let batch = q.take_batch(session.options().max_panel);
+        if batch.is_empty() {
+            continue;
+        }
+        let nrhs = batch.len();
+        let bp = pastix_serve::pack_panel(&batch, n);
+        let t0 = Instant::now();
+        let (x, _) = session.solve_panel(&a, &bp, nrhs).expect("panel solve");
+        now += t0.elapsed().as_nanos() as u64;
+        let done = unpack_completions(&batch, &x, n, now);
+        let m = session.metrics();
+        m.add_counter("serve.requests", nrhs as u64);
+        m.add_counter("serve.batches", 1);
+        m.observe("serve.batch_width", nrhs as u64);
+        for c in &done {
+            m.observe("serve.latency_ns", c.latency_ns);
+        }
+        served += done.len();
+        batches += 1;
+    }
+    let wall_serving_ns = t_serve0.elapsed().as_nanos().max(1) as u64;
+    let virtual_span_s = now as f64 / 1e9;
+    let solves_per_sec = served as f64 / virtual_span_s.max(1e-12);
+    let lat = session.metrics().histogram("serve.latency_ns").expect("latency histogram");
+    let (p50, p99) = (lat.quantile(0.5), lat.quantile(0.99));
+    let mean_width = session.metrics().histogram("serve.batch_width").map(|h| h.mean()).unwrap_or(0.0);
+    println!(
+        "open loop: {served} requests in {batches} batches (mean width {mean_width:.2}) — {solves_per_sec:.1} solves/s, latency p50 {:.3} ms p99 {:.3} ms (virtual clock; wall {:.0} ms)",
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        wall_serving_ns as f64 / 1e6,
+    );
+
+    // ---- segment 3: cache behavior across matrices ----
+    let mut cache_session =
+        SolverSession::<f64>::new(SessionOptions { capacity: 2, ..session_opts(procs, block, SolverConfig::default()) });
+    // Three distinct fingerprints: the serving matrix plus two numeric
+    // variants (same structure, different values — distinct factors).
+    let variant = |shift: f64| {
+        let mut m = a.clone();
+        m.make_diag_dominant(shift);
+        m
+    };
+    // (`prepare` already shifts by 1.0, so 1.0 would reproduce `a` exactly
+    // — the fingerprint would correctly coalesce them into one entry.)
+    let (m1, m2, m3) = (a.clone(), variant(0.5), variant(1.5));
+    for m in [&m1, &m2, &m1, &m2, &m3, &m1] {
+        let b = request_rhs(m, 0);
+        let _ = cache_session.solve(m, &b).expect("cache segment solve");
+    }
+    let cm = cache_session.metrics();
+    let (hits, misses, evictions) =
+        (cm.counter("serve.cache.hits"), cm.counter("serve.cache.misses"), cm.counter("serve.cache.evictions"));
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    println!(
+        "cache: {hits} hits / {misses} misses (rate {:.0}%), {evictions} evictions, resident {} entries / {:.1} MiB",
+        hit_rate * 100.0,
+        cache_session.len(),
+        cache_session.resident_bytes() as f64 / (1024.0 * 1024.0),
+    );
+
+    // ---- segment 4: scheduled solve reconciliation + watchdog (sim) ----
+    let mut topts = TraceOptions::deterministic();
+    topts.sample_every = 1;
+    let sim_cfg = SolverConfig::new()
+        .with_backend(Backend::Sim(FaultPlan::builder(1).build()))
+        .with_trace(topts);
+    let mut sim_session = SolverSession::<f64>::new(session_opts(procs, block, sim_cfg));
+    let cached = sim_session.get_or_factorize(&a).expect("sim factorization");
+    let (_, log) = sim_session.solve_panel(&a, &panel, K).expect("sim panel solve");
+    let report = build_solve_report(&cached.ssched, &log);
+    println!("{}", report.render());
+    let reconcile_ok = report.reconciliation >= RECONCILE_MIN;
+    println!(
+        "reconciliation gate (≥ {:.0}%): {}",
+        RECONCILE_MIN * 100.0,
+        if reconcile_ok { "MET" } else { "NOT MET" }
+    );
+
+    // Chaos serving run: starve a rank, let the watchdog name it.
+    let chaos_cfg = SolverConfig::new()
+        .with_backend(Backend::Sim(
+            FaultPlan::builder(7).policy(SchedPolicy::StarveRank(1)).build(),
+        ))
+        .with_trace(topts);
+    let mut chaos_session = SolverSession::<f64>::new(session_opts(procs, block, chaos_cfg));
+    chaos_session.get_or_factorize(&a).expect("chaos factorization");
+    let (_, chaos_log) = chaos_session.solve_panel(&a, &panel, K).expect("chaos panel solve");
+    let wd = watchdog_analyze(&chaos_log, &WatchdogOptions::from_env());
+    print!("{}", wd.render());
+    let stalled = wd.stalled_ranks();
+    println!(
+        "watchdog (StarveRank(1), thresholds from env): stalled ranks {:?}",
+        stalled
+    );
+
+    // ---- artifacts ----
+    let j = obj([
+        ("problem", Json::Str(prep.id.name().to_string())),
+        ("n", Json::Num(n as f64)),
+        ("procs", Json::Num(procs as f64)),
+        ("panel_width", Json::Num(K as f64)),
+        ("agreement_max_rel_err", Json::Num(max_rel)),
+        ("agreement_worst_residual", Json::Num(resid)),
+        ("one_at_a_time_ns", Json::Num(one_at_a_time_ns as f64)),
+        ("batched_panel_ns", Json::Num(batched_ns as f64)),
+        ("batched_speedup", Json::Num(speedup)),
+        ("open_loop_requests", Json::Num(served as f64)),
+        ("open_loop_batches", Json::Num(batches as f64)),
+        ("open_loop_mean_batch_width", Json::Num(mean_width)),
+        ("solves_per_sec", Json::Num(solves_per_sec)),
+        ("latency_p50_ns", Json::Num(p50 as f64)),
+        ("latency_p99_ns", Json::Num(p99 as f64)),
+        ("cache_hits", Json::Num(hits as f64)),
+        ("cache_misses", Json::Num(misses as f64)),
+        ("cache_evictions", Json::Num(evictions as f64)),
+        ("cache_hit_rate", Json::Num(hit_rate)),
+        ("solve_reconciliation", Json::Num(report.reconciliation)),
+        ("solve_trace_fingerprint", Json::Str(format!("{:#018x}", log.fingerprint()))),
+        (
+            "watchdog_stalled_ranks",
+            Json::Arr(stalled.iter().map(|&r| Json::Num(r as f64)).collect()),
+        ),
+    ]);
+    std::fs::write(OUT_PATH, j.pretty()).expect("write BENCH_serve.json");
+    println!("wrote {OUT_PATH}");
+    std::fs::write(TRACE_PATH, report.to_json().pretty()).expect("write serve_trace.json");
+    println!("wrote {TRACE_PATH}");
+
+    if !(agree_ok && speedup_ok && reconcile_ok) {
+        eprintln!("FAIL: serving gates not met (agreement {agree_ok}, speedup {speedup_ok}, reconciliation {reconcile_ok})");
+        std::process::exit(1);
+    }
+}

@@ -41,6 +41,7 @@ pub use pastix_multifrontal as multifrontal;
 pub use pastix_ordering as ordering;
 pub use pastix_runtime as runtime;
 pub use pastix_sched as sched;
+pub use pastix_serve as serve;
 pub use pastix_solver as solver;
 pub use pastix_symbolic as symbolic;
 pub use pastix_trace as trace;

@@ -237,6 +237,47 @@ pub fn gemm_nt_acc_lower_ref<T: Scalar>(
     }
 }
 
+/// `C ← C + α · Aᵀ · B` where `A` is `k×m` (lda ≥ k), `B` is `k×n`
+/// (ldb ≥ k) and `C` is `m×n` (ldc ≥ m), all column-major.
+///
+/// The backward triangular sweep of a multi-RHS panel solve is exactly this
+/// shape: the partial `L_bᵀ · X_s` reduces the shared `k` dimension down
+/// contiguous columns of both operands, so the inner loop is a pair of
+/// unit-stride dot products with no transposed pack needed.
+pub fn gemm_tn_acc<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    assert!(lda >= k && ldb >= k, "operand leading dimensions too small");
+    assert!(ldc >= m, "C leading dimension too small");
+    assert!(a.len() >= lda * (m - 1) + k, "A buffer too small");
+    assert!(b.len() >= ldb * (n - 1) + k, "B buffer too small");
+    assert!(c.len() >= ldc * (n - 1) + m, "C buffer too small");
+    for j in 0..n {
+        let bj = &b[j * ldb..j * ldb + k];
+        let cj = &mut c[j * ldc..j * ldc + m];
+        for (i, cv) in cj.iter_mut().enumerate() {
+            let ai = &a[i * lda..i * lda + k];
+            let mut acc = T::zero();
+            for (&av, &bv) in ai.iter().zip(bj) {
+                acc += av * bv;
+            }
+            *cv += alpha * acc;
+        }
+    }
+}
+
 /// Flop count of a `gemm_nt`/`gemm_nn` call (`2·m·n·k`), used by the cost
 /// model and the Gflop/s reporting.
 #[inline]
@@ -291,6 +332,30 @@ mod tests {
                 *v *= 2.0;
             }
             assert!(c.max_diff(&expect) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive() {
+        for (m, n, k) in [(1, 1, 1), (3, 2, 5), (6, 4, 8), (5, 7, 3)] {
+            let a = DenseMat::from_fn(k, m, |i, j| (i * 13 + j * 5 + 1) as f64 * 0.125);
+            let b = DenseMat::from_fn(k, n, |i, j| (i as f64) * 0.5 - (j as f64));
+            let mut c = DenseMat::from_fn(m, n, |i, j| (i * n + j) as f64);
+            let expect = {
+                let mut e = c.clone();
+                for j in 0..n {
+                    for i in 0..m {
+                        let mut acc = 0.0;
+                        for kk in 0..k {
+                            acc += a[(kk, i)] * b[(kk, j)];
+                        }
+                        e[(i, j)] -= 2.0 * acc;
+                    }
+                }
+                e
+            };
+            gemm_tn_acc(m, n, k, -2.0, a.as_slice(), k, b.as_slice(), k, c.as_mut_slice(), m);
+            assert!(c.max_diff(&expect) < 1e-12, "mismatch at ({m},{n},{k})");
         }
     }
 

@@ -1,0 +1,309 @@
+//! Level-set/block schedule for the triangular **solve** DAG.
+//!
+//! The factorization's static schedule fixes cblk ownership; the solve
+//! reuses that ownership (the factor panels already live there) but runs a
+//! much lighter DAG: one forward task and one backward task per column
+//! block, with an edge `fwd(k) → fwd(t)` whenever a blok of `k` faces `t`
+//! (the fan-in update `x_t -= L_b·x_k`), the mirrored edge
+//! `bwd(t) → bwd(k)`, and `fwd(k) → bwd(k)` tying the sweeps together.
+//! Following Böhnlein et al. (arXiv:2503.05408) the DAG is layered into
+//! level sets and list-scheduled against the per-processor execution order
+//! the distributed solver actually uses — forward tasks in ascending cblk
+//! order, then backward tasks in descending order — so the predicted
+//! per-rank timelines are directly reconcilable against a solve trace with
+//! `trace::report`, exactly like the factorization schedule.
+
+use crate::greedy::Schedule;
+use crate::tasks::TaskGraph;
+
+/// The static solve schedule: owner, level, order and predicted timeline
+/// of every forward/backward solve task.
+///
+/// Task ids: the forward solve of cblk `k` is task `k`; the backward solve
+/// is task `n_cblks + k` (see [`SolveSchedule::fwd_task`] /
+/// [`SolveSchedule::bwd_task`]).
+#[derive(Debug, Clone)]
+pub struct SolveSchedule {
+    /// Number of processors scheduled for.
+    pub n_procs: usize,
+    /// Number of column blocks (`2 · n_cblks` tasks total).
+    pub n_cblks: usize,
+    /// Owning processor per task (forward and backward of a cblk share the
+    /// owner the factorization schedule assigned it).
+    pub task_proc: Vec<u32>,
+    /// Level-set index per task (0 = no unsatisfied dependencies).
+    pub level: Vec<u32>,
+    /// Number of distinct level sets.
+    pub n_levels: usize,
+    /// Model cost per task (multiply–add count of the cblk's sweep step).
+    pub cost: Vec<f64>,
+    /// Predicted start time per task (cost units).
+    pub start: Vec<f64>,
+    /// Predicted end time per task (cost units).
+    pub end: Vec<f64>,
+    /// Per processor, solve task ids in execution order.
+    pub proc_tasks: Vec<Vec<u32>>,
+    /// Predicted parallel solve time (cost units).
+    pub makespan: f64,
+}
+
+impl SolveSchedule {
+    /// Task id of the forward solve of cblk `k`.
+    #[inline]
+    pub fn fwd_task(&self, k: usize) -> usize {
+        k
+    }
+
+    /// Task id of the backward solve of cblk `k`.
+    #[inline]
+    pub fn bwd_task(&self, k: usize) -> usize {
+        self.n_cblks + k
+    }
+
+    /// Total number of solve tasks (`2 · n_cblks`).
+    #[inline]
+    pub fn n_tasks(&self) -> usize {
+        2 * self.n_cblks
+    }
+
+    /// Canonical byte serialization of the schedule's discrete decisions:
+    /// processor count, cblk count, task ownership, level sets, and each
+    /// processor's execution order. Predicted times are derived
+    /// floating-point data and deliberately excluded — two runs produced
+    /// the same solve schedule iff their canonical bytes are equal.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 8 * self.task_proc.len());
+        out.extend_from_slice(&(self.n_procs as u64).to_le_bytes());
+        out.extend_from_slice(&(self.n_cblks as u64).to_le_bytes());
+        for &p in &self.task_proc {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        for &l in &self.level {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        for tasks in &self.proc_tasks {
+            out.extend_from_slice(&(tasks.len() as u64).to_le_bytes());
+            for &t in tasks {
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// FNV-1a digest of [`canonical_bytes`](Self::canonical_bytes) — the
+    /// fingerprint a serving trace is keyed by, mirroring
+    /// [`Schedule::digest`].
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.canonical_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Builds the level-set solve schedule for the split symbol of `graph`,
+/// inheriting cblk ownership from the factorization schedule `sched`.
+pub fn solve_schedule(graph: &TaskGraph, sched: &Schedule) -> SolveSchedule {
+    let sym = &graph.split.symbol;
+    let ns = sym.cblks.len();
+    let total = 2 * ns;
+
+    // Ownership: the processor that factorized the cblk solves it.
+    let mut task_proc = vec![0u32; total];
+    for k in 0..ns {
+        let p = sched.task_proc[graph.head_task_of_cblk[k] as usize];
+        task_proc[k] = p;
+        task_proc[ns + k] = p;
+    }
+
+    // Dependency edges, deduplicated per (source cblk, target cblk) pair —
+    // several bloks of `k` can face the same `t` but carry one edge.
+    // fwd(k) → fwd(t), bwd(t) → bwd(k), fwd(k) → bwd(k).
+    let mut out = vec![Vec::new(); total];
+    let mut n_deps = vec![0u32; total];
+    let mut cost = vec![0.0f64; total];
+    for k in 0..ns {
+        let cb = &sym.cblks[k];
+        let w = cb.width() as f64;
+        // Triangular sweep of the w×w unit diagonal plus the D step.
+        let mut madds = w * (w + 1.0) * 0.5;
+        let mut last_t = usize::MAX;
+        for b in cb.blok_start + 1..cb.blok_end {
+            let blok = &sym.bloks[b];
+            madds += blok.nrows() as f64 * w;
+            let t = blok.fcblk as usize;
+            if t == last_t {
+                continue;
+            }
+            last_t = t;
+            out[k].push(t as u32); // fwd(k) → fwd(t)
+            n_deps[t] += 1;
+            out[ns + t].push((ns + k) as u32); // bwd(t) → bwd(k)
+            n_deps[ns + k] += 1;
+        }
+        out[k].push((ns + k) as u32); // fwd(k) → bwd(k)
+        n_deps[ns + k] += 1;
+        cost[k] = madds;
+        cost[ns + k] = madds;
+    }
+
+    // Level sets: longest-path depth over the DAG. Forward tasks in
+    // ascending cblk order then backward in descending order is a
+    // topological order (fan-in edges always point to higher cblks).
+    let mut level = vec![0u32; total];
+    for t in (0..ns).chain((0..ns).rev().map(|k| ns + k)) {
+        for &c in &out[t] {
+            level[c as usize] = level[c as usize].max(level[t] + 1);
+        }
+    }
+    let n_levels = level.iter().copied().max().unwrap_or(0) as usize + 1;
+
+    // Per-processor execution order: exactly what the distributed solve
+    // workers do — owned forward tasks ascending, then owned backward
+    // tasks descending.
+    let mut proc_tasks = vec![Vec::new(); sched.n_procs];
+    for k in 0..ns {
+        proc_tasks[task_proc[k] as usize].push(k as u32);
+    }
+    for k in (0..ns).rev() {
+        proc_tasks[task_proc[ns + k] as usize].push((ns + k) as u32);
+    }
+
+    // List-schedule the fixed per-processor orders against the DAG for the
+    // predicted timeline. Each pass completes at least one task because
+    // the per-proc orders are subsequences of the topological order above.
+    let mut start = vec![0.0f64; total];
+    let mut end = vec![0.0f64; total];
+    let mut ready = vec![0.0f64; total];
+    let mut deps_left = n_deps;
+    let mut proc_ptr = vec![0usize; sched.n_procs];
+    let mut proc_free = vec![0.0f64; sched.n_procs];
+    let mut completed = 0usize;
+    while completed < total {
+        let mut progressed = false;
+        for p in 0..sched.n_procs {
+            while proc_ptr[p] < proc_tasks[p].len() {
+                let t = proc_tasks[p][proc_ptr[p]] as usize;
+                if deps_left[t] > 0 {
+                    break;
+                }
+                start[t] = proc_free[p].max(ready[t]);
+                end[t] = start[t] + cost[t];
+                proc_free[p] = end[t];
+                for &c in &out[t] {
+                    let c = c as usize;
+                    deps_left[c] -= 1;
+                    ready[c] = ready[c].max(end[t]);
+                }
+                proc_ptr[p] += 1;
+                completed += 1;
+                progressed = true;
+            }
+        }
+        assert!(progressed, "solve schedule deadlocked — orders are not topological");
+    }
+    let makespan = proc_free.iter().copied().fold(0.0f64, f64::max);
+
+    SolveSchedule {
+        n_procs: sched.n_procs,
+        n_cblks: ns,
+        task_proc,
+        level,
+        n_levels,
+        cost,
+        start,
+        end,
+        proc_tasks,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{map_and_schedule, DistStrategy, MappingOptions, SchedOptions};
+    use pastix_graph::{CsrGraph, Permutation};
+    use pastix_machine::MachineModel;
+    use pastix_symbolic::{analyze, AnalysisOptions};
+
+    fn grid_mapping(nx: usize, procs: usize) -> crate::Mapping {
+        let mut e = Vec::new();
+        let id = |x: usize, y: usize| (x + nx * y) as u32;
+        for y in 0..nx {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    e.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < nx {
+                    e.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(nx * nx, &e);
+        let a = analyze(&g, &Permutation::identity(nx * nx), &AnalysisOptions::default());
+        let machine = MachineModel::sp2(procs);
+        let opts = SchedOptions {
+            block_size: 8,
+            mapping: MappingOptions {
+                procs_2d_min: 2.0,
+                width_2d_min: 8,
+                strategy: DistStrategy::Mixed1d2d,
+            },
+        };
+        map_and_schedule(&a.symbol, &machine, &opts)
+    }
+
+    #[test]
+    fn solve_schedule_is_consistent() {
+        let m = grid_mapping(12, 4);
+        let ss = solve_schedule(&m.graph, &m.schedule);
+        let sym = &m.graph.split.symbol;
+        let ns = sym.cblks.len();
+        assert_eq!(ss.n_tasks(), 2 * ns);
+        // Ownership matches the factorization schedule.
+        for k in 0..ns {
+            let p = m.schedule.task_proc[m.graph.head_task_of_cblk[k] as usize];
+            assert_eq!(ss.task_proc[ss.fwd_task(k)], p);
+            assert_eq!(ss.task_proc[ss.bwd_task(k)], p);
+        }
+        // Every task appears exactly once across the per-proc orders.
+        let mut seen = vec![false; ss.n_tasks()];
+        for tasks in &ss.proc_tasks {
+            for &t in tasks {
+                assert!(!seen[t as usize], "task {t} scheduled twice");
+                seen[t as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Levels respect the fan-in DAG: a blok of k facing t orders
+        // fwd(k) before fwd(t) and bwd(t) before bwd(k).
+        for k in 0..ns {
+            let cb = &sym.cblks[k];
+            for b in cb.blok_start + 1..cb.blok_end {
+                let t = sym.bloks[b].fcblk as usize;
+                assert!(ss.level[ss.fwd_task(k)] < ss.level[ss.fwd_task(t)]);
+                assert!(ss.level[ss.bwd_task(t)] < ss.level[ss.bwd_task(k)]);
+                assert!(ss.end[ss.fwd_task(k)] <= ss.start[ss.fwd_task(t)] + 1e-9);
+                assert!(ss.end[ss.bwd_task(t)] <= ss.start[ss.bwd_task(k)] + 1e-9);
+            }
+            assert!(ss.level[ss.fwd_task(k)] < ss.level[ss.bwd_task(k)]);
+        }
+        assert!(ss.makespan > 0.0);
+        assert!(ss.n_levels >= 2);
+    }
+
+    #[test]
+    fn solve_schedule_digest_is_stable() {
+        let m = grid_mapping(10, 3);
+        let a = solve_schedule(&m.graph, &m.schedule);
+        let b = solve_schedule(&m.graph, &m.schedule);
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        assert_eq!(a.digest(), b.digest());
+        // A different processor count must change the digest.
+        let m2 = grid_mapping(10, 4);
+        let c = solve_schedule(&m2.graph, &m2.schedule);
+        assert_ne!(a.digest(), c.digest());
+    }
+}

@@ -1,0 +1,136 @@
+//! Matrix fingerprinting: the cache key of the serving session.
+//!
+//! A factor is reusable exactly when the matrix is the same — same
+//! sparsity structure (which fixes ordering, symbol and schedule) and
+//! same numeric values (which fix the factor). The fingerprint captures
+//! both as independent FNV-1a digests over the matrix's *canonical* CSC
+//! form: [`pastix_graph::SymCsc::from_triplets`] sorts rows within each
+//! column, folds duplicates and mirrors the upper triangle, so two
+//! assemblies of the same matrix — triplets permuted, entries given as
+//! `(i,j)` or `(j,i)`, duplicates split differently — canonicalize to
+//! identical arrays and therefore identical fingerprints.
+//!
+//! The numeric digest hashes the `Display` form of every stored value.
+//! For `f64` the standard formatter prints the shortest representation
+//! that round-trips, so distinct values always print differently — the
+//! digest is injective on the value array without the trait needing bit
+//! access.
+
+use pastix_graph::SymCsc;
+use pastix_kernels::Scalar;
+use std::fmt::Write as _;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The two-part cache key: structure digest and numeric checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixFingerprint {
+    /// FNV-1a over `(n, colptr, rowind)` of the canonical lower CSC —
+    /// identical iff the sparsity patterns are identical.
+    pub structure: u64,
+    /// FNV-1a over the `Display` forms of the stored values, in canonical
+    /// order — identical iff the numeric content is identical.
+    pub numeric: u64,
+}
+
+impl MatrixFingerprint {
+    /// Fingerprints a matrix in canonical [`SymCsc`] form.
+    pub fn of<T: Scalar>(a: &SymCsc<T>) -> Self {
+        let mut s = fnv(FNV_OFFSET, &(a.n() as u64).to_le_bytes());
+        for &p in a.colptr() {
+            s = fnv(s, &(p as u64).to_le_bytes());
+        }
+        for &r in a.rowind() {
+            s = fnv(s, &r.to_le_bytes());
+        }
+        let mut buf = String::new();
+        let mut v = FNV_OFFSET;
+        for val in a.values() {
+            buf.clear();
+            let _ = write!(buf, "{val};");
+            v = fnv(v, buf.as_bytes());
+        }
+        Self { structure: s, numeric: v }
+    }
+
+    /// Compact hex rendering (`structure:numeric`), the form metrics and
+    /// logs print.
+    pub fn render(&self) -> String {
+        format!("{:016x}:{:016x}", self.structure, self.numeric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Vec<(u32, u32, f64)> {
+        vec![
+            (0, 0, 4.0),
+            (1, 1, 5.0),
+            (2, 2, 6.0),
+            (1, 0, -1.0),
+            (2, 1, -2.0),
+        ]
+    }
+
+    #[test]
+    fn permuted_triplets_fingerprint_identically() {
+        let a = SymCsc::from_triplets(3, &tri());
+        // Same matrix, different assembly: reversed entry order, one
+        // entry given in the upper triangle, one split into two summands.
+        let alt = vec![
+            (2, 1, -0.5),
+            (1, 2, -1.5),
+            (2, 2, 6.0),
+            (0, 1, -1.0),
+            (1, 1, 5.0),
+            (0, 0, 4.0),
+        ];
+        let b = SymCsc::from_triplets(3, &alt);
+        assert_eq!(MatrixFingerprint::of(&a), MatrixFingerprint::of(&b));
+    }
+
+    #[test]
+    fn value_change_flips_numeric_only() {
+        let a = SymCsc::from_triplets(3, &tri());
+        let mut t = tri();
+        t[0].2 = 4.5;
+        let b = SymCsc::from_triplets(3, &t);
+        let (fa, fb) = (MatrixFingerprint::of(&a), MatrixFingerprint::of(&b));
+        assert_eq!(fa.structure, fb.structure);
+        assert_ne!(fa.numeric, fb.numeric);
+    }
+
+    #[test]
+    fn structure_change_flips_structure() {
+        let a = SymCsc::from_triplets(3, &tri());
+        let mut t = tri();
+        t.push((2, 0, 0.25));
+        let b = SymCsc::from_triplets(3, &t);
+        assert_ne!(
+            MatrixFingerprint::of(&a).structure,
+            MatrixFingerprint::of(&b).structure
+        );
+    }
+
+    #[test]
+    fn nearby_floats_are_distinguished() {
+        let mut t = tri();
+        t[0].2 = 1.0;
+        let a = SymCsc::from_triplets(3, &t);
+        t[0].2 = 1.0 + f64::EPSILON;
+        let b = SymCsc::from_triplets(3, &t);
+        assert_ne!(MatrixFingerprint::of(&a).numeric, MatrixFingerprint::of(&b).numeric);
+        assert!(!MatrixFingerprint::of(&a).render().is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # pastix-serve
+//!
+//! Factorization-as-a-service on top of the PaStiX reproduction: the
+//! session layer that turns the solver into a servable system.
+//!
+//! The production shape of a sparse direct solver is factorize-once,
+//! solve-millions-of-times — at scale the triangular solve, not the
+//! factorization, is the hot path. This crate provides:
+//!
+//! * [`MatrixFingerprint`] — a structure digest plus numeric checksum
+//!   over the canonical CSC form, stable under permuted-but-identical
+//!   assembly: the cache key;
+//! * [`SolverSession`] — an LRU cache of [`CachedFactor`]s (ordering,
+//!   symbol, static schedule, factor, solve schedule) with capacity and
+//!   byte-budget eviction and hit/miss counters in the session's
+//!   `MetricsRegistry`;
+//! * [`RequestQueue`] — coalesces incoming right-hand sides into blocked
+//!   multi-RHS panels served by the distributed panel solve
+//!   (`pastix_solver::solve_panel_parallel_traced`), whose per-blok
+//!   trailing updates are GEMM-shaped instead of one GEMV per RHS;
+//! * the level-set solve schedule (`pastix_sched::solve_schedule`) rides
+//!   in every cache entry, so serving traces reconcile predicted-vs-
+//!   measured through `pastix_trace::report::build_solve_report` exactly
+//!   like the factorization.
+
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod queue;
+pub mod session;
+
+pub use fingerprint::MatrixFingerprint;
+pub use queue::{pack_panel, unpack_completions, Completed, Request, RequestQueue};
+pub use session::{CachedFactor, SessionOptions, SolverSession};

@@ -1,0 +1,191 @@
+//! Request coalescing: the queue that turns a stream of single-RHS solve
+//! requests into blocked multi-RHS panels.
+//!
+//! A panel of `k` coalesced right-hand sides pays the solve's message
+//! protocol once and turns every per-blok trailing update into a
+//! GEMM-shaped `h_b × k × w` product instead of `k` GEMVs — the whole
+//! point of the serving layer's batching. The queue itself is clock-free:
+//! arrival and completion timestamps are supplied by the caller (wall
+//! nanoseconds in a live server, a virtual clock in `bench_serve`), so
+//! batching behavior is reproducible.
+
+use crate::session::SolverSession;
+use pastix_graph::SymCsc;
+use pastix_kernels::{FactorError, Scalar};
+use std::collections::VecDeque;
+
+/// One queued solve request.
+#[derive(Debug, Clone)]
+pub struct Request<T> {
+    /// Ticket handed back by [`RequestQueue::submit`].
+    pub id: u64,
+    /// The right-hand side (original ordering).
+    pub rhs: Vec<T>,
+    /// Caller-supplied arrival timestamp (ns).
+    pub arrival_ns: u64,
+}
+
+/// One served request.
+#[derive(Debug, Clone)]
+pub struct Completed<T> {
+    /// Ticket of the originating request.
+    pub id: u64,
+    /// The solution vector (original ordering).
+    pub x: Vec<T>,
+    /// `finish_ns − arrival_ns`: queueing plus solve time.
+    pub latency_ns: u64,
+    /// Width of the panel this request was coalesced into.
+    pub batch: usize,
+}
+
+/// FIFO queue of pending solve requests.
+#[derive(Debug, Default)]
+pub struct RequestQueue<T> {
+    pending: VecDeque<Request<T>>,
+    next_id: u64,
+}
+
+impl<T: Scalar> RequestQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self { pending: VecDeque::new(), next_id: 0 }
+    }
+
+    /// Enqueues a right-hand side; returns its ticket.
+    pub fn submit(&mut self, rhs: Vec<T>, arrival_ns: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push_back(Request { id, rhs, arrival_ns });
+        id
+    }
+
+    /// Pending requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Pops the oldest `max` (or fewer) requests — the next batch.
+    pub fn take_batch(&mut self, max: usize) -> Vec<Request<T>> {
+        let k = max.min(self.pending.len());
+        self.pending.drain(..k).collect()
+    }
+
+    /// Coalesces the oldest pending requests (at most the session's
+    /// `max_panel`) into one panel, solves it through `session`, and
+    /// returns the completions stamped with `finish_ns`. Returns an empty
+    /// vector when the queue is idle.
+    pub fn serve_batch(
+        &mut self,
+        session: &mut SolverSession<T>,
+        a: &SymCsc<T>,
+        finish_ns: u64,
+    ) -> Result<Vec<Completed<T>>, FactorError> {
+        let batch = self.take_batch(session.options().max_panel);
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = a.n();
+        let nrhs = batch.len();
+        let panel = pack_panel(&batch, n);
+        let (x, _) = session.solve_panel(a, &panel, nrhs)?;
+        let done = unpack_completions(&batch, &x, n, finish_ns);
+        let m = session.metrics();
+        m.add_counter("serve.requests", nrhs as u64);
+        m.add_counter("serve.batches", 1);
+        m.observe("serve.batch_width", nrhs as u64);
+        for c in &done {
+            m.observe("serve.latency_ns", c.latency_ns);
+        }
+        Ok(done)
+    }
+}
+
+/// Packs request right-hand sides into an `n × k` column-major panel.
+pub fn pack_panel<T: Scalar>(batch: &[Request<T>], n: usize) -> Vec<T> {
+    let mut panel = vec![T::zero(); n * batch.len()];
+    for (r, req) in batch.iter().enumerate() {
+        assert_eq!(req.rhs.len(), n, "request {} has wrong rhs length", req.id);
+        panel[r * n..(r + 1) * n].copy_from_slice(&req.rhs);
+    }
+    panel
+}
+
+/// Splits a solved panel back into per-request completions, stamping
+/// latencies against `finish_ns`.
+pub fn unpack_completions<T: Scalar>(
+    batch: &[Request<T>],
+    x: &[T],
+    n: usize,
+    finish_ns: u64,
+) -> Vec<Completed<T>> {
+    batch
+        .iter()
+        .enumerate()
+        .map(|(r, req)| Completed {
+            id: req.id,
+            x: x[r * n..(r + 1) * n].to_vec(),
+            latency_ns: finish_ns.saturating_sub(req.arrival_ns),
+            batch: batch.len(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionOptions;
+    use pastix_graph::gen::{grid_spd, Stencil, ValueKind};
+    use pastix_graph::rhs_for_solution;
+    use pastix_sched::SchedOptions;
+
+    #[test]
+    fn queue_coalesces_and_serves_fifo() {
+        let a = grid_spd::<f64>(6, 6, 1, Stencil::Star, false, ValueKind::RandomSpd(9));
+        let n = a.n();
+        let opts = SessionOptions {
+            procs: 2,
+            max_panel: 3,
+            sched: SchedOptions { block_size: 8, ..Default::default() },
+            ..Default::default()
+        };
+        let mut session = SolverSession::<f64>::new(opts);
+        let mut q = RequestQueue::new();
+        let mut exact = Vec::new();
+        for r in 0..5 {
+            let xe: Vec<f64> = (0..n).map(|i| ((i * 3 + r) % 5) as f64 - 2.0).collect();
+            let id = q.submit(rhs_for_solution(&a, &xe), 100 * r as u64);
+            assert_eq!(id, r as u64);
+            exact.push(xe);
+        }
+        // First batch coalesces max_panel = 3, second the remaining 2.
+        let d1 = q.serve_batch(&mut session, &a, 1_000).unwrap();
+        assert_eq!(d1.len(), 3);
+        assert_eq!(q.len(), 2);
+        let d2 = q.serve_batch(&mut session, &a, 2_000).unwrap();
+        assert_eq!(d2.len(), 2);
+        assert!(q.is_empty());
+        assert!(q.serve_batch(&mut session, &a, 3_000).unwrap().is_empty());
+        for c in d1.iter().chain(&d2) {
+            let xe = &exact[c.id as usize];
+            for (u, v) in c.x.iter().zip(xe) {
+                assert!((u - v).abs() < 1e-8, "request {}: {u} vs {v}", c.id);
+            }
+        }
+        // FIFO: batch 1 holds tickets 0..3 at width 3.
+        assert_eq!(d1.iter().map(|c| c.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(d1.iter().all(|c| c.batch == 3));
+        assert_eq!(d1[0].latency_ns, 1_000);
+        assert_eq!(d1[2].latency_ns, 800);
+        let m = session.metrics();
+        assert_eq!(m.counter("serve.requests"), 5);
+        assert_eq!(m.counter("serve.batches"), 2);
+        assert_eq!(m.counter("serve.cache.misses"), 1);
+        assert_eq!(m.counter("serve.cache.hits"), 1);
+        assert!(m.histogram("serve.latency_ns").is_some());
+    }
+}

@@ -1,0 +1,319 @@
+//! The persistent solver session: an LRU cache of factorizations keyed by
+//! matrix fingerprint, fronting the distributed panel solve.
+//!
+//! The production shape of a direct solver is factorize-once,
+//! solve-millions-of-times. [`SolverSession`] keeps the expensive
+//! artifacts of each distinct matrix — ordering, symbol, static schedule,
+//! assembled factor, and the level-set [`SolveSchedule`] of the solve DAG
+//! — behind a [`MatrixFingerprint`] key, so repeat requests against a
+//! known matrix skip straight to the triangular sweeps. Capacity and
+//! byte-budget eviction bound the resident set; hit/miss/eviction
+//! counters land in the session's [`MetricsRegistry`].
+
+use crate::fingerprint::MatrixFingerprint;
+use pastix_graph::{Permutation, SymCsc};
+use pastix_kernels::{FactorError, Scalar};
+use pastix_machine::MachineModel;
+use pastix_ordering::OrderingOptions;
+use pastix_sched::{map_and_schedule, solve_schedule, Mapping, SchedOptions, SolveSchedule};
+use pastix_solver::{factorize_parallel_with, solve_panel_parallel_traced, FactorRun, SolverConfig};
+use pastix_symbolic::AnalysisOptions;
+use pastix_trace::{MetricsRegistry, TraceLog};
+use std::sync::Arc;
+
+/// Knobs of a serving session.
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    /// Logical processors of every factorization and solve.
+    pub procs: usize,
+    /// Maximum resident factorizations (≥ 1).
+    pub capacity: usize,
+    /// Optional cap on the summed factor bytes of resident entries. An
+    /// entry larger than the whole budget is served but never cached, so
+    /// the budget is a true invariant, not a soft target.
+    pub byte_budget: Option<u64>,
+    /// Widest multi-RHS panel a request batch coalesces into.
+    pub max_panel: usize,
+    /// Ordering-phase knobs.
+    pub ordering: OrderingOptions,
+    /// Symbolic-phase knobs.
+    pub analysis: AnalysisOptions,
+    /// Repartitioning/scheduling knobs.
+    pub sched: SchedOptions,
+    /// Execution and observability configuration shared by the
+    /// factorization and every solve (backend, kernel mode, tracing,
+    /// metrics).
+    pub solver: SolverConfig,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        Self {
+            procs: 4,
+            capacity: 4,
+            byte_budget: None,
+            max_panel: 8,
+            ordering: OrderingOptions::scotch_like(),
+            analysis: AnalysisOptions::default(),
+            sched: SchedOptions::default(),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Everything the session caches per distinct matrix.
+#[derive(Debug)]
+pub struct CachedFactor<T> {
+    /// The key this entry is resident under.
+    pub fingerprint: MatrixFingerprint,
+    /// Fill-reducing permutation of the analysis.
+    pub perm: Permutation,
+    /// Task graph + factorization schedule (on the split symbol).
+    pub mapping: Mapping,
+    /// The assembled factor with its observability artifacts.
+    pub run: FactorRun<T>,
+    /// Level-set schedule of the solve DAG, reconcilable against solve
+    /// traces via `pastix_trace::report::build_solve_report`.
+    pub ssched: SolveSchedule,
+    /// Resident size estimate (factor panel bytes).
+    pub bytes: u64,
+}
+
+/// A persistent factorize-once, solve-many session.
+///
+/// Entries are kept in least-recently-used order; every hit refreshes the
+/// entry, every insert evicts from the cold end until both the capacity
+/// and the byte budget hold.
+pub struct SolverSession<T> {
+    opts: SessionOptions,
+    /// LRU order: index 0 is coldest, the last entry hottest.
+    entries: Vec<(MatrixFingerprint, Arc<CachedFactor<T>>)>,
+    bytes: u64,
+    metrics: MetricsRegistry,
+}
+
+impl<T: Scalar> SolverSession<T> {
+    /// Creates an empty session. The metrics handle is shared with
+    /// `opts.solver.metrics`, so factorization counters and serving
+    /// counters land in one registry.
+    pub fn new(opts: SessionOptions) -> Self {
+        assert!(opts.capacity >= 1, "session cache needs capacity >= 1");
+        assert!(opts.max_panel >= 1, "panel width must be >= 1");
+        let metrics = opts.solver.metrics.clone();
+        Self { opts, entries: Vec::new(), bytes: 0, metrics }
+    }
+
+    /// The session's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> &SessionOptions {
+        &self.opts
+    }
+
+    /// Resident entries, cold-to-hot order.
+    pub fn resident(&self) -> Vec<MatrixFingerprint> {
+        self.entries.iter().map(|(fp, _)| *fp).collect()
+    }
+
+    /// Number of resident factorizations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Summed resident factor bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn publish_gauges(&self) {
+        self.metrics.set_gauge("serve.cache.entries", self.entries.len() as f64);
+        self.metrics.set_gauge("serve.cache.bytes", self.bytes as f64);
+    }
+
+    /// Returns the cached factorization of `a`, running the full
+    /// pipeline (ordering → symbol → schedule → numeric factorization →
+    /// solve schedule) on a miss.
+    pub fn get_or_factorize(&mut self, a: &SymCsc<T>) -> Result<Arc<CachedFactor<T>>, FactorError> {
+        let fp = MatrixFingerprint::of(a);
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == fp) {
+            // Refresh to the hot end.
+            let e = self.entries.remove(i);
+            let hit = e.1.clone();
+            self.entries.push(e);
+            self.metrics.add_counter("serve.cache.hits", 1);
+            return Ok(hit);
+        }
+        self.metrics.add_counter("serve.cache.misses", 1);
+
+        let g = a.to_graph();
+        let ordering = pastix_ordering::nested_dissection(&g, &self.opts.ordering);
+        let analysis = pastix_symbolic::analyze(&g, &ordering, &self.opts.analysis);
+        let machine = MachineModel::sp2(self.opts.procs);
+        let mapping = map_and_schedule(&analysis.symbol, &machine, &self.opts.sched);
+        let ap = a.permuted(&analysis.perm);
+        let sym = &mapping.graph.split.symbol;
+        let run = factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, &self.opts.solver)?;
+        let ssched = solve_schedule(&mapping.graph, &mapping.schedule);
+        let bytes: u64 = run
+            .storage
+            .panels
+            .iter()
+            .map(|p| (p.len() * std::mem::size_of::<T>()) as u64)
+            .sum();
+        let entry = Arc::new(CachedFactor {
+            fingerprint: fp,
+            perm: analysis.perm,
+            mapping,
+            run,
+            ssched,
+            bytes,
+        });
+
+        if self.opts.byte_budget.is_some_and(|budget| bytes > budget) {
+            // Larger than the whole budget: serve it, never cache it.
+            self.metrics.add_counter("serve.cache.uncacheable", 1);
+            return Ok(entry);
+        }
+        self.entries.push((fp, entry.clone()));
+        self.bytes += bytes;
+        while self.entries.len() > self.opts.capacity
+            || self.opts.byte_budget.is_some_and(|budget| self.bytes > budget)
+        {
+            let (_, cold) = self.entries.remove(0);
+            self.bytes -= cold.bytes;
+            self.metrics.add_counter("serve.cache.evictions", 1);
+        }
+        self.publish_gauges();
+        Ok(entry)
+    }
+
+    /// Solves an `n × nrhs` right-hand-side panel (column-major, original
+    /// ordering) against `a` with the distributed panel sweeps, returning
+    /// the solution panel and the solve's [`TraceLog`] (empty when
+    /// tracing is off). Factorizes on a cache miss.
+    pub fn solve_panel(
+        &mut self,
+        a: &SymCsc<T>,
+        b_panel: &[T],
+        nrhs: usize,
+    ) -> Result<(Vec<T>, TraceLog), FactorError> {
+        let n = a.n();
+        assert_eq!(b_panel.len(), n * nrhs, "b_panel must be n × nrhs");
+        let cached = self.get_or_factorize(a)?;
+        let mut bp = vec![T::zero(); n * nrhs];
+        for r in 0..nrhs {
+            let col = cached.perm.apply_vec(&b_panel[r * n..(r + 1) * n]);
+            bp[r * n..(r + 1) * n].copy_from_slice(&col);
+        }
+        let (xp, log) = solve_panel_parallel_traced(
+            &cached.mapping.graph.split.symbol,
+            &cached.run.storage,
+            &cached.mapping.graph,
+            &cached.mapping.schedule,
+            &bp,
+            nrhs,
+            &self.opts.solver,
+        );
+        let mut x = vec![T::zero(); n * nrhs];
+        for r in 0..nrhs {
+            let col = cached.perm.unapply_vec(&xp[r * n..(r + 1) * n]);
+            x[r * n..(r + 1) * n].copy_from_slice(&col);
+        }
+        self.metrics.add_counter("serve.solves", 1);
+        self.metrics.observe("serve.panel_width", nrhs as u64);
+        Ok((x, log))
+    }
+
+    /// Single right-hand-side convenience over [`solve_panel`](Self::solve_panel).
+    pub fn solve(&mut self, a: &SymCsc<T>, b: &[T]) -> Result<Vec<T>, FactorError> {
+        Ok(self.solve_panel(a, b, 1)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastix_graph::gen::{grid_spd, Stencil, ValueKind};
+    use pastix_graph::{canonical_solution, rhs_for_solution};
+
+    fn mat(seed: u64) -> SymCsc<f64> {
+        grid_spd::<f64>(7, 7, 1, Stencil::Star, false, ValueKind::RandomSpd(seed))
+    }
+
+    fn small_opts() -> SessionOptions {
+        SessionOptions {
+            procs: 2,
+            capacity: 2,
+            sched: SchedOptions { block_size: 8, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hit_then_miss_counters() {
+        let mut s = SolverSession::<f64>::new(small_opts());
+        let a = mat(1);
+        let b = rhs_for_solution(&a, &canonical_solution::<f64>(a.n()));
+        let x1 = s.solve(&a, &b).unwrap();
+        assert!(a.residual_norm(&x1, &b) < 1e-10);
+        assert_eq!(s.metrics().counter("serve.cache.misses"), 1);
+        assert_eq!(s.metrics().counter("serve.cache.hits"), 0);
+        let x2 = s.solve(&a, &b).unwrap();
+        assert_eq!(x1, x2);
+        assert_eq!(s.metrics().counter("serve.cache.hits"), 1);
+        assert_eq!(s.len(), 1);
+        assert!(s.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut s = SolverSession::<f64>::new(small_opts());
+        let (a, b, c) = (mat(1), mat(2), mat(3));
+        s.get_or_factorize(&a).unwrap();
+        s.get_or_factorize(&b).unwrap();
+        // Touch `a` so `b` is coldest, then insert `c`.
+        s.get_or_factorize(&a).unwrap();
+        s.get_or_factorize(&c).unwrap();
+        let resident = s.resident();
+        assert_eq!(resident.len(), 2);
+        assert!(resident.contains(&MatrixFingerprint::of(&a)));
+        assert!(resident.contains(&MatrixFingerprint::of(&c)));
+        assert!(!resident.contains(&MatrixFingerprint::of(&b)));
+        assert_eq!(s.metrics().counter("serve.cache.evictions"), 1);
+        // The evicted matrix refactorizes on demand and still solves.
+        let rhs = rhs_for_solution(&b, &canonical_solution::<f64>(b.n()));
+        let x = s.solve(&b, &rhs).unwrap();
+        assert!(b.residual_norm(&x, &rhs) < 1e-10);
+        assert_eq!(s.metrics().counter("serve.cache.misses"), 4);
+    }
+
+    #[test]
+    fn panel_solve_matches_singles() {
+        let mut s = SolverSession::<f64>::new(small_opts());
+        let a = mat(5);
+        let n = a.n();
+        let nrhs = 3;
+        let mut panel = vec![0.0; n * nrhs];
+        let mut singles = Vec::new();
+        for r in 0..nrhs {
+            let xe: Vec<f64> = (0..n).map(|i| ((i + r) % 7) as f64 - 3.0).collect();
+            let b = rhs_for_solution(&a, &xe);
+            panel[r * n..(r + 1) * n].copy_from_slice(&b);
+            singles.push(b);
+        }
+        let (x, _) = s.solve_panel(&a, &panel, nrhs).unwrap();
+        for (r, b) in singles.iter().enumerate() {
+            assert!(a.residual_norm(&x[r * n..(r + 1) * n], b) < 1e-10);
+        }
+        assert_eq!(s.metrics().counter("serve.cache.misses"), 1);
+        assert_eq!(s.metrics().counter("serve.solves"), 1);
+    }
+}

@@ -30,7 +30,10 @@ pub use metrics::MessagePathMetrics;
 pub use parallel::{factorize_parallel, factorize_parallel_with, ChaosOptions};
 pub use pastix_runtime::Backend;
 pub use pastix_trace::{MetricsRegistry, TraceLog, TraceOptions};
-pub use psolve::{solve_parallel, solve_parallel_traced, solve_parallel_with};
+pub use psolve::{
+    solve_panel_parallel, solve_panel_parallel_traced, solve_panel_parallel_with, solve_parallel,
+    solve_parallel_traced, solve_parallel_with,
+};
 pub use seq::{factor_and_solve, factorize_sequential, reconstruction_error, solve_block_in_place, solve_in_place};
 pub use seq_left::factorize_sequential_left;
 pub use storage::{FactorStorage, PanelLayout};

@@ -17,12 +17,18 @@
 
 use crate::config::SolverConfig;
 use crate::storage::FactorStorage;
-use pastix_kernels::{gemm_nn_acc, solve_unit_lower, solve_unit_lower_trans, Scalar};
-use pastix_runtime::{run_spmd_with, Comm, Instrumented};
+use pastix_kernels::{
+    gemm_nn_acc, gemm_tn_acc, solve_unit_lower_panel, solve_unit_lower_trans_panel, Scalar,
+};
+use pastix_runtime::{run_spmd_with, Comm, CommHook, Instrumented};
 use pastix_sched::{Schedule, TaskGraph};
 use pastix_symbolic::SymbolMatrix;
-use pastix_trace::{task_span, RankTrace, SessionHook, TaskClass, TraceLog, TraceOptions};
+use pastix_trace::{
+    heartbeat, sample_gauge, task_span, GaugeId, RankTrace, SessionHook, TaskClass, TraceLog,
+    TraceOptions,
+};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -57,6 +63,52 @@ fn smsg_meta<T>(m: &SMsg<T>) -> (u8, u64) {
         SMsg::XBwd { data, .. } => (1, data.len() as u64 * scalar),
         SMsg::FwdAub { data, .. } => (2, data.len() as u64 * scalar),
         SMsg::BwdAub { data, .. } => (3, data.len() as u64 * scalar),
+    }
+}
+
+/// Run-global gauges of a traced solve: the progress counter stamped into
+/// every rank's heartbeats and the per-rank mailbox depths the watchdog's
+/// backlog signal reads — the solve-phase mirror of the factorization's
+/// gauge aggregator.
+struct SolveGauges {
+    /// Run-global completed-solve-task counter; each completed forward or
+    /// backward cblk solve stamps the finishing rank's heartbeat with the
+    /// post-increment value.
+    progress: AtomicU64,
+    /// Messages sent to each rank and not yet received by it. Signed
+    /// because the simulator's duplicate-delivery fault can make recvs
+    /// overtake sends; samples clamp at zero.
+    mailbox_depth: Vec<AtomicI64>,
+}
+
+impl SolveGauges {
+    fn new(n_procs: usize) -> Self {
+        Self {
+            progress: AtomicU64::new(0),
+            mailbox_depth: (0..n_procs).map(|_| AtomicI64::new(0)).collect(),
+        }
+    }
+}
+
+/// The [`CommHook`] feeding [`SolveGauges`] from one rank's traffic;
+/// composed with [`SessionHook`] through the runtime's tuple hook.
+struct SolveGaugeHook<'g> {
+    rank: usize,
+    gauges: &'g SolveGauges,
+}
+
+impl CommHook for SolveGaugeHook<'_> {
+    #[inline]
+    fn on_send(&self, to: usize, _bytes: u64, _kind: u8) {
+        self.gauges.mailbox_depth[to].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_send_dropped(&self, _to: usize, _bytes: u64, _kind: u8) {}
+
+    #[inline]
+    fn on_recv(&self, _from: usize, _bytes: u64, _kind: u8, _wait_ns: u64) {
+        self.gauges.mailbox_depth[self.rank].fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -182,17 +234,72 @@ pub fn solve_parallel_traced<T: Scalar>(
     b_perm: &[T],
     cfg: &SolverConfig,
 ) -> (Vec<T>, TraceLog) {
-    assert_eq!(b_perm.len(), sym.n);
+    solve_panel_parallel_traced(sym, storage, graph, sched, b_perm, 1, cfg)
+}
+
+/// Distributed **multi-RHS panel** solve: `b_panel` is `n × nrhs`
+/// column-major in elimination order; returns the `n × nrhs` solution
+/// panel, also column-major in elimination order.
+///
+/// Every per-cblk segment travels and solves as a `width × nrhs` panel:
+/// the diagonal substitutions run the blocked
+/// [`solve_unit_lower_panel`]/[`solve_unit_lower_trans_panel`] kernels and
+/// the per-blok trailing updates are GEMM-shaped (`h_b × nrhs × width`)
+/// through the packed paths instead of one GEMV per right-hand side, so a
+/// batch of coalesced requests pays the solve's message protocol once.
+pub fn solve_panel_parallel<T: Scalar>(
+    sym: &SymbolMatrix,
+    storage: &FactorStorage<T>,
+    graph: &TaskGraph,
+    sched: &Schedule,
+    b_panel: &[T],
+    nrhs: usize,
+) -> Vec<T> {
+    solve_panel_parallel_with(sym, storage, graph, sched, b_panel, nrhs, &SolverConfig::default())
+}
+
+/// [`solve_panel_parallel`] with an explicit [`SolverConfig`].
+pub fn solve_panel_parallel_with<T: Scalar>(
+    sym: &SymbolMatrix,
+    storage: &FactorStorage<T>,
+    graph: &TaskGraph,
+    sched: &Schedule,
+    b_panel: &[T],
+    nrhs: usize,
+    cfg: &SolverConfig,
+) -> Vec<T> {
+    solve_panel_parallel_traced(sym, storage, graph, sched, b_panel, nrhs, cfg).0
+}
+
+/// [`solve_panel_parallel_with`] that also returns the run's [`TraceLog`].
+///
+/// When tracing is enabled, every completed forward/backward cblk solve
+/// additionally stamps a run-global progress heartbeat and the rank's
+/// mailbox-depth gauge is sampled every `trace.sample_every` tasks, so a
+/// serving run feeds the [`pastix_trace::watchdog`] exactly like the
+/// factorization does.
+pub fn solve_panel_parallel_traced<T: Scalar>(
+    sym: &SymbolMatrix,
+    storage: &FactorStorage<T>,
+    graph: &TaskGraph,
+    sched: &Schedule,
+    b_panel: &[T],
+    nrhs: usize,
+    cfg: &SolverConfig,
+) -> (Vec<T>, TraceLog) {
+    assert!(nrhs >= 1, "panel solve needs at least one right-hand side");
+    assert_eq!(b_panel.len(), sym.n * nrhs, "b_panel must be n × nrhs");
     let routing = build_solve_routing(sym, graph, sched);
     let mut topts = cfg.trace;
     if topts.enabled && topts.epoch.is_none() {
         topts.epoch = Some(Instant::now());
     }
+    let gauges = topts.enabled.then(|| SolveGauges::new(sched.n_procs));
     let t0 = Instant::now();
     let results = run_spmd_with::<SMsg<T>, (Vec<(u32, Vec<T>)>, Option<RankTrace>), _>(
         &cfg.backend,
         sched.n_procs,
-        |ctx| solve_worker_run(ctx, sym, storage, &routing, b_perm, &topts),
+        |ctx| solve_worker_run(ctx, sym, storage, &routing, b_panel, nrhs, &topts, gauges.as_ref()),
     );
     let wall_ns = t0.elapsed().as_nanos() as u64;
     let mut segs = Vec::with_capacity(results.len());
@@ -208,19 +315,23 @@ pub fn solve_parallel_traced<T: Scalar>(
         wall_ns,
         digest: sched.digest(),
     };
-    (gather_solution(sym, segs), trace)
+    (gather_solution(sym, segs, nrhs), trace)
 }
 
 /// The SPMD body of one logical processor of the solve, on either backend.
+#[allow(clippy::too_many_arguments)]
 fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>> + ?Sized>(
     ctx: &C,
     sym: &SymbolMatrix,
     storage: &FactorStorage<T>,
     routing: &SolveRouting,
-    b_perm: &[T],
+    b_panel: &[T],
+    nrhs: usize,
     topts: &TraceOptions,
+    gauges: Option<&SolveGauges>,
 ) -> (Vec<(u32, Vec<T>)>, Option<RankTrace>) {
     let ns = sym.n_cblks();
+    let n = sym.n;
     let me = ctx.rank() as u32;
     let session = pastix_trace::begin_rank(ctx.rank(), topts);
     let mut w = SolveWorker {
@@ -228,6 +339,7 @@ fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>> + ?Sized>(
         storage,
         routing,
         me,
+        nrhs,
         x: HashMap::new(),
         fwd_pending: HashMap::new(),
         bwd_pending: HashMap::new(),
@@ -240,14 +352,23 @@ fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>> + ?Sized>(
         bwd_aub_seen: HashSet::new(),
         bwd_early: Vec::new(),
         scratch: Vec::new(),
+        gauges,
+        sample_every: topts.sample_every as usize,
+        tasks_done: 0,
     };
-    // Initialize owned segments with b, and pending counters.
+    // Initialize owned segments with b (width × nrhs panels), and pending
+    // counters.
     for k in 0..ns {
         if routing.cblk_owner[k] != me {
             continue;
         }
         let cb = &sym.cblks[k];
-        let seg = b_perm[cb.fcol as usize..=cb.lcol as usize].to_vec();
+        let width = cb.width();
+        let mut seg = vec![T::zero(); width * nrhs];
+        for r in 0..nrhs {
+            seg[r * width..(r + 1) * width]
+                .copy_from_slice(&b_panel[r * n + cb.fcol as usize..=r * n + cb.lcol as usize]);
+        }
         w.x.insert(k as u32, seg);
         w.fwd_pending
             .insert(k as u32, routing.fwd_remote[k] + routing.fwd_local[k]);
@@ -256,7 +377,9 @@ fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>> + ?Sized>(
     }
     // Only the traced path pays for the instrumented wrapper.
     if topts.enabled {
-        let ictx = Instrumented::new(ctx, SessionHook, smsg_meta::<T>);
+        let g = gauges.expect("a traced solve always carries gauges");
+        let hook = (SessionHook, SolveGaugeHook { rank: ctx.rank(), gauges: g });
+        let ictx = Instrumented::new(ctx, hook, smsg_meta::<T>);
         w.forward(&ictx);
         w.backward(&ictx);
     } else {
@@ -266,13 +389,23 @@ fn solve_worker_run<T: Scalar, C: Comm<SMsg<T>> + ?Sized>(
     (w.x.into_iter().collect(), session.finish())
 }
 
-/// Stitches the per-processor owned segments into the full solution.
-fn gather_solution<T: Scalar>(sym: &SymbolMatrix, results: Vec<Vec<(u32, Vec<T>)>>) -> Vec<T> {
-    let mut x = vec![T::zero(); sym.n];
+/// Stitches the per-processor owned segment panels into the full `n × nrhs`
+/// solution panel.
+fn gather_solution<T: Scalar>(
+    sym: &SymbolMatrix,
+    results: Vec<Vec<(u32, Vec<T>)>>,
+    nrhs: usize,
+) -> Vec<T> {
+    let n = sym.n;
+    let mut x = vec![T::zero(); n * nrhs];
     for segs in results {
         for (k, seg) in segs {
             let cb = &sym.cblks[k as usize];
-            x[cb.fcol as usize..=cb.lcol as usize].copy_from_slice(&seg);
+            let width = cb.width();
+            for r in 0..nrhs {
+                x[r * n + cb.fcol as usize..=r * n + cb.lcol as usize]
+                    .copy_from_slice(&seg[r * width..(r + 1) * width]);
+            }
         }
     }
     x
@@ -283,7 +416,10 @@ struct SolveWorker<'a, T> {
     storage: &'a FactorStorage<T>,
     routing: &'a SolveRouting,
     me: u32,
-    /// Owned segments (b on entry, x on exit).
+    /// Panel width: every segment, AUB and partial is `width × nrhs`.
+    nrhs: usize,
+    /// Owned segment panels (b on entry, x on exit), column-major with
+    /// leading dimension the cblk width.
     x: HashMap<u32, Vec<T>>,
     /// Remaining contribution events before a cblk's forward solve.
     fwd_pending: HashMap<u32, u32>,
@@ -312,6 +448,13 @@ struct SolveWorker<'a, T> {
     /// `L_bᵀ·x` partials): one allocation per worker instead of one per
     /// owned blok per supernode.
     scratch: Vec<T>,
+    /// Present iff the run is traced: the shared progress counter and
+    /// mailbox depths behind the heartbeat/gauge events.
+    gauges: Option<&'a SolveGauges>,
+    /// Gauge sampling cadence (tasks between samples; 0 disables).
+    sample_every: usize,
+    /// Tasks this rank has completed (heartbeat pacing).
+    tasks_done: u64,
 }
 
 impl<T: Scalar> SolveWorker<'_, T> {
@@ -325,6 +468,20 @@ impl<T: Scalar> SolveWorker<'_, T> {
         v.sort_unstable();
         v.dedup();
         v
+    }
+
+    /// Heartbeat + gauge bookkeeping after one completed cblk solve task
+    /// (forward or backward). A no-op on untraced runs.
+    fn note_task_done(&mut self) {
+        if let Some(g) = self.gauges {
+            let seq = g.progress.fetch_add(1, Ordering::Relaxed) + 1;
+            heartbeat(seq);
+            self.tasks_done += 1;
+            if self.sample_every > 0 && self.tasks_done.is_multiple_of(self.sample_every as u64) {
+                let depth = g.mailbox_depth[self.me as usize].load(Ordering::Relaxed).max(0);
+                sample_gauge(GaugeId::MailboxDepth, depth as u64);
+            }
+        }
     }
 
     /// Owners of the bloks *facing* `k`, deduplicated, minus self.
@@ -366,6 +523,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
                 let k = own[next];
                 if self.fwd_pending.get(&k).copied().unwrap_or(0) == 0 {
                     self.fwd_solve_cblk(ctx, k as usize);
+                    self.note_task_done();
                     next += 1;
                     continue;
                 }
@@ -405,7 +563,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
         let w = cb.width();
         let lda = self.storage.layout.panel_rows(k);
         let seg = self.x.get_mut(&(k as u32)).unwrap();
-        solve_unit_lower(w, &self.storage.panels[k], lda, seg, 1, w);
+        solve_unit_lower_panel(w, &self.storage.panels[k], lda, seg, self.nrhs, w);
         // One shared materialization; every consumer send bumps a refcount.
         let seg: Arc<[T]> = Arc::from(seg.as_slice());
         // Ship to the owners of this cblk's off-diagonal bloks. Drops are
@@ -417,11 +575,12 @@ impl<T: Scalar> SolveWorker<'_, T> {
         self.fwd_blok_contributions(ctx, k, &seg);
     }
 
-    /// Computes `L_b · x_k` for every blok of `k` this processor owns and
-    /// routes the contributions.
+    /// Computes `L_b · X_k` (an `h_b × nrhs` panel) for every blok of `k`
+    /// this processor owns and routes the contributions.
     fn fwd_blok_contributions<C: Comm<SMsg<T>> + ?Sized>(&mut self, ctx: &C, k: usize, xk: &[T]) {
         let cb = &self.sym.cblks[k];
         let w = cb.width();
+        let nrhs = self.nrhs;
         let lda = self.storage.layout.panel_rows(k);
         // Reused scratch: swapped out of the worker for the borrow's sake.
         let mut contrib = std::mem::take(&mut self.scratch);
@@ -432,10 +591,10 @@ impl<T: Scalar> SolveWorker<'_, T> {
             let blok = &self.sym.bloks[b];
             let hb = blok.nrows();
             contrib.clear();
-            contrib.resize(hb, T::zero());
+            contrib.resize(hb * nrhs, T::zero());
             gemm_nn_acc(
                 hb,
-                1,
+                nrhs,
                 w,
                 T::one(),
                 &self.storage.panels[k][self.storage.layout.panel_row[b] as usize..],
@@ -447,16 +606,19 @@ impl<T: Scalar> SolveWorker<'_, T> {
             );
             let t = blok.fcblk as usize;
             let tcb = &self.sym.cblks[t];
+            let width_t = tcb.width();
             let off = (blok.frow - tcb.fcol) as usize;
             let owner = self.routing.cblk_owner[t];
             if owner == self.me {
                 let seg = self.x.get_mut(&(t as u32)).expect("local target segment");
-                for (s, v) in seg[off..off + hb].iter_mut().zip(&contrib) {
-                    *s -= *v;
+                for r in 0..nrhs {
+                    let rows = &mut seg[r * width_t + off..r * width_t + off + hb];
+                    for (s, v) in rows.iter_mut().zip(&contrib[r * hb..(r + 1) * hb]) {
+                        *s -= *v;
+                    }
                 }
                 *self.fwd_pending.get_mut(&(t as u32)).unwrap() -= 1;
             } else {
-                let width_t = tcb.width();
                 // One aggregated buffer per (me, target cblk); count my
                 // bloks facing t to know when it is complete.
                 let mine: u32 = self.routing.facing[t]
@@ -466,9 +628,12 @@ impl<T: Scalar> SolveWorker<'_, T> {
                 let entry = self
                     .fwd_aub_out
                     .entry(t as u32)
-                    .or_insert_with(|| (vec![T::zero(); width_t], mine));
-                for (s, v) in entry.0[off..off + hb].iter_mut().zip(&contrib) {
-                    *s += *v;
+                    .or_insert_with(|| (vec![T::zero(); width_t * nrhs], mine));
+                for r in 0..nrhs {
+                    let rows = &mut entry.0[r * width_t + off..r * width_t + off + hb];
+                    for (s, v) in rows.iter_mut().zip(&contrib[r * hb..(r + 1) * hb]) {
+                        *s += *v;
+                    }
                 }
                 entry.1 -= 1;
                 if entry.1 == 0 {
@@ -514,6 +679,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
                 let k = own[next];
                 if self.bwd_pending.get(&k).copied().unwrap_or(0) == 0 {
                     self.bwd_solve_cblk(ctx, k as usize);
+                    self.note_task_done();
                     next += 1;
                     continue;
                 }
@@ -573,15 +739,17 @@ impl<T: Scalar> SolveWorker<'_, T> {
         // — exactly the sequential sweep. All partials (local and remote)
         // were buffered in `bwd_partial_in`, never applied early.
         for t in 0..w {
-            let d = panel[t + t * lda];
-            seg[t] *= d.recip();
+            let dinv = panel[t + t * lda].recip();
+            for r in 0..self.nrhs {
+                seg[r * w + t] *= dinv;
+            }
         }
         if let Some(pbuf) = self.bwd_partial_in.remove(&(k as u32)) {
             for (s, v) in seg.iter_mut().zip(&pbuf) {
                 *s -= *v;
             }
         }
-        solve_unit_lower_trans(w, panel, lda, seg, 1, w);
+        solve_unit_lower_trans_panel(w, panel, lda, seg, self.nrhs, w);
         // One shared materialization; every consumer send bumps a refcount.
         let seg: Arc<[T]> = Arc::from(seg.as_slice());
         for q in self.facing_owner_procs(k) {
@@ -590,10 +758,13 @@ impl<T: Scalar> SolveWorker<'_, T> {
         self.bwd_blok_partials(ctx, k, &seg);
     }
 
-    /// Computes `L_bᵀ · x_rows` for every blok facing `t` this processor
-    /// owns and routes the partials toward the blok's source cblk.
+    /// Computes `L_bᵀ · X_rows` (a `w × nrhs` panel) for every blok facing
+    /// `t` this processor owns and routes the partials toward the blok's
+    /// source cblk.
     fn bwd_blok_partials<C: Comm<SMsg<T>> + ?Sized>(&mut self, ctx: &C, t: usize, xt: &[T]) {
         let tcb = &self.sym.cblks[t];
+        let w_t = tcb.width();
+        let nrhs = self.nrhs;
         // Iterate bloks facing t that I own; each belongs to a source cblk
         // k < t and contributes to x_k.
         let facing: Vec<(u32, u32)> = self.routing.facing[t]
@@ -612,18 +783,20 @@ impl<T: Scalar> SolveWorker<'_, T> {
             let lda = self.storage.layout.panel_rows(k);
             let prow = self.storage.layout.panel_row[b] as usize;
             let off = (blok.frow - tcb.fcol) as usize;
-            let xs = &xt[off..off + hb];
             partial.clear();
-            partial.resize(w, T::zero());
-            let panel = &self.storage.panels[k];
-            for (col, p) in partial.iter_mut().enumerate() {
-                let colv = &panel[prow + col * lda..prow + col * lda + hb];
-                let mut acc = T::zero();
-                for (l, xv) in colv.iter().zip(xs) {
-                    acc += *l * *xv;
-                }
-                *p = acc;
-            }
+            partial.resize(w * nrhs, T::zero());
+            gemm_tn_acc(
+                w,
+                nrhs,
+                hb,
+                T::one(),
+                &self.storage.panels[k][prow..],
+                lda,
+                &xt[off..],
+                w_t,
+                &mut partial,
+                w,
+            );
             let owner = self.routing.cblk_owner[k];
             if owner == self.me {
                 // Buffer locally; folded in at the cblk's backward step so
@@ -631,7 +804,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
                 let buf = self
                     .bwd_partial_in
                     .entry(k as u32)
-                    .or_insert_with(|| vec![T::zero(); w]);
+                    .or_insert_with(|| vec![T::zero(); w * nrhs]);
                 for (s, v) in buf.iter_mut().zip(&partial) {
                     *s += *v;
                 }
@@ -643,7 +816,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
                 let entry = self
                     .bwd_aub_out
                     .entry(k as u32)
-                    .or_insert_with(|| (vec![T::zero(); w], mine));
+                    .or_insert_with(|| (vec![T::zero(); w * nrhs], mine));
                 for (s, v) in entry.0.iter_mut().zip(&partial) {
                     *s += *v;
                 }
@@ -745,5 +918,59 @@ mod tests {
     fn distributed_solve_3d() {
         let (ap, mapping, st) = setup(4, 4, 4, 4, DistStrategy::Mixed1d2d);
         check(&ap, &mapping, &st);
+    }
+
+    #[test]
+    fn panel_solve_matches_column_by_column() {
+        // A width-k panel solve must agree entrywise with k independent
+        // sequential solves of its columns.
+        for procs in [1usize, 3, 4] {
+            let (ap, mapping, st) = setup(9, 9, 1, procs, DistStrategy::Mixed1d2d);
+            let sym = &mapping.graph.split.symbol;
+            let n = ap.n();
+            for nrhs in [1usize, 3, 5] {
+                let mut panel = vec![0.0f64; n * nrhs];
+                for r in 0..nrhs {
+                    let x_exact: Vec<f64> =
+                        (0..n).map(|i| 1.0 + ((i + r * 7) % 11) as f64 * 0.25).collect();
+                    let b = rhs_for_solution(&ap, &x_exact);
+                    panel[r * n..(r + 1) * n].copy_from_slice(&b);
+                }
+                let x_panel = solve_panel_parallel(
+                    sym,
+                    &st,
+                    &mapping.graph,
+                    &mapping.schedule,
+                    &panel,
+                    nrhs,
+                );
+                for r in 0..nrhs {
+                    let mut x_seq = panel[r * n..(r + 1) * n].to_vec();
+                    solve_in_place(sym, &st, &mut x_seq);
+                    for (u, v) in x_panel[r * n..(r + 1) * n].iter().zip(&x_seq) {
+                        assert!(
+                            (u - v).abs() < 1e-9,
+                            "procs {procs} nrhs {nrhs} col {r}: panel {u} vs sequential {v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panel_solve_single_rhs_is_bitwise_solve_parallel() {
+        // On the deterministic sim backend the nrhs = 1 panel path must be
+        // bit-for-bit the classic single-RHS solve.
+        let (ap, mapping, st) = setup(8, 8, 1, 4, DistStrategy::Mixed1d2d);
+        let sym = &mapping.graph.split.symbol;
+        let x_exact = canonical_solution::<f64>(ap.n());
+        let b = rhs_for_solution(&ap, &x_exact);
+        let cfg = SolverConfig::default().with_backend(pastix_runtime::Backend::Sim(
+            pastix_runtime::sim::FaultPlan::interleave_only(11),
+        ));
+        let x1 = solve_parallel_with(sym, &st, &mapping.graph, &mapping.schedule, &b, &cfg);
+        let xp = solve_panel_parallel_with(sym, &st, &mapping.graph, &mapping.schedule, &b, 1, &cfg);
+        assert_eq!(x1, xp);
     }
 }

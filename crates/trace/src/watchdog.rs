@@ -61,6 +61,47 @@ impl Default for WatchdogOptions {
     }
 }
 
+/// Parses one threshold knob: `"floor,frac"` sets both the absolute
+/// floor and the relative fraction; a bare number below 1.0 sets only the
+/// fraction, any other bare number only the floor. Malformed input leaves
+/// the pair untouched.
+fn parse_knob(raw: &str, floor: &mut u64, frac: &mut f64) {
+    let raw = raw.trim();
+    if let Some((a, b)) = raw.split_once(',') {
+        if let (Ok(f0), Ok(f1)) = (a.trim().parse::<u64>(), b.trim().parse::<f64>()) {
+            *floor = f0;
+            *frac = f1;
+        }
+    } else if let Ok(v) = raw.parse::<f64>() {
+        if v < 1.0 {
+            *frac = v;
+        } else {
+            *floor = v as u64;
+        }
+    }
+}
+
+impl WatchdogOptions {
+    /// Defaults overridden by the `PASTIX_WATCHDOG_GAP` and
+    /// `PASTIX_WATCHDOG_BACKLOG` environment knobs, so a deployed serving
+    /// run can be tuned without a rebuild.
+    ///
+    /// Each knob accepts `floor,frac` (absolute floor and relative
+    /// fraction, e.g. `PASTIX_WATCHDOG_GAP=32,0.5`), or a single number:
+    /// below 1.0 it sets the fraction, otherwise the floor. Unset or
+    /// malformed values keep the [`Default`] thresholds.
+    pub fn from_env() -> Self {
+        let mut o = Self::default();
+        if let Ok(raw) = std::env::var("PASTIX_WATCHDOG_GAP") {
+            parse_knob(&raw, &mut o.min_gap, &mut o.gap_frac);
+        }
+        if let Ok(raw) = std::env::var("PASTIX_WATCHDOG_BACKLOG") {
+            parse_knob(&raw, &mut o.min_backlog, &mut o.backlog_frac);
+        }
+        o
+    }
+}
+
 /// One rank's progress health.
 #[derive(Debug, Clone, Copy)]
 pub struct RankStall {
@@ -284,6 +325,41 @@ mod tests {
         log.ranks[1].comm.recvs = 200;
         let rep = analyze(&log, &WatchdogOptions::default());
         assert!(!rep.ranks[1].stalled, "{}", rep.render());
+    }
+
+    #[test]
+    fn env_knobs_override_thresholds() {
+        // No other test in this binary reads these variables, so the
+        // process-global mutation cannot race.
+        std::env::set_var("PASTIX_WATCHDOG_GAP", "32,0.5");
+        std::env::set_var("PASTIX_WATCHDOG_BACKLOG", "0.75");
+        let o = WatchdogOptions::from_env();
+        assert_eq!(o.min_gap, 32);
+        assert!((o.gap_frac - 0.5).abs() < 1e-12);
+        // Bare fraction: floor keeps its default.
+        assert_eq!(o.min_backlog, WatchdogOptions::default().min_backlog);
+        assert!((o.backlog_frac - 0.75).abs() < 1e-12);
+        // Bare floor ≥ 1: fraction keeps its default.
+        std::env::set_var("PASTIX_WATCHDOG_BACKLOG", "9");
+        let o = WatchdogOptions::from_env();
+        assert_eq!(o.min_backlog, 9);
+        assert!((o.backlog_frac - WatchdogOptions::default().backlog_frac).abs() < 1e-12);
+        // Malformed input keeps the defaults.
+        std::env::set_var("PASTIX_WATCHDOG_GAP", "banana");
+        let o = WatchdogOptions::from_env();
+        assert_eq!(o.min_gap, WatchdogOptions::default().min_gap);
+        std::env::remove_var("PASTIX_WATCHDOG_GAP");
+        std::env::remove_var("PASTIX_WATCHDOG_BACKLOG");
+        let o = WatchdogOptions::from_env();
+        assert_eq!(o.min_gap, WatchdogOptions::default().min_gap);
+
+        // Raised thresholds actually change a verdict: the starved-rank
+        // log from above stops flagging under a huge floor.
+        let log = log_with_heartbeats(vec![(1..=80).collect(), (81..=100).collect()]);
+        let strict = analyze(&log, &WatchdogOptions::default());
+        assert!(strict.any_stalled());
+        let lax = analyze(&log, &WatchdogOptions { min_gap: 1000, ..Default::default() });
+        assert!(!lax.any_stalled(), "{}", lax.render());
     }
 
     #[test]

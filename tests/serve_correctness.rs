@@ -1,0 +1,174 @@
+//! Serving-layer correctness: batched multi-RHS panel solves must agree
+//! entrywise with independent single-RHS solves, on both execution
+//! backends, across every chaos scheduling policy.
+//!
+//! The panel solve shares one message protocol across all `k` coalesced
+//! right-hand sides and runs GEMM-shaped trailing updates instead of `k`
+//! GEMVs, so nothing about its arithmetic is per-column — these tests pin
+//! the invariant that batching is purely an execution-shape change, never
+//! a numerics change. The reference is the sequential
+//! `solve_in_place` sweep over the same factor, column by column.
+
+use pastix::graph::gen::{grid_spd, Stencil, ValueKind};
+use pastix::graph::rhs_for_solution;
+use pastix::machine::MachineModel;
+use pastix::ordering::{nested_dissection, OrderingOptions};
+use pastix::runtime::sim::{FaultPlan, SchedPolicy};
+use pastix::runtime::Backend;
+use pastix::sched::{map_and_schedule, DistStrategy, Mapping, SchedOptions};
+use pastix::solver::{
+    factorize_parallel_with, solve_in_place, solve_panel_parallel_with, SolverConfig,
+};
+use pastix::symbolic::{analyze, AnalysisOptions};
+use pastix_serve::{RequestQueue, SessionOptions, SolverSession};
+
+const WIDTHS: [usize; 4] = [1, 3, 8, 32];
+
+fn setup(procs: usize) -> (pastix::graph::SymCsc<f64>, Mapping) {
+    let a = grid_spd::<f64>(9, 9, 1, Stencil::Star, false, ValueKind::RandomSpd(23));
+    let g = a.to_graph();
+    let ord = nested_dissection(
+        &g,
+        &OrderingOptions {
+            leaf_size: 8,
+            ..Default::default()
+        },
+    );
+    let an = analyze(&g, &ord, &AnalysisOptions::default());
+    let machine = MachineModel::sp2(procs);
+    let mut opts = SchedOptions::default();
+    opts.block_size = 8;
+    opts.mapping.strategy = DistStrategy::Mixed1d2d;
+    opts.mapping.procs_2d_min = 2.0;
+    opts.mapping.width_2d_min = 4;
+    let mapping = map_and_schedule(&an.symbol, &machine, &opts);
+    (a.permuted(&an.perm), mapping)
+}
+
+/// Deterministic `n × k` RHS panel (column-major) with distinct columns.
+fn rhs_panel(a: &pastix::graph::SymCsc<f64>, k: usize) -> Vec<f64> {
+    let n = a.n();
+    let mut panel = vec![0.0f64; n * k];
+    for r in 0..k {
+        let xe: Vec<f64> = (0..n)
+            .map(|i| 1.0 + ((i * 5 + r * 11) % 13) as f64 - 6.0)
+            .collect();
+        panel[r * n..(r + 1) * n].copy_from_slice(&rhs_for_solution(a, &xe));
+    }
+    panel
+}
+
+/// Batched panel solve vs k independent sequential solves over the same
+/// factor, entrywise.
+fn assert_panel_agrees(cfg: &SolverConfig, tol: f64, label: &str) {
+    let procs = 4;
+    let (ap, mapping) = setup(procs);
+    let sym = &mapping.graph.split.symbol;
+    let run = factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, cfg)
+        .unwrap_or_else(|e| panic!("{label}: factorization failed: {e:?}"));
+    let n = ap.n();
+    for k in WIDTHS {
+        let panel = rhs_panel(&ap, k);
+        let x = solve_panel_parallel_with(
+            sym,
+            &run.storage,
+            &mapping.graph,
+            &mapping.schedule,
+            &panel,
+            k,
+            cfg,
+        );
+        for r in 0..k {
+            let mut xr = panel[r * n..(r + 1) * n].to_vec();
+            solve_in_place(sym, &run.storage, &mut xr);
+            for (i, (u, v)) in x[r * n..(r + 1) * n].iter().zip(&xr).enumerate() {
+                assert!(
+                    (u - v).abs() <= tol * v.abs().max(1.0),
+                    "{label}: k={k} col {r} row {i}: batched {u} vs sequential {v}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn panel_solve_agrees_with_sequential_on_threads() {
+    // The threads backend sums fan-in contributions in arrival order, so
+    // agreement with the sequential sweep is to rounding, not bitwise.
+    assert_panel_agrees(&SolverConfig::default(), 1e-10, "threads");
+}
+
+#[test]
+fn panel_solve_agrees_with_sequential_under_every_chaos_policy() {
+    for (seed, policy) in [
+        (31u64, SchedPolicy::Uniform),
+        (32, SchedPolicy::StarveRank(1)),
+        (33, SchedPolicy::DeliverLast),
+        (34, SchedPolicy::FifoPerPair),
+    ] {
+        let plan = FaultPlan::builder(seed)
+            .policy(policy)
+            .drop_lossy(0.10)
+            .duplicate_lossy(0.05)
+            .build();
+        let cfg = SolverConfig::new().with_backend(Backend::Sim(plan));
+        assert_panel_agrees(&cfg, 1e-10, &format!("sim seed {seed} policy {policy:?}"));
+    }
+}
+
+/// The full serving stack — fingerprint, cache, queue coalescing, panel
+/// solve, permutation round-trip — returns each request's own solution on
+/// both backends.
+#[test]
+fn session_serves_coalesced_batches_on_both_backends() {
+    let a = grid_spd::<f64>(9, 9, 1, Stencil::Star, false, ValueKind::RandomSpd(23));
+    let n = a.n();
+    let backends = [
+        ("threads", SolverConfig::default()),
+        (
+            "sim",
+            SolverConfig::new()
+                .with_backend(Backend::Sim(FaultPlan::builder(5).build())),
+        ),
+    ];
+    for (label, cfg) in backends {
+        let opts = SessionOptions {
+            procs: 3,
+            max_panel: 8,
+            sched: SchedOptions {
+                block_size: 8,
+                ..Default::default()
+            },
+            solver: cfg,
+            ..Default::default()
+        };
+        let mut session = SolverSession::<f64>::new(opts);
+        let mut q = RequestQueue::new();
+        let mut exact = Vec::new();
+        for r in 0..13usize {
+            let xe: Vec<f64> = (0..n).map(|i| ((i * 3 + r * 7) % 9) as f64 - 4.0).collect();
+            q.submit(rhs_for_solution(&a, &xe), r as u64);
+            exact.push(xe);
+        }
+        let mut done = Vec::new();
+        while !q.is_empty() {
+            done.extend(q.serve_batch(&mut session, &a, 1_000).unwrap());
+        }
+        assert_eq!(done.len(), 13, "{label}: all requests served");
+        // max_panel = 8 → widths 8 then 5.
+        assert_eq!(done[0].batch, 8, "{label}");
+        assert_eq!(done[12].batch, 5, "{label}");
+        for c in &done {
+            let xe = &exact[c.id as usize];
+            for (i, (u, v)) in c.x.iter().zip(xe).enumerate() {
+                assert!(
+                    (u - v).abs() < 1e-8,
+                    "{label}: request {} row {i}: {u} vs exact {v}",
+                    c.id
+                );
+            }
+        }
+        assert_eq!(session.metrics().counter("serve.cache.misses"), 1, "{label}");
+        assert_eq!(session.metrics().counter("serve.cache.hits"), 1, "{label}");
+    }
+}
