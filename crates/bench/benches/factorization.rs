@@ -7,7 +7,9 @@ use pastix_bench::{prepare, schedule_for, scotch_ordering};
 use pastix_graph::{canonical_solution, rhs_for_solution, ProblemId};
 use pastix_multifrontal::multifrontal_llt;
 use pastix_sched::SchedOptions;
-use pastix_solver::{factorize_parallel, factorize_sequential, solve_in_place, FactorStorage};
+use pastix_solver::{
+    factorize_sequential, solve_in_place, FactorStorage, Plan, SolverConfig,
+};
 use std::hint::black_box;
 
 fn bench_factorization(c: &mut Criterion) {
@@ -30,9 +32,11 @@ fn bench_factorization(c: &mut Criterion) {
             black_box(st);
         })
     });
+    let plan = Plan::from_parts(None, mapping.graph.clone(), Some(mapping.schedule.clone()));
+    let cfg = SolverConfig::default();
     group.bench_function("fanin_2threads", |b| {
         b.iter(|| {
-            black_box(factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule).unwrap());
+            black_box(plan.factorize(&ap, &cfg).unwrap());
         })
     });
     group.bench_function("multifrontal_llt", |b| {

@@ -1,0 +1,235 @@
+//! `Backend::Dynamic` benchmark and acceptance gate: the work-stealing
+//! DAG executor vs the static SPMD schedule on the same task graph.
+//!
+//! Three engines run per problem on real threads:
+//!
+//! * **static** — the fan-in SPMD engine driven by the static schedule;
+//! * **dynamic** — the work-stealing executor, placement hints only;
+//! * **dynamic+prio** — same, with the static schedule's start times as
+//!   task priorities (the "static mapping supplies initial placement and
+//!   priority" mode of the Plan API).
+//!
+//! Before any timing, correctness gates run: every engine's factor must
+//! match the sequential reference entrywise (≤ 1e-8 relative) and solve
+//! to a ≤ 1e-12 residual, and the dynamic engine must pass a seeded sim
+//! sweep under all four chaos scheduling policies.
+//!
+//! Writes `BENCH_dynamic.json` at the repository root. Exits non-zero if
+//! any agreement gate fails or if dynamic+prio falls below 0.9× the
+//! static engine's throughput on the largest problem (Shipsec5 analog).
+//! `--quick` shrinks scale and reps for CI.
+
+use pastix_bench::{prepare, scale, schedule_for, scotch_ordering};
+use pastix_graph::{canonical_solution, rhs_for_solution, ProblemId};
+use pastix_json::{obj, Json};
+use pastix_runtime::sim::{FaultPlan, SchedPolicy};
+use pastix_runtime::Backend;
+use pastix_sched::SchedOptions;
+use pastix_solver::{
+    factorize_sequential, DynamicOptions, FactorStorage, Plan, SolverConfig,
+};
+use std::time::Instant;
+
+const PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamic.json");
+
+/// Entrywise factor agreement vs the sequential reference.
+const FACTOR_RTOL: f64 = 1e-8;
+/// Residual of the distributed solve.
+const RESIDUAL_MAX: f64 = 1e-12;
+/// Acceptance: dynamic+prio wall time may exceed static by at most 1/0.9.
+const TARGET_RATIO: f64 = 0.9;
+
+struct EngineResult {
+    label: &'static str,
+    best_s: f64,
+    steals: u64,
+}
+
+fn max_factor_dev(run: &FactorStorage<f64>, seq: &FactorStorage<f64>) -> f64 {
+    let mut max_dev = 0.0f64;
+    for (pa, pb) in run.panels.iter().zip(&seq.panels) {
+        for (x, y) in pa.iter().zip(pb) {
+            max_dev = max_dev.max((x - y).abs() / x.abs().max(1.0));
+        }
+    }
+    max_dev
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    println!("bench_dynamic ({mode}) — static schedule vs work-stealing executor");
+
+    let sc = if quick { 0.02 } else { scale() };
+    let reps = if quick { 1 } else { 3 };
+    let procs = 4;
+    let ids: &[ProblemId] = if quick {
+        &[ProblemId::Shipsec5]
+    } else {
+        &[ProblemId::Ship001, ProblemId::Shipsec5]
+    };
+
+    let mut rows = Vec::new();
+    let mut failed = false;
+    let mut headline_ratio = f64::NAN;
+
+    for &id in ids {
+        let prep = prepare(id, sc, &scotch_ordering());
+        let mut sopts = SchedOptions::default();
+        sopts.block_size = if quick { 16 } else { 32 };
+        let mapping = schedule_for(&prep, procs, &sopts);
+        let ap = prep.matrix.permuted(&prep.analysis.perm);
+        let sym = &mapping.graph.split.symbol;
+        let plan = Plan::from_parts(None, mapping.graph.clone(), Some(mapping.schedule.clone()));
+        println!(
+            "\nproblem {} n={} tasks={} procs={procs} digest={:#018x}",
+            id.name(),
+            ap.n(),
+            mapping.graph.n_tasks(),
+            mapping.schedule.digest()
+        );
+
+        // Sequential reference for the agreement gates.
+        let mut seq = FactorStorage::zeros(sym);
+        seq.scatter(sym, &ap);
+        factorize_sequential(sym, &mut seq).expect("sequential reference failed");
+        let b = rhs_for_solution(&ap, &canonical_solution::<f64>(ap.n()));
+
+        let backends: [(&'static str, Backend); 3] = [
+            ("static", Backend::Threads),
+            (
+                "dynamic",
+                Backend::Dynamic(DynamicOptions::new().with_workers(procs)),
+            ),
+            (
+                "dynamic+prio",
+                Backend::Dynamic(
+                    DynamicOptions::new().with_workers(procs).with_priorities(true),
+                ),
+            ),
+        ];
+
+        let mut results = Vec::new();
+        for (label, backend) in backends {
+            let cfg = SolverConfig::new().with_backend(backend);
+            // Correctness gate on the timed configuration.
+            let run = plan.factorize(&ap, &cfg).expect("factorization failed");
+            let dev = max_factor_dev(&run.storage, &seq);
+            let x = run.solve(&b);
+            let res = ap.residual_norm(&x, &b);
+            let agree = dev <= FACTOR_RTOL && res <= RESIDUAL_MAX;
+            println!(
+                "  [{label:>12}] factor dev {dev:.2e} residual {res:.2e} — {}",
+                if agree { "agrees with sequential" } else { "DISAGREES" }
+            );
+            failed |= !agree;
+
+            // Timing: warm-up already done (the gate run), then best-of.
+            let mut best = f64::INFINITY;
+            let mut steals = 0u64;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let timed = plan.factorize(&ap, &cfg).expect("factorization failed");
+                best = best.min(t0.elapsed().as_secs_f64());
+                steals = steals.max(timed.metrics.counter("dynamic.steals"));
+            }
+            results.push(EngineResult { label, best_s: best, steals });
+        }
+
+        // Seeded chaos sweep: the dynamic executor's sim serialization
+        // must agree with sequential under every scheduling policy.
+        let policies = [
+            SchedPolicy::Uniform,
+            SchedPolicy::StarveRank(1),
+            SchedPolicy::DeliverLast,
+            SchedPolicy::FifoPerPair,
+        ];
+        let sweep_seeds: u64 = if quick { 1 } else { 2 };
+        let mut sim_ok = true;
+        for (p, policy) in policies.into_iter().enumerate() {
+            for s in 0..sweep_seeds {
+                let seed = 0xBE_0000 + (p as u64) * sweep_seeds + s;
+                let fp = FaultPlan::builder(seed).policy(policy).build();
+                let dopts = DynamicOptions::new()
+                    .with_workers(procs)
+                    .with_priorities(s % 2 == 1)
+                    .with_sim(fp);
+                let cfg = SolverConfig::new().with_backend(Backend::Dynamic(dopts));
+                let run = plan.factorize(&ap, &cfg).expect("sim dynamic factorization failed");
+                let dev = max_factor_dev(&run.storage, &seq);
+                let res = ap.residual_norm(&run.solve(&b), &b);
+                if dev > FACTOR_RTOL || res > RESIDUAL_MAX {
+                    eprintln!(
+                        "  [sim {policy:?} seed {seed}] DISAGREES: dev {dev:.2e} res {res:.2e}"
+                    );
+                    sim_ok = false;
+                }
+            }
+        }
+        println!(
+            "  sim chaos sweep ({} policies × {sweep_seeds} seeds): {}",
+            policies.len(),
+            if sim_ok { "all agree with sequential" } else { "FAILED" }
+        );
+        failed |= !sim_ok;
+
+        let t_static = results[0].best_s;
+        for r in &results {
+            println!(
+                "  [{:>12}] best {:.4} s  ({:.2}x static{})",
+                r.label,
+                r.best_s,
+                t_static / r.best_s,
+                if r.steals > 0 {
+                    format!(", {} steals", r.steals)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        let ratio = t_static / results[2].best_s;
+        if id == ProblemId::Shipsec5 {
+            headline_ratio = ratio;
+        }
+        rows.push(obj([
+            ("problem", Json::Str(id.name().to_string())),
+            ("n", Json::Num(ap.n() as f64)),
+            ("tasks", Json::Num(mapping.graph.n_tasks() as f64)),
+            ("procs", Json::Num(procs as f64)),
+            ("t_static_s", Json::Num(results[0].best_s)),
+            ("t_dynamic_s", Json::Num(results[1].best_s)),
+            ("t_dynamic_prio_s", Json::Num(results[2].best_s)),
+            ("dynamic_prio_vs_static", Json::Num(ratio)),
+            ("steals_dynamic", Json::Num(results[1].steals as f64)),
+            ("steals_dynamic_prio", Json::Num(results[2].steals as f64)),
+            ("sim_sweep_ok", Json::Bool(sim_ok)),
+        ]));
+    }
+
+    let j = obj([
+        ("bench", Json::Str("dynamic".to_string())),
+        ("mode", Json::Str(mode.to_string())),
+        ("scale", Json::Num(sc)),
+        ("reps", Json::Num(reps as f64)),
+        ("target_ratio", Json::Num(TARGET_RATIO)),
+        ("headline_ratio", Json::Num(headline_ratio)),
+        ("problems", Json::Arr(rows)),
+    ]);
+    std::fs::write(PATH, j.pretty()).expect("write BENCH_dynamic.json");
+    println!("\nwrote {PATH}");
+
+    let perf_ok = headline_ratio >= TARGET_RATIO;
+    println!(
+        "acceptance (dynamic+prio ≥ {TARGET_RATIO}× static throughput on Shipsec5): \
+         {headline_ratio:.2}x — {}",
+        if perf_ok { "MET" } else { "NOT MET" }
+    );
+    println!(
+        "acceptance (all engines agree with sequential, incl. sim chaos sweep): {}",
+        if failed { "NOT MET" } else { "MET" }
+    );
+    if failed || !perf_ok {
+        eprintln!("FAIL: bench_dynamic gates not met");
+        std::process::exit(1);
+    }
+}

@@ -35,7 +35,7 @@ use pastix_machine::{
 use pastix_runtime::sim::FaultPlan;
 use pastix_runtime::Backend;
 use pastix_sched::{map_and_schedule, SchedOptions};
-use pastix_solver::{factorize_parallel_with, SolverConfig};
+use pastix_solver::{Plan, SolverConfig};
 use pastix_trace::export::{chrome_trace_with, render_gantt};
 use pastix_trace::report::{build_report, TraceReport};
 use pastix_trace::TraceOptions;
@@ -72,7 +72,6 @@ fn main() {
 
     let run_pass = |machine: &MachineModel| -> Pass {
         let mapping = map_and_schedule(&prep.analysis.symbol, machine, &sopts);
-        let sym = &mapping.graph.split.symbol;
         println!(
             "problem {} n={} procs={procs} tasks={} digest={:#018x}",
             prep.id.name(),
@@ -83,8 +82,9 @@ fn main() {
         let cfg = SolverConfig::new()
             .with_backend(Backend::Sim(FaultPlan::builder(1).build()))
             .with_trace(TraceOptions::wall());
-        let run = factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, &cfg)
-            .expect("factorization failed");
+        let plan =
+            Plan::from_parts(None, mapping.graph.clone(), Some(mapping.schedule.clone()));
+        let run = plan.factorize(&ap, &cfg).expect("factorization failed");
         Pass {
             report: build_report(&mapping.graph, &mapping.schedule, &run.trace),
             timeline: chrome_trace_with(&run.trace, &mapping.graph, &mapping.schedule),

@@ -10,7 +10,9 @@
 use pastix_bench::{prepare, scale, schedule_for};
 use pastix_graph::{canonical_solution, rhs_for_solution, ProblemId};
 use pastix_sched::SchedOptions;
-use pastix_solver::{factorize_parallel, factorize_sequential, solve_in_place, FactorStorage};
+use pastix_solver::{
+    factorize_sequential, solve_in_place, FactorStorage, Plan, SolverConfig,
+};
 
 fn main() {
     let scale = (scale() * 0.5).min(0.05); // keep the numeric runs snappy
@@ -30,7 +32,10 @@ fn main() {
             let sym = &mapping.graph.split.symbol;
             let ap = prep.matrix.permuted(&prep.analysis.perm);
 
-            let par = factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule)
+            let plan =
+                Plan::from_parts(None, mapping.graph.clone(), Some(mapping.schedule.clone()));
+            let par = plan
+                .factorize(&ap, &SolverConfig::default())
                 .expect("parallel factorization failed");
             let mut seq = FactorStorage::zeros(sym);
             seq.scatter(sym, &ap);

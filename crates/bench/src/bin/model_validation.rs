@@ -18,7 +18,7 @@ use pastix_graph::ProblemId;
 use pastix_machine::{measure_in_process_network, MachineModel};
 use pastix_kernels::calibrate_blas_model;
 use pastix_sched::{map_and_schedule, SchedOptions};
-use pastix_solver::factorize_parallel;
+use pastix_solver::{Plan, SolverConfig};
 use std::time::Instant;
 
 fn main() {
@@ -44,13 +44,14 @@ fn main() {
         let prep = prepare(id, scale, &pastix_bench::scotch_ordering());
         let mapping = map_and_schedule(&prep.analysis.symbol, &machine, &SchedOptions::default());
         let ap = prep.matrix.permuted(&prep.analysis.perm);
-        let sym = &mapping.graph.split.symbol;
+        let plan = Plan::from_parts(None, mapping.graph.clone(), Some(mapping.schedule.clone()));
+        let cfg = SolverConfig::default();
         // Warm-up once (thread spawn, page faults), then time the best of 3.
-        let _ = factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule).unwrap();
+        let _ = plan.factorize(&ap, &cfg).unwrap();
         let mut best = f64::INFINITY;
         for _ in 0..3 {
             let t0 = Instant::now();
-            let _ = factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule).unwrap();
+            let _ = plan.factorize(&ap, &cfg).unwrap();
             best = best.min(t0.elapsed().as_secs_f64());
         }
         let predicted = mapping.schedule.makespan;

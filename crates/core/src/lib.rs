@@ -51,7 +51,10 @@ use pastix_kernels::factor::FactorError;
 use pastix_kernels::Scalar;
 use pastix_machine::MachineModel;
 use pastix_sched::{map_and_schedule, Mapping, SchedOptions};
-use pastix_solver::{factorize_parallel, factorize_sequential, solve_in_place, FactorStorage};
+use pastix_solver::{
+    factorize_sequential, run_from_storage, solve_in_place, FactorRun, FactorStorage, Plan,
+    SolverConfig,
+};
 use pastix_symbolic::{Analysis, AnalysisOptions};
 
 /// Errors surfaced by the facade.
@@ -132,6 +135,7 @@ pub struct Pastix {
     options: PastixOptions,
     analysis: Analysis,
     mapping: Mapping,
+    plan: Plan,
 }
 
 impl Pastix {
@@ -141,11 +145,22 @@ impl Pastix {
         let ordering = pastix_ordering::nested_dissection(&g, &options.ordering);
         let analysis = pastix_symbolic::analyze(&g, &ordering, &options.analysis);
         let mapping = map_and_schedule(&analysis.symbol, &options.machine, &options.sched);
+        let plan = Plan::from_parts(
+            Some(analysis.perm.clone()),
+            mapping.graph.clone(),
+            Some(mapping.schedule.clone()),
+        );
         Ok(Self {
             options: options.clone(),
             analysis,
             mapping,
+            plan,
         })
+    }
+
+    /// The bundled [`Plan`] over the same artifacts (cheaply clonable).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
     }
 
     /// The final fill-reducing permutation.
@@ -187,27 +202,25 @@ impl Pastix {
                 got: a.n(),
             });
         }
-        let ap = a.permuted(&self.analysis.perm);
-        let sym = &self.mapping.graph.split.symbol;
-        let storage = if self.options.parallel_numeric && self.options.machine.n_procs > 1 {
-            factorize_parallel(sym, &ap, &self.mapping.graph, &self.mapping.schedule)?
+        let cfg = SolverConfig::default();
+        let run = if self.options.parallel_numeric && self.options.machine.n_procs > 1 {
+            self.plan.factorize(a, &cfg)?
         } else {
+            let ap = a.permuted(&self.analysis.perm);
+            let sym = &self.mapping.graph.split.symbol;
             let mut st = FactorStorage::zeros(sym);
             st.scatter(sym, &ap);
             factorize_sequential(sym, &mut st)?;
-            st
+            run_from_storage(st, &self.plan, &cfg)
         };
-        Ok(Factorized {
-            parent: self,
-            storage,
-        })
+        Ok(Factorized { parent: self, run })
     }
 }
 
 /// A numeric factorization ready to solve systems.
 pub struct Factorized<'a, T> {
     parent: &'a Pastix,
-    storage: FactorStorage<T>,
+    run: FactorRun<T>,
 }
 
 impl<T: Scalar> Factorized<'_, T> {
@@ -215,7 +228,7 @@ impl<T: Scalar> Factorized<'_, T> {
     pub fn solve(&self, b: &[T]) -> Vec<T> {
         let perm = &self.parent.analysis.perm;
         let mut x = perm.apply_vec(b);
-        solve_in_place(&self.parent.mapping.graph.split.symbol, &self.storage, &mut x);
+        solve_in_place(&self.parent.mapping.graph.split.symbol, &self.run.storage, &mut x);
         perm.unapply_vec(&x)
     }
 
@@ -238,7 +251,7 @@ impl<T: Scalar> Factorized<'_, T> {
         }
         pastix_solver::solve_block_in_place(
             &self.parent.mapping.graph.split.symbol,
-            &self.storage,
+            &self.run.storage,
             &mut x,
             nrhs,
         );
@@ -253,22 +266,19 @@ impl<T: Scalar> Factorized<'_, T> {
     /// Solves `A·x = b` with the **distributed** triangular sweeps: the
     /// solve phase runs on the same logical processors and ownership as
     /// the factorization, with fan-in aggregation of the update segments.
+    /// Delegates to the run's plan-driven [`FactorRun::solve_request`].
     pub fn solve_distributed(&self, b: &[T]) -> Vec<T> {
-        let perm = &self.parent.analysis.perm;
-        let bp = perm.apply_vec(b);
-        let x = pastix_solver::solve_parallel(
-            &self.parent.mapping.graph.split.symbol,
-            &self.storage,
-            &self.parent.mapping.graph,
-            &self.parent.mapping.schedule,
-            &bp,
-        );
-        perm.unapply_vec(&x)
+        self.run.solve(b)
     }
 
     /// The underlying factor storage (split-symbol panels).
     pub fn storage(&self) -> &FactorStorage<T> {
-        &self.storage
+        &self.run.storage
+    }
+
+    /// The full factorization run (factor + trace + metrics + plan).
+    pub fn run(&self) -> &FactorRun<T> {
+        &self.run
     }
 
     /// Solves with iterative refinement: after the direct solve, residual

@@ -25,6 +25,9 @@
 #![warn(missing_docs)]
 
 pub mod sim;
+pub mod steal;
+
+pub use steal::DynamicOptions;
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -120,11 +123,12 @@ pub trait Comm<M> {
     fn try_recv(&self) -> Option<Envelope<M>>;
 }
 
-/// Which runtime executes an SPMD program: the production thread backend
-/// or the deterministic fault-injecting simulator. This is the one switch
-/// the backend-generic solver entry points
-/// (`factorize_parallel_with` / `solve_parallel_with` in `pastix-solver`)
-/// dispatch on, so a single numerical codepath runs on every backend.
+/// Which runtime executes the solver: the production thread backend, the
+/// deterministic fault-injecting simulator, or the task-graph-driven
+/// work-stealing executor. This is the one switch the backend-generic
+/// solver entry points (`Plan::factorize` / `FactorRun::solve_request` in
+/// `pastix-solver`) dispatch on, so a single numerical codepath runs on
+/// every backend.
 ///
 /// ```
 /// use pastix_runtime::{run_spmd_with, Backend, Comm};
@@ -147,6 +151,11 @@ pub enum Backend {
     /// Deterministic serialized simulation driven by the given fault plan;
     /// every execution is a pure function of `(seed, policy)`.
     Sim(sim::FaultPlan),
+    /// Task-graph-driven work-stealing executor ([`steal::run_dag`]): the
+    /// static schedule, when present, supplies only initial placement and
+    /// task priority. Not an SPMD backend — [`run_spmd_with`] rejects it;
+    /// it is driven through the `Plan` API in `pastix-solver`.
+    Dynamic(steal::DynamicOptions),
 }
 
 /// Runs `n_procs` logical processors of `f` on the chosen [`Backend`].
@@ -162,6 +171,11 @@ where
     match backend {
         Backend::Threads => run_spmd(n_procs, |ctx| f(&ctx)),
         Backend::Sim(plan) => sim::run_sim_spmd(n_procs, plan, |ctx| f(&ctx)),
+        Backend::Dynamic(_) => panic!(
+            "Backend::Dynamic is task-graph based, not SPMD; drive it through \
+             the Plan API (Plan::factorize / FactorRun::solve_request) or \
+             steal::run_dag directly"
+        ),
     }
 }
 

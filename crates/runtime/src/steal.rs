@@ -1,0 +1,714 @@
+//! Work-stealing DAG executor: the substrate of `Backend::Dynamic`.
+//!
+//! Where the thread and sim backends execute an SPMD program whose every
+//! step was fixed by the static schedule, this module executes an explicit
+//! task DAG with per-task dependency counters. The static mapping — when
+//! one is available — supplies only *initial placement* (which worker's
+//! queue a root task is seeded on) and *priority* (which ready task a
+//! worker prefers); everything else is decided at run time by per-worker
+//! priority queues with steal-half balancing.
+//!
+//! Two execution modes share the same task-body code:
+//!
+//! - **Threaded** (default): one OS thread per worker, atomic dependency
+//!   counters, mutex-protected per-worker heaps, and steal-half when a
+//!   worker's own queue runs dry.
+//! - **Simulated** (`sim: Some(plan)`): a single-threaded serialization
+//!   where a seeded RNG picks which worker runs next, filtered through the
+//!   same adversarial [`SchedPolicy`](crate::sim::SchedPolicy) vocabulary
+//!   as the message simulator. Every execution is a pure function of
+//!   `(seed, policy)`, which is what the chaos suite replays.
+
+use crate::sim::{FaultPlan, SchedPolicy, SimRng};
+use std::any::Any;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Options of the dynamic work-stealing backend.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DynamicOptions {
+    /// Worker thread count; 0 (default) means "auto": the static
+    /// schedule's processor count when a schedule is present, else 4.
+    pub workers: usize,
+    /// When `true`, ready queues order tasks by the priority hints derived
+    /// from the static schedule (or the elimination-tree depth when no
+    /// schedule exists); when `false`, queues degrade to FIFO order.
+    pub priorities: bool,
+    /// `Some(plan)` serializes the whole execution under the seeded
+    /// deterministic scheduler (single thread, adversarial policies) —
+    /// the dynamic twin of [`crate::Backend::Sim`].
+    pub sim: Option<FaultPlan>,
+}
+
+impl DynamicOptions {
+    /// Default options: auto worker count, no priority hints, threaded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count (0 = auto).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enables or disables priority-hint ordering of the ready queues.
+    pub fn with_priorities(mut self, on: bool) -> Self {
+        self.priorities = on;
+        self
+    }
+
+    /// Runs the executor under the seeded deterministic serializer.
+    pub fn with_sim(mut self, plan: FaultPlan) -> Self {
+        self.sim = Some(plan);
+        self
+    }
+}
+
+/// Borrowed description of the task DAG: dependency counts, successor CSR,
+/// per-task priority, and initial placement. All slices are indexed by
+/// task id; `out_ptr` has `n_tasks + 1` entries.
+#[derive(Debug, Clone, Copy)]
+pub struct DagSpec<'a> {
+    /// Initial dependency count per task (number of distinct producers).
+    pub deps: &'a [u32],
+    /// CSR row pointers into `out_dst`.
+    pub out_ptr: &'a [u32],
+    /// Successor task ids.
+    pub out_dst: &'a [u32],
+    /// Priority per task; higher runs first (all-zero = FIFO).
+    pub priority: &'a [u64],
+    /// Preferred worker per task (used only to seed dependency-free roots;
+    /// taken modulo the worker count).
+    pub placement: &'a [u32],
+}
+
+/// Execution context handed to the task body alongside the task id.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskCtx {
+    /// Worker executing the task.
+    pub worker: usize,
+    /// How many tasks this worker had executed before this one.
+    pub local_index: usize,
+    /// Ready-queue depth of the executing worker right after the pop —
+    /// the sampled [`ready-queue gauge`](crate::Backend::Dynamic) signal.
+    pub ready_depth: usize,
+    /// `true` when the task was stolen from another worker's queue.
+    pub stolen: bool,
+}
+
+/// Counters of one [`run_dag`] execution.
+#[derive(Debug, Clone, Default)]
+pub struct StealStats {
+    /// Tasks executed per worker.
+    pub executed: Vec<u64>,
+    /// Tasks moved between queues by steal-half (0 under sim).
+    pub steals: u64,
+    /// `true` when a task body requested abort (returned `false`).
+    pub aborted: bool,
+}
+
+/// Ready-queue entry. Ordering: highest priority first, then lowest
+/// sequence number (so an all-zero priority vector degrades to FIFO), then
+/// lowest task id.
+struct Entry {
+    prio: u64,
+    seq: u64,
+    task: u32,
+    stolen: bool,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.prio
+            .cmp(&other.prio)
+            .then(other.seq.cmp(&self.seq))
+            .then(other.task.cmp(&self.task))
+    }
+}
+
+/// Executes the DAG described by `spec` on `n_workers` workers.
+///
+/// `body(task, ctx)` runs each task exactly once; returning `false`
+/// aborts the execution (remaining tasks are skipped on every worker).
+/// A panicking body likewise aborts the run, and the panic is re-raised
+/// on the calling thread after every worker has unwound — the same
+/// contract as [`crate::run_spmd`].
+///
+/// `worker_scope(worker, run)` wraps each worker's whole lifetime: it must
+/// call `run()` exactly once and may install per-thread state around it
+/// (the solver uses it to open a trace session per worker); its return
+/// values come back in worker order. Under `sim` the entire serialized
+/// execution runs inside `worker_scope(0, ..)` on the calling thread and
+/// the result vector has a single element.
+pub fn run_dag<R, B, W>(
+    spec: &DagSpec<'_>,
+    n_workers: usize,
+    sim: Option<&FaultPlan>,
+    body: &B,
+    worker_scope: &W,
+) -> (Vec<R>, StealStats)
+where
+    R: Send,
+    B: Fn(u32, &TaskCtx) -> bool + Sync,
+    W: Fn(usize, &mut dyn FnMut()) -> R + Sync,
+{
+    assert!(n_workers >= 1, "run_dag needs at least one worker");
+    let n = spec.deps.len();
+    debug_assert_eq!(spec.out_ptr.len(), n + 1);
+    debug_assert_eq!(spec.priority.len(), n);
+    match sim {
+        Some(plan) => {
+            let mut stats = None;
+            let mut serial = || stats = Some(run_serial(spec, n_workers, plan, body));
+            let r = worker_scope(0, &mut serial);
+            (vec![r], stats.expect("worker_scope must call run()"))
+        }
+        None => run_threaded(spec, n_workers, body, worker_scope),
+    }
+}
+
+fn run_threaded<R, B, W>(
+    spec: &DagSpec<'_>,
+    n_workers: usize,
+    body: &B,
+    worker_scope: &W,
+) -> (Vec<R>, StealStats)
+where
+    R: Send,
+    B: Fn(u32, &TaskCtx) -> bool + Sync,
+    W: Fn(usize, &mut dyn FnMut()) -> R + Sync,
+{
+    let n = spec.deps.len();
+    let deps: Vec<AtomicU32> = spec.deps.iter().map(|&d| AtomicU32::new(d)).collect();
+    let queues: Vec<Mutex<BinaryHeap<Entry>>> =
+        (0..n_workers).map(|_| Mutex::new(BinaryHeap::new())).collect();
+    let next_seq = AtomicU64::new(0);
+    // Seed dependency-free roots on their statically preferred worker, in
+    // task-id order (= the FIFO order when priorities are all zero).
+    for t in 0..n {
+        if spec.deps[t] == 0 {
+            let w = spec
+                .placement
+                .get(t)
+                .map(|&p| p as usize % n_workers)
+                .unwrap_or(0);
+            queues[w].lock().unwrap().push(Entry {
+                prio: spec.priority[t],
+                seq: next_seq.fetch_add(1, Ordering::Relaxed),
+                task: t as u32,
+                stolen: false,
+            });
+        }
+    }
+    let remaining = AtomicUsize::new(n);
+    let abort = AtomicBool::new(false);
+    let steals = AtomicU64::new(0);
+    let executed: Vec<AtomicU64> = (0..n_workers).map(|_| AtomicU64::new(0)).collect();
+    let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    let worker_loop = |w: usize| {
+        let mut local_index = 0usize;
+        loop {
+            if abort.load(Ordering::Acquire) || remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let popped = {
+                let mut q = queues[w].lock().unwrap();
+                let e = q.pop();
+                let depth = q.len();
+                e.map(|e| (e, depth))
+            };
+            let Some((entry, depth)) = popped else {
+                // Own queue dry: steal the higher-priority half of the
+                // first non-empty victim queue.
+                let mut got = false;
+                for off in 1..n_workers {
+                    let v = (w + off) % n_workers;
+                    let mut batch = Vec::new();
+                    {
+                        let mut vq = queues[v].lock().unwrap();
+                        let take = vq.len().div_ceil(2);
+                        for _ in 0..take {
+                            if let Some(mut e) = vq.pop() {
+                                e.stolen = true;
+                                batch.push(e);
+                            }
+                        }
+                    }
+                    if !batch.is_empty() {
+                        steals.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        let mut q = queues[w].lock().unwrap();
+                        for e in batch {
+                            q.push(e);
+                        }
+                        got = true;
+                        break;
+                    }
+                }
+                if !got {
+                    std::thread::yield_now();
+                }
+                continue;
+            };
+            let ctx = TaskCtx {
+                worker: w,
+                local_index,
+                ready_depth: depth,
+                stolen: entry.stolen,
+            };
+            local_index += 1;
+            executed[w].fetch_add(1, Ordering::Relaxed);
+            match catch_unwind(AssertUnwindSafe(|| body(entry.task, &ctx))) {
+                Err(payload) => {
+                    let mut slot = panic_slot.lock().unwrap();
+                    slot.get_or_insert(payload);
+                    abort.store(true, Ordering::Release);
+                    return;
+                }
+                Ok(false) => {
+                    abort.store(true, Ordering::Release);
+                    return;
+                }
+                Ok(true) => {}
+            }
+            let t = entry.task as usize;
+            let lo = spec.out_ptr[t] as usize;
+            let hi = spec.out_ptr[t + 1] as usize;
+            for &d in &spec.out_dst[lo..hi] {
+                // AcqRel: the successor's execution must observe every
+                // write of every producer; the release half publishes this
+                // task's writes, the acquire half (of the last decrement)
+                // pulls in the other producers'.
+                if deps[d as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    queues[w].lock().unwrap().push(Entry {
+                        prio: spec.priority[d as usize],
+                        seq: next_seq.fetch_add(1, Ordering::Relaxed),
+                        task: d,
+                        stolen: false,
+                    });
+                }
+            }
+            remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+    };
+
+    let results: Vec<R> = std::thread::scope(|scope| {
+        let worker_loop = &worker_loop;
+        let handles: Vec<_> = (0..n_workers)
+            .map(|w| scope.spawn(move || worker_scope(w, &mut || worker_loop(w))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => resume_unwind(payload),
+            })
+            .collect()
+    });
+    if let Some(payload) = panic_slot.into_inner().unwrap() {
+        resume_unwind(payload);
+    }
+    let stats = StealStats {
+        executed: executed.into_iter().map(|c| c.into_inner()).collect(),
+        steals: steals.into_inner(),
+        aborted: abort.into_inner(),
+    };
+    (results, stats)
+}
+
+/// The deterministic single-threaded serialization of the executor: the
+/// scheduler state is the per-worker ready list, the enabled actions are
+/// "worker w executes one of its ready tasks", and the plan's policy
+/// filters them exactly like the message simulator filters its actions —
+/// with the same liveness fallback (an empty filtered set restores the
+/// full set). Priority hints are deliberately ignored here: the point of
+/// the sim mode is to explore *adversarial* orders, not preferred ones.
+fn run_serial<B>(spec: &DagSpec<'_>, n_workers: usize, plan: &FaultPlan, body: &B) -> StealStats
+where
+    B: Fn(u32, &TaskCtx) -> bool + Sync,
+{
+    let n = spec.deps.len();
+    let mut deps: Vec<u32> = spec.deps.to_vec();
+    let mut ready: Vec<Vec<Entry>> = (0..n_workers).map(|_| Vec::new()).collect();
+    let mut next_seq = 0u64;
+    for t in 0..n {
+        if deps[t] == 0 {
+            let w = spec
+                .placement
+                .get(t)
+                .map(|&p| p as usize % n_workers)
+                .unwrap_or(0);
+            ready[w].push(Entry {
+                prio: spec.priority[t],
+                seq: next_seq,
+                task: t as u32,
+                stolen: false,
+            });
+            next_seq += 1;
+        }
+    }
+    let mut rng = SimRng::new(plan.seed);
+    let mut executed = vec![0u64; n_workers];
+    let mut local_index = vec![0usize; n_workers];
+    let mut remaining = n;
+    let mut aborted = false;
+    while remaining > 0 && !aborted {
+        // Enabled actions: (worker, index into its ready list).
+        let acts: Vec<(usize, usize)> = (0..n_workers)
+            .flat_map(|w| (0..ready[w].len()).map(move |i| (w, i)))
+            .collect();
+        assert!(
+            !acts.is_empty(),
+            "dynamic executor stalled: {remaining} tasks remain but none are ready \
+             (cyclic dependencies?) [seed {} policy {:?}]",
+            plan.seed,
+            plan.policy
+        );
+        let keep: Vec<(usize, usize)> = match plan.policy {
+            SchedPolicy::Uniform => acts.clone(),
+            // Never run the starved worker while anyone else has work.
+            SchedPolicy::StarveRank(r) => acts.iter().copied().filter(|&(w, _)| w != r).collect(),
+            // The oldest ready task is always scheduled last.
+            SchedPolicy::DeliverLast => {
+                let oldest = acts
+                    .iter()
+                    .copied()
+                    .min_by_key(|&(w, i)| ready[w][i].seq)
+                    .expect("acts is non-empty");
+                acts.iter().copied().filter(|&a| a != oldest).collect()
+            }
+            // Each worker executes its queue strictly in arrival order.
+            SchedPolicy::FifoPerPair => {
+                let mut heads: Vec<(usize, usize)> = Vec::new();
+                for w in 0..n_workers {
+                    if let Some(i) = (0..ready[w].len()).min_by_key(|&i| ready[w][i].seq) {
+                        heads.push((w, i));
+                    }
+                }
+                heads
+            }
+        };
+        // Liveness fallback, as in the message simulator: a policy only
+        // filters; an emptied set is restored whole.
+        let pick = if keep.is_empty() { &acts } else { &keep };
+        let (w, i) = pick[rng.below(pick.len())];
+        let entry = ready[w].remove(i);
+        let ctx = TaskCtx {
+            worker: w,
+            local_index: local_index[w],
+            ready_depth: ready[w].len(),
+            stolen: false,
+        };
+        local_index[w] += 1;
+        executed[w] += 1;
+        if !body(entry.task, &ctx) {
+            aborted = true;
+            break;
+        }
+        let t = entry.task as usize;
+        let lo = spec.out_ptr[t] as usize;
+        let hi = spec.out_ptr[t + 1] as usize;
+        for &d in &spec.out_dst[lo..hi] {
+            deps[d as usize] -= 1;
+            if deps[d as usize] == 0 {
+                ready[w].push(Entry {
+                    prio: spec.priority[d as usize],
+                    seq: next_seq,
+                    task: d,
+                    stolen: false,
+                });
+                next_seq += 1;
+            }
+        }
+        remaining -= 1;
+    }
+    StealStats {
+        executed,
+        steals: 0,
+        aborted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// A simple chain DAG 0 -> 1 -> ... -> n-1.
+    fn chain(n: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        let deps: Vec<u32> = (0..n).map(|t| u32::from(t > 0)).collect();
+        let mut out_ptr = vec![0u32; n + 1];
+        let mut out_dst = Vec::new();
+        for t in 0..n {
+            if t + 1 < n {
+                out_dst.push((t + 1) as u32);
+            }
+            out_ptr[t + 1] = out_dst.len() as u32;
+        }
+        (deps, out_ptr, out_dst)
+    }
+
+    #[test]
+    fn chain_executes_in_order() {
+        let n = 64;
+        let (deps, out_ptr, out_dst) = chain(n);
+        let prio = vec![0u64; n];
+        let place = vec![0u32; n];
+        let spec = DagSpec {
+            deps: &deps,
+            out_ptr: &out_ptr,
+            out_dst: &out_dst,
+            priority: &prio,
+            placement: &place,
+        };
+        let order = Mutex::new(Vec::new());
+        let (_, stats) = run_dag(
+            &spec,
+            4,
+            None,
+            &|t, _ctx| {
+                order.lock().unwrap().push(t);
+                true
+            },
+            &|_w, run| run(),
+        );
+        assert_eq!(order.into_inner().unwrap(), (0..n as u32).collect::<Vec<_>>());
+        assert_eq!(stats.executed.iter().sum::<u64>(), n as u64);
+        assert!(!stats.aborted);
+    }
+
+    #[test]
+    fn diamond_respects_deps_and_counts_all_tasks() {
+        // 0 -> {1, 2} -> 3.
+        let deps = vec![0u32, 1, 1, 2];
+        let out_ptr = vec![0u32, 2, 3, 4, 4];
+        let out_dst = vec![1u32, 2, 3, 3];
+        let prio = vec![0u64; 4];
+        let place = vec![0u32, 1, 2, 3];
+        let spec = DagSpec {
+            deps: &deps,
+            out_ptr: &out_ptr,
+            out_dst: &out_dst,
+            priority: &prio,
+            placement: &place,
+        };
+        let done = AtomicU64::new(0);
+        let last = AtomicU64::new(u64::MAX);
+        let (_, stats) = run_dag(
+            &spec,
+            3,
+            None,
+            &|t, _| {
+                done.fetch_add(1, Ordering::Relaxed);
+                if t == 3 {
+                    last.store(done.load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+                true
+            },
+            &|_w, run| run(),
+        );
+        assert_eq!(done.into_inner(), 4);
+        // Task 3 must have been the 4th execution.
+        assert_eq!(last.into_inner(), 4);
+        assert_eq!(stats.executed.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn abort_skips_remaining_tasks() {
+        let n = 32;
+        let (deps, out_ptr, out_dst) = chain(n);
+        let prio = vec![0u64; n];
+        let place = vec![0u32; n];
+        let spec = DagSpec {
+            deps: &deps,
+            out_ptr: &out_ptr,
+            out_dst: &out_dst,
+            priority: &prio,
+            placement: &place,
+        };
+        let done = AtomicU64::new(0);
+        let (_, stats) = run_dag(
+            &spec,
+            2,
+            None,
+            &|t, _| {
+                done.fetch_add(1, Ordering::Relaxed);
+                t != 5
+            },
+            &|_w, run| run(),
+        );
+        assert!(stats.aborted);
+        assert_eq!(done.into_inner(), 6, "execution stops at the aborting task");
+    }
+
+    #[test]
+    fn body_panic_propagates_after_join() {
+        let n = 8;
+        let (deps, out_ptr, out_dst) = chain(n);
+        let prio = vec![0u64; n];
+        let place = vec![0u32; n];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let spec = DagSpec {
+                deps: &deps,
+                out_ptr: &out_ptr,
+                out_dst: &out_dst,
+                priority: &prio,
+                placement: &place,
+            };
+            run_dag(
+                &spec,
+                2,
+                None,
+                &|t, _| {
+                    if t == 3 {
+                        panic!("task body boom");
+                    }
+                    true
+                },
+                &|_w, run| run(),
+            );
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn sim_mode_is_deterministic_per_seed_and_policy() {
+        let n = 40;
+        // A fork-join DAG wide enough for scheduling freedom: 0 -> all -> last.
+        let mut deps = vec![1u32; n];
+        deps[0] = 0;
+        deps[n - 1] = (n - 2) as u32;
+        let mut out_ptr = vec![0u32; n + 1];
+        let mut out_dst = Vec::new();
+        for t in 0..n {
+            if t == 0 {
+                out_dst.extend((1..n as u32 - 1).collect::<Vec<_>>());
+            } else if t < n - 1 {
+                out_dst.push((n - 1) as u32);
+            }
+            out_ptr[t + 1] = out_dst.len() as u32;
+        }
+        let prio = vec![0u64; n];
+        let place: Vec<u32> = (0..n as u32).collect();
+        let run_order = |seed: u64, policy: SchedPolicy| {
+            let spec = DagSpec {
+                deps: &deps,
+                out_ptr: &out_ptr,
+                out_dst: &out_dst,
+                priority: &prio,
+                placement: &place,
+            };
+            let plan = FaultPlan::builder(seed).policy(policy).build();
+            let order = Mutex::new(Vec::new());
+            run_dag(
+                &spec,
+                3,
+                Some(&plan),
+                &|t, _| {
+                    order.lock().unwrap().push(t);
+                    true
+                },
+                &|_w, run| run(),
+            );
+            order.into_inner().unwrap()
+        };
+        for policy in [
+            SchedPolicy::Uniform,
+            SchedPolicy::StarveRank(1),
+            SchedPolicy::DeliverLast,
+            SchedPolicy::FifoPerPair,
+        ] {
+            let a = run_order(7, policy);
+            let b = run_order(7, policy);
+            assert_eq!(a, b, "same (seed, policy) must replay identically");
+            assert_eq!(a.len(), n);
+            assert_eq!(a[0], 0);
+            assert_eq!(*a.last().unwrap(), (n - 1) as u32);
+        }
+        // Different seeds should (for this wide DAG) explore different orders.
+        assert_ne!(run_order(1, SchedPolicy::Uniform), run_order(2, SchedPolicy::Uniform));
+    }
+
+    #[test]
+    fn priorities_order_ready_roots() {
+        // All-root DAG on one worker: execution must follow priority desc.
+        let n = 10;
+        let deps = vec![0u32; n];
+        let out_ptr = vec![0u32; n + 1];
+        let out_dst: Vec<u32> = Vec::new();
+        let prio: Vec<u64> = (0..n as u64).collect();
+        let place = vec![0u32; n];
+        let spec = DagSpec {
+            deps: &deps,
+            out_ptr: &out_ptr,
+            out_dst: &out_dst,
+            priority: &prio,
+            placement: &place,
+        };
+        let order = Mutex::new(Vec::new());
+        run_dag(
+            &spec,
+            1,
+            None,
+            &|t, _| {
+                order.lock().unwrap().push(t);
+                true
+            },
+            &|_w, run| run(),
+        );
+        let got = order.into_inner().unwrap();
+        assert_eq!(got, (0..n as u32).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_moves_work_to_idle_workers() {
+        // Many independent roots all placed on worker 0; worker 1 must
+        // steal to participate.
+        let n = 200;
+        let deps = vec![0u32; n];
+        let out_ptr = vec![0u32; n + 1];
+        let out_dst: Vec<u32> = Vec::new();
+        let prio = vec![0u64; n];
+        let place = vec![0u32; n];
+        let spec = DagSpec {
+            deps: &deps,
+            out_ptr: &out_ptr,
+            out_dst: &out_dst,
+            priority: &prio,
+            placement: &place,
+        };
+        let (_, stats) = run_dag(
+            &spec,
+            2,
+            None,
+            &|_t, _| {
+                // A little work so worker 1 has time to come up and steal.
+                std::hint::black_box((0..500).sum::<u64>());
+                true
+            },
+            &|_w, run| run(),
+        );
+        assert_eq!(stats.executed.iter().sum::<u64>(), n as u64);
+        // Stealing is timing-dependent, but with 200 tasks parked on one
+        // queue the second worker essentially always gets some.
+        assert!(stats.steals > 0 || stats.executed[1] == 0);
+    }
+}

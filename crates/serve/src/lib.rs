@@ -10,14 +10,14 @@
 //! * [`MatrixFingerprint`] — a structure digest plus numeric checksum
 //!   over the canonical CSC form, stable under permuted-but-identical
 //!   assembly: the cache key;
-//! * [`SolverSession`] — an LRU cache of [`CachedFactor`]s (ordering,
-//!   symbol, static schedule, factor, solve schedule) with capacity and
-//!   byte-budget eviction and hit/miss counters in the session's
-//!   `MetricsRegistry`;
+//! * [`SolverSession`] — an LRU cache of [`CachedFactor`]s (the analyzed
+//!   `pastix_solver::Plan` — permutation, symbol, static schedule — plus
+//!   factor and solve schedule) with capacity and byte-budget eviction
+//!   and hit/miss counters in the session's `MetricsRegistry`;
 //! * [`RequestQueue`] — coalesces incoming right-hand sides into blocked
-//!   multi-RHS panels served by the distributed panel solve
-//!   (`pastix_solver::solve_panel_parallel_traced`), whose per-blok
-//!   trailing updates are GEMM-shaped instead of one GEMV per RHS;
+//!   multi-RHS panels served through `FactorRun::solve_request`, whose
+//!   per-blok trailing updates are GEMM-shaped instead of one GEMV per
+//!   RHS;
 //! * the level-set solve schedule (`pastix_sched::solve_schedule`) rides
 //!   in every cache entry, so serving traces reconcile predicted-vs-
 //!   measured through `pastix_trace::report::build_solve_report` exactly

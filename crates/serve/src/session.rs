@@ -11,12 +11,13 @@
 //! counters land in the session's [`MetricsRegistry`].
 
 use crate::fingerprint::MatrixFingerprint;
-use pastix_graph::{Permutation, SymCsc};
+use pastix_graph::SymCsc;
 use pastix_kernels::{FactorError, Scalar};
-use pastix_machine::MachineModel;
 use pastix_ordering::OrderingOptions;
-use pastix_sched::{map_and_schedule, solve_schedule, Mapping, SchedOptions, SolveSchedule};
-use pastix_solver::{factorize_parallel_with, solve_panel_parallel_traced, FactorRun, SolverConfig};
+use pastix_sched::{solve_schedule, SchedOptions, SolveSchedule};
+use pastix_solver::{
+    AnalyzeOptions, FactorRun, Plan, SolveRequest, SolverConfig,
+};
 use pastix_symbolic::AnalysisOptions;
 use pastix_trace::{MetricsRegistry, TraceLog};
 use std::sync::Arc;
@@ -66,11 +67,10 @@ impl Default for SessionOptions {
 pub struct CachedFactor<T> {
     /// The key this entry is resident under.
     pub fingerprint: MatrixFingerprint,
-    /// Fill-reducing permutation of the analysis.
-    pub perm: Permutation,
-    /// Task graph + factorization schedule (on the split symbol).
-    pub mapping: Mapping,
-    /// The assembled factor with its observability artifacts.
+    /// The analyzed plan: permutation, task graph, static schedule.
+    pub plan: Plan,
+    /// The assembled factor with its observability artifacts (carries the
+    /// plan, so [`FactorRun::solve_request`] works directly).
     pub run: FactorRun<T>,
     /// Level-set schedule of the solve DAG, reconcilable against solve
     /// traces via `pastix_trace::report::build_solve_report`.
@@ -153,15 +153,19 @@ impl<T: Scalar> SolverSession<T> {
         }
         self.metrics.add_counter("serve.cache.misses", 1);
 
-        let g = a.to_graph();
-        let ordering = pastix_ordering::nested_dissection(&g, &self.opts.ordering);
-        let analysis = pastix_symbolic::analyze(&g, &ordering, &self.opts.analysis);
-        let machine = MachineModel::sp2(self.opts.procs);
-        let mapping = map_and_schedule(&analysis.symbol, &machine, &self.opts.sched);
-        let ap = a.permuted(&analysis.perm);
-        let sym = &mapping.graph.split.symbol;
-        let run = factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, &self.opts.solver)?;
-        let ssched = solve_schedule(&mapping.graph, &mapping.schedule);
+        let cfg = self.opts.solver.clone().with_analyze(AnalyzeOptions {
+            procs: self.opts.procs,
+            ordering: self.opts.ordering.clone(),
+            analysis: self.opts.analysis.clone(),
+            sched: self.opts.sched.clone(),
+            static_schedule: true,
+        });
+        let plan = Plan::analyze(a, &cfg);
+        let run = plan.factorize(a, &cfg)?;
+        let ssched = solve_schedule(
+            plan.graph(),
+            plan.schedule().expect("session plans always carry a static schedule"),
+        );
         let bytes: u64 = run
             .storage
             .panels
@@ -170,8 +174,7 @@ impl<T: Scalar> SolverSession<T> {
             .sum();
         let entry = Arc::new(CachedFactor {
             fingerprint: fp,
-            perm: analysis.perm,
-            mapping,
+            plan,
             run,
             ssched,
             bytes,
@@ -208,28 +211,12 @@ impl<T: Scalar> SolverSession<T> {
         let n = a.n();
         assert_eq!(b_panel.len(), n * nrhs, "b_panel must be n × nrhs");
         let cached = self.get_or_factorize(a)?;
-        let mut bp = vec![T::zero(); n * nrhs];
-        for r in 0..nrhs {
-            let col = cached.perm.apply_vec(&b_panel[r * n..(r + 1) * n]);
-            bp[r * n..(r + 1) * n].copy_from_slice(&col);
-        }
-        let (xp, log) = solve_panel_parallel_traced(
-            &cached.mapping.graph.split.symbol,
-            &cached.run.storage,
-            &cached.mapping.graph,
-            &cached.mapping.schedule,
-            &bp,
-            nrhs,
-            &self.opts.solver,
-        );
-        let mut x = vec![T::zero(); n * nrhs];
-        for r in 0..nrhs {
-            let col = cached.perm.unapply_vec(&xp[r * n..(r + 1) * n]);
-            x[r * n..(r + 1) * n].copy_from_slice(&col);
-        }
+        let mut req = SolveRequest::panel(b_panel, nrhs);
+        req.trace = self.opts.solver.trace.enabled;
+        let out = cached.run.solve_request(req);
         self.metrics.add_counter("serve.solves", 1);
         self.metrics.observe("serve.panel_width", nrhs as u64);
-        Ok((x, log))
+        Ok((out.x, out.trace))
     }
 
     /// Single right-hand-side convenience over [`solve_panel`](Self::solve_panel).

@@ -9,6 +9,7 @@
 //! [`MetricsRegistry`] handle that collected its counters.
 
 use crate::parallel::ChaosOptions;
+use crate::plan::{AnalyzeOptions, PlanCtx};
 use crate::storage::FactorStorage;
 use pastix_kernels::KernelMode;
 use pastix_runtime::Backend;
@@ -44,6 +45,10 @@ pub struct SolverConfig {
     /// communication totals, per rank). Defaults to a fresh private
     /// registry; pass a shared handle to aggregate across runs.
     pub metrics: MetricsRegistry,
+    /// Pre-processing knobs consumed by [`crate::Plan::analyze`]:
+    /// ordering, symbolic analysis, mapping/scheduling, and whether a
+    /// static schedule is computed at all.
+    pub analyze: AnalyzeOptions,
 }
 
 impl SolverConfig {
@@ -88,12 +93,20 @@ impl SolverConfig {
         self.metrics = registry;
         self
     }
+
+    /// Sets the analyze-phase options ([`crate::Plan::analyze`]).
+    pub fn with_analyze(mut self, analyze: AnalyzeOptions) -> Self {
+        self.analyze = analyze;
+        self
+    }
 }
 
-/// Result of [`crate::factorize_parallel_with`]: the assembled factor plus
-/// the run's observability artifacts. Derefs to the [`FactorStorage`], so
+/// Result of [`crate::Plan::factorize`]: the assembled factor plus the
+/// run's observability artifacts. Derefs to the [`FactorStorage`], so
 /// existing code that only wants the factor keeps reading fields and
-/// calling methods through it unchanged.
+/// calling methods through it unchanged. Runs produced by the `Plan` API
+/// additionally carry their plan, which is what powers
+/// [`FactorRun::solve_request`](crate::SolveRequest).
 #[derive(Debug)]
 pub struct FactorRun<T> {
     /// The assembled factor.
@@ -103,9 +116,23 @@ pub struct FactorRun<T> {
     /// The registry that collected this run's counters (clone of the
     /// handle in the driving [`SolverConfig`]).
     pub metrics: MetricsRegistry,
+    /// The plan + config that produced this run (present when it came
+    /// through the `Plan` API; the deprecated shims leave it `None`).
+    pub(crate) ctx: Option<PlanCtx>,
 }
 
 impl<T> FactorRun<T> {
+    /// Bundles a factor with its observability artifacts (no plan
+    /// attached; call [`FactorRun::bind_plan`] to enable solves).
+    pub fn new(storage: FactorStorage<T>, trace: TraceLog, metrics: MetricsRegistry) -> Self {
+        Self {
+            storage,
+            trace,
+            metrics,
+            ctx: None,
+        }
+    }
+
     /// Extracts just the factor, discarding the observability artifacts.
     pub fn into_storage(self) -> FactorStorage<T> {
         self.storage

@@ -1,0 +1,713 @@
+//! `Backend::Dynamic`: factorization and panel solve on the work-stealing
+//! DAG executor ([`pastix_runtime::steal`]).
+//!
+//! Unlike the SPMD backends, which execute the static schedule's per-rank
+//! task lists and move contributions through messages and AUBs, the
+//! dynamic engine executes the [`TaskGraph`] directly: dependency counts
+//! come from the graph's deduplicated in-edges (the same fan-in the AUB
+//! protocol counts), contributions are applied straight into the shared
+//! factor panels under per-panel locks, and the static schedule — when
+//! one exists — supplies only initial placement and task priority. The
+//! solve builds its twin DAG from the same block structure the level-set
+//! [`pastix_sched::SolveSchedule`] walks.
+//!
+//! Locking is deadlock-free by index ordering: every multi-lock
+//! acquisition ascends the column-block order (a contribution's target
+//! block is strictly later than its producer), and the per-blok `F = L·D`
+//! buffers of a column block sit between that block's panel and every
+//! later panel in the order. The executor's `AcqRel` dependency-counter
+//! decrements plus the panel mutexes give each consumer a happens-before
+//! edge from every producer's writes.
+
+use crate::config::{FactorRun, SolverConfig};
+use crate::storage::{panel_row_of, FactorStorage, PanelLayout};
+use pastix_graph::SymCsc;
+use pastix_kernels::factor::{ldlt_factor_blocked, FactorError, NB_FACTOR};
+use pastix_kernels::{
+    gemm_nn_acc, gemm_nt_acc, gemm_tn_acc, scale_cols_by_diag_into, solve_unit_lower_panel,
+    solve_unit_lower_trans_panel, trsm_ldlt_panel, Scalar,
+};
+use pastix_runtime::steal::{run_dag, DagSpec, StealStats, TaskCtx};
+use pastix_runtime::DynamicOptions;
+use pastix_sched::{Schedule, TaskGraph, TaskKind};
+use pastix_symbolic::SymbolMatrix;
+use pastix_trace::{
+    begin_rank, heartbeat, sample_gauge, task_span, GaugeId, RankTrace, TaskClass, TraceLog,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Worker count resolution: explicit > schedule procs > 4.
+fn resolve_workers(dopts: &DynamicOptions, sched: Option<&Schedule>) -> usize {
+    if dopts.workers > 0 {
+        dopts.workers
+    } else {
+        sched.map(|s| s.n_procs).unwrap_or(4).max(1)
+    }
+}
+
+/// Priority vector: rank-by-predicted-start when a schedule exists (the
+/// task the static scheduler would have started earliest gets the highest
+/// priority), elimination-tree depth otherwise, all-zero (FIFO) when
+/// priority hints are off.
+fn priority_vec(
+    n: usize,
+    priorities: bool,
+    sched: Option<&Schedule>,
+    graph_prio: &[u32],
+) -> Vec<u64> {
+    if !priorities {
+        return vec![0u64; n];
+    }
+    match sched {
+        Some(s) => {
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.sort_by(|&x, &y| {
+                s.start[x as usize]
+                    .partial_cmp(&s.start[y as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(x.cmp(&y))
+            });
+            let mut p = vec![0u64; n];
+            for (rank, &t) in idx.iter().enumerate() {
+                p[t as usize] = (n - rank) as u64;
+            }
+            p
+        }
+        None => graph_prio.iter().map(|&p| p as u64).collect(),
+    }
+}
+
+/// Shared state of the dynamic factorization: the factor panels (one
+/// mutex per column block) and the per-blok `F = L·D` buffers produced by
+/// BDIV tasks for the 2D BMOD updates.
+struct DynFactor<'a, T> {
+    sym: &'a SymbolMatrix,
+    layout: &'a PanelLayout,
+    panels: &'a [Mutex<Vec<T>>],
+    fbufs: &'a [Mutex<Vec<T>>],
+}
+
+impl<T: Scalar> DynFactor<'_, T> {
+    /// Applies the contribution of off-block pair `(br, bc)` (an
+    /// `h_r × h_c` GEMM) straight into the target column block's panel.
+    /// The target block is strictly later than the producer, so locking
+    /// it while holding the producer's locks ascends the index order.
+    fn contribution(&self, br: usize, bc: usize, w: usize, a: &[T], lda: usize, b: &[T], ldb: usize) {
+        let rb = &self.sym.bloks[br];
+        let cb = &self.sym.bloks[bc];
+        let tk = cb.fcblk as usize;
+        let tcb = &self.sym.cblks[tk];
+        let hr = rb.nrows();
+        let hc = cb.nrows();
+        let row_off = panel_row_of(self.sym, self.layout, tk, rb.frow);
+        let col_off = (cb.frow - tcb.fcol) as usize;
+        let ldt = self.layout.panel_rows(tk);
+        let mut tgt = self.panels[tk].lock().unwrap();
+        let off = row_off + col_off * ldt;
+        gemm_nt_acc(hr, hc, w, -T::one(), a, lda, b, ldb, &mut tgt[off..], ldt);
+    }
+
+    /// COMP1D: factor the whole 1D panel, then apply every `(r ≥ c)` pair
+    /// contribution (same steps as the sequential/SPMD COMP1D, minus the
+    /// message routing).
+    fn comp1d(&self, k: usize, chaos_zero_pivot: bool) -> Result<(), FactorError> {
+        let cb = &self.sym.cblks[k];
+        let w = cb.width();
+        let lda = self.layout.panel_rows(k);
+        let h = lda - w;
+        let mut panel = self.panels[k].lock().unwrap();
+        if chaos_zero_pivot {
+            panel[0] = T::zero();
+        }
+        let mut fwork = Vec::new();
+        if let Err(FactorError::ZeroPivot(i)) =
+            ldlt_factor_blocked(w, &mut panel, lda, NB_FACTOR, &mut fwork)
+        {
+            return Err(FactorError::ZeroPivot(cb.fcol as usize + i));
+        }
+        if h > 0 {
+            let mut dtmp = vec![T::zero(); w * w];
+            pastix_kernels::dense::copy_panel(w, w, &panel, lda, &mut dtmp, w);
+            trsm_ldlt_panel(h, w, &dtmp, w, &mut panel[w..], lda);
+            // F = L · D.
+            let mut wbuf = vec![T::zero(); h * w];
+            let d: Vec<T> = (0..w).map(|i| dtmp[i + i * w]).collect();
+            scale_cols_by_diag_into(h, w, &panel[w..], lda, &d, &mut wbuf, h);
+            let m = cb.blok_end - cb.blok_start - 1;
+            for c in 0..m {
+                let bc = cb.blok_start + 1 + c;
+                for r in c..m {
+                    let br = cb.blok_start + 1 + r;
+                    let a_off = self.layout.panel_row[br] as usize;
+                    let b_off = self.layout.panel_row[bc] as usize - w;
+                    self.contribution(br, bc, w, &panel[a_off..], lda, &wbuf[b_off..], h);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// FACTOR: LDLᵀ of the diagonal block, in place inside the panel
+    /// (stride `lda`, unlike the SPMD path's dense `w × w` region).
+    fn factor(&self, k: usize, chaos_zero_pivot: bool) -> Result<(), FactorError> {
+        let cb = &self.sym.cblks[k];
+        let w = cb.width();
+        let lda = self.layout.panel_rows(k);
+        let mut panel = self.panels[k].lock().unwrap();
+        if chaos_zero_pivot {
+            panel[0] = T::zero();
+        }
+        let mut fwork = Vec::new();
+        if let Err(FactorError::ZeroPivot(i)) =
+            ldlt_factor_blocked(w, &mut panel, lda, NB_FACTOR, &mut fwork)
+        {
+            return Err(FactorError::ZeroPivot(cb.fcol as usize + i));
+        }
+        Ok(())
+    }
+
+    /// BDIV: solve the blok's rows against the factored diagonal in place
+    /// and stash `F = L·D` in the blok's buffer for the BMOD updates.
+    fn bdiv(&self, k: usize, blok: usize) {
+        let w = self.sym.cblks[k].width();
+        let lda = self.layout.panel_rows(k);
+        let hb = self.sym.bloks[blok].nrows();
+        let prow = self.layout.panel_row[blok] as usize;
+        let mut panel = self.panels[k].lock().unwrap();
+        let mut dtmp = vec![T::zero(); w * w];
+        pastix_kernels::dense::copy_panel(w, w, &panel, lda, &mut dtmp, w);
+        trsm_ldlt_panel(hb, w, &dtmp, w, &mut panel[prow..], lda);
+        let d: Vec<T> = (0..w).map(|i| dtmp[i + i * w]).collect();
+        let mut fbuf = self.fbufs[blok].lock().unwrap();
+        fbuf.resize(hb * w, T::zero());
+        scale_cols_by_diag_into(hb, w, &panel[prow..], lda, &d, &mut fbuf, hb);
+    }
+
+    /// BMOD: one `(blok_row, blok_col)` pair contribution of a 2D column
+    /// block — `L` from the row blok's solved panel rows, `F` from the
+    /// column blok's BDIV buffer.
+    fn bmod(&self, k: usize, blok_row: usize, blok_col: usize) {
+        let w = self.sym.cblks[k].width();
+        let lda = self.layout.panel_rows(k);
+        let hc = self.sym.bloks[blok_col].nrows();
+        let prow = self.layout.panel_row[blok_row] as usize;
+        let panel = self.panels[k].lock().unwrap();
+        let fbuf = self.fbufs[blok_col].lock().unwrap();
+        debug_assert_eq!(fbuf.len(), hc * w);
+        self.contribution(blok_row, blok_col, w, &panel[prow..], lda, &fbuf, hc);
+    }
+}
+
+/// Dynamic factorization: scatter `a` into the factor storage, execute
+/// the task graph on the work-stealing executor, and hand the storage
+/// back assembled (the panels *are* the regions — no merge step).
+pub(crate) fn factorize_dynamic<T: Scalar>(
+    sym: &SymbolMatrix,
+    a: &SymCsc<T>,
+    graph: &TaskGraph,
+    sched: Option<&Schedule>,
+    dopts: &DynamicOptions,
+    cfg: &SolverConfig,
+) -> Result<FactorRun<T>, FactorError> {
+    assert!(
+        std::ptr::eq(sym, &graph.split.symbol) || *sym == graph.split.symbol,
+        "task graph was built for a different symbol matrix"
+    );
+    let _mode = cfg.kernel_mode.scoped();
+    let mut storage = FactorStorage::zeros(sym);
+    storage.scatter(sym, a);
+    let FactorStorage { layout, panels } = storage;
+    let panels: Vec<Mutex<Vec<T>>> = panels.into_iter().map(Mutex::new).collect();
+    let fbufs: Vec<Mutex<Vec<T>>> = (0..sym.bloks.len()).map(|_| Mutex::new(Vec::new())).collect();
+
+    let n = graph.n_tasks();
+    let deps: Vec<u32> = (0..n).map(|t| graph.in_ptr[t + 1] - graph.in_ptr[t]).collect();
+    let priority = priority_vec(n, dopts.priorities, sched, &graph.priority);
+    let placement: Vec<u32> = match sched {
+        Some(s) => s.task_proc.clone(),
+        None => graph.kinds.iter().map(|k| k.cblk()).collect(),
+    };
+    let n_workers = resolve_workers(dopts, sched);
+
+    let mut topts = cfg.trace;
+    if topts.enabled && topts.epoch.is_none() {
+        topts.epoch = Some(Instant::now());
+    }
+    let progress = AtomicU64::new(0);
+    let error: Mutex<Option<FactorError>> = Mutex::new(None);
+    let shared = DynFactor { sym, layout: &layout, panels: &panels, fbufs: &fbufs };
+
+    let body = |t: u32, tctx: &TaskCtx| -> bool {
+        if cfg.chaos.panic_at == Some((tctx.worker as u32, tctx.local_index)) {
+            panic!(
+                "chaos: injected panic on worker {} at local task index {} (task {t})",
+                tctx.worker, tctx.local_index
+            );
+        }
+        let zp = cfg.chaos.zero_pivot_task == Some(t);
+        let result = match graph.kinds[t as usize] {
+            TaskKind::Comp1d { cblk } => {
+                let _span = task_span(t, TaskClass::Comp1d);
+                shared.comp1d(cblk as usize, zp)
+            }
+            TaskKind::Factor { cblk } => {
+                let _span = task_span(t, TaskClass::Factor);
+                shared.factor(cblk as usize, zp)
+            }
+            TaskKind::Bdiv { cblk, blok } => {
+                let _span = task_span(t, TaskClass::Bdiv);
+                shared.bdiv(cblk as usize, blok as usize);
+                Ok(())
+            }
+            TaskKind::Bmod { cblk, blok_row, blok_col } => {
+                let _span = task_span(t, TaskClass::Bmod);
+                shared.bmod(cblk as usize, blok_row as usize, blok_col as usize);
+                Ok(())
+            }
+        };
+        if topts.enabled {
+            let seq = progress.fetch_add(1, Ordering::Relaxed) + 1;
+            heartbeat(seq);
+            let every = topts.sample_every as usize;
+            if every > 0 && (tctx.local_index + 1).is_multiple_of(every) {
+                sample_gauge(GaugeId::ReadyQueueDepth, tctx.ready_depth as u64);
+            }
+        }
+        match result {
+            Ok(()) => true,
+            Err(e) => {
+                error.lock().unwrap().get_or_insert(e);
+                false
+            }
+        }
+    };
+    let worker_scope = |w: usize, run: &mut dyn FnMut()| -> Option<RankTrace> {
+        let session = begin_rank(w, &topts);
+        run();
+        session.finish()
+    };
+
+    let spec = DagSpec {
+        deps: &deps,
+        out_ptr: &graph.out_ptr,
+        out_dst: &graph.out_dst,
+        priority: &priority,
+        placement: &placement,
+    };
+    let t0 = Instant::now();
+    let (rank_traces, stats) = run_dag(&spec, n_workers, dopts.sim.as_ref(), &body, &worker_scope);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    if let Some(e) = error.into_inner().unwrap() {
+        return Err(e);
+    }
+    let trace = TraceLog {
+        ranks: rank_traces.into_iter().flatten().collect(),
+        wall_ns,
+        digest: sched.map(|s| s.digest()).unwrap_or(0),
+    };
+    crate::parallel::merge_trace_metrics(&cfg.metrics, &trace);
+    record_steal_metrics(cfg, &stats);
+    let storage = FactorStorage {
+        layout,
+        panels: panels.into_iter().map(|p| p.into_inner().unwrap()).collect(),
+    };
+    Ok(FactorRun::new(storage, trace, cfg.metrics.clone()))
+}
+
+/// Executor counters → the run's metrics registry.
+fn record_steal_metrics(cfg: &SolverConfig, stats: &StealStats) {
+    for (w, &n) in stats.executed.iter().enumerate() {
+        if n > 0 {
+            cfg.metrics.add_counter_rank("dynamic.tasks", Some(w as u32), n);
+        }
+    }
+    cfg.metrics.add_counter("dynamic.steals", stats.steals);
+}
+
+/// Dynamic multi-RHS panel solve (`b_panel` is `n × nrhs` column-major in
+/// elimination order, like the SPMD panel solve). The solve DAG has two
+/// tasks per column block — forward `k` and backward `ns + k` — with the
+/// same dependency structure the level-set [`pastix_sched::SolveSchedule`]
+/// is built from: `fwd(k) → fwd(t)` and `bwd(t) → bwd(k)` for every
+/// distinct facing block `t` of `k`, plus `fwd(k) → bwd(k)`. Backward
+/// `Lᵀ·x` partials are buffered per target block so the D division always
+/// precedes their subtraction — the exact sequential order.
+pub(crate) fn solve_panel_dynamic<T: Scalar>(
+    sym: &SymbolMatrix,
+    storage: &FactorStorage<T>,
+    graph: &TaskGraph,
+    sched: Option<&Schedule>,
+    b_panel: &[T],
+    nrhs: usize,
+    dopts: &DynamicOptions,
+    cfg: &SolverConfig,
+) -> (Vec<T>, TraceLog) {
+    assert!(nrhs >= 1, "panel solve needs at least one right-hand side");
+    assert_eq!(b_panel.len(), sym.n * nrhs, "b_panel must be n × nrhs");
+    let ns = sym.n_cblks();
+    let n_tasks = 2 * ns;
+
+    // Dependency edges + the facing lists (blok, source cblk) per target.
+    let mut deps = vec![0u32; n_tasks];
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n_tasks];
+    let mut facing: Vec<Vec<(u32, u32)>> = vec![Vec::new(); ns];
+    for k in 0..ns {
+        let cb = &sym.cblks[k];
+        out[k].push((ns + k) as u32);
+        deps[ns + k] += 1;
+        let mut last_t = u32::MAX;
+        for b in cb.blok_start + 1..cb.blok_end {
+            let t = sym.bloks[b].fcblk;
+            facing[t as usize].push((b as u32, k as u32));
+            if t == last_t {
+                continue; // fcblk is nondecreasing along a cblk's bloks
+            }
+            last_t = t;
+            out[k].push(t);
+            deps[t as usize] += 1;
+            out[ns + t as usize].push((ns + k) as u32);
+            deps[ns + k] += 1;
+        }
+    }
+    let mut out_ptr = vec![0u32; n_tasks + 1];
+    let mut out_dst = Vec::new();
+    for (t, succs) in out.iter().enumerate() {
+        out_dst.extend_from_slice(succs);
+        out_ptr[t + 1] = out_dst.len() as u32;
+    }
+    // Forward tasks outrank backward ones; within a sweep, earlier
+    // elimination order first (forward) / later first (backward).
+    let priority: Vec<u64> = if dopts.priorities {
+        (0..n_tasks)
+            .map(|t| if t < ns { (2 * ns - t) as u64 } else { (t - ns) as u64 })
+            .collect()
+    } else {
+        vec![0u64; n_tasks]
+    };
+    let placement: Vec<u32> = (0..n_tasks)
+        .map(|t| {
+            let k = if t < ns { t } else { t - ns };
+            match sched {
+                Some(s) => s.task_proc[graph.head_task_of_cblk[k] as usize],
+                None => k as u32,
+            }
+        })
+        .collect();
+    let n_workers = resolve_workers(dopts, sched);
+
+    // Owned segments (b on entry, x on exit) and buffered backward
+    // partials, one mutex per column block. Segment locks are only ever
+    // taken in ascending order; partial buffers are leaf locks.
+    let layout = &storage.layout;
+    let segs: Vec<Mutex<Vec<T>>> = (0..ns)
+        .map(|k| {
+            let cb = &sym.cblks[k];
+            let w = cb.width();
+            let mut seg = vec![T::zero(); w * nrhs];
+            for r in 0..nrhs {
+                seg[r * w..(r + 1) * w].copy_from_slice(
+                    &b_panel[r * sym.n + cb.fcol as usize..=r * sym.n + cb.lcol as usize],
+                );
+            }
+            Mutex::new(seg)
+        })
+        .collect();
+    let pbufs: Vec<Mutex<Vec<T>>> = (0..ns).map(|_| Mutex::new(Vec::new())).collect();
+
+    let mut topts = cfg.trace;
+    if topts.enabled && topts.epoch.is_none() {
+        topts.epoch = Some(Instant::now());
+    }
+    let progress = AtomicU64::new(0);
+
+    let body = |t: u32, tctx: &TaskCtx| -> bool {
+        let t = t as usize;
+        if t < ns {
+            let k = t;
+            let _span = task_span(k as u32, TaskClass::FwdSolve);
+            let cb = &sym.cblks[k];
+            let w = cb.width();
+            let lda = layout.panel_rows(k);
+            let mut seg = segs[k].lock().unwrap();
+            solve_unit_lower_panel(w, &storage.panels[k], lda, &mut seg, nrhs, w);
+            let mut last_t = u32::MAX;
+            let mut tgt_guard = None;
+            for b in cb.blok_start + 1..cb.blok_end {
+                let blok = &sym.bloks[b];
+                let hb = blok.nrows();
+                let tk = blok.fcblk as usize;
+                if blok.fcblk != last_t {
+                    last_t = blok.fcblk;
+                    tgt_guard = Some(segs[tk].lock().unwrap());
+                }
+                let tcb = &sym.cblks[tk];
+                let width_t = tcb.width();
+                let off = (blok.frow - tcb.fcol) as usize;
+                let tgt = tgt_guard.as_mut().expect("target guard just set");
+                gemm_nn_acc(
+                    hb,
+                    nrhs,
+                    w,
+                    -T::one(),
+                    &storage.panels[k][layout.panel_row[b] as usize..],
+                    lda,
+                    &seg,
+                    w,
+                    &mut tgt[off..],
+                    width_t,
+                );
+            }
+        } else {
+            let k = t - ns;
+            let _span = task_span(k as u32, TaskClass::BwdSolve);
+            let cb = &sym.cblks[k];
+            let w = cb.width();
+            let lda = layout.panel_rows(k);
+            let panel = &storage.panels[k];
+            let mut seg = segs[k].lock().unwrap();
+            // Sequential order: D-divide, subtract buffered partials,
+            // transposed diagonal solve.
+            for j in 0..w {
+                let dinv = panel[j + j * lda].recip();
+                for r in 0..nrhs {
+                    seg[r * w + j] *= dinv;
+                }
+            }
+            {
+                let pb = pbufs[k].lock().unwrap();
+                if !pb.is_empty() {
+                    for (s, v) in seg.iter_mut().zip(pb.iter()) {
+                        *s -= *v;
+                    }
+                }
+            }
+            solve_unit_lower_trans_panel(w, panel, lda, &mut seg, nrhs, w);
+            // Push `L_bᵀ · x_k` partials toward every facing blok's source.
+            for &(b, src) in &facing[k] {
+                let b = b as usize;
+                let src = src as usize;
+                let blok = &sym.bloks[b];
+                let hb = blok.nrows();
+                let w_s = sym.cblks[src].width();
+                let lda_s = layout.panel_rows(src);
+                let prow = layout.panel_row[b] as usize;
+                let off = (blok.frow - cb.fcol) as usize;
+                let mut pb = pbufs[src].lock().unwrap();
+                if pb.is_empty() {
+                    pb.resize(w_s * nrhs, T::zero());
+                }
+                gemm_tn_acc(
+                    w_s,
+                    nrhs,
+                    hb,
+                    T::one(),
+                    &storage.panels[src][prow..],
+                    lda_s,
+                    &seg[off..],
+                    w,
+                    &mut pb,
+                    w_s,
+                );
+            }
+        }
+        if topts.enabled {
+            let seq = progress.fetch_add(1, Ordering::Relaxed) + 1;
+            heartbeat(seq);
+            let every = topts.sample_every as usize;
+            if every > 0 && (tctx.local_index + 1).is_multiple_of(every) {
+                sample_gauge(GaugeId::ReadyQueueDepth, tctx.ready_depth as u64);
+            }
+        }
+        true
+    };
+    let worker_scope = |w: usize, run: &mut dyn FnMut()| -> Option<RankTrace> {
+        let session = begin_rank(w, &topts);
+        run();
+        session.finish()
+    };
+
+    let spec = DagSpec {
+        deps: &deps,
+        out_ptr: &out_ptr,
+        out_dst: &out_dst,
+        priority: &priority,
+        placement: &placement,
+    };
+    let t0 = Instant::now();
+    let (rank_traces, stats) = run_dag(&spec, n_workers, dopts.sim.as_ref(), &body, &worker_scope);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let trace = TraceLog {
+        ranks: rank_traces.into_iter().flatten().collect(),
+        wall_ns,
+        digest: sched.map(|s| s.digest()).unwrap_or(0),
+    };
+    crate::parallel::merge_trace_metrics(&cfg.metrics, &trace);
+    record_steal_metrics(cfg, &stats);
+
+    // Gather segments into the n × nrhs solution panel.
+    let mut x = vec![T::zero(); sym.n * nrhs];
+    for (k, seg) in segs.into_iter().enumerate() {
+        let seg = seg.into_inner().unwrap();
+        let cb = &sym.cblks[k];
+        let w = cb.width();
+        for r in 0..nrhs {
+            x[r * sym.n + cb.fcol as usize..=r * sym.n + cb.lcol as usize]
+                .copy_from_slice(&seg[r * w..(r + 1) * w]);
+        }
+    }
+    (x, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use crate::seq::{factorize_sequential, solve_in_place};
+    use pastix_graph::gen::{grid_spd, Stencil, ValueKind};
+    use pastix_graph::{canonical_solution, rhs_for_solution};
+    use pastix_machine::MachineModel;
+    use pastix_ordering::{nested_dissection, OrderingOptions};
+    use pastix_sched::{map_and_schedule, DistStrategy, MappingOptions, SchedOptions};
+    use pastix_symbolic::{analyze, AnalysisOptions};
+
+    fn full_setup(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        procs: usize,
+        strategy: DistStrategy,
+        block: usize,
+    ) -> (pastix_graph::SymCsc<f64>, pastix_sched::Mapping) {
+        let a = grid_spd::<f64>(nx, ny, nz, Stencil::Star, false, ValueKind::RandomSpd(21));
+        let g = a.to_graph();
+        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 8, ..Default::default() });
+        let an = analyze(&g, &ord, &AnalysisOptions::default());
+        let machine = MachineModel::sp2(procs);
+        let opts = SchedOptions {
+            block_size: block,
+            mapping: MappingOptions { procs_2d_min: 2.0, width_2d_min: 4, strategy },
+        };
+        let mapping = map_and_schedule(&an.symbol, &machine, &opts);
+        (a.permuted(&an.perm), mapping)
+    }
+
+    fn seq_factor(
+        sym: &SymbolMatrix,
+        ap: &pastix_graph::SymCsc<f64>,
+    ) -> crate::storage::FactorStorage<f64> {
+        let mut seq = FactorStorage::zeros(sym);
+        seq.scatter(sym, ap);
+        factorize_sequential(sym, &mut seq).unwrap();
+        seq
+    }
+
+    fn check_dynamic(
+        ap: &pastix_graph::SymCsc<f64>,
+        mapping: &pastix_sched::Mapping,
+        dopts: &DynamicOptions,
+        use_sched: bool,
+    ) {
+        let sym = &mapping.graph.split.symbol;
+        let sched = use_sched.then_some(&mapping.schedule);
+        let cfg = SolverConfig::default();
+        let run = factorize_dynamic(sym, ap, &mapping.graph, sched, dopts, &cfg).unwrap();
+        let seq = seq_factor(sym, ap);
+        let n = ap.n();
+        for j in 0..n {
+            for i in j..n {
+                let a = seq.get(sym, i, j);
+                let b = run.storage.get(sym, i, j);
+                assert!(
+                    (a - b).abs() <= 1e-8 * a.abs().max(1.0),
+                    "factor mismatch at ({i},{j}): seq {a} vs dyn {b}"
+                );
+            }
+        }
+        // Dynamic panel solve against the sequential sweep.
+        let x_exact = canonical_solution::<f64>(n);
+        let b = rhs_for_solution(ap, &x_exact);
+        let (x_dyn, _) =
+            solve_panel_dynamic(sym, &run.storage, &mapping.graph, sched, &b, 1, dopts, &cfg);
+        let mut x_seq = b.clone();
+        solve_in_place(sym, &run.storage, &mut x_seq);
+        for (i, (xs, xd)) in x_seq.iter().zip(&x_dyn).enumerate() {
+            assert!(
+                (xs - xd).abs() <= 1e-9 * xs.abs().max(1.0),
+                "solve mismatch at {i}: seq {xs} vs dyn {xd}"
+            );
+        }
+        let res = ap.residual_norm(&x_dyn, &b);
+        assert!(res < 1e-12, "residual {res}");
+    }
+
+    #[test]
+    fn dynamic_matches_sequential_1d() {
+        let (ap, mapping) = full_setup(8, 8, 1, 4, DistStrategy::Only1d, 4);
+        check_dynamic(&ap, &mapping, &DynamicOptions::new(), true);
+    }
+
+    #[test]
+    fn dynamic_matches_sequential_mixed_2d() {
+        let (ap, mapping) = full_setup(4, 4, 4, 4, DistStrategy::Mixed1d2d, 4);
+        for priorities in [false, true] {
+            let d = DynamicOptions::new().with_priorities(priorities);
+            check_dynamic(&ap, &mapping, &d, true);
+        }
+    }
+
+    #[test]
+    fn dynamic_runs_without_a_schedule() {
+        let (ap, mapping) = full_setup(6, 6, 2, 3, DistStrategy::Mixed1d2d, 4);
+        let d = DynamicOptions::new().with_workers(3).with_priorities(true);
+        check_dynamic(&ap, &mapping, &d, false);
+    }
+
+    #[test]
+    fn dynamic_sim_is_deterministic_and_correct() {
+        use pastix_runtime::sim::{FaultPlan, SchedPolicy};
+        let (ap, mapping) = full_setup(6, 6, 1, 3, DistStrategy::Mixed1d2d, 4);
+        let sym = &mapping.graph.split.symbol;
+        let cfg = SolverConfig::default();
+        for policy in [
+            SchedPolicy::Uniform,
+            SchedPolicy::StarveRank(1),
+            SchedPolicy::DeliverLast,
+            SchedPolicy::FifoPerPair,
+        ] {
+            let plan = FaultPlan::builder(11).policy(policy).build();
+            let d = DynamicOptions::new().with_sim(plan);
+            check_dynamic(&ap, &mapping, &d, true);
+            // Same (seed, policy) replays to bitwise-identical factors.
+            let r1 = factorize_dynamic(sym, &ap, &mapping.graph, Some(&mapping.schedule), &d, &cfg)
+                .unwrap();
+            let r2 = factorize_dynamic(sym, &ap, &mapping.graph, Some(&mapping.schedule), &d, &cfg)
+                .unwrap();
+            assert_eq!(r1.storage.panels, r2.storage.panels);
+        }
+    }
+
+    #[test]
+    fn dynamic_zero_pivot_aborts_cleanly() {
+        let (ap, mapping) = full_setup(6, 6, 1, 2, DistStrategy::Only1d, 4);
+        let sym = &mapping.graph.split.symbol;
+        let cfg = SolverConfig {
+            chaos: crate::parallel::ChaosOptions {
+                zero_pivot_task: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let res = factorize_dynamic(
+            sym,
+            &ap,
+            &mapping.graph,
+            Some(&mapping.schedule),
+            &DynamicOptions::new(),
+            &cfg,
+        );
+        assert!(matches!(res, Err(FactorError::ZeroPivot(_))));
+    }
+}

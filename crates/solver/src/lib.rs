@@ -2,24 +2,38 @@
 //!
 //! Numeric factorization and solve for the PaStiX reproduction:
 //!
+//! * [`plan`] — **the entry path**: [`Plan::analyze`] bundles the whole
+//!   pre-processing pipeline (ordering, symbolic analysis, mapping,
+//!   optional static schedule); [`Plan::factorize`] runs the numeric
+//!   phase on any backend and hands back a [`FactorRun`] whose
+//!   [`SolveRequest`]-driven solve method covers single- and multi-RHS;
 //! * [`storage`] — the dense-panel factor storage (the real PaStiX layout:
 //!   one contiguous column-major panel per column block);
 //! * [`seq`] — the sequential supernodal `L·D·Lᵀ` reference (one `COMP1D`
 //!   per column block with direct local aggregation) and the forward /
 //!   diagonal / backward solve sweeps;
-//! * [`parallel`] — the parallel supernodal **fan-in** solver of the
+//! * [`parallel`] — the parallel supernodal **fan-in** engine of the
 //!   paper's Fig. 1, fully driven by the static schedule from
-//!   `pastix-sched` and running on the in-process message-passing runtime.
+//!   `pastix-sched` and running on the in-process message-passing runtime;
+//! * [`dynamic`] — the `Backend::Dynamic` engine: the same task graph
+//!   executed by the work-stealing DAG executor, with the static mapping
+//!   reduced to placement/priority hints.
 //!
 //! The parallel factor is validated against the sequential one entry by
 //! entry; both support `f64` (SPD) and `Complex64` (complex symmetric)
 //! systems through the shared [`pastix_kernels::Scalar`] abstraction.
+//!
+//! The pre-Plan free functions (`factorize_parallel*`, `solve_parallel*`,
+//! `solve_panel_parallel*`) are deprecated one-release shims over the
+//! same engines.
 
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dynamic;
 pub mod metrics;
 pub mod parallel;
+pub mod plan;
 pub mod psolve;
 pub mod seq;
 pub mod seq_left;
@@ -27,13 +41,18 @@ pub mod storage;
 
 pub use config::{FactorRun, SolverConfig};
 pub use metrics::MessagePathMetrics;
-pub use parallel::{factorize_parallel, factorize_parallel_with, ChaosOptions};
-pub use pastix_runtime::Backend;
+pub use parallel::ChaosOptions;
+pub use pastix_runtime::{Backend, DynamicOptions};
 pub use pastix_trace::{MetricsRegistry, TraceLog, TraceOptions};
+pub use plan::{run_from_storage, AnalyzeOptions, Plan, SolveOutput, SolveRequest};
+pub use seq::{factor_and_solve, factorize_sequential, reconstruction_error, solve_block_in_place, solve_in_place};
+pub use seq_left::factorize_sequential_left;
+pub use storage::{FactorStorage, PanelLayout};
+
+#[allow(deprecated)]
+pub use parallel::{factorize_parallel, factorize_parallel_with};
+#[allow(deprecated)]
 pub use psolve::{
     solve_panel_parallel, solve_panel_parallel_traced, solve_panel_parallel_with, solve_parallel,
     solve_parallel_traced, solve_parallel_with,
 };
-pub use seq::{factor_and_solve, factorize_sequential, reconstruction_error, solve_block_in_place, solve_in_place};
-pub use seq_left::factorize_sequential_left;
-pub use storage::{FactorStorage, PanelLayout};

@@ -900,24 +900,43 @@ pub struct ChaosOptions {
 /// Runs the parallel factorization and assembles the distributed factor
 /// into a single [`FactorStorage`]. `a` must already be permuted into the
 /// elimination order of `sym` (the split symbol the schedule was built on).
+#[deprecated(
+    since = "0.1.0",
+    note = "use Plan::analyze + Plan::factorize (the Plan API)"
+)]
 pub fn factorize_parallel<T: Scalar>(
     sym: &SymbolMatrix,
     a: &SymCsc<T>,
     graph: &TaskGraph,
     sched: &Schedule,
 ) -> Result<FactorStorage<T>, FactorError> {
-    factorize_parallel_with(sym, a, graph, sched, &SolverConfig::default())
+    factorize_static(sym, a, graph, sched, &SolverConfig::default())
         .map(FactorRun::into_storage)
 }
 
-/// [`factorize_parallel`] with an explicit [`SolverConfig`]:
-/// `cfg.backend` selects the execution substrate (threads or the
-/// deterministic simulator), `cfg.kernel_mode` is applied for the run
-/// through a scoped guard, and the returned [`FactorRun`] carries the
-/// factor together with the run's [`TraceLog`] and the metrics registry
-/// handle. Dereference (or [`FactorRun::into_storage`]) for the factor
-/// alone.
+/// [`factorize_parallel`] with an explicit [`SolverConfig`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use Plan::analyze + Plan::factorize (the Plan API)"
+)]
 pub fn factorize_parallel_with<T: Scalar>(
+    sym: &SymbolMatrix,
+    a: &SymCsc<T>,
+    graph: &TaskGraph,
+    sched: &Schedule,
+    cfg: &SolverConfig,
+) -> Result<FactorRun<T>, FactorError> {
+    factorize_static(sym, a, graph, sched, cfg)
+}
+
+/// The SPMD factorization engine (threads or simulator): `cfg.backend`
+/// selects the execution substrate, `cfg.kernel_mode` is applied for the
+/// run through a scoped guard, and the returned [`FactorRun`] carries the
+/// factor together with the run's [`TraceLog`] and the metrics registry
+/// handle. Called by [`crate::Plan::factorize`] (and, for one release, by
+/// the deprecated free-function shims — both paths are bitwise identical
+/// by construction).
+pub(crate) fn factorize_static<T: Scalar>(
     sym: &SymbolMatrix,
     a: &SymCsc<T>,
     graph: &TaskGraph,
@@ -959,11 +978,7 @@ pub fn factorize_parallel_with<T: Scalar>(
     };
     merge_trace_metrics(&cfg.metrics, &trace);
     let storage = assemble(sym, &layout, graph, results)?;
-    Ok(FactorRun {
-        storage,
-        trace,
-        metrics: cfg.metrics.clone(),
-    })
+    Ok(FactorRun::new(storage, trace, cfg.metrics.clone()))
 }
 
 /// What one logical processor hands back: its factor regions (or the
@@ -1198,7 +1213,9 @@ mod tests {
 
     fn check_against_sequential(ap: &pastix_graph::SymCsc<f64>, mapping: &pastix_sched::Mapping) {
         let sym = &mapping.graph.split.symbol;
-        let par = factorize_parallel(sym, ap, &mapping.graph, &mapping.schedule).unwrap();
+        let par = factorize_static(sym, ap, &mapping.graph, &mapping.schedule, &SolverConfig::default())
+            .unwrap()
+            .into_storage();
         let mut seq = FactorStorage::zeros(sym);
         seq.scatter(sym, ap);
         factorize_sequential(sym, &mut seq).unwrap();
@@ -1250,8 +1267,11 @@ mod tests {
         // processor; the factor must not change, only the message count.
         let (ap, mapping) = full_setup(10, 10, 1, 4, DistStrategy::Mixed1d2d, 4);
         let sym = &mapping.graph.split.symbol;
-        let fanin = factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule).unwrap();
-        let fanboth = factorize_parallel_with(
+        let fanin =
+            factorize_static(sym, &ap, &mapping.graph, &mapping.schedule, &SolverConfig::default())
+                .unwrap()
+                .into_storage();
+        let fanboth = factorize_static(
             sym,
             &ap,
             &mapping.graph,
@@ -1279,7 +1299,8 @@ mod tests {
         }
         let zero = pastix_graph::SymCsc::from_triplets(n, &triplets);
         let sym = &mapping.graph.split.symbol;
-        let res = factorize_parallel(sym, &zero, &mapping.graph, &mapping.schedule);
+        let res =
+            factorize_static(sym, &zero, &mapping.graph, &mapping.schedule, &SolverConfig::default());
         assert!(res.is_err());
     }
 }

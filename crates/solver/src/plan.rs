@@ -1,0 +1,346 @@
+//! The `Plan` API: one analyze artifact, one factorize call, one solve
+//! method.
+//!
+//! [`Plan::analyze`] runs the whole pre-processing pipeline (ordering →
+//! symbolic analysis → block repartitioning → optional static
+//! scheduling) and bundles its outputs — fill-reducing permutation, task
+//! graph over the split symbol, and an `Option<Schedule>` — behind one
+//! cheaply clonable handle. [`Plan::factorize`] dispatches the numeric
+//! factorization on whatever backend the [`SolverConfig`] names (the
+//! static schedule is *required* by the SPMD backends and merely a
+//! placement/priority hint for [`Backend::Dynamic`]), and the returned
+//! [`FactorRun`] carries its plan so [`FactorRun::solve_request`] can
+//! permute, solve, and unpermute without the caller re-threading the
+//! analyze artifacts through every call.
+//!
+//! The pre-Plan free functions (`factorize_parallel*`, `solve_parallel*`,
+//! `solve_panel_parallel*`) survive one release as `#[deprecated]` shims
+//! that delegate to the same engines, so migrating is mechanical.
+
+use crate::config::{FactorRun, SolverConfig};
+use crate::dynamic;
+use crate::storage::FactorStorage;
+use pastix_graph::{Permutation, SymCsc};
+use pastix_kernels::factor::FactorError;
+use pastix_kernels::Scalar;
+use pastix_machine::MachineModel;
+use pastix_ordering::OrderingOptions;
+use pastix_runtime::Backend;
+use pastix_sched::{map_and_schedule, Mapping, SchedOptions, Schedule, TaskGraph};
+use pastix_symbolic::{AnalysisOptions, SymbolMatrix};
+use pastix_trace::{TraceLog, TraceOptions};
+use std::sync::Arc;
+
+/// Pre-processing knobs of [`Plan::analyze`]. Lives inside
+/// [`SolverConfig`] (`cfg.analyze`) so one config value drives the whole
+/// pipeline.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Logical processor count the mapping targets (also the default
+    /// worker count of both the SPMD backends and `Backend::Dynamic`).
+    pub procs: usize,
+    /// Fill-reducing ordering knobs (nested dissection).
+    pub ordering: OrderingOptions,
+    /// Symbolic analysis knobs (amalgamation).
+    pub analysis: AnalysisOptions,
+    /// Block repartitioning + scheduling knobs (1D/2D switch, block size).
+    pub sched: SchedOptions,
+    /// Compute the static schedule (default). Turn off for pure-dynamic
+    /// runs that want analyze to skip the greedy scheduler; the plan's
+    /// schedule is then `None` and only `Backend::Dynamic` can run it.
+    pub static_schedule: bool,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        Self {
+            procs: 4,
+            ordering: OrderingOptions::default(),
+            analysis: AnalysisOptions::default(),
+            sched: SchedOptions::default(),
+            static_schedule: true,
+        }
+    }
+}
+
+impl AnalyzeOptions {
+    /// Default analyze options for `procs` logical processors.
+    pub fn with_procs(procs: usize) -> Self {
+        Self { procs, ..Self::default() }
+    }
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    perm: Option<Permutation>,
+    graph: TaskGraph,
+    schedule: Option<Schedule>,
+    n: usize,
+}
+
+/// The analyzed (pre-numeric) state of one matrix pattern: permutation,
+/// symbol/task graph, and (optionally) the static schedule. `Clone` is an
+/// `Arc` bump, so caching a plan next to its factors is free.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    inner: Arc<PlanInner>,
+}
+
+impl Plan {
+    /// Runs ordering, symbolic analysis, and mapping/scheduling on the
+    /// pattern of `a`, per `cfg.analyze`.
+    pub fn analyze<T: Scalar>(a: &SymCsc<T>, cfg: &SolverConfig) -> Plan {
+        let opts = &cfg.analyze;
+        let g = a.to_graph();
+        let ordering = pastix_ordering::nested_dissection(&g, &opts.ordering);
+        let analysis = pastix_symbolic::analyze(&g, &ordering, &opts.analysis);
+        let machine = MachineModel::sp2(opts.procs);
+        let Mapping { graph, schedule, .. } =
+            map_and_schedule(&analysis.symbol, &machine, &opts.sched);
+        Plan::from_parts(
+            Some(analysis.perm),
+            graph,
+            opts.static_schedule.then_some(schedule),
+        )
+    }
+
+    /// Assembles a plan from already-computed artifacts. `perm: None`
+    /// means the inputs to [`Plan::factorize`] / the solves are treated as
+    /// already permuted (elimination order) — used by callers that manage
+    /// the permutation themselves.
+    pub fn from_parts(
+        perm: Option<Permutation>,
+        graph: TaskGraph,
+        schedule: Option<Schedule>,
+    ) -> Plan {
+        if let Some(p) = &perm {
+            assert_eq!(p.len(), graph.split.symbol.n, "permutation length != matrix order");
+        }
+        if let Some(s) = &schedule {
+            assert_eq!(s.task_proc.len(), graph.n_tasks(), "schedule built for another graph");
+        }
+        let n = graph.split.symbol.n;
+        Plan { inner: Arc::new(PlanInner { perm, graph, schedule, n }) }
+    }
+
+    /// The fill-reducing permutation, when this plan owns one.
+    pub fn permutation(&self) -> Option<&Permutation> {
+        self.inner.perm.as_ref()
+    }
+
+    /// The task graph over the split symbol.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.inner.graph
+    }
+
+    /// The static schedule (`None` for pure-dynamic plans).
+    pub fn schedule(&self) -> Option<&Schedule> {
+        self.inner.schedule.as_ref()
+    }
+
+    /// The (split) block symbolic structure.
+    pub fn symbol(&self) -> &SymbolMatrix {
+        &self.inner.graph.split.symbol
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Numeric factorization of `a` (same pattern as analyzed) on the
+    /// backend named by `cfg.backend`. The returned run carries this plan,
+    /// so [`FactorRun::solve_request`] works without further arguments.
+    pub fn factorize<T: Scalar>(
+        &self,
+        a: &SymCsc<T>,
+        cfg: &SolverConfig,
+    ) -> Result<FactorRun<T>, FactorError> {
+        assert_eq!(a.n(), self.inner.n, "matrix order != analyzed order");
+        let sym = self.symbol();
+        let permuted;
+        let ap: &SymCsc<T> = match &self.inner.perm {
+            Some(p) => {
+                permuted = a.permuted(p);
+                &permuted
+            }
+            None => a,
+        };
+        let mut run = match cfg.backend {
+            Backend::Dynamic(dopts) => dynamic::factorize_dynamic(
+                sym,
+                ap,
+                &self.inner.graph,
+                self.inner.schedule.as_ref(),
+                &dopts,
+                cfg,
+            )?,
+            Backend::Threads | Backend::Sim(_) => {
+                let sched = self.require_schedule();
+                crate::parallel::factorize_static(sym, ap, &self.inner.graph, sched, cfg)?
+            }
+        };
+        run.ctx = Some(PlanCtx { plan: self.clone(), cfg: cfg.clone() });
+        Ok(run)
+    }
+
+    fn require_schedule(&self) -> &Schedule {
+        self.inner.schedule.as_ref().expect(
+            "this plan has no static schedule (analyze.static_schedule = false): \
+             only Backend::Dynamic can run it",
+        )
+    }
+}
+
+/// The plan + config a [`FactorRun`] was produced under (attached by
+/// [`Plan::factorize`] / [`FactorRun::bind_plan`]).
+#[derive(Debug, Clone)]
+pub(crate) struct PlanCtx {
+    pub(crate) plan: Plan,
+    pub(crate) cfg: SolverConfig,
+}
+
+/// One solve call: `rhs` is `n × k` column-major (original row order when
+/// the plan owns a permutation, elimination order otherwise); `k = 1` is
+/// the single-RHS case. `trace: true` records the solve's [`TraceLog`]
+/// even when the config's tracing is off.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveRequest<'a, T> {
+    /// Right-hand sides, `n × k` column-major.
+    pub rhs: &'a [T],
+    /// Number of right-hand sides.
+    pub k: usize,
+    /// Record a trace of this solve.
+    pub trace: bool,
+}
+
+impl<'a, T> SolveRequest<'a, T> {
+    /// A single untraced right-hand side.
+    pub fn single(rhs: &'a [T]) -> Self {
+        Self { rhs, k: 1, trace: false }
+    }
+
+    /// An untraced `n × k` panel.
+    pub fn panel(rhs: &'a [T], k: usize) -> Self {
+        Self { rhs, k, trace: false }
+    }
+
+    /// Requests a trace of this solve.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// Result of [`FactorRun::solve_request`]: the solution panel and the
+/// solve's trace (empty when untraced).
+#[derive(Debug)]
+pub struct SolveOutput<T> {
+    /// Solution, `n × k` column-major, same row order as the request's
+    /// right-hand sides.
+    pub x: Vec<T>,
+    /// The solve's trace (empty unless requested or globally enabled).
+    pub trace: TraceLog,
+}
+
+impl<T: Scalar> FactorRun<T> {
+    /// Attaches a plan (and the config to solve under) to a run that was
+    /// built outside [`Plan::factorize`] — e.g. a sequentially factored
+    /// storage — enabling [`FactorRun::solve_request`] on it.
+    pub fn bind_plan(&mut self, plan: &Plan, cfg: &SolverConfig) {
+        self.ctx = Some(PlanCtx { plan: plan.clone(), cfg: cfg.clone() });
+    }
+
+    /// Solves `A·X = B` for the request's right-hand sides using this
+    /// run's factor, on the backend of the config the run was produced
+    /// under. Single-RHS is `k = 1` of the same panel path.
+    pub fn solve_request(&self, req: SolveRequest<'_, T>) -> SolveOutput<T> {
+        let ctx = self.ctx.as_ref().expect(
+            "this FactorRun has no Plan attached; produce it with Plan::factorize \
+             (or call bind_plan) before solving",
+        );
+        let plan = &ctx.plan;
+        let n = plan.n();
+        assert!(req.k >= 1, "solve needs at least one right-hand side");
+        assert_eq!(req.rhs.len(), n * req.k, "rhs must be n × k column-major");
+        let mut cfg = ctx.cfg.clone();
+        if !req.trace {
+            cfg.trace = TraceOptions::disabled();
+        } else if !cfg.trace.enabled {
+            cfg.trace = TraceOptions::wall();
+        }
+        // Into elimination order, one column at a time.
+        let permuted;
+        let b: &[T] = match plan.permutation() {
+            Some(p) => {
+                let mut bp = Vec::with_capacity(n * req.k);
+                for j in 0..req.k {
+                    bp.extend(p.apply_vec(&req.rhs[j * n..(j + 1) * n]));
+                }
+                permuted = bp;
+                &permuted
+            }
+            None => req.rhs,
+        };
+        let sym = plan.symbol();
+        let (xp, trace) = match cfg.backend {
+            Backend::Dynamic(dopts) => dynamic::solve_panel_dynamic(
+                sym,
+                &self.storage,
+                plan.graph(),
+                plan.schedule(),
+                b,
+                req.k,
+                &dopts,
+                &cfg,
+            ),
+            Backend::Threads | Backend::Sim(_) => {
+                let sched = plan.require_schedule();
+                crate::psolve::solve_panel_static(
+                    sym,
+                    &self.storage,
+                    plan.graph(),
+                    sched,
+                    b,
+                    req.k,
+                    &cfg,
+                )
+            }
+        };
+        let x = match plan.permutation() {
+            Some(p) => {
+                let mut out = Vec::with_capacity(n * req.k);
+                for j in 0..req.k {
+                    out.extend(p.unapply_vec(&xp[j * n..(j + 1) * n]));
+                }
+                out
+            }
+            None => xp,
+        };
+        SolveOutput { x, trace }
+    }
+
+    /// Solves for a single right-hand side (untraced).
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        self.solve_request(SolveRequest::single(b)).x
+    }
+
+    /// Solves for an `n × k` column-major panel of right-hand sides
+    /// (untraced).
+    pub fn solve_panel(&self, b: &[T], k: usize) -> Vec<T> {
+        self.solve_request(SolveRequest::panel(b, k)).x
+    }
+}
+
+/// Builds a [`FactorRun`] around a sequentially factored storage and
+/// binds `plan`/`cfg` to it, so sequential factors get the same solve
+/// surface as parallel ones.
+pub fn run_from_storage<T: Scalar>(
+    storage: FactorStorage<T>,
+    plan: &Plan,
+    cfg: &SolverConfig,
+) -> FactorRun<T> {
+    let mut run = FactorRun::new(storage, TraceLog::default(), cfg.metrics.clone());
+    run.bind_plan(plan, cfg);
+    run
+}

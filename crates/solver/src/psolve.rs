@@ -197,6 +197,10 @@ fn build_solve_routing(sym: &SymbolMatrix, graph: &TaskGraph, sched: &Schedule) 
 /// Runs the distributed forward + diagonal + backward solve; `b_perm` is
 /// the right-hand side already permuted into elimination order. Returns
 /// the solution (also in elimination order).
+#[deprecated(
+    since = "0.1.0",
+    note = "use FactorRun::solve / FactorRun::solve_request (the Plan API)"
+)]
 pub fn solve_parallel<T: Scalar>(
     sym: &SymbolMatrix,
     storage: &FactorStorage<T>,
@@ -204,13 +208,17 @@ pub fn solve_parallel<T: Scalar>(
     sched: &Schedule,
     b_perm: &[T],
 ) -> Vec<T> {
-    solve_parallel_with(sym, storage, graph, sched, b_perm, &SolverConfig::default())
+    solve_panel_static(sym, storage, graph, sched, b_perm, 1, &SolverConfig::default()).0
 }
 
 /// [`solve_parallel`] with an explicit [`SolverConfig`]; `cfg.backend`
 /// selects the execution substrate exactly as for the factorization. (The
 /// factorization-only knobs — memory cap, chaos — are ignored by the
 /// solve.) Use [`solve_parallel_traced`] to also recover the trace.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FactorRun::solve_request (the Plan API)"
+)]
 pub fn solve_parallel_with<T: Scalar>(
     sym: &SymbolMatrix,
     storage: &FactorStorage<T>,
@@ -219,13 +227,17 @@ pub fn solve_parallel_with<T: Scalar>(
     b_perm: &[T],
     cfg: &SolverConfig,
 ) -> Vec<T> {
-    solve_parallel_traced(sym, storage, graph, sched, b_perm, cfg).0
+    solve_panel_static(sym, storage, graph, sched, b_perm, 1, cfg).0
 }
 
 /// [`solve_parallel_with`] that also returns the run's [`TraceLog`]
 /// (empty when `cfg.trace` is disabled). The solve records
 /// [`TaskClass::FwdSolve`] / [`TaskClass::BwdSolve`] spans keyed by column
 /// block, plus every message with its byte count.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FactorRun::solve_request with trace: true (the Plan API)"
+)]
 pub fn solve_parallel_traced<T: Scalar>(
     sym: &SymbolMatrix,
     storage: &FactorStorage<T>,
@@ -234,7 +246,7 @@ pub fn solve_parallel_traced<T: Scalar>(
     b_perm: &[T],
     cfg: &SolverConfig,
 ) -> (Vec<T>, TraceLog) {
-    solve_panel_parallel_traced(sym, storage, graph, sched, b_perm, 1, cfg)
+    solve_panel_static(sym, storage, graph, sched, b_perm, 1, cfg)
 }
 
 /// Distributed **multi-RHS panel** solve: `b_panel` is `n × nrhs`
@@ -247,6 +259,10 @@ pub fn solve_parallel_traced<T: Scalar>(
 /// the per-blok trailing updates are GEMM-shaped (`h_b × nrhs × width`)
 /// through the packed paths instead of one GEMV per right-hand side, so a
 /// batch of coalesced requests pays the solve's message protocol once.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FactorRun::solve_panel / FactorRun::solve_request (the Plan API)"
+)]
 pub fn solve_panel_parallel<T: Scalar>(
     sym: &SymbolMatrix,
     storage: &FactorStorage<T>,
@@ -255,10 +271,14 @@ pub fn solve_panel_parallel<T: Scalar>(
     b_panel: &[T],
     nrhs: usize,
 ) -> Vec<T> {
-    solve_panel_parallel_with(sym, storage, graph, sched, b_panel, nrhs, &SolverConfig::default())
+    solve_panel_static(sym, storage, graph, sched, b_panel, nrhs, &SolverConfig::default()).0
 }
 
 /// [`solve_panel_parallel`] with an explicit [`SolverConfig`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use FactorRun::solve_request (the Plan API)"
+)]
 pub fn solve_panel_parallel_with<T: Scalar>(
     sym: &SymbolMatrix,
     storage: &FactorStorage<T>,
@@ -268,7 +288,7 @@ pub fn solve_panel_parallel_with<T: Scalar>(
     nrhs: usize,
     cfg: &SolverConfig,
 ) -> Vec<T> {
-    solve_panel_parallel_traced(sym, storage, graph, sched, b_panel, nrhs, cfg).0
+    solve_panel_static(sym, storage, graph, sched, b_panel, nrhs, cfg).0
 }
 
 /// [`solve_panel_parallel_with`] that also returns the run's [`TraceLog`].
@@ -278,7 +298,27 @@ pub fn solve_panel_parallel_with<T: Scalar>(
 /// mailbox-depth gauge is sampled every `trace.sample_every` tasks, so a
 /// serving run feeds the [`pastix_trace::watchdog`] exactly like the
 /// factorization does.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FactorRun::solve_request with trace: true (the Plan API)"
+)]
 pub fn solve_panel_parallel_traced<T: Scalar>(
+    sym: &SymbolMatrix,
+    storage: &FactorStorage<T>,
+    graph: &TaskGraph,
+    sched: &Schedule,
+    b_panel: &[T],
+    nrhs: usize,
+    cfg: &SolverConfig,
+) -> (Vec<T>, TraceLog) {
+    solve_panel_static(sym, storage, graph, sched, b_panel, nrhs, cfg)
+}
+
+/// The SPMD panel-solve engine (threads or simulator), called by
+/// [`crate::SolveRequest`]-driven solves on [`crate::FactorRun`] (and,
+/// for one release, by the deprecated free-function shims — both paths
+/// are bitwise identical by construction).
+pub(crate) fn solve_panel_static<T: Scalar>(
     sym: &SymbolMatrix,
     storage: &FactorStorage<T>,
     graph: &TaskGraph,
@@ -875,7 +915,8 @@ mod tests {
         let sym = &mapping.graph.split.symbol;
         let x_exact = canonical_solution::<f64>(ap.n());
         let b = rhs_for_solution(ap, &x_exact);
-        let x_par = solve_parallel(sym, st, &mapping.graph, &mapping.schedule, &b);
+        let x_par =
+            solve_panel_static(sym, st, &mapping.graph, &mapping.schedule, &b, 1, &SolverConfig::default()).0;
         let mut x_seq = b.clone();
         solve_in_place(sym, st, &mut x_seq);
         for (u, v) in x_par.iter().zip(&x_seq) {
@@ -910,7 +951,7 @@ mod tests {
         let sym = &mapping.graph.split.symbol;
         let x_exact = canonical_solution::<f64>(ap.n());
         let b = rhs_for_solution(&ap, &x_exact);
-        let x = solve_parallel(sym, &st, &mapping.graph, &cyc, &b);
+        let x = solve_panel_static(sym, &st, &mapping.graph, &cyc, &b, 1, &SolverConfig::default()).0;
         assert!(ap.residual_norm(&x, &b) < 1e-12);
     }
 
@@ -936,14 +977,16 @@ mod tests {
                     let b = rhs_for_solution(&ap, &x_exact);
                     panel[r * n..(r + 1) * n].copy_from_slice(&b);
                 }
-                let x_panel = solve_panel_parallel(
+                let x_panel = solve_panel_static(
                     sym,
                     &st,
                     &mapping.graph,
                     &mapping.schedule,
                     &panel,
                     nrhs,
-                );
+                    &SolverConfig::default(),
+                )
+                .0;
                 for r in 0..nrhs {
                     let mut x_seq = panel[r * n..(r + 1) * n].to_vec();
                     solve_in_place(sym, &st, &mut x_seq);
@@ -969,8 +1012,8 @@ mod tests {
         let cfg = SolverConfig::default().with_backend(pastix_runtime::Backend::Sim(
             pastix_runtime::sim::FaultPlan::interleave_only(11),
         ));
-        let x1 = solve_parallel_with(sym, &st, &mapping.graph, &mapping.schedule, &b, &cfg);
-        let xp = solve_panel_parallel_with(sym, &st, &mapping.graph, &mapping.schedule, &b, 1, &cfg);
+        let x1 = solve_panel_static(sym, &st, &mapping.graph, &mapping.schedule, &b, 1, &cfg).0;
+        let xp = solve_panel_static(sym, &st, &mapping.graph, &mapping.schedule, &b, 1, &cfg).0;
         assert_eq!(x1, xp);
     }
 }

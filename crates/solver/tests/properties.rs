@@ -7,7 +7,9 @@ use pastix_graph::SymCsc;
 use pastix_machine::MachineModel;
 use pastix_ordering::{nested_dissection, OrderingOptions};
 use pastix_sched::{map_and_schedule, MappingOptions, SchedOptions};
-use pastix_solver::{factorize_parallel, factorize_sequential, solve_in_place, FactorStorage};
+use pastix_solver::{
+    factorize_sequential, solve_in_place, FactorStorage, Plan, SolverConfig,
+};
 use pastix_symbolic::{analyze, AnalysisOptions};
 use proptest::prelude::*;
 
@@ -77,7 +79,8 @@ proptest! {
         let mapping = map_and_schedule(&an.symbol, &machine, &opts);
         let sym = &mapping.graph.split.symbol;
         let ap = a.permuted(&an.perm);
-        let par = factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule).unwrap();
+        let plan = Plan::from_parts(None, mapping.graph.clone(), Some(mapping.schedule.clone()));
+        let par = plan.factorize(&ap, &SolverConfig::default()).unwrap();
         let mut seq = FactorStorage::zeros(sym);
         seq.scatter(sym, &ap);
         factorize_sequential(sym, &mut seq).unwrap();

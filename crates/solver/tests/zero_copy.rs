@@ -23,7 +23,7 @@ use pastix_ordering::{nested_dissection, OrderingOptions};
 use pastix_runtime::sim::FaultPlan;
 use pastix_sched::{map_and_schedule, DistStrategy, MappingOptions, SchedOptions, TaskKind};
 use pastix_solver::metrics::MessagePathMetrics;
-use pastix_solver::{factorize_parallel_with, Backend, SolverConfig};
+use pastix_solver::{Backend, Plan, SolverConfig};
 use pastix_symbolic::{analyze, AnalysisOptions};
 
 fn check_zero_copy_on(backend: Backend) {
@@ -44,9 +44,10 @@ fn check_zero_copy_on(backend: Backend) {
     };
     let mapping = map_and_schedule(&an.symbol, &machine, &opts);
     let ap = a.permuted(&an.perm);
-    let sym = &mapping.graph.split.symbol;
     let graph = &mapping.graph;
     let sched = &mapping.schedule;
+    // `perm: None`: `ap` is already in elimination order.
+    let plan = Plan::from_parts(None, graph.clone(), Some(sched.clone()));
     // The only lawful deep copies: factor-producing tasks with at least
     // one consumer scheduled on a different processor (the `Arc` payload
     // is materialized once for the sends; everything local borrows).
@@ -60,14 +61,9 @@ fn check_zero_copy_on(backend: Backend) {
 
     // Phase 1: plain fan-in factorization — factor-payload sharing. The
     // run's private registry isolates its counts.
-    let fanin = factorize_parallel_with(
-        sym,
-        &ap,
-        graph,
-        sched,
-        &SolverConfig::new().with_backend(backend),
-    )
-    .unwrap();
+    let fanin = plan
+        .factorize(&ap, &SolverConfig::new().with_backend(backend))
+        .unwrap();
     let m1 = MessagePathMetrics::from_registry(&fanin.metrics);
     assert!(m1.fac_sends > 0, "expected remote factor traffic: {m1:?}");
     assert!(
@@ -81,16 +77,14 @@ fn check_zero_copy_on(backend: Backend) {
     );
 
     // Phase 2: punishing Fan-Both memory cap — AUB buffer recycling.
-    let fanboth = factorize_parallel_with(
-        sym,
-        &ap,
-        graph,
-        sched,
-        &SolverConfig::new()
-            .with_backend(backend)
-            .with_aub_memory_limit(Some(16)),
-    )
-    .unwrap();
+    let fanboth = plan
+        .factorize(
+            &ap,
+            &SolverConfig::new()
+                .with_backend(backend)
+                .with_aub_memory_limit(Some(16)),
+        )
+        .unwrap();
     let m2 = MessagePathMetrics::from_registry(&fanboth.metrics);
     assert!(m2.aub_sends > 0, "the cap should force AUB traffic: {m2:?}");
     assert!(

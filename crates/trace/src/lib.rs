@@ -197,6 +197,9 @@ pub enum GaugeId {
     /// Messages queued in this rank's mailbox (sent to it, not yet
     /// received), from the run-wide gauge aggregator.
     MailboxDepth = 5,
+    /// Ready-task queue depth of the worker, sampled by the dynamic
+    /// work-stealing backend after each pop.
+    ReadyQueueDepth = 6,
 }
 
 impl GaugeId {
@@ -209,6 +212,7 @@ impl GaugeId {
             GaugeId::LiveRegionBytes => "live_region_bytes",
             GaugeId::PeakLiveBytes => "peak_live_bytes",
             GaugeId::MailboxDepth => "mailbox_depth",
+            GaugeId::ReadyQueueDepth => "ready_queue_depth",
         }
     }
 
@@ -221,6 +225,7 @@ impl GaugeId {
             3 => GaugeId::LiveRegionBytes.name(),
             4 => GaugeId::PeakLiveBytes.name(),
             5 => GaugeId::MailboxDepth.name(),
+            6 => GaugeId::ReadyQueueDepth.name(),
             _ => "gauge_unknown",
         }
     }

@@ -14,7 +14,7 @@ use pastix::graph::{build_problem, canonical_solution, rhs_for_solution, Problem
 use pastix::machine::{measure_in_process_network, MachineModel};
 use pastix::ordering::{nested_dissection, OrderingOptions};
 use pastix::sched::{comm_stats, map_and_schedule, SchedOptions};
-use pastix::solver::{factorize_parallel, solve_in_place};
+use pastix::solver::{solve_in_place, Plan, SolverConfig};
 use pastix::symbolic::{analyze, AnalysisOptions};
 use std::time::Instant;
 
@@ -77,8 +77,9 @@ fn main() {
     // Phase 4: numeric factorization on threads + solve.
     let ap = a.permuted(&an.perm);
     let sym = &mapping.graph.split.symbol;
+    let plan = Plan::from_parts(None, mapping.graph.clone(), Some(mapping.schedule.clone()));
     let t0 = Instant::now();
-    let storage = factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule).expect("factorization failed");
+    let storage = plan.factorize(&ap, &SolverConfig::default()).expect("factorization failed");
     let t_fact = t0.elapsed().as_secs_f64();
     println!("numeric:  {:.3} s measured on {} threads (prediction above is for the modeled machine)", t_fact, n_procs);
 

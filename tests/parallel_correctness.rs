@@ -7,7 +7,9 @@ use pastix::graph::{build_problem, canonical_solution, rhs_for_solution, Problem
 use pastix::machine::MachineModel;
 use pastix::ordering::{nested_dissection, OrderingOptions};
 use pastix::sched::{map_and_schedule, DistStrategy, Mapping, SchedOptions};
-use pastix::solver::{factorize_parallel, factorize_sequential, solve_in_place, FactorStorage};
+use pastix::solver::{
+    factorize_sequential, solve_in_place, FactorStorage, Plan, SolverConfig,
+};
 use pastix::symbolic::{analyze, Analysis, AnalysisOptions};
 
 fn setup(id: ProblemId, scale: f64) -> (pastix::graph::SymCsc<f64>, Analysis) {
@@ -21,7 +23,8 @@ fn setup(id: ProblemId, scale: f64) -> (pastix::graph::SymCsc<f64>, Analysis) {
 fn run_case(a: &pastix::graph::SymCsc<f64>, an: &Analysis, mapping: &Mapping) {
     let sym = &mapping.graph.split.symbol;
     let ap = a.permuted(&an.perm);
-    let par = factorize_parallel(sym, &ap, &mapping.graph, &mapping.schedule).unwrap();
+    let plan = Plan::from_parts(None, mapping.graph.clone(), Some(mapping.schedule.clone()));
+    let par = plan.factorize(&ap, &SolverConfig::default()).unwrap();
     let mut seq = FactorStorage::zeros(sym);
     seq.scatter(sym, &ap);
     factorize_sequential(sym, &mut seq).unwrap();

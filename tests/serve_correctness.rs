@@ -16,9 +16,7 @@ use pastix::ordering::{nested_dissection, OrderingOptions};
 use pastix::runtime::sim::{FaultPlan, SchedPolicy};
 use pastix::runtime::Backend;
 use pastix::sched::{map_and_schedule, DistStrategy, Mapping, SchedOptions};
-use pastix::solver::{
-    factorize_parallel_with, solve_in_place, solve_panel_parallel_with, SolverConfig,
-};
+use pastix::solver::{solve_in_place, Plan, SolverConfig};
 use pastix::symbolic::{analyze, AnalysisOptions};
 use pastix_serve::{RequestQueue, SessionOptions, SolverSession};
 
@@ -64,20 +62,14 @@ fn assert_panel_agrees(cfg: &SolverConfig, tol: f64, label: &str) {
     let procs = 4;
     let (ap, mapping) = setup(procs);
     let sym = &mapping.graph.split.symbol;
-    let run = factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, cfg)
+    let plan = Plan::from_parts(None, mapping.graph.clone(), Some(mapping.schedule.clone()));
+    let run = plan
+        .factorize(&ap, cfg)
         .unwrap_or_else(|e| panic!("{label}: factorization failed: {e:?}"));
     let n = ap.n();
     for k in WIDTHS {
         let panel = rhs_panel(&ap, k);
-        let x = solve_panel_parallel_with(
-            sym,
-            &run.storage,
-            &mapping.graph,
-            &mapping.schedule,
-            &panel,
-            k,
-            cfg,
-        );
+        let x = run.solve_panel(&panel, k);
         for r in 0..k {
             let mut xr = panel[r * n..(r + 1) * n].to_vec();
             solve_in_place(sym, &run.storage, &mut xr);

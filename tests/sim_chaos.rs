@@ -23,8 +23,8 @@ use pastix::runtime::sim::{run_sim_spmd, FaultPlan, SchedPolicy, SimRng};
 use pastix::runtime::{Backend, TaggedMailbox};
 use pastix::sched::{map_and_schedule, DistStrategy, Mapping, SchedOptions, TaskKind};
 use pastix::solver::{
-    factorize_parallel_with, factorize_sequential, solve_in_place, solve_parallel_with,
-    ChaosOptions, FactorStorage, SolverConfig,
+    factorize_sequential, solve_in_place, ChaosOptions, DynamicOptions, FactorStorage, Plan,
+    SolverConfig,
 };
 use pastix::symbolic::{analyze, AnalysisOptions};
 
@@ -35,6 +35,9 @@ struct Case {
     procs: usize,
     ap: SymCsc<f64>,
     mapping: Mapping,
+    /// `perm: None` plan over the same graph/schedule: `ap` is already in
+    /// elimination order.
+    plan: Plan,
     seq: FactorStorage<f64>,
     b: Vec<f64>,
     x_seq: Vec<f64>,
@@ -63,15 +66,10 @@ impl Case {
     /// Simulated factorize + solve under `opts`, checked entry-for-entry
     /// against the sequential references.
     fn check_against_sequential(&self, opts: &SolverConfig, diag: &str) {
-        let sym = &self.mapping.graph.split.symbol;
-        let par = factorize_parallel_with(
-            sym,
-            &self.ap,
-            &self.mapping.graph,
-            &self.mapping.schedule,
-            opts,
-        )
-        .unwrap_or_else(|e| panic!("{diag}: factorization failed: {e:?}"));
+        let par = self
+            .plan
+            .factorize(&self.ap, opts)
+            .unwrap_or_else(|e| panic!("{diag}: factorization failed: {e:?}"));
         let mut max_diff = 0.0f64;
         for (pa, pb) in par.panels.iter().zip(&self.seq.panels) {
             for (x, y) in pa.iter().zip(pb) {
@@ -79,14 +77,7 @@ impl Case {
             }
         }
         assert!(max_diff < 1e-8, "{diag}: factor deviation {max_diff}");
-        let x_par = solve_parallel_with(
-            sym,
-            &par,
-            &self.mapping.graph,
-            &self.mapping.schedule,
-            &self.b,
-            opts,
-        );
+        let x_par = par.solve(&self.b);
         for (u, v) in x_par.iter().zip(&self.x_seq) {
             assert!(
                 (u - v).abs() < 1e-9,
@@ -131,11 +122,13 @@ fn build_case(
     let b = rhs_for_solution(&ap, &x_exact);
     let mut x_seq = b.clone();
     solve_in_place(sym, &seq, &mut x_seq);
+    let plan = Plan::from_parts(None, mapping.graph.clone(), Some(mapping.schedule.clone()));
     Case {
         name,
         procs,
         ap,
         mapping,
+        plan,
         seq,
         b,
         x_seq,
@@ -269,13 +262,137 @@ fn chaos_fan_both_lossy_under_every_policy() {
     }
 }
 
+/// (a''') The `Backend::Dynamic` agreement sweep: the work-stealing DAG
+/// executor, run under its deterministic sim serialization with every
+/// scheduling policy (and both with and without priority hints), must
+/// reproduce the sequential factor and solution within the same
+/// tolerances as the SPMD backends. Dynamic execution accumulates
+/// contributions in a data-dependent order, so agreement is entrywise
+/// within tolerance rather than bitwise.
+#[test]
+fn chaos_dynamic_backend_agrees_with_sequential_under_every_policy() {
+    let cases = build_matrix();
+    let per_policy = seed_budget(216).div_ceil(27).max(4);
+    for (p, base_policy) in [
+        SchedPolicy::Uniform,
+        SchedPolicy::StarveRank(0),
+        SchedPolicy::DeliverLast,
+        SchedPolicy::FifoPerPair,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for i in 0..per_policy {
+            let case = &cases[(p * per_policy + i) % cases.len()];
+            let seed = 0xD1A_0000 + ((p * per_policy + i) as u64);
+            let policy = match base_policy {
+                SchedPolicy::StarveRank(_) => SchedPolicy::StarveRank(seed as usize % case.procs),
+                other => other,
+            };
+            let plan = FaultPlan::builder(seed).policy(policy).build();
+            let dopts = DynamicOptions::new()
+                .with_workers(case.procs)
+                .with_priorities(i % 2 == 1)
+                .with_sim(plan);
+            let opts = SolverConfig {
+                backend: Backend::Dynamic(dopts),
+                ..Default::default()
+            };
+            case.check_against_sequential(&opts, &format!("[dynamic] {}", case.diag(&plan)));
+        }
+    }
+}
+
+/// `Backend::Dynamic` on real worker threads (no sim serialization), both
+/// with and without the static schedule's placement/priority hints.
+#[test]
+fn dynamic_backend_on_threads_agrees_with_sequential() {
+    let cases = build_matrix();
+    for (i, case) in cases.iter().enumerate() {
+        let dopts = DynamicOptions::new()
+            .with_workers(case.procs)
+            .with_priorities(i % 2 == 0);
+        let opts = SolverConfig {
+            backend: Backend::Dynamic(dopts),
+            ..Default::default()
+        };
+        let diag = format!("[dynamic threads, problem {}, procs {}]", case.name, case.procs);
+        case.check_against_sequential(&opts, &diag);
+    }
+}
+
+/// A schedule-free plan (`analyze.static_schedule = false` shape): only
+/// `Backend::Dynamic` can run it, and it still agrees with sequential.
+#[test]
+fn dynamic_backend_runs_scheduleless_plans() {
+    let case = build_case("grid8x8-mixed", (8, 8, 1), DistStrategy::Mixed1d2d, 4, 3);
+    let bare = Plan::from_parts(None, case.mapping.graph.clone(), None);
+    let opts = SolverConfig {
+        backend: Backend::Dynamic(DynamicOptions::new().with_workers(3)),
+        ..Default::default()
+    };
+    let run = bare.factorize(&case.ap, &opts).unwrap();
+    let mut max_diff = 0.0f64;
+    for (pa, pb) in run.panels.iter().zip(&case.seq.panels) {
+        for (x, y) in pa.iter().zip(pb) {
+            max_diff = max_diff.max((x - y).abs());
+        }
+    }
+    assert!(max_diff < 1e-8, "scheduleless dynamic factor deviation {max_diff}");
+    let x = run.solve(&case.b);
+    assert!(case.ap.residual_norm(&x, &case.b) < 1e-12);
+}
+
+/// Zero-pivot injection aborts the dynamic executor cleanly under every
+/// sim policy — the error surfaces, nothing deadlocks.
+#[test]
+fn chaos_dynamic_zero_pivot_aborts_cleanly() {
+    let case = build_case("grid8x8-mixed", (8, 8, 1), DistStrategy::Mixed1d2d, 4, 3);
+    let graph = &case.mapping.graph;
+    let candidates: Vec<u32> = (0..graph.n_tasks() as u32)
+        .filter(|&t| {
+            matches!(
+                graph.kinds[t as usize],
+                TaskKind::Comp1d { .. } | TaskKind::Factor { .. }
+            )
+        })
+        .collect();
+    for (p, policy) in [
+        SchedPolicy::Uniform,
+        SchedPolicy::StarveRank(1),
+        SchedPolicy::DeliverLast,
+        SchedPolicy::FifoPerPair,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let seed = 0x00DE_ADD1_u64 + p as u64;
+        let mut rng = SimRng::new(seed);
+        let victim = candidates[rng.below(candidates.len())];
+        let plan = FaultPlan::builder(seed).policy(policy).build();
+        let opts = SolverConfig {
+            backend: Backend::Dynamic(DynamicOptions::new().with_sim(plan)),
+            chaos: ChaosOptions {
+                zero_pivot_task: Some(victim),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let res = case.plan.factorize(&case.ap, &opts);
+        assert!(
+            res.is_err(),
+            "[dynamic] {}: injected zero pivot at task {victim} was not reported",
+            case.diag(&plan)
+        );
+    }
+}
+
 /// The replay guarantee itself: same `(seed, policy)` → bit-identical
 /// factor and solution, including under an adversarial policy with lossy
 /// faults enabled.
 #[test]
 fn chaos_same_seed_replays_identically() {
     let case = build_case("grid8x8-mixed", (8, 8, 1), DistStrategy::Mixed1d2d, 4, 3);
-    let sym = &case.mapping.graph.split.symbol;
     let plans = [
         FaultPlan::builder(1).build(),
         FaultPlan::builder(17).policy(SchedPolicy::DeliverLast).build(),
@@ -291,22 +408,8 @@ fn chaos_same_seed_replays_identically() {
             ..Default::default()
         };
         let run = || {
-            let f = factorize_parallel_with(
-                sym,
-                &case.ap,
-                &case.mapping.graph,
-                &case.mapping.schedule,
-                &opts,
-            )
-            .unwrap();
-            let x = solve_parallel_with(
-                sym,
-                &f,
-                &case.mapping.graph,
-                &case.mapping.schedule,
-                &case.b,
-                &opts,
-            );
+            let f = case.plan.factorize(&case.ap, &opts).unwrap();
+            let x = f.solve(&case.b);
             (f, x)
         };
         let (f1, x1) = run();
@@ -366,9 +469,7 @@ fn chaos_zero_pivot_abort_always_terminates_cleanly() {
             },
             ..Default::default()
         };
-        let sym = &case.mapping.graph.split.symbol;
-        let res =
-            factorize_parallel_with(sym, &case.ap, graph, &case.mapping.schedule, &opts);
+        let res = case.plan.factorize(&case.ap, &opts);
         assert!(
             res.is_err(),
             "{}: injected zero pivot at task {victim} was not reported",
@@ -383,7 +484,6 @@ fn chaos_zero_pivot_abort_always_terminates_cleanly() {
 #[test]
 fn chaos_worker_panic_unwinds_whole_machine() {
     let case = build_case("grid8x8-mixed", (8, 8, 1), DistStrategy::Mixed1d2d, 4, 4);
-    let sym = &case.mapping.graph.split.symbol;
     for i in 0..12u64 {
         let seed = 0xDEAD_0000 + i;
         let mut rng = SimRng::new(seed);
@@ -403,13 +503,7 @@ fn chaos_worker_panic_unwinds_whole_machine() {
             ..Default::default()
         };
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = factorize_parallel_with(
-                sym,
-                &case.ap,
-                &case.mapping.graph,
-                &case.mapping.schedule,
-                &opts,
-            );
+            let _ = case.plan.factorize(&case.ap, &opts);
         }));
         let payload = caught.expect_err("injected panic must propagate");
         let msg = payload

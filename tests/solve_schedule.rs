@@ -17,9 +17,7 @@ use pastix::ordering::{nested_dissection, OrderingOptions};
 use pastix::runtime::sim::{FaultPlan, SchedPolicy};
 use pastix::runtime::Backend;
 use pastix::sched::{map_and_schedule, solve_schedule, DistStrategy, Mapping, SchedOptions};
-use pastix::solver::{
-    factorize_parallel_with, solve_panel_parallel_traced, SolverConfig, TraceOptions,
-};
+use pastix::solver::{Plan, SolveRequest, SolverConfig, TraceOptions};
 use pastix::symbolic::{analyze, AnalysisOptions};
 use pastix::trace::report::build_solve_report;
 
@@ -72,24 +70,16 @@ fn traced_solve(
     let cfg = SolverConfig::new()
         .with_backend(Backend::Sim(plan))
         .with_trace(trace_all());
-    let sym = &mapping.graph.split.symbol;
-    let run = factorize_parallel_with(sym, ap, &mapping.graph, &mapping.schedule, &cfg)
-        .expect("sim factorization");
+    let pln = Plan::from_parts(None, mapping.graph.clone(), Some(mapping.schedule.clone()));
+    let run = pln.factorize(ap, &cfg).expect("sim factorization");
     let n = ap.n();
     let mut panel = vec![0.0f64; n * nrhs];
     for r in 0..nrhs {
         let xe: Vec<f64> = (0..n).map(|i| 1.0 + ((i + r * 17) % 11) as f64).collect();
         panel[r * n..(r + 1) * n].copy_from_slice(&rhs_for_solution(ap, &xe));
     }
-    solve_panel_parallel_traced(
-        sym,
-        &run.storage,
-        &mapping.graph,
-        &mapping.schedule,
-        &panel,
-        nrhs,
-        &cfg,
-    )
+    let out = run.solve_request(SolveRequest::panel(&panel, nrhs).traced());
+    (out.x, out.trace)
 }
 
 /// Sim workers execute exactly the per-rank orders the level-set solve

@@ -20,7 +20,7 @@ use pastix::runtime::sim::{FaultPlan, SchedPolicy};
 use pastix::runtime::Backend;
 use pastix::sched::{map_and_schedule, DistStrategy, Mapping, SchedOptions};
 use pastix::solver::{
-    factorize_parallel_with, solve_parallel_traced, MetricsRegistry, SolverConfig, TraceOptions,
+    MetricsRegistry, Plan, SolveRequest, SolverConfig, TraceOptions,
 };
 use pastix::symbolic::{analyze, AnalysisOptions};
 use pastix::trace::export::{chrome_trace_with, validate_chrome_trace};
@@ -48,6 +48,12 @@ fn setup(procs: usize) -> (pastix::graph::SymCsc<f64>, Mapping) {
     (a.permuted(&an.perm), mapping)
 }
 
+/// A `perm: None` plan over the case's graph/schedule (inputs already in
+/// elimination order).
+fn plan_of(mapping: &Mapping) -> Plan {
+    Plan::from_parts(None, mapping.graph.clone(), Some(mapping.schedule.clone()))
+}
+
 fn all_policies(seed: u64, procs: usize) -> [SchedPolicy; 4] {
     [
         SchedPolicy::Uniform,
@@ -65,7 +71,7 @@ fn all_policies(seed: u64, procs: usize) -> [SchedPolicy; 4] {
 fn sim_traces_are_byte_identical_for_fixed_seed_and_policy() {
     let procs = 3;
     let (ap, mapping) = setup(procs);
-    let sym = &mapping.graph.split.symbol;
+    let pln = plan_of(&mapping);
     let mut fingerprints = Vec::new();
     for seed in [11u64, 12] {
         for policy in all_policies(seed, procs) {
@@ -74,9 +80,7 @@ fn sim_traces_are_byte_identical_for_fixed_seed_and_policy() {
                 let cfg = SolverConfig::new()
                     .with_backend(Backend::Sim(plan))
                     .with_trace(TraceOptions::deterministic());
-                factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, &cfg)
-                    .unwrap()
-                    .trace
+                pln.factorize(&ap, &cfg).unwrap().trace
             };
             let t1 = run();
             let t2 = run();
@@ -104,15 +108,18 @@ fn sim_traces_are_byte_identical_for_fixed_seed_and_policy() {
 fn sim_solve_traces_are_byte_identical() {
     let procs = 3;
     let (ap, mapping) = setup(procs);
-    let sym = &mapping.graph.split.symbol;
     let plan = FaultPlan::builder(23).policy(SchedPolicy::DeliverLast).build();
-    let cfg = SolverConfig::new().with_backend(Backend::Sim(plan));
-    let f = factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, &cfg)
-        .unwrap();
+    let cfg = SolverConfig::new()
+        .with_backend(Backend::Sim(plan))
+        .with_trace(TraceOptions::deterministic());
+    let f = plan_of(&mapping).factorize(&ap, &cfg).unwrap();
     let b = rhs_for_solution(&ap, &canonical_solution::<f64>(ap.n()));
-    let tcfg = cfg.clone().with_trace(TraceOptions::deterministic());
-    let (x1, t1) = solve_parallel_traced(sym, &f, &mapping.graph, &mapping.schedule, &b, &tcfg);
-    let (x2, t2) = solve_parallel_traced(sym, &f, &mapping.graph, &mapping.schedule, &b, &tcfg);
+    let solve = || {
+        let out = f.solve_request(SolveRequest::single(&b).traced());
+        (out.x, out.trace)
+    };
+    let (x1, t1) = solve();
+    let (x2, t2) = solve();
     assert_eq!(x1, x2);
     assert!(t1.event_count() > 0);
     assert_eq!(t1.canonical_bytes(), t2.canonical_bytes());
@@ -127,7 +134,7 @@ fn sim_solve_traces_are_byte_identical() {
 fn comm_counters_conserve_messages_under_all_policies() {
     let procs = 4;
     let (ap, mapping) = setup(procs);
-    let sym = &mapping.graph.split.symbol;
+    let pln = plan_of(&mapping);
     for seed in [5u64, 6] {
         for policy in all_policies(seed, procs) {
             for drop_p in [0.0f64, 0.3] {
@@ -142,9 +149,7 @@ fn comm_counters_conserve_messages_under_all_policies() {
                     // drop/retry path is actually exercised.
                     .with_aub_memory_limit(Some(16))
                     .with_metrics(MetricsRegistry::new());
-                let run =
-                    factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, &cfg)
-                        .unwrap();
+                let run = pln.factorize(&ap, &cfg).unwrap();
                 let t = run.trace.comm_totals();
                 let diag = format!("seed {seed}, policy {policy:?}, drop {drop_p}");
                 assert!(t.sends > 0, "{diag}: no traffic recorded");
@@ -176,7 +181,7 @@ fn comm_counters_conserve_messages_under_all_policies() {
 fn watchdog_flags_starved_rank_and_stays_silent_on_uniform() {
     let procs = 4;
     let (ap, mapping) = setup(procs);
-    let sym = &mapping.graph.split.symbol;
+    let pln = plan_of(&mapping);
     let run = |seed: u64, policy: SchedPolicy| {
         let plan = FaultPlan::builder(seed).policy(policy).build();
         let mut topts = TraceOptions::deterministic();
@@ -184,9 +189,7 @@ fn watchdog_flags_starved_rank_and_stays_silent_on_uniform() {
         let cfg = SolverConfig::new()
             .with_backend(Backend::Sim(plan))
             .with_trace(topts);
-        factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, &cfg)
-            .unwrap()
-            .trace
+        pln.factorize(&ap, &cfg).unwrap().trace
     };
     let opts = WatchdogOptions::default();
     for seed in [3u64, 4, 5] {
@@ -221,14 +224,13 @@ fn watchdog_flags_starved_rank_and_stays_silent_on_uniform() {
 fn chrome_trace_export_matches_golden_file() {
     let procs = 3;
     let (ap, mapping) = setup(procs);
-    let sym = &mapping.graph.split.symbol;
     let plan = FaultPlan::builder(17).policy(SchedPolicy::Uniform).build();
     let mut topts = TraceOptions::deterministic();
     topts.sample_every = 1; // gauge samples on every rank, even tiny ones
     let cfg = SolverConfig::new()
         .with_backend(Backend::Sim(plan))
         .with_trace(topts);
-    let run = factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, &cfg).unwrap();
+    let run = plan_of(&mapping).factorize(&ap, &cfg).unwrap();
     let json = chrome_trace_with(&run.trace, &mapping.graph, &mapping.schedule);
     validate_chrome_trace(&json).expect("exported trace must satisfy the schema");
 
@@ -275,12 +277,11 @@ fn chrome_trace_export_matches_golden_file() {
 fn report_covers_every_scheduled_task_on_sim() {
     let procs = 3;
     let (ap, mapping) = setup(procs);
-    let sym = &mapping.graph.split.symbol;
     let plan = FaultPlan::builder(41).build();
     let cfg = SolverConfig::new()
         .with_backend(Backend::Sim(plan))
         .with_trace(TraceOptions::deterministic());
-    let run = factorize_parallel_with(sym, &ap, &mapping.graph, &mapping.schedule, &cfg).unwrap();
+    let run = plan_of(&mapping).factorize(&ap, &cfg).unwrap();
     let report = build_report(&mapping.graph, &mapping.schedule, &run.trace);
     assert_eq!(report.digest, mapping.schedule.digest());
     assert_eq!(
