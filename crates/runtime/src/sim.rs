@@ -11,11 +11,14 @@
 //!
 //! Each logical processor still runs on its own OS thread (so the solver
 //! code is byte-for-byte the production code), but the threads are fully
-//! *serialized*: every [`Comm`] call parks the worker on a rendezvous
-//! channel and hands control to the scheduler. The scheduler only makes a
-//! choice when **all** live workers are parked, so the OS thread scheduler
-//! has no influence on the outcome — the only nondeterminism source is
-//! the seeded [`SimRng`].
+//! *serialized*: every worker parks on a start barrier before executing
+//! any user code, and every [`Comm`] call parks it again, handing control
+//! to the scheduler each time. The scheduler only makes a choice when
+//! **all** live workers are parked, so the OS thread scheduler has no
+//! influence on the outcome — even cross-rank shared state touched
+//! between comm calls (gauges, progress counters) is updated in a
+//! replayable order, and the only nondeterminism source is the seeded
+//! [`SimRng`].
 //!
 //! ## Adversarial scheduling policies
 //!
@@ -221,6 +224,14 @@ impl FaultPlanBuilder {
 
 /// A worker's parked request, waiting for the scheduler.
 enum Call<M> {
+    /// The worker parked before executing any user code; servicing it
+    /// releases the worker into its closure. Without this barrier the
+    /// stretch from thread spawn to each worker's *first* comm call runs
+    /// under the OS scheduler — concurrently across ranks — so any
+    /// cross-rank shared state touched there (e.g. the run-global
+    /// progress counter stamping heartbeats) would race and break
+    /// replayability.
+    Start,
     Send { to: usize, msg: M, lossy: bool },
     Recv,
     TryRecv,
@@ -230,6 +241,8 @@ enum Call<M> {
 }
 
 enum Reply<M> {
+    /// Start barrier released: run the closure.
+    Go,
     /// Send accepted into the network.
     Sent,
     /// Send dropped by the lossy fault; the message is handed back so the
@@ -411,6 +424,7 @@ impl<M: Clone> SchedulerState<M> {
         for (r, st) in self.states.iter().enumerate() {
             let what = match st {
                 WorkerState::Running => "running".to_string(),
+                WorkerState::Parked(Call::Start) => "parked at start barrier".to_string(),
                 WorkerState::Parked(Call::Recv) => {
                     format!("blocked in recv (mailbox: {})", self.mailboxes[r].len())
                 }
@@ -436,7 +450,7 @@ impl<M: Clone> SchedulerState<M> {
             if let WorkerState::Parked(call) = st {
                 let serviceable = match call {
                     Call::Recv => !self.mailboxes[r].is_empty(),
-                    Call::Send { .. } | Call::TryRecv => true,
+                    Call::Start | Call::Send { .. } | Call::TryRecv => true,
                     Call::Finished => false,
                 };
                 if serviceable {
@@ -567,7 +581,17 @@ where
             let finish_tx = ctx.call_tx.clone();
             let slot = &results[rank];
             scope.spawn(move || {
-                let out = catch_unwind(AssertUnwindSafe(|| f(ctx)));
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    // Park before touching user code: from here on the
+                    // scheduler serializes every instruction this worker
+                    // executes, not just the stretch after its first
+                    // comm call.
+                    match ctx.rendezvous(Call::Start) {
+                        Reply::Go => {}
+                        _ => unreachable!("sim: bad reply to start barrier"),
+                    }
+                    f(ctx)
+                }));
                 *slot.lock().unwrap() = Some(out);
                 // Best-effort: the scheduler may already be gone.
                 let _ = finish_tx.send((rank, Call::Finished));
@@ -650,6 +674,7 @@ where
                         unreachable!("sim: serviced a non-parked worker")
                     };
                     let reply = match call {
+                        Call::Start => Reply::Go,
                         Call::Send { to, msg, lossy } => {
                             if matches!(st.states[to], WorkerState::Done) {
                                 Reply::Closed(msg)

@@ -75,7 +75,12 @@ pub struct CachedFactor<T> {
     /// Level-set schedule of the solve DAG, reconcilable against solve
     /// traces via `pastix_trace::report::build_solve_report`.
     pub ssched: SolveSchedule,
-    /// Resident size estimate (factor panel bytes).
+    /// Resident factor bytes **as stored**: dense panel bytes plus the
+    /// `U`/`V` bytes of compressed bloks ([`FactorStorage::factor_bytes`]
+    /// of the run), so a block-low-rank factor charges the byte budget
+    /// only for what it actually keeps resident.
+    ///
+    /// [`FactorStorage::factor_bytes`]: pastix_solver::FactorStorage::factor_bytes
     pub bytes: u64,
 }
 
@@ -166,12 +171,7 @@ impl<T: Scalar> SolverSession<T> {
             plan.graph(),
             plan.schedule().expect("session plans always carry a static schedule"),
         );
-        let bytes: u64 = run
-            .storage
-            .panels
-            .iter()
-            .map(|p| (p.len() * std::mem::size_of::<T>()) as u64)
-            .sum();
+        let bytes = run.storage.factor_bytes();
         let entry = Arc::new(CachedFactor {
             fingerprint: fp,
             plan,
@@ -280,6 +280,30 @@ mod tests {
         let x = s.solve(&b, &rhs).unwrap();
         assert!(b.residual_norm(&x, &rhs) < 1e-10);
         assert_eq!(s.metrics().counter("serve.cache.misses"), 4);
+    }
+
+    #[test]
+    fn resident_bytes_track_compressed_storage() {
+        use pastix_solver::{CompressionConfig, CompressionStrategy};
+        // A grid whose separator blocks compress at the loose tolerance.
+        let a = grid_spd::<f64>(20, 20, 1, Stencil::Star, false, ValueKind::RandomSpd(3));
+        let mut opts = small_opts();
+        opts.solver = opts.solver.with_compression(
+            CompressionConfig::with_tolerance(1e-2)
+                .min_block(4)
+                .strategy(CompressionStrategy::MinimalMemory),
+        );
+        let mut s = SolverSession::<f64>::new(opts);
+        let cached = s.get_or_factorize(&a).unwrap();
+        assert!(cached.run.storage.is_compressed(), "factor should compress");
+        // The budgeted bytes are the storage's own accounting — packed
+        // panels plus U/V — not the dense panel estimate.
+        assert_eq!(cached.bytes, cached.run.storage.factor_bytes());
+        assert_eq!(s.resident_bytes(), cached.bytes);
+        assert!(
+            cached.bytes < cached.run.storage.dense_factor_bytes(),
+            "compressed factor must charge less than the dense layout"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! bundles the factor with the run's [`TraceLog`] and the
 //! [`MetricsRegistry`] handle that collected its counters.
 
+use crate::compress::CompressionConfig;
 use crate::parallel::ChaosOptions;
 use crate::plan::{AnalyzeOptions, PlanCtx};
 use crate::storage::FactorStorage;
@@ -49,6 +50,10 @@ pub struct SolverConfig {
     /// ordering, symbolic analysis, mapping/scheduling, and whether a
     /// static schedule is computed at all.
     pub analyze: AnalyzeOptions,
+    /// Block low-rank compression of off-diagonal factor blocks. Off by
+    /// default (`tolerance: 0.0`) — the factorization is bitwise-identical
+    /// to the classic dense path.
+    pub compression: CompressionConfig,
 }
 
 impl SolverConfig {
@@ -97,6 +102,12 @@ impl SolverConfig {
     /// Sets the analyze-phase options ([`crate::Plan::analyze`]).
     pub fn with_analyze(mut self, analyze: AnalyzeOptions) -> Self {
         self.analyze = analyze;
+        self
+    }
+
+    /// Sets the block low-rank compression knobs.
+    pub fn with_compression(mut self, compression: CompressionConfig) -> Self {
+        self.compression = compression;
         self
     }
 }
@@ -158,6 +169,7 @@ mod tests {
         assert_eq!(c.chaos, ChaosOptions::default());
         assert_eq!(c.kernel_mode, KernelMode::Auto);
         assert!(!c.trace.enabled);
+        assert!(!c.compression.enabled(), "compression must default to off");
     }
 
     #[test]

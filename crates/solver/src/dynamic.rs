@@ -19,13 +19,15 @@
 //! decrements plus the panel mutexes give each consumer a happens-before
 //! edge from every producer's writes.
 
+use crate::compress::{comp1d_tail_compressed, finalize_compression, CompressionConfig};
 use crate::config::{FactorRun, SolverConfig};
-use crate::storage::{panel_row_of, FactorStorage, PanelLayout};
+use crate::storage::{panel_row_of, BlokView, FactorStorage, PanelLayout};
 use pastix_graph::SymCsc;
 use pastix_kernels::factor::{ldlt_factor_blocked, FactorError, NB_FACTOR};
 use pastix_kernels::{
-    gemm_nn_acc, gemm_nt_acc, gemm_tn_acc, scale_cols_by_diag_into, solve_unit_lower_panel,
-    solve_unit_lower_trans_panel, trsm_ldlt_panel, Scalar,
+    gemm_nn_acc, gemm_tn_acc, lr_gemm_nn_acc, lr_gemm_nt_acc, lr_gemm_tn_acc,
+    scale_cols_by_diag_into, solve_unit_lower_panel, solve_unit_lower_trans_panel,
+    trsm_ldlt_panel, LowRankBlock, LrOp, Scalar,
 };
 use pastix_runtime::steal::{run_dag, DagSpec, StealStats, TaskCtx};
 use pastix_runtime::DynamicOptions;
@@ -87,14 +89,20 @@ struct DynFactor<'a, T> {
     layout: &'a PanelLayout,
     panels: &'a [Mutex<Vec<T>>],
     fbufs: &'a [Mutex<Vec<T>>],
+    /// Block low-rank compression knobs (off by default).
+    compression: CompressionConfig,
+    /// Compressed factor bloks produced by comp1d tasks, keyed by global
+    /// blok id; installed into the storage after the DAG drains.
+    lr_out: Mutex<Vec<(usize, LowRankBlock<T>)>>,
 }
 
 impl<T: Scalar> DynFactor<'_, T> {
     /// Applies the contribution of off-block pair `(br, bc)` (an
-    /// `h_r × h_c` GEMM) straight into the target column block's panel.
-    /// The target block is strictly later than the producer, so locking
-    /// it while holding the producer's locks ascends the index order.
-    fn contribution(&self, br: usize, bc: usize, w: usize, a: &[T], lda: usize, b: &[T], ldb: usize) {
+    /// `h_r × h_c` update, operands dispatched on representation) straight
+    /// into the target column block's panel. The target block is strictly
+    /// later than the producer, so locking it while holding the producer's
+    /// locks ascends the index order.
+    fn contribution(&self, br: usize, bc: usize, w: usize, a: LrOp<'_, T>, b: LrOp<'_, T>) {
         let rb = &self.sym.bloks[br];
         let cb = &self.sym.bloks[bc];
         let tk = cb.fcblk as usize;
@@ -106,7 +114,7 @@ impl<T: Scalar> DynFactor<'_, T> {
         let ldt = self.layout.panel_rows(tk);
         let mut tgt = self.panels[tk].lock().unwrap();
         let off = row_off + col_off * ldt;
-        gemm_nt_acc(hr, hc, w, -T::one(), a, lda, b, ldb, &mut tgt[off..], ldt);
+        lr_gemm_nt_acc(hr, hc, w, -T::one(), a, b, &mut tgt[off..], ldt);
     }
 
     /// COMP1D: factor the whole 1D panel, then apply every `(r ≥ c)` pair
@@ -127,7 +135,28 @@ impl<T: Scalar> DynFactor<'_, T> {
         {
             return Err(FactorError::ZeroPivot(cb.fcol as usize + i));
         }
-        if h > 0 {
+        if h > 0 && self.compression.enabled() {
+            // Compressed comp1d: qualifying bloks compress just-in-time and
+            // outgoing contributions dispatch on representation. Targets
+            // are strictly later column blocks, so the lock order matches
+            // the dense path exactly.
+            let mut dtmp = vec![T::zero(); w * w];
+            pastix_kernels::dense::copy_panel(w, w, &panel, lda, &mut dtmp, w);
+            let cc = self.compression;
+            let lrs = comp1d_tail_compressed(
+                self.sym,
+                self.layout,
+                k,
+                &mut panel[..],
+                lda,
+                &dtmp,
+                &cc,
+                &mut |br, bc, a_op, b_op| self.contribution(br, bc, w, a_op, b_op),
+            );
+            if !lrs.is_empty() {
+                self.lr_out.lock().unwrap().extend(lrs);
+            }
+        } else if h > 0 {
             let mut dtmp = vec![T::zero(); w * w];
             pastix_kernels::dense::copy_panel(w, w, &panel, lda, &mut dtmp, w);
             trsm_ldlt_panel(h, w, &dtmp, w, &mut panel[w..], lda);
@@ -142,7 +171,13 @@ impl<T: Scalar> DynFactor<'_, T> {
                     let br = cb.blok_start + 1 + r;
                     let a_off = self.layout.panel_row[br] as usize;
                     let b_off = self.layout.panel_row[bc] as usize - w;
-                    self.contribution(br, bc, w, &panel[a_off..], lda, &wbuf[b_off..], h);
+                    self.contribution(
+                        br,
+                        bc,
+                        w,
+                        LrOp::Dense { a: &panel[a_off..], ld: lda },
+                        LrOp::Dense { a: &wbuf[b_off..], ld: h },
+                    );
                 }
             }
         }
@@ -196,7 +231,13 @@ impl<T: Scalar> DynFactor<'_, T> {
         let panel = self.panels[k].lock().unwrap();
         let fbuf = self.fbufs[blok_col].lock().unwrap();
         debug_assert_eq!(fbuf.len(), hc * w);
-        self.contribution(blok_row, blok_col, w, &panel[prow..], lda, &fbuf, hc);
+        self.contribution(
+            blok_row,
+            blok_col,
+            w,
+            LrOp::Dense { a: &panel[prow..], ld: lda },
+            LrOp::Dense { a: &fbuf, ld: hc },
+        );
     }
 }
 
@@ -218,7 +259,7 @@ pub(crate) fn factorize_dynamic<T: Scalar>(
     let _mode = cfg.kernel_mode.scoped();
     let mut storage = FactorStorage::zeros(sym);
     storage.scatter(sym, a);
-    let FactorStorage { layout, panels } = storage;
+    let FactorStorage { layout, panels, compression: _ } = storage;
     let panels: Vec<Mutex<Vec<T>>> = panels.into_iter().map(Mutex::new).collect();
     let fbufs: Vec<Mutex<Vec<T>>> = (0..sym.bloks.len()).map(|_| Mutex::new(Vec::new())).collect();
 
@@ -237,7 +278,14 @@ pub(crate) fn factorize_dynamic<T: Scalar>(
     }
     let progress = AtomicU64::new(0);
     let error: Mutex<Option<FactorError>> = Mutex::new(None);
-    let shared = DynFactor { sym, layout: &layout, panels: &panels, fbufs: &fbufs };
+    let shared = DynFactor {
+        sym,
+        layout: &layout,
+        panels: &panels,
+        fbufs: &fbufs,
+        compression: cfg.compression,
+        lr_out: Mutex::new(Vec::new()),
+    };
 
     let body = |t: u32, tctx: &TaskCtx| -> bool {
         if cfg.chaos.panic_at == Some((tctx.worker as u32, tctx.local_index)) {
@@ -310,10 +358,18 @@ pub(crate) fn factorize_dynamic<T: Scalar>(
     };
     crate::parallel::merge_trace_metrics(&cfg.metrics, &trace);
     record_steal_metrics(cfg, &stats);
-    let storage = FactorStorage {
+    let lrs = shared.lr_out.into_inner().unwrap();
+    let mut storage = FactorStorage {
         layout,
         panels: panels.into_iter().map(|p| p.into_inner().unwrap()).collect(),
+        compression: Vec::new(),
     };
+    let mut per_blok: Vec<Option<LowRankBlock<T>>> =
+        (0..sym.bloks.len()).map(|_| None).collect();
+    for (b, lr) in lrs {
+        per_blok[b] = Some(lr);
+    }
+    finalize_compression(sym, &mut storage, &cfg.compression, per_blok, &cfg.metrics);
     Ok(FactorRun::new(storage, trace, cfg.metrics.clone()))
 }
 
@@ -401,7 +457,6 @@ pub(crate) fn solve_panel_dynamic<T: Scalar>(
     // Owned segments (b on entry, x on exit) and buffered backward
     // partials, one mutex per column block. Segment locks are only ever
     // taken in ascending order; partial buffers are leaf locks.
-    let layout = &storage.layout;
     let segs: Vec<Mutex<Vec<T>>> = (0..ns)
         .map(|k| {
             let cb = &sym.cblks[k];
@@ -430,7 +485,7 @@ pub(crate) fn solve_panel_dynamic<T: Scalar>(
             let _span = task_span(k as u32, TaskClass::FwdSolve);
             let cb = &sym.cblks[k];
             let w = cb.width();
-            let lda = layout.panel_rows(k);
+            let lda = storage.panel_lda(k);
             let mut seg = segs[k].lock().unwrap();
             solve_unit_lower_panel(w, &storage.panels[k], lda, &mut seg, nrhs, w);
             let mut last_t = u32::MAX;
@@ -447,25 +502,40 @@ pub(crate) fn solve_panel_dynamic<T: Scalar>(
                 let width_t = tcb.width();
                 let off = (blok.frow - tcb.fcol) as usize;
                 let tgt = tgt_guard.as_mut().expect("target guard just set");
-                gemm_nn_acc(
-                    hb,
-                    nrhs,
-                    w,
-                    -T::one(),
-                    &storage.panels[k][layout.panel_row[b] as usize..],
-                    lda,
-                    &seg,
-                    w,
-                    &mut tgt[off..],
-                    width_t,
-                );
+                match storage.blok_view(k, b - cb.blok_start, b) {
+                    BlokView::Dense { data, ld } => {
+                        gemm_nn_acc(
+                            hb,
+                            nrhs,
+                            w,
+                            -T::one(),
+                            data,
+                            ld,
+                            &seg,
+                            w,
+                            &mut tgt[off..],
+                            width_t,
+                        );
+                    }
+                    BlokView::LowRank(lr) => {
+                        lr_gemm_nn_acc(
+                            -T::one(),
+                            lr.as_ref(),
+                            &seg,
+                            nrhs,
+                            w,
+                            &mut tgt[off..],
+                            width_t,
+                        );
+                    }
+                }
             }
         } else {
             let k = t - ns;
             let _span = task_span(k as u32, TaskClass::BwdSolve);
             let cb = &sym.cblks[k];
             let w = cb.width();
-            let lda = layout.panel_rows(k);
+            let lda = storage.panel_lda(k);
             let panel = &storage.panels[k];
             let mut seg = segs[k].lock().unwrap();
             // Sequential order: D-divide, subtract buffered partials,
@@ -492,25 +562,19 @@ pub(crate) fn solve_panel_dynamic<T: Scalar>(
                 let blok = &sym.bloks[b];
                 let hb = blok.nrows();
                 let w_s = sym.cblks[src].width();
-                let lda_s = layout.panel_rows(src);
-                let prow = layout.panel_row[b] as usize;
                 let off = (blok.frow - cb.fcol) as usize;
                 let mut pb = pbufs[src].lock().unwrap();
                 if pb.is_empty() {
                     pb.resize(w_s * nrhs, T::zero());
                 }
-                gemm_tn_acc(
-                    w_s,
-                    nrhs,
-                    hb,
-                    T::one(),
-                    &storage.panels[src][prow..],
-                    lda_s,
-                    &seg[off..],
-                    w,
-                    &mut pb,
-                    w_s,
-                );
+                match storage.blok_view(src, b - sym.cblks[src].blok_start, b) {
+                    BlokView::Dense { data, ld } => {
+                        gemm_tn_acc(w_s, nrhs, hb, T::one(), data, ld, &seg[off..], w, &mut pb, w_s);
+                    }
+                    BlokView::LowRank(lr) => {
+                        lr_gemm_tn_acc(T::one(), lr.as_ref(), &seg[off..], nrhs, w, &mut pb, w_s);
+                    }
+                }
             }
         }
         if topts.enabled {

@@ -23,36 +23,37 @@
 //! entry; both support `f64` (SPD) and `Complex64` (complex symmetric)
 //! systems through the shared [`pastix_kernels::Scalar`] abstraction.
 //!
-//! The pre-Plan free functions (`factorize_parallel*`, `solve_parallel*`,
-//! `solve_panel_parallel*`) are deprecated one-release shims over the
-//! same engines.
+//! Off-diagonal factor blocks can be stored in block low-rank (BLR) form:
+//! [`compress`] holds the [`CompressionConfig`] knobs and the shared
+//! compressed-comp1d pipeline, [`storage`] the per-panel overlay, and
+//! [`refine`] the iterative-refinement wrapper that recovers full
+//! accuracy from a truncated factor.
 
 #![warn(missing_docs)]
 
+pub mod compress;
 pub mod config;
 pub mod dynamic;
 pub mod metrics;
 pub mod parallel;
 pub mod plan;
 pub mod psolve;
+pub mod refine;
 pub mod seq;
 pub mod seq_left;
 pub mod storage;
 
+pub use compress::{CompressionConfig, CompressionStrategy};
 pub use config::{FactorRun, SolverConfig};
 pub use metrics::MessagePathMetrics;
 pub use parallel::ChaosOptions;
 pub use pastix_runtime::{Backend, DynamicOptions};
 pub use pastix_trace::{MetricsRegistry, TraceLog, TraceOptions};
 pub use plan::{run_from_storage, AnalyzeOptions, Plan, SolveOutput, SolveRequest};
-pub use seq::{factor_and_solve, factorize_sequential, reconstruction_error, solve_block_in_place, solve_in_place};
-pub use seq_left::factorize_sequential_left;
-pub use storage::{FactorStorage, PanelLayout};
-
-#[allow(deprecated)]
-pub use parallel::{factorize_parallel, factorize_parallel_with};
-#[allow(deprecated)]
-pub use psolve::{
-    solve_panel_parallel, solve_panel_parallel_traced, solve_panel_parallel_with, solve_parallel,
-    solve_parallel_traced, solve_parallel_with,
+pub use refine::{RefineOptions, RefineOutput};
+pub use seq::{
+    factor_and_solve, factorize_sequential, factorize_sequential_compressed,
+    reconstruction_error, solve_block_in_place, solve_in_place,
 };
+pub use seq_left::factorize_sequential_left;
+pub use storage::{BlockStore, BlokView, FactorStorage, PanelCompression, PanelLayout};

@@ -15,12 +15,13 @@
 //! applying any AUB immediately (updates commute) and caching factor
 //! blocks — until the wanted block appears.
 
+use crate::compress::{comp1d_tail_compressed, finalize_compression, CompressionConfig};
 use crate::config::{FactorRun, SolverConfig};
 use crate::storage::{FactorStorage, PanelLayout};
 use pastix_graph::SymCsc;
 use pastix_kernels::factor::{ldlt_factor_blocked, FactorError, NB_FACTOR};
 use pastix_kernels::{
-    gemm_nt_acc, scale_cols_by_diag_into, trsm_ldlt_panel, Scalar,
+    lr_gemm_nt_acc, scale_cols_by_diag_into, trsm_ldlt_panel, LowRankBlock, LrOp, Scalar,
 };
 use pastix_runtime::{run_spmd_with, Comm, CommHook, Instrumented};
 use pastix_sched::{Schedule, TaskGraph, TaskKind};
@@ -355,6 +356,12 @@ struct Worker<'a, T> {
     aborted: Option<FactorError>,
     /// Deterministic fault injection (chaos suite only; `Default` is off).
     chaos: ChaosOptions,
+    /// Block low-rank compression knobs (off by default).
+    compression: CompressionConfig,
+    /// Compressed factor bloks produced by this rank's comp1d tasks,
+    /// keyed by global blok id; installed into the assembled storage
+    /// after the run.
+    lr_out: Vec<(usize, LowRankBlock<T>)>,
     /// Message-path counters, merged into the registry at run end.
     counters: RankCounters,
     /// Run-wide live gauges; `None` when tracing is off, so the untraced
@@ -549,9 +556,12 @@ impl<'a, T: Scalar> Worker<'a, T> {
         );
     }
 
-    /// Routes one computed contribution (`hr × hc` starting at `c_data`):
-    /// local regions are updated directly; remote ones accumulate into the
-    /// AUB buffer, which is sent when its pair count reaches zero.
+    /// Routes one computed contribution (`hr × hc`, operands dispatched on
+    /// their dense/low-rank representation): local regions are updated
+    /// directly; remote ones accumulate into the AUB buffer, which is sent
+    /// when its pair count reaches zero. For two dense operands the update
+    /// kernel is byte-for-byte the classic `gemm_nt_acc`, so runs without
+    /// compression are unchanged.
     #[allow(clippy::too_many_arguments)]
     fn apply_contribution<C: Comm<PMsg<T>> + ?Sized>(
         &mut self,
@@ -560,16 +570,14 @@ impl<'a, T: Scalar> Worker<'a, T> {
         hr: usize,
         hc: usize,
         w: usize,
-        a: &[T],
-        lda: usize,
-        b: &[T],
-        ldb: usize,
+        a: LrOp<'_, T>,
+        b: LrOp<'_, T>,
     ) {
         let q = self.sched.task_proc[route.dst as usize];
         if q == self.rank {
             let region = self.regions.get_mut(&route.dst).expect("local target region missing");
             let off = route.row_off + route.col_off * route.ldr;
-            gemm_nt_acc(hr, hc, w, -T::one(), a, lda, b, ldb, &mut region[off..], route.ldr);
+            lr_gemm_nt_acc(hr, hc, w, -T::one(), a, b, &mut region[off..], route.ldr);
         } else {
             let len = self.routing.region_len[route.dst as usize];
             let total = *self
@@ -594,7 +602,7 @@ impl<'a, T: Scalar> Worker<'a, T> {
             }
             let entry = self.aub_out.get_mut(&route.dst).expect("AUB entry just ensured");
             let off = route.row_off + route.col_off * route.ldr;
-            gemm_nt_acc(hr, hc, w, T::one(), a, lda, b, ldb, &mut entry.0[off..], route.ldr);
+            lr_gemm_nt_acc(hr, hc, w, T::one(), a, b, &mut entry.0[off..], route.ldr);
             entry.1 -= 1;
             entry.2 += 1;
             if entry.1 == 0 {
@@ -758,7 +766,35 @@ impl<'a, T: Scalar> Worker<'a, T> {
             self.regions.insert(t, panel);
             return Err(FactorError::ZeroPivot(col));
         }
-        if h > 0 {
+        if h > 0 && self.compression.enabled() {
+            // Compressed comp1d: the panel is final here (right-looking
+            // order), so qualifying bloks compress just-in-time and every
+            // outgoing contribution dispatches on its representation. The
+            // un-TRSM'd rows a compressed blok leaves behind in `panel` are
+            // discarded when the overlay is installed after assembly.
+            let mut dtmp = vec![T::zero(); w * w];
+            pastix_kernels::dense::copy_panel(w, w, &panel, lda, &mut dtmp, w);
+            let sym = self.sym;
+            let layout = self.layout;
+            let graph = self.graph;
+            let cc = self.compression;
+            let lrs = comp1d_tail_compressed(
+                sym,
+                layout,
+                k,
+                &mut panel,
+                lda,
+                &dtmp,
+                &cc,
+                &mut |br, bc, a_op, b_op| {
+                    let route = route_pair(sym, layout, graph, br, bc);
+                    let hr = sym.bloks[br].nrows();
+                    let hc = sym.bloks[bc].nrows();
+                    self.apply_contribution(ctx, &route, hr, hc, w, a_op, b_op);
+                },
+            );
+            self.lr_out.extend(lrs);
+        } else if h > 0 {
             let mut dtmp = vec![T::zero(); w * w];
             pastix_kernels::dense::copy_panel(w, w, &panel, lda, &mut dtmp, w);
             trsm_ldlt_panel(h, w, &dtmp, w, &mut panel[w..], lda);
@@ -777,20 +813,17 @@ impl<'a, T: Scalar> Worker<'a, T> {
                     let route = route_pair(self.sym, self.layout, self.graph, br, bc);
                     let a_off = self.layout.panel_row[br] as usize;
                     let b_off = self.layout.panel_row[bc] as usize - w;
-                    // Split the borrows: copy the A-panel rows we read.
-                    // (The target may be another region of this very
-                    // worker, so `panel` has already been removed from the
-                    // region store and no aliasing is possible.)
+                    // The target may be another region of this very worker,
+                    // so `panel` has already been removed from the region
+                    // store and no aliasing is possible.
                     self.apply_contribution(
                         ctx,
                         &route,
                         hr,
                         hc,
                         w,
-                        &panel[a_off..],
-                        lda,
-                        &wbuf[b_off..],
-                        h,
+                        LrOp::Dense { a: &panel[a_off..], ld: lda },
+                        LrOp::Dense { a: &wbuf[b_off..], ld: h },
                     );
                 }
             }
@@ -861,7 +894,15 @@ impl<'a, T: Scalar> Worker<'a, T> {
         let lr_data = self.take_fac(ctx, bdiv_r)?;
         if bdiv_c == bdiv_r {
             let (l_r, f_c) = lr_data.as_slice().split_at(hr * w);
-            self.apply_contribution(ctx, &route, hr, hc, w, l_r, hr, f_c, hc);
+            self.apply_contribution(
+                ctx,
+                &route,
+                hr,
+                hc,
+                w,
+                LrOp::Dense { a: l_r, ld: hr },
+                LrOp::Dense { a: f_c, ld: hc },
+            );
         } else {
             let fc_data = self.take_fac(ctx, bdiv_c)?;
             debug_assert_eq!(fc_data.as_slice().len(), 2 * hc * w);
@@ -871,10 +912,8 @@ impl<'a, T: Scalar> Worker<'a, T> {
                 hr,
                 hc,
                 w,
-                &lr_data.as_slice()[..hr * w],
-                hr,
-                &fc_data.as_slice()[hc * w..],
-                hc,
+                LrOp::Dense { a: &lr_data.as_slice()[..hr * w], ld: hr },
+                LrOp::Dense { a: &fc_data.as_slice()[hc * w..], ld: hc },
             );
             self.put_fac(bdiv_c, fc_data);
         }
@@ -897,45 +936,15 @@ pub struct ChaosOptions {
     pub zero_pivot_task: Option<u32>,
 }
 
-/// Runs the parallel factorization and assembles the distributed factor
-/// into a single [`FactorStorage`]. `a` must already be permuted into the
-/// elimination order of `sym` (the split symbol the schedule was built on).
-#[deprecated(
-    since = "0.1.0",
-    note = "use Plan::analyze + Plan::factorize (the Plan API)"
-)]
-pub fn factorize_parallel<T: Scalar>(
-    sym: &SymbolMatrix,
-    a: &SymCsc<T>,
-    graph: &TaskGraph,
-    sched: &Schedule,
-) -> Result<FactorStorage<T>, FactorError> {
-    factorize_static(sym, a, graph, sched, &SolverConfig::default())
-        .map(FactorRun::into_storage)
-}
-
-/// [`factorize_parallel`] with an explicit [`SolverConfig`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use Plan::analyze + Plan::factorize (the Plan API)"
-)]
-pub fn factorize_parallel_with<T: Scalar>(
-    sym: &SymbolMatrix,
-    a: &SymCsc<T>,
-    graph: &TaskGraph,
-    sched: &Schedule,
-    cfg: &SolverConfig,
-) -> Result<FactorRun<T>, FactorError> {
-    factorize_static(sym, a, graph, sched, cfg)
-}
-
 /// The SPMD factorization engine (threads or simulator): `cfg.backend`
 /// selects the execution substrate, `cfg.kernel_mode` is applied for the
 /// run through a scoped guard, and the returned [`FactorRun`] carries the
 /// factor together with the run's [`TraceLog`] and the metrics registry
-/// handle. Called by [`crate::Plan::factorize`] (and, for one release, by
-/// the deprecated free-function shims — both paths are bitwise identical
-/// by construction).
+/// handle. Called by [`crate::Plan::factorize`]. When `cfg.compression`
+/// is enabled, each rank's comp1d tasks compress their off-diagonal bloks
+/// just-in-time and the collected representations are installed into the
+/// assembled storage (with the `MinimalMemory` post-pass) before the run
+/// is returned.
 pub(crate) fn factorize_static<T: Scalar>(
     sym: &SymbolMatrix,
     a: &SymCsc<T>,
@@ -964,10 +973,15 @@ pub(crate) fn factorize_static<T: Scalar>(
     let wall_ns = t0.elapsed().as_nanos() as u64;
     let mut results = Vec::with_capacity(outputs.len());
     let mut ranks = Vec::new();
+    let mut per_blok: Vec<Option<LowRankBlock<T>>> =
+        (0..sym.bloks.len()).map(|_| None).collect();
     for (rank, out) in outputs.into_iter().enumerate() {
         merge_rank_counters(&cfg.metrics, rank as u32, &out.counters);
         if let Some(rt) = out.trace {
             ranks.push(rt);
+        }
+        for (b, lr) in out.lr {
+            per_blok[b] = Some(lr);
         }
         results.push(out.result);
     }
@@ -977,14 +991,17 @@ pub(crate) fn factorize_static<T: Scalar>(
         digest: sched.digest(),
     };
     merge_trace_metrics(&cfg.metrics, &trace);
-    let storage = assemble(sym, &layout, graph, results)?;
+    let mut storage = assemble(sym, &layout, graph, results)?;
+    finalize_compression(sym, &mut storage, &cfg.compression, per_blok, &cfg.metrics);
     Ok(FactorRun::new(storage, trace, cfg.metrics.clone()))
 }
 
 /// What one logical processor hands back: its factor regions (or the
-/// error), its recorded trace (when tracing was on), and its counters.
+/// error), its compressed bloks, its recorded trace (when tracing was
+/// on), and its counters.
 struct WorkerOutput<T> {
     result: Result<HashMap<u32, Vec<T>>, FactorError>,
+    lr: Vec<(usize, LowRankBlock<T>)>,
     trace: Option<RankTrace>,
     counters: RankCounters,
 }
@@ -1045,6 +1062,8 @@ fn worker_run<T: Scalar, C: Comm<PMsg<T>> + ?Sized>(
         aub_seq: 0,
         aborted: None,
         chaos: cfg.chaos,
+        compression: cfg.compression,
+        lr_out: Vec::new(),
         counters: RankCounters::default(),
         gauges: topts.enabled.then_some(gauges),
         sample_every: topts.sample_every,
@@ -1064,6 +1083,7 @@ fn worker_run<T: Scalar, C: Comm<PMsg<T>> + ?Sized>(
     };
     WorkerOutput {
         result: run_result.map(|()| worker.regions),
+        lr: worker.lr_out,
         trace: session.finish(),
         counters: worker.counters,
     }

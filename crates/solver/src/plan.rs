@@ -13,9 +13,11 @@
 //! permute, solve, and unpermute without the caller re-threading the
 //! analyze artifacts through every call.
 //!
-//! The pre-Plan free functions (`factorize_parallel*`, `solve_parallel*`,
-//! `solve_panel_parallel*`) survive one release as `#[deprecated]` shims
-//! that delegate to the same engines, so migrating is mechanical.
+//! Block low-rank compression rides the same flow: when
+//! `cfg.compression` is enabled, every backend compresses qualifying
+//! off-diagonal bloks during the factorization and the [`FactorRun`]'s
+//! solves dispatch on the stored representation transparently (see
+//! [`crate::compress`] and [`FactorRun::solve_refined`]).
 
 use crate::config::{FactorRun, SolverConfig};
 use crate::dynamic;

@@ -16,9 +16,10 @@
 //! aggregation, and the demand-driven reception the static order allows.
 
 use crate::config::SolverConfig;
-use crate::storage::FactorStorage;
+use crate::storage::{BlokView, FactorStorage};
 use pastix_kernels::{
-    gemm_nn_acc, gemm_tn_acc, solve_unit_lower_panel, solve_unit_lower_trans_panel, Scalar,
+    gemm_nn_acc, gemm_tn_acc, lr_gemm_nn_acc, lr_gemm_tn_acc, solve_unit_lower_panel,
+    solve_unit_lower_trans_panel, Scalar,
 };
 use pastix_runtime::{run_spmd_with, Comm, CommHook, Instrumented};
 use pastix_sched::{Schedule, TaskGraph};
@@ -194,64 +195,11 @@ fn build_solve_routing(sym: &SymbolMatrix, graph: &TaskGraph, sched: &Schedule) 
     }
 }
 
-/// Runs the distributed forward + diagonal + backward solve; `b_perm` is
-/// the right-hand side already permuted into elimination order. Returns
-/// the solution (also in elimination order).
-#[deprecated(
-    since = "0.1.0",
-    note = "use FactorRun::solve / FactorRun::solve_request (the Plan API)"
-)]
-pub fn solve_parallel<T: Scalar>(
-    sym: &SymbolMatrix,
-    storage: &FactorStorage<T>,
-    graph: &TaskGraph,
-    sched: &Schedule,
-    b_perm: &[T],
-) -> Vec<T> {
-    solve_panel_static(sym, storage, graph, sched, b_perm, 1, &SolverConfig::default()).0
-}
-
-/// [`solve_parallel`] with an explicit [`SolverConfig`]; `cfg.backend`
-/// selects the execution substrate exactly as for the factorization. (The
-/// factorization-only knobs — memory cap, chaos — are ignored by the
-/// solve.) Use [`solve_parallel_traced`] to also recover the trace.
-#[deprecated(
-    since = "0.1.0",
-    note = "use FactorRun::solve_request (the Plan API)"
-)]
-pub fn solve_parallel_with<T: Scalar>(
-    sym: &SymbolMatrix,
-    storage: &FactorStorage<T>,
-    graph: &TaskGraph,
-    sched: &Schedule,
-    b_perm: &[T],
-    cfg: &SolverConfig,
-) -> Vec<T> {
-    solve_panel_static(sym, storage, graph, sched, b_perm, 1, cfg).0
-}
-
-/// [`solve_parallel_with`] that also returns the run's [`TraceLog`]
-/// (empty when `cfg.trace` is disabled). The solve records
-/// [`TaskClass::FwdSolve`] / [`TaskClass::BwdSolve`] spans keyed by column
-/// block, plus every message with its byte count.
-#[deprecated(
-    since = "0.1.0",
-    note = "use FactorRun::solve_request with trace: true (the Plan API)"
-)]
-pub fn solve_parallel_traced<T: Scalar>(
-    sym: &SymbolMatrix,
-    storage: &FactorStorage<T>,
-    graph: &TaskGraph,
-    sched: &Schedule,
-    b_perm: &[T],
-    cfg: &SolverConfig,
-) -> (Vec<T>, TraceLog) {
-    solve_panel_static(sym, storage, graph, sched, b_perm, 1, cfg)
-}
-
-/// Distributed **multi-RHS panel** solve: `b_panel` is `n × nrhs`
-/// column-major in elimination order; returns the `n × nrhs` solution
-/// panel, also column-major in elimination order.
+/// The SPMD **multi-RHS panel** solve engine (threads or simulator),
+/// called by [`crate::SolveRequest`]-driven solves on [`crate::FactorRun`]:
+/// `b_panel` is `n × nrhs` column-major in elimination order; returns the
+/// `n × nrhs` solution panel (also elimination order) and the run's
+/// [`TraceLog`] (empty when `cfg.trace` is disabled).
 ///
 /// Every per-cblk segment travels and solves as a `width × nrhs` panel:
 /// the diagonal substitutions run the blocked
@@ -259,65 +207,15 @@ pub fn solve_parallel_traced<T: Scalar>(
 /// the per-blok trailing updates are GEMM-shaped (`h_b × nrhs × width`)
 /// through the packed paths instead of one GEMV per right-hand side, so a
 /// batch of coalesced requests pays the solve's message protocol once.
-#[deprecated(
-    since = "0.1.0",
-    note = "use FactorRun::solve_panel / FactorRun::solve_request (the Plan API)"
-)]
-pub fn solve_panel_parallel<T: Scalar>(
-    sym: &SymbolMatrix,
-    storage: &FactorStorage<T>,
-    graph: &TaskGraph,
-    sched: &Schedule,
-    b_panel: &[T],
-    nrhs: usize,
-) -> Vec<T> {
-    solve_panel_static(sym, storage, graph, sched, b_panel, nrhs, &SolverConfig::default()).0
-}
-
-/// [`solve_panel_parallel`] with an explicit [`SolverConfig`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use FactorRun::solve_request (the Plan API)"
-)]
-pub fn solve_panel_parallel_with<T: Scalar>(
-    sym: &SymbolMatrix,
-    storage: &FactorStorage<T>,
-    graph: &TaskGraph,
-    sched: &Schedule,
-    b_panel: &[T],
-    nrhs: usize,
-    cfg: &SolverConfig,
-) -> Vec<T> {
-    solve_panel_static(sym, storage, graph, sched, b_panel, nrhs, cfg).0
-}
-
-/// [`solve_panel_parallel_with`] that also returns the run's [`TraceLog`].
+/// Per-blok products dispatch on the stored representation — a compressed
+/// blok's contribution runs through the rank
+/// ([`lr_gemm_nn_acc`]/[`lr_gemm_tn_acc`]) instead of the dense GEMM.
 ///
 /// When tracing is enabled, every completed forward/backward cblk solve
 /// additionally stamps a run-global progress heartbeat and the rank's
 /// mailbox-depth gauge is sampled every `trace.sample_every` tasks, so a
 /// serving run feeds the [`pastix_trace::watchdog`] exactly like the
 /// factorization does.
-#[deprecated(
-    since = "0.1.0",
-    note = "use FactorRun::solve_request with trace: true (the Plan API)"
-)]
-pub fn solve_panel_parallel_traced<T: Scalar>(
-    sym: &SymbolMatrix,
-    storage: &FactorStorage<T>,
-    graph: &TaskGraph,
-    sched: &Schedule,
-    b_panel: &[T],
-    nrhs: usize,
-    cfg: &SolverConfig,
-) -> (Vec<T>, TraceLog) {
-    solve_panel_static(sym, storage, graph, sched, b_panel, nrhs, cfg)
-}
-
-/// The SPMD panel-solve engine (threads or simulator), called by
-/// [`crate::SolveRequest`]-driven solves on [`crate::FactorRun`] (and,
-/// for one release, by the deprecated free-function shims — both paths
-/// are bitwise identical by construction).
 pub(crate) fn solve_panel_static<T: Scalar>(
     sym: &SymbolMatrix,
     storage: &FactorStorage<T>,
@@ -601,7 +499,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
         let _span = task_span(k as u32, TaskClass::FwdSolve);
         let cb = &self.sym.cblks[k];
         let w = cb.width();
-        let lda = self.storage.layout.panel_rows(k);
+        let lda = self.storage.panel_lda(k);
         let seg = self.x.get_mut(&(k as u32)).unwrap();
         solve_unit_lower_panel(w, &self.storage.panels[k], lda, seg, self.nrhs, w);
         // One shared materialization; every consumer send bumps a refcount.
@@ -621,7 +519,6 @@ impl<T: Scalar> SolveWorker<'_, T> {
         let cb = &self.sym.cblks[k];
         let w = cb.width();
         let nrhs = self.nrhs;
-        let lda = self.storage.layout.panel_rows(k);
         // Reused scratch: swapped out of the worker for the borrow's sake.
         let mut contrib = std::mem::take(&mut self.scratch);
         for b in cb.blok_start + 1..cb.blok_end {
@@ -632,18 +529,14 @@ impl<T: Scalar> SolveWorker<'_, T> {
             let hb = blok.nrows();
             contrib.clear();
             contrib.resize(hb * nrhs, T::zero());
-            gemm_nn_acc(
-                hb,
-                nrhs,
-                w,
-                T::one(),
-                &self.storage.panels[k][self.storage.layout.panel_row[b] as usize..],
-                lda,
-                xk,
-                w,
-                &mut contrib,
-                hb,
-            );
+            match self.storage.blok_view(k, b - cb.blok_start, b) {
+                BlokView::Dense { data, ld } => {
+                    gemm_nn_acc(hb, nrhs, w, T::one(), data, ld, xk, w, &mut contrib, hb);
+                }
+                BlokView::LowRank(lr) => {
+                    lr_gemm_nn_acc(T::one(), lr.as_ref(), xk, nrhs, w, &mut contrib, hb);
+                }
+            }
             let t = blok.fcblk as usize;
             let tcb = &self.sym.cblks[t];
             let width_t = tcb.width();
@@ -771,7 +664,7 @@ impl<T: Scalar> SolveWorker<'_, T> {
         let _span = task_span(k as u32, TaskClass::BwdSolve);
         let cb = &self.sym.cblks[k];
         let w = cb.width();
-        let lda = self.storage.layout.panel_rows(k);
+        let lda = self.storage.panel_lda(k);
         let panel = &self.storage.panels[k];
         let seg = self.x.get_mut(&(k as u32)).unwrap();
         // Order matters: D-divide the forward values first, then subtract
@@ -820,23 +713,17 @@ impl<T: Scalar> SolveWorker<'_, T> {
             let blok = &self.sym.bloks[b];
             let hb = blok.nrows();
             let w = self.sym.cblks[k].width();
-            let lda = self.storage.layout.panel_rows(k);
-            let prow = self.storage.layout.panel_row[b] as usize;
             let off = (blok.frow - tcb.fcol) as usize;
             partial.clear();
             partial.resize(w * nrhs, T::zero());
-            gemm_tn_acc(
-                w,
-                nrhs,
-                hb,
-                T::one(),
-                &self.storage.panels[k][prow..],
-                lda,
-                &xt[off..],
-                w_t,
-                &mut partial,
-                w,
-            );
+            match self.storage.blok_view(k, b - self.sym.cblks[k].blok_start, b) {
+                BlokView::Dense { data, ld } => {
+                    gemm_tn_acc(w, nrhs, hb, T::one(), data, ld, &xt[off..], w_t, &mut partial, w);
+                }
+                BlokView::LowRank(lr) => {
+                    lr_gemm_tn_acc(T::one(), lr.as_ref(), &xt[off..], nrhs, w_t, &mut partial, w);
+                }
+            }
             let owner = self.routing.cblk_owner[k];
             if owner == self.me {
                 // Buffer locally; folded in at the cblk's backward step so

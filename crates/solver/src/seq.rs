@@ -6,14 +6,17 @@
 //! degenerate case of the fan-in scheme, where every aggregation is local).
 //! The parallel solver must produce the same factor; tests enforce it.
 
-use crate::storage::{FactorStorage, PanelLayout};
+use crate::compress::{comp1d_tail_compressed, finalize_compression, CompressionConfig};
+use crate::storage::{BlokView, FactorStorage, PanelLayout};
 use pastix_kernels::factor::{ldlt_factor_blocked, ldlt_factor_inplace, FactorError, NB_FACTOR};
 use pastix_kernels::{kernel_mode, KernelMode};
 use pastix_kernels::{
-    gemm_nn_acc, gemm_nt_acc, scale_cols_by_diag_into, solve_unit_lower, solve_unit_lower_trans,
-    trsm_ldlt_panel, Scalar,
+    gemm_nn_acc, gemm_nt_acc, lr_gemm_nn_acc, lr_gemm_nt_acc, lr_gemm_tn_acc,
+    scale_cols_by_diag_into, solve_unit_lower, solve_unit_lower_trans, trsm_ldlt_panel,
+    LowRankBlock, Scalar,
 };
 use pastix_symbolic::SymbolMatrix;
+use pastix_trace::MetricsRegistry;
 
 /// Factorizes the scattered matrix in place, column block by column block.
 pub fn factorize_sequential<T: Scalar>(
@@ -30,6 +33,74 @@ pub fn factorize_sequential<T: Scalar>(
         let _span = pastix_trace::task_span(k as u32, pastix_trace::TaskClass::Seq);
         comp1d_step(sym, &layout, &mut storage.panels, k, &mut wbuf, &mut dtmp, &mut ubuf)?;
     }
+    Ok(())
+}
+
+/// Sequential factorization with block low-rank compression: comp1d
+/// compresses qualifying off-diagonal bloks just-in-time (right after the
+/// diagonal factor, when the panel is final) and routes contributions
+/// through the low-rank update kernels; the finished factor carries the
+/// compression overlay and the `lowrank.*` metrics land in `metrics`.
+/// A disabled config (`tolerance: 0.0`) delegates to
+/// [`factorize_sequential`] — bitwise-identical to the dense path.
+pub fn factorize_sequential_compressed<T: Scalar>(
+    sym: &SymbolMatrix,
+    storage: &mut FactorStorage<T>,
+    cc: &CompressionConfig,
+    metrics: &MetricsRegistry,
+) -> Result<(), FactorError> {
+    if !cc.enabled() {
+        return factorize_sequential(sym, storage);
+    }
+    let layout = storage.layout.clone();
+    let mut wbuf: Vec<T> = Vec::new();
+    let mut dtmp: Vec<T> = Vec::new();
+    let mut per_blok: Vec<Option<LowRankBlock<T>>> =
+        (0..sym.bloks.len()).map(|_| None).collect();
+    for k in 0..sym.n_cblks() {
+        let _span = pastix_trace::task_span(k as u32, pastix_trace::TaskClass::Seq);
+        let cb = &sym.cblks[k];
+        let w = cb.width();
+        let lda = layout.panel_rows(k);
+        let h = lda - w;
+        let (left, right) = storage.panels.split_at_mut(k + 1);
+        let panel = &mut left[k][..];
+        ldlt_factor_blocked(w, panel, lda, NB_FACTOR, &mut wbuf)
+            .map_err(|FactorError::ZeroPivot(i)| FactorError::ZeroPivot(cb.fcol as usize + i))?;
+        if h == 0 {
+            continue;
+        }
+        dtmp.clear();
+        dtmp.resize(w * w, T::zero());
+        pastix_kernels::dense::copy_panel(w, w, panel, lda, &mut dtmp, w);
+        let lrs = comp1d_tail_compressed(
+            sym,
+            &layout,
+            k,
+            panel,
+            lda,
+            &dtmp,
+            cc,
+            &mut |br, bc, a_op, b_op| {
+                let blok_c = &sym.bloks[bc];
+                let blok_r = &sym.bloks[br];
+                let (hr, hc) = (blok_r.nrows(), blok_c.nrows());
+                let tk = blok_c.fcblk as usize;
+                let tcb = &sym.cblks[tk];
+                let tlda = layout.panel_rows(tk);
+                let tcol = (blok_c.frow - tcb.fcol) as usize;
+                let tb = sym.covering_blok(tk, blok_r.frow, blok_r.lrow);
+                let trow =
+                    layout.panel_row[tb] as usize + (blok_r.frow - sym.bloks[tb].frow) as usize;
+                let target = &mut right[tk - (k + 1)][trow + tcol * tlda..];
+                lr_gemm_nt_acc(hr, hc, w, -T::one(), a_op, b_op, target, tlda);
+            },
+        );
+        for (b, lr) in lrs {
+            per_blok[b] = Some(lr);
+        }
+    }
+    finalize_compression(sym, storage, cc, per_blok, metrics);
     Ok(())
 }
 
@@ -166,17 +237,17 @@ fn comp1d_step<T: Scalar>(
 /// `Lᵀ·x = z`.
 pub fn solve_in_place<T: Scalar>(sym: &SymbolMatrix, storage: &FactorStorage<T>, x: &mut [T]) {
     assert_eq!(x.len(), sym.n);
-    let layout = &storage.layout;
     let mut xk: Vec<T> = Vec::new();
+    let mut tmp: Vec<T> = Vec::new();
     // Forward: L y = b.
     for k in 0..sym.n_cblks() {
         let cb = &sym.cblks[k];
         let w = cb.width();
-        let lda = layout.panel_rows(k);
+        let lda = storage.panel_lda(k);
         let panel = &storage.panels[k];
         let fcol = cb.fcol as usize;
         solve_unit_lower(w, panel, lda, &mut x[fcol..fcol + w], 1, w);
-        if lda == w {
+        if cb.blok_start + 1 == cb.blok_end {
             continue;
         }
         xk.clear();
@@ -185,24 +256,20 @@ pub fn solve_in_place<T: Scalar>(sym: &SymbolMatrix, storage: &FactorStorage<T>,
             let blok = &sym.bloks[b];
             let hb = blok.nrows();
             let fr = blok.frow as usize;
-            gemm_nn_acc(
-                hb,
-                1,
-                w,
-                -T::one(),
-                &panel[layout.panel_row[b] as usize..],
-                lda,
-                &xk,
-                w,
-                &mut x[fr..fr + hb],
-                hb,
-            );
+            match storage.blok_view(k, b - cb.blok_start, b) {
+                BlokView::Dense { data, ld } => {
+                    gemm_nn_acc(hb, 1, w, -T::one(), data, ld, &xk, w, &mut x[fr..fr + hb], hb);
+                }
+                BlokView::LowRank(lr) => {
+                    lr_gemm_nn_acc(-T::one(), lr.as_ref(), &xk, 1, w, &mut x[fr..fr + hb], hb);
+                }
+            }
         }
     }
     // Diagonal: D z = y.
     for k in 0..sym.n_cblks() {
         let cb = &sym.cblks[k];
-        let lda = layout.panel_rows(k);
+        let lda = storage.panel_lda(k);
         let panel = &storage.panels[k];
         for t in 0..cb.width() {
             let d = panel[t + t * lda];
@@ -213,21 +280,32 @@ pub fn solve_in_place<T: Scalar>(sym: &SymbolMatrix, storage: &FactorStorage<T>,
     for k in (0..sym.n_cblks()).rev() {
         let cb = &sym.cblks[k];
         let w = cb.width();
-        let lda = layout.panel_rows(k);
+        let lda = storage.panel_lda(k);
         let panel = &storage.panels[k];
         let fcol = cb.fcol as usize;
         for b in cb.blok_start + 1..cb.blok_end {
             let blok = &sym.bloks[b];
             let hb = blok.nrows();
             let fr = blok.frow as usize;
-            let prow = layout.panel_row[b] as usize;
-            for t in 0..w {
-                let mut acc = T::zero();
-                let col = &panel[prow + t * lda..prow + t * lda + hb];
-                for (rr, &l) in col.iter().enumerate() {
-                    acc += l * x[fr + rr];
+            match storage.blok_view(k, b - cb.blok_start, b) {
+                BlokView::Dense { data, ld } => {
+                    for t in 0..w {
+                        let mut acc = T::zero();
+                        let col = &data[t * ld..t * ld + hb];
+                        for (rr, &l) in col.iter().enumerate() {
+                            acc += l * x[fr + rr];
+                        }
+                        x[fcol + t] -= acc;
+                    }
                 }
-                x[fcol + t] -= acc;
+                BlokView::LowRank(lr) => {
+                    tmp.clear();
+                    tmp.resize(w, T::zero());
+                    lr_gemm_tn_acc(T::one(), lr.as_ref(), &x[fr..fr + hb], 1, hb, &mut tmp, w);
+                    for t in 0..w {
+                        x[fcol + t] -= tmp[t];
+                    }
+                }
             }
         }
         solve_unit_lower_trans(w, panel, lda, &mut x[fcol..fcol + w], 1, w);
@@ -249,13 +327,13 @@ pub fn solve_block_in_place<T: Scalar>(
     if nrhs == 0 {
         return;
     }
-    let layout = &storage.layout;
     let mut xk: Vec<T> = Vec::new();
+    let mut tmp: Vec<T> = Vec::new();
     // Forward: L Y = B for all columns at once.
     for k in 0..sym.n_cblks() {
         let cb = &sym.cblks[k];
         let w = cb.width();
-        let lda = layout.panel_rows(k);
+        let lda = storage.panel_lda(k);
         let panel = &storage.panels[k];
         let fcol = cb.fcol as usize;
         // Gather the segment rows (strided by n across rhs columns).
@@ -272,32 +350,25 @@ pub fn solve_block_in_place<T: Scalar>(
                 x[fcol + t + r * n] = xk[t + r * w];
             }
         }
-        if lda == w {
-            continue;
-        }
         for b in cb.blok_start + 1..cb.blok_end {
             let blok = &sym.bloks[b];
             let hb = blok.nrows();
             let fr = blok.frow as usize;
             // C (hb × nrhs, strided ldc = n inside x) -= L_b · X_k.
-            gemm_nn_acc(
-                hb,
-                nrhs,
-                w,
-                -T::one(),
-                &panel[layout.panel_row[b] as usize..],
-                lda,
-                &xk,
-                w,
-                &mut x[fr..],
-                n,
-            );
+            match storage.blok_view(k, b - cb.blok_start, b) {
+                BlokView::Dense { data, ld } => {
+                    gemm_nn_acc(hb, nrhs, w, -T::one(), data, ld, &xk, w, &mut x[fr..], n);
+                }
+                BlokView::LowRank(lr) => {
+                    lr_gemm_nn_acc(-T::one(), lr.as_ref(), &xk, nrhs, w, &mut x[fr..], n);
+                }
+            }
         }
     }
     // Diagonal.
     for k in 0..sym.n_cblks() {
         let cb = &sym.cblks[k];
-        let lda = layout.panel_rows(k);
+        let lda = storage.panel_lda(k);
         let panel = &storage.panels[k];
         for t in 0..cb.width() {
             let dinv = panel[t + t * lda].recip();
@@ -310,22 +381,38 @@ pub fn solve_block_in_place<T: Scalar>(
     for k in (0..sym.n_cblks()).rev() {
         let cb = &sym.cblks[k];
         let w = cb.width();
-        let lda = layout.panel_rows(k);
+        let lda = storage.panel_lda(k);
         let panel = &storage.panels[k];
         let fcol = cb.fcol as usize;
         for b in cb.blok_start + 1..cb.blok_end {
             let blok = &sym.bloks[b];
             let hb = blok.nrows();
             let fr = blok.frow as usize;
-            let prow = layout.panel_row[b] as usize;
-            for r in 0..nrhs {
-                for t in 0..w {
-                    let mut acc = T::zero();
-                    let col = &panel[prow + t * lda..prow + t * lda + hb];
-                    for (rr, &l) in col.iter().enumerate() {
-                        acc += l * x[fr + rr + r * n];
+            match storage.blok_view(k, b - cb.blok_start, b) {
+                BlokView::Dense { data, ld } => {
+                    for r in 0..nrhs {
+                        for t in 0..w {
+                            let mut acc = T::zero();
+                            let col = &data[t * ld..t * ld + hb];
+                            for (rr, &l) in col.iter().enumerate() {
+                                acc += l * x[fr + rr + r * n];
+                            }
+                            x[fcol + t + r * n] -= acc;
+                        }
                     }
-                    x[fcol + t + r * n] -= acc;
+                }
+                BlokView::LowRank(lr) => {
+                    // Accumulate Vᵀ-side partials in a compact buffer first
+                    // (the strided source and destination columns of `x`
+                    // interleave, so the product cannot run in place).
+                    tmp.clear();
+                    tmp.resize(w * nrhs, T::zero());
+                    lr_gemm_tn_acc(T::one(), lr.as_ref(), &x[fr..], nrhs, n, &mut tmp, w);
+                    for r in 0..nrhs {
+                        for t in 0..w {
+                            x[fcol + t + r * n] -= tmp[t + r * w];
+                        }
+                    }
                 }
             }
         }
@@ -387,32 +474,20 @@ pub fn reconstruction_error<T: Scalar>(
     a: &pastix_graph::SymCsc<T>,
 ) -> f64 {
     let n = sym.n;
-    let layout = &storage.layout;
     let mut err = 0.0f64;
     // Rebuild column by column: (L D L^T)(i,j) = sum_p L(i,p) d_p L(j,p).
+    // Reads go through `FactorStorage::get`, which dispatches on the
+    // stored representation — the tool works on compressed factors too.
     for j in 0..n {
         for i in j..n {
             let mut v = T::zero();
             for p in 0..=j {
-                let kp = sym.cblk_of_col(p);
-                let cbp = &sym.cblks[kp];
-                let lda = layout.panel_rows(kp);
-                let col = p - cbp.fcol as usize;
-                let get = |row_global: usize| -> T {
-                    if row_global == p {
-                        return T::one();
-                    }
-                    match crate::storage::try_panel_row_of(sym, layout, kp, row_global as u32) {
-                        Some(r) => storage.panels[kp][r + col * lda],
-                        None => T::zero(),
-                    }
-                };
-                let lip = get(i);
-                let ljp = get(j);
+                let lip = if i == p { T::one() } else { storage.get(sym, i, p) };
+                let ljp = if j == p { T::one() } else { storage.get(sym, j, p) };
                 if lip == T::zero() || ljp == T::zero() {
                     continue;
                 }
-                let d = storage.panels[kp][(p - cbp.fcol as usize) + (p - cbp.fcol as usize) * lda];
+                let d = storage.get(sym, p, p);
                 v += lip * d * ljp;
             }
             err = err.max((v - a.get(i, j)).magnitude());
@@ -543,6 +618,67 @@ mod tests {
         // Degenerate nrhs = 0 is a no-op.
         let mut empty: Vec<f64> = Vec::new();
         solve_block_in_place(&sym, &st, &mut empty, 0);
+    }
+
+    #[test]
+    fn compressed_factorization_solves_and_delegates() {
+        use crate::compress::{CompressionConfig, CompressionStrategy};
+        let (ap, sym) = pipeline(8, 8, 2);
+        let n = ap.n();
+        let metrics = MetricsRegistry::default();
+
+        // Dense reference factor.
+        let mut dense = FactorStorage::zeros(&sym);
+        dense.scatter(&sym, &ap);
+        factorize_sequential(&sym, &mut dense).unwrap();
+
+        // Tight tolerance: the compressed factor must still solve well.
+        let cc = CompressionConfig::with_tolerance(1e-9)
+            .min_block(4)
+            .strategy(CompressionStrategy::MinimalMemory);
+        let mut st = FactorStorage::zeros(&sym);
+        st.scatter(&sym, &ap);
+        factorize_sequential_compressed(&sym, &mut st, &cc, &metrics).unwrap();
+        let x_exact = canonical_solution::<f64>(n);
+        let b = rhs_for_solution(&ap, &x_exact);
+        let mut x = b.clone();
+        solve_in_place(&sym, &st, &mut x);
+        let res = ap.residual_norm(&x, &b);
+        assert!(res < 1e-7, "compressed residual {res}");
+        // Blocked multi-rhs agrees with the single-rhs sweep on the same
+        // (possibly compressed) storage.
+        let nrhs = 3;
+        let mut big = vec![0.0f64; n * nrhs];
+        for r in 0..nrhs {
+            big[r * n..(r + 1) * n].copy_from_slice(&b);
+        }
+        solve_block_in_place(&sym, &st, &mut big, nrhs);
+        for r in 0..nrhs {
+            for i in 0..n {
+                assert!((big[i + r * n] - x[i]).abs() < 1e-12);
+            }
+        }
+
+        // Loose tolerance: compression must actually engage and shrink the
+        // resident footprint.
+        let loose = CompressionConfig::with_tolerance(0.5)
+            .min_block(2)
+            .strategy(CompressionStrategy::MinimalMemory);
+        let mut stl = FactorStorage::zeros(&sym);
+        stl.scatter(&sym, &ap);
+        factorize_sequential_compressed(&sym, &mut stl, &loose, &metrics).unwrap();
+        assert!(stl.is_compressed(), "loose tolerance must compress something");
+        assert!(stl.factor_bytes() < stl.dense_factor_bytes());
+
+        // Tolerance 0 delegates to the dense path, bitwise.
+        let mut st0 = FactorStorage::zeros(&sym);
+        st0.scatter(&sym, &ap);
+        factorize_sequential_compressed(&sym, &mut st0, &CompressionConfig::off(), &metrics)
+            .unwrap();
+        assert!(!st0.is_compressed());
+        for (p0, pd) in st0.panels.iter().zip(&dense.panels) {
+            assert_eq!(p0, pd, "tolerance 0 must be bitwise-identical to dense");
+        }
     }
 
     #[test]

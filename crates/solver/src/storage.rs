@@ -8,6 +8,7 @@
 
 use pastix_graph::SymCsc;
 use pastix_kernels::scalar::Scalar;
+use pastix_kernels::LowRankBlock;
 use pastix_symbolic::SymbolMatrix;
 
 /// Precomputed addressing of panels.
@@ -45,13 +46,58 @@ impl PanelLayout {
     }
 }
 
-/// The numeric factor: one dense panel per column block.
+/// How one blok of a compressed panel is stored.
+#[derive(Debug, Clone)]
+pub enum BlockStore<T> {
+    /// Dense rows inside the (repacked) panel, starting at `row`.
+    Dense {
+        /// First row of the blok inside the packed panel.
+        row: usize,
+    },
+    /// Compressed `U·Vᵀ` representation.
+    LowRank(LowRankBlock<T>),
+}
+
+/// Per-panel compression overlay: which bloks are low-rank and where the
+/// surviving dense rows landed after the panel was repacked.
+#[derive(Debug, Clone)]
+pub struct PanelCompression<T> {
+    /// Leading dimension of the repacked panel (diagonal rows plus the
+    /// rows of every still-dense blok).
+    pub packed_lda: usize,
+    /// One entry per blok of the column block, the diagonal blok first
+    /// (always `Dense { row: 0 }`), then the off-diagonal bloks in order.
+    pub bloks: Vec<BlockStore<T>>,
+}
+
+/// A read view of one blok of the factor, whichever way it is stored.
+#[derive(Debug, Clone, Copy)]
+pub enum BlokView<'a, T> {
+    /// Dense rows with the panel's leading dimension.
+    Dense {
+        /// Slice starting at the blok's first row of the first column.
+        data: &'a [T],
+        /// Leading dimension of the backing panel.
+        ld: usize,
+    },
+    /// Compressed representation.
+    LowRank(&'a LowRankBlock<T>),
+}
+
+/// The numeric factor: one dense panel per column block, plus an optional
+/// low-rank compression overlay. An empty overlay means every panel is
+/// dense in the classic layout — the exact pre-compression storage, byte
+/// for byte.
 #[derive(Debug, Clone)]
 pub struct FactorStorage<T> {
-    /// Shared addressing.
+    /// Shared addressing (of the *uncompressed* layout; compressed panels
+    /// carry their own packed leading dimension in the overlay).
     pub layout: PanelLayout,
-    /// Column-major panels, `lda[k] × width(k)` each.
+    /// Column-major panels, `lda[k] × width(k)` each — or the repacked
+    /// dense rows only for panels with a compression overlay entry.
     pub panels: Vec<Vec<T>>,
+    /// Per-panel compression overlay; empty when no block is compressed.
+    pub compression: Vec<Option<PanelCompression<T>>>,
 }
 
 impl<T: Scalar> FactorStorage<T> {
@@ -61,7 +107,168 @@ impl<T: Scalar> FactorStorage<T> {
         let panels = (0..sym.n_cblks())
             .map(|k| vec![T::zero(); layout.panel_rows(k) * sym.cblks[k].width()])
             .collect();
-        Self { layout, panels }
+        Self { layout, panels, compression: Vec::new() }
+    }
+
+    /// `true` when at least one panel carries a compression overlay.
+    pub fn is_compressed(&self) -> bool {
+        self.compression.iter().any(|c| c.is_some())
+    }
+
+    /// Compression overlay of panel `k`, when present.
+    #[inline]
+    pub fn panel_compression(&self, k: usize) -> Option<&PanelCompression<T>> {
+        self.compression.get(k).and_then(|c| c.as_ref())
+    }
+
+    /// Leading dimension of panel `k` as stored (packed when compressed).
+    #[inline]
+    pub fn panel_lda(&self, k: usize) -> usize {
+        match self.panel_compression(k) {
+            Some(pc) => pc.packed_lda,
+            None => self.layout.panel_rows(k),
+        }
+    }
+
+    /// Read view of global blok `b` (with local index `local` inside its
+    /// column block `k`), dispatching on the stored representation.
+    #[inline]
+    pub fn blok_view(&self, k: usize, local: usize, b: usize) -> BlokView<'_, T> {
+        match self.panel_compression(k) {
+            Some(pc) => match &pc.bloks[local] {
+                BlockStore::Dense { row } => BlokView::Dense {
+                    data: &self.panels[k][*row..],
+                    ld: pc.packed_lda,
+                },
+                BlockStore::LowRank(lr) => BlokView::LowRank(lr),
+            },
+            None => BlokView::Dense {
+                data: &self.panels[k][self.layout.panel_row[b] as usize..],
+                ld: self.layout.panel_rows(k),
+            },
+        }
+    }
+
+    /// Resident bytes of the factor as stored: dense panel bytes plus the
+    /// `U`/`V` bytes of every compressed blok.
+    pub fn factor_bytes(&self) -> u64 {
+        let dense: u64 = self
+            .panels
+            .iter()
+            .map(|p| (p.len() * std::mem::size_of::<T>()) as u64)
+            .sum();
+        let lr: u64 = self
+            .compression
+            .iter()
+            .flatten()
+            .flat_map(|pc| pc.bloks.iter())
+            .map(|b| match b {
+                BlockStore::LowRank(lr) => lr.bytes() as u64,
+                BlockStore::Dense { .. } => 0,
+            })
+            .sum();
+        dense + lr
+    }
+
+    /// Bytes the factor would occupy fully dense (the classic layout).
+    pub fn dense_factor_bytes(&self) -> u64 {
+        (0..self.panels.len())
+            .map(|k| {
+                let w = self.panels[k].len() / self.panel_lda(k).max(1);
+                (self.layout.panel_rows(k) * w * std::mem::size_of::<T>()) as u64
+            })
+            .sum()
+    }
+
+    /// Installs per-blok low-rank representations produced at factor time
+    /// (indexed by *global* blok id) and repacks every affected panel so
+    /// only the diagonal block and the still-dense bloks keep their rows.
+    /// Entries of already-compressed panels must be `None`.
+    pub fn install_compression(&mut self, sym: &SymbolMatrix, mut lr: Vec<Option<LowRankBlock<T>>>) {
+        assert_eq!(lr.len(), sym.bloks.len(), "one entry per global blok");
+        if lr.iter().all(|x| x.is_none()) {
+            return;
+        }
+        if self.compression.is_empty() {
+            self.compression = (0..self.panels.len()).map(|_| None).collect();
+        }
+        for k in 0..sym.n_cblks() {
+            let cb = &sym.cblks[k];
+            if !(cb.blok_start + 1..cb.blok_end).any(|b| lr[b].is_some()) {
+                continue;
+            }
+            assert!(self.compression[k].is_none(), "cblk {k} is already compressed");
+            let w = cb.width();
+            let old_lda = self.layout.panel_rows(k);
+            let mut packed = w;
+            for b in cb.blok_start + 1..cb.blok_end {
+                if lr[b].is_none() {
+                    packed += sym.bloks[b].nrows();
+                }
+            }
+            let mut newp = vec![T::zero(); packed * w];
+            let old = &self.panels[k];
+            for j in 0..w {
+                newp[j * packed..j * packed + w].copy_from_slice(&old[j * old_lda..j * old_lda + w]);
+            }
+            let mut bloks = Vec::with_capacity(cb.blok_end - cb.blok_start);
+            bloks.push(BlockStore::Dense { row: 0 });
+            let mut row = w;
+            for b in cb.blok_start + 1..cb.blok_end {
+                let h = sym.bloks[b].nrows();
+                match lr[b].take() {
+                    Some(l) => {
+                        debug_assert_eq!((l.m, l.n), (h, w), "blok {b} shape");
+                        bloks.push(BlockStore::LowRank(l));
+                    }
+                    None => {
+                        let orow = self.layout.panel_row[b] as usize;
+                        for j in 0..w {
+                            newp[row + j * packed..row + j * packed + h]
+                                .copy_from_slice(&old[orow + j * old_lda..orow + j * old_lda + h]);
+                        }
+                        bloks.push(BlockStore::Dense { row });
+                        row += h;
+                    }
+                }
+            }
+            self.panels[k] = newp;
+            self.compression[k] = Some(PanelCompression { packed_lda: packed, bloks });
+        }
+    }
+
+    /// Expands every compressed panel back to the classic dense layout and
+    /// drops the overlay — the decompress path.
+    pub fn decompress(&mut self, sym: &SymbolMatrix) {
+        for k in 0..sym.n_cblks() {
+            let Some(pc) = self.compression.get_mut(k).and_then(|c| c.take()) else {
+                continue;
+            };
+            let cb = &sym.cblks[k];
+            let w = cb.width();
+            let lda = self.layout.panel_rows(k);
+            let mut full = vec![T::zero(); lda * w];
+            let packed = &self.panels[k];
+            for (local, store) in pc.bloks.iter().enumerate() {
+                let b = cb.blok_start + local;
+                let h = if local == 0 { w } else { sym.bloks[b].nrows() };
+                let drow = self.layout.panel_row[b] as usize;
+                match store {
+                    BlockStore::Dense { row } => {
+                        for j in 0..w {
+                            full[drow + j * lda..drow + j * lda + h].copy_from_slice(
+                                &packed[row + j * pc.packed_lda..row + j * pc.packed_lda + h],
+                            );
+                        }
+                    }
+                    BlockStore::LowRank(l) => {
+                        l.decompress_into(&mut full[drow..], lda);
+                    }
+                }
+            }
+            self.panels[k] = full;
+        }
+        self.compression.clear();
     }
 
     /// Scatters the lower triangle of the (already permuted) matrix into
@@ -84,16 +291,22 @@ impl<T: Scalar> FactorStorage<T> {
     }
 
     /// Entry `(i, j)` of the factor (`i ≥ j`), zero when outside the
-    /// structure. For tests and small-scale inspection.
+    /// structure. Dispatches on the stored representation (a compressed
+    /// blok's entry is the `U·Vᵀ` dot product). For tests and small-scale
+    /// inspection.
     pub fn get(&self, sym: &SymbolMatrix, i: usize, j: usize) -> T {
         assert!(i >= j);
         let k = sym.cblk_of_col(j);
         let cb = &sym.cblks[k];
         let local_col = j - cb.fcol as usize;
-        let lda = self.layout.panel_rows(k);
-        match try_panel_row_of(sym, &self.layout, k, i as u32) {
-            Some(row) => self.panels[k][row + local_col * lda],
-            None => T::zero(),
+        let Some((b, row_in_blok)) = try_blok_of(sym, k, i as u32) else {
+            return T::zero();
+        };
+        match self.blok_view(k, b - cb.blok_start, b) {
+            BlokView::Dense { data, ld } => data[row_in_blok + local_col * ld],
+            BlokView::LowRank(lr) => (0..lr.rank)
+                .map(|r| lr.u[row_in_blok + r * lr.m] * lr.v[local_col + r * lr.n])
+                .sum(),
         }
     }
 
@@ -102,7 +315,7 @@ impl<T: Scalar> FactorStorage<T> {
         let mut d = Vec::with_capacity(sym.n);
         for k in 0..sym.n_cblks() {
             let cb = &sym.cblks[k];
-            let lda = self.layout.panel_rows(k);
+            let lda = self.panel_lda(k);
             for t in 0..cb.width() {
                 d.push(self.panels[k][t + t * lda]);
             }
@@ -121,9 +334,16 @@ pub fn panel_row_of(sym: &SymbolMatrix, layout: &PanelLayout, k: usize, i: u32) 
 /// Panel row of global row `i` within column block `k`, or `None` when the
 /// row is not in the block structure.
 pub fn try_panel_row_of(sym: &SymbolMatrix, layout: &PanelLayout, k: usize, i: u32) -> Option<usize> {
+    let (b, row_in_blok) = try_blok_of(sym, k, i)?;
+    Some(layout.panel_row[b] as usize + row_in_blok)
+}
+
+/// Global blok of column block `k` containing row `i` and the row's
+/// offset inside that blok, or `None` outside the block structure.
+pub fn try_blok_of(sym: &SymbolMatrix, k: usize, i: u32) -> Option<(usize, usize)> {
     let cb = &sym.cblks[k];
     if i >= cb.fcol && i <= cb.lcol {
-        return Some((i - cb.fcol) as usize);
+        return Some((cb.blok_start, (i - cb.fcol) as usize));
     }
     // Binary search the off-diagonal blocks (sorted by frow).
     let bloks = &sym.bloks[cb.blok_start + 1..cb.blok_end];
@@ -138,8 +358,7 @@ pub fn try_panel_row_of(sym: &SymbolMatrix, layout: &PanelLayout, k: usize, i: u
         }
     }
     if lo < bloks.len() && bloks[lo].frow <= i && i <= bloks[lo].lrow {
-        let b = cb.blok_start + 1 + lo;
-        Some(layout.panel_row[b] as usize + (i - bloks[lo].frow) as usize)
+        Some((cb.blok_start + 1 + lo, (i - bloks[lo].frow) as usize))
     } else {
         None
     }
@@ -214,6 +433,53 @@ mod tests {
             }
         }
         assert!(zeros > 0, "expected some structural zeros in a sparse factor");
+    }
+
+    #[test]
+    fn compression_overlay_roundtrip() {
+        let (ap, sym, _) = setup();
+        let mut f = FactorStorage::zeros(&sym);
+        f.scatter(&sym, &ap);
+        // Pick the largest off-diagonal blok, overwrite it with a rank-1
+        // outer product, compress it, and install the overlay.
+        let (k, b) = (0..sym.n_cblks())
+            .flat_map(|k| (sym.cblks[k].blok_start + 1..sym.cblks[k].blok_end).map(move |b| (k, b)))
+            .max_by_key(|&(_, b)| sym.bloks[b].nrows())
+            .expect("structure has off-diagonal bloks");
+        let cb = &sym.cblks[k];
+        let (h, w) = (sym.bloks[b].nrows(), cb.width());
+        let lda = f.layout.panel_rows(k);
+        let row = f.layout.panel_row[b] as usize;
+        for j in 0..w {
+            for i in 0..h {
+                f.panels[k][row + i + j * lda] = (1.0 + i as f64) * (2.0 + j as f64);
+            }
+        }
+        let before = f.clone();
+        let lr = pastix_kernels::compress_block(h, w, &f.panels[k][row..], lda, 0.0, 1e-12)
+            .expect("rank-1 blok compresses");
+        assert_eq!(lr.rank, 1);
+        let mut per_blok: Vec<Option<pastix_kernels::LowRankBlock<f64>>> =
+            (0..sym.bloks.len()).map(|_| None).collect();
+        per_blok[b] = Some(lr);
+        f.install_compression(&sym, per_blok);
+        assert!(f.is_compressed());
+        assert!(f.factor_bytes() < f.dense_factor_bytes());
+        assert_eq!(f.panel_lda(k), lda - h);
+        // Reads agree with the dense original everywhere (to fp round-off).
+        for j in 0..ap.n() {
+            for i in j..ap.n() {
+                let (a, bv) = (before.get(&sym, i, j), f.get(&sym, i, j));
+                assert!((a - bv).abs() <= 1e-10 * a.abs().max(1.0), "({i},{j}): {a} vs {bv}");
+            }
+        }
+        // Decompress restores the classic layout.
+        f.decompress(&sym);
+        assert!(!f.is_compressed());
+        assert_eq!(f.panels[k].len(), before.panels[k].len());
+        for (x, y) in f.panels[k].iter().zip(&before.panels[k]) {
+            assert!((x - y).abs() <= 1e-10 * y.abs().max(1.0));
+        }
     }
 
     #[test]

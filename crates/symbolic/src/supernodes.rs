@@ -148,7 +148,10 @@ pub fn fundamental_supernodes(parent: &[u32], counts: &[u64]) -> SupernodePartit
 #[derive(Debug, Clone, Copy)]
 pub struct AmalgamationOptions {
     /// Maximum accepted ratio of explicit zeros over the merged supernode's
-    /// entries (PaStiX's `rat_cblk`-style knob).
+    /// entries (PaStiX's `rat_cblk`-style knob). The ratio is of the
+    /// group's *accumulated* padding, so cascaded merges can never exceed
+    /// it in total; the default is tuned for that semantics (an
+    /// incremental-per-merge test at the same value merges far more).
     pub fill_ratio: f64,
     /// Supernodes narrower than this are merged into their parent whenever
     /// the fill ratio permits, even if already "efficient".
@@ -158,7 +161,7 @@ pub struct AmalgamationOptions {
 impl Default for AmalgamationOptions {
     fn default() -> Self {
         Self {
-            fill_ratio: 0.10,
+            fill_ratio: 0.20,
             min_width: 8,
         }
     }
@@ -175,15 +178,23 @@ impl Default for AmalgamationOptions {
 /// `(group width + group offrows) − offrows(child)` padded entries.
 /// Supernodes are processed right to left so a parent group grows leftward
 /// through chains of children.
+///
+/// The ratio test is on the *accumulated* padding of the group — every
+/// zero introduced by earlier merges counts against later ones — so a
+/// chain of individually-cheap merges cannot cascade into one dense
+/// panel (each incremental merge looks small next to the ever-growing
+/// triangle, but the total padding does not).
 pub fn amalgamate(part: &SupernodePartition, opts: &AmalgamationOptions) -> SupernodePartition {
     let ns = part.len();
     if ns == 0 {
         return part.clone();
     }
     let mut absorbed_into: Vec<u32> = vec![NO_PARENT; ns];
-    // Per group root: current width, first column, offrows (the root's own).
+    // Per group root: current width, first column, offrows (the root's
+    // own), and the explicit zeros accumulated by merges so far.
     let mut gwidth: Vec<u64> = (0..ns).map(|s| part.width(s) as u64).collect();
     let mut gfirst: Vec<u32> = part.ptr[..ns].to_vec();
+    let mut gzeros: Vec<u64> = vec![0; ns];
     let offrows: &[u64] = &part.offrows;
 
     let find = |absorbed: &[u32], mut s: usize| -> usize {
@@ -212,17 +223,19 @@ pub fn amalgamate(part: &SupernodePartition, opts: &AmalgamationOptions) -> Supe
             continue;
         }
         let zeros = wc * (target - offrows[s]);
+        let total_zeros = gzeros[root] + gzeros[s] + zeros;
         let w = wc + wg;
         let merged_entries = w * (w + 1) / 2 + w * offrows[root];
         let small_child = (wc as usize) < opts.min_width;
-        let ratio_ok =
-            merged_entries > 0 && (zeros as f64) / (merged_entries as f64) <= opts.fill_ratio;
+        let ratio_ok = merged_entries > 0
+            && (total_zeros as f64) / (merged_entries as f64) <= opts.fill_ratio;
         if !(ratio_ok && (small_child || zeros == 0)) {
             continue;
         }
         absorbed_into[s] = root as u32;
         gwidth[root] = w;
         gfirst[root] = part.ptr[s].min(gfirst[s]);
+        gzeros[root] = total_zeros;
     }
 
     // Emit boundaries where the resolved group changes (groups are
@@ -334,7 +347,7 @@ mod tests {
         let am = amalgamate(
             &sn,
             &AmalgamationOptions {
-                fill_ratio: 0.9,
+                fill_ratio: 0.20,
                 min_width: 4,
             },
         );
@@ -351,7 +364,7 @@ mod tests {
         let am = amalgamate(
             &sn,
             &AmalgamationOptions {
-                fill_ratio: 0.0,
+                fill_ratio: 0.20,
                 min_width: 64,
             },
         );

@@ -133,6 +133,37 @@ impl SymbolMatrix {
         cb.blok_start + lo
     }
 
+    /// Column block that owns global blok `b` (binary search on
+    /// `blok_start`, the inverse of the `cblk.blok_start..blok_end`
+    /// ranges).
+    pub fn owner_of_blok(&self, b: usize) -> usize {
+        debug_assert!(b < self.bloks.len());
+        let mut lo = 0usize;
+        let mut hi = self.cblks.len();
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.cblks[mid].blok_start <= b {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Whether global blok `b` is a candidate for low-rank compression
+    /// purely from the block symbol: an off-diagonal blok whose row count
+    /// and owning column-block width both reach `min_block`. Diagonal
+    /// bloks are never compressible (the `L·D·Lᵀ` pivot path needs them
+    /// dense), and small blocks cannot amortize the `U·Vᵀ` bookkeeping.
+    pub fn blok_compressible(&self, b: usize, min_block: usize) -> bool {
+        let k = self.owner_of_blok(b);
+        let cb = &self.cblks[k];
+        b != cb.blok_start
+            && self.bloks[b].nrows() >= min_block
+            && cb.width() >= min_block
+    }
+
     /// Block elimination tree: `parent[k]` is the facing column block of
     /// `k`'s first off-diagonal block ([`NO_PARENT`] for roots).
     pub fn block_etree(&self) -> Vec<u32> {
@@ -483,6 +514,29 @@ mod tests {
             let scalar_opc = crate::etree::opc(&counts);
             assert!((sym.opc() - scalar_opc).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn blok_ownership_and_compressibility() {
+        let (sym, _) = symbol_for(&grid(6, 6));
+        for k in 0..sym.n_cblks() {
+            let cb = &sym.cblks[k];
+            for b in cb.blok_start..cb.blok_end {
+                assert_eq!(sym.owner_of_blok(b), k, "blok {b}");
+                // Diagonal bloks are never compressible.
+                if b == cb.blok_start {
+                    assert!(!sym.blok_compressible(b, 1));
+                } else {
+                    // At min_block 1 every off-diagonal blok qualifies;
+                    // the dims gate matches the symbol exactly.
+                    assert!(sym.blok_compressible(b, 1));
+                    let want = sym.bloks[b].nrows() >= 2 && cb.width() >= 2;
+                    assert_eq!(sym.blok_compressible(b, 2), want, "blok {b}");
+                }
+            }
+        }
+        // A threshold larger than any block keeps everything dense.
+        assert!((0..sym.bloks.len()).all(|b| !sym.blok_compressible(b, sym.n + 1)));
     }
 
     #[test]

@@ -56,8 +56,14 @@ pub struct WatchdogOptions {
 }
 
 impl Default for WatchdogOptions {
+    /// Empirical defaults, re-validated on the chaos grid problems
+    /// whenever task granularity shifts (last: the amalgamation retune,
+    /// which made supernodes fatter — fewer tasks per run, so healthy
+    /// relative gaps grew and the fractions moved up accordingly).
+    /// Deployments with unusual problem shapes can override via
+    /// `PASTIX_WATCHDOG_GAP` / `PASTIX_WATCHDOG_BACKLOG`.
     fn default() -> Self {
-        Self { min_gap: 16, gap_frac: 0.35, min_backlog: 6, backlog_frac: 0.36 }
+        Self { min_gap: 16, gap_frac: 0.45, min_backlog: 10, backlog_frac: 0.45 }
     }
 }
 

@@ -180,7 +180,28 @@ fn comm_counters_conserve_messages_under_all_policies() {
 #[test]
 fn watchdog_flags_starved_rank_and_stays_silent_on_uniform() {
     let procs = 4;
-    let (ap, mapping) = setup(procs);
+    // A larger grid than the shared `setup`: the watchdog's relative
+    // thresholds (gap_frac, backlog_frac) are statistical and need
+    // enough tasks per rank that one rank legitimately finishing its
+    // local leaves before another starts doesn't look like a stall.
+    let a = grid_spd::<f64>(14, 14, 1, Stencil::Star, false, ValueKind::RandomSpd(7));
+    let g = a.to_graph();
+    let ord = nested_dissection(
+        &g,
+        &OrderingOptions {
+            leaf_size: 8,
+            ..Default::default()
+        },
+    );
+    let an = analyze(&g, &ord, &AnalysisOptions::default());
+    let machine = MachineModel::sp2(procs);
+    let mut opts = SchedOptions::default();
+    opts.block_size = 4;
+    opts.mapping.strategy = DistStrategy::Mixed1d2d;
+    opts.mapping.procs_2d_min = 2.0;
+    opts.mapping.width_2d_min = 4;
+    let mapping = map_and_schedule(&an.symbol, &machine, &opts);
+    let ap = a.permuted(&an.perm);
     let pln = plan_of(&mapping);
     let run = |seed: u64, policy: SchedPolicy| {
         let plan = FaultPlan::builder(seed).policy(policy).build();
