@@ -1,0 +1,196 @@
+//! Analyze-phase benchmark and acceptance gate: parallel vs sequential
+//! pre-processing (ordering → block symbolic factorization → mapping +
+//! static scheduling) through `Plan::analyze`.
+//!
+//! Two gates run per problem:
+//!
+//! * **determinism (unconditional)** — every `Parallelism` setting must
+//!   produce a bitwise-identical `Permutation`, block symbol, and
+//!   `Schedule::digest()`, and identical scalar `NNZ_L`/`OPC`. A parallel
+//!   analyze that changes any output bit is a bug, whatever the speedup.
+//! * **speedup (hardware-gated)** — on machines with ≥ 4 CPUs, the
+//!   threaded analyze of the largest problem (Shipsec5 analog) must reach
+//!   ≥ 1.5× the sequential wall time. On smaller machines (CI smoke runs
+//!   on 1–2 cores) the measurement is still taken and reported, but the
+//!   ratio gate is skipped — there is no parallel speedup to measure
+//!   without parallel hardware.
+//!
+//! Writes `BENCH_analyze.json` at the repository root; exits non-zero if
+//! any active gate fails. `--quick` shrinks scale and reps for CI.
+
+use pastix_bench::scale;
+use pastix_graph::{build_problem, Parallelism, ProblemId};
+use pastix_json::{obj, Json};
+use pastix_solver::{Plan, SolverConfig};
+use std::time::Instant;
+
+const PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_analyze.json");
+
+/// Speedup the threaded analyze must reach on the headline problem when
+/// the hardware can parallelize at all (≥ `MIN_CPUS_FOR_GATE` CPUs).
+const TARGET_SPEEDUP: f64 = 1.5;
+const MIN_CPUS_FOR_GATE: usize = 4;
+
+struct Artifacts {
+    perm: Vec<u32>,
+    cblks_ends: Vec<u32>,
+    blok_rows: Vec<(u32, u32, u32)>,
+    digest: u64,
+    nnz_l: u64,
+    opc: f64,
+}
+
+fn analyze_once(
+    a: &pastix_graph::SymCsc<f64>,
+    par: Parallelism,
+    procs: usize,
+) -> (Artifacts, f64) {
+    let mut cfg = SolverConfig::default();
+    cfg.analyze.procs = procs;
+    cfg.analyze.parallelism = par;
+    let t0 = Instant::now();
+    let plan = Plan::analyze(a, &cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    let sym = plan.symbol();
+    let stats = plan.analyze_stats().expect("analyzed plans carry stats");
+    (
+        Artifacts {
+            perm: plan.permutation().unwrap().perm().to_vec(),
+            cblks_ends: sym.cblks.iter().map(|c| c.lcol).collect(),
+            blok_rows: sym.bloks.iter().map(|b| (b.frow, b.lrow, b.fcblk)).collect(),
+            digest: plan.schedule().expect("static schedule").digest(),
+            nnz_l: stats.scalar_nnz_offdiag,
+            opc: stats.scalar_opc,
+        },
+        wall,
+    )
+}
+
+fn same_bits(a: &Artifacts, b: &Artifacts) -> bool {
+    a.perm == b.perm
+        && a.cblks_ends == b.cblks_ends
+        && a.blok_rows == b.blok_rows
+        && a.digest == b.digest
+        && a.nnz_l == b.nnz_l
+        && a.opc.to_bits() == b.opc.to_bits()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let par_threads = cpus.max(4);
+    println!(
+        "bench_analyze ({mode}) — parallel vs sequential analyze, {cpus} CPUs, \
+         Threads({par_threads}) for the timed parallel run"
+    );
+
+    let sc = if quick { 0.02 } else { scale() };
+    let reps = if quick { 2 } else { 3 };
+    let procs = 4;
+    let ids: &[ProblemId] = if quick {
+        &[ProblemId::Shipsec5]
+    } else {
+        &[ProblemId::Ship001, ProblemId::Shipsec5]
+    };
+
+    let mut rows = Vec::new();
+    let mut determinism_ok = true;
+    let mut headline_speedup = f64::NAN;
+
+    for &id in ids {
+        let a = build_problem::<f64>(id, sc);
+        println!("\nproblem {} n={} nnz={}", id.name(), a.n(), a.nnz_stored());
+
+        // Reference: one sequential run pins the artifacts.
+        let (seq_ref, _) = analyze_once(&a, Parallelism::Sequential, procs);
+
+        // Determinism gate, unconditional: several thread counts plus
+        // Auto must reproduce the sequential artifacts bitwise.
+        let mut bitwise_ok = true;
+        for par in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(par_threads),
+            Parallelism::Auto,
+        ] {
+            let (art, _) = analyze_once(&a, par, procs);
+            if !same_bits(&seq_ref, &art) {
+                eprintln!("  [{par:?}] DIFFERS from sequential analyze");
+                bitwise_ok = false;
+            }
+        }
+        println!(
+            "  determinism (perm/symbol/digest/NNZ_L/OPC across thread counts): {}",
+            if bitwise_ok { "bitwise identical" } else { "FAILED" }
+        );
+        determinism_ok &= bitwise_ok;
+
+        // Timing: best-of-reps for each setting (first gate runs above
+        // doubled as warm-up).
+        let mut t_seq = f64::INFINITY;
+        let mut t_par = f64::INFINITY;
+        for _ in 0..reps {
+            t_seq = t_seq.min(analyze_once(&a, Parallelism::Sequential, procs).1);
+            t_par = t_par.min(analyze_once(&a, Parallelism::Threads(par_threads), procs).1);
+        }
+        let speedup = t_seq / t_par;
+        println!(
+            "  sequential {t_seq:.4} s, Threads({par_threads}) {t_par:.4} s — {speedup:.2}x"
+        );
+        if id == ProblemId::Shipsec5 {
+            headline_speedup = speedup;
+        }
+
+        rows.push(obj([
+            ("problem", Json::Str(id.name().to_string())),
+            ("n", Json::Num(a.n() as f64)),
+            ("nnz_l", Json::Num(seq_ref.nnz_l as f64)),
+            ("opc", Json::Num(seq_ref.opc)),
+            ("t_seq_s", Json::Num(t_seq)),
+            ("t_par_s", Json::Num(t_par)),
+            ("speedup", Json::Num(speedup)),
+            ("bitwise_identical", Json::Bool(bitwise_ok)),
+        ]));
+    }
+
+    let gate_active = cpus >= MIN_CPUS_FOR_GATE;
+    let j = obj([
+        ("bench", Json::Str("analyze".to_string())),
+        ("mode", Json::Str(mode.to_string())),
+        ("scale", Json::Num(sc)),
+        ("reps", Json::Num(reps as f64)),
+        ("cpus", Json::Num(cpus as f64)),
+        ("par_threads", Json::Num(par_threads as f64)),
+        ("target_speedup", Json::Num(TARGET_SPEEDUP)),
+        ("speedup_gate_active", Json::Bool(gate_active)),
+        ("headline_speedup", Json::Num(headline_speedup)),
+        ("determinism_ok", Json::Bool(determinism_ok)),
+        ("problems", Json::Arr(rows)),
+    ]);
+    std::fs::write(PATH, j.pretty()).expect("write BENCH_analyze.json");
+    println!("\nwrote {PATH}");
+
+    println!(
+        "acceptance (analyze artifacts bitwise identical at every thread count): {}",
+        if determinism_ok { "MET" } else { "NOT MET" }
+    );
+    let mut failed = !determinism_ok;
+    if gate_active {
+        let perf_ok = headline_speedup >= TARGET_SPEEDUP;
+        println!(
+            "acceptance (parallel analyze ≥ {TARGET_SPEEDUP}x sequential on Shipsec5, \
+             {cpus} CPUs): {headline_speedup:.2}x — {}",
+            if perf_ok { "MET" } else { "NOT MET" }
+        );
+        failed |= !perf_ok;
+    } else {
+        println!(
+            "acceptance (speedup): SKIPPED — {cpus} CPU(s) < {MIN_CPUS_FOR_GATE}, no parallel \
+             hardware to measure against (measured {headline_speedup:.2}x, reported only)"
+        );
+    }
+    if failed {
+        eprintln!("FAIL: bench_analyze gates not met");
+        std::process::exit(1);
+    }
+}

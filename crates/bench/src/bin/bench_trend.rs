@@ -33,6 +33,10 @@ const TRACKED: &[(&str, &[(&str, &str)])] = &[
         "BENCH_blr.json",
         &[("headline_mem_ratio", "blr-mem-ratio")],
     ),
+    (
+        "BENCH_analyze.json",
+        &[("headline_speedup", "analyze-speedup")],
+    ),
 ];
 
 /// How many revisions per file to walk at most.

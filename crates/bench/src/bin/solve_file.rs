@@ -14,7 +14,7 @@
 
 use pastix::graph::io::read_path;
 use pastix::graph::{canonical_solution, rhs_for_solution};
-use pastix::{Pastix, PastixOptions};
+use pastix::solver::{Plan, SolverConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -43,32 +43,30 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    let opts = PastixOptions::with_procs(procs);
+    let mut cfg = SolverConfig::default();
+    cfg.analyze.procs = procs;
     let t0 = Instant::now();
-    let solver = Pastix::analyze(&a, &opts).expect("analysis failed");
+    let plan = Plan::analyze(&a, &cfg);
+    let stats = plan.analyze_stats().expect("analyzed plans carry stats");
+    let schedule = plan.schedule().expect("static schedule");
     println!(
         "analysis: {:.3} s — NNZ_L = {}, OPC = {:.3e}, {} tasks on {procs} procs, predicted {:.4} s",
         t0.elapsed().as_secs_f64(),
-        solver.nnz_l(),
-        solver.opc(),
-        solver.mapping().graph.n_tasks(),
-        solver.predicted_time()
+        stats.scalar_nnz_offdiag,
+        stats.scalar_opc,
+        plan.graph().n_tasks(),
+        schedule.makespan
     );
 
     let timeline = path.with_extension("timeline.csv");
     if let Ok(f) = std::fs::File::create(&timeline) {
-        if solver
-            .mapping()
-            .schedule
-            .write_timeline_csv(&solver.mapping().graph, f)
-            .is_ok()
-        {
+        if schedule.write_timeline_csv(plan.graph(), f).is_ok() {
             println!("timeline: wrote {}", timeline.display());
         }
     }
 
     let t0 = Instant::now();
-    let factor = match solver.factorize(&a) {
+    let run = match plan.factorize(&a, &cfg) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("factorization failed: {e}");
@@ -82,7 +80,7 @@ fn main() {
     let x_exact = canonical_solution::<f64>(a.n());
     let b = rhs_for_solution(&a, &x_exact);
     let t0 = Instant::now();
-    let x = factor.solve(&b);
+    let x = run.solve(&b);
     println!(
         "solve: {:.4} s, scaled residual = {:.2e}",
         t0.elapsed().as_secs_f64(),

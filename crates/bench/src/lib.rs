@@ -79,6 +79,7 @@ pub fn default_sched() -> SchedOptions {
     SchedOptions {
         block_size: 64,
         mapping: MappingOptions::default(),
+        ..Default::default()
     }
 }
 

@@ -17,8 +17,11 @@
 //!    schedule, on threads (`pastix-solver` + `pastix-runtime`), plus the
 //!    sequential reference and the triangular solves.
 //!
+//! The entry path is the [`solver::Plan`] API: one [`solver::SolverConfig`]
+//! value drives analyze, factorize, and solve.
+//!
 //! ```
-//! use pastix::{Pastix, PastixOptions};
+//! use pastix::solver::{Plan, SolverConfig};
 //! use pastix::graph::gen::{grid_spd, Stencil, ValueKind};
 //!
 //! // A small SPD system from a 3D grid.
@@ -26,9 +29,10 @@
 //! let x_exact = pastix::graph::canonical_solution::<f64>(a.n());
 //! let b = pastix::graph::rhs_for_solution(&a, &x_exact);
 //!
-//! let solver = Pastix::analyze(&a, &PastixOptions::default()).unwrap();
-//! let factor = solver.factorize(&a).unwrap();
-//! let x = factor.solve(&b);
+//! let cfg = SolverConfig::default(); // 4 procs, static schedule, threads
+//! let plan = Plan::analyze(&a, &cfg);
+//! let run = plan.factorize(&a, &cfg).unwrap();
+//! let x = run.solve(&b);
 //! assert!(a.residual_norm(&x, &b) < 1e-12);
 //! ```
 
@@ -50,12 +54,12 @@ use pastix_graph::{Permutation, SymCsc};
 use pastix_kernels::factor::FactorError;
 use pastix_kernels::Scalar;
 use pastix_machine::MachineModel;
-use pastix_sched::{map_and_schedule, Mapping, SchedOptions};
+use pastix_sched::SchedOptions;
 use pastix_solver::{
-    factorize_sequential, run_from_storage, solve_in_place, FactorRun, FactorStorage, Plan,
-    SolverConfig,
+    factorize_sequential, run_from_storage, solve_in_place, AnalyzeOptions, FactorRun,
+    FactorStorage, Plan, SolverConfig,
 };
-use pastix_symbolic::{Analysis, AnalysisOptions};
+use pastix_symbolic::AnalysisOptions;
 
 /// Errors surfaced by the facade.
 #[derive(Debug)]
@@ -92,6 +96,14 @@ impl From<FactorError> for PastixError {
 }
 
 /// Options of the whole pipeline.
+///
+/// Superseded by [`solver::AnalyzeOptions`] inside a
+/// [`solver::SolverConfig`]; [`PastixOptions::to_analyze_options`] is the
+/// exact translation this shim hands to [`Plan::analyze`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use solver::AnalyzeOptions inside a SolverConfig; this shim forwards to Plan::analyze and will be removed next release"
+)]
 #[derive(Debug, Clone)]
 pub struct PastixOptions {
     /// Ordering phase knobs (nested dissection + halo minimum degree).
@@ -108,6 +120,7 @@ pub struct PastixOptions {
     pub parallel_numeric: bool,
 }
 
+#[allow(deprecated)]
 impl Default for PastixOptions {
     fn default() -> Self {
         Self {
@@ -120,6 +133,7 @@ impl Default for PastixOptions {
     }
 }
 
+#[allow(deprecated)]
 impl PastixOptions {
     /// A convenient preset for `p` logical processors.
     pub fn with_procs(p: usize) -> Self {
@@ -128,33 +142,49 @@ impl PastixOptions {
             ..Self::default()
         }
     }
+
+    /// The equivalent [`AnalyzeOptions`] — what [`Pastix::analyze`]
+    /// actually hands to [`Plan::analyze`].
+    pub fn to_analyze_options(&self) -> AnalyzeOptions {
+        AnalyzeOptions {
+            procs: self.machine.n_procs,
+            machine: Some(self.machine.clone()),
+            parallelism: self.ordering.parallelism,
+            ordering: self.ordering.clone(),
+            analysis: self.analysis.clone(),
+            sched: self.sched.clone(),
+            static_schedule: true,
+        }
+    }
 }
 
-/// The analyzed (pre-numeric) state: ordering, symbol, schedule.
+/// The analyzed (pre-numeric) state: a thin wrapper over [`Plan`].
+///
+/// Superseded by [`solver::Plan`]: `Pastix::analyze` now *is*
+/// [`Plan::analyze`] plus this compatibility surface, and the wrapped plan
+/// is reachable through [`Pastix::plan`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use solver::Plan::analyze / Plan::factorize; this shim will be removed next release"
+)]
 pub struct Pastix {
+    #[allow(deprecated)]
     options: PastixOptions,
-    analysis: Analysis,
-    mapping: Mapping,
     plan: Plan,
+    cfg: SolverConfig,
 }
 
+#[allow(deprecated)]
 impl Pastix {
-    /// Runs the three pre-processing phases on the pattern of `a`.
+    /// Runs the three pre-processing phases on the pattern of `a` by
+    /// delegating to [`Plan::analyze`].
     pub fn analyze<T: Scalar>(a: &SymCsc<T>, options: &PastixOptions) -> Result<Self, PastixError> {
-        let g = a.to_graph();
-        let ordering = pastix_ordering::nested_dissection(&g, &options.ordering);
-        let analysis = pastix_symbolic::analyze(&g, &ordering, &options.analysis);
-        let mapping = map_and_schedule(&analysis.symbol, &options.machine, &options.sched);
-        let plan = Plan::from_parts(
-            Some(analysis.perm.clone()),
-            mapping.graph.clone(),
-            Some(mapping.schedule.clone()),
-        );
+        let cfg = SolverConfig::default().with_analyze(options.to_analyze_options());
+        let plan = Plan::analyze(a, &cfg);
         Ok(Self {
             options: options.clone(),
-            analysis,
-            mapping,
             plan,
+            cfg,
         })
     }
 
@@ -165,70 +195,68 @@ impl Pastix {
 
     /// The final fill-reducing permutation.
     pub fn permutation(&self) -> &Permutation {
-        &self.analysis.perm
-    }
-
-    /// The (pre-split) symbolic analysis.
-    pub fn analysis(&self) -> &Analysis {
-        &self.analysis
-    }
-
-    /// The task graph + static schedule (on the split symbol).
-    pub fn mapping(&self) -> &Mapping {
-        &self.mapping
+        self.plan.permutation().expect("analyzed plans own a permutation")
     }
 
     /// Predicted parallel factorization time of the static schedule, i.e.
     /// the discrete-event "Table 2" number for this machine model.
     pub fn predicted_time(&self) -> f64 {
-        self.mapping.schedule.makespan
+        self.plan.schedule().expect("analyzed plans own a schedule").makespan
     }
 
     /// Factor nonzeros (off-diagonal, scalar convention of the paper).
     pub fn nnz_l(&self) -> u64 {
-        self.analysis.scalar_nnz_offdiag
+        self.plan.analyze_stats().expect("analyzed plans carry stats").scalar_nnz_offdiag
     }
 
     /// Operation count (`(c_j + 1)²` convention of the paper's `OPC`).
     pub fn opc(&self) -> f64 {
-        self.analysis.scalar_opc
+        self.plan.analyze_stats().expect("analyzed plans carry stats").scalar_opc
     }
 
     /// Runs the numeric factorization of `a` (same pattern as analyzed).
     pub fn factorize<T: Scalar>(&self, a: &SymCsc<T>) -> Result<Factorized<'_, T>, PastixError> {
-        if a.n() != self.analysis.perm.len() {
+        if a.n() != self.plan.n() {
             return Err(PastixError::ShapeMismatch {
-                expected: self.analysis.perm.len(),
+                expected: self.plan.n(),
                 got: a.n(),
             });
         }
-        let cfg = SolverConfig::default();
         let run = if self.options.parallel_numeric && self.options.machine.n_procs > 1 {
-            self.plan.factorize(a, &cfg)?
+            self.plan.factorize(a, &self.cfg)?
         } else {
-            let ap = a.permuted(&self.analysis.perm);
-            let sym = &self.mapping.graph.split.symbol;
+            let ap = a.permuted(self.permutation());
+            let sym = self.plan.symbol();
             let mut st = FactorStorage::zeros(sym);
             st.scatter(sym, &ap);
             factorize_sequential(sym, &mut st)?;
-            run_from_storage(st, &self.plan, &cfg)
+            run_from_storage(st, &self.plan, &self.cfg)
         };
         Ok(Factorized { parent: self, run })
     }
 }
 
 /// A numeric factorization ready to solve systems.
+///
+/// Superseded by [`solver::FactorRun`] (from [`Plan::factorize`]), whose
+/// `solve_request`-based methods cover every solve variant here.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the FactorRun returned by Plan::factorize; this shim will be removed next release"
+)]
 pub struct Factorized<'a, T> {
+    #[allow(deprecated)]
     parent: &'a Pastix,
     run: FactorRun<T>,
 }
 
+#[allow(deprecated)]
 impl<T: Scalar> Factorized<'_, T> {
     /// Solves `A·x = b` (in the original ordering).
     pub fn solve(&self, b: &[T]) -> Vec<T> {
-        let perm = &self.parent.analysis.perm;
+        let perm = self.parent.permutation();
         let mut x = perm.apply_vec(b);
-        solve_in_place(&self.parent.mapping.graph.split.symbol, &self.run.storage, &mut x);
+        solve_in_place(self.parent.plan.symbol(), &self.run.storage, &mut x);
         perm.unapply_vec(&x)
     }
 
@@ -241,16 +269,16 @@ impl<T: Scalar> Factorized<'_, T> {
     /// (`b` is `n × nrhs` column-major); one factor traversal total
     /// instead of one per column.
     pub fn solve_block(&self, b: &[T], nrhs: usize) -> Vec<T> {
-        let n = self.parent.analysis.perm.len();
+        let n = self.parent.plan.n();
         assert_eq!(b.len(), n * nrhs);
-        let perm = &self.parent.analysis.perm;
+        let perm = self.parent.permutation();
         let mut x = vec![T::zero(); n * nrhs];
         for r in 0..nrhs {
             let xp = perm.apply_vec(&b[r * n..(r + 1) * n]);
             x[r * n..(r + 1) * n].copy_from_slice(&xp);
         }
         pastix_solver::solve_block_in_place(
-            &self.parent.mapping.graph.split.symbol,
+            self.parent.plan.symbol(),
             &self.run.storage,
             &mut x,
             nrhs,
@@ -266,7 +294,7 @@ impl<T: Scalar> Factorized<'_, T> {
     /// Solves `A·x = b` with the **distributed** triangular sweeps: the
     /// solve phase runs on the same logical processors and ownership as
     /// the factorization, with fan-in aggregation of the update segments.
-    /// Delegates to the run's plan-driven [`FactorRun::solve_request`].
+    /// Delegates to the run's plan-driven solve path.
     pub fn solve_distributed(&self, b: &[T]) -> Vec<T> {
         self.run.solve(b)
     }
@@ -306,6 +334,7 @@ impl<T: Scalar> Factorized<'_, T> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pastix_graph::gen::{grid_spd, Stencil, ValueKind};
@@ -372,6 +401,7 @@ mod tests {
         assert_eq!(o.machine.n_procs, 32);
         assert!(o.parallel_numeric);
         assert_eq!(o.sched.block_size, 64);
+        assert_eq!(o.to_analyze_options().procs, 32);
     }
 
     #[test]

@@ -17,10 +17,12 @@ pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod matrix;
+pub mod par;
 pub mod perm;
 pub mod problems;
 
 pub use csr::CsrGraph;
+pub use par::Parallelism;
 pub use matrix::{canonical_solution, rhs_for_solution, SymCsc};
 pub use perm::Permutation;
 pub use problems::{build_problem, ProblemId};

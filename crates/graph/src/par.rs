@@ -1,0 +1,204 @@
+//! Deterministic parallelism policy and helpers for the analyze phase.
+//!
+//! Every analyze stage (ordering, symbolic, scheduling) takes the same
+//! [`Parallelism`] knob and must produce **bitwise-identical** results at
+//! every thread count. The helpers here make that easy to get right: work
+//! is split into index-contiguous chunks, each chunk writes its own
+//! disjoint output slice, and results are combined in index order — the
+//! reduction order never depends on thread timing.
+
+/// Environment variable overriding the analyze-phase thread count for a
+/// whole deployment (like `PASTIX_WATCHDOG_GAP` for the watchdog): `0` or
+/// `auto` selects [`Parallelism::Auto`], `1` forces sequential, any other
+/// number caps the fan-out at that many threads.
+pub const ANALYZE_THREADS_ENV: &str = "PASTIX_ANALYZE_THREADS";
+
+/// How much parallelism an analyze stage may use.
+///
+/// The choice never changes results — only wall-clock time. `Auto` sizes
+/// the fan-out to the host's available parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Strictly sequential: no threads are spawned anywhere.
+    Sequential,
+    /// Fan out over at most this many threads (1 behaves like
+    /// `Sequential`).
+    Threads(usize),
+    /// Use the host's available parallelism.
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// Resolves the knob to a concrete thread count (≥ 1), honouring the
+    /// `PASTIX_ANALYZE_THREADS` environment override when set.
+    pub fn effective_threads(self) -> usize {
+        if let Some(n) = env_override() {
+            return match n {
+                0 => rayon::current_num_threads().max(1),
+                n => n,
+            };
+        }
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => rayon::current_num_threads().max(1),
+        }
+    }
+}
+
+fn env_override() -> Option<usize> {
+    let raw = std::env::var(ANALYZE_THREADS_ENV).ok()?;
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    if raw.eq_ignore_ascii_case("auto") {
+        return Some(0);
+    }
+    raw.parse::<usize>().ok()
+}
+
+/// Splits `0..n` into at most `threads` contiguous chunks and returns the
+/// chunk boundaries (ascending, first 0, last `n`). Chunk shape depends
+/// only on `(n, threads)` — never on timing.
+pub fn chunk_bounds(n: usize, threads: usize) -> Vec<usize> {
+    let threads = threads.max(1).min(n.max(1));
+    let mut bounds = Vec::with_capacity(threads + 1);
+    bounds.push(0);
+    for c in 1..=threads {
+        bounds.push(n * c / threads);
+    }
+    bounds
+}
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// With `threads <= 1` (or trivially small `n`) this is a plain
+/// sequential loop; otherwise `0..n` is split into contiguous chunks,
+/// each chunk runs on its own scoped thread writing a disjoint slice of
+/// the output, and the assembled vector is identical to the sequential
+/// result by construction.
+pub fn par_map_indexed<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let bounds = chunk_bounds(n, threads);
+    let fref = &f;
+    rayon::scope(|s| {
+        let mut rest: &mut [Option<T>] = &mut out;
+        let mut consumed = 0usize;
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let (chunk, tail) = rest.split_at_mut(hi - consumed);
+            rest = tail;
+            consumed = hi;
+            s.spawn(move |_| {
+                for (slot, i) in chunk.iter_mut().zip(lo..hi) {
+                    *slot = Some(fref(i));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|v| v.expect("par_map_indexed slot")).collect()
+}
+
+/// Runs `f` on disjoint contiguous chunks of `data` in parallel; `f`
+/// receives the chunk and the index of its first element. Sequential when
+/// `threads <= 1`.
+pub fn par_chunks_mut<T, F>(threads: usize, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut [T], usize) + Sync,
+{
+    let n = data.len();
+    if threads <= 1 || n < 2 {
+        f(data, 0);
+        return;
+    }
+    let bounds = chunk_bounds(n, threads);
+    let fref = &f;
+    rayon::scope(|s| {
+        let mut rest: &mut [T] = data;
+        let mut consumed = 0usize;
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let (chunk, tail) = rest.split_at_mut(hi - consumed);
+            rest = tail;
+            consumed = hi;
+            s.spawn(move |_| fref(chunk, lo));
+        }
+    });
+}
+
+/// Serialises tests that mutate the `PASTIX_ANALYZE_THREADS` env var (the
+/// process environment is global state shared across the test harness's
+/// threads).
+pub static ENV_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for t in [1usize, 2, 3, 8, 200] {
+                let b = chunk_bounds(n, t);
+                assert_eq!(b[0], 0);
+                assert_eq!(*b.last().unwrap(), n);
+                assert!(b.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn map_matches_sequential_at_any_thread_count() {
+        let want: Vec<u64> = (0..257).map(|i| (i as u64) * 3 + 1).collect();
+        for t in [1usize, 2, 4, 7, 16] {
+            let got = par_map_indexed(t, 257, |i| (i as u64) * 3 + 1);
+            assert_eq!(got, want, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_writes_every_slot() {
+        for t in [1usize, 2, 4, 9] {
+            let mut data = vec![0u32; 100];
+            par_chunks_mut(t, &mut data, |chunk, base| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (base + j) as u32;
+                }
+            });
+            let want: Vec<u32> = (0..100).collect();
+            assert_eq!(data, want, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolves() {
+        let _guard = ENV_TEST_LOCK.lock().unwrap();
+        std::env::remove_var(ANALYZE_THREADS_ENV);
+        assert_eq!(Parallelism::Sequential.effective_threads(), 1);
+        assert_eq!(Parallelism::Threads(0).effective_threads(), 1);
+        assert_eq!(Parallelism::Threads(6).effective_threads(), 6);
+        assert!(Parallelism::Auto.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn env_override_wins() {
+        let _guard = ENV_TEST_LOCK.lock().unwrap();
+        std::env::set_var(ANALYZE_THREADS_ENV, "3");
+        assert_eq!(Parallelism::Sequential.effective_threads(), 3);
+        assert_eq!(Parallelism::Threads(8).effective_threads(), 3);
+        std::env::set_var(ANALYZE_THREADS_ENV, "auto");
+        assert!(Parallelism::Auto.effective_threads() >= 1);
+        std::env::remove_var(ANALYZE_THREADS_ENV);
+    }
+}

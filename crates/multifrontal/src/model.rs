@@ -243,21 +243,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pastix_ordering::{nested_dissection, OrderingOptions};
-    use pastix_symbolic::{analyze, AnalysisOptions};
 
     fn symbol(nx: usize) -> SymbolMatrix {
-        let a = pastix_graph::gen::grid_spd::<f64>(
-            nx,
-            nx,
-            1,
-            pastix_graph::gen::Stencil::Star,
-            false,
-            pastix_graph::gen::ValueKind::Laplacian,
-        );
-        let g = a.to_graph();
-        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 16, ..Default::default() });
-        analyze(&g, &ord, &AnalysisOptions::default()).symbol
+        pastix_testsupport::grid_symbol(nx, nx, 16)
     }
 
     #[test]

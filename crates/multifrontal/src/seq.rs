@@ -232,11 +232,7 @@ mod tests {
     use pastix_symbolic::{analyze, AnalysisOptions};
 
     fn pipeline(nx: usize, ny: usize, nz: usize) -> (SymCsc<f64>, SymbolMatrix) {
-        let a = grid_spd::<f64>(nx, ny, nz, Stencil::Star, false, ValueKind::RandomSpd(33));
-        let g = a.to_graph();
-        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 8, ..Default::default() });
-        let an = analyze(&g, &ord, &AnalysisOptions::default());
-        (a.permuted(&an.perm), an.symbol)
+        pastix_testsupport::grid_pipeline(nx, ny, nz, 8, 33)
     }
 
     #[test]

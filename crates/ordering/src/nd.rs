@@ -19,7 +19,8 @@
 
 use crate::bisect::{vertex_separator, BisectOptions};
 use crate::md::min_degree;
-use pastix_graph::{CsrGraph, Permutation};
+use pastix_graph::par::par_chunks_mut;
+use pastix_graph::{CsrGraph, Parallelism, Permutation};
 
 /// How leaf subgraphs (below the dissection threshold) are ordered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +44,9 @@ pub struct OrderingOptions {
     pub leaf_mode: LeafMode,
     /// Bisection knobs.
     pub bisect: BisectOptions,
-    /// Order independent subtrees with `rayon::join`.
-    pub parallel: bool,
+    /// Parallelism of the dissection recursion and the leaf min-degree
+    /// frontier. Never changes the ordering — only wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 impl Default for OrderingOptions {
@@ -53,7 +55,7 @@ impl Default for OrderingOptions {
             leaf_size: 120,
             leaf_mode: LeafMode::HaloMinDegree,
             bisect: BisectOptions::default(),
-            parallel: true,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -92,9 +94,23 @@ impl OrderingOptions {
 /// ```
 pub fn nested_dissection(g: &CsrGraph, opts: &OrderingOptions) -> Permutation {
     let n = g.n();
+    let threads = opts.parallelism.effective_threads();
     let verts: Vec<u32> = (0..n as u32).collect();
     let mut perm = vec![0u32; n];
-    recurse(g, verts, &mut perm, opts, 0, opts.bisect.seed);
+    // Phase 1: dissect. The recursion numbers separators and collects the
+    // leaf frontier (each leaf owning a disjoint slice of `perm`) instead
+    // of ordering leaves inline.
+    let mut jobs = Vec::new();
+    recurse(g, verts, &mut perm, opts, 0, opts.bisect.seed, threads, &mut jobs);
+    // Phase 2: order the whole leaf frontier. Leaves are independent and
+    // write disjoint slices, so chunking the job list across threads
+    // reproduces the sequential result bitwise.
+    par_chunks_mut(threads, &mut jobs, |chunk, _| {
+        for job in chunk {
+            order_leaf(g, &job.verts, job.out, opts.leaf_mode);
+        }
+    });
+    drop(jobs);
     Permutation::from_perm(perm)
 }
 
@@ -106,13 +122,23 @@ pub fn pure_min_degree(g: &CsrGraph) -> Permutation {
     Permutation::from_perm(o.order)
 }
 
-fn recurse(
+/// A leaf of the dissection tree, deferred to phase 2: the vertices to
+/// order and the (disjoint) slice of the permutation they fill.
+struct LeafJob<'a> {
+    verts: Vec<u32>,
+    out: &'a mut [u32],
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse<'a>(
     g0: &CsrGraph,
     verts: Vec<u32>,
-    out: &mut [u32],
+    out: &'a mut [u32],
     opts: &OrderingOptions,
     depth: usize,
     seed: u64,
+    threads: usize,
+    jobs: &mut Vec<LeafJob<'a>>,
 ) {
     debug_assert_eq!(verts.len(), out.len());
     let nv = verts.len();
@@ -120,7 +146,7 @@ fn recurse(
         return;
     }
     if nv <= opts.leaf_size || depth >= 60 {
-        order_leaf(g0, &verts, out, opts.leaf_mode);
+        jobs.push(LeafJob { verts, out });
         return;
     }
     let sub = g0.induced_subgraph(&verts);
@@ -133,7 +159,7 @@ fn recurse(
     let sep = vertex_separator(&sub, &bopts);
     if sep.counts[0] == 0 || sep.counts[1] == 0 {
         // Degenerate split (tiny or pathological graph): stop dissecting.
-        order_leaf(g0, &verts, out, opts.leaf_mode);
+        jobs.push(LeafJob { verts, out });
         return;
     }
     let mut v0 = Vec::with_capacity(sep.counts[0]);
@@ -154,17 +180,28 @@ fn recurse(
 
     let seed0 = seed.wrapping_add(1);
     let seed1 = seed.wrapping_add(2);
-    // A parallel cutoff keeps join overhead away from small subtrees.
-    if opts.parallel && n0.min(n1) > 2048 {
-        rayon::join(
-            || recurse(g0, v0, out0, opts, depth + 1, seed0),
-            || recurse(g0, v1, out1, opts, depth + 1, seed1),
+    // A parallel cutoff keeps join overhead away from small subtrees. Each
+    // branch collects its own job list; concatenating side-0 then side-1
+    // keeps the frontier order identical to the sequential recursion.
+    if threads > 1 && n0.min(n1) > 2048 {
+        let (j0, j1) = rayon::join(
+            || {
+                let mut j = Vec::new();
+                recurse(g0, v0, out0, opts, depth + 1, seed0, threads, &mut j);
+                j
+            },
+            || {
+                let mut j = Vec::new();
+                recurse(g0, v1, out1, opts, depth + 1, seed1, threads, &mut j);
+                j
+            },
         );
+        jobs.extend(j0);
+        jobs.extend(j1);
     } else {
-        recurse(g0, v0, out0, opts, depth + 1, seed0);
-        recurse(g0, v1, out1, opts, depth + 1, seed1);
+        recurse(g0, v0, out0, opts, depth + 1, seed0, threads, jobs);
+        recurse(g0, v1, out1, opts, depth + 1, seed1, threads, jobs);
     }
-    let _ = n1;
 }
 
 /// Orders a leaf subgraph, writing global ids in elimination order.
@@ -277,12 +314,14 @@ mod tests {
         let g = grid(30, 30);
         let mut o1 = OrderingOptions::default();
         o1.leaf_size = 40;
-        o1.parallel = false;
-        let mut o2 = o1.clone();
-        o2.parallel = true;
+        o1.parallelism = Parallelism::Sequential;
         let p1 = nested_dissection(&g, &o1);
-        let p2 = nested_dissection(&g, &o2);
-        assert_eq!(p1.perm(), p2.perm());
+        for t in [2usize, 4, 7] {
+            let mut o2 = o1.clone();
+            o2.parallelism = Parallelism::Threads(t);
+            let p2 = nested_dissection(&g, &o2);
+            assert_eq!(p1.perm(), p2.perm(), "threads={t}");
+        }
     }
 
     #[test]

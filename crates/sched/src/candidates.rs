@@ -183,31 +183,12 @@ pub fn proportional_mapping(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pastix_graph::CsrGraph;
-    use pastix_symbolic::{analyze, AnalysisOptions};
 
     fn symbol(nx: usize, ny: usize) -> SymbolMatrix {
-        let mut e = Vec::new();
-        let id = |x: usize, y: usize| (x + nx * y) as u32;
-        for y in 0..ny {
-            for x in 0..nx {
-                if x + 1 < nx {
-                    e.push((id(x, y), id(x + 1, y)));
-                }
-                if y + 1 < ny {
-                    e.push((id(x, y), id(x, y + 1)));
-                }
-            }
-        }
-        let g = CsrGraph::from_edges(nx * ny, &e);
         // Nested dissection gives the block elimination tree real branching
         // (identity ordering on a grid yields a band matrix whose block
         // etree is a chain, which would make these tests vacuous).
-        let ord = pastix_ordering::nested_dissection(&g, &pastix_ordering::OrderingOptions {
-            leaf_size: 16,
-            ..Default::default()
-        });
-        analyze(&g, &ord, &AnalysisOptions::default()).symbol
+        pastix_testsupport::grid_symbol(nx, ny, 16)
     }
 
     #[test]

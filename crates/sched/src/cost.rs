@@ -67,28 +67,9 @@ pub fn sequential_cost(sym: &SymbolMatrix, m: &MachineModel) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pastix_graph::CsrGraph;
-    use pastix_symbolic::{analyze, AnalysisOptions};
 
     fn symbol() -> SymbolMatrix {
-        let mut e = Vec::new();
-        let id = |x: usize, y: usize| (x + 8 * y) as u32;
-        for y in 0..8 {
-            for x in 0..8 {
-                if x + 1 < 8 {
-                    e.push((id(x, y), id(x + 1, y)));
-                }
-                if y + 1 < 8 {
-                    e.push((id(x, y), id(x, y + 1)));
-                }
-            }
-        }
-        let g = CsrGraph::from_edges(64, &e);
-        let ord = pastix_ordering::nested_dissection(&g, &pastix_ordering::OrderingOptions {
-            leaf_size: 8,
-            ..Default::default()
-        });
-        analyze(&g, &ord, &AnalysisOptions::default()).symbol
+        pastix_testsupport::grid_symbol(8, 8, 8)
     }
 
     #[test]

@@ -28,10 +28,11 @@ pub mod tasks;
 
 pub use candidates::{proportional_mapping, CandidateInfo, DistStrategy, MappingOptions};
 pub use cost::{bdiv_cost, bmod_cost, comp1d_cost, factor_cost, sequential_cost};
-pub use greedy::{analyze_schedule, comm_stats, critical_path, critical_path_chain, cyclic_schedule, greedy_schedule, memory_stats, validate_schedule, CommStats, MemoryStats, PredictedTask, Schedule, ScheduleAnalysis};
+pub use greedy::{analyze_schedule, comm_stats, critical_path, critical_path_chain, cyclic_schedule, greedy_schedule, greedy_schedule_par, memory_stats, validate_schedule, CommStats, MemoryStats, PredictedTask, Schedule, ScheduleAnalysis};
 pub use solve::{solve_schedule, SolveSchedule};
 pub use tasks::{build_task_graph, find_covering_blok, TaskGraph, TaskKind};
 
+use pastix_graph::Parallelism;
 use pastix_machine::MachineModel;
 use pastix_symbolic::{split_symbol, SymbolMatrix};
 
@@ -42,6 +43,10 @@ pub struct SchedOptions {
     pub block_size: usize,
     /// Proportional-mapping knobs (1D/2D switch).
     pub mapping: MappingOptions,
+    /// Parallelism of the mapping/scheduling phase (stage overlap plus
+    /// candidate-cost fan-out). Never changes the schedule — only
+    /// wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SchedOptions {
@@ -49,6 +54,7 @@ impl Default for SchedOptions {
         Self {
             block_size: 64,
             mapping: MappingOptions::default(),
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -79,10 +85,18 @@ pub struct Mapping {
 /// assert_eq!(m.schedule.task_proc.len(), m.graph.n_tasks());
 /// ```
 pub fn map_and_schedule(sym: &SymbolMatrix, machine: &MachineModel, opts: &SchedOptions) -> Mapping {
-    let candidates = proportional_mapping(sym, machine, &opts.mapping);
-    let split = split_symbol(sym, opts.block_size);
+    let threads = opts.parallelism.effective_threads();
+    // Proportional mapping and supernode splitting both read only the
+    // symbol — overlap them when threads are available.
+    let run_mapping = || proportional_mapping(sym, machine, &opts.mapping);
+    let run_split = || split_symbol(sym, opts.block_size);
+    let (candidates, split) = if threads > 1 {
+        rayon::join(run_mapping, run_split)
+    } else {
+        (run_mapping(), run_split())
+    };
     let graph = build_task_graph(split, &candidates, machine);
-    let schedule = greedy_schedule(&graph, machine);
+    let schedule = greedy_schedule_par(&graph, machine, threads);
     Mapping {
         graph,
         schedule,
@@ -121,6 +135,7 @@ mod tests {
                 width_2d_min: 8,
                 ..Default::default()
             },
+            ..Default::default()
         };
         let m = map_and_schedule(&a.symbol, &machine, &opts);
         greedy::validate_schedule(&m.graph, &m.schedule, &machine).unwrap();

@@ -224,24 +224,14 @@ pub fn solve_schedule(graph: &TaskGraph, sched: &Schedule) -> SolveSchedule {
 mod tests {
     use super::*;
     use crate::{map_and_schedule, DistStrategy, MappingOptions, SchedOptions};
-    use pastix_graph::{CsrGraph, Permutation};
+    use pastix_graph::Permutation;
     use pastix_machine::MachineModel;
     use pastix_symbolic::{analyze, AnalysisOptions};
 
     fn grid_mapping(nx: usize, procs: usize) -> crate::Mapping {
-        let mut e = Vec::new();
-        let id = |x: usize, y: usize| (x + nx * y) as u32;
-        for y in 0..nx {
-            for x in 0..nx {
-                if x + 1 < nx {
-                    e.push((id(x, y), id(x + 1, y)));
-                }
-                if y + 1 < nx {
-                    e.push((id(x, y), id(x, y + 1)));
-                }
-            }
-        }
-        let g = CsrGraph::from_edges(nx * nx, &e);
+        // Identity ordering (not ND): these tests want the band-matrix
+        // chain etree, so only the grid graph itself is shared scaffolding.
+        let g = pastix_testsupport::grid_graph(nx, nx);
         let a = analyze(&g, &Permutation::identity(nx * nx), &AnalysisOptions::default());
         let machine = MachineModel::sp2(procs);
         let opts = SchedOptions {
@@ -251,6 +241,7 @@ mod tests {
                 width_2d_min: 8,
                 strategy: DistStrategy::Mixed1d2d,
             },
+            ..Default::default()
         };
         map_and_schedule(&a.symbol, &machine, &opts)
     }

@@ -11,7 +11,7 @@
 //! counters land in the session's [`MetricsRegistry`].
 
 use crate::fingerprint::MatrixFingerprint;
-use pastix_graph::SymCsc;
+use pastix_graph::{Parallelism, SymCsc};
 use pastix_kernels::{FactorError, Scalar};
 use pastix_ordering::OrderingOptions;
 use pastix_sched::{solve_schedule, SchedOptions, SolveSchedule};
@@ -35,6 +35,10 @@ pub struct SessionOptions {
     pub byte_budget: Option<u64>,
     /// Widest multi-RHS panel a request batch coalesces into.
     pub max_panel: usize,
+    /// Parallelism of the analyze phase on cache misses (uniform across
+    /// ordering/symbolic/scheduling; overridable per deployment via
+    /// `PASTIX_ANALYZE_THREADS`).
+    pub parallelism: Parallelism,
     /// Ordering-phase knobs.
     pub ordering: OrderingOptions,
     /// Symbolic-phase knobs.
@@ -54,6 +58,7 @@ impl Default for SessionOptions {
             capacity: 4,
             byte_budget: None,
             max_panel: 8,
+            parallelism: Parallelism::Auto,
             ordering: OrderingOptions::scotch_like(),
             analysis: AnalysisOptions::default(),
             sched: SchedOptions::default(),
@@ -160,12 +165,19 @@ impl<T: Scalar> SolverSession<T> {
 
         let cfg = self.opts.solver.clone().with_analyze(AnalyzeOptions {
             procs: self.opts.procs,
+            machine: None,
+            parallelism: self.opts.parallelism,
             ordering: self.opts.ordering.clone(),
             analysis: self.opts.analysis.clone(),
             sched: self.opts.sched.clone(),
             static_schedule: true,
         });
         let plan = Plan::analyze(a, &cfg);
+        if let Some(stats) = plan.analyze_stats() {
+            // Time-to-first-solve visibility: analyze wall time spent on
+            // this miss, in nanoseconds.
+            self.metrics.add_counter("serve.analyze_ns", stats.analyze_ns);
+        }
         let run = plan.factorize(a, &cfg)?;
         let ssched = solve_schedule(
             plan.graph(),

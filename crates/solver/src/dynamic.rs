@@ -653,6 +653,7 @@ mod tests {
         let opts = SchedOptions {
             block_size: block,
             mapping: MappingOptions { procs_2d_min: 2.0, width_2d_min: 4, strategy },
+            ..Default::default()
         };
         let mapping = map_and_schedule(&an.symbol, &machine, &opts);
         (a.permuted(&an.perm), mapping)

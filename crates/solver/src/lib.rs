@@ -49,7 +49,7 @@ pub use metrics::MessagePathMetrics;
 pub use parallel::ChaosOptions;
 pub use pastix_runtime::{Backend, DynamicOptions};
 pub use pastix_trace::{MetricsRegistry, TraceLog, TraceOptions};
-pub use plan::{run_from_storage, AnalyzeOptions, Plan, SolveOutput, SolveRequest};
+pub use plan::{run_from_storage, AnalyzeOptions, AnalyzeStats, Plan, SolveOutput, SolveRequest};
 pub use refine::{RefineOptions, RefineOutput};
 pub use seq::{
     factor_and_solve, factorize_sequential, factorize_sequential_compressed,

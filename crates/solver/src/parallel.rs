@@ -1226,6 +1226,7 @@ mod tests {
                 width_2d_min: 4,
                 strategy,
             },
+            ..Default::default()
         };
         let mapping = map_and_schedule(&an.symbol, &machine, &opts);
         (a.permuted(&an.perm), mapping)

@@ -22,7 +22,7 @@
 use crate::config::{FactorRun, SolverConfig};
 use crate::dynamic;
 use crate::storage::FactorStorage;
-use pastix_graph::{Permutation, SymCsc};
+use pastix_graph::{Parallelism, Permutation, SymCsc};
 use pastix_kernels::factor::FactorError;
 use pastix_kernels::Scalar;
 use pastix_machine::MachineModel;
@@ -41,6 +41,18 @@ pub struct AnalyzeOptions {
     /// Logical processor count the mapping targets (also the default
     /// worker count of both the SPMD backends and `Backend::Dynamic`).
     pub procs: usize,
+    /// Machine model override. `None` (default) schedules for the paper's
+    /// SP2 model with `procs` processors; set it to map for another
+    /// topology (e.g. [`MachineModel::sp2_smp`]) — its `n_procs` then
+    /// takes precedence over `procs` for the mapping.
+    pub machine: Option<MachineModel>,
+    /// Parallelism of the analyze phase itself. One knob drives all three
+    /// stages uniformly (ordering, symbolic, scheduling), overriding the
+    /// per-stage fields in `ordering`/`analysis`/`sched`; the
+    /// `PASTIX_ANALYZE_THREADS` env var overrides it per deployment.
+    /// Analyze results are bitwise-identical at every setting — this
+    /// knob only changes wall-clock time.
+    pub parallelism: Parallelism,
     /// Fill-reducing ordering knobs (nested dissection).
     pub ordering: OrderingOptions,
     /// Symbolic analysis knobs (amalgamation).
@@ -57,12 +69,27 @@ impl Default for AnalyzeOptions {
     fn default() -> Self {
         Self {
             procs: 4,
+            machine: None,
+            parallelism: Parallelism::Auto,
             ordering: OrderingOptions::default(),
             analysis: AnalysisOptions::default(),
             sched: SchedOptions::default(),
             static_schedule: true,
         }
     }
+}
+
+/// Scalar statistics and timing of one [`Plan::analyze`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyzeStats {
+    /// Off-diagonal factor nonzeros from the scalar symbolic
+    /// factorization (the paper's `NNZ_L`).
+    pub scalar_nnz_offdiag: u64,
+    /// Scalar operation count (`(c_j + 1)²` convention, the paper's
+    /// `OPC`).
+    pub scalar_opc: f64,
+    /// Wall time of the whole analyze phase in nanoseconds.
+    pub analyze_ns: u64,
 }
 
 impl AnalyzeOptions {
@@ -78,6 +105,8 @@ struct PlanInner {
     graph: TaskGraph,
     schedule: Option<Schedule>,
     n: usize,
+    stats: Option<AnalyzeStats>,
+    analyze_trace: Option<TraceLog>,
 }
 
 /// The analyzed (pre-numeric) state of one matrix pattern: permutation,
@@ -90,20 +119,60 @@ pub struct Plan {
 
 impl Plan {
     /// Runs ordering, symbolic analysis, and mapping/scheduling on the
-    /// pattern of `a`, per `cfg.analyze`.
+    /// pattern of `a`, per `cfg.analyze`. The `cfg.analyze.parallelism`
+    /// knob fans each stage out over threads without changing any output
+    /// bit; when `cfg.trace` is enabled, per-stage task spans
+    /// (ordering/symbolic/sched) are recorded and kept on the plan
+    /// ([`Plan::analyze_trace`]).
     pub fn analyze<T: Scalar>(a: &SymCsc<T>, cfg: &SolverConfig) -> Plan {
         let opts = &cfg.analyze;
         let g = a.to_graph();
-        let ordering = pastix_ordering::nested_dissection(&g, &opts.ordering);
-        let analysis = pastix_symbolic::analyze(&g, &ordering, &opts.analysis);
-        let machine = MachineModel::sp2(opts.procs);
-        let Mapping { graph, schedule, .. } =
-            map_and_schedule(&analysis.symbol, &machine, &opts.sched);
-        Plan::from_parts(
+        // One knob drives all three stages uniformly.
+        let mut oopts = opts.ordering.clone();
+        oopts.parallelism = opts.parallelism;
+        let mut aopts = opts.analysis.clone();
+        aopts.parallelism = opts.parallelism;
+        let mut sopts = opts.sched.clone();
+        sopts.parallelism = opts.parallelism;
+
+        let session = pastix_trace::begin_rank(0, &cfg.trace);
+        let t0 = std::time::Instant::now();
+        let ordering = {
+            let _sp = pastix_trace::task_span(0, pastix_trace::TaskClass::Ordering);
+            pastix_ordering::nested_dissection(&g, &oopts)
+        };
+        let analysis = {
+            let _sp = pastix_trace::task_span(0, pastix_trace::TaskClass::Symbolic);
+            pastix_symbolic::analyze(&g, &ordering, &aopts)
+        };
+        let machine = opts
+            .machine
+            .clone()
+            .unwrap_or_else(|| MachineModel::sp2(opts.procs));
+        let Mapping { graph, schedule, .. } = {
+            let _sp = pastix_trace::task_span(0, pastix_trace::TaskClass::Sched);
+            map_and_schedule(&analysis.symbol, &machine, &sopts)
+        };
+        let analyze_ns = t0.elapsed().as_nanos() as u64;
+        let analyze_trace = session.finish().map(|rt| TraceLog {
+            ranks: vec![rt],
+            wall_ns: analyze_ns,
+            digest: schedule.digest(),
+        });
+        let stats = AnalyzeStats {
+            scalar_nnz_offdiag: analysis.scalar_nnz_offdiag,
+            scalar_opc: analysis.scalar_opc,
+            analyze_ns,
+        };
+        let mut plan = Plan::from_parts(
             Some(analysis.perm),
             graph,
             opts.static_schedule.then_some(schedule),
-        )
+        );
+        let inner = Arc::get_mut(&mut plan.inner).expect("fresh plan is unshared");
+        inner.stats = Some(stats);
+        inner.analyze_trace = analyze_trace;
+        plan
     }
 
     /// Assembles a plan from already-computed artifacts. `perm: None`
@@ -122,7 +191,28 @@ impl Plan {
             assert_eq!(s.task_proc.len(), graph.n_tasks(), "schedule built for another graph");
         }
         let n = graph.split.symbol.n;
-        Plan { inner: Arc::new(PlanInner { perm, graph, schedule, n }) }
+        Plan {
+            inner: Arc::new(PlanInner {
+                perm,
+                graph,
+                schedule,
+                n,
+                stats: None,
+                analyze_trace: None,
+            }),
+        }
+    }
+
+    /// Scalar statistics and timing of the analyze run that produced this
+    /// plan (`None` for plans assembled via [`Plan::from_parts`]).
+    pub fn analyze_stats(&self) -> Option<AnalyzeStats> {
+        self.inner.stats
+    }
+
+    /// The analyze phase's task-span trace (ordering/symbolic/sched),
+    /// recorded when the analyzing config had tracing enabled.
+    pub fn analyze_trace(&self) -> Option<&TraceLog> {
+        self.inner.analyze_trace.as_ref()
     }
 
     /// The fill-reducing permutation, when this plan owns one.

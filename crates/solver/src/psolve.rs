@@ -788,6 +788,7 @@ mod tests {
                 width_2d_min: 6,
                 strategy,
             },
+            ..Default::default()
         };
         let mapping = map_and_schedule(&an.symbol, &machine, &opts);
         let ap = a.permuted(&an.perm);

@@ -75,6 +75,7 @@ proptest! {
                 width_2d_min: block,
                 ..Default::default()
             },
+            ..Default::default()
         };
         let mapping = map_and_schedule(&an.symbol, &machine, &opts);
         let sym = &mapping.graph.split.symbol;

@@ -41,6 +41,7 @@ fn check_zero_copy_on(backend: Backend) {
             width_2d_min: 4,
             strategy: DistStrategy::Mixed1d2d,
         },
+        ..Default::default()
     };
     let mapping = map_and_schedule(&an.symbol, &machine, &opts);
     let ap = a.permuted(&an.perm);

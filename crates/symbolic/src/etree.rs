@@ -123,6 +123,49 @@ pub fn col_counts(g: &CsrGraph, parent: &[u32]) -> Vec<u64> {
     count
 }
 
+/// Parallel [`col_counts`]: rows are split into contiguous chunks, each
+/// chunk counted with its own mark array, and the per-chunk counts summed
+/// in chunk order. Every row contributes an independent `+1` per column,
+/// so the integer sums are bitwise-identical to the sequential pass at
+/// any thread count.
+pub fn col_counts_par(g: &CsrGraph, parent: &[u32], threads: usize) -> Vec<u64> {
+    let n = g.n();
+    if threads <= 1 || n < 2048 {
+        return col_counts(g, parent);
+    }
+    let bounds = pastix_graph::par::chunk_bounds(n, threads);
+    let partials = pastix_graph::par::par_map_indexed(threads, bounds.len() - 1, |c| {
+        let (lo, hi) = (bounds[c], bounds[c + 1]);
+        let mut count = vec![0u64; n];
+        let mut mark = vec![u32::MAX; n];
+        for i in lo..hi {
+            mark[i] = i as u32;
+            for &jj in g.neighbors(i) {
+                let mut j = jj as usize;
+                if j >= i {
+                    continue;
+                }
+                while mark[j] != i as u32 {
+                    mark[j] = i as u32;
+                    count[j] += 1;
+                    match parent[j] {
+                        NO_PARENT => break,
+                        p => j = p as usize,
+                    }
+                }
+            }
+        }
+        count
+    });
+    let mut count = vec![1u64; n]; // diagonal
+    for part in &partials {
+        for (c, p) in count.iter_mut().zip(part) {
+            *c += *p;
+        }
+    }
+    count
+}
+
 /// Total factor nonzeros `Σ count[j]` and off-diagonal count.
 pub fn nnz_l(counts: &[u64]) -> (u64, u64) {
     let total: u64 = counts.iter().sum();

@@ -18,18 +18,21 @@ pub mod split;
 pub mod supernodes;
 pub mod symbol;
 
-pub use etree::{col_counts, etree, nnz_l, opc, postorder, NO_PARENT};
+pub use etree::{col_counts, col_counts_par, etree, nnz_l, opc, postorder, NO_PARENT};
 pub use split::{split_symbol, SplitSymbol};
 pub use supernodes::{amalgamate, fundamental_supernodes, AmalgamationOptions, SupernodePartition};
-pub use symbol::{block_symbolic, Blok, CBlk, SymbolMatrix, SymbolNnz, SymbolShape};
+pub use symbol::{block_symbolic, block_symbolic_par, Blok, CBlk, SymbolMatrix, SymbolNnz, SymbolShape};
 
-use pastix_graph::{CsrGraph, Permutation};
+use pastix_graph::{CsrGraph, Parallelism, Permutation};
 
 /// Options of the symbolic analysis.
 #[derive(Debug, Clone, Default)]
 pub struct AnalysisOptions {
     /// Relaxed amalgamation knobs.
     pub amalgamation: AmalgamationOptions,
+    /// Parallelism of the column-count and block-symbolic passes. Never
+    /// changes the symbol — only wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 /// Output of [`analyze`].
@@ -73,12 +76,24 @@ pub fn analyze(g: &CsrGraph, ordering: &Permutation, opts: &AnalysisOptions) -> 
     let perm = ordering.then(&post);
     let gp = g.permuted(&perm);
     let parent = etree(&gp);
-    let counts = col_counts(&gp, &parent);
-    let (_, scalar_nnz_offdiag) = nnz_l(&counts);
-    let scalar_opc = opc(&counts);
-    let fund = fundamental_supernodes(&parent, &counts);
-    let partition = amalgamate(&fund, &opts.amalgamation);
-    let symbol = block_symbolic(&gp, &partition);
+    let threads = opts.parallelism.effective_threads();
+    let counts = col_counts_par(&gp, &parent, threads);
+    // The scalar Table-1 statistics and the supernode chain both depend
+    // only on `counts` — overlap them when threads are available.
+    let compute_stats = || {
+        let (_, off) = nnz_l(&counts);
+        (off, opc(&counts))
+    };
+    let compute_partition = || {
+        let fund = fundamental_supernodes(&parent, &counts);
+        amalgamate(&fund, &opts.amalgamation)
+    };
+    let ((scalar_nnz_offdiag, scalar_opc), partition) = if threads > 1 {
+        rayon::join(compute_stats, compute_partition)
+    } else {
+        (compute_stats(), compute_partition())
+    };
+    let symbol = block_symbolic_par(&gp, &partition, threads);
     Analysis {
         perm,
         partition,
@@ -142,6 +157,7 @@ mod tests {
             &Permutation::identity(144),
             &AnalysisOptions {
                 amalgamation: AmalgamationOptions { fill_ratio: 0.3, min_width: 16 },
+                ..Default::default()
             },
         );
         let strict = analyze(
@@ -149,6 +165,7 @@ mod tests {
             &Permutation::identity(144),
             &AnalysisOptions {
                 amalgamation: AmalgamationOptions { fill_ratio: 0.0, min_width: 0 },
+                ..Default::default()
             },
         );
         assert!(loose.symbol.n_cblks() <= strict.symbol.n_cblks());

@@ -320,6 +320,14 @@ impl SymbolMatrix {
 /// Computes the block symbolic factorization of the permuted pattern `g`
 /// (adjacency in elimination order) over the supernode partition.
 pub fn block_symbolic(g: &CsrGraph, part: &SupernodePartition) -> SymbolMatrix {
+    block_symbolic_par(g, part, 1)
+}
+
+/// [`block_symbolic`] with an explicit thread count. The per-supernode
+/// `A`-structure gathering (phase A) is independent across supernodes and
+/// runs chunked over `threads`; the bottom-up child merge stays
+/// sequential. Results are bitwise-identical at any thread count.
+pub fn block_symbolic_par(g: &CsrGraph, part: &SupernodePartition, threads: usize) -> SymbolMatrix {
     let n = g.n();
     let ns = part.len();
     if ns == 0 {
@@ -336,14 +344,13 @@ pub fn block_symbolic(g: &CsrGraph, part: &SupernodePartition) -> SymbolMatrix {
             sn_of[j] = s as u32;
         }
     }
-    // Row structures as sorted disjoint interval lists (rows > lcol(k)).
-    // children[k]: cblks whose first off-diagonal interval faces k.
-    let mut struct_of: Vec<Vec<(u32, u32)>> = Vec::with_capacity(ns);
-    let mut children: Vec<Vec<u32>> = vec![Vec::new(); ns];
-    for k in 0..ns {
+    // Phase A: gather each supernode's scalar rows from A below its
+    // diagonal and compress them to intervals — independent per
+    // supernode, so chunked across threads (deterministic by index).
+    let eff = if ns >= 128 { threads } else { 1 };
+    let mut a_intervals = pastix_graph::par::par_map_indexed(eff, ns, |k| {
         let fcol = part.first_col(k);
         let lcol = part.end_col(k) - 1;
-        // Gather scalar rows from A below the supernode.
         let mut rows: Vec<u32> = Vec::new();
         for j in fcol..=lcol {
             for &i in g.neighbors(j) {
@@ -354,7 +361,16 @@ pub fn block_symbolic(g: &CsrGraph, part: &SupernodePartition) -> SymbolMatrix {
         }
         rows.sort_unstable();
         rows.dedup();
-        let mut intervals = rows_to_intervals(&rows);
+        rows_to_intervals(&rows)
+    });
+    // Phase B (sequential): bottom-up merge of children contributions.
+    // Row structures as sorted disjoint interval lists (rows > lcol(k)).
+    // children[k]: cblks whose first off-diagonal interval faces k.
+    let mut struct_of: Vec<Vec<(u32, u32)>> = Vec::with_capacity(ns);
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); ns];
+    for k in 0..ns {
+        let lcol = part.end_col(k) - 1;
+        let mut intervals = std::mem::take(&mut a_intervals[k]);
         // Merge children contributions (their intervals above lcol are
         // dropped; each interval list is already sorted & disjoint).
         let kids = std::mem::take(&mut children[k]);

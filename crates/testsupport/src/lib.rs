@@ -1,0 +1,115 @@
+//! Shared test scaffolding for the workspace.
+//!
+//! Almost every crate's tests need the same setup: a small grid problem
+//! pushed through `nested_dissection → analyze → map_and_schedule` to get
+//! a realistic block symbol, task graph, or schedule. This crate hoists
+//! that pipeline into one place (it used to be copy-pasted across the
+//! multifrontal, sched, and trace test modules) so tests state only what
+//! they vary: grid shape, leaf size, processor count.
+//!
+//! Everything here is deterministic — same arguments, same artifacts —
+//! which is what the analyze-determinism suites rely on when they compare
+//! sequential and parallel runs.
+
+#![warn(missing_docs)]
+
+use pastix_graph::gen::{grid_spd, Stencil, ValueKind};
+use pastix_graph::{CsrGraph, SymCsc};
+use pastix_machine::MachineModel;
+use pastix_ordering::{nested_dissection, OrderingOptions};
+use pastix_sched::{map_and_schedule, Mapping, SchedOptions};
+use pastix_symbolic::{analyze, Analysis, AnalysisOptions, SymbolMatrix};
+
+/// The adjacency graph of an `nx × ny` 5-point grid (the canonical test
+/// pattern: planar, regular, with real separator structure under nested
+/// dissection).
+pub fn grid_graph(nx: usize, ny: usize) -> CsrGraph {
+    let mut e = Vec::new();
+    let id = |x: usize, y: usize| (x + nx * y) as u32;
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                e.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < ny {
+                e.push((id(x, y), id(x, y + 1)));
+            }
+        }
+    }
+    CsrGraph::from_edges(nx * ny, &e)
+}
+
+/// Nested dissection (with the given leaf size) plus default symbolic
+/// analysis of `g`.
+pub fn graph_analysis(g: &CsrGraph, leaf_size: usize) -> Analysis {
+    let ord = nested_dissection(g, &OrderingOptions { leaf_size, ..Default::default() });
+    analyze(g, &ord, &AnalysisOptions::default())
+}
+
+/// Block symbol of an `nx × ny` grid ordered by nested dissection with
+/// the given leaf size. The symbol depends only on the pattern, so tests
+/// that never touch numeric values start here.
+pub fn grid_symbol(nx: usize, ny: usize, leaf_size: usize) -> SymbolMatrix {
+    graph_analysis(&grid_graph(nx, ny), leaf_size).symbol
+}
+
+/// A permuted SPD grid system and its block symbol: the input pair of
+/// every sequential numeric-factorization test. `seed` selects the
+/// random SPD values (`ValueKind::RandomSpd`).
+pub fn grid_pipeline(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    leaf_size: usize,
+    seed: u64,
+) -> (SymCsc<f64>, SymbolMatrix) {
+    let a = grid_spd::<f64>(nx, ny, nz, Stencil::Star, false, ValueKind::RandomSpd(seed));
+    let g = a.to_graph();
+    let ord = nested_dissection(&g, &OrderingOptions { leaf_size, ..Default::default() });
+    let an = analyze(&g, &ord, &AnalysisOptions::default());
+    (a.permuted(&an.perm), an.symbol)
+}
+
+/// Full pre-processing of an `nx × ny` grid for `procs` SP2 processors:
+/// ordering, symbolic analysis, and mapping/scheduling under `opts`.
+pub fn grid_mapping(
+    nx: usize,
+    ny: usize,
+    leaf_size: usize,
+    procs: usize,
+    opts: &SchedOptions,
+) -> Mapping {
+    let an = graph_analysis(&grid_graph(nx, ny), leaf_size);
+    map_and_schedule(&an.symbol, &MachineModel::sp2(procs), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_graph_shape() {
+        let g = grid_graph(4, 3);
+        assert_eq!(g.n(), 12);
+        // Interior vertex (1,1) has 4 neighbors.
+        assert_eq!(g.neighbors(5).len(), 4);
+    }
+
+    #[test]
+    fn helpers_are_deterministic() {
+        let s1 = grid_symbol(8, 8, 8);
+        let s2 = grid_symbol(8, 8, 8);
+        assert_eq!(s1.cblks, s2.cblks);
+        assert_eq!(s1.bloks, s2.bloks);
+        let m1 = grid_mapping(8, 8, 8, 4, &SchedOptions::default());
+        let m2 = grid_mapping(8, 8, 8, 4, &SchedOptions::default());
+        assert_eq!(m1.schedule.digest(), m2.schedule.digest());
+    }
+
+    #[test]
+    fn pipeline_returns_permuted_matrix_matching_symbol() {
+        let (ap, sym) = grid_pipeline(6, 5, 1, 8, 7);
+        assert_eq!(ap.n(), sym.n);
+        assert_eq!(sym.n, 30);
+    }
+}

@@ -62,7 +62,7 @@ fn span_args(task: u32, class: TaskClass, ctx: Option<(&TaskGraph, &Schedule)>) 
     ];
     if let Some((g, s)) = ctx {
         let t = task as usize;
-        if t < g.n_tasks() && !matches!(class, TaskClass::Scatter | TaskClass::Seq) {
+        if t < g.n_tasks() && !matches!(class, TaskClass::Scatter | TaskClass::Seq) && !class.is_analyze() {
             a.push(("supernode".to_string(), Json::Num(g.kinds[t].cblk() as f64)));
             a.push(("predicted_cost".to_string(), Json::Num(g.cost[t])));
             a.push(("sched_proc".to_string(), Json::Num(s.task_proc[t] as f64)));

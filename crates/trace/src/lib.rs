@@ -64,6 +64,13 @@ pub enum TaskClass {
     Scatter = 6,
     /// A sequential-solver step (task id = column block).
     Seq = 7,
+    /// The analyze phase's fill-reducing ordering (nested dissection +
+    /// leaf min degree); task id 0, one span per analyze.
+    Ordering = 8,
+    /// The analyze phase's block symbolic factorization.
+    Symbolic = 9,
+    /// The analyze phase's repartitioning + static scheduling.
+    Sched = 10,
 }
 
 impl TaskClass {
@@ -78,7 +85,15 @@ impl TaskClass {
             TaskClass::BwdSolve => "bwd",
             TaskClass::Scatter => "scatter",
             TaskClass::Seq => "seq",
+            TaskClass::Ordering => "ordering",
+            TaskClass::Symbolic => "symbolic",
+            TaskClass::Sched => "sched",
         }
+    }
+
+    /// Whether this class is an analyze-phase span (no task-graph node).
+    pub fn is_analyze(self) -> bool {
+        matches!(self, TaskClass::Ordering | TaskClass::Symbolic | TaskClass::Sched)
     }
 }
 

@@ -223,7 +223,7 @@ pub fn build_report(g: &TaskGraph, s: &Schedule, log: &TraceLog) -> TraceReport 
                         row.compute_ns += dt;
                         row.tasks += 1;
                         let t = task as usize;
-                        if t < n && !matches!(class, TaskClass::Scatter | TaskClass::Seq) {
+                        if t < n && !matches!(class, TaskClass::Scatter | TaskClass::Seq) && !class.is_analyze() {
                             measured[t] += dt;
                             measured_at[t] = b;
                             run_rank[t] = rt.rank;
@@ -720,17 +720,7 @@ mod tests {
     use crate::{CommCounters, Event, RankTrace};
 
     fn tiny_graph() -> (TaskGraph, Schedule) {
-        use pastix_graph::gen::{grid_spd, Stencil, ValueKind};
-        use pastix_machine::MachineModel;
-        use pastix_ordering::{nested_dissection, OrderingOptions};
-        use pastix_sched::{map_and_schedule, SchedOptions};
-        use pastix_symbolic::{analyze, AnalysisOptions};
-        let a = grid_spd::<f64>(6, 6, 1, Stencil::Star, false, ValueKind::RandomSpd(3));
-        let g = a.to_graph();
-        let ord = nested_dissection(&g, &OrderingOptions { leaf_size: 8, ..Default::default() });
-        let an = analyze(&g, &ord, &AnalysisOptions::default());
-        let machine = MachineModel::sp2(2);
-        let m = map_and_schedule(&an.symbol, &machine, &SchedOptions::default());
+        let m = pastix_testsupport::grid_mapping(6, 6, 8, 2, &pastix_sched::SchedOptions::default());
         (m.graph, m.schedule)
     }
 

@@ -16,7 +16,7 @@
 use pastix::graph::gen::{grid_spd, Stencil, ValueKind};
 use pastix::graph::{canonical_solution, rhs_for_solution, SymCsc};
 use pastix::kernels::Complex64;
-use pastix::{Pastix, PastixOptions};
+use pastix::solver::{Plan, SolverConfig};
 
 fn main() {
     // Real SPD stiffness pattern …
@@ -35,18 +35,20 @@ fn main() {
     println!("complex symmetric system: n = {n}, nnz = {}", a.nnz_stored());
     assert_eq!(a.get(5, 17), a.get(17, 5), "symmetric, not Hermitian");
 
-    let solver = Pastix::analyze(&a, &PastixOptions::with_procs(4)).expect("analysis");
+    let cfg = SolverConfig::default(); // analyze + factorize for 4 procs
+    let plan = Plan::analyze(&a, &cfg);
+    let stats = plan.analyze_stats().expect("analyzed plans carry stats");
     println!(
         "NNZ_L = {}, OPC = {:.3e} (complex ops), predicted factorization {:.4} s",
-        solver.nnz_l(),
-        solver.opc(),
-        solver.predicted_time()
+        stats.scalar_nnz_offdiag,
+        stats.scalar_opc,
+        plan.schedule().expect("static schedule").makespan
     );
 
-    let factor = solver.factorize(&a).expect("factorization (no pivoting!)");
+    let run = plan.factorize(&a, &cfg).expect("factorization (no pivoting!)");
     let x_exact = canonical_solution::<Complex64>(n);
     let b = rhs_for_solution(&a, &x_exact);
-    let x = factor.solve(&b);
+    let x = run.solve(&b);
     let res = a.residual_norm(&x, &b);
     let max_err = x
         .iter()

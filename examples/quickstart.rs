@@ -10,7 +10,7 @@
 
 use pastix::graph::gen::{grid_spd, Stencil, ValueKind};
 use pastix::graph::{canonical_solution, rhs_for_solution};
-use pastix::{Pastix, PastixOptions};
+use pastix::solver::{Plan, SolverConfig};
 
 fn main() {
     // 1. A sparse SPD system: 20×20×10 grid, 7-point stencil.
@@ -18,26 +18,28 @@ fn main() {
     println!("matrix: n = {}, stored nnz = {}", a.n(), a.nnz_stored());
 
     // 2. Analyze: ordering + symbolic + static schedule for 4 processors.
-    let mut opts = PastixOptions::with_procs(4);
-    opts.sched.block_size = 64;
-    let solver = Pastix::analyze(&a, &opts).expect("analysis failed");
+    let mut cfg = SolverConfig::default();
+    cfg.analyze.procs = 4;
+    cfg.analyze.sched.block_size = 64;
+    let plan = Plan::analyze(&a, &cfg);
+    let stats = plan.analyze_stats().expect("analyzed plans carry stats");
     println!(
         "factor:  NNZ_L = {}, OPC = {:.3e}, column blocks = {}",
-        solver.nnz_l(),
-        solver.opc(),
-        solver.mapping().graph.split.symbol.n_cblks()
+        stats.scalar_nnz_offdiag,
+        stats.scalar_opc,
+        plan.symbol().n_cblks()
     );
     println!(
         "schedule: {} tasks, predicted parallel factorization {:.4} s on the SP2 model",
-        solver.mapping().graph.n_tasks(),
-        solver.predicted_time()
+        plan.graph().n_tasks(),
+        plan.schedule().expect("static schedule").makespan
     );
 
     // 3. Factorize (threaded fan-in solver) and solve.
     let x_exact = canonical_solution::<f64>(a.n());
     let b = rhs_for_solution(&a, &x_exact);
-    let factor = solver.factorize(&a).expect("factorization failed");
-    let x = factor.solve(&b);
+    let run = plan.factorize(&a, &cfg).expect("factorization failed");
+    let x = run.solve(&b);
 
     // 4. Check the answer.
     let residual = a.residual_norm(&x, &b);

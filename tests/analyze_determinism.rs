@@ -1,0 +1,122 @@
+//! Bitwise determinism of the parallel analyze phase.
+//!
+//! The contract: `Parallelism` changes only wall-clock time, never a bit
+//! of any analyze artifact. Sequential and threaded runs must produce
+//! identical permutations, identical block symbols, and identical
+//! schedule digests, at every thread count. The grid test below is large
+//! enough (6400 vertices) to take the parallel recursion, parallel
+//! column-count, parallel block-symbolic, and parallel leaf-ordering
+//! paths for real; the property test sweeps random graphs whose shapes
+//! hit the sequential-fallback boundaries from every side.
+
+use pastix::graph::{CsrGraph, Parallelism};
+use pastix::ordering::{nested_dissection, OrderingOptions};
+use pastix::sched::{map_and_schedule, SchedOptions};
+use pastix::solver::{Plan, SolverConfig};
+use pastix::symbolic::{analyze, AnalysisOptions};
+use pastix_testsupport::grid_graph;
+use proptest::prelude::*;
+
+/// Full analyze pipeline (ordering → symbolic → mapping/scheduling) with
+/// one parallelism setting; returns everything the determinism contract
+/// covers.
+fn analyze_with(g: &CsrGraph, par: Parallelism) -> (Vec<u32>, usize, usize, u64, u64) {
+    let oopts = OrderingOptions { parallelism: par, ..Default::default() };
+    let ord = nested_dissection(g, &oopts);
+    let aopts = AnalysisOptions { parallelism: par, ..Default::default() };
+    let an = analyze(g, &ord, &aopts);
+    let sopts = SchedOptions { parallelism: par, ..Default::default() };
+    let m = map_and_schedule(&an.symbol, &pastix::machine::MachineModel::sp2(4), &sopts);
+    (
+        ord.perm().to_vec(),
+        an.symbol.n_cblks(),
+        an.symbol.bloks.len(),
+        an.scalar_nnz_offdiag,
+        m.schedule.digest(),
+    )
+}
+
+#[test]
+fn grid_analyze_is_bitwise_identical_at_every_thread_count() {
+    // 80×80: both nested-dissection halves exceed the parallel-recursion
+    // cutoff and the supernode count exceeds the block-symbolic one.
+    let g = grid_graph(80, 80);
+    let seq = analyze_with(&g, Parallelism::Sequential);
+    for par in [
+        Parallelism::Threads(2),
+        Parallelism::Threads(4),
+        Parallelism::Threads(7),
+        Parallelism::Auto,
+    ] {
+        let got = analyze_with(&g, par);
+        assert_eq!(seq.0, got.0, "{par:?}: permutation differs");
+        assert_eq!(seq.1, got.1, "{par:?}: supernode count differs");
+        assert_eq!(seq.2, got.2, "{par:?}: block count differs");
+        assert_eq!(seq.3, got.3, "{par:?}: NNZ_L differs");
+        assert_eq!(seq.4, got.4, "{par:?}: schedule digest differs");
+    }
+}
+
+#[test]
+fn plan_analyze_is_bitwise_identical_at_every_thread_count() {
+    // Same contract through the Plan entry path: the one `parallelism`
+    // knob on `AnalyzeOptions` drives all three stages.
+    let a = pastix::graph::gen::grid_spd::<f64>(
+        40,
+        40,
+        1,
+        pastix::graph::gen::Stencil::Star,
+        false,
+        pastix::graph::gen::ValueKind::Laplacian,
+    );
+    let mut cfg = SolverConfig::default();
+    cfg.analyze.parallelism = Parallelism::Sequential;
+    let seq = Plan::analyze(&a, &cfg);
+    let seq_stats = seq.analyze_stats().unwrap();
+    for par in [Parallelism::Threads(3), Parallelism::Auto] {
+        cfg.analyze.parallelism = par;
+        let p = Plan::analyze(&a, &cfg);
+        assert_eq!(
+            seq.permutation().unwrap().perm(),
+            p.permutation().unwrap().perm(),
+            "{par:?}: permutation differs"
+        );
+        assert_eq!(seq.symbol().cblks, p.symbol().cblks, "{par:?}: cblks differ");
+        assert_eq!(seq.symbol().bloks, p.symbol().bloks, "{par:?}: bloks differ");
+        assert_eq!(
+            seq.schedule().unwrap().digest(),
+            p.schedule().unwrap().digest(),
+            "{par:?}: digest differs"
+        );
+        let stats = p.analyze_stats().unwrap();
+        assert_eq!(seq_stats.scalar_nnz_offdiag, stats.scalar_nnz_offdiag);
+        assert_eq!(seq_stats.scalar_opc.to_bits(), stats.scalar_opc.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random graphs (disconnected, self-looping inputs filtered, odd
+    /// shapes) analyze identically at any thread count.
+    #[test]
+    fn random_graph_analyze_deterministic(
+        n in 2usize..120,
+        edges in prop::collection::vec((0u32..120, 0u32..120), 0..400),
+        threads in 2usize..8,
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .filter(|(u, v)| u != v)
+            .collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        let seq = analyze_with(&g, Parallelism::Sequential);
+        let par = analyze_with(&g, Parallelism::Threads(threads));
+        prop_assert_eq!(&seq.0, &par.0, "permutation differs at {} threads", threads);
+        prop_assert_eq!(seq.1, par.1);
+        prop_assert_eq!(seq.2, par.2);
+        prop_assert_eq!(seq.3, par.3);
+        prop_assert_eq!(seq.4, par.4, "schedule digest differs at {} threads", threads);
+    }
+}

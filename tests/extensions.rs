@@ -6,19 +6,26 @@ use pastix::graph::{build_problem, canonical_solution, rhs_for_solution, Problem
 use pastix::machine::MachineModel;
 use pastix::ordering::{nested_dissection, OrderingOptions};
 use pastix::sched::{map_and_schedule, memory_stats, validate_schedule, SchedOptions};
+use pastix::solver::{
+    solve_in_place, Plan, RefineOptions, SolverConfig,
+};
 use pastix::symbolic::{analyze, AnalysisOptions};
-use pastix::{Pastix, PastixOptions};
 
 #[test]
 fn distributed_solve_through_facade() {
     let a = build_problem::<f64>(ProblemId::Quer, 0.015);
-    let opts = PastixOptions::with_procs(4);
-    let solver = Pastix::analyze(&a, &opts).unwrap();
-    let f = solver.factorize(&a).unwrap();
+    let cfg = SolverConfig::default();
+    let plan = Plan::analyze(&a, &cfg);
+    let run = plan.factorize(&a, &cfg).unwrap();
     let x_exact = canonical_solution::<f64>(a.n());
     let b = rhs_for_solution(&a, &x_exact);
-    let x_seq = f.solve(&b);
-    let x_dist = f.solve_distributed(&b);
+    // Sequential sweeps over the same factor, as the reference.
+    let perm = plan.permutation().unwrap();
+    let mut xp = perm.apply_vec(&b);
+    solve_in_place(plan.symbol(), &run.storage, &mut xp);
+    let x_seq = perm.unapply_vec(&xp);
+    // The distributed triangular solve is the plan-driven default.
+    let x_dist = run.solve(&b);
     for (u, v) in x_seq.iter().zip(&x_dist) {
         assert!((u - v).abs() < 1e-9, "{u} vs {v}");
     }
@@ -52,13 +59,13 @@ fn smp_numeric_run_still_correct() {
     // The SMP model changes the mapping; the threaded solver must still
     // produce a correct factor under it.
     let a = build_problem::<f64>(ProblemId::Oilpan, 0.01);
-    let mut opts = PastixOptions::default();
-    opts.machine = MachineModel::sp2_smp(4, 2);
-    let solver = Pastix::analyze(&a, &opts).unwrap();
-    let f = solver.factorize(&a).unwrap();
+    let mut cfg = SolverConfig::default();
+    cfg.analyze.machine = Some(MachineModel::sp2_smp(4, 2));
+    let plan = Plan::analyze(&a, &cfg);
+    let run = plan.factorize(&a, &cfg).unwrap();
     let x_exact = canonical_solution::<f64>(a.n());
     let b = rhs_for_solution(&a, &x_exact);
-    let x = f.solve(&b);
+    let x = run.solve(&b);
     assert!(a.residual_norm(&x, &b) < 1e-12);
 }
 
@@ -108,8 +115,10 @@ fn memory_spreads_with_more_processors() {
 fn blocked_multi_rhs_through_facade() {
     let a = build_problem::<f64>(ProblemId::Ship001, 0.01);
     let n = a.n();
-    let solver = Pastix::analyze(&a, &PastixOptions::with_procs(2)).unwrap();
-    let f = solver.factorize(&a).unwrap();
+    let mut cfg = SolverConfig::default();
+    cfg.analyze.procs = 2;
+    let plan = Plan::analyze(&a, &cfg);
+    let run = plan.factorize(&a, &cfg).unwrap();
     let nrhs = 3;
     let mut b = vec![0.0f64; n * nrhs];
     let mut exact = Vec::new();
@@ -119,9 +128,9 @@ fn blocked_multi_rhs_through_facade() {
         b[r * n..(r + 1) * n].copy_from_slice(&br);
         exact.push(xe);
     }
-    let x = f.solve_block(&b, nrhs);
+    let x = run.solve_panel(&b, nrhs);
     for r in 0..nrhs {
-        let single = f.solve(&b[r * n..(r + 1) * n]);
+        let single = run.solve(&b[r * n..(r + 1) * n]);
         for i in 0..n {
             assert!((x[i + r * n] - single[i]).abs() < 1e-12);
             assert!((x[i + r * n] - exact[r][i]).abs() < 1e-8);
@@ -132,13 +141,19 @@ fn blocked_multi_rhs_through_facade() {
 #[test]
 fn iterative_refinement_never_degrades() {
     let a = build_problem::<f64>(ProblemId::Thread, 0.008);
-    let solver = Pastix::analyze(&a, &PastixOptions::with_procs(2)).unwrap();
-    let f = solver.factorize(&a).unwrap();
+    let mut cfg = SolverConfig::default();
+    cfg.analyze.procs = 2;
+    let plan = Plan::analyze(&a, &cfg);
+    let run = plan.factorize(&a, &cfg).unwrap();
     let x_exact = canonical_solution::<f64>(a.n());
     let b = rhs_for_solution(&a, &x_exact);
-    let x0 = f.solve(&b);
+    let x0 = run.solve(&b);
     let res0 = a.residual_norm(&x0, &b);
-    let (x1, res1) = f.solve_refined(&a, &b, 3);
-    assert!(res1 <= res0 * (1.0 + 1e-12), "refined {res1} worse than direct {res0}");
-    assert!(a.residual_norm(&x1, &b) <= res0 * (1.0 + 1e-12));
+    let out = run.solve_refined(&a, &b, &RefineOptions { max_iter: 3, ..Default::default() });
+    assert!(
+        out.residual <= res0 * (1.0 + 1e-9),
+        "refined {} worse than direct {res0}",
+        out.residual
+    );
+    assert!(a.residual_norm(&out.x, &b) <= res0 * (1.0 + 1e-9));
 }

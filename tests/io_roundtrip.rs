@@ -4,7 +4,7 @@
 
 use pastix::graph::io::{read_matrix_market, read_path, read_rsa, write_matrix_market, write_rsa};
 use pastix::graph::{build_problem, canonical_solution, rhs_for_solution, ProblemId};
-use pastix::{Pastix, PastixOptions};
+use pastix::solver::{Plan, SolverConfig};
 use std::fs::File;
 
 fn tmp(name: &str) -> std::path::PathBuf {
@@ -29,11 +29,13 @@ fn rsa_file_roundtrip_and_solve() {
         }
     }
     // And the re-read matrix still solves.
-    let solver = Pastix::analyze(&b, &PastixOptions::with_procs(2)).unwrap();
-    let f = solver.factorize(&b).unwrap();
+    let mut cfg = SolverConfig::default();
+    cfg.analyze.procs = 2;
+    let plan = Plan::analyze(&b, &cfg);
+    let run = plan.factorize(&b, &cfg).unwrap();
     let x_exact = canonical_solution::<f64>(b.n());
     let rhs = rhs_for_solution(&b, &x_exact);
-    let x = f.solve(&rhs);
+    let x = run.solve(&rhs);
     assert!(b.residual_norm(&x, &rhs) < 1e-11);
     let _ = std::fs::remove_file(&path);
 }

@@ -9,21 +9,22 @@ use pastix::graph::{build_problem, canonical_solution, rhs_for_solution, Problem
 use pastix::machine::MachineModel;
 use pastix::ordering::{nested_dissection, OrderingOptions};
 use pastix::sched::{map_and_schedule, validate_schedule, SchedOptions};
+use pastix::solver::{Plan, SolverConfig};
 use pastix::symbolic::{analyze, AnalysisOptions};
-use pastix::{Pastix, PastixOptions};
 
 #[test]
 fn shipsec5_end_to_end_fast() {
     // Tier-1 variant of `quarter_scale_shipsec5_end_to_end`: same
     // pipeline, same assertions, downscaled problem.
     let a = build_problem::<f64>(ProblemId::Shipsec5, 0.05);
-    let mut opts = PastixOptions::with_procs(2);
-    opts.sched.block_size = 32;
-    let solver = Pastix::analyze(&a, &opts).unwrap();
-    let f = solver.factorize(&a).unwrap();
+    let mut cfg = SolverConfig::default();
+    cfg.analyze.procs = 2;
+    cfg.analyze.sched.block_size = 32;
+    let plan = Plan::analyze(&a, &cfg);
+    let run = plan.factorize(&a, &cfg).unwrap();
     let x_exact = canonical_solution::<f64>(a.n());
     let b = rhs_for_solution(&a, &x_exact);
-    let x = f.solve(&b);
+    let x = run.solve(&b);
     assert!(a.residual_norm(&x, &b) < 1e-12);
 }
 
@@ -49,12 +50,12 @@ fn parallel_numeric_3d_solid_fast() {
     // Tier-1 variant of `parallel_numeric_on_large_3d_solid`, including
     // the distributed solve.
     let a = build_problem::<f64>(ProblemId::Mt1, 0.02);
-    let opts = PastixOptions::with_procs(4);
-    let solver = Pastix::analyze(&a, &opts).unwrap();
-    let f = solver.factorize(&a).unwrap();
+    let cfg = SolverConfig::default();
+    let plan = Plan::analyze(&a, &cfg);
+    let run = plan.factorize(&a, &cfg).unwrap();
     let x_exact = canonical_solution::<f64>(a.n());
     let b = rhs_for_solution(&a, &x_exact);
-    let x = f.solve_distributed(&b);
+    let x = run.solve(&b);
     assert!(a.residual_norm(&x, &b) < 1e-12);
 }
 
@@ -63,13 +64,14 @@ fn parallel_numeric_3d_solid_fast() {
 fn quarter_scale_shipsec5_end_to_end() {
     let a = build_problem::<f64>(ProblemId::Shipsec5, 0.25);
     assert!(a.n() > 30_000);
-    let mut opts = PastixOptions::with_procs(2);
-    opts.sched.block_size = 64;
-    let solver = Pastix::analyze(&a, &opts).unwrap();
-    let f = solver.factorize(&a).unwrap();
+    let mut cfg = SolverConfig::default();
+    cfg.analyze.procs = 2;
+    cfg.analyze.sched.block_size = 64;
+    let plan = Plan::analyze(&a, &cfg);
+    let run = plan.factorize(&a, &cfg).unwrap();
     let x_exact = canonical_solution::<f64>(a.n());
     let b = rhs_for_solution(&a, &x_exact);
-    let x = f.solve(&b);
+    let x = run.solve(&b);
     assert!(a.residual_norm(&x, &b) < 1e-12);
 }
 
@@ -92,11 +94,11 @@ fn full_suite_schedules_at_tenth_scale() {
 #[ignore = "large: threaded factorization of a 3D solid"]
 fn parallel_numeric_on_large_3d_solid() {
     let a = build_problem::<f64>(ProblemId::Mt1, 0.08);
-    let opts = PastixOptions::with_procs(4);
-    let solver = Pastix::analyze(&a, &opts).unwrap();
-    let f = solver.factorize(&a).unwrap();
+    let cfg = SolverConfig::default();
+    let plan = Plan::analyze(&a, &cfg);
+    let run = plan.factorize(&a, &cfg).unwrap();
     let x_exact = canonical_solution::<f64>(a.n());
     let b = rhs_for_solution(&a, &x_exact);
-    let x = f.solve_distributed(&b);
+    let x = run.solve(&b);
     assert!(a.residual_norm(&x, &b) < 1e-12);
 }

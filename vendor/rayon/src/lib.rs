@@ -1,18 +1,28 @@
 //! Offline stand-in for `rayon`.
 //!
-//! Only [`join`] is used by this workspace (the fork-join shape of nested
-//! dissection). Instead of a work-stealing pool, each join spawns one
-//! scoped thread for the second closure — bounded by a global budget so
-//! deep recursions degrade to sequential execution instead of spawning
-//! thousands of OS threads.
+//! The workspace uses two shapes of parallelism: the fork-join of nested
+//! dissection ([`join`]) and bounded fan-out over disjoint chunks of work
+//! ([`scope`]). Instead of a work-stealing pool, each spawned branch runs
+//! on a scoped OS thread — bounded by a global budget so deep recursions
+//! and wide fan-outs degrade to sequential execution instead of spawning
+//! thousands of threads. [`current_num_threads`] reports the host's
+//! available parallelism so callers can size their fan-out.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static ACTIVE_SPAWNS: AtomicUsize = AtomicUsize::new(0);
 
-/// Maximum concurrently outstanding spawned branches before [`join`]
-/// falls back to running both closures sequentially.
+/// Maximum concurrently outstanding spawned branches before [`join`] and
+/// [`Scope::spawn`] fall back to running closures inline.
 const SPAWN_BUDGET: usize = 48;
+
+/// Number of threads the "pool" would use — the host's available
+/// parallelism (1 if it cannot be queried).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Runs the two closures, potentially in parallel, and returns both
 /// results. Panics in either closure propagate.
@@ -38,6 +48,47 @@ where
     });
     ACTIVE_SPAWNS.fetch_sub(1, Ordering::Relaxed);
     out
+}
+
+/// Task scope handed to the [`scope`] closure; [`Scope::spawn`] schedules
+/// a task that is guaranteed to complete before [`scope`] returns.
+pub struct Scope<'s, 'env: 's> {
+    inner: &'s std::thread::Scope<'s, 'env>,
+}
+
+impl<'s, 'env> Scope<'s, 'env> {
+    /// Spawns `body` into the scope. Over the global budget the body runs
+    /// inline on the calling thread — same completion guarantee, no
+    /// thread. Panics in spawned tasks propagate when the scope closes.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'s, 'env>) + Send + 's,
+    {
+        if ACTIVE_SPAWNS.load(Ordering::Relaxed) >= SPAWN_BUDGET {
+            body(self);
+            return;
+        }
+        ACTIVE_SPAWNS.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            body(&scope);
+            ACTIVE_SPAWNS.fetch_sub(1, Ordering::Relaxed);
+        });
+    }
+}
+
+/// Creates a scope in which tasks can be [`Scope::spawn`]ed; all spawned
+/// tasks finish before `scope` returns. Panics in spawned tasks propagate.
+pub fn scope<'env, F, R>(body: F) -> R
+where
+    F: for<'s> FnOnce(&Scope<'s, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| {
+        let sc = Scope { inner: s };
+        body(&sc)
+    })
 }
 
 #[cfg(test)]
@@ -68,5 +119,69 @@ mod tests {
     #[should_panic(expected = "boom")]
     fn panics_propagate() {
         let _ = join(|| 1, || panic!("boom"));
+    }
+
+    #[test]
+    fn scope_runs_all_spawns() {
+        use std::sync::atomic::AtomicU32;
+        let hits = AtomicU32::new(0);
+        scope(|s| {
+            for _ in 0..20 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn scope_spawns_write_disjoint_slices() {
+        let mut data = vec![0u32; 64];
+        scope(|s| {
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                s.spawn(move |_| {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        *x = (i * 16 + j) as u32;
+                    }
+                });
+            }
+        });
+        let want: Vec<u32> = (0..64).collect();
+        assert_eq!(data, want);
+    }
+
+    #[test]
+    fn scope_spawn_can_nest() {
+        use std::sync::atomic::AtomicU32;
+        let hits = AtomicU32::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn scope_returns_value() {
+        let v = scope(|_| 41 + 1);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scope_panics_propagate() {
+        scope(|s| {
+            s.spawn(|_| panic!("spawned boom"));
+        });
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(current_num_threads() >= 1);
     }
 }
