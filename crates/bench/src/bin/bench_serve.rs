@@ -1,22 +1,29 @@
 //! Factorization-as-a-service benchmark: the serving layer under an
-//! open-loop arrival process.
+//! open-loop arrival process, with its observability surface gated.
 //!
-//! Four segments, all on the Shipsec5 analog:
+//! Six segments, all on the Shipsec5 analog:
 //!
 //! 1. **Agreement + batching throughput** (threads backend): a k=8
 //!    multi-RHS panel solve must agree entrywise with 8 independent
 //!    single-RHS solves (gated, ≤ 1e-7 relative) and complete at least
 //!    2× faster than serving the same 8 requests one at a time (gated).
 //! 2. **Open-loop serving**: deterministic arrivals against a virtual
-//!    clock; reports solves/sec and p50/p99 request latency out of the
-//!    session's metrics histograms.
+//!    clock through `RequestQueue::serve_batch`; reports solves/sec and
+//!    p50/p99 latency for each stage (end-to-end, queue wait, solve) out
+//!    of the session's metrics histograms.
 //! 3. **Cache behavior**: three distinct matrices through a
 //!    capacity-2 session; reports the hit rate and eviction count.
-//! 4. **Scheduled-solve reconciliation** (sim backend, logical clocks):
+//! 4. **Observability overhead** (gated): the same batch workload with
+//!    the flight recorder disabled + an untraced queue vs. both on must
+//!    cost < 2% extra (paired best-of timing).
+//! 5. **Scheduled-solve reconciliation** (sim backend, logical clocks):
 //!    the traced panel solve must reconcile ≥ 95% against the level-set
-//!    solve schedule (gated); a chaos `StarveRank` run feeds the
-//!    watchdog (thresholds from `PASTIX_WATCHDOG_GAP` /
-//!    `PASTIX_WATCHDOG_BACKLOG`) so stalled serving ranks are named.
+//!    solve schedule (gated); a chaos `StarveRank` run served through a
+//!    traced queue trips the in-queue watchdog
+//!    (`PASTIX_WATCHDOG_BACKLOG=8,0.2`) and must leave a black-box dump
+//!    naming the batch's tickets as in flight (gated).
+//! 6. **Trace determinism** (gated): two identical traced serving runs
+//!    on the sim backend must export byte-identical Chrome traces.
 //!
 //! Outputs `BENCH_serve.json` at the repo root and the serve trace
 //! reconciliation report at `target/serve_trace.json` (CI artifacts).
@@ -28,15 +35,19 @@ use pastix_json::{obj, Json};
 use pastix_runtime::sim::{FaultPlan, SchedPolicy};
 use pastix_runtime::Backend;
 use pastix_sched::SchedOptions;
-use pastix_serve::{unpack_completions, RequestQueue, SessionOptions, SolverSession};
+use pastix_serve::{RequestQueue, SessionOptions, SolverSession};
 use pastix_solver::SolverConfig;
+use pastix_trace::export::chrome_trace;
+use pastix_trace::flight;
 use pastix_trace::report::build_solve_report;
 use pastix_trace::watchdog::{analyze as watchdog_analyze, WatchdogOptions};
 use pastix_trace::TraceOptions;
+use std::path::Path;
 use std::time::Instant;
 
 const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
 const TRACE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/serve_trace.json");
+const BLACKBOX_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target");
 
 /// Agreement gate: batched vs single-RHS entrywise relative error.
 const AGREE_TOL: f64 = 1e-7;
@@ -44,6 +55,8 @@ const AGREE_TOL: f64 = 1e-7;
 const SPEEDUP_MIN: f64 = 2.0;
 /// Reconciliation gate for the scheduled solve trace.
 const RECONCILE_MIN: f64 = 0.95;
+/// Observability gate: flight recorder + request tracing overhead.
+const OVERHEAD_MAX: f64 = 0.02;
 /// Panel width of the gated throughput comparison.
 const K: usize = 8;
 
@@ -62,6 +75,18 @@ fn request_rhs(a: &SymCsc<f64>, r: usize) -> Vec<f64> {
     let n = a.n();
     let xe: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 7 + r * 13) % 17) as f64 * 0.125).collect();
     pastix_graph::rhs_for_solution(a, &xe)
+}
+
+/// Black-box dump files currently in the target directory.
+fn blackbox_files() -> Vec<String> {
+    std::fs::read_dir(BLACKBOX_DIR)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|n| n.starts_with("blackbox-") && n.ends_with(".json"))
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 fn main() {
@@ -167,37 +192,45 @@ fn main() {
             q.submit(request_rhs(&a, next), arrivals[next]);
             next += 1;
         }
-        let batch = q.take_batch(session.options().max_panel);
-        if batch.is_empty() {
+        let width = q.len().min(session.options().max_panel);
+        if width == 0 {
             continue;
         }
-        let nrhs = batch.len();
-        let bp = pastix_serve::pack_panel(&batch, n);
-        let t0 = Instant::now();
-        let (x, _) = session.solve_panel(&a, &bp, nrhs).expect("panel solve");
-        now += t0.elapsed().as_nanos() as u64;
-        let done = unpack_completions(&batch, &x, n, now);
-        let m = session.metrics();
-        m.add_counter("serve.requests", nrhs as u64);
-        m.add_counter("serve.batches", 1);
-        m.observe("serve.batch_width", nrhs as u64);
-        for c in &done {
-            m.observe("serve.latency_ns", c.latency_ns);
-        }
+        // Virtual solve cost: the measured k=K panel time, pro-rated to
+        // this batch's width. serve_batch splits each ticket's latency at
+        // the dispatch timestamp into queue-wait and solve.
+        let cost = (batched_ns * width as u64 / K as u64).max(1);
+        let done = q.serve_batch(&mut session, &a, now, now + cost).expect("serve batch");
+        now += cost;
         served += done.len();
         batches += 1;
     }
     let wall_serving_ns = t_serve0.elapsed().as_nanos().max(1) as u64;
     let virtual_span_s = now as f64 / 1e9;
     let solves_per_sec = served as f64 / virtual_span_s.max(1e-12);
-    let lat = session.metrics().histogram("serve.latency_ns").expect("latency histogram");
+    let m = session.metrics();
+    let lat = m.histogram("serve.latency_ns").expect("latency histogram");
+    let qw = m.histogram("serve.queue_wait_ns").expect("queue-wait histogram");
+    let sv = m.histogram("serve.solve_ns").expect("solve histogram");
     let (p50, p99) = (lat.quantile(0.5), lat.quantile(0.99));
-    let mean_width = session.metrics().histogram("serve.batch_width").map(|h| h.mean()).unwrap_or(0.0);
+    let (qw50, qw99) = (qw.quantile(0.5), qw.quantile(0.99));
+    let (sv50, sv99) = (sv.quantile(0.5), sv.quantile(0.99));
+    let mean_width = m.histogram("serve.batch_width").map(|h| h.mean()).unwrap_or(0.0);
+    let (ol_hits, ol_misses) = (m.counter("serve.cache.hits"), m.counter("serve.cache.misses"));
+    let ol_hit_rate = ol_hits as f64 / (ol_hits + ol_misses).max(1) as f64;
     println!(
-        "open loop: {served} requests in {batches} batches (mean width {mean_width:.2}) — {solves_per_sec:.1} solves/s, latency p50 {:.3} ms p99 {:.3} ms (virtual clock; wall {:.0} ms)",
+        "open loop: {served} requests in {batches} batches (mean width {mean_width:.2}) — {solves_per_sec:.1} solves/s (virtual clock; wall {:.0} ms)",
+        wall_serving_ns as f64 / 1e6,
+    );
+    println!(
+        "  stage latency (ms): end-to-end p50 {:.3} p99 {:.3} | queue-wait p50 {:.3} p99 {:.3} | solve p50 {:.3} p99 {:.3} | cache hit rate {:.0}%",
         p50 as f64 / 1e6,
         p99 as f64 / 1e6,
-        wall_serving_ns as f64 / 1e6,
+        qw50 as f64 / 1e6,
+        qw99 as f64 / 1e6,
+        sv50 as f64 / 1e6,
+        sv99 as f64 / 1e6,
+        ol_hit_rate * 100.0,
     );
 
     // ---- segment 3: cache behavior across matrices ----
@@ -228,7 +261,51 @@ fn main() {
         cache_session.resident_bytes() as f64 / (1024.0 * 1024.0),
     );
 
-    // ---- segment 4: scheduled solve reconciliation + watchdog (sim) ----
+    // ---- segment 4: observability overhead gate ----
+    // The same warm-cache batch workload, paired: flight recorder off +
+    // untraced queue vs. both on. Every rep times both variants back to
+    // back; best-of filters scheduler noise. The gate carries a small
+    // absolute floor so quick-mode runs (sub-ms solves) don't flake on
+    // timer granularity.
+    let reps = if quick { 5 } else { 7 };
+    let obs_requests = 2 * K;
+    let mut base_ns = u64::MAX;
+    let mut inst_ns = u64::MAX;
+    for _ in 0..reps {
+        for traced in [false, true] {
+            flight::set_enabled(traced);
+            let mut oq = if traced { RequestQueue::traced() } else { RequestQueue::new() };
+            let t0 = Instant::now();
+            for r in 0..obs_requests {
+                oq.submit(request_rhs(&a, r), r as u64 * 1_000);
+            }
+            let mut t = obs_requests as u64 * 1_000;
+            while !oq.is_empty() {
+                oq.serve_batch(&mut session, &a, t, t + 1_000).expect("overhead serve");
+                t += 2_000;
+            }
+            let ns = t0.elapsed().as_nanos() as u64;
+            if traced {
+                inst_ns = inst_ns.min(ns);
+            } else {
+                base_ns = base_ns.min(ns);
+            }
+        }
+    }
+    flight::set_enabled(true);
+    let overhead = inst_ns as f64 / base_ns.max(1) as f64 - 1.0;
+    let overhead_ok =
+        inst_ns <= base_ns + (base_ns as f64 * OVERHEAD_MAX) as u64 + 10_000;
+    println!(
+        "observability overhead: baseline {:.3} ms vs flight+tracing {:.3} ms — {:+.2}% (gate < {:.0}%): {}",
+        base_ns as f64 / 1e6,
+        inst_ns as f64 / 1e6,
+        overhead * 100.0,
+        OVERHEAD_MAX * 100.0,
+        if overhead_ok { "MET" } else { "NOT MET" }
+    );
+
+    // ---- segment 5: scheduled solve reconciliation + watchdog (sim) ----
     let mut topts = TraceOptions::deterministic();
     topts.sample_every = 1;
     let sim_cfg = SolverConfig::new()
@@ -263,12 +340,65 @@ fn main() {
     let (_, chaos_log) = chaos_session.solve_panel(&a, &panel, K).expect("chaos panel solve");
     std::env::set_var("PASTIX_WATCHDOG_BACKLOG", "8,0.2");
     let wd = watchdog_analyze(&chaos_log, &WatchdogOptions::from_env());
-    std::env::remove_var("PASTIX_WATCHDOG_BACKLOG");
     print!("{}", wd.render());
     let stalled = wd.stalled_ranks();
     println!(
         "watchdog (StarveRank(1), PASTIX_WATCHDOG_BACKLOG=8,0.2): stalled ranks {:?}",
         stalled
+    );
+    // Now the same chaos solve through a traced queue: serve_batch runs
+    // the watchdog on the fresh solve trace before the batch's tickets
+    // leave the flight ring, so a trip dumps a black box that names them
+    // as in flight. The gap knob here is deliberately hair-trigger (any
+    // progress gap flags) so the trip→dump plumbing is exercised
+    // deterministically at every problem scale — the realistic
+    // StarveRank detection is the report above.
+    flight::set_blackbox_dir(Some(Path::new(BLACKBOX_DIR)));
+    let before = blackbox_files();
+    std::env::set_var("PASTIX_WATCHDOG_GAP", "1,0.001");
+    let mut cq = RequestQueue::traced();
+    for (r, b) in rhs.iter().enumerate() {
+        cq.submit(b.clone(), r as u64 * 100);
+    }
+    cq.serve_batch(&mut chaos_session, &a, 1_000, 2_000).expect("chaos serve");
+    std::env::remove_var("PASTIX_WATCHDOG_GAP");
+    std::env::remove_var("PASTIX_WATCHDOG_BACKLOG");
+    let trips = chaos_session.metrics().counter("serve.watchdog.trips");
+    let new_dump = blackbox_files().into_iter().find(|f| !before.contains(f));
+    let blackbox_ok = trips >= 1 && new_dump.is_some();
+    println!(
+        "flight recorder: {trips} watchdog trip(s), black box {} — {}",
+        new_dump.as_deref().unwrap_or("MISSING"),
+        if blackbox_ok { "MET" } else { "NOT MET" }
+    );
+
+    // ---- segment 6: trace determinism on the sim backend ----
+    // Two identical traced serving runs (same seed, policy, request
+    // stream, virtual timestamps) must export byte-identical Chrome
+    // traces — the request spans ride the virtual clock and the solve
+    // spans ride the sim backend's logical clocks.
+    let traced_run = || -> String {
+        let cfg = SolverConfig::new()
+            .with_backend(Backend::Sim(FaultPlan::builder(1).build()))
+            .with_trace(topts);
+        let mut s = SolverSession::<f64>::new(session_opts(procs, block, cfg));
+        let mut tq = RequestQueue::traced();
+        for (r, b) in rhs.iter().enumerate() {
+            tq.submit(b.clone(), r as u64 * 50);
+        }
+        tq.serve_batch(&mut s, &a, 500, 1_500).expect("traced serve");
+        for (r, b) in rhs.iter().enumerate() {
+            tq.submit(b.clone(), 2_000 + r as u64 * 50);
+        }
+        tq.serve_batch(&mut s, &a, 2_500, 3_500).expect("traced serve");
+        chrome_trace(&tq.take_trace()).compact()
+    };
+    let (run1, run2) = (traced_run(), traced_run());
+    let identical_ok = run1 == run2;
+    println!(
+        "trace determinism: two traced serving runs export {} bytes — {}",
+        run1.len(),
+        if identical_ok { "byte-identical: MET" } else { "DIVERGENT: NOT MET" }
     );
 
     // ---- artifacts ----
@@ -285,15 +415,23 @@ fn main() {
         ("open_loop_requests", Json::Num(served as f64)),
         ("open_loop_batches", Json::Num(batches as f64)),
         ("open_loop_mean_batch_width", Json::Num(mean_width)),
+        ("open_loop_cache_hit_rate", Json::Num(ol_hit_rate)),
         ("solves_per_sec", Json::Num(solves_per_sec)),
         ("latency_p50_ns", Json::Num(p50 as f64)),
         ("latency_p99_ns", Json::Num(p99 as f64)),
+        ("queue_wait_p50_ns", Json::Num(qw50 as f64)),
+        ("queue_wait_p99_ns", Json::Num(qw99 as f64)),
+        ("solve_p50_ns", Json::Num(sv50 as f64)),
+        ("solve_p99_ns", Json::Num(sv99 as f64)),
+        ("observability_overhead_frac", Json::Num(overhead)),
         ("cache_hits", Json::Num(hits as f64)),
         ("cache_misses", Json::Num(misses as f64)),
         ("cache_evictions", Json::Num(evictions as f64)),
         ("cache_hit_rate", Json::Num(hit_rate)),
         ("solve_reconciliation", Json::Num(report.reconciliation)),
         ("solve_trace_fingerprint", Json::Str(format!("{:#018x}", log.fingerprint()))),
+        ("watchdog_trips", Json::Num(trips as f64)),
+        ("trace_byte_identical", Json::Num(if identical_ok { 1.0 } else { 0.0 })),
         (
             "watchdog_stalled_ranks",
             Json::Arr(stalled.iter().map(|&r| Json::Num(r as f64)).collect()),
@@ -304,8 +442,10 @@ fn main() {
     std::fs::write(TRACE_PATH, report.to_json().pretty()).expect("write serve_trace.json");
     println!("wrote {TRACE_PATH}");
 
-    if !(agree_ok && speedup_ok && reconcile_ok) {
-        eprintln!("FAIL: serving gates not met (agreement {agree_ok}, speedup {speedup_ok}, reconciliation {reconcile_ok})");
+    if !(agree_ok && speedup_ok && reconcile_ok && overhead_ok && blackbox_ok && identical_ok) {
+        eprintln!(
+            "FAIL: serving gates not met (agreement {agree_ok}, speedup {speedup_ok}, reconciliation {reconcile_ok}, overhead {overhead_ok}, blackbox {blackbox_ok}, trace determinism {identical_ok})"
+        );
         std::process::exit(1);
     }
 }

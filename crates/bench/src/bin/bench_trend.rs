@@ -37,6 +37,17 @@ const TRACKED: &[(&str, &[(&str, &str)])] = &[
         "BENCH_analyze.json",
         &[("headline_speedup", "analyze-speedup")],
     ),
+    (
+        "BENCH_serve.json",
+        &[
+            ("latency_p50_ns", "lat-p50"),
+            ("latency_p99_ns", "lat-p99"),
+            ("queue_wait_p99_ns", "qwait-p99"),
+            ("solve_p99_ns", "solve-p99"),
+            ("cache_hit_rate", "hit-rate"),
+            ("observability_overhead_frac", "obs-ovh"),
+        ],
+    ),
 ];
 
 /// How many revisions per file to walk at most.

@@ -336,12 +336,39 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| match h.join() {
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
                 Ok(r) => r,
-                Err(payload) => std::panic::resume_unwind(payload),
+                Err(payload) => {
+                    notify_failure(rank);
+                    std::panic::resume_unwind(payload)
+                }
             })
             .collect()
     })
+}
+
+/// Process-wide observer of rank failures, set with
+/// [`set_failure_observer`]. Stored as a plain fn pointer so notifying
+/// is a single atomic load on the (cold) failure path.
+static FAILURE_OBSERVER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Registers a process-wide callback invoked with the rank index when a
+/// worker thread inside [`run_spmd`] is found panicked at join time.
+/// The runtime stays dependency-free — the tracing layer installs its
+/// flight-recorder hook here. The observer must not panic.
+pub fn set_failure_observer(f: fn(usize)) {
+    FAILURE_OBSERVER.store(f as usize, std::sync::atomic::Ordering::Release);
+}
+
+fn notify_failure(rank: usize) {
+    let p = FAILURE_OBSERVER.load(std::sync::atomic::Ordering::Acquire);
+    if p != 0 {
+        // SAFETY: the only non-zero values ever stored are `fn(usize)`
+        // pointers from `set_failure_observer`.
+        let f: fn(usize) = unsafe { std::mem::transmute::<usize, fn(usize)>(p) };
+        f(rank);
+    }
 }
 
 /// Observer of one rank's communication traffic, attached with

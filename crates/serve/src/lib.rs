@@ -21,14 +21,26 @@
 //! * the level-set solve schedule (`pastix_sched::solve_schedule`) rides
 //!   in every cache entry, so serving traces reconcile predicted-vs-
 //!   measured through `pastix_trace::report::build_solve_report` exactly
-//!   like the factorization.
+//!   like the factorization;
+//! * [`RequestTrace`] — per-request distributed tracing: every admitted
+//!   request becomes a parent async span on a reserved serve track with
+//!   child stage spans (queue wait, coalesce, analyze, factorize, solve)
+//!   and flow arrows into the solver ranks that executed its batch, all
+//!   exportable through `pastix_trace::export::chrome_trace`;
+//! * observability wiring — the session installs the
+//!   `pastix_trace::flight` panic hook (always-on flight recorder with
+//!   black-box dumps), can expose its metrics over a plain-text
+//!   Prometheus scrape endpoint (`pastix_trace::expose::MetricsServer`),
+//!   and can write periodic metric snapshots to disk.
 
 #![warn(missing_docs)]
 
 pub mod fingerprint;
 pub mod queue;
+pub mod rtrace;
 pub mod session;
 
 pub use fingerprint::MatrixFingerprint;
 pub use queue::{pack_panel, unpack_completions, Completed, Request, RequestQueue};
-pub use session::{CachedFactor, SessionOptions, SolverSession};
+pub use rtrace::RequestTrace;
+pub use session::{CachedFactor, PanelSolve, SessionOptions, SolverSession};

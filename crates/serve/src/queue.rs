@@ -9,9 +9,12 @@
 //! nanoseconds in a live server, a virtual clock in `bench_serve`), so
 //! batching behavior is reproducible.
 
+use crate::rtrace::RequestTrace;
 use crate::session::SolverSession;
 use pastix_graph::SymCsc;
 use pastix_kernels::{FactorError, Scalar};
+use pastix_trace::flight::{self, FlightKind};
+use pastix_trace::TraceLog;
 use std::collections::VecDeque;
 
 /// One queued solve request.
@@ -43,18 +46,44 @@ pub struct Completed<T> {
 pub struct RequestQueue<T> {
     pending: VecDeque<Request<T>>,
     next_id: u64,
+    batches: u64,
+    tracer: Option<RequestTrace>,
 }
 
 impl<T: Scalar> RequestQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
-        Self { pending: VecDeque::new(), next_id: 0 }
+        Self::default()
+    }
+
+    /// An empty queue with per-request tracing: every admitted request
+    /// becomes a parent async span on the serve track of
+    /// [`RequestQueue::take_trace`]'s log, with stage children and flow
+    /// arrows into the solver ranks (see [`crate::rtrace`]).
+    pub fn traced() -> Self {
+        Self { tracer: Some(RequestTrace::new()), ..Self::default() }
+    }
+
+    /// Detaches and assembles the request trace recorded so far (empty
+    /// log for untraced queues). Tracing continues in a fresh builder.
+    pub fn take_trace(&mut self) -> TraceLog {
+        match self.tracer.take() {
+            Some(t) => {
+                self.tracer = Some(RequestTrace::new());
+                t.finish()
+            }
+            None => TraceLog::default(),
+        }
     }
 
     /// Enqueues a right-hand side; returns its ticket.
     pub fn submit(&mut self, rhs: Vec<T>, arrival_ns: u64) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
+        flight::record(FlightKind::RequestStart, id, 0);
+        if let Some(t) = &mut self.tracer {
+            t.begin_request(id, arrival_ns);
+        }
         self.pending.push_back(Request { id, rhs, arrival_ns });
         id
     }
@@ -77,12 +106,18 @@ impl<T: Scalar> RequestQueue<T> {
 
     /// Coalesces the oldest pending requests (at most the session's
     /// `max_panel`) into one panel, solves it through `session`, and
-    /// returns the completions stamped with `finish_ns`. Returns an empty
-    /// vector when the queue is idle.
+    /// returns the completions stamped with `finish_ns`. `dispatch_ns` is
+    /// the caller's clock at the moment the batch leaves the queue — it
+    /// splits each request's latency into queue wait
+    /// (`dispatch − arrival`) and solve (`finish − dispatch`), recorded
+    /// in the `serve.queue_wait_ns` / `serve.solve_ns` histograms and on
+    /// the request trace's stage spans. Returns an empty vector when the
+    /// queue is idle.
     pub fn serve_batch(
         &mut self,
         session: &mut SolverSession<T>,
         a: &SymCsc<T>,
+        dispatch_ns: u64,
         finish_ns: u64,
     ) -> Result<Vec<Completed<T>>, FactorError> {
         let batch = self.take_batch(session.options().max_panel);
@@ -91,15 +126,38 @@ impl<T: Scalar> RequestQueue<T> {
         }
         let n = a.n();
         let nrhs = batch.len();
+        let seq = self.batches;
+        self.batches += 1;
+        flight::record(FlightKind::BatchDispatch, seq, nrhs as u64);
         let panel = pack_panel(&batch, n);
-        let (x, _) = session.solve_panel(a, &panel, nrhs)?;
-        let done = unpack_completions(&batch, &x, n, finish_ns);
+        // The batch's lead ticket tags the solve, linking the rank-side
+        // solve spans to the requests riding this panel.
+        let tag = self.tracer.as_ref().map(|_| batch[0].id);
+        let out = session.solve_panel_tagged(a, &panel, nrhs, tag)?;
+        // Health check on the fresh solve trace *before* the requests are
+        // marked complete in the flight ring: a watchdog trip here dumps a
+        // black box that still names this batch's tickets as in flight.
+        if !out.trace.ranks.is_empty() {
+            let wd = pastix_trace::watchdog::WatchdogOptions::from_env();
+            let (report, _) = pastix_trace::watchdog::analyze_and_dump(&out.trace, &wd);
+            if report.any_stalled() {
+                session.metrics().add_counter("serve.watchdog.trips", 1);
+            }
+        }
+        if let Some(t) = &mut self.tracer {
+            let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+            t.record_batch(&ids, dispatch_ns, finish_ns, out.cache_hit, &out.trace);
+        }
+        let done = unpack_completions(&batch, &out.x, n, finish_ns);
         let m = session.metrics();
         m.add_counter("serve.requests", nrhs as u64);
         m.add_counter("serve.batches", 1);
         m.observe("serve.batch_width", nrhs as u64);
-        for c in &done {
+        for (c, r) in done.iter().zip(&batch) {
             m.observe("serve.latency_ns", c.latency_ns);
+            m.observe("serve.queue_wait_ns", dispatch_ns.saturating_sub(r.arrival_ns));
+            m.observe("serve.solve_ns", finish_ns.saturating_sub(dispatch_ns));
+            flight::record(FlightKind::RequestEnd, c.id, c.latency_ns);
         }
         Ok(done)
     }
@@ -163,13 +221,13 @@ mod tests {
             exact.push(xe);
         }
         // First batch coalesces max_panel = 3, second the remaining 2.
-        let d1 = q.serve_batch(&mut session, &a, 1_000).unwrap();
+        let d1 = q.serve_batch(&mut session, &a, 500, 1_000).unwrap();
         assert_eq!(d1.len(), 3);
         assert_eq!(q.len(), 2);
-        let d2 = q.serve_batch(&mut session, &a, 2_000).unwrap();
+        let d2 = q.serve_batch(&mut session, &a, 1_500, 2_000).unwrap();
         assert_eq!(d2.len(), 2);
         assert!(q.is_empty());
-        assert!(q.serve_batch(&mut session, &a, 3_000).unwrap().is_empty());
+        assert!(q.serve_batch(&mut session, &a, 2_500, 3_000).unwrap().is_empty());
         for c in d1.iter().chain(&d2) {
             let xe = &exact[c.id as usize];
             for (u, v) in c.x.iter().zip(xe) {
@@ -187,5 +245,51 @@ mod tests {
         assert_eq!(m.counter("serve.cache.misses"), 1);
         assert_eq!(m.counter("serve.cache.hits"), 1);
         assert!(m.histogram("serve.latency_ns").is_some());
+        // The dispatch split: waits run arrival→dispatch, solves 500 each.
+        let qw = m.histogram("serve.queue_wait_ns").unwrap();
+        assert_eq!(qw.count, 5);
+        assert_eq!(qw.max, 1_200); // ticket 3: arrived 300, dispatched 1_500
+        let sv = m.histogram("serve.solve_ns").unwrap();
+        assert_eq!(sv.count, 5);
+        assert_eq!(sv.min, 500);
+        assert_eq!(sv.max, 500);
+        assert_eq!(m.histogram("serve.factorize_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn traced_queue_builds_request_spans() {
+        use pastix_trace::export::{chrome_trace, validate_chrome_trace};
+        let a = grid_spd::<f64>(6, 6, 1, Stencil::Star, false, ValueKind::RandomSpd(9));
+        let n = a.n();
+        let opts = SessionOptions {
+            procs: 2,
+            max_panel: 2,
+            sched: SchedOptions { block_size: 8, ..Default::default() },
+            ..Default::default()
+        };
+        // Tracing must be on for solve traces to exist at all.
+        let mut opts = opts;
+        opts.solver = opts.solver.with_trace(pastix_trace::TraceOptions::wall());
+        let mut session = SolverSession::<f64>::new(opts);
+        let mut q = RequestQueue::traced();
+        for r in 0..3u64 {
+            let xe: Vec<f64> = (0..n).map(|i| (i as f64) - r as f64).collect();
+            q.submit(rhs_for_solution(&a, &xe), 10 * r);
+        }
+        q.serve_batch(&mut session, &a, 100, 200).unwrap();
+        q.serve_batch(&mut session, &a, 300, 400).unwrap();
+        let log = q.take_trace();
+        assert_eq!(log.ranks[0].rank, pastix_trace::SERVE_RANK);
+        assert!(log.ranks.len() > 1, "solve ranks must be merged in");
+        let j = chrome_trace(&log);
+        validate_chrome_trace(&j).unwrap();
+        let text = j.compact();
+        for stage in ["request", "queue_wait", "coalesce", "analyze", "factorize", "solve"] {
+            assert!(text.contains(&format!("\"{stage}\"")), "missing stage {stage}");
+        }
+        // After take_trace the builder is fresh but still tracing.
+        let empty = q.take_trace();
+        assert_eq!(empty.ranks.len(), 1);
+        assert!(empty.ranks[0].events.is_empty());
     }
 }

@@ -49,6 +49,17 @@ pub struct SessionOptions {
     /// factorization and every solve (backend, kernel mode, tracing,
     /// metrics).
     pub solver: SolverConfig,
+    /// Opt-in Prometheus scrape endpoint: bind address (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port) serving the session
+    /// registry's text exposition over HTTP for the session's lifetime.
+    /// `None` (default) opens no socket.
+    pub metrics_addr: Option<String>,
+    /// Opt-in periodic metrics snapshot file (Prometheus text format,
+    /// atomically replaced every [`SessionOptions::snapshot_every`]) for
+    /// file-based scraping. `None` (default) writes nothing.
+    pub snapshot_path: Option<std::path::PathBuf>,
+    /// Rewrite period of `snapshot_path`.
+    pub snapshot_every: std::time::Duration,
 }
 
 impl Default for SessionOptions {
@@ -63,6 +74,9 @@ impl Default for SessionOptions {
             analysis: AnalysisOptions::default(),
             sched: SchedOptions::default(),
             solver: SolverConfig::default(),
+            metrics_addr: None,
+            snapshot_path: None,
+            snapshot_every: std::time::Duration::from_secs(1),
         }
     }
 }
@@ -100,22 +114,56 @@ pub struct SolverSession<T> {
     entries: Vec<(MatrixFingerprint, Arc<CachedFactor<T>>)>,
     bytes: u64,
     metrics: MetricsRegistry,
+    metrics_server: Option<pastix_trace::expose::MetricsServer>,
+    snapshot_writer: Option<pastix_trace::expose::SnapshotWriter>,
 }
 
 impl<T: Scalar> SolverSession<T> {
     /// Creates an empty session. The metrics handle is shared with
     /// `opts.solver.metrics`, so factorization counters and serving
-    /// counters land in one registry.
+    /// counters land in one registry. When `opts.metrics_addr` /
+    /// `opts.snapshot_path` are set, the scrape endpoint and snapshot
+    /// writer run for the session's lifetime (dropped with it). Also
+    /// installs the process-wide flight-recorder panic hook: a serving
+    /// process that dies leaves a black box.
     pub fn new(opts: SessionOptions) -> Self {
         assert!(opts.capacity >= 1, "session cache needs capacity >= 1");
         assert!(opts.max_panel >= 1, "panel width must be >= 1");
+        pastix_trace::flight::install_panic_hook();
         let metrics = opts.solver.metrics.clone();
-        Self { opts, entries: Vec::new(), bytes: 0, metrics }
+        let metrics_server = opts.metrics_addr.as_deref().map(|addr| {
+            pastix_trace::expose::MetricsServer::bind(addr, metrics.clone())
+                .expect("metrics endpoint failed to bind")
+        });
+        let snapshot_writer = opts.snapshot_path.clone().map(|path| {
+            pastix_trace::expose::SnapshotWriter::start(path, opts.snapshot_every, metrics.clone())
+                .expect("metrics snapshot writer failed to start")
+        });
+        Self {
+            opts,
+            entries: Vec::new(),
+            bytes: 0,
+            metrics,
+            metrics_server,
+            snapshot_writer,
+        }
     }
 
     /// The session's metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The bound address of the scrape endpoint (when
+    /// [`SessionOptions::metrics_addr`] was set) — resolves port 0.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_server.as_ref().map(|s| s.local_addr())
+    }
+
+    /// The periodic snapshot file (when [`SessionOptions::snapshot_path`]
+    /// was set).
+    pub fn snapshot_path(&self) -> Option<&std::path::Path> {
+        self.snapshot_writer.as_ref().map(|w| w.path())
     }
 
     /// The session's options.
@@ -152,6 +200,15 @@ impl<T: Scalar> SolverSession<T> {
     /// pipeline (ordering → symbol → schedule → numeric factorization →
     /// solve schedule) on a miss.
     pub fn get_or_factorize(&mut self, a: &SymCsc<T>) -> Result<Arc<CachedFactor<T>>, FactorError> {
+        Ok(self.get_or_factorize_info(a)?.0)
+    }
+
+    /// [`get_or_factorize`](Self::get_or_factorize) plus the lookup
+    /// outcome the request tracer needs: whether it was a cache hit.
+    pub fn get_or_factorize_info(
+        &mut self,
+        a: &SymCsc<T>,
+    ) -> Result<(Arc<CachedFactor<T>>, bool), FactorError> {
         let fp = MatrixFingerprint::of(a);
         if let Some(i) = self.entries.iter().position(|(k, _)| *k == fp) {
             // Refresh to the hot end.
@@ -159,7 +216,7 @@ impl<T: Scalar> SolverSession<T> {
             let hit = e.1.clone();
             self.entries.push(e);
             self.metrics.add_counter("serve.cache.hits", 1);
-            return Ok(hit);
+            return Ok((hit, true));
         }
         self.metrics.add_counter("serve.cache.misses", 1);
 
@@ -178,7 +235,9 @@ impl<T: Scalar> SolverSession<T> {
             // this miss, in nanoseconds.
             self.metrics.add_counter("serve.analyze_ns", stats.analyze_ns);
         }
+        let t0 = std::time::Instant::now();
         let run = plan.factorize(a, &cfg)?;
+        self.metrics.observe("serve.factorize_ns", t0.elapsed().as_nanos() as u64);
         let ssched = solve_schedule(
             plan.graph(),
             plan.schedule().expect("session plans always carry a static schedule"),
@@ -195,19 +254,24 @@ impl<T: Scalar> SolverSession<T> {
         if self.opts.byte_budget.is_some_and(|budget| bytes > budget) {
             // Larger than the whole budget: serve it, never cache it.
             self.metrics.add_counter("serve.cache.uncacheable", 1);
-            return Ok(entry);
+            return Ok((entry, false));
         }
         self.entries.push((fp, entry.clone()));
         self.bytes += bytes;
         while self.entries.len() > self.opts.capacity
             || self.opts.byte_budget.is_some_and(|budget| self.bytes > budget)
         {
-            let (_, cold) = self.entries.remove(0);
+            let (cold_fp, cold) = self.entries.remove(0);
             self.bytes -= cold.bytes;
             self.metrics.add_counter("serve.cache.evictions", 1);
+            pastix_trace::flight::record(
+                pastix_trace::flight::FlightKind::CacheEvict,
+                cold_fp.structure,
+                cold.bytes,
+            );
         }
         self.publish_gauges();
-        Ok(entry)
+        Ok((entry, false))
     }
 
     /// Solves an `n × nrhs` right-hand-side panel (column-major, original
@@ -220,21 +284,49 @@ impl<T: Scalar> SolverSession<T> {
         b_panel: &[T],
         nrhs: usize,
     ) -> Result<(Vec<T>, TraceLog), FactorError> {
+        let out = self.solve_panel_tagged(a, b_panel, nrhs, None)?;
+        Ok((out.x, out.trace))
+    }
+
+    /// [`solve_panel`](Self::solve_panel) for the request tracer: `tag`
+    /// threads a request id into the solve trace's per-rank async spans
+    /// (see [`pastix_solver::SolveRequest::tagged`]) and the outcome says
+    /// whether the factor came from cache.
+    pub fn solve_panel_tagged(
+        &mut self,
+        a: &SymCsc<T>,
+        b_panel: &[T],
+        nrhs: usize,
+        tag: Option<u64>,
+    ) -> Result<PanelSolve<T>, FactorError> {
         let n = a.n();
         assert_eq!(b_panel.len(), n * nrhs, "b_panel must be n × nrhs");
-        let cached = self.get_or_factorize(a)?;
+        let (cached, cache_hit) = self.get_or_factorize_info(a)?;
         let mut req = SolveRequest::panel(b_panel, nrhs);
         req.trace = self.opts.solver.trace.enabled;
+        req.tag = tag;
         let out = cached.run.solve_request(req);
         self.metrics.add_counter("serve.solves", 1);
         self.metrics.observe("serve.panel_width", nrhs as u64);
-        Ok((out.x, out.trace))
+        Ok(PanelSolve { x: out.x, trace: out.trace, cache_hit })
     }
 
     /// Single right-hand-side convenience over [`solve_panel`](Self::solve_panel).
     pub fn solve(&mut self, a: &SymCsc<T>, b: &[T]) -> Result<Vec<T>, FactorError> {
         Ok(self.solve_panel(a, b, 1)?.0)
     }
+}
+
+/// Result of [`SolverSession::solve_panel_tagged`]: the solution panel,
+/// the solve's trace, and whether the factor was served from cache.
+#[derive(Debug)]
+pub struct PanelSolve<T> {
+    /// Solution, `n × nrhs` column-major, original row order.
+    pub x: Vec<T>,
+    /// The solve's trace (empty when tracing is off).
+    pub trace: TraceLog,
+    /// `true` when the factor came from the session cache.
+    pub cache_hit: bool,
 }
 
 #[cfg(test)]

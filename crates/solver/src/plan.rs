@@ -249,6 +249,16 @@ impl Plan {
         cfg: &SolverConfig,
     ) -> Result<FactorRun<T>, FactorError> {
         assert_eq!(a.n(), self.inner.n, "matrix order != analyzed order");
+        // Rank panics inside the runtime land in the flight ring, and the
+        // factorization itself leaves coarse start/end marks there.
+        pastix_trace::flight::wire_runtime_observer();
+        let fp = self
+            .inner
+            .schedule
+            .as_ref()
+            .map_or(self.inner.n as u64, |s| s.digest());
+        pastix_trace::flight::record(pastix_trace::flight::FlightKind::FactorizeStart, fp, 0);
+        let t0 = std::time::Instant::now();
         let sym = self.symbol();
         let permuted;
         let ap: &SymCsc<T> = match &self.inner.perm {
@@ -272,8 +282,51 @@ impl Plan {
                 crate::parallel::factorize_static(sym, ap, &self.inner.graph, sched, cfg)?
             }
         };
+        pastix_trace::flight::record(
+            pastix_trace::flight::FlightKind::FactorizeEnd,
+            fp,
+            t0.elapsed().as_nanos() as u64,
+        );
         run.ctx = Some(PlanCtx { plan: self.clone(), cfg: cfg.clone() });
+        if cfg.persist_calibration {
+            self.persist_calibration(cfg, &run.trace);
+        }
         Ok(run)
+    }
+
+    /// Closes the calibration loop for a production run: joins the just
+    /// recorded wall-clock trace against the static schedule and persists
+    /// the measured per-task-kind `ns_per_cost` rates to the machine
+    /// dotfile (exactly what `bench_trace` does offline). Quietly skips
+    /// when the run carries no rate information — tracing off, logical
+    /// clock, no static schedule, or degenerate fits.
+    fn persist_calibration(&self, cfg: &SolverConfig, trace: &TraceLog) {
+        use pastix_machine::{cache_dir, store_calibration_in, task_kind, TaskCalibration};
+        if !cfg.trace.enabled
+            || cfg.trace.clock != pastix_trace::ClockMode::Wall
+            || trace.ranks.is_empty()
+        {
+            return;
+        }
+        let Some(sched) = self.inner.schedule.as_ref() else {
+            return;
+        };
+        let report = pastix_trace::report::build_report(&self.inner.graph, sched, trace);
+        let cs = &report.class_stats;
+        let cal = TaskCalibration {
+            ns_per_cost: [
+                cs[task_kind::COMP1D].ns_per_cost(),
+                cs[task_kind::FACTOR].ns_per_cost(),
+                cs[task_kind::BDIV].ns_per_cost(),
+                cs[task_kind::BMOD].ns_per_cost(),
+            ],
+        };
+        // A class that never ran fits to 0; persisting that would poison
+        // the scheduler's cost model for the next process.
+        if cal.ns_per_cost.iter().any(|&r| !r.is_finite() || r <= 0.0) {
+            return;
+        }
+        store_calibration_in(&cache_dir(), &cal);
     }
 
     fn require_schedule(&self) -> &Schedule {
@@ -304,22 +357,35 @@ pub struct SolveRequest<'a, T> {
     pub k: usize,
     /// Record a trace of this solve.
     pub trace: bool,
+    /// Request identity for distributed tracing: when set (and the solve
+    /// is traced), every rank's portion of the solve trace is wrapped in
+    /// a [`pastix_trace::ServeStage::Solve`] async span carrying this id,
+    /// so the serving layer's per-request parent span links to the DAG
+    /// execution in the Chrome/Perfetto export.
+    pub tag: Option<u64>,
 }
 
 impl<'a, T> SolveRequest<'a, T> {
     /// A single untraced right-hand side.
     pub fn single(rhs: &'a [T]) -> Self {
-        Self { rhs, k: 1, trace: false }
+        Self { rhs, k: 1, trace: false, tag: None }
     }
 
     /// An untraced `n × k` panel.
     pub fn panel(rhs: &'a [T], k: usize) -> Self {
-        Self { rhs, k, trace: false }
+        Self { rhs, k, trace: false, tag: None }
     }
 
     /// Requests a trace of this solve.
     pub fn traced(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Attaches a request id to the solve's trace spans (implies nothing
+    /// unless the solve is traced).
+    pub fn tagged(mut self, id: u64) -> Self {
+        self.tag = Some(id);
         self
     }
 }
@@ -409,6 +475,10 @@ impl<T: Scalar> FactorRun<T> {
             }
             None => xp,
         };
+        let mut trace = trace;
+        if let Some(id) = req.tag {
+            tag_solve_trace(&mut trace, id);
+        }
         SolveOutput { x, trace }
     }
 
@@ -421,6 +491,30 @@ impl<T: Scalar> FactorRun<T> {
     /// (untraced).
     pub fn solve_panel(&self, b: &[T], k: usize) -> Vec<T> {
         self.solve_request(SolveRequest::panel(b, k)).x
+    }
+}
+
+/// Wraps every rank's slice of a solve trace in a
+/// [`pastix_trace::ServeStage::Solve`] async span carrying the request
+/// id. Runs after the backend returns, so one implementation covers all
+/// three backends; spans inherit the rank's first/last event timestamps,
+/// which keeps logical-clock (sim) traces a pure function of
+/// `(seed, policy)`.
+fn tag_solve_trace(trace: &mut TraceLog, id: u64) {
+    use pastix_trace::{Event, EventKind, ServeStage};
+    for rt in &mut trace.ranks {
+        let (Some(first), Some(last)) = (rt.events.first(), rt.events.last()) else {
+            continue;
+        };
+        let (b, e) = (first.at, last.at);
+        rt.events.insert(
+            0,
+            Event { at: b, kind: EventKind::AsyncBegin { id, stage: ServeStage::Solve as u8 } },
+        );
+        rt.events.push(Event {
+            at: e,
+            kind: EventKind::AsyncEnd { id, stage: ServeStage::Solve as u8 },
+        });
     }
 }
 

@@ -26,7 +26,7 @@
 //! `(src, dst, kind)` triple — so the schema invariants hold even under
 //! drop faults and truncated rings.
 
-use crate::{EventKind, GaugeId, TaskClass, TraceLog};
+use crate::{EventKind, GaugeId, ServeStage, TaskClass, TraceLog, SERVE_RANK};
 use pastix_json::{obj, Json};
 use pastix_sched::{Schedule, TaskGraph};
 use std::collections::HashMap;
@@ -79,11 +79,13 @@ fn chrome_trace_impl(log: &TraceLog, ctx: Option<(&TaskGraph, &Schedule)>) -> Js
     meta.push(("args".to_string(), obj([("name", Json::Str("pastix".to_string()))])));
     events.push(Json::Obj(meta));
     for rt in &log.ranks {
+        let label = if rt.rank == SERVE_RANK {
+            "serve".to_string()
+        } else {
+            format!("rank {}", rt.rank)
+        };
         let mut m = ev_base("thread_name", "__metadata", "M", 0, rt.rank);
-        m.push((
-            "args".to_string(),
-            obj([("name", Json::Str(format!("rank {}", rt.rank)))]),
-        ));
+        m.push(("args".to_string(), obj([("name", Json::Str(label))])));
         events.push(Json::Obj(m));
     }
 
@@ -93,6 +95,7 @@ fn chrome_trace_impl(log: &TraceLog, ctx: Option<(&TaskGraph, &Schedule)>) -> Js
     for rt in &log.ranks {
         let mut ok = vec![false; rt.events.len()];
         let mut open: HashMap<(u32, u8), Vec<usize>> = HashMap::new();
+        let mut aopen: HashMap<(u64, u8), Vec<usize>> = HashMap::new();
         for (i, ev) in rt.events.iter().enumerate() {
             match ev.kind {
                 EventKind::TaskBegin { task, class } => {
@@ -100,6 +103,15 @@ fn chrome_trace_impl(log: &TraceLog, ctx: Option<(&TaskGraph, &Schedule)>) -> Js
                 }
                 EventKind::TaskEnd { task, class } => {
                     if let Some(b) = open.get_mut(&(task, class as u8)).and_then(Vec::pop) {
+                        ok[b] = true;
+                        ok[i] = true;
+                    }
+                }
+                EventKind::AsyncBegin { id, stage } => {
+                    aopen.entry((id, stage)).or_default().push(i);
+                }
+                EventKind::AsyncEnd { id, stage } => {
+                    if let Some(b) = aopen.get_mut(&(id, stage)).and_then(Vec::pop) {
                         ok[b] = true;
                         ok[i] = true;
                     }
@@ -116,6 +128,8 @@ fn chrome_trace_impl(log: &TraceLog, ctx: Option<(&TaskGraph, &Schedule)>) -> Js
     // arrow. Flow ids are dense in (src, dst, kind, i) order.
     let mut n_sends: HashMap<(u32, u32, u8), u64> = HashMap::new();
     let mut n_recvs: HashMap<(u32, u32, u8), u64> = HashMap::new();
+    let mut n_fstarts: HashMap<u64, u64> = HashMap::new();
+    let mut n_fends: HashMap<u64, u64> = HashMap::new();
     for rt in &log.ranks {
         for ev in &rt.events {
             match ev.kind {
@@ -124,6 +138,12 @@ fn chrome_trace_impl(log: &TraceLog, ctx: Option<(&TaskGraph, &Schedule)>) -> Js
                 }
                 EventKind::Recv { peer, kind, .. } => {
                     *n_recvs.entry((peer, rt.rank, kind)).or_default() += 1;
+                }
+                EventKind::FlowStart { id } => {
+                    *n_fstarts.entry(id).or_default() += 1;
+                }
+                EventKind::FlowEnd { id } => {
+                    *n_fends.entry(id).or_default() += 1;
                 }
                 _ => {}
             }
@@ -145,8 +165,28 @@ fn chrome_trace_impl(log: &TraceLog, ctx: Option<(&TaskGraph, &Schedule)>) -> Js
             .unwrap_or(0)
             .min(n_recvs.get(k).copied().unwrap_or(0))
     };
+    // Recorded flow arrows (request → solve-rank causality) share the
+    // exported id space with message flows: dense ids allocated *after*
+    // them, so the two families can never collide.
+    let mut rec_base: HashMap<u64, u64> = HashMap::new();
+    let mut rec_keys: Vec<u64> = n_fstarts.keys().copied().collect();
+    rec_keys.sort_unstable();
+    for k in rec_keys {
+        let pairs = n_fstarts[&k].min(n_fends.get(&k).copied().unwrap_or(0));
+        rec_base.insert(k, next_id);
+        next_id += pairs;
+    }
+    let rec_pairs = |id: u64| -> u64 {
+        n_fstarts
+            .get(&id)
+            .copied()
+            .unwrap_or(0)
+            .min(n_fends.get(&id).copied().unwrap_or(0))
+    };
 
     // Pass 2: emit, rank by rank, in ring order.
+    let mut fstarted: HashMap<u64, u64> = HashMap::new();
+    let mut fended: HashMap<u64, u64> = HashMap::new();
     for (ri, rt) in log.ranks.iter().enumerate() {
         let r = rt.rank;
         let mut sent: HashMap<(u32, u32, u8), u64> = HashMap::new();
@@ -227,6 +267,39 @@ fn chrome_trace_impl(log: &TraceLog, ctx: Option<(&TaskGraph, &Schedule)>) -> Js
                     e.push(("args".to_string(), obj([("value", Json::Num(seq as f64))])));
                     events.push(Json::Obj(e));
                 }
+                EventKind::AsyncBegin { id, stage } if matched[ri][i] => {
+                    let mut e =
+                        ev_base(ServeStage::name_of(stage), "serve", "b", ev.at, r);
+                    e.push(("id".to_string(), Json::Num(id as f64)));
+                    e.push(("args".to_string(), obj([("request", Json::Num(id as f64))])));
+                    events.push(Json::Obj(e));
+                }
+                EventKind::AsyncEnd { id, stage } if matched[ri][i] => {
+                    let mut e =
+                        ev_base(ServeStage::name_of(stage), "serve", "e", ev.at, r);
+                    e.push(("id".to_string(), Json::Num(id as f64)));
+                    events.push(Json::Obj(e));
+                }
+                EventKind::AsyncBegin { .. } | EventKind::AsyncEnd { .. } => {}
+                EventKind::FlowStart { id } => {
+                    let i_th = *fstarted.entry(id).or_default();
+                    fstarted.insert(id, i_th + 1);
+                    if i_th < rec_pairs(id) {
+                        let mut e = ev_base("req", "flow", "s", ev.at, r);
+                        e.push(("id".to_string(), Json::Num((rec_base[&id] + i_th) as f64)));
+                        events.push(Json::Obj(e));
+                    }
+                }
+                EventKind::FlowEnd { id } => {
+                    let i_th = *fended.entry(id).or_default();
+                    fended.insert(id, i_th + 1);
+                    if i_th < rec_pairs(id) {
+                        let mut e = ev_base("req", "flow", "f", ev.at, r);
+                        e.push(("bp".to_string(), Json::Str("e".to_string())));
+                        e.push(("id".to_string(), Json::Num((rec_base[&id] + i_th) as f64)));
+                        events.push(Json::Obj(e));
+                    }
+                }
             }
         }
     }
@@ -245,15 +318,17 @@ fn chrome_trace_impl(log: &TraceLog, ctx: Option<(&TaskGraph, &Schedule)>) -> Js
 }
 
 /// Structural sanity check of an exported Chrome trace: per track every
-/// `B` has a matching `E` (properly nested), and every flow-start `s`
-/// has a flow-finish `f` with the same id (and vice versa). Returns the
-/// first violation as an error string.
+/// `B` has a matching `E` (properly nested), every nestable async begin
+/// `b` has a matching end `e` per async id, and every flow-start `s` has
+/// a flow-finish `f` with the same id (and vice versa). Returns the first
+/// violation as an error string.
 pub fn validate_chrome_trace(j: &Json) -> Result<(), String> {
     let evs = j
         .get("traceEvents")
         .and_then(|e| e.as_arr().ok())
         .ok_or("no traceEvents array")?;
     let mut depth: HashMap<u64, i64> = HashMap::new();
+    let mut adepth: HashMap<u64, i64> = HashMap::new();
     let mut starts: Vec<u64> = Vec::new();
     let mut finishes: Vec<u64> = Vec::new();
     for (i, e) in evs.iter().enumerate() {
@@ -269,6 +344,21 @@ pub fn validate_chrome_trace(j: &Json) -> Result<(), String> {
                 *d -= 1;
                 if *d < 0 {
                     return Err(format!("event {i}: E without B on tid {tid}"));
+                }
+            }
+            "b" | "e" => {
+                let id = e
+                    .get("id")
+                    .and_then(|v| v.as_f64().ok())
+                    .ok_or(format!("event {i}: async event without id"))? as u64;
+                if ph == "b" {
+                    *adepth.entry(id).or_default() += 1;
+                } else {
+                    let d = adepth.entry(id).or_default();
+                    *d -= 1;
+                    if *d < 0 {
+                        return Err(format!("event {i}: async e without b for id {id}"));
+                    }
                 }
             }
             "s" | "f" => {
@@ -289,6 +379,11 @@ pub fn validate_chrome_trace(j: &Json) -> Result<(), String> {
     for (tid, d) in depth {
         if d != 0 {
             return Err(format!("tid {tid}: {d} unclosed B spans"));
+        }
+    }
+    for (id, d) in adepth {
+        if d != 0 {
+            return Err(format!("async id {id}: {d} unclosed b spans"));
         }
     }
     starts.sort_unstable();
@@ -491,6 +586,68 @@ mod tests {
         let evs = j.get("traceEvents").unwrap().as_arr().unwrap();
         let n_s = evs.iter().filter(|e| e.get("ph").unwrap().as_str().ok() == Some("s")).count();
         assert_eq!(n_s, 1, "only the matched first send flows");
+    }
+
+    #[test]
+    fn serve_track_async_spans_and_flows_export() {
+        use crate::SERVE_RANK;
+        // Serve track: request 42 parent span, queue_wait child, a flow
+        // start into rank 0, plus an *unpaired* async begin (id 43) that
+        // must be skipped.
+        let serve = RankTrace {
+            rank: SERVE_RANK,
+            events: vec![
+                Event { at: 0, kind: EventKind::AsyncBegin { id: 42, stage: ServeStage::Request as u8 } },
+                Event { at: 0, kind: EventKind::AsyncBegin { id: 42, stage: ServeStage::QueueWait as u8 } },
+                Event { at: 5, kind: EventKind::AsyncEnd { id: 42, stage: ServeStage::QueueWait as u8 } },
+                Event { at: 5, kind: EventKind::FlowStart { id: 7 } },
+                Event { at: 9, kind: EventKind::AsyncEnd { id: 42, stage: ServeStage::Request as u8 } },
+                Event { at: 9, kind: EventKind::AsyncBegin { id: 43, stage: ServeStage::Request as u8 } },
+            ],
+            dropped_events: 0,
+            comm: CommCounters::default(),
+        };
+        // Solve rank: receives the flow and also exchanges one message
+        // with rank 1, exercising id-space separation.
+        let r0 = RankTrace {
+            rank: 0,
+            events: vec![
+                Event { at: 6, kind: EventKind::FlowEnd { id: 7 } },
+                Event { at: 7, kind: EventKind::Send { peer: 1, bytes: 8, kind: 0 } },
+            ],
+            dropped_events: 0,
+            comm: CommCounters::default(),
+        };
+        let r1 = RankTrace {
+            rank: 1,
+            events: vec![Event {
+                at: 8,
+                kind: EventKind::Recv { peer: 0, bytes: 8, kind: 0, wait_ns: 0 },
+            }],
+            dropped_events: 0,
+            comm: CommCounters::default(),
+        };
+        let log = TraceLog { ranks: vec![serve, r0, r1], wall_ns: 0, digest: 0 };
+        let j = chrome_trace(&log);
+        validate_chrome_trace(&j).unwrap();
+        let text = j.compact();
+        assert!(text.contains("\"serve\""), "serve track must be named");
+        let evs = j.get("traceEvents").unwrap().as_arr().unwrap();
+        let count = |ph: &str| {
+            evs.iter().filter(|e| e.get("ph").unwrap().as_str().ok() == Some(ph)).count()
+        };
+        // request b/e + queue_wait b/e; the unpaired id-43 begin dropped.
+        assert_eq!((count("b"), count("e")), (2, 2));
+        // One recorded flow + one message flow, with distinct ids.
+        assert_eq!((count("s"), count("f")), (2, 2));
+        let ids: Vec<u64> = evs
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str().ok() == Some("s"))
+            .map(|e| e.get("id").unwrap().as_f64().unwrap() as u64)
+            .collect();
+        assert_ne!(ids[0], ids[1], "message and recorded flow ids must not collide");
+        // Determinism.
+        assert_eq!(j.compact(), chrome_trace(&log).compact());
     }
 
     #[test]

@@ -35,6 +35,8 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod expose;
+pub mod flight;
 pub mod metrics;
 pub mod report;
 pub mod watchdog;
@@ -42,6 +44,61 @@ pub mod watchdog;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 
 use std::time::Instant;
+
+/// Reserved rank id of the serving layer's own track in a merged
+/// request trace: the request/stage async spans live here, next to the
+/// per-rank solve tracks they fan into. Exported as the `serve` thread.
+pub const SERVE_RANK: u32 = u32::MAX;
+
+/// The request-scoped span vocabulary of the serving layer: the stages a
+/// request passes through between queue admission and completion. Each is
+/// recorded as an async span ([`EventKind::AsyncBegin`]/[`EventKind::AsyncEnd`])
+/// keyed by the request id, so one request's spans nest into one async
+/// track in the Chrome/Perfetto export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ServeStage {
+    /// The whole request: admission to completion (the parent span).
+    Request = 0,
+    /// Admission to batch dispatch: time spent queued.
+    QueueWait = 1,
+    /// Panel packing: the request is coalesced into a multi-RHS batch.
+    Coalesce = 2,
+    /// Analyze pipeline ran for this request's matrix (cache miss).
+    Analyze = 3,
+    /// Numeric factorization ran for this request's matrix (cache miss);
+    /// its cost is amortized over every request that hits the entry.
+    Factorize = 4,
+    /// The triangular panel solve that produced this request's solution.
+    Solve = 5,
+}
+
+impl ServeStage {
+    /// Stable span name (export JSON, histogram keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeStage::Request => "request",
+            ServeStage::QueueWait => "queue_wait",
+            ServeStage::Coalesce => "coalesce",
+            ServeStage::Analyze => "analyze",
+            ServeStage::Factorize => "factorize",
+            ServeStage::Solve => "solve",
+        }
+    }
+
+    /// Recovers the span name from a recorded raw stage id.
+    pub fn name_of(stage: u8) -> &'static str {
+        match stage {
+            0 => ServeStage::Request.name(),
+            1 => ServeStage::QueueWait.name(),
+            2 => ServeStage::Coalesce.name(),
+            3 => ServeStage::Analyze.name(),
+            4 => ServeStage::Factorize.name(),
+            5 => ServeStage::Solve.name(),
+            _ => "stage_unknown",
+        }
+    }
+}
 
 /// What a task span was executing; mirrors the schedule's task kinds plus
 /// the solver phases that have no task-graph node.
@@ -176,6 +233,37 @@ pub enum EventKind {
         /// Global completed-task count after this rank's completion.
         seq: u64,
     },
+    /// Begin of a request-scoped async span (`ph:"b"` in the export):
+    /// spans with the same `id` form one async track, so the `Request`
+    /// parent and its stage children nest under the request's identity.
+    AsyncBegin {
+        /// Request id (the [`ServeStage::Request`] span and every stage
+        /// child of the same request share it).
+        id: u64,
+        /// Which stage (a [`ServeStage`] as its raw `u8`).
+        stage: u8,
+    },
+    /// The matching end of an [`EventKind::AsyncBegin`].
+    AsyncEnd {
+        /// Request id.
+        id: u64,
+        /// Which stage.
+        stage: u8,
+    },
+    /// Start of a recorded flow arrow (`ph:"s"`): the serving layer emits
+    /// one per (batch, solve rank) when it hands a coalesced panel to the
+    /// solver, pointing into that rank's solve activity.
+    FlowStart {
+        /// Arrow id; exactly one [`EventKind::FlowEnd`] with the same id
+        /// exists in a well-formed log.
+        id: u64,
+    },
+    /// End of a recorded flow arrow (`ph:"f"`), recorded on the track the
+    /// arrow lands on.
+    FlowEnd {
+        /// Arrow id.
+        id: u64,
+    },
 }
 
 impl EventKind {
@@ -189,6 +277,10 @@ impl EventKind {
             EventKind::Fence { .. } => 5,
             EventKind::Gauge { .. } => 6,
             EventKind::Heartbeat { .. } => 7,
+            EventKind::AsyncBegin { .. } => 8,
+            EventKind::AsyncEnd { .. } => 9,
+            EventKind::FlowStart { .. } => 10,
+            EventKind::FlowEnd { .. } => 11,
         }
     }
 }
@@ -391,6 +483,18 @@ pub struct CommCounters {
     pub recv_bytes: u64,
 }
 
+impl CommCounters {
+    /// Folds another rank-segment's counters in (used when merging
+    /// per-batch traces onto one long-lived track).
+    pub fn merge(&mut self, other: &CommCounters) {
+        self.sends += other.sends;
+        self.send_drops += other.send_drops;
+        self.recvs += other.recvs;
+        self.send_bytes += other.send_bytes;
+        self.recv_bytes += other.recv_bytes;
+    }
+}
+
 /// Everything one rank recorded: its events (oldest first), overflow
 /// count, and the message counters.
 #[derive(Debug, Clone, Default)]
@@ -478,6 +582,13 @@ impl TraceLog {
                         out.extend_from_slice(&value.to_le_bytes());
                     }
                     EventKind::Heartbeat { seq } => out.extend_from_slice(&seq.to_le_bytes()),
+                    EventKind::AsyncBegin { id, stage } | EventKind::AsyncEnd { id, stage } => {
+                        out.extend_from_slice(&id.to_le_bytes());
+                        out.push(stage);
+                    }
+                    EventKind::FlowStart { id } | EventKind::FlowEnd { id } => {
+                        out.extend_from_slice(&id.to_le_bytes());
+                    }
                 }
             }
         }

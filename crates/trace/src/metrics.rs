@@ -65,19 +65,33 @@ impl Histogram {
         }
     }
 
-    /// Upper edge of the bucket containing the `q`-quantile (`0 < q <= 1`):
-    /// a coarse but monotone estimate, exact to a factor of two.
+    /// Estimated `q`-quantile (`0 < q <= 1`), linearly interpolated within
+    /// the bucket that contains it and clamped to the observed `[min, max]`.
+    ///
+    /// With power-of-two buckets the old upper-edge answer over-reported by
+    /// up to 2× (a p99 sitting at the *bottom* of bucket `[2^i, 2^{i+1})`
+    /// was still reported as `2^{i+1}-1`); interpolation assumes samples
+    /// are uniform within a bucket, so the estimate is exact for uniform
+    /// fill and off by at most one bucket width in the worst case — still
+    /// monotone in `q`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil()).max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target.max(1) {
-                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            if c == 0 {
+                continue;
             }
+            if seen + c >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                let frac = (target - seen) as f64 / c as f64;
+                let est = (lo as f64 + frac * (hi - lo) as f64).round() as u64;
+                return est.clamp(self.min, self.max);
+            }
+            seen += c;
         }
         self.max
     }
@@ -103,7 +117,10 @@ enum Metric {
         per_rank: BTreeMap<u32, u64>,
     },
     Gauge(f64),
-    Hist(Box<Histogram>),
+    Hist {
+        merged: Box<Histogram>,
+        per_rank: BTreeMap<u32, Histogram>,
+    },
 }
 
 #[derive(Default)]
@@ -201,13 +218,49 @@ impl MetricsRegistry {
 
     /// Records one sample into histogram `name`.
     pub fn observe(&self, name: &str, v: u64) {
+        self.observe_rank(name, None, v);
+    }
+
+    /// Records one sample into histogram `name`, attributed to `rank`
+    /// (the merged histogram is updated either way, so quantiles over all
+    /// ranks remain one lookup).
+    pub fn observe_rank(&self, name: &str, rank: Option<u32>, v: u64) {
         let mut g = self.inner.lock().unwrap();
         match g
             .metrics
             .entry(name.to_string())
-            .or_insert_with(|| Metric::Hist(Box::default()))
-        {
-            Metric::Hist(h) => h.observe(v),
+            .or_insert_with(|| Metric::Hist {
+                merged: Box::default(),
+                per_rank: BTreeMap::new(),
+            }) {
+            Metric::Hist { merged, per_rank } => {
+                merged.observe(v);
+                if let Some(r) = rank {
+                    per_rank.entry(r).or_default().observe(v);
+                }
+            }
+            _ => type_mismatch(name, "histogram"),
+        }
+    }
+
+    /// Folds a whole pre-aggregated histogram into `name`, attributed to
+    /// `rank` — how per-rank shards collected off-registry (e.g. one
+    /// `Histogram` per worker, lock-free) are merged at run end.
+    pub fn merge_histogram(&self, name: &str, rank: Option<u32>, h: &Histogram) {
+        let mut g = self.inner.lock().unwrap();
+        match g
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Hist {
+                merged: Box::default(),
+                per_rank: BTreeMap::new(),
+            }) {
+            Metric::Hist { merged, per_rank } => {
+                merged.merge(h);
+                if let Some(r) = rank {
+                    per_rank.entry(r).or_default().merge(h);
+                }
+            }
             _ => type_mismatch(name, "histogram"),
         }
     }
@@ -215,9 +268,21 @@ impl MetricsRegistry {
     /// Reads histogram `name` (`None` when absent).
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
         match self.inner.lock().unwrap().metrics.get(name) {
-            Some(Metric::Hist(h)) => Some((**h).clone()),
+            Some(Metric::Hist { merged, .. }) => Some((**merged).clone()),
             Some(_) => type_mismatch(name, "histogram"),
             None => None,
+        }
+    }
+
+    /// Per-rank shards of histogram `name` (empty when absent or never
+    /// attributed).
+    pub fn histogram_per_rank(&self, name: &str) -> Vec<(u32, Histogram)> {
+        match self.inner.lock().unwrap().metrics.get(name) {
+            Some(Metric::Hist { per_rank, .. }) => {
+                per_rank.iter().map(|(&r, h)| (r, h.clone())).collect()
+            }
+            Some(_) => type_mismatch(name, "histogram"),
+            None => Vec::new(),
         }
     }
 
@@ -241,8 +306,11 @@ impl MetricsRegistry {
                 Metric::Gauge(v) => {
                     snap.gauges.insert(name.clone(), *v);
                 }
-                Metric::Hist(h) => {
-                    snap.histograms.insert(name.clone(), (**h).clone());
+                Metric::Hist { merged, per_rank } => {
+                    snap.histograms.insert(name.clone(), (**merged).clone());
+                    if !per_rank.is_empty() {
+                        snap.histograms_per_rank.insert(name.clone(), per_rank.clone());
+                    }
                 }
             }
         }
@@ -299,6 +367,86 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Per-rank histogram shards by name (only names that were attributed).
+    pub histograms_per_rank: BTreeMap<String, BTreeMap<u32, Histogram>>,
+}
+
+/// Rewrites a registry name (`serve.cache.hits`) as a Prometheus metric
+/// name (`pastix_serve_cache_hits`).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("pastix_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Deterministic float rendering for exposition: integers print without a
+/// fraction, everything else uses Rust's shortest round-trip form.
+fn prom_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (0.0.4): counters and gauges as single samples, per-rank counter
+    /// shards as a `_per_rank{rank="r"}` series next to the merged total,
+    /// and histograms as cumulative `_bucket{le="…"}` series (power-of-two
+    /// edges, empty leading/trailing buckets elided) plus `_sum`/`_count`.
+    /// Output is deterministic (names sorted, shortest-round-trip floats),
+    /// so it can be golden-tested.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, &v) in &self.counters {
+            let p = prom_name(name);
+            out.push_str(&format!("# TYPE {p} counter\n{p} {v}\n"));
+            if let Some(shards) = self.counters_per_rank.get(name) {
+                let ps = format!("{p}_per_rank");
+                out.push_str(&format!("# TYPE {ps} counter\n"));
+                for (rank, &rv) in shards {
+                    out.push_str(&format!("{ps}{{rank=\"{rank}\"}} {rv}\n"));
+                }
+            }
+        }
+        for (name, &v) in &self.gauges {
+            let p = prom_name(name);
+            out.push_str(&format!("# TYPE {p} gauge\n{p} {}\n", prom_num(v)));
+        }
+        for (name, h) in &self.histograms {
+            let p = prom_name(name);
+            out.push_str(&format!("# TYPE {p} histogram\n"));
+            let last = h
+                .buckets
+                .iter()
+                .rposition(|&c| c != 0)
+                .map_or(0, |i| (i + 1).min(63));
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate().take(last + 1) {
+                cum += c;
+                if c == 0 && i != last {
+                    continue;
+                }
+                let le = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (2u64 << i) - 1
+                };
+                out.push_str(&format!("{p}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("{p}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{p}_sum {}\n{p}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -341,6 +489,99 @@ mod tests {
         h2.observe(7);
         h.merge(&h2);
         assert_eq!(h.count, 6);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        // 128 uniform samples across one power-of-two bucket [1024, 2047]:
+        // interpolation should land within ~one sample-spacing of the true
+        // quantile instead of pinning to the 2047 upper edge.
+        let mut h = Histogram::new();
+        for i in 0..128u64 {
+            h.observe(1024 + i * 8);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        let true_p50 = 1024.0 + 0.5 * 1023.0;
+        let true_p99 = 1024.0 + 0.99 * 1023.0;
+        assert!(
+            (p50 as f64 - true_p50).abs() <= 16.0,
+            "p50 {p50} vs true {true_p50}"
+        );
+        assert!(
+            (p99 as f64 - true_p99).abs() <= 16.0,
+            "p99 {p99} vs true {true_p99}"
+        );
+        // The old upper-edge estimate reported 2047 for p50 (2× over); the
+        // interpolated one must stay below 1.1× the true value.
+        assert!((p50 as f64) < true_p50 * 1.1);
+        // Monotone in q, clamped to observed extremes.
+        assert!(h.quantile(0.01) <= p50 && p50 <= p99);
+        assert!(h.quantile(1.0) <= h.max);
+        assert!(h.quantile(0.0001) >= h.min);
+    }
+
+    #[test]
+    fn quantile_single_sample_is_exact() {
+        let mut h = Histogram::new();
+        h.observe(777);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 777);
+        }
+    }
+
+    #[test]
+    fn per_rank_histograms_merge() {
+        let m = MetricsRegistry::new();
+        m.observe_rank("lat", Some(0), 100);
+        m.observe_rank("lat", Some(0), 200);
+        m.observe_rank("lat", Some(1), 1000);
+        m.observe("lat", 50); // unattributed still lands in the merge
+        let merged = m.histogram("lat").unwrap();
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.sum, 1350);
+        let shards = m.histogram_per_rank("lat");
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].0, 0);
+        assert_eq!(shards[0].1.count, 2);
+        assert_eq!(shards[1].1.count, 1);
+        assert_eq!(shards[1].1.sum, 1000);
+
+        // Off-registry shard folded in wholesale.
+        let mut local = Histogram::new();
+        local.observe(3000);
+        local.observe(4000);
+        m.merge_histogram("lat", Some(2), &local);
+        assert_eq!(m.histogram("lat").unwrap().count, 6);
+        let shards = m.histogram_per_rank("lat");
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[2].1.sum, 7000);
+        // Snapshot carries the shards too.
+        let snap = m.snapshot();
+        assert_eq!(snap.histograms_per_rank["lat"].len(), 3);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let m = MetricsRegistry::new();
+        m.add_counter_rank("serve.requests", Some(0), 3);
+        m.add_counter_rank("serve.requests", Some(1), 2);
+        m.set_gauge("ready_queue_depth", 4.0);
+        m.observe("serve.latency_ns", 1500);
+        m.observe("serve.latency_ns", 1600);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE pastix_serve_requests counter"));
+        assert!(text.contains("pastix_serve_requests 5"));
+        assert!(text.contains("pastix_serve_requests_per_rank{rank=\"0\"} 3"));
+        assert!(text.contains("# TYPE pastix_ready_queue_depth gauge"));
+        assert!(text.contains("pastix_ready_queue_depth 4\n"));
+        assert!(text.contains("# TYPE pastix_serve_latency_ns histogram"));
+        assert!(text.contains("pastix_serve_latency_ns_bucket{le=\"2047\"} 2"));
+        assert!(text.contains("pastix_serve_latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("pastix_serve_latency_ns_sum 3100"));
+        assert!(text.contains("pastix_serve_latency_ns_count 2"));
+        // Deterministic: rendering twice is byte-identical.
+        assert_eq!(text, m.snapshot().to_prometheus());
     }
 
     #[test]

@@ -169,6 +169,14 @@ fn event_desc(kind: &EventKind) -> String {
         EventKind::Fence { phase } => format!("fence {phase}"),
         EventKind::Gauge { id, .. } => format!("gauge {}", crate::GaugeId::name_of(id)),
         EventKind::Heartbeat { seq } => format!("heartbeat {seq}"),
+        EventKind::AsyncBegin { id, stage } => {
+            format!("{} req {id} begin", crate::ServeStage::name_of(stage))
+        }
+        EventKind::AsyncEnd { id, stage } => {
+            format!("{} req {id} end", crate::ServeStage::name_of(stage))
+        }
+        EventKind::FlowStart { id } => format!("flow {id} start"),
+        EventKind::FlowEnd { id } => format!("flow {id} end"),
     }
 }
 

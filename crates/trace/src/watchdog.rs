@@ -75,10 +75,15 @@ fn parse_knob(raw: &str, floor: &mut u64, frac: &mut f64) {
     let raw = raw.trim();
     if let Some((a, b)) = raw.split_once(',') {
         if let (Ok(f0), Ok(f1)) = (a.trim().parse::<u64>(), b.trim().parse::<f64>()) {
-            *floor = f0;
-            *frac = f1;
+            if f1.is_finite() && f1 >= 0.0 {
+                *floor = f0;
+                *frac = f1;
+            }
         }
     } else if let Ok(v) = raw.parse::<f64>() {
+        if !v.is_finite() || v < 0.0 {
+            return; // "-3" / "inf" / "NaN" would disarm the watchdog
+        }
         if v < 1.0 {
             *frac = v;
         } else {
@@ -178,6 +183,26 @@ impl StallReport {
         }
         out
     }
+}
+
+/// Runs the watchdog and, when any rank is flagged, records a
+/// [`crate::flight::FlightKind::WatchdogTrip`] per stalled rank and dumps
+/// the flight recorder's black box — the production entry point, so a
+/// trip mid-serve leaves a forensic record naming the requests in flight.
+/// Returns the report plus the dump path (if a dump was written).
+pub fn analyze_and_dump(
+    log: &TraceLog,
+    opts: &WatchdogOptions,
+) -> (StallReport, Option<std::path::PathBuf>) {
+    let rep = analyze(log, opts);
+    if !rep.any_stalled() {
+        return (rep, None);
+    }
+    for r in rep.stalled_ranks() {
+        crate::flight::record(crate::flight::FlightKind::WatchdogTrip, r as u64, 0);
+    }
+    let path = crate::flight::dump_blackbox("watchdog_trip");
+    (rep, path)
 }
 
 /// Runs the watchdog over a recorded trace.
@@ -366,6 +391,71 @@ mod tests {
         assert!(strict.any_stalled());
         let lax = analyze(&log, &WatchdogOptions { min_gap: 1000, ..Default::default() });
         assert!(!lax.any_stalled(), "{}", lax.render());
+    }
+
+    #[test]
+    fn parse_knob_edge_cases() {
+        let cases: &[(&str, u64, f64)] = &[
+            // floor,frac with whitespace everywhere
+            (" 16 , 0.25 ", 16, 0.25),
+            // frac part of a pair may exceed 1.0 (it is a fraction of
+            // total progress, callers may deliberately over-damp)
+            ("8,2.0", 8, 2.0),
+            // bare fraction
+            ("0.9", 99, 0.9),
+            // bare zero is a fraction (disables the relative signal,
+            // floor still guards)
+            ("0", 99, 0.0),
+            // bare floor
+            ("123", 123, 0.5),
+            // bare 1.0 is a floor, not a fraction
+            ("1.0", 1, 0.5),
+        ];
+        for &(raw, want_floor, want_frac) in cases {
+            let (mut floor, mut frac) = (99u64, 0.5f64);
+            parse_knob(raw, &mut floor, &mut frac);
+            assert_eq!(floor, want_floor, "floor for {raw:?}");
+            assert!((frac - want_frac).abs() < 1e-12, "frac for {raw:?}: {frac}");
+        }
+        // Malformed or hostile inputs leave both untouched.
+        for raw in [
+            "", "banana", "32,banana", "banana,0.5", "-3", "-0.5", "inf",
+            "NaN", "1,-0.5", "1,inf", "0.5,0.5", "1,2,3", ",", "32,",
+        ] {
+            let (mut floor, mut frac) = (99u64, 0.5f64);
+            parse_knob(raw, &mut floor, &mut frac);
+            assert_eq!(floor, 99, "floor must survive {raw:?}");
+            assert!((frac - 0.5).abs() < 1e-12, "frac must survive {raw:?}");
+        }
+    }
+
+    #[test]
+    fn trip_records_flight_event_and_dumps() {
+        let dir = std::env::temp_dir().join("pastix-watchdog-trip-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::flight::set_blackbox_dir(Some(&dir));
+        let log = log_with_heartbeats(vec![(1..=80).collect(), (81..=100).collect()]);
+        let (rep, path) = analyze_and_dump(&log, &WatchdogOptions::default());
+        crate::flight::set_blackbox_dir(None);
+        assert!(rep.any_stalled());
+        let path = path.expect("trip must dump a black box");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("watchdog_trip"));
+        // The trip event for the starved rank is in the dumped ring.
+        assert!(
+            crate::flight::snapshot().iter().any(|e| {
+                e.kind == crate::flight::FlightKind::WatchdogTrip as u8 && e.a == 1
+            })
+        );
+        // A healthy log neither trips nor dumps.
+        let healthy = log_with_heartbeats(vec![
+            (1..=100).filter(|s| s % 2 == 1).collect(),
+            (1..=100).filter(|s| s % 2 == 0).collect(),
+        ]);
+        let (rep, path) = analyze_and_dump(&healthy, &WatchdogOptions::default());
+        assert!(!rep.any_stalled());
+        assert!(path.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -144,7 +144,7 @@ fn session_serves_coalesced_batches_on_both_backends() {
         }
         let mut done = Vec::new();
         while !q.is_empty() {
-            done.extend(q.serve_batch(&mut session, &a, 1_000).unwrap());
+            done.extend(q.serve_batch(&mut session, &a, 500, 1_000).unwrap());
         }
         assert_eq!(done.len(), 13, "{label}: all requests served");
         // max_panel = 8 → widths 8 then 5.
